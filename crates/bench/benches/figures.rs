@@ -1,0 +1,46 @@
+//! Criterion benches: end-to-end cost of one scheduling quantum under the
+//! fixed, adaptive and oracle schedulers — i.e. the unit of work every
+//! figure in the paper multiplies by thousands.
+
+use adts_core::{machine_for_mix, AdaptiveScheduler, AdtsConfig, OracleConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_policies::{FetchPolicy, Tsu};
+use smt_workloads::mix;
+
+fn bench_fixed_quantum(c: &mut Criterion) {
+    c.bench_function("fixed_quantum_8k", |b| {
+        let m = mix(12);
+        let mut machine = machine_for_mix(&m, 42);
+        let mut tsu = Tsu::new(FetchPolicy::Icount, 8);
+        machine.run(16_384, &mut tsu);
+        b.iter(|| machine.run(8192, &mut tsu));
+    });
+}
+
+fn bench_adaptive_quantum(c: &mut Criterion) {
+    c.bench_function("adaptive_quantum_8k", |b| {
+        let m = mix(12);
+        let mut machine = machine_for_mix(&m, 42);
+        let mut sched = AdaptiveScheduler::new(AdtsConfig::default(), 8);
+        for _ in 0..2 {
+            sched.run_quantum(&mut machine);
+        }
+        b.iter(|| sched.run_quantum(&mut machine));
+    });
+}
+
+fn bench_oracle_quantum(c: &mut Criterion) {
+    c.bench_function("oracle_quantum_8k_triple", |b| {
+        let m = mix(12);
+        let mut machine = machine_for_mix(&m, 42);
+        let cfg = OracleConfig::default();
+        b.iter(|| adts_core::run_oracle(&cfg, &mut machine, 1));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fixed_quantum, bench_adaptive_quantum, bench_oracle_quantum
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches: cost of one detector-thread decision per heuristic
+//! (the software the paper argues fits in idle fetch slots).
+
+use adts_core::{Heuristic, HeuristicKind, QuantumStats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt_policies::FetchPolicy;
+
+fn stats(ipc: f64) -> QuantumStats {
+    QuantumStats {
+        cycles: 8192,
+        committed: (ipc * 8192.0) as u64,
+        ipc,
+        l1_miss_rate: 0.21,
+        lsq_full_rate: 0.1,
+        mispredict_rate: 0.03,
+        branch_rate: 0.41,
+        idle_fetch_rate: 3.0,
+        per_thread_committed: vec![100; 8],
+        per_thread_l1_misses: vec![10; 8],
+        per_thread_icount: vec![12; 8],
+    }
+}
+
+fn bench_decide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("heuristic_decide");
+    for kind in HeuristicKind::ALL {
+        g.bench_with_input(BenchmarkId::new("kind", kind.name()), &kind, |b, &k| {
+            let mut h = Heuristic::new(k);
+            let q = stats(1.4);
+            let mut incumbent = FetchPolicy::Icount;
+            b.iter(|| {
+                incumbent = h.decide(incumbent, &q, Some(1.6));
+                h.feed_outcome(true);
+                incumbent
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decide);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion benches: per-cycle cost of each fetch policy's thread
+//! prioritization (the TSU sort the machine pays every cycle).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::{FetchChooser, PolicyView};
+use smt_isa::Tid;
+
+fn views() -> Vec<PolicyView> {
+    (0..8u8)
+        .map(|i| PolicyView {
+            tid: Tid(i),
+            front_end_occ: (i as u32 * 7) % 13,
+            iq_occ: (i as u32 * 3) % 11,
+            inflight_branches: (i as u32) % 5,
+            inflight_loads: (i as u32 * 2) % 9,
+            inflight_mem: (i as u32 * 2) % 12,
+            outstanding_dmiss: (i as u32) % 3,
+            recent_l1d_misses: (i as u64 * 17) % 29,
+            recent_l1i_misses: (i as u64 * 5) % 7,
+            recent_stalls: (i as u64 * 11) % 23,
+            committed: 10_000 + i as u64 * 997,
+            acc_ipc_milli: 500 + i as u64 * 113,
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tsu_prioritize");
+    for policy in FetchPolicy::ALL {
+        g.bench_with_input(BenchmarkId::new("policy", policy.name()), &policy, |b, &p| {
+            let mut tsu = Tsu::new(p, 8);
+            let base = views();
+            let mut cycle = 0u64;
+            b.iter(|| {
+                let mut v = base.clone();
+                cycle += 1;
+                tsu.prioritize(cycle, &mut v);
+                v
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

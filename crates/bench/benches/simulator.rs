@@ -1,0 +1,58 @@
+//! Criterion benches: raw simulator throughput (cycles/second) and the cost
+//! of the structural models. These guard the harness against performance
+//! regressions — the experiment suite runs ~10^8 simulated cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_sim::{RoundRobin, SimConfig, SmtMachine};
+use smt_workloads::{mix, thread_addr_base, UopStream};
+use std::sync::Arc;
+
+fn machine(n: usize) -> SmtMachine {
+    let m = mix(12).take_threads(n, 7);
+    SmtMachine::new(SimConfig::with_threads(n), m.streams(42))
+}
+
+fn bench_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_step");
+    for n in [1usize, 4, 8] {
+        g.throughput(Throughput::Elements(1000));
+        g.bench_with_input(BenchmarkId::new("threads", n), &n, |b, &n| {
+            let mut m = machine(n);
+            m.run(10_000, &mut RoundRobin); // warm
+            b.iter(|| m.run(1000, &mut RoundRobin));
+        });
+    }
+    g.finish();
+}
+
+fn bench_stream(c: &mut Criterion) {
+    c.bench_function("uop_stream_next", |b| {
+        let mut s = UopStream::new(
+            Arc::new(smt_workloads::app("gcc")),
+            7,
+            thread_addr_base(0),
+        );
+        b.iter(|| s.next_uop());
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use smt_sim::{CacheGeometry, Hierarchy};
+    c.bench_function("hierarchy_data_access", |b| {
+        let g = CacheGeometry { size_bytes: 32 << 10, line_bytes: 64, ways: 4, hit_latency: 1 };
+        let l2 = CacheGeometry { size_bytes: 512 << 10, line_bytes: 64, ways: 8, hit_latency: 10 };
+        let mut h = Hierarchy::new(g, g, l2, 80);
+        let mut a = 0u64;
+        b.iter(|| {
+            a = a.wrapping_add(4096 + 64);
+            h.data(a & 0xF_FFFF)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_step, bench_stream, bench_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! `calibrate` — recompute the COND_MEM / COND_BR threshold constants the
+//! way the paper did (§4.3.2): "We ran eight-thread simulation in our SMT
+//! simulator with our 13 different mixes of applications and ended up with
+//! an average value for each metric." Run this after any change to the
+//! machine model or workloads, and update `CondThresholds::default` if the
+//! averages moved materially.
+//!
+//! ```sh
+//! cargo run --release -p smt-bench --bin calibrate
+//! ```
+
+use adts_core::{machine_for_mix, run_fixed, CondThresholds};
+use smt_policies::FetchPolicy;
+use smt_stats::mean;
+use smt_workloads::Mix;
+
+fn main() {
+    let quanta = 30u64;
+    let quantum = 8192u64;
+    let (mut l1, mut lsq, mut mis, mut br, mut ipc) =
+        (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+    for mix in Mix::all() {
+        let mut m = machine_for_mix(&mix, 42);
+        let _ = run_fixed(FetchPolicy::Icount, &mut m, 6, quantum);
+        let s = run_fixed(FetchPolicy::Icount, &mut m, quanta, quantum);
+        for q in &s.quanta {
+            l1.push(q.l1_miss_rate);
+            lsq.push(q.lsq_full_rate);
+            mis.push(q.mispredict_rate);
+            br.push(q.branch_rate);
+            ipc.push(q.ipc);
+        }
+    }
+    let d = CondThresholds::default();
+    println!("metric             mean (13 mixes)   current default   paper");
+    println!("L1 miss / cycle    {:>14.3}   {:>15.3}   0.190", mean(&l1), d.l1_miss_rate);
+    println!("LSQ full / cycle   {:>14.3}   {:>15.3}   0.450", mean(&lsq), d.lsq_full_rate);
+    println!("mispredict / cycle {:>14.3}   {:>15.3}   0.020", mean(&mis), d.mispredict_rate);
+    println!("cond br / cycle    {:>14.3}   {:>15.3}   0.380", mean(&br), d.branch_rate);
+    println!("aggregate IPC      {:>14.3}", mean(&ipc));
+    println!(
+        "\nPer the paper's method, CondThresholds::default should carry the\n\
+         measured means; the COND_* conditions then fire exactly when a\n\
+         quantum is above-average in that pathology."
+    );
+}

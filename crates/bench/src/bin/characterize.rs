@@ -1,0 +1,65 @@
+//! `characterize` — single-thread characterization of every synthetic
+//! application model: the table that backs DESIGN.md's claim that the
+//! workload substitution lands each app in the counter-rate regime of its
+//! SPEC CPU2000 namesake.
+//!
+//! ```sh
+//! cargo run --release -p smt-bench --bin characterize
+//! ```
+
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::{SimConfig, SmtMachine};
+use smt_stats::Table;
+use smt_workloads::{app, app_names, thread_addr_base, UopStream};
+use smt_isa::Tid;
+use std::sync::Arc;
+
+fn main() {
+    // Long enough to span several full phase cycles (storm + quiet), so
+    // the row is the app's *average* character, not one phase's.
+    let warm = 100_000u64;
+    let measure = 700_000u64;
+    let mut t = Table::new(
+        &format!("W1 — single-thread app characterization ({measure} cycles after {warm} warmup)"),
+        &[
+            "app", "class", "IPC", "mispred/br", "L1D miss", "L1I/kcyc", "L2/kcyc",
+            "wrong-path", "branch%", "mem%",
+        ],
+    );
+    for name in app_names() {
+        let profile = app(name);
+        let class = format!("{:?}", profile.class);
+        let stream = UopStream::new(Arc::new(profile), 42, thread_addr_base(0));
+        let mut m = SmtMachine::new(SimConfig::with_threads(1), vec![stream]);
+        let mut tsu = Tsu::new(FetchPolicy::Icount, 1);
+        m.run(warm, &mut tsu);
+        let c0 = m.counters(Tid(0)).clone();
+        let cy0 = m.cycle();
+        m.run(measure, &mut tsu);
+        let c = m.counters(Tid(0));
+        let dc = (m.cycle() - cy0) as f64;
+        let d = |a: u64, b: u64| (a - b) as f64;
+        let committed = d(c.committed, c0.committed);
+        let branches = d(c.branches_resolved, c0.branches_resolved);
+        let mem = d(c.loads, c0.loads) + d(c.stores, c0.stores);
+        let fetched = d(c.fetched, c0.fetched);
+        let wp = d(c.wrongpath_fetched, c0.wrongpath_fetched);
+        t.row(vec![
+            name.to_string(),
+            class,
+            format!("{:.2}", committed / dc),
+            format!("{:.3}", d(c.mispredicts, c0.mispredicts) / branches.max(1.0)),
+            format!("{:.3}", d(c.l1d_misses, c0.l1d_misses) / mem.max(1.0)),
+            format!("{:.2}", d(c.l1i_misses, c0.l1i_misses) / dc * 1000.0),
+            format!("{:.2}", d(c.l2_misses, c0.l2_misses) / dc * 1000.0),
+            format!("{:.2}", wp / (fetched + wp).max(1.0)),
+            format!("{:.1}", 100.0 * d(c.cond_branches, c0.cond_branches) / fetched.max(1.0)),
+            format!("{:.1}", 100.0 * mem / committed.max(1.0)),
+        ]);
+    }
+    println!("{}", t.render());
+    let _ = std::fs::create_dir_all("results");
+    if t.to_csv(std::path::Path::new("results/w1_characterize.csv")).is_ok() {
+        println!("[csv] results/w1_characterize.csv");
+    }
+}

@@ -1,0 +1,201 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [OPTIONS] <EXPERIMENT>...
+//!
+//! Experiments:
+//!   table1     E1  fixed-policy baseline (Table 1 context)
+//!   fig7       E2–E5  Fig 7(a)–(d): switch counts and benign-switch
+//!              probability vs threshold and heuristic type
+//!   fig8       E6–E7  Fig 8(a)–(d): aggregate IPC vs threshold and type
+//!   headline   E8  ADTS (Type 3, m=2) vs fixed scheduling, per mix
+//!   oracle     E9  per-quantum oracle bound (add --oracle-all for all ten)
+//!   scaling    E10 IPC vs thread count {1,2,4,6,8}
+//!   ablate-quantum | ablate-dt | ablate-cond | ablate-rotation
+//!   ablate-threshold   X1 fixed vs self-tuning IPC threshold
+//!   jobsched           X2 clog-mark-assisted job scheduling
+//!   all        everything above
+//!
+//! Options:
+//!   --full            paper-scale runs (~1 M cycles per point)
+//!   --smoke           tiny runs (CI)
+//!   --seed N          root seed (default 42)
+//!   --quanta N        measured quanta per point
+//!   --mixes 1,9,13    restrict to selected mixes
+//!   --out DIR         also write CSVs into DIR (default results/)
+//!   --no-csv          skip CSV output
+//!   --oracle-all      oracle over all ten policies too (slow)
+//! ```
+
+use smt_bench::{
+    ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum,
+    ablate_rotation, ablate_threshold, headline,
+    headline_random, jobsched, oracle, scaling, table1, threshold_type_sweep, ExpParams,
+};
+use smt_stats::Table;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Cli {
+    params: ExpParams,
+    experiments: Vec<String>,
+    out: Option<PathBuf>,
+    oracle_all: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut params = ExpParams::standard();
+    let mut experiments = Vec::new();
+    let mut out = Some(PathBuf::from("results"));
+    let mut oracle_all = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => params = ExpParams::full(),
+            "--smoke" => params = ExpParams::smoke(),
+            "--seed" => {
+                params.seed = args
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--quanta" => {
+                params.quanta = args
+                    .next()
+                    .ok_or("--quanta needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad quanta: {e}"))?;
+            }
+            "--mixes" => {
+                let v = args.next().ok_or("--mixes needs a value")?;
+                params.mix_ids = v
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad mix id: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
+            "--no-csv" => out = None,
+            "--oracle-all" => oracle_all = true,
+            "--help" | "-h" => {
+                experiments.clear();
+                experiments.push("help".to_string());
+                break;
+            }
+            exp if !exp.starts_with('-') => experiments.push(exp.to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if experiments.is_empty() {
+        experiments.push("help".to_string());
+    }
+    Ok(Cli { params, experiments, out, oracle_all })
+}
+
+fn emit(table: &Table, slug: &str, out: &Option<PathBuf>) {
+    println!("{}", table.render());
+    if let Some(dir) = out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{slug}.csv"));
+        match table.to_csv(&path) {
+            Ok(()) => println!("[csv] {}\n", path.display()),
+            Err(e) => eprintln!("warning: csv write failed: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\nrun `repro --help` for usage");
+            std::process::exit(2);
+        }
+    };
+    let p = &cli.params;
+    let known = [
+        "table1", "fig7", "fig8", "headline", "oracle", "scaling", "ablate-quantum",
+        "ablate-dt", "ablate-cond", "ablate-rotation", "ablate-threshold", "ablate-fetchmech",
+        "ablate-prefetch", "jobsched", "headline-random",
+        "all", "help",
+    ];
+    for e in &cli.experiments {
+        if !known.contains(&e.as_str()) {
+            eprintln!("error: unknown experiment {e:?}; known: {known:?}");
+            std::process::exit(2);
+        }
+    }
+    if cli.experiments.iter().any(|e| e == "help") {
+        println!("usage: repro [--full|--smoke] [--seed N] [--quanta N] [--mixes a,b,c]");
+        println!("             [--out DIR|--no-csv] [--oracle-all] <experiment>...");
+        println!("experiments: {}", known[..known.len() - 1].join(" "));
+        return;
+    }
+    let t0 = Instant::now();
+    println!(
+        "# repro: seed={} quanta={} quantum={} mixes={:?}\n",
+        p.seed, p.quanta, p.quantum_cycles, p.mix_ids
+    );
+    let want = |name: &str| {
+        cli.experiments.iter().any(|e| e == name) || cli.experiments.iter().any(|e| e == "all")
+    };
+
+    if want("table1") {
+        emit(&table1(p), "e1_table1", &cli.out);
+    }
+    if want("fig7") || want("fig8") {
+        let sweep = threshold_type_sweep(p);
+        if want("fig7") {
+            emit(&sweep.fig7a(), "e2_fig7a", &cli.out);
+            emit(&sweep.fig7b(), "e3_fig7b", &cli.out);
+            emit(&sweep.fig7c(), "e4_fig7c", &cli.out);
+            emit(&sweep.fig7d(), "e5_fig7d", &cli.out);
+        }
+        if want("fig8") {
+            emit(&sweep.fig8a(), "e6_fig8a", &cli.out);
+            emit(&sweep.fig8b(), "e7_fig8b", &cli.out);
+            let (m, k, ipc) = sweep.best();
+            println!("best operating point: {} at m={} (mean IPC {:.3})\n", k.name(), m, ipc);
+        }
+    }
+    if want("headline") {
+        emit(&headline(p), "e8_headline", &cli.out);
+    }
+    if want("headline-random") {
+        emit(&headline_random(p, 8), "e8b_headline_random", &cli.out);
+    }
+    if want("oracle") {
+        emit(&oracle(p, cli.oracle_all), "e9_oracle", &cli.out);
+    }
+    if want("scaling") {
+        emit(&scaling(p), "e10_scaling", &cli.out);
+    }
+    if want("ablate-quantum") {
+        emit(&ablate_quantum(p), "a1_quantum", &cli.out);
+    }
+    if want("ablate-dt") {
+        emit(&ablate_dt(p), "a2_dt", &cli.out);
+    }
+    if want("ablate-cond") {
+        emit(&ablate_cond(p), "a3_cond", &cli.out);
+    }
+    if want("ablate-rotation") {
+        emit(&ablate_rotation(p), "a4_rotation", &cli.out);
+    }
+    if want("ablate-fetchmech") {
+        emit(&ablate_fetchmech(p), "a5_fetchmech", &cli.out);
+    }
+    if want("ablate-prefetch") {
+        emit(&ablate_prefetch(p), "a6_prefetch", &cli.out);
+    }
+    if want("ablate-threshold") {
+        emit(&ablate_threshold(p), "x1_threshold", &cli.out);
+    }
+    if want("jobsched") {
+        emit(&jobsched(p), "x2_jobsched", &cli.out);
+    }
+    eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,923 @@
+//! Experiment implementations, one per table/figure (DESIGN.md §4).
+//!
+//! Each function simulates the necessary (mix × configuration) points and
+//! returns plain-text [`Table`]s whose rows are exactly the series the
+//! paper plots. All randomness derives from [`ExpParams::seed`], so every
+//! table is reproducible bit-for-bit.
+
+use crate::parallel::par_map;
+use crate::params::ExpParams;
+use adts_core::{
+    machine_for_mix, run_fixed, run_oracle, AdaptiveScheduler, AdtsConfig, CondThresholds,
+    DtModel, EvictionPolicy, HeuristicKind, JobSchedConfig, JobScheduler, OracleConfig,
+    adaptive::SelfTuning,
+};
+use smt_policies::FetchPolicy;
+use smt_sim::SmtMachine;
+use smt_stats::{mean, RunSeries, Table};
+use smt_workloads::Mix;
+
+/// The adaptive policy triple (what the heuristics switch among).
+pub const TRIPLE: [FetchPolicy; 3] =
+    [FetchPolicy::Icount, FetchPolicy::L1MissCount, FetchPolicy::BrCount];
+
+// ---------------------------------------------------------------------
+// helpers
+// ---------------------------------------------------------------------
+
+fn warmed_machine(mix: &Mix, p: &ExpParams) -> SmtMachine {
+    let mut m = machine_for_mix(mix, p.seed);
+    let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
+    m
+}
+
+/// Fixed-policy run on a warmed machine.
+pub fn fixed_series(mix: &Mix, policy: FetchPolicy, p: &ExpParams) -> RunSeries {
+    let mut m = warmed_machine(mix, p);
+    run_fixed(policy, &mut m, p.quanta, p.quantum_cycles)
+}
+
+/// Adaptive run on a warmed machine.
+pub fn adaptive_series(mix: &Mix, cfg: AdtsConfig, p: &ExpParams) -> RunSeries {
+    adaptive_series_with(mix, cfg, p, None)
+}
+
+/// Adaptive run with an optional Type 2 rotation override.
+pub fn adaptive_series_with(
+    mix: &Mix,
+    cfg: AdtsConfig,
+    p: &ExpParams,
+    rotation: Option<Vec<FetchPolicy>>,
+) -> RunSeries {
+    let mut m = warmed_machine(mix, p);
+    let mut sched = AdaptiveScheduler::new(cfg, m.n_threads());
+    if let Some(r) = rotation {
+        sched.set_rotation(r);
+    }
+    for _ in 0..p.quanta {
+        sched.run_quantum(&mut m);
+    }
+    sched.into_series()
+}
+
+fn adts(heuristic: HeuristicKind, m: f64, p: &ExpParams) -> AdtsConfig {
+    AdtsConfig {
+        quantum_cycles: p.quantum_cycles,
+        ipc_threshold: m,
+        heuristic,
+        ..Default::default()
+    }
+}
+
+fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn pct(x: f64) -> String {
+    format!("{:+.1}%", 100.0 * x)
+}
+
+// ---------------------------------------------------------------------
+// E1 — Table 1 context: every fixed policy on every mix
+// ---------------------------------------------------------------------
+
+/// Aggregate IPC of each of the ten fixed fetch policies per mix
+/// (the baseline context for Table 1; [20]'s ranking should reappear:
+/// ICOUNT best on average, RR near the bottom).
+pub fn table1(p: &ExpParams) -> Table {
+    let mixes = p.mixes();
+    let points: Vec<(usize, FetchPolicy)> = (0..mixes.len())
+        .flat_map(|mi| FetchPolicy::ALL.into_iter().map(move |pol| (mi, pol)))
+        .collect();
+    let ipcs = par_map(points.clone(), |&(mi, pol)| {
+        fixed_series(&mixes[mi], pol, p).aggregate_ipc()
+    });
+
+    let mut headers = vec!["mix"];
+    let names: Vec<&str> = FetchPolicy::ALL.iter().map(|pl| pl.name()).collect();
+    headers.extend(names.iter());
+    let mut t = Table::new(
+        "E1 / Table 1 context — aggregate IPC of fixed fetch policies (8 threads)",
+        &headers,
+    );
+    let npol = FetchPolicy::ALL.len();
+    for (mi, mix) in mixes.iter().enumerate() {
+        let mut row = vec![mix.name.clone()];
+        row.extend((0..npol).map(|pi| f3(ipcs[mi * npol + pi])));
+        t.row(row);
+    }
+    // Mean row.
+    let mut row = vec!["MEAN".to_string()];
+    for pi in 0..npol {
+        let col: Vec<f64> = (0..mixes.len()).map(|mi| ipcs[mi * npol + pi]).collect();
+        row.push(f3(mean(&col)));
+    }
+    t.row(row);
+    t
+}
+
+// ---------------------------------------------------------------------
+// E2–E7 — the threshold × heuristic sweep behind Fig 7 and Fig 8
+// ---------------------------------------------------------------------
+
+/// One (threshold, heuristic, mix) outcome.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    pub ipc: f64,
+    pub switches: usize,
+    pub judged: usize,
+    pub benign: usize,
+}
+
+/// The full sweep: thresholds m ∈ 1..=5 × the five heuristics × mixes,
+/// plus the fixed-ICOUNT baseline per mix.
+pub struct ThresholdTypeSweep {
+    pub thresholds: Vec<f64>,
+    pub kinds: Vec<HeuristicKind>,
+    pub mix_names: Vec<String>,
+    /// `cells[t][k][m]`.
+    pub cells: Vec<Vec<Vec<SweepCell>>>,
+    /// Fixed ICOUNT IPC per mix.
+    pub icount: Vec<f64>,
+    pub quanta: u64,
+}
+
+/// Run the sweep (the expensive part; everything in Fig 7/Fig 8 and the
+/// headline is a view over this).
+pub fn threshold_type_sweep(p: &ExpParams) -> ThresholdTypeSweep {
+    let thresholds: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+    let kinds = HeuristicKind::ALL.to_vec();
+    let mixes = p.mixes();
+
+    let icount = par_map(mixes.clone(), |mix| fixed_series(mix, FetchPolicy::Icount, p)
+        .aggregate_ipc());
+
+    let mut points = Vec::new();
+    for (ti, &m) in thresholds.iter().enumerate() {
+        for (ki, &k) in kinds.iter().enumerate() {
+            for mi in 0..mixes.len() {
+                points.push((ti, ki, mi, m, k));
+            }
+        }
+    }
+    let results = par_map(points.clone(), |&(_, _, mi, m, k)| {
+        let s = adaptive_series(&mixes[mi], adts(k, m, p), p);
+        SweepCell {
+            ipc: s.aggregate_ipc(),
+            switches: s.switches.len(),
+            judged: s.judged_switches(),
+            benign: s.switches.iter().filter(|e| e.benign == Some(true)).count(),
+        }
+    });
+
+    let mut cells =
+        vec![vec![Vec::with_capacity(mixes.len()); kinds.len()]; thresholds.len()];
+    for ((ti, ki, _, _, _), cell) in points.into_iter().zip(results) {
+        cells[ti][ki].push(cell);
+    }
+    ThresholdTypeSweep {
+        thresholds,
+        kinds,
+        mix_names: mixes.iter().map(|m| m.name.clone()).collect(),
+        cells,
+        icount,
+        quanta: p.quanta,
+    }
+}
+
+impl ThresholdTypeSweep {
+    fn mean_over_mixes(&self, ti: usize, ki: usize, f: impl Fn(&SweepCell) -> f64) -> f64 {
+        let vals: Vec<f64> = self.cells[ti][ki].iter().map(f).collect();
+        mean(&vals)
+    }
+
+    fn benign_prob(&self, ti: usize, ki: usize) -> Option<f64> {
+        let judged: usize = self.cells[ti][ki].iter().map(|c| c.judged).sum();
+        let benign: usize = self.cells[ti][ki].iter().map(|c| c.benign).sum();
+        (judged > 0).then(|| benign as f64 / judged as f64)
+    }
+
+    fn header_kinds(&self) -> Vec<String> {
+        self.kinds.iter().map(|k| k.name().to_string()).collect()
+    }
+
+    /// Fig 7(a): number of switchings vs threshold value (one column per
+    /// heuristic; mean switches per run of `quanta` quanta).
+    pub fn fig7a(&self) -> Table {
+        let hk = self.header_kinds();
+        let mut headers = vec!["threshold".to_string()];
+        headers.extend(hk);
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            &format!("E2 / Fig 7(a) — switchings per {} quanta vs threshold", self.quanta),
+            &hrefs,
+        );
+        for (ti, m) in self.thresholds.iter().enumerate() {
+            let mut row = vec![format!("m={m}")];
+            for ki in 0..self.kinds.len() {
+                row.push(format!("{:.1}", self.mean_over_mixes(ti, ki, |c| c.switches as f64)));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Fig 7(b): number of switchings vs heuristic type (one column per m).
+    pub fn fig7b(&self) -> Table {
+        let mut headers = vec!["type".to_string()];
+        headers.extend(self.thresholds.iter().map(|m| format!("m={m}")));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            &format!("E3 / Fig 7(b) — switchings per {} quanta vs heuristic type", self.quanta),
+            &hrefs,
+        );
+        for (ki, k) in self.kinds.iter().enumerate() {
+            let mut row = vec![k.name().to_string()];
+            for ti in 0..self.thresholds.len() {
+                row.push(format!("{:.1}", self.mean_over_mixes(ti, ki, |c| c.switches as f64)));
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Fig 7(c): probability of benign switches vs threshold value.
+    pub fn fig7c(&self) -> Table {
+        let hk = self.header_kinds();
+        let mut headers = vec!["threshold".to_string()];
+        headers.extend(hk);
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t =
+            Table::new("E4 / Fig 7(c) — probability of benign switches vs threshold", &hrefs);
+        for (ti, m) in self.thresholds.iter().enumerate() {
+            let mut row = vec![format!("m={m}")];
+            for ki in 0..self.kinds.len() {
+                row.push(match self.benign_prob(ti, ki) {
+                    Some(p) => format!("{p:.3}"),
+                    None => "-".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Fig 7(d): probability of benign switches vs heuristic type.
+    pub fn fig7d(&self) -> Table {
+        let mut headers = vec!["type".to_string()];
+        headers.extend(self.thresholds.iter().map(|m| format!("m={m}")));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t =
+            Table::new("E5 / Fig 7(d) — probability of benign switches vs heuristic type", &hrefs);
+        for (ki, k) in self.kinds.iter().enumerate() {
+            let mut row = vec![k.name().to_string()];
+            for ti in 0..self.thresholds.len() {
+                row.push(match self.benign_prob(ti, ki) {
+                    Some(p) => format!("{p:.3}"),
+                    None => "-".to_string(),
+                });
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// Fig 8(a)/(c): aggregate IPC vs threshold value (column per type,
+    /// plus the fixed-ICOUNT baseline).
+    pub fn fig8a(&self) -> Table {
+        let hk = self.header_kinds();
+        let mut headers = vec!["threshold".to_string()];
+        headers.extend(hk);
+        headers.push("fixed ICOUNT".to_string());
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            "E6 / Fig 8(a,c) — aggregate IPC vs threshold (mean over mixes)",
+            &hrefs,
+        );
+        let base = mean(&self.icount);
+        for (ti, m) in self.thresholds.iter().enumerate() {
+            let mut row = vec![format!("m={m}")];
+            for ki in 0..self.kinds.len() {
+                row.push(f3(self.mean_over_mixes(ti, ki, |c| c.ipc)));
+            }
+            row.push(f3(base));
+            t.row(row);
+        }
+        t
+    }
+
+    /// Fig 8(b)/(d): aggregate IPC vs heuristic type (column per m).
+    pub fn fig8b(&self) -> Table {
+        let mut headers = vec!["type".to_string()];
+        headers.extend(self.thresholds.iter().map(|m| format!("m={m}")));
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            "E7 / Fig 8(b,d) — aggregate IPC vs heuristic type (mean over mixes)",
+            &hrefs,
+        );
+        for (ki, k) in self.kinds.iter().enumerate() {
+            let mut row = vec![k.name().to_string()];
+            for ti in 0..self.thresholds.len() {
+                row.push(f3(self.mean_over_mixes(ti, ki, |c| c.ipc)));
+            }
+            t.row(row);
+        }
+        let mut row = vec!["fixed ICOUNT".to_string()];
+        let base = mean(&self.icount);
+        for _ in 0..self.thresholds.len() {
+            row.push(f3(base));
+        }
+        t.row(row);
+        t
+    }
+
+    /// The best (threshold, type) cell by mean IPC.
+    pub fn best(&self) -> (f64, HeuristicKind, f64) {
+        let mut best = (self.thresholds[0], self.kinds[0], f64::MIN);
+        for ti in 0..self.thresholds.len() {
+            for ki in 0..self.kinds.len() {
+                let ipc = self.mean_over_mixes(ti, ki, |c| c.ipc);
+                if ipc > best.2 {
+                    best = (self.thresholds[ti], self.kinds[ki], ipc);
+                }
+            }
+        }
+        best
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8 — headline: ADTS vs fixed scheduling, per mix
+// ---------------------------------------------------------------------
+
+/// Per-mix comparison of fixed ICOUNT, fixed RR, the best fixed policy of
+/// the adaptive triple, and ADTS at the paper's best operating point
+/// (Type 3, m = 2). The paper's §6 observation to check: improvement is
+/// larger for similar mixes (MIX13) than diverse well-balanced ones (MIX12).
+pub fn headline(p: &ExpParams) -> Table {
+    let mixes = p.mixes();
+    let rows = par_map(mixes, |mix| {
+        let ic = fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc();
+        let rr = fixed_series(mix, FetchPolicy::RoundRobin, p).aggregate_ipc();
+        let best_fixed = TRIPLE
+            .into_iter()
+            .map(|pol| fixed_series(mix, pol, p).aggregate_ipc())
+            .fold(f64::MIN, f64::max);
+        let ad = adaptive_series(mix, adts(HeuristicKind::Type3, 2.0, p), p).aggregate_ipc();
+        (mix.name.clone(), ic, rr, best_fixed, ad)
+    });
+    let mut t = Table::new(
+        "E8 — ADTS (Type 3, m=2) vs fixed scheduling",
+        &["mix", "ICOUNT", "RR", "best-fixed", "ADTS", "vs ICOUNT", "vs best-fixed"],
+    );
+    let (mut ics, mut ads) = (Vec::new(), Vec::new());
+    for (name, ic, rr, bf, ad) in rows {
+        t.row(vec![
+            name,
+            f3(ic),
+            f3(rr),
+            f3(bf),
+            f3(ad),
+            pct(ad / ic - 1.0),
+            pct(ad / bf - 1.0),
+        ]);
+        ics.push(ic);
+        ads.push(ad);
+    }
+    let (mi, ma) = (mean(&ics), mean(&ads));
+    t.row(vec![
+        "MEAN".into(),
+        f3(mi),
+        String::new(),
+        String::new(),
+        f3(ma),
+        pct(ma / mi - 1.0),
+        String::new(),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// E9 — oracle upper bound
+// ---------------------------------------------------------------------
+
+/// Per-quantum oracle bound over (a) the adaptive triple and (b) all ten
+/// policies, vs fixed ICOUNT — the realizable headroom ADTS chases.
+pub fn oracle(p: &ExpParams, include_all_policies: bool) -> Table {
+    let mixes = p.mixes();
+    let rows = par_map(mixes, |mix| {
+        let ic = fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc();
+        let cfg3 = OracleConfig {
+            quantum_cycles: p.quantum_cycles,
+            candidates: TRIPLE.to_vec(),
+        };
+        let mut m = warmed_machine(mix, p);
+        let o3 = run_oracle(&cfg3, &mut m, p.quanta).aggregate_ipc();
+        let oall = if include_all_policies {
+            let cfg = OracleConfig {
+                quantum_cycles: p.quantum_cycles,
+                candidates: FetchPolicy::ALL.to_vec(),
+            };
+            let mut m = warmed_machine(mix, p);
+            Some(run_oracle(&cfg, &mut m, p.quanta).aggregate_ipc())
+        } else {
+            None
+        };
+        (mix.name.clone(), ic, o3, oall)
+    });
+    let mut t = Table::new(
+        "E9 — per-quantum oracle bound vs fixed ICOUNT",
+        &["mix", "ICOUNT", "oracle(triple)", "headroom", "oracle(all 10)", "headroom(all)"],
+    );
+    for (name, ic, o3, oall) in rows {
+        t.row(vec![
+            name,
+            f3(ic),
+            f3(o3),
+            pct(o3 / ic - 1.0),
+            oall.map(f3).unwrap_or_else(|| "-".into()),
+            oall.map(|o| pct(o / ic - 1.0)).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// E10 — thread-count scaling
+// ---------------------------------------------------------------------
+
+/// Aggregate IPC vs thread count {1, 2, 4, 6, 8} under fixed ICOUNT, RR,
+/// and ADTS — the saturation claim of §1/§7.
+pub fn scaling(p: &ExpParams) -> Table {
+    let counts = [1usize, 2, 4, 6, 8];
+    let mixes = p.mixes();
+    let points: Vec<usize> = counts.to_vec();
+    let rows = par_map(points, |&n| {
+        let (mut ic, mut rr, mut ad) = (Vec::new(), Vec::new(), Vec::new());
+        for mix in &mixes {
+            let sub = mix.take_threads(n, p.seed);
+            ic.push(fixed_series(&sub, FetchPolicy::Icount, p).aggregate_ipc());
+            rr.push(fixed_series(&sub, FetchPolicy::RoundRobin, p).aggregate_ipc());
+            ad.push(adaptive_series(&sub, adts(HeuristicKind::Type3, 2.0, p), p).aggregate_ipc());
+        }
+        (n, mean(&ic), mean(&rr), mean(&ad))
+    });
+    let mut t = Table::new(
+        "E10 — aggregate IPC vs thread count (mean over mixes)",
+        &["threads", "ICOUNT", "RR", "ADTS(T3,m2)", "ADTS vs ICOUNT"],
+    );
+    for (n, ic, rr, ad) in rows {
+        t.row(vec![n.to_string(), f3(ic), f3(rr), f3(ad), pct(ad / ic - 1.0)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// A1–A4 — ablations
+// ---------------------------------------------------------------------
+
+/// A1: quantum-size sensitivity of ADTS (Type 3, m = 2).
+pub fn ablate_quantum(p: &ExpParams) -> Table {
+    let sizes = [1024u64, 2048, 4096, 8192, 16384, 32768, 65536];
+    let mixes = p.mixes();
+    let rows = par_map(sizes.to_vec(), |&q| {
+        let mut ipcs = Vec::new();
+        let mut benign = Vec::new();
+        for mix in &mixes {
+            // Hold total simulated cycles constant across quantum sizes.
+            let quanta = (p.quanta * p.quantum_cycles / q).max(4);
+            let pp = ExpParams { quantum_cycles: q, quanta, ..p.clone() };
+            let cfg = AdtsConfig {
+                quantum_cycles: q,
+                ipc_threshold: 2.0,
+                heuristic: HeuristicKind::Type3,
+                ..Default::default()
+            };
+            let s = adaptive_series(mix, cfg, &pp);
+            ipcs.push(s.aggregate_ipc());
+            if let Some(b) = s.benign_fraction() {
+                benign.push(b);
+            }
+        }
+        (q, mean(&ipcs), mean(&benign))
+    });
+    let mut t = Table::new(
+        "A1 — quantum-size ablation, ADTS (Type 3, m=2)",
+        &["quantum cycles", "mean IPC", "P(benign)"],
+    );
+    for (q, ipc, b) in rows {
+        t.row(vec![q.to_string(), f3(ipc), f3(b)]);
+    }
+    t
+}
+
+/// A2: detector-thread cost-model ablation.
+pub fn ablate_dt(p: &ExpParams) -> Table {
+    let models: [(&str, DtModel); 4] = [
+        ("free", DtModel::Free),
+        ("budgeted x1.0", DtModel::Budgeted { throughput_factor: 1.0 }),
+        ("budgeted x0.25", DtModel::Budgeted { throughput_factor: 0.25 }),
+        ("starved", DtModel::Starved),
+    ];
+    let kinds = [HeuristicKind::Type1, HeuristicKind::Type3, HeuristicKind::Type4];
+    let mixes = p.mixes();
+    let mut points = Vec::new();
+    for &(name, dt) in &models {
+        for &k in &kinds {
+            points.push((name, dt, k));
+        }
+    }
+    let rows = par_map(points, |&(name, dt, k)| {
+        let mut ipcs = Vec::new();
+        let mut switches = 0usize;
+        for mix in &mixes {
+            let cfg = AdtsConfig { dt, ..adts(k, 2.0, p) };
+            let s = adaptive_series(mix, cfg, p);
+            ipcs.push(s.aggregate_ipc());
+            switches += s.switches.len();
+        }
+        (name, k, mean(&ipcs), switches)
+    });
+    let mut t = Table::new(
+        "A2 — detector-thread cost model ablation (m=2)",
+        &["DT model", "heuristic", "mean IPC", "applied switches"],
+    );
+    for (name, k, ipc, sw) in rows {
+        t.row(vec![name.to_string(), k.name().to_string(), f3(ipc), sw.to_string()]);
+    }
+    t
+}
+
+/// A3: COND_MEM/COND_BR threshold-scale ablation for Type 3.
+pub fn ablate_cond(p: &ExpParams) -> Table {
+    let scales = [0.5, 1.0, 2.0];
+    let mixes = p.mixes();
+    let rows = par_map(scales.to_vec(), |&f| {
+        let mut ipcs = Vec::new();
+        let mut benign = Vec::new();
+        let mut switches = 0usize;
+        for mix in &mixes {
+            let cfg = AdtsConfig {
+                thresholds: CondThresholds::default().scaled(f),
+                ..adts(HeuristicKind::Type3, 2.0, p)
+            };
+            let s = adaptive_series(mix, cfg, p);
+            ipcs.push(s.aggregate_ipc());
+            switches += s.switches.len();
+            if let Some(b) = s.benign_fraction() {
+                benign.push(b);
+            }
+        }
+        (f, mean(&ipcs), switches, mean(&benign))
+    });
+    let mut t = Table::new(
+        "A3 — COND_* threshold scale ablation, Type 3 (m=2)",
+        &["scale", "mean IPC", "switches", "P(benign)"],
+    );
+    for (f, ipc, sw, b) in rows {
+        t.row(vec![format!("x{f}"), f3(ipc), sw.to_string(), f3(b)]);
+    }
+    t
+}
+
+/// A4: Type 2 rotation-order ablation ("variants based on this scheme can
+/// be made by changing the sequence of the transitions ... or adding more
+/// fetch policies").
+pub fn ablate_rotation(p: &ExpParams) -> Table {
+    use FetchPolicy::*;
+    let rotations: [(&str, Vec<FetchPolicy>); 4] = [
+        ("paper (IC,L1,BR)", vec![Icount, L1MissCount, BrCount]),
+        ("reversed (IC,BR,L1)", vec![Icount, BrCount, L1MissCount]),
+        ("+MEMCOUNT", vec![Icount, L1MissCount, BrCount, MemCount]),
+        ("+STALLCOUNT", vec![Icount, L1MissCount, BrCount, StallCount]),
+    ];
+    let mixes = p.mixes();
+    let rows = par_map(rotations.to_vec(), |(name, rot)| {
+        let mut ipcs = Vec::new();
+        let mut benign = Vec::new();
+        for mix in &mixes {
+            let s = adaptive_series_with(
+                mix,
+                adts(HeuristicKind::Type2, 2.0, p),
+                p,
+                Some(rot.clone()),
+            );
+            ipcs.push(s.aggregate_ipc());
+            if let Some(b) = s.benign_fraction() {
+                benign.push(b);
+            }
+        }
+        (name.to_string(), mean(&ipcs), mean(&benign))
+    });
+    let mut t = Table::new(
+        "A4 — Type 2 rotation-order ablation (m=2)",
+        &["rotation", "mean IPC", "P(benign)"],
+    );
+    for (name, ipc, b) in rows {
+        t.row(vec![name, f3(ipc), f3(b)]);
+    }
+    t
+}
+
+
+/// X1: self-tuning threshold (§4.2 extension) vs the fixed values of Fig 8.
+pub fn ablate_threshold(p: &ExpParams) -> Table {
+    let mixes = p.mixes();
+    #[derive(Clone)]
+    enum Mode {
+        Fixed(f64),
+        Tuned(f64, usize),
+    }
+    let modes: Vec<(String, Mode)> = vec![
+        ("m=1".into(), Mode::Fixed(1.0)),
+        ("m=2".into(), Mode::Fixed(2.0)),
+        ("m=3".into(), Mode::Fixed(3.0)),
+        ("m=4".into(), Mode::Fixed(4.0)),
+        ("m=5".into(), Mode::Fixed(5.0)),
+        ("self-tuning p50/w16".into(), Mode::Tuned(0.5, 16)),
+        ("self-tuning p70/w16".into(), Mode::Tuned(0.7, 16)),
+    ];
+    let rows = par_map(modes, |(name, mode)| {
+        let mut ipcs = Vec::new();
+        let mut benign = Vec::new();
+        let mut switches = 0usize;
+        for mix in &mixes {
+            let cfg = match mode {
+                Mode::Fixed(m) => adts(HeuristicKind::Type3, *m, p),
+                Mode::Tuned(pc, w) => AdtsConfig {
+                    self_tuning: Some(SelfTuning { percentile: *pc, window: *w }),
+                    ..adts(HeuristicKind::Type3, 2.0, p)
+                },
+            };
+            let s = adaptive_series(mix, cfg, p);
+            ipcs.push(s.aggregate_ipc());
+            switches += s.switches.len();
+            if let Some(b) = s.benign_fraction() {
+                benign.push(b);
+            }
+        }
+        (name.clone(), mean(&ipcs), switches, mean(&benign))
+    });
+    let mut t = Table::new(
+        "X1 — fixed vs self-tuning IPC threshold, Type 3",
+        &["threshold", "mean IPC", "switches", "P(benign)"],
+    );
+    for (name, ipc, sw, b) in rows {
+        t.row(vec![name, f3(ipc), sw.to_string(), f3(b)]);
+    }
+    t
+}
+
+/// X2: job-scheduler integration (§3/§7 extension): DT clog-mark-assisted
+/// eviction vs oblivious round-robin eviction, with more jobs than
+/// hardware contexts.
+pub fn jobsched(p: &ExpParams) -> Table {
+    use smt_workloads::app;
+    let mixes = p.mixes();
+    let points: Vec<(usize, EvictionPolicy)> = (0..mixes.len())
+        .flat_map(|mi| {
+            [EvictionPolicy::ClogMarks, EvictionPolicy::RoundRobin]
+                .into_iter()
+                .map(move |e| (mi, e))
+        })
+        .collect();
+    let timeslice = 8u64;
+    let timeslices = (p.quanta / timeslice).max(2);
+    let results = par_map(points.clone(), |&(mi, eviction)| {
+        let mix = &mixes[mi];
+        let mut machine = machine_for_mix(mix, p.seed);
+        let cfg = JobSchedConfig {
+            adts: adts(HeuristicKind::Type3, 2.0, p),
+            timeslice_quanta: timeslice,
+            eviction,
+            ..Default::default()
+        };
+        // The waiting pool: three extra jobs beyond the eight contexts.
+        let pool = vec![app("gap"), app("apsi"), app("vortex")];
+        let mut js = JobScheduler::new(cfg, pool);
+        let running = mix.apps.iter().map(|a| a.name.clone()).collect();
+        let out = js.run(&mut machine, running, timeslices);
+        (out.series.aggregate_ipc(), out.swaps.len())
+    });
+    let mut t = Table::new(
+        "X2 — job scheduler with DT clog-mark-assisted eviction vs oblivious RR",
+        &["mix", "assisted IPC", "oblivious IPC", "delta", "swaps"],
+    );
+    let (mut asst, mut obli) = (Vec::new(), Vec::new());
+    for (mi, mix) in mixes.iter().enumerate() {
+        let (a_ipc, a_swaps) = results[mi * 2];
+        let (o_ipc, _) = results[mi * 2 + 1];
+        asst.push(a_ipc);
+        obli.push(o_ipc);
+        t.row(vec![
+            mix.name.clone(),
+            f3(a_ipc),
+            f3(o_ipc),
+            pct(a_ipc / o_ipc - 1.0),
+            a_swaps.to_string(),
+        ]);
+    }
+    t.row(vec![
+        "MEAN".into(),
+        f3(mean(&asst)),
+        f3(mean(&obli)),
+        pct(mean(&asst) / mean(&obli) - 1.0),
+        String::new(),
+    ]);
+    t
+}
+
+
+/// A5: fetch-mechanism ablation — the ICOUNT a.b partitioning study of
+/// [20] rebuilt on this substrate: a = threads fetched per cycle,
+/// b = total fetch width.
+pub fn ablate_fetchmech(p: &ExpParams) -> Table {
+    let mechs: [(&str, usize, usize); 5] = [
+        ("ICOUNT1.8", 1, 8),
+        ("ICOUNT2.4", 2, 4),
+        ("ICOUNT2.8", 2, 8),
+        ("ICOUNT4.8", 4, 8),
+        ("ICOUNT8.8", 8, 8),
+    ];
+    let mixes = p.mixes();
+    let rows = par_map(mechs.to_vec(), |&(name, threads_per_cycle, width)| {
+        let mut ipcs = Vec::new();
+        for mix in &mixes {
+            let mut cfg = smt_sim::SimConfig::with_threads(mix.apps.len());
+            cfg.max_fetch_threads = threads_per_cycle.min(mix.apps.len());
+            cfg.fetch_width = width;
+            let mut m = adts_core::machine_for_mix_with(cfg, mix, p.seed);
+            let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
+            let s = run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles);
+            ipcs.push(s.aggregate_ipc());
+        }
+        (name, mean(&ipcs))
+    });
+    let mut t = Table::new(
+        "A5 — fetch-mechanism (ICOUNT a.b) ablation, fixed ICOUNT priority",
+        &["mechanism", "mean IPC"],
+    );
+    for (name, ipc) in rows {
+        t.row(vec![name.to_string(), f3(ipc)]);
+    }
+    t
+}
+
+
+/// A6: next-line L2 prefetcher ablation — does a simple sequential
+/// prefetcher change the fixed-policy ranking or the adaptive gain?
+pub fn ablate_prefetch(p: &ExpParams) -> Table {
+    let mixes = p.mixes();
+    let points: Vec<bool> = vec![false, true];
+    let rows = par_map(points, |&prefetch| {
+        let (mut ic, mut ad) = (Vec::new(), Vec::new());
+        for mix in &mixes {
+            let mut cfg = smt_sim::SimConfig::with_threads(mix.apps.len());
+            cfg.next_line_prefetch = prefetch;
+            let mut m = adts_core::machine_for_mix_with(cfg.clone(), mix, p.seed);
+            let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
+            ic.push(run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles)
+                .aggregate_ipc());
+            let mut m = adts_core::machine_for_mix_with(cfg, mix, p.seed);
+            let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
+            let mut sched = AdaptiveScheduler::new(adts(HeuristicKind::Type1, 4.0, p), m.n_threads());
+            for _ in 0..p.quanta {
+                sched.run_quantum(&mut m);
+            }
+            ad.push(sched.series().aggregate_ipc());
+        }
+        (prefetch, mean(&ic), mean(&ad))
+    });
+    let mut t = Table::new(
+        "A6 — next-line L2 prefetch ablation",
+        &["prefetch", "ICOUNT IPC", "ADTS(T1,m4) IPC"],
+    );
+    for (pf, ic, ad) in rows {
+        t.row(vec![if pf { "on" } else { "off" }.into(), f3(ic), f3(ad)]);
+    }
+    t
+}
+
+
+/// E8b — robustness: the E8 comparison on randomly generated mixes (same
+/// taxonomy constraints as the paper's hand-built thirteen), so the
+/// conclusion is not an artifact of mix selection.
+pub fn headline_random(p: &ExpParams, n_mixes: usize) -> Table {
+    use smt_workloads::{generate_mixes, MixConstraints};
+    let constraints = MixConstraints { int_members: Some(4), ..Default::default() };
+    let mixes = generate_mixes(&constraints, p.seed, n_mixes);
+    let rows = par_map(mixes, |mix| {
+        let ic = fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc();
+        let ad = adaptive_series(mix, adts(HeuristicKind::Type1, 4.0, p), p).aggregate_ipc();
+        let members: Vec<&str> = mix.apps.iter().map(|a| a.name.as_str()).collect();
+        (mix.name.clone(), members.join(" "), ic, ad)
+    });
+    let mut t = Table::new(
+        "E8b — ADTS vs fixed ICOUNT on random constrained mixes",
+        &["mix", "members", "ICOUNT", "ADTS(T1,m4)", "delta"],
+    );
+    let (mut ics, mut ads) = (Vec::new(), Vec::new());
+    for (name, members, ic, ad) in rows {
+        ics.push(ic);
+        ads.push(ad);
+        t.row(vec![name, members, f3(ic), f3(ad), pct(ad / ic - 1.0)]);
+    }
+    t.row(vec![
+        "MEAN".into(),
+        String::new(),
+        f3(mean(&ics)),
+        f3(mean(&ads)),
+        pct(mean(&ads) / mean(&ics) - 1.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke() -> ExpParams {
+        ExpParams::smoke()
+    }
+
+    #[test]
+    fn table1_has_all_rows_and_policies() {
+        let t = table1(&smoke());
+        // 3 mixes + MEAN row.
+        assert_eq!(t.n_rows(), 4);
+        let s = t.render();
+        for pol in FetchPolicy::ALL {
+            assert!(s.contains(pol.name()), "missing {}", pol.name());
+        }
+    }
+
+    #[test]
+    fn sweep_views_are_complete() {
+        let p = ExpParams { mix_ids: vec![9], ..smoke() };
+        let sw = threshold_type_sweep(&p);
+        assert_eq!(sw.fig7a().n_rows(), 5);
+        assert_eq!(sw.fig7b().n_rows(), 5);
+        assert_eq!(sw.fig7c().n_rows(), 5);
+        assert_eq!(sw.fig7d().n_rows(), 5);
+        assert_eq!(sw.fig8a().n_rows(), 5);
+        assert_eq!(sw.fig8b().n_rows(), 6); // 5 types + baseline row
+        let (m, _, ipc) = sw.best();
+        assert!(m >= 1.0 && ipc > 0.0);
+    }
+
+    #[test]
+    fn headline_has_mean_row() {
+        let t = headline(&smoke());
+        assert_eq!(t.n_rows(), 4);
+        assert!(t.render().contains("MEAN"));
+    }
+
+    #[test]
+    fn scaling_covers_thread_counts() {
+        let p = ExpParams { mix_ids: vec![1], ..smoke() };
+        let t = scaling(&p);
+        assert_eq!(t.n_rows(), 5);
+    }
+
+    #[test]
+    fn ablations_render() {
+        let p = ExpParams { mix_ids: vec![9], ..smoke() };
+        assert_eq!(ablate_cond(&p).n_rows(), 3);
+        assert_eq!(ablate_rotation(&p).n_rows(), 4);
+        assert_eq!(ablate_dt(&p).n_rows(), 12);
+    }
+
+    #[test]
+    fn headline_random_renders() {
+        let p = smoke();
+        let t = headline_random(&p, 2);
+        assert_eq!(t.n_rows(), 3);
+    }
+
+    #[test]
+    fn prefetch_ablation_renders() {
+        let p = ExpParams { mix_ids: vec![6], ..smoke() };
+        assert_eq!(ablate_prefetch(&p).n_rows(), 2);
+    }
+
+    #[test]
+    fn fetchmech_ablation_renders() {
+        let p = ExpParams { mix_ids: vec![3], ..smoke() };
+        let t = ablate_fetchmech(&p);
+        assert_eq!(t.n_rows(), 5);
+    }
+
+    #[test]
+    fn threshold_ablation_renders() {
+        let p = ExpParams { mix_ids: vec![6], ..smoke() };
+        assert_eq!(ablate_threshold(&p).n_rows(), 7);
+    }
+
+    #[test]
+    fn jobsched_has_mean_row() {
+        let p = ExpParams { mix_ids: vec![6, 9], ..smoke() };
+        let t = jobsched(&p);
+        assert_eq!(t.n_rows(), 3);
+        assert!(t.render().contains("MEAN"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Minimal sweep parallelism.
+//!
+//! Every experiment point (mix × configuration) is an independent
+//! simulation, so the sweep is embarrassingly parallel. `std::thread::scope`
+//! plus an atomic work index is all that is needed — no extra dependencies
+//! (DESIGN.md §5). On a single-core host this degrades gracefully to a
+//! serial loop.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Map `f` over `items` using up to `available_parallelism` worker threads,
+/// preserving input order in the result.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    if workers <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("worker filled every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..100).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![7], |&x: &i32| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,78 @@
+//! Shared experiment parameters.
+
+use smt_workloads::{mix, Mix, MIX_COUNT};
+
+/// Parameters common to every experiment.
+#[derive(Clone, Debug)]
+pub struct ExpParams {
+    /// Root seed; all per-(mix, thread) sub-seeds derive from it.
+    pub seed: u64,
+    /// Warm-up quanta (fixed ICOUNT) excluded from measurement: stands in
+    /// for the paper's fast-forward into warmed execution regions.
+    pub warmup_quanta: u64,
+    /// Measured quanta per point.
+    pub quanta: u64,
+    /// Scheduling-quantum length in cycles.
+    pub quantum_cycles: u64,
+    /// Mix ids to evaluate (1-based).
+    pub mix_ids: Vec<usize>,
+}
+
+impl ExpParams {
+    /// Standard scale: long enough for stable rankings, fast enough to run
+    /// the whole suite on one core (≈0.5 M cycles per point).
+    pub fn standard() -> Self {
+        ExpParams {
+            seed: 42,
+            warmup_quanta: 6,
+            quanta: 50,
+            quantum_cycles: 8192,
+            mix_ids: (1..=MIX_COUNT).collect(),
+        }
+    }
+
+    /// Paper scale: ≈1 M measured cycles per point, as in §5 ("we ran
+    /// simulation for a million cycles in ten randomly chosen intervals" —
+    /// we run one long warmed interval instead of ten samples).
+    pub fn full() -> Self {
+        ExpParams { quanta: 123, warmup_quanta: 10, ..ExpParams::standard() }
+    }
+
+    /// Tiny scale for integration tests.
+    pub fn smoke() -> Self {
+        ExpParams {
+            seed: 42,
+            warmup_quanta: 2,
+            quanta: 10,
+            quantum_cycles: 4096,
+            mix_ids: vec![1, 9, 13],
+        }
+    }
+
+    /// The mixes selected by `mix_ids`.
+    pub fn mixes(&self) -> Vec<Mix> {
+        self.mix_ids.iter().map(|&i| mix(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_covers_all_mixes() {
+        assert_eq!(ExpParams::standard().mixes().len(), MIX_COUNT);
+    }
+
+    #[test]
+    fn full_is_paper_scale() {
+        let p = ExpParams::full();
+        assert!(p.quanta * p.quantum_cycles >= 1_000_000);
+    }
+
+    #[test]
+    fn smoke_is_small() {
+        let p = ExpParams::smoke();
+        assert!(p.quanta * p.quantum_cycles < 100_000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Reduced-scale shape assertions over the experiment harness — the
+//! quality gates DESIGN.md §6 commits to. Full-scale numbers live in
+//! EXPERIMENTS.md; these tests keep the *orderings* from regressing.
+
+use smt_bench::{threshold_type_sweep, ExpParams};
+
+fn sweep() -> smt_bench::ThresholdTypeSweep {
+    // One stormy + one memory-bound mix, short quanta: enough for the
+    // monotonicity shapes without minutes of runtime.
+    let p = ExpParams {
+        quanta: 12,
+        warmup_quanta: 2,
+        quantum_cycles: 4096,
+        mix_ids: vec![9],
+        ..ExpParams::standard()
+    };
+    threshold_type_sweep(&p)
+}
+
+#[test]
+fn sweep_shapes_hold_at_reduced_scale() {
+    let sw = sweep();
+
+    // Shape 1 (Fig 7a): switches weakly increase with m for each type.
+    for (ki, kind) in sw.kinds.iter().enumerate() {
+        let counts: Vec<f64> = (0..sw.thresholds.len())
+            .map(|ti| {
+                sw.cells[ti][ki].iter().map(|c| c.switches as f64).sum::<f64>()
+            })
+            .collect();
+        assert!(
+            counts.windows(2).filter(|w| w[1] + 1e-9 >= w[0]).count() >= 3,
+            "{}: switch counts not broadly increasing: {counts:?}",
+            kind.name()
+        );
+        assert!(
+            counts[counts.len() - 1] > counts[0],
+            "{}: m=5 must switch more than m=1",
+            kind.name()
+        );
+    }
+
+    // Shape 2 (Fig 7b): the gradient-guarded types switch no more than
+    // their unguarded counterparts at the top threshold.
+    let top = sw.thresholds.len() - 1;
+    let total = |ki: usize| -> usize { sw.cells[top][ki].iter().map(|c| c.switches).sum() };
+    // kinds order: Type1, Type2, Type3, Type3', Type4
+    assert!(total(3) <= total(2), "Type 3' switched more than Type 3");
+    assert!(total(4) <= total(2), "Type 4 switched more than Type 3");
+
+    // Shape 3: at m=1 (below any attainable quantum IPC floor here) there
+    // is essentially no switching.
+    let bottom_total: usize =
+        (0..sw.kinds.len()).map(|ki| sw.cells[0][ki].iter().map(|c| c.switches).sum::<usize>()).sum();
+    let top_total: usize =
+        (0..sw.kinds.len()).map(|ki| sw.cells[top][ki].iter().map(|c| c.switches).sum::<usize>()).sum();
+    assert!(bottom_total * 4 < top_total, "threshold has no effect: {bottom_total} vs {top_total}");
+
+    // Shape 4: benign counts never exceed judged counts.
+    for ti in 0..sw.thresholds.len() {
+        for ki in 0..sw.kinds.len() {
+            for c in &sw.cells[ti][ki] {
+                assert!(c.benign <= c.judged);
+                assert!(c.judged <= c.switches);
+            }
+        }
+    }
+}

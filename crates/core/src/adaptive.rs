@@ -1,0 +1,431 @@
+//! The adaptive dynamic thread scheduler (the paper's core loop, Fig 2/3).
+//!
+//! Every `quantum_cycles` (8 K by default) the detector thread compares the
+//! quantum's committed IPC against the threshold `m`. Below threshold, the
+//! active heuristic picks a (possibly) new fetch policy; the switch lands
+//! in the next quantum after the DT-model delay. Switch *quality* is
+//! judged exactly as in §4.2: a switch is benign iff the next quantum's
+//! IPC exceeds the quantum that triggered it — and Type 4 feeds that
+//! verdict back into its history buffer.
+//!
+//! The scheduler also performs the DT's secondary duty, clog
+//! identification (§4: "the threads that are clogging the pipelines can be
+//! identified and marked so that the job scheduler can later suspend
+//! them"), exposing the marks via [`AdaptiveScheduler::clog_log`]. With
+//! `clog_control` enabled it additionally exercises the thread-control
+//! flags: the clogging thread's fetch is disabled for the following
+//! quantum (an optional extension the paper describes but does not
+//! evaluate; off by default).
+
+use crate::detector::DtModel;
+use crate::heuristics::{CondThresholds, Heuristic, HeuristicKind};
+use crate::indicators::{MachineSnapshot, QuantumStats};
+use crate::threshold::{ThresholdMode, ThresholdTracker};
+use serde::{Deserialize, Serialize};
+use smt_isa::Tid;
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::SmtMachine;
+use smt_stats::{QuantumRecord, RunSeries, SwitchEvent};
+
+/// ADTS configuration; defaults are the paper's evaluated operating point
+/// (8 K-cycle quanta, threshold m = 2, Type 3, free DT, ICOUNT start).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AdtsConfig {
+    pub quantum_cycles: u64,
+    /// The IPC threshold m ("IPC_thold"); with `self_tuning` set this is
+    /// only the bootstrap value used until the tuning window fills.
+    pub ipc_threshold: f64,
+    /// §4.2 extension: let the detector thread update `IPC_thold` itself,
+    /// tracking the given percentile of the last `window` quanta's IPC.
+    pub self_tuning: Option<SelfTuning>,
+    pub heuristic: HeuristicKind,
+    pub dt: DtModel,
+    pub thresholds: CondThresholds,
+    pub initial_policy: FetchPolicy,
+    /// Also act on the clog flags (disable the clogging thread's fetch for
+    /// one quantum). Off by default: the paper marks but does not act.
+    pub clog_control: bool,
+}
+
+/// Self-tuning parameters (see [`crate::threshold`]).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SelfTuning {
+    /// Percentile of recent IPC the threshold tracks (0..=1).
+    pub percentile: f64,
+    /// Number of recent quanta consulted.
+    pub window: usize,
+}
+
+impl Default for AdtsConfig {
+    fn default() -> Self {
+        AdtsConfig {
+            quantum_cycles: 8192,
+            ipc_threshold: 2.0,
+            self_tuning: None,
+            heuristic: HeuristicKind::Type3,
+            dt: DtModel::Free,
+            thresholds: CondThresholds::default(),
+            initial_policy: FetchPolicy::Icount,
+            clog_control: false,
+        }
+    }
+}
+
+/// The adaptive scheduler: owns the TSU and the heuristic state.
+///
+/// ```
+/// use adts_core::{AdaptiveScheduler, AdtsConfig, machine_for_mix};
+///
+/// let mix = smt_workloads::mix(9);
+/// let mut machine = machine_for_mix(&mix, 42);
+/// let mut sched = AdaptiveScheduler::new(AdtsConfig::default(), machine.n_threads());
+/// let stats = sched.run_quantum(&mut machine);
+/// assert!(stats.ipc > 0.0);
+/// assert_eq!(sched.series().quanta.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AdaptiveScheduler {
+    cfg: AdtsConfig,
+    tsu: Tsu,
+    heuristic: Heuristic,
+    threshold: ThresholdTracker,
+    /// IPC of the quantum before the last (for the gradient guard).
+    prev_ipc: Option<f64>,
+    /// Switch decided at the last boundary: (target, delay-cycles,
+    /// index into `series.switches`).
+    pending_switch: Option<(FetchPolicy, u64, usize)>,
+    /// Thread whose fetch we disabled for the current quantum.
+    blocked: Option<Tid>,
+    series: RunSeries,
+    clog_log: Vec<(u64, Tid)>,
+    quantum_index: u64,
+}
+
+impl AdaptiveScheduler {
+    pub fn new(cfg: AdtsConfig, n_threads: usize) -> Self {
+        let mode = match cfg.self_tuning {
+            None => ThresholdMode::Fixed(cfg.ipc_threshold),
+            Some(st) => ThresholdMode::SelfTuning {
+                percentile: st.percentile,
+                window: st.window,
+                bootstrap: cfg.ipc_threshold,
+            },
+        };
+        AdaptiveScheduler {
+            tsu: Tsu::new(cfg.initial_policy, n_threads),
+            heuristic: Heuristic::with_thresholds(cfg.heuristic, cfg.thresholds),
+            threshold: ThresholdTracker::new(mode),
+            prev_ipc: None,
+            pending_switch: None,
+            blocked: None,
+            series: RunSeries::default(),
+            clog_log: Vec::new(),
+            quantum_index: 0,
+            cfg,
+        }
+    }
+
+    pub fn config(&self) -> &AdtsConfig {
+        &self.cfg
+    }
+
+    /// The incumbent fetch policy.
+    pub fn policy(&self) -> FetchPolicy {
+        self.tsu.policy
+    }
+
+    /// Override the Type 2 rotation sequence (ablation A4).
+    pub fn set_rotation(&mut self, rotation: Vec<FetchPolicy>) {
+        self.heuristic.set_rotation(rotation);
+    }
+
+    /// Per-quantum records and switch events so far.
+    pub fn series(&self) -> &RunSeries {
+        &self.series
+    }
+
+    /// Take ownership of the series (ends the recording).
+    pub fn into_series(self) -> RunSeries {
+        self.series
+    }
+
+    /// Clog marks: (quantum index, thread).
+    pub fn clog_log(&self) -> &[(u64, Tid)] {
+        &self.clog_log
+    }
+
+    /// The threshold value the next quantum will be judged against.
+    pub fn current_threshold(&self) -> f64 {
+        self.threshold.current()
+    }
+
+    /// Run one scheduling quantum on `machine` and apply the ADTS boundary
+    /// work. Returns the quantum's stats.
+    pub fn run_quantum(&mut self, machine: &mut SmtMachine) -> QuantumStats {
+        let fetch_width = machine.config().fetch_width;
+        let before = MachineSnapshot::take(machine);
+
+        // Apply a pending switch `delay` cycles into this quantum.
+        if let Some((to, delay, _)) = self.pending_switch {
+            machine.run(delay.min(self.cfg.quantum_cycles), &mut self.tsu);
+            self.tsu.set_policy(to);
+            machine.run(self.cfg.quantum_cycles.saturating_sub(delay), &mut self.tsu);
+        } else {
+            machine.run(self.cfg.quantum_cycles, &mut self.tsu);
+        }
+
+        let after = MachineSnapshot::take(machine);
+        let stats = QuantumStats::between(&before, &after, fetch_width);
+
+        // Judge the switch that produced this quantum (benign = IPC rose
+        // relative to the quantum that triggered it = `prev` record).
+        if let Some((_, _, switch_idx)) = self.pending_switch.take() {
+            let ipc_before = self
+                .series
+                .quanta
+                .last()
+                .map(|q| q.ipc)
+                .expect("a switch implies a prior quantum");
+            let benign = stats.ipc > ipc_before;
+            self.series.switches[switch_idx].benign = Some(benign);
+            self.heuristic.feed_outcome(benign);
+        }
+
+        // Lift last quantum's clog block before deciding anew.
+        if let Some(t) = self.blocked.take() {
+            machine.set_fetch_enabled(t, true);
+        }
+
+        let record = QuantumRecord {
+            index: self.quantum_index,
+            policy: self.tsu.policy.name().to_string(),
+            cycles: stats.cycles,
+            committed: stats.committed,
+            ipc: stats.ipc,
+            l1_miss_rate: stats.l1_miss_rate,
+            lsq_full_rate: stats.lsq_full_rate,
+            mispredict_rate: stats.mispredict_rate,
+            branch_rate: stats.branch_rate,
+            idle_fetch_rate: stats.idle_fetch_rate,
+        };
+
+        // The detector thread's main check: IPC_last < IPC_thold?
+        // (With self-tuning, the threshold excludes the quantum it judges.)
+        let threshold = self.threshold.current();
+        self.threshold.observe(stats.ipc);
+        let last_ipc_for_gradient = self.prev_ipc;
+        self.prev_ipc = Some(stats.ipc);
+        if stats.ipc < threshold {
+            // Identify clogging threads first (Fig 2's left branch).
+            if let Some(clog) = stats.clogging_thread() {
+                self.clog_log.push((self.quantum_index, clog));
+                if self.cfg.clog_control {
+                    machine.set_fetch_enabled(clog, false);
+                    self.blocked = Some(clog);
+                }
+            }
+            // Determine_NewPolicy + Policy_Switch.
+            let incumbent = self.tsu.policy;
+            let target = self.heuristic.decide(incumbent, &stats, last_ipc_for_gradient);
+            if target != incumbent {
+                match self.cfg.dt.decision_delay(
+                    self.cfg.heuristic,
+                    stats.idle_fetch_rate,
+                    self.cfg.quantum_cycles,
+                ) {
+                    Some(delay) => {
+                        self.series.switches.push(SwitchEvent {
+                            quantum: self.quantum_index,
+                            from: incumbent.name().to_string(),
+                            to: target.name().to_string(),
+                            benign: None,
+                        });
+                        let idx = self.series.switches.len() - 1;
+                        self.pending_switch = Some((target, delay, idx));
+                    }
+                    None => self.heuristic.cancel_pending(),
+                }
+            }
+        }
+
+        self.series.quanta.push(record);
+        self.quantum_index += 1;
+        stats
+    }
+
+    /// Run `quanta` scheduling quanta and return the recorded series.
+    pub fn run(mut self, machine: &mut SmtMachine, quanta: u64) -> RunSeries {
+        for _ in 0..quanta {
+            self.run_quantum(machine);
+        }
+        self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::AppProfile;
+    use smt_workloads::UopStream;
+    use std::sync::Arc;
+
+    fn machine(n: usize, seed: u64) -> SmtMachine {
+        let cfg = smt_sim::SimConfig::with_threads(n);
+        let streams = (0..n)
+            .map(|i| {
+                UopStream::new(
+                    Arc::new(AppProfile::builder("t").build()),
+                    seed + i as u64,
+                    smt_workloads::thread_addr_base(i),
+                )
+            })
+            .collect();
+        SmtMachine::new(cfg, streams)
+    }
+
+    #[test]
+    fn records_one_record_per_quantum() {
+        let mut m = machine(4, 1);
+        let series = AdaptiveScheduler::new(AdtsConfig::default(), 4).run(&mut m, 10);
+        assert_eq!(series.quanta.len(), 10);
+        assert!(series.quanta.iter().all(|q| q.cycles == 8192));
+        assert_eq!(m.cycle(), 10 * 8192);
+    }
+
+    #[test]
+    fn high_threshold_forces_switching() {
+        let mut m = machine(4, 2);
+        let cfg = AdtsConfig { ipc_threshold: 8.0, ..Default::default() };
+        let series = AdaptiveScheduler::new(cfg, 4).run(&mut m, 20);
+        assert!(!series.switches.is_empty(), "m=8 must trigger switches");
+        // All but possibly the last switch must have judged outcomes.
+        assert!(series.judged_switches() >= series.switches.len() - 1);
+    }
+
+    #[test]
+    fn zero_threshold_never_switches() {
+        let mut m = machine(4, 3);
+        let cfg = AdtsConfig { ipc_threshold: 0.0, ..Default::default() };
+        let series = AdaptiveScheduler::new(cfg, 4).run(&mut m, 10);
+        assert!(series.switches.is_empty());
+        assert!(series.quanta.iter().all(|q| q.policy == "ICOUNT"));
+    }
+
+    #[test]
+    fn type1_alternates_between_icount_and_brcount() {
+        let mut m = machine(2, 4);
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            heuristic: HeuristicKind::Type1,
+            ..Default::default()
+        };
+        let series = AdaptiveScheduler::new(cfg, 2).run(&mut m, 12);
+        for s in &series.switches {
+            assert!(
+                (s.from == "ICOUNT" && s.to == "BRCOUNT")
+                    || (s.from == "BRCOUNT" && s.to == "ICOUNT"),
+                "unexpected Type 1 transition {s:?}"
+            );
+        }
+        assert!(series.switches.len() >= 6, "Type 1 at m=8 should toggle nearly every quantum");
+    }
+
+    #[test]
+    fn starved_dt_behaves_like_fixed() {
+        let mut a = machine(4, 5);
+        let mut b = machine(4, 5);
+        let adaptive_starved = AdtsConfig {
+            ipc_threshold: 8.0,
+            dt: DtModel::Starved,
+            ..Default::default()
+        };
+        let s1 = AdaptiveScheduler::new(adaptive_starved, 4).run(&mut a, 10);
+        let fixed = AdtsConfig { ipc_threshold: 0.0, ..Default::default() };
+        let s2 = AdaptiveScheduler::new(fixed, 4).run(&mut b, 10);
+        assert!(s1.switches.is_empty());
+        assert_eq!(s1.aggregate_ipc(), s2.aggregate_ipc());
+    }
+
+    #[test]
+    fn budgeted_dt_delays_but_still_switches() {
+        let mut m = machine(2, 6);
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            dt: DtModel::Budgeted { throughput_factor: 1.0 },
+            ..Default::default()
+        };
+        let series = AdaptiveScheduler::new(cfg, 2).run(&mut m, 15);
+        // A 2-thread machine leaves plenty of idle slots: switches happen.
+        assert!(!series.switches.is_empty());
+    }
+
+    #[test]
+    fn clog_log_populates_under_low_throughput() {
+        let mut m = machine(4, 7);
+        let cfg = AdtsConfig { ipc_threshold: 8.0, ..Default::default() };
+        let mut sched = AdaptiveScheduler::new(cfg, 4);
+        for _ in 0..10 {
+            sched.run_quantum(&mut m);
+        }
+        assert!(!sched.clog_log().is_empty());
+    }
+
+    #[test]
+    fn clog_control_blocks_and_unblocks() {
+        let mut m = machine(4, 8);
+        let cfg = AdtsConfig { ipc_threshold: 8.0, clog_control: true, ..Default::default() };
+        let mut sched = AdaptiveScheduler::new(cfg, 4);
+        for _ in 0..6 {
+            sched.run_quantum(&mut m);
+        }
+        // After the final boundary one thread may be blocked; all others
+        // must be enabled.
+        let blocked: Vec<bool> =
+            (0..4).map(|t| !m.fetch_enabled(Tid(t))).collect();
+        assert!(blocked.iter().filter(|b| **b).count() <= 1);
+        assert!(!sched.clog_log().is_empty());
+    }
+
+    #[test]
+    fn self_tuning_threshold_follows_workload() {
+        let mut m = machine(4, 10);
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0, // bootstrap: everything is "low" at first
+            self_tuning: Some(SelfTuning { percentile: 0.5, window: 6 }),
+            ..Default::default()
+        };
+        let mut sched = AdaptiveScheduler::new(cfg, 4);
+        for _ in 0..6 {
+            sched.run_quantum(&mut m);
+        }
+        let tuned = sched.current_threshold();
+        // Once the window fills the threshold must track attained IPC
+        // (well below the absurd bootstrap of 8).
+        assert!(tuned < 6.0, "threshold did not tune: {tuned}");
+        assert!(tuned > 0.0);
+    }
+
+    #[test]
+    fn self_tuning_switches_less_than_absurd_fixed_threshold() {
+        let run = |self_tuning| {
+            let mut m = machine(4, 11);
+            let cfg = AdtsConfig { ipc_threshold: 8.0, self_tuning, ..Default::default() };
+            AdaptiveScheduler::new(cfg, 4).run(&mut m, 20).switches.len()
+        };
+        let fixed = run(None);
+        let tuned = run(Some(SelfTuning { percentile: 0.5, window: 6 }));
+        assert!(
+            tuned < fixed,
+            "self-tuning ({tuned}) should calm the absurd fixed threshold ({fixed})"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut m = machine(4, 9);
+            AdaptiveScheduler::new(AdtsConfig::default(), 4).run(&mut m, 8).aggregate_ipc()
+        };
+        assert_eq!(run(), run());
+    }
+}

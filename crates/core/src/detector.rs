@@ -1,0 +1,96 @@
+//! The detector-thread execution model.
+//!
+//! The paper's DT is a designated lowest-priority context whose
+//! instructions run in otherwise-idle pipeline slots, so its decision work
+//! is free when the machine is underutilized and slow (or impossible) when
+//! the machine is busy — "when the slots are almost fully occupied by
+//! normal threads, the detector thread will not obtain any more scheduling
+//! slots; this is acceptable because it means the pipeline is enjoying
+//! high utilization."
+//!
+//! We model this functionally: a heuristic decision costs a number of DT
+//! instructions ([`HeuristicKind::dt_cost_instructions`]); the DT retires
+//! them at the measured idle-fetch-slot rate of the last quantum, so the
+//! policy switch lands `delay` cycles into the next quantum. If the delay
+//! would exceed the whole quantum, the decision is dropped (DT starvation).
+//! [`DtModel::Free`] is the idealization the paper's own evaluation uses.
+
+use crate::heuristics::HeuristicKind;
+use serde::{Deserialize, Serialize};
+
+/// How detector-thread overhead is charged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub enum DtModel {
+    /// Decisions are instantaneous (the paper's functional model).
+    #[default]
+    Free,
+    /// Decisions retire in idle fetch slots at the measured idle rate;
+    /// `throughput_factor` scales how many idle slots per cycle the DT can
+    /// actually use (its own fetch width / PRAM bandwidth), typically ≤ 2.
+    Budgeted { throughput_factor: f64 },
+    /// The DT never gets slots: every decision is dropped. (Ablation A2's
+    /// pathological endpoint — equivalent to fixed scheduling.)
+    Starved,
+}
+
+
+
+impl DtModel {
+    /// Cycles until the decision takes effect in the next quantum, or
+    /// `None` if the DT cannot finish it within the quantum.
+    pub fn decision_delay(
+        &self,
+        kind: HeuristicKind,
+        idle_fetch_rate: f64,
+        quantum_cycles: u64,
+    ) -> Option<u64> {
+        match *self {
+            DtModel::Free => Some(0),
+            DtModel::Starved => None,
+            DtModel::Budgeted { throughput_factor } => {
+                let rate = (idle_fetch_rate * throughput_factor).max(1e-6);
+                let delay = (kind.dt_cost_instructions() as f64 / rate).ceil() as u64;
+                (delay < quantum_cycles).then_some(delay)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_is_instant() {
+        assert_eq!(DtModel::Free.decision_delay(HeuristicKind::Type4, 0.0, 8192), Some(0));
+    }
+
+    #[test]
+    fn starved_drops_everything() {
+        assert_eq!(DtModel::Starved.decision_delay(HeuristicKind::Type1, 8.0, 8192), None);
+    }
+
+    #[test]
+    fn budgeted_delay_scales_with_idle_rate() {
+        let m = DtModel::Budgeted { throughput_factor: 1.0 };
+        let fast = m.decision_delay(HeuristicKind::Type3, 4.0, 8192).unwrap();
+        let slow = m.decision_delay(HeuristicKind::Type3, 0.5, 8192).unwrap();
+        assert!(slow > fast);
+        assert_eq!(fast, 30); // 120 instructions at 4/cycle
+    }
+
+    #[test]
+    fn budgeted_drops_when_machine_is_busy() {
+        let m = DtModel::Budgeted { throughput_factor: 1.0 };
+        // 260 instructions at ~0.02 idle slots/cycle > 8192 cycles → drop.
+        assert_eq!(m.decision_delay(HeuristicKind::Type4, 0.02, 8192), None);
+    }
+
+    #[test]
+    fn costlier_heuristics_wait_longer() {
+        let m = DtModel::Budgeted { throughput_factor: 1.0 };
+        let t1 = m.decision_delay(HeuristicKind::Type1, 2.0, 8192).unwrap();
+        let t4 = m.decision_delay(HeuristicKind::Type4, 2.0, 8192).unwrap();
+        assert!(t4 > t1);
+    }
+}

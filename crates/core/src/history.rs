@@ -1,0 +1,107 @@
+//! The Type 4 switching-history buffer.
+//!
+//! §4.3.2: "In the switching history buffer, the followings are recorded
+//! for each policy switching event: incumbent policy, value of the
+//! condition, counter for positive outcomes (poscnt), counter for negative
+//! outcomes (negcnt). Before making the final decision, poscnt and negcnt
+//! are compared. If poscnt is greater, then a regular switching is made.
+//! Otherwise, the opposite direction will be chosen."
+//!
+//! The buffer is keyed by (incumbent policy, condition value): a *case*.
+//! Outcomes arrive one quantum after the decision, when the detector thread
+//! can compare throughput before and after.
+
+use smt_policies::FetchPolicy;
+use std::collections::HashMap;
+
+/// Outcome counters for one (incumbent, condition) case.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CaseCounters {
+    pub poscnt: u64,
+    pub negcnt: u64,
+}
+
+impl CaseCounters {
+    /// Paper rule: regular switch iff `poscnt > negcnt`; ties (including
+    /// the never-seen case, 0/0) go the opposite way — "if poscnt is not
+    /// greater than negcnt, the transition will be made toward the
+    /// opposite".
+    pub fn prefer_regular(&self) -> bool {
+        self.poscnt > self.negcnt
+    }
+}
+
+/// The switching-history buffer.
+#[derive(Clone, Debug, Default)]
+pub struct SwitchHistory {
+    cases: HashMap<(FetchPolicy, bool), CaseCounters>,
+}
+
+impl SwitchHistory {
+    pub fn new() -> Self {
+        SwitchHistory::default()
+    }
+
+    /// Counters for a case (zeros if unseen).
+    pub fn case(&self, incumbent: FetchPolicy, cond: bool) -> CaseCounters {
+        self.cases.get(&(incumbent, cond)).copied().unwrap_or_default()
+    }
+
+    /// Record the observed outcome of the decision made under
+    /// `(incumbent, cond)`: `improved` = throughput rose next quantum.
+    pub fn record(&mut self, incumbent: FetchPolicy, cond: bool, improved: bool) {
+        let c = self.cases.entry((incumbent, cond)).or_default();
+        if improved {
+            c.poscnt += 1;
+        } else {
+            c.negcnt += 1;
+        }
+    }
+
+    /// Total recorded events.
+    pub fn len(&self) -> usize {
+        self.cases.values().map(|c| (c.poscnt + c.negcnt) as usize).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unseen_case_prefers_opposite() {
+        let h = SwitchHistory::new();
+        assert!(!h.case(FetchPolicy::Icount, true).prefer_regular());
+    }
+
+    #[test]
+    fn positive_history_prefers_regular() {
+        let mut h = SwitchHistory::new();
+        h.record(FetchPolicy::Icount, true, true);
+        h.record(FetchPolicy::Icount, true, true);
+        h.record(FetchPolicy::Icount, true, false);
+        assert!(h.case(FetchPolicy::Icount, true).prefer_regular());
+    }
+
+    #[test]
+    fn tie_prefers_opposite() {
+        let mut h = SwitchHistory::new();
+        h.record(FetchPolicy::BrCount, false, true);
+        h.record(FetchPolicy::BrCount, false, false);
+        assert!(!h.case(FetchPolicy::BrCount, false).prefer_regular());
+    }
+
+    #[test]
+    fn cases_are_independent() {
+        let mut h = SwitchHistory::new();
+        h.record(FetchPolicy::Icount, true, true);
+        assert!(h.case(FetchPolicy::Icount, true).prefer_regular());
+        assert!(!h.case(FetchPolicy::Icount, false).prefer_regular());
+        assert!(!h.case(FetchPolicy::BrCount, true).prefer_regular());
+        assert_eq!(h.len(), 1);
+    }
+}

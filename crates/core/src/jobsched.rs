@@ -1,0 +1,264 @@
+//! Job-scheduler integration — the extension the paper describes but does
+//! not evaluate.
+//!
+//! §3: the detector thread "keeps watching the per-thread status indicators
+//! and updates the flags … When the system thread is loaded, it will look
+//! at the flag and suspend a clogging thread without going through the
+//! process of determining which thread to suspend." §7 adds that the job
+//! scheduler "would have to stay on the processor for significantly longer
+//! duration had it not been for the detector thread."
+//!
+//! [`JobScheduler`] models exactly that division of labour: a pool of
+//! waiting jobs, a job-scheduling timeslice measured in DT quanta (the
+//! paper: "typical sizes of a quantum for job scheduling is in the range of
+//! milliseconds which can be equivalent to a million cycles"), and an
+//! eviction choice that either (a) consults the DT's clog marks — the
+//! ADTS-assisted path — or (b) rotates round-robin — the oblivious
+//! baseline. The context-switch penalty models the scheduler's residence
+//! on the processor, and is *smaller* in the assisted mode because victim
+//! identification was already done off the critical path.
+
+use crate::adaptive::{AdaptiveScheduler, AdtsConfig};
+use smt_isa::{AppProfile, Tid};
+use smt_sim::SmtMachine;
+use smt_stats::RunSeries;
+use smt_workloads::{thread_addr_base, SplitMix64, UopStream};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// How the job scheduler picks its eviction victim.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Suspend the thread the detector thread marked as clogging most often
+    /// during the ending timeslice (ties: lowest thread id).
+    ClogMarks,
+    /// Oblivious rotation (the baseline in Parekh et al.'s terms).
+    RoundRobin,
+}
+
+/// Job-scheduler configuration.
+#[derive(Clone, Debug)]
+pub struct JobSchedConfig {
+    /// ADTS configuration driving the within-timeslice scheduling.
+    pub adts: AdtsConfig,
+    /// Detector-thread quanta per job-scheduling timeslice.
+    pub timeslice_quanta: u64,
+    /// Context-switch penalty (cycles of fetch blockage for the context)
+    /// when the victim was pre-identified by the DT's clog marks.
+    pub switch_penalty_assisted: u64,
+    /// Penalty when the job scheduler must analyze occupancy itself
+    /// (the paper's argument: strictly larger).
+    pub switch_penalty_oblivious: u64,
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for JobSchedConfig {
+    fn default() -> Self {
+        JobSchedConfig {
+            adts: AdtsConfig::default(),
+            timeslice_quanta: 32,
+            switch_penalty_assisted: 2_000,
+            switch_penalty_oblivious: 10_000,
+            eviction: EvictionPolicy::ClogMarks,
+        }
+    }
+}
+
+/// Outcome of a job-scheduler run.
+#[derive(Clone, Debug)]
+pub struct JobSchedOutcome {
+    pub series: RunSeries,
+    /// (quantum index, context, evicted job, loaded job).
+    pub swaps: Vec<(u64, Tid, String, String)>,
+}
+
+/// The job scheduler: swaps pool jobs onto hardware contexts each
+/// timeslice, guided (or not) by the detector thread's clog marks.
+#[derive(Clone, Debug)]
+pub struct JobScheduler {
+    cfg: JobSchedConfig,
+    pool: VecDeque<AppProfile>,
+    next_seed: u64,
+    rr_victim: usize,
+}
+
+impl JobScheduler {
+    /// `pool` holds the jobs waiting off-processor.
+    pub fn new(cfg: JobSchedConfig, pool: Vec<AppProfile>) -> Self {
+        JobScheduler { cfg, pool: pool.into(), next_seed: 0x10B5, rr_victim: 0 }
+    }
+
+    /// Jobs currently waiting.
+    pub fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Run `timeslices` job-scheduling timeslices on `machine`, with
+    /// `running` naming the jobs currently on the contexts (for the swap
+    /// log). Returns the concatenated quantum series plus the swap log.
+    pub fn run(
+        &mut self,
+        machine: &mut SmtMachine,
+        mut running: Vec<String>,
+        timeslices: u64,
+    ) -> JobSchedOutcome {
+        assert_eq!(running.len(), machine.n_threads());
+        let mut sched = AdaptiveScheduler::new(self.cfg.adts, machine.n_threads());
+        let mut swaps = Vec::new();
+        let mut clog_seen = 0usize;
+        for slice in 0..timeslices {
+            for _ in 0..self.cfg.timeslice_quanta {
+                sched.run_quantum(machine);
+            }
+            if self.pool.is_empty() {
+                continue;
+            }
+            // Pick the victim.
+            let marks = &sched.clog_log()[clog_seen..];
+            let victim = match self.cfg.eviction {
+                EvictionPolicy::ClogMarks => {
+                    let mut counts = vec![0usize; machine.n_threads()];
+                    for (_, t) in marks {
+                        counts[t.idx()] += 1;
+                    }
+                    counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(i, c)| (**c, usize::MAX - *i))
+                        .map(|(i, _)| Tid(i as u8))
+                        .expect("threads > 0")
+                }
+                EvictionPolicy::RoundRobin => {
+                    let v = Tid((self.rr_victim % machine.n_threads()) as u8);
+                    self.rr_victim += 1;
+                    v
+                }
+            };
+            clog_seen = sched.clog_log().len();
+            // Swap: evicted job returns to the pool tail.
+            let incoming = self.pool.pop_front().expect("checked non-empty");
+            let outgoing_name = running[victim.idx()].clone();
+            let incoming_name = incoming.name.clone();
+            self.next_seed = SplitMix64::derive(self.next_seed, 0x5CED);
+            let penalty = match self.cfg.eviction {
+                EvictionPolicy::ClogMarks => self.cfg.switch_penalty_assisted,
+                EvictionPolicy::RoundRobin => self.cfg.switch_penalty_oblivious,
+            };
+            let stream = UopStream::new(
+                Arc::new(incoming.clone()),
+                self.next_seed,
+                thread_addr_base(victim.idx()),
+            );
+            let outgoing_profile = machine_profile(machine, victim);
+            machine.replace_thread(victim, stream, penalty);
+            self.pool.push_back(outgoing_profile);
+            running[victim.idx()] = incoming_name.clone();
+            swaps.push((
+                (slice + 1) * self.cfg.timeslice_quanta,
+                victim,
+                outgoing_name,
+                incoming_name,
+            ));
+        }
+        JobSchedOutcome { series: sched.into_series(), swaps }
+    }
+}
+
+/// Profile of the job currently on `tid` (so an evicted job can rejoin the
+/// pool and be rescheduled later).
+fn machine_profile(machine: &SmtMachine, tid: Tid) -> AppProfile {
+    machine.thread_profile(tid).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::machine_for_mix;
+    use smt_workloads::{app, mix};
+
+    fn pool() -> Vec<AppProfile> {
+        vec![app("gap"), app("apsi"), app("vortex")]
+    }
+
+    fn outcome(eviction: EvictionPolicy, timeslices: u64) -> JobSchedOutcome {
+        let m = mix(6);
+        let mut machine = machine_for_mix(&m, 42);
+        let cfg = JobSchedConfig {
+            timeslice_quanta: 6,
+            adts: AdtsConfig { ipc_threshold: 8.0, ..Default::default() },
+            eviction,
+            ..Default::default()
+        };
+        let mut js = JobScheduler::new(cfg, pool());
+        let running = m.apps.iter().map(|a| a.name.clone()).collect();
+        js.run(&mut machine, running, timeslices)
+    }
+
+    #[test]
+    fn swaps_happen_every_timeslice_with_jobs_waiting() {
+        let o = outcome(EvictionPolicy::ClogMarks, 4);
+        assert_eq!(o.swaps.len(), 4);
+        assert_eq!(o.series.quanta.len(), 4 * 6);
+    }
+
+    #[test]
+    fn pool_is_conserved() {
+        let m = mix(6);
+        let mut machine = machine_for_mix(&m, 42);
+        let cfg = JobSchedConfig { timeslice_quanta: 4, ..Default::default() };
+        let mut js = JobScheduler::new(cfg, pool());
+        let before = js.pool_len();
+        let running = m.apps.iter().map(|a| a.name.clone()).collect();
+        let _ = js.run(&mut machine, running, 5);
+        assert_eq!(js.pool_len(), before, "every eviction must return a job");
+    }
+
+    #[test]
+    fn clog_marks_evict_memory_bound_jobs_first() {
+        let o = outcome(EvictionPolicy::ClogMarks, 3);
+        // MIX06 is mcf/art/swim/...: the first victims should be from the
+        // notorious cloggers, not the well-behaved members.
+        let cloggy = ["mcf", "art", "swim", "equake", "ammp", "lucas"];
+        let first = &o.swaps[0].2;
+        assert!(cloggy.contains(&first.as_str()), "first eviction was {first}");
+    }
+
+    #[test]
+    fn round_robin_evicts_in_order() {
+        let o = outcome(EvictionPolicy::RoundRobin, 3);
+        let victims: Vec<u8> = o.swaps.iter().map(|(_, t, _, _)| t.0).collect();
+        assert_eq!(victims, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_pool_means_no_swaps() {
+        let m = mix(1);
+        let mut machine = machine_for_mix(&m, 42);
+        let cfg = JobSchedConfig { timeslice_quanta: 3, ..Default::default() };
+        let mut js = JobScheduler::new(cfg, vec![]);
+        let running = m.apps.iter().map(|a| a.name.clone()).collect();
+        let o = js.run(&mut machine, running, 3);
+        assert!(o.swaps.is_empty());
+        assert_eq!(o.series.quanta.len(), 9);
+    }
+
+    #[test]
+    fn machine_survives_swaps_with_invariants() {
+        let m = mix(9);
+        let mut machine = machine_for_mix(&m, 42);
+        let cfg = JobSchedConfig { timeslice_quanta: 3, ..Default::default() };
+        let mut js = JobScheduler::new(cfg, pool());
+        let running = m.apps.iter().map(|a| a.name.clone()).collect();
+        let _ = js.run(&mut machine, running, 4);
+        machine.check_invariants();
+        // And it keeps making progress afterwards.
+        let before = machine.total_committed();
+        let _ = crate::runner::run_fixed(
+            smt_policies::FetchPolicy::Icount,
+            &mut machine,
+            3,
+            4096,
+        );
+        assert!(machine.total_committed() > before);
+    }
+}

@@ -1,0 +1,111 @@
+//! Convenience experiment drivers.
+//!
+//! Thin wrappers that run a machine for N quanta under fixed, adaptive or
+//! oracle scheduling and return the per-quantum [`RunSeries`] the
+//! experiment harness aggregates. They also centralize machine
+//! construction from a [`Mix`].
+
+use crate::adaptive::{AdaptiveScheduler, AdtsConfig};
+use crate::indicators::{MachineSnapshot, QuantumStats};
+use crate::oracle::{run_oracle, OracleConfig};
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::{SimConfig, SmtMachine};
+use smt_stats::{QuantumRecord, RunSeries};
+use smt_workloads::Mix;
+
+/// Build a machine for a mix (threads = mix size) on a default-derived
+/// `SimConfig`.
+pub fn machine_for_mix(mix: &Mix, seed: u64) -> SmtMachine {
+    let cfg = SimConfig::with_threads(mix.apps.len());
+    SmtMachine::new(cfg, mix.streams(seed))
+}
+
+/// Build a machine for a mix with an explicit config (threads must match).
+pub fn machine_for_mix_with(cfg: SimConfig, mix: &Mix, seed: u64) -> SmtMachine {
+    SmtMachine::new(cfg, mix.streams(seed))
+}
+
+/// Run a fixed policy for `quanta` quanta of `quantum_cycles` each.
+pub fn run_fixed(
+    policy: FetchPolicy,
+    machine: &mut SmtMachine,
+    quanta: u64,
+    quantum_cycles: u64,
+) -> RunSeries {
+    let fetch_width = machine.config().fetch_width;
+    let mut tsu = Tsu::new(policy, machine.n_threads());
+    let mut series = RunSeries::default();
+    for index in 0..quanta {
+        let before = MachineSnapshot::take(machine);
+        machine.run(quantum_cycles, &mut tsu);
+        let after = MachineSnapshot::take(machine);
+        let stats = QuantumStats::between(&before, &after, fetch_width);
+        series.quanta.push(QuantumRecord {
+            index,
+            policy: policy.name().to_string(),
+            cycles: stats.cycles,
+            committed: stats.committed,
+            ipc: stats.ipc,
+            l1_miss_rate: stats.l1_miss_rate,
+            lsq_full_rate: stats.lsq_full_rate,
+            mispredict_rate: stats.mispredict_rate,
+            branch_rate: stats.branch_rate,
+            idle_fetch_rate: stats.idle_fetch_rate,
+        });
+    }
+    series
+}
+
+/// Run the adaptive scheduler for `quanta` quanta.
+pub fn run_adaptive(cfg: AdtsConfig, machine: &mut SmtMachine, quanta: u64) -> RunSeries {
+    AdaptiveScheduler::new(cfg, machine.n_threads()).run(machine, quanta)
+}
+
+/// Run the oracle scheduler for `quanta` quanta.
+pub fn run_oracle_on(cfg: &OracleConfig, machine: &mut SmtMachine, quanta: u64) -> RunSeries {
+    run_oracle(cfg, machine, quanta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::mix;
+
+    #[test]
+    fn machine_for_mix_matches_width() {
+        let m = mix(1);
+        let machine = machine_for_mix(&m, 42);
+        assert_eq!(machine.n_threads(), 8);
+    }
+
+    #[test]
+    fn machine_for_submix() {
+        let m = mix(1).take_threads(4, 7);
+        let machine = machine_for_mix(&m, 42);
+        assert_eq!(machine.n_threads(), 4);
+    }
+
+    #[test]
+    fn run_fixed_produces_expected_quanta() {
+        let m = mix(10).take_threads(2, 1);
+        let mut machine = machine_for_mix(&m, 5);
+        let series = run_fixed(FetchPolicy::Icount, &mut machine, 5, 2048);
+        assert_eq!(series.quanta.len(), 5);
+        assert!(series.aggregate_ipc() > 0.0);
+        assert!(series.switches.is_empty());
+    }
+
+    #[test]
+    fn fixed_and_adaptive_at_zero_threshold_agree() {
+        let m = mix(10).take_threads(2, 1);
+        let mut a = machine_for_mix(&m, 6);
+        let mut b = machine_for_mix(&m, 6);
+        let f = run_fixed(FetchPolicy::Icount, &mut a, 4, 8192);
+        let ad = run_adaptive(
+            AdtsConfig { ipc_threshold: 0.0, ..Default::default() },
+            &mut b,
+            4,
+        );
+        assert_eq!(f.aggregate_ipc(), ad.aggregate_ipc());
+    }
+}

@@ -1,0 +1,143 @@
+//! IPC-threshold policies for the low-throughput check.
+//!
+//! §4.2 of the paper spends a section on how hard it is to pick the
+//! threshold: "if the threshold value is too low, very little switching
+//! will take place … if the value is too high, switching will occur too
+//! frequently", and notes the value "may also be chosen to be updated by
+//! the detector thread" software. [`ThresholdMode::SelfTuning`] implements
+//! that update rule: the threshold tracks a percentile of the recent
+//! per-quantum IPC, so "low throughput" means *low for this workload right
+//! now* rather than low against a hardwired constant — exactly the
+//! DT-management-kernel profiling loop §4.3.2 sketches for the COND_*
+//! constants, applied to `IPC_thold` itself.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// How `IPC_thold` is chosen each quantum.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ThresholdMode {
+    /// The paper's evaluated scheme: a fixed constant m.
+    Fixed(f64),
+    /// The threshold is the given percentile (0..=1) of the last `window`
+    /// quanta's IPC values; until the window fills, `bootstrap` is used.
+    SelfTuning { percentile: f64, window: usize, bootstrap: f64 },
+}
+
+impl Default for ThresholdMode {
+    fn default() -> Self {
+        ThresholdMode::Fixed(2.0)
+    }
+}
+
+/// Stateful threshold tracker.
+#[derive(Clone, Debug)]
+pub struct ThresholdTracker {
+    mode: ThresholdMode,
+    recent: VecDeque<f64>,
+}
+
+impl ThresholdTracker {
+    pub fn new(mode: ThresholdMode) -> Self {
+        if let ThresholdMode::SelfTuning { percentile, window, .. } = mode {
+            assert!((0.0..=1.0).contains(&percentile), "percentile out of range");
+            assert!(window >= 2, "window too small");
+        }
+        ThresholdTracker { mode, recent: VecDeque::new() }
+    }
+
+    pub fn mode(&self) -> ThresholdMode {
+        self.mode
+    }
+
+    /// Current threshold value (before observing this quantum).
+    pub fn current(&self) -> f64 {
+        match self.mode {
+            ThresholdMode::Fixed(m) => m,
+            ThresholdMode::SelfTuning { percentile, window, bootstrap } => {
+                if self.recent.len() < window {
+                    return bootstrap;
+                }
+                let mut xs: Vec<f64> = self.recent.iter().copied().collect();
+                xs.sort_by(f64::total_cmp);
+                let idx = ((xs.len() - 1) as f64 * percentile).round() as usize;
+                xs[idx]
+            }
+        }
+    }
+
+    /// Record a finished quantum's IPC.
+    pub fn observe(&mut self, ipc: f64) {
+        if let ThresholdMode::SelfTuning { window, .. } = self.mode {
+            self.recent.push_back(ipc);
+            while self.recent.len() > window {
+                self.recent.pop_front();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut t = ThresholdTracker::new(ThresholdMode::Fixed(2.0));
+        assert_eq!(t.current(), 2.0);
+        t.observe(7.0);
+        t.observe(0.1);
+        assert_eq!(t.current(), 2.0);
+    }
+
+    #[test]
+    fn self_tuning_uses_bootstrap_until_window_fills() {
+        let mode = ThresholdMode::SelfTuning { percentile: 0.5, window: 4, bootstrap: 1.5 };
+        let mut t = ThresholdTracker::new(mode);
+        assert_eq!(t.current(), 1.5);
+        for ipc in [1.0, 2.0, 3.0] {
+            t.observe(ipc);
+            assert_eq!(t.current(), 1.5, "window not full yet");
+        }
+        t.observe(4.0);
+        // Median of {1,2,3,4} at percentile 0.5, rounded index = 2 → 3.0.
+        assert_eq!(t.current(), 3.0);
+    }
+
+    #[test]
+    fn self_tuning_tracks_regime_change() {
+        let mode = ThresholdMode::SelfTuning { percentile: 0.5, window: 4, bootstrap: 2.0 };
+        let mut t = ThresholdTracker::new(mode);
+        for _ in 0..4 {
+            t.observe(3.0);
+        }
+        let high = t.current();
+        for _ in 0..4 {
+            t.observe(0.5);
+        }
+        let low = t.current();
+        assert!(high > 2.5 && low < 1.0, "threshold did not track: {high} → {low}");
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mode = ThresholdMode::SelfTuning { percentile: 1.0, window: 3, bootstrap: 0.0 };
+        let mut t = ThresholdTracker::new(mode);
+        for i in 0..100 {
+            t.observe(i as f64);
+        }
+        // Max of the last 3 observations only.
+        assert_eq!(t.current(), 99.0);
+        assert!(t.recent.len() == 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_percentile_rejected() {
+        let _ = ThresholdTracker::new(ThresholdMode::SelfTuning {
+            percentile: 1.5,
+            window: 4,
+            bootstrap: 1.0,
+        });
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests on the policy-determination heuristics.
+
+use adts_core::{CondThresholds, Heuristic, HeuristicKind, QuantumStats, SwitchHistory};
+use proptest::prelude::*;
+use smt_policies::FetchPolicy;
+
+fn arb_stats() -> impl Strategy<Value = QuantumStats> {
+    (0.0..8.0f64, 0.0..0.6f64, 0.0..1.0f64, 0.0..0.1f64, 0.0..0.6f64).prop_map(
+        |(ipc, miss, lsq, mis, br)| QuantumStats {
+            cycles: 8192,
+            committed: (ipc * 8192.0) as u64,
+            ipc,
+            l1_miss_rate: miss,
+            lsq_full_rate: lsq,
+            mispredict_rate: mis,
+            branch_rate: br,
+            idle_fetch_rate: 4.0,
+            per_thread_committed: vec![1; 8],
+            per_thread_l1_misses: vec![0; 8],
+            per_thread_icount: vec![1; 8],
+        },
+    )
+}
+
+fn arb_incumbent() -> impl Strategy<Value = FetchPolicy> {
+    prop::sample::select(vec![
+        FetchPolicy::Icount,
+        FetchPolicy::L1MissCount,
+        FetchPolicy::BrCount,
+    ])
+}
+
+const TRIPLE: [FetchPolicy; 3] =
+    [FetchPolicy::Icount, FetchPolicy::L1MissCount, FetchPolicy::BrCount];
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn decisions_stay_within_the_triple(
+        kind_i in 0usize..5,
+        inc in arb_incumbent(),
+        q in arb_stats(),
+        prev in prop::option::of(0.0..8.0f64),
+    ) {
+        let mut h = Heuristic::new(HeuristicKind::ALL[kind_i]);
+        let out = h.decide(inc, &q, prev);
+        prop_assert!(TRIPLE.contains(&out), "{:?} left the triple", out);
+    }
+
+    #[test]
+    fn type1_and_type2_ignore_stats(
+        inc in arb_incumbent(),
+        q1 in arb_stats(),
+        q2 in arb_stats(),
+    ) {
+        for kind in [HeuristicKind::Type1, HeuristicKind::Type2] {
+            let mut a = Heuristic::new(kind);
+            let mut b = Heuristic::new(kind);
+            prop_assert_eq!(a.decide(inc, &q1, None), b.decide(inc, &q2, None));
+        }
+    }
+
+    #[test]
+    fn positive_gradient_freezes_type3prime_and_type4(
+        inc in arb_incumbent(),
+        q in arb_stats(),
+        delta in 0.001..2.0f64,
+    ) {
+        for kind in [HeuristicKind::Type3Prime, HeuristicKind::Type4] {
+            let mut h = Heuristic::new(kind);
+            let prev = (q.ipc - delta).max(0.0);
+            if q.ipc > prev {
+                prop_assert_eq!(h.decide(inc, &q, Some(prev)), inc, "{} switched on rising IPC", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn type3_decision_is_pure(inc in arb_incumbent(), q in arb_stats()) {
+        let mut a = Heuristic::new(HeuristicKind::Type3);
+        let mut b = Heuristic::new(HeuristicKind::Type3);
+        prop_assert_eq!(a.decide(inc, &q, None), b.decide(inc, &q, None));
+        // And repeatable on the same instance.
+        prop_assert_eq!(a.decide(inc, &q, None), b.decide(inc, &q, None));
+    }
+
+    #[test]
+    fn quiet_stats_mean_no_type3_switch_from_icount(ipc in 0.0..8.0f64) {
+        let q = QuantumStats {
+            cycles: 8192,
+            committed: (ipc * 8192.0) as u64,
+            ipc,
+            l1_miss_rate: 0.0,
+            lsq_full_rate: 0.0,
+            mispredict_rate: 0.0,
+            branch_rate: 0.0,
+            idle_fetch_rate: 4.0,
+            per_thread_committed: vec![],
+            per_thread_l1_misses: vec![],
+            per_thread_icount: vec![],
+        };
+        let mut h = Heuristic::new(HeuristicKind::Type3);
+        prop_assert_eq!(h.decide(FetchPolicy::Icount, &q, None), FetchPolicy::Icount);
+    }
+
+    #[test]
+    fn history_counters_are_monotone(
+        events in prop::collection::vec((any::<bool>(), any::<bool>()), 1..100),
+    ) {
+        let mut hist = SwitchHistory::new();
+        let mut last_total = 0u64;
+        for (cond, improved) in events {
+            hist.record(FetchPolicy::Icount, cond, improved);
+            let c = hist.case(FetchPolicy::Icount, cond);
+            let total = c.poscnt + c.negcnt;
+            prop_assert!(total >= 1);
+            prop_assert!(hist.len() as u64 > last_total.saturating_sub(1));
+            last_total = hist.len() as u64;
+        }
+    }
+
+    #[test]
+    fn cond_thresholds_scale_linearly(f in 0.1..4.0f64, q in arb_stats()) {
+        let base = CondThresholds::default();
+        let scaled = base.scaled(f);
+        prop_assert!((scaled.l1_miss_rate - base.l1_miss_rate * f).abs() < 1e-12);
+        // Scaling up thresholds can only make conditions harder to meet.
+        if f >= 1.0 {
+            if scaled.cond_mem(&q) { prop_assert!(base.cond_mem(&q)); }
+            if scaled.cond_br(&q) { prop_assert!(base.cond_br(&q)); }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # smt-isa
+//!
+//! The instruction-set substrate shared by every crate in the SMT-ADTS
+//! workspace: the dynamic micro-op model ([`uop::MicroOp`]), architectural
+//! register identifiers ([`regs::ArchReg`]), hardware-context identifiers
+//! ([`thread::Tid`]) and the statistical application description
+//! ([`profile::AppProfile`]) that replaces SPEC CPU2000 binaries in this
+//! reproduction (see `DESIGN.md` §2 for the substitution argument).
+//!
+//! The simulator is *trace-driven*: workloads synthesize an infinite,
+//! deterministic stream of [`uop::MicroOp`]s per thread, and the pipeline
+//! model in `smt-sim` executes them cycle by cycle. Nothing in this crate
+//! depends on the pipeline; it is the stable vocabulary between the workload
+//! generator and the machine model.
+
+pub mod profile;
+pub mod regs;
+pub mod thread;
+pub mod uop;
+
+pub use profile::{AppClass, AppProfile, FootprintClass, IpcClass, Phase};
+pub use regs::{ArchReg, RegClass, NUM_ARCH_REGS_PER_CLASS};
+pub use thread::{Tid, MAX_HW_CONTEXTS};
+pub use uop::{BranchInfo, BranchKind, MemInfo, MicroOp, OpKind};

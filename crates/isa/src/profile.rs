@@ -1,0 +1,349 @@
+//! Statistical application descriptions.
+//!
+//! The paper runs SPEC CPU2000 binaries under SimpleSMT. This reproduction
+//! has no SPEC binaries (nor a PISA front end), so each application is
+//! replaced by an [`AppProfile`]: the parameter vector of a statistical
+//! micro-op stream generator (`smt-workloads::stream`). The ADTS heuristics
+//! never observe opcodes — only per-thread hardware counter *rates* — so a
+//! stream calibrated to land in the same counter-rate regime as its SPEC
+//! counterpart exercises the same scheduling decisions (DESIGN.md §2).
+//!
+//! Parameters fall into three groups:
+//! - **instruction mix** (`branch_frac`, `load_frac`, …) controls which
+//!   functional units and queues are pressured;
+//! - **locality** (`data_ws_bytes`, `code_bytes`, `stride_frac`,
+//!   `branch_bias`, `pattern_frac`) controls cache-miss and
+//!   branch-mispredict rates through *real* cache and predictor models;
+//! - **parallelism** (`mean_dep_dist`, plus [`Phase`] modulation) controls
+//!   how many ops per cycle the out-of-order core can extract.
+
+use serde::{Deserialize, Serialize};
+
+/// Integer vs floating-point application, the paper's primary mix axis.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum AppClass {
+    Int,
+    Fp,
+}
+
+/// Single-threaded IPC class used by the paper when composing mixes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum IpcClass {
+    Low,
+    Medium,
+    High,
+}
+
+/// Memory-footprint class used by the paper when composing mixes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum FootprintClass {
+    Small,
+    Medium,
+    Large,
+}
+
+/// A program phase: multiplicative modifiers applied to the base profile for
+/// `len_uops` generated micro-ops, after which the generator advances to the
+/// next phase (cyclically).
+///
+/// Phases are what make adaptation worthwhile: a thread whose miss rate
+/// doubles for two million instructions creates exactly the transient
+/// imbalance the detector thread exists to correct.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct Phase {
+    /// Phase length in generated micro-ops.
+    pub len_uops: u64,
+    /// Multiplier on the probability that a memory access misses the working
+    /// set (i.e. touches the cold region). 1.0 = base behaviour.
+    pub mem_pressure: f64,
+    /// Multiplier on conditional-branch frequency.
+    pub br_pressure: f64,
+    /// Multiplier on mean dependence distance (>1.0 = more ILP).
+    pub ilp_scale: f64,
+    /// Branch predictability during the phase, in [0, 1]: the probability a
+    /// branch follows its site's personality; the remainder are random
+    /// outcomes no predictor can learn. 1.0 = base behaviour; low values
+    /// are *mispredict storms* — the paper's §1 scenario of
+    /// control-intensive threads "experiencing high branch prediction
+    /// misses at the moment".
+    pub predictability: f64,
+}
+
+impl Phase {
+    /// The neutral phase (base behaviour).
+    pub const fn neutral(len_uops: u64) -> Self {
+        Phase {
+            len_uops,
+            mem_pressure: 1.0,
+            br_pressure: 1.0,
+            ilp_scale: 1.0,
+            predictability: 1.0,
+        }
+    }
+
+    /// A mispredict-storm phase.
+    pub const fn branch_storm(len_uops: u64, predictability: f64) -> Self {
+        Phase { len_uops, mem_pressure: 1.0, br_pressure: 1.3, ilp_scale: 0.9, predictability }
+    }
+
+    /// A memory-pressure phase.
+    pub const fn mem_storm(len_uops: u64, mem_pressure: f64) -> Self {
+        Phase { len_uops, mem_pressure, br_pressure: 1.0, ilp_scale: 1.0, predictability: 1.0 }
+    }
+}
+
+/// The statistical description of one application.
+///
+/// Construct via [`AppProfile::builder`] or use the named SPEC-class
+/// profiles in `smt-workloads::apps`.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AppProfile {
+    /// Short name, e.g. `"mcf"`.
+    pub name: String,
+    pub class: AppClass,
+    pub ipc_class: IpcClass,
+    pub footprint: FootprintClass,
+
+    // --- instruction mix (fractions of all micro-ops; remainder is compute) ---
+    /// Fraction of ops that are conditional branches.
+    pub branch_frac: f64,
+    /// Fraction of ops that are unconditional jumps/calls/returns.
+    pub jump_frac: f64,
+    /// Fraction of ops that are loads.
+    pub load_frac: f64,
+    /// Fraction of ops that are stores.
+    pub store_frac: f64,
+    /// Of compute ops, fraction executed on FP units.
+    pub fp_frac: f64,
+    /// Of compute ops, fraction that are multiplies.
+    pub mul_frac: f64,
+    /// Of compute ops, fraction that are (unpipelined) divides.
+    pub div_frac: f64,
+    /// Syscalls per million micro-ops.
+    pub syscall_per_muop: f64,
+
+    // --- locality ---
+    /// Data working set in bytes. Accesses within it hit caches after warmup;
+    /// a `cold_frac` portion of accesses stream through a much larger region.
+    pub data_ws_bytes: u64,
+    /// Fraction of memory accesses that go to the cold (streaming) region.
+    pub cold_frac: f64,
+    /// Fraction of memory accesses that are sequential/strided (prefetch
+    /// friendly: they hit the same line repeatedly before moving on).
+    pub stride_frac: f64,
+    /// Static code footprint in bytes; drives L1 I-cache behaviour.
+    pub code_bytes: u64,
+    /// Probability a conditional branch follows its per-site dominant
+    /// direction (biased-coin component).
+    pub branch_bias: f64,
+    /// Fraction of branch sites that follow a short deterministic pattern
+    /// (fully learnable by gshare).
+    pub pattern_frac: f64,
+
+    // --- parallelism ---
+    /// Mean register dependence distance (geometric). Small = serial code.
+    pub mean_dep_dist: f64,
+    /// Probability a non-address source operand is independent (an
+    /// immediate or a long-lived value outside the dependence window).
+    pub src_indep_frac: f64,
+    /// Probability a memory op's *address* operand is independent (base
+    /// pointers and induction variables live long). Low values model
+    /// pointer chasing (mcf, ammp); high values model streaming.
+    pub addr_indep_frac: f64,
+
+    /// Cyclic phase schedule; empty means a single neutral phase.
+    pub phases: Vec<Phase>,
+}
+
+impl AppProfile {
+    /// Start building a profile with conservative defaults:
+    /// a medium-IPC integer app with modest footprint and no phases.
+    pub fn builder(name: &str) -> AppProfileBuilder {
+        AppProfileBuilder(AppProfile {
+            name: name.to_string(),
+            class: AppClass::Int,
+            ipc_class: IpcClass::Medium,
+            footprint: FootprintClass::Medium,
+            branch_frac: 0.12,
+            jump_frac: 0.02,
+            load_frac: 0.22,
+            store_frac: 0.10,
+            fp_frac: 0.0,
+            mul_frac: 0.02,
+            div_frac: 0.002,
+            syscall_per_muop: 0.0,
+            data_ws_bytes: 64 << 10,
+            cold_frac: 0.02,
+            stride_frac: 0.5,
+            code_bytes: 16 << 10,
+            branch_bias: 0.9,
+            pattern_frac: 0.5,
+            mean_dep_dist: 3.0,
+            src_indep_frac: 0.25,
+            addr_indep_frac: 0.6,
+            phases: Vec::new(),
+        })
+    }
+
+    /// Sum of all explicit kind fractions; must be < 1.0 so compute ops
+    /// remain.
+    pub fn mix_sum(&self) -> f64 {
+        self.branch_frac + self.jump_frac + self.load_frac + self.store_frac
+    }
+
+    /// Validate parameter ranges. Returns a human-readable error naming the
+    /// first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        fn frac(name: &str, v: f64) -> Result<(), String> {
+            if (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{name} = {v} outside [0,1]"))
+            }
+        }
+        frac("branch_frac", self.branch_frac)?;
+        frac("jump_frac", self.jump_frac)?;
+        frac("load_frac", self.load_frac)?;
+        frac("store_frac", self.store_frac)?;
+        frac("fp_frac", self.fp_frac)?;
+        frac("mul_frac", self.mul_frac)?;
+        frac("div_frac", self.div_frac)?;
+        frac("cold_frac", self.cold_frac)?;
+        frac("stride_frac", self.stride_frac)?;
+        frac("pattern_frac", self.pattern_frac)?;
+        frac("src_indep_frac", self.src_indep_frac)?;
+        frac("addr_indep_frac", self.addr_indep_frac)?;
+        if !(0.5..=1.0).contains(&self.branch_bias) {
+            return Err(format!("branch_bias = {} outside [0.5,1]", self.branch_bias));
+        }
+        if self.mix_sum() >= 1.0 {
+            return Err(format!("instruction mix sums to {} >= 1", self.mix_sum()));
+        }
+        if self.mean_dep_dist < 1.0 {
+            return Err(format!("mean_dep_dist = {} < 1", self.mean_dep_dist));
+        }
+        if self.data_ws_bytes == 0 || self.code_bytes == 0 {
+            return Err("zero footprint".to_string());
+        }
+        for (i, p) in self.phases.iter().enumerate() {
+            if p.len_uops == 0 {
+                return Err(format!("phase {i} has zero length"));
+            }
+            if p.mem_pressure < 0.0 || p.br_pressure < 0.0 || p.ilp_scale <= 0.0 {
+                return Err(format!("phase {i} has negative/zero modifiers"));
+            }
+            if !(0.0..=1.0).contains(&p.predictability) {
+                return Err(format!("phase {i} predictability outside [0,1]"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`AppProfile`]; all setters take the value and return `self`.
+pub struct AppProfileBuilder(AppProfile);
+
+macro_rules! setter {
+    ($($field:ident : $ty:ty),* $(,)?) => {
+        $(
+            #[doc = concat!("Set `", stringify!($field), "`.")]
+            pub fn $field(mut self, v: $ty) -> Self {
+                self.0.$field = v;
+                self
+            }
+        )*
+    };
+}
+
+impl AppProfileBuilder {
+    setter! {
+        class: AppClass,
+        ipc_class: IpcClass,
+        footprint: FootprintClass,
+        branch_frac: f64,
+        jump_frac: f64,
+        load_frac: f64,
+        store_frac: f64,
+        fp_frac: f64,
+        mul_frac: f64,
+        div_frac: f64,
+        syscall_per_muop: f64,
+        data_ws_bytes: u64,
+        cold_frac: f64,
+        stride_frac: f64,
+        code_bytes: u64,
+        branch_bias: f64,
+        pattern_frac: f64,
+        mean_dep_dist: f64,
+        src_indep_frac: f64,
+        addr_indep_frac: f64,
+        phases: Vec<Phase>,
+    }
+
+    /// Finish, panicking on invalid parameters (profiles are static data, so
+    /// a panic here is a programming error caught by tests).
+    pub fn build(self) -> AppProfile {
+        if let Err(e) = self.0.validate() {
+            panic!("invalid profile {:?}: {e}", self.0.name);
+        }
+        self.0
+    }
+
+    /// Finish without validating (for property tests probing `validate`).
+    pub fn build_unchecked(self) -> AppProfile {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_is_valid() {
+        let p = AppProfile::builder("t").build();
+        assert!(p.validate().is_ok());
+        assert_eq!(p.name, "t");
+    }
+
+    #[test]
+    fn mix_overflow_rejected() {
+        let p = AppProfile::builder("bad").load_frac(0.9).build_unchecked();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bias_below_half_rejected() {
+        let p = AppProfile::builder("bad").branch_bias(0.3).build_unchecked();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn zero_phase_rejected() {
+        let p = AppProfile::builder("bad")
+            .phases(vec![Phase::neutral(0)])
+            .build_unchecked();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn dep_dist_below_one_rejected() {
+        let p = AppProfile::builder("bad").mean_dep_dist(0.5).build_unchecked();
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn neutral_phase_is_neutral() {
+        let ph = Phase::neutral(100);
+        assert_eq!(ph.mem_pressure, 1.0);
+        assert_eq!(ph.br_pressure, 1.0);
+        assert_eq!(ph.ilp_scale, 1.0);
+        assert_eq!(ph.len_uops, 100);
+    }
+
+    #[test]
+    #[should_panic]
+    fn build_panics_on_invalid() {
+        let _ = AppProfile::builder("bad").mean_dep_dist(0.0).build();
+    }
+}

@@ -1,0 +1,92 @@
+//! Architectural register identifiers.
+//!
+//! The machine model renames architectural registers to a shared physical
+//! register file (`smt-sim::rename`). Here we only define the architectural
+//! name space: 32 integer + 32 floating-point registers per thread, mirroring
+//! the SimpleScalar PISA register file the paper's SimpleSMT inherits.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of architectural registers in each class (integer / floating point).
+pub const NUM_ARCH_REGS_PER_CLASS: u8 = 32;
+
+/// Register class: the machine has split integer and floating-point
+/// rename pools and instruction queues, so the class matters throughout.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum RegClass {
+    Int,
+    Fp,
+}
+
+/// An architectural register name, valid within one thread context.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct ArchReg {
+    pub class: RegClass,
+    /// Register index within the class, `0 .. NUM_ARCH_REGS_PER_CLASS`.
+    pub idx: u8,
+}
+
+impl ArchReg {
+    /// An integer register. Panics in debug builds if out of range.
+    #[inline]
+    pub fn int(idx: u8) -> Self {
+        debug_assert!(idx < NUM_ARCH_REGS_PER_CLASS);
+        ArchReg { class: RegClass::Int, idx }
+    }
+
+    /// A floating-point register. Panics in debug builds if out of range.
+    #[inline]
+    pub fn fp(idx: u8) -> Self {
+        debug_assert!(idx < NUM_ARCH_REGS_PER_CLASS);
+        ArchReg { class: RegClass::Fp, idx }
+    }
+
+    /// Flat index over both classes, `0 .. 2 * NUM_ARCH_REGS_PER_CLASS`,
+    /// used by the rename map.
+    #[inline]
+    pub fn flat(self) -> usize {
+        match self.class {
+            RegClass::Int => self.idx as usize,
+            RegClass::Fp => NUM_ARCH_REGS_PER_CLASS as usize + self.idx as usize,
+        }
+    }
+}
+
+impl std::fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.idx),
+            RegClass::Fp => write!(f, "f{}", self.idx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_indices_do_not_collide_across_classes() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..NUM_ARCH_REGS_PER_CLASS {
+            assert!(seen.insert(ArchReg::int(i).flat()));
+            assert!(seen.insert(ArchReg::fp(i).flat()));
+        }
+        assert_eq!(seen.len(), 2 * NUM_ARCH_REGS_PER_CLASS as usize);
+    }
+
+    #[test]
+    fn flat_is_dense() {
+        let max = 2 * NUM_ARCH_REGS_PER_CLASS as usize;
+        for i in 0..NUM_ARCH_REGS_PER_CLASS {
+            assert!(ArchReg::int(i).flat() < max);
+            assert!(ArchReg::fp(i).flat() < max);
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ArchReg::int(5).to_string(), "r5");
+        assert_eq!(ArchReg::fp(31).to_string(), "f31");
+    }
+}

@@ -1,0 +1,66 @@
+//! Hardware-context (thread) identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// Maximum number of normal hardware contexts the machine model supports.
+///
+/// The paper evaluates up to eight simultaneously-resident threads; one extra
+/// designated context is reserved for the detector thread, which is modeled
+/// functionally in `adts-core` and never appears as a [`Tid`] here.
+pub const MAX_HW_CONTEXTS: usize = 8;
+
+/// A hardware-context identifier, `0 ..= MAX_HW_CONTEXTS - 1`.
+///
+/// `Tid` is a dense small index: pipeline structures use it to index
+/// per-thread arrays directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Tid(pub u8);
+
+impl Tid {
+    /// Index form for addressing per-thread arrays.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over the first `n` thread ids.
+    pub fn all(n: usize) -> impl Iterator<Item = Tid> {
+        debug_assert!(n <= MAX_HW_CONTEXTS);
+        (0..n as u8).map(Tid)
+    }
+}
+
+impl std::fmt::Display for Tid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tid_all_yields_dense_range() {
+        let v: Vec<Tid> = Tid::all(4).collect();
+        assert_eq!(v, vec![Tid(0), Tid(1), Tid(2), Tid(3)]);
+    }
+
+    #[test]
+    fn tid_idx_roundtrip() {
+        for t in Tid::all(MAX_HW_CONTEXTS) {
+            assert_eq!(Tid(t.idx() as u8), t);
+        }
+    }
+
+    #[test]
+    fn tid_display() {
+        assert_eq!(Tid(3).to_string(), "T3");
+    }
+
+    #[test]
+    fn tid_ordering_matches_index() {
+        assert!(Tid(0) < Tid(1));
+        assert!(Tid(6) < Tid(7));
+    }
+}

@@ -1,0 +1,78 @@
+//! Edge-case tests for the policy layer.
+
+use smt_isa::Tid;
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::{FetchChooser, PolicyView};
+
+fn view(tid: u8) -> PolicyView {
+    PolicyView {
+        tid: Tid(tid),
+        front_end_occ: 0,
+        iq_occ: 0,
+        inflight_branches: 0,
+        inflight_loads: 0,
+        inflight_mem: 0,
+        outstanding_dmiss: 0,
+        recent_l1d_misses: 0,
+        recent_l1i_misses: 0,
+        recent_stalls: 0,
+        committed: 0,
+        acc_ipc_milli: 0,
+    }
+}
+
+#[test]
+fn empty_view_list_is_fine() {
+    let mut tsu = Tsu::new(FetchPolicy::Icount, 8);
+    let mut v: Vec<PolicyView> = Vec::new();
+    tsu.prioritize(0, &mut v);
+    assert!(v.is_empty());
+}
+
+#[test]
+fn single_thread_machine_always_picks_it() {
+    let mut tsu = Tsu::new(FetchPolicy::RoundRobin, 1);
+    for cycle in 0..5 {
+        let mut v = vec![view(0)];
+        tsu.prioritize(cycle, &mut v);
+        assert_eq!(v[0].tid, Tid(0));
+    }
+}
+
+#[test]
+fn sort_is_deterministic_under_equal_keys() {
+    let mut tsu = Tsu::new(FetchPolicy::BrCount, 4);
+    let mut order = |cycle: u64| {
+        let mut v: Vec<PolicyView> = (0..4).map(view).collect();
+        tsu.prioritize(cycle, &mut v);
+        v.iter().map(|x| x.tid.0).collect::<Vec<_>>()
+    };
+    assert_eq!(order(7), order(7));
+}
+
+#[test]
+fn name_parse_roundtrip_is_the_public_contract() {
+    for p in FetchPolicy::ALL {
+        assert_eq!(FetchPolicy::parse(p.name()), Some(p));
+    }
+}
+
+#[test]
+fn saturating_keys_do_not_panic_on_extreme_counters() {
+    let mut v = view(0);
+    v.front_end_occ = u32::MAX;
+    v.iq_occ = u32::MAX;
+    v.recent_l1d_misses = u64::MAX / 2;
+    v.recent_l1i_misses = u64::MAX / 2;
+    for p in FetchPolicy::ALL {
+        let _ = p.key(&v, u64::MAX, 8);
+    }
+}
+
+#[test]
+fn key_is_stable_for_same_view() {
+    let v = view(3);
+    for p in FetchPolicy::ALL {
+        assert_eq!(p.key(&v, 5, 8), p.key(&v, 5, 8));
+    }
+}

@@ -1,0 +1,106 @@
+//! The fetch-chooser interface between the machine and fetch policies.
+//!
+//! Each cycle the machine builds a [`PolicyView`] for every *fetchable*
+//! thread and asks the chooser to order them by priority (best first); the
+//! machine then fetches from the first `max_fetch_threads` of them. The
+//! chooser lives *outside* the machine so that:
+//!
+//! - `smt-sim` does not depend on `smt-policies` (the policy crate builds on
+//!   the machine, not vice versa), and
+//! - the machine stays `Clone` for the oracle scheduler, with the chooser
+//!   cloned alongside it by the caller.
+
+use crate::counters::PolicyView;
+
+/// A fetch-priority policy.
+pub trait FetchChooser {
+    /// Order `views` best-first. The machine fetches from the leading
+    /// entries. `cycle` lets stateful policies (round-robin) rotate.
+    fn prioritize(&mut self, cycle: u64, views: &mut Vec<PolicyView>);
+}
+
+/// Strict round-robin (the paper's "RR" baseline, and the default chooser
+/// for machine-level tests).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundRobin;
+
+impl FetchChooser for RoundRobin {
+    fn prioritize(&mut self, cycle: u64, views: &mut Vec<PolicyView>) {
+        if views.is_empty() {
+            return;
+        }
+        // Rotate priority by cycle so every thread leads equally often.
+        let n = views.len();
+        views.sort_by_key(|v| {
+            let t = v.tid.0 as u64;
+            (t + n as u64 - (cycle % n as u64)) % n as u64
+        });
+    }
+}
+
+/// Closure adapter, mainly for tests: wraps any `FnMut` as a chooser.
+pub struct FnChooser<F>(pub F);
+
+impl<F: FnMut(u64, &mut Vec<PolicyView>)> FetchChooser for FnChooser<F> {
+    fn prioritize(&mut self, cycle: u64, views: &mut Vec<PolicyView>) {
+        (self.0)(cycle, views)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::Tid;
+
+    fn views(n: u8) -> Vec<PolicyView> {
+        (0..n)
+            .map(|i| PolicyView {
+                tid: Tid(i),
+                front_end_occ: 0,
+                iq_occ: 0,
+                inflight_branches: 0,
+                inflight_loads: 0,
+                inflight_mem: 0,
+                outstanding_dmiss: 0,
+                recent_l1d_misses: 0,
+                recent_l1i_misses: 0,
+                recent_stalls: 0,
+                committed: 0,
+                acc_ipc_milli: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_rotates_leader() {
+        let mut rr = RoundRobin;
+        let mut leaders = Vec::new();
+        for cycle in 0..4 {
+            let mut v = views(4);
+            rr.prioritize(cycle, &mut v);
+            leaders.push(v[0].tid);
+        }
+        let mut sorted = leaders.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "every thread must lead once: {leaders:?}");
+    }
+
+    #[test]
+    fn round_robin_keeps_all_entries() {
+        let mut rr = RoundRobin;
+        let mut v = views(5);
+        rr.prioritize(17, &mut v);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn fn_chooser_applies_closure() {
+        let mut c = FnChooser(|_cycle: u64, v: &mut Vec<PolicyView>| {
+            v.sort_by_key(|x| std::cmp::Reverse(x.tid.0));
+        });
+        let mut v = views(3);
+        c.prioritize(0, &mut v);
+        assert_eq!(v[0].tid, Tid(2));
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-thread status indicators.
+//!
+//! These are the hardware counters the paper's detector thread reads
+//! ("per-thread status indicators updated by circuitry located throughout
+//! the processor pipeline, based upon specific events such as cache miss,
+//! pipeline stalls, population at each stage"). Two kinds live here:
+//!
+//! - **cumulative** event counts (`u64`, monotone): the ADTS layer takes
+//!   per-quantum deltas of these to evaluate its COND_MEM / COND_BR
+//!   conditions and IPC threshold;
+//! - **gauges** (instantaneous occupancies) and **decayed** recent-activity
+//!   counters: what the cycle-by-cycle fetch policies sort threads by.
+//!
+//! The decayed counters are halved every `decay_period` cycles, giving the
+//! L1MISSCOUNT-family policies a sliding-window view without per-cycle
+//! subtraction hardware — the same trick hardware "leaky bucket" counters
+//! use.
+
+use serde::{Deserialize, Serialize};
+use smt_isa::Tid;
+
+/// Status indicators for one hardware context.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadCounters {
+    // --- cumulative (monotone) ---
+    /// Correct-path micro-ops fetched.
+    pub fetched: u64,
+    /// Wrong-path micro-ops fetched (wasted fetch slots).
+    pub wrongpath_fetched: u64,
+    /// Micro-ops committed.
+    pub committed: u64,
+    /// Conditional branches fetched on the correct path.
+    pub cond_branches: u64,
+    /// Conditional branches resolved (executed, correct path).
+    pub branches_resolved: u64,
+    /// Mispredictions discovered at resolve.
+    pub mispredicts: u64,
+    /// Loads issued to the memory system (correct path).
+    pub loads: u64,
+    /// Stores issued to the memory system (correct path).
+    pub stores: u64,
+    /// L1 data-cache misses caused by this thread.
+    pub l1d_misses: u64,
+    /// L1 instruction-cache misses caused by this thread.
+    pub l1i_misses: u64,
+    /// L2 misses caused by this thread (instruction or data).
+    pub l2_misses: u64,
+    /// Cycles this thread wanted to fetch but was blocked (stall events).
+    pub fetch_stall_cycles: u64,
+    /// Cycles this thread observed a full load/store queue at dispatch.
+    pub lsq_full_cycles: u64,
+    /// Pipeline squashes (mispredict recoveries) this thread suffered.
+    pub squashes: u64,
+    /// System calls retired.
+    pub syscalls: u64,
+
+    // --- gauges (maintained incrementally by the machine) ---
+    /// Ops in the front end: fetched but not yet dispatched.
+    pub front_end_occ: u32,
+    /// Ops waiting in an instruction queue (dispatched, not issued).
+    pub iq_occ: u32,
+    /// Unresolved branches anywhere in the pipeline.
+    pub inflight_branches: u32,
+    /// Loads in flight (fetched, not completed).
+    pub inflight_loads: u32,
+    /// Loads + stores in flight.
+    pub inflight_mem: u32,
+    /// Issued loads currently waiting on an L1D miss.
+    pub outstanding_dmiss: u32,
+
+    // --- decayed recent-activity counters ---
+    pub recent_l1d_misses: u64,
+    pub recent_l1i_misses: u64,
+    pub recent_stalls: u64,
+    pub recent_mispredicts: u64,
+}
+
+impl ThreadCounters {
+    /// Apply the periodic decay (halve every recent counter).
+    pub fn decay(&mut self) {
+        self.recent_l1d_misses >>= 1;
+        self.recent_l1i_misses >>= 1;
+        self.recent_stalls >>= 1;
+        self.recent_mispredicts >>= 1;
+    }
+
+    /// ICOUNT key: instructions in the decode/rename stages and the
+    /// instruction queues (lower = higher fetch priority).
+    #[inline]
+    pub fn icount_key(&self) -> u64 {
+        self.front_end_occ as u64 + self.iq_occ as u64
+    }
+
+    /// Accumulated IPC in milli-instructions-per-cycle over `cycles`.
+    #[inline]
+    pub fn acc_ipc_milli(&self, cycles: u64) -> u64 {
+        self.committed.saturating_mul(1000).checked_div(cycles).unwrap_or_default()
+    }
+}
+
+/// A compact copy of the policy-relevant counter values for one thread,
+/// handed to the fetch chooser each cycle. Copying ~100 bytes per thread per
+/// cycle is far cheaper than threading borrows through the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyView {
+    pub tid: Tid,
+    pub front_end_occ: u32,
+    pub iq_occ: u32,
+    pub inflight_branches: u32,
+    pub inflight_loads: u32,
+    pub inflight_mem: u32,
+    pub outstanding_dmiss: u32,
+    pub recent_l1d_misses: u64,
+    pub recent_l1i_misses: u64,
+    pub recent_stalls: u64,
+    pub committed: u64,
+    /// Milli-IPC since thread start.
+    pub acc_ipc_milli: u64,
+}
+
+impl PolicyView {
+    /// Build from counters at a given machine cycle.
+    pub fn of(tid: Tid, c: &ThreadCounters, cycle: u64) -> Self {
+        PolicyView {
+            tid,
+            front_end_occ: c.front_end_occ,
+            iq_occ: c.iq_occ,
+            inflight_branches: c.inflight_branches,
+            inflight_loads: c.inflight_loads,
+            inflight_mem: c.inflight_mem,
+            outstanding_dmiss: c.outstanding_dmiss,
+            recent_l1d_misses: c.recent_l1d_misses,
+            recent_l1i_misses: c.recent_l1i_misses,
+            recent_stalls: c.recent_stalls,
+            committed: c.committed,
+            acc_ipc_milli: c.acc_ipc_milli(cycle),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decay_halves_recent_only() {
+        let mut c = ThreadCounters { recent_l1d_misses: 9, committed: 100, ..Default::default() };
+        c.decay();
+        assert_eq!(c.recent_l1d_misses, 4);
+        assert_eq!(c.committed, 100, "cumulative counters must not decay");
+    }
+
+    #[test]
+    fn icount_key_sums_frontend_and_iq() {
+        let c = ThreadCounters { front_end_occ: 3, iq_occ: 5, ..Default::default() };
+        assert_eq!(c.icount_key(), 8);
+    }
+
+    #[test]
+    fn acc_ipc_handles_zero_cycles() {
+        let c = ThreadCounters { committed: 10, ..Default::default() };
+        assert_eq!(c.acc_ipc_milli(0), 0);
+        assert_eq!(c.acc_ipc_milli(10), 1000);
+    }
+
+    #[test]
+    fn policy_view_copies_fields() {
+        let c = ThreadCounters {
+            front_end_occ: 2,
+            iq_occ: 7,
+            inflight_branches: 1,
+            committed: 500,
+            ..Default::default()
+        };
+        let v = PolicyView::of(Tid(3), &c, 1000);
+        assert_eq!(v.tid, Tid(3));
+        assert_eq!(v.front_end_occ, 2);
+        assert_eq!(v.iq_occ, 7);
+        assert_eq!(v.acc_ipc_milli, 500);
+    }
+}

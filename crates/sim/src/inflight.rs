@@ -1,0 +1,146 @@
+//! In-flight micro-op records.
+//!
+//! Each hardware context owns a window (`VecDeque<InFlight>`) ordered by
+//! per-thread sequence number — the reorder buffer. Sequence numbers are
+//! monotone and never reused, so after a squash the window may contain a
+//! gap; lookups go through binary search on `seq`.
+
+use smt_isa::MicroOp;
+
+/// Pipeline stage of an in-flight op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Fetched; eligible for dispatch at `ready_at` (decode/rename depth).
+    FrontEnd { ready_at: u64 },
+    /// Waiting in an instruction queue.
+    Queued,
+    /// Issued to a functional unit; completes at `done_at`.
+    Executing { done_at: u64 },
+    /// Completed; awaiting in-order commit.
+    Done,
+}
+
+/// One in-flight dynamic micro-op.
+#[derive(Clone, Debug)]
+pub struct InFlight {
+    /// Per-thread sequence number (monotone, never reused).
+    pub seq: u64,
+    pub uop: MicroOp,
+    /// Fetched down the wrong path; will be squashed, never committed.
+    pub wrong_path: bool,
+    /// Producer sequence numbers for up to two register sources.
+    pub deps: [Option<u64>; 2],
+    pub stage: Stage,
+    /// Branch whose fetch-time prediction disagreed with the architectural
+    /// outcome; triggers a squash when it resolves.
+    pub mispredicted: bool,
+    /// This load missed L1D (for the outstanding-miss gauge).
+    pub dmiss: bool,
+    /// PHT index used at prediction time (conditional branches only).
+    pub pht_index: u32,
+    /// Global-history register value before this branch's fetch (branches
+    /// only; used to repair the history on squash).
+    pub history_at_fetch: u64,
+    pub fetched_at: u64,
+}
+
+impl InFlight {
+    /// True once execution finished.
+    #[inline]
+    pub fn is_done(&self) -> bool {
+        matches!(self.stage, Stage::Done)
+    }
+
+    /// True while the op sits in an instruction queue.
+    #[inline]
+    pub fn is_queued(&self) -> bool {
+        matches!(self.stage, Stage::Queued)
+    }
+
+    /// True while the op is in the front end (pre-dispatch).
+    #[inline]
+    pub fn in_front_end(&self) -> bool {
+        matches!(self.stage, Stage::FrontEnd { .. })
+    }
+
+    /// Has the op passed dispatch (and so holds queue/LSQ/register
+    /// resources that must be returned on squash)?
+    #[inline]
+    pub fn past_dispatch(&self) -> bool {
+        !self.in_front_end()
+    }
+}
+
+/// Binary-search a window (sorted by `seq`) for a sequence number.
+pub fn find_seq(window: &std::collections::VecDeque<InFlight>, seq: u64) -> Option<usize> {
+    let (a, b) = window.as_slices();
+    if let Ok(i) = a.binary_search_by_key(&seq, |op| op.seq) {
+        return Some(i);
+    }
+    if let Ok(i) = b.binary_search_by_key(&seq, |op| op.seq) {
+        return Some(a.len() + i);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::VecDeque;
+
+    fn op(seq: u64) -> InFlight {
+        InFlight {
+            seq,
+            uop: MicroOp::nop(seq * 4),
+            wrong_path: false,
+            deps: [None, None],
+            stage: Stage::FrontEnd { ready_at: 0 },
+            mispredicted: false,
+            dmiss: false,
+            pht_index: 0,
+            history_at_fetch: 0,
+            fetched_at: 0,
+        }
+    }
+
+    #[test]
+    fn find_seq_handles_gaps() {
+        let mut w: VecDeque<InFlight> = VecDeque::new();
+        for s in [1u64, 2, 3, 7, 8] {
+            w.push_back(op(s));
+        }
+        assert_eq!(find_seq(&w, 3), Some(2));
+        assert_eq!(find_seq(&w, 7), Some(3));
+        assert_eq!(find_seq(&w, 4), None);
+        assert_eq!(find_seq(&w, 0), None);
+    }
+
+    #[test]
+    fn find_seq_across_ring_wrap() {
+        // Force the VecDeque to wrap so as_slices returns two parts.
+        let mut w: VecDeque<InFlight> = VecDeque::with_capacity(4);
+        w.push_back(op(0));
+        w.push_back(op(1));
+        w.pop_front();
+        w.pop_front();
+        for s in 2..6 {
+            w.push_back(op(s));
+        }
+        for s in 2..6 {
+            assert!(find_seq(&w, s).is_some(), "seq {s} not found");
+        }
+    }
+
+    #[test]
+    fn stage_predicates() {
+        let mut o = op(1);
+        assert!(o.in_front_end());
+        assert!(!o.past_dispatch());
+        o.stage = Stage::Queued;
+        assert!(o.is_queued() && o.past_dispatch());
+        o.stage = Stage::Executing { done_at: 5 };
+        assert!(o.past_dispatch() && !o.is_done());
+        o.stage = Stage::Done;
+        assert!(o.is_done());
+    }
+}

@@ -1,0 +1,1512 @@
+//! The cycle-level SMT machine.
+//!
+//! [`SmtMachine`] owns every structural model — shared caches, shared branch
+//! predictor, shared instruction queues, LSQ and rename registers, plus one
+//! reorder window per hardware context — and advances them one cycle per
+//! [`SmtMachine::step`]. Stages run in reverse pipeline order within a
+//! cycle (complete → commit → issue → dispatch → fetch) so that an op never
+//! traverses two stages in one cycle:
+//!
+//! 1. **complete** — finish executing ops; resolve branches, training the
+//!    predictor and squashing the thread on a misprediction;
+//! 2. **commit** — retire completed ops in order, up to `commit_width`
+//!    across threads; syscalls retire the drain;
+//! 3. **issue** — pick ready ops oldest-first from the int/fp queues under
+//!    functional-unit and port constraints; loads access the D-cache here;
+//! 4. **dispatch** — move decoded ops into the queues, allocating rename
+//!    registers and LSQ entries;
+//! 5. **fetch** — ask the [`FetchChooser`] to order fetchable threads, then
+//!    fetch up to `fetch_width` ops from the top `max_fetch_threads`
+//!    (the ICOUNT2.8-style mechanism of [20]), predicting branches and
+//!    entering wrong-path mode on a fetch-time mispredict.
+//!
+//! The machine is `Clone`: the oracle scheduler in `adts-core` checkpoints
+//! it and replays a quantum under every candidate policy.
+
+use crate::bpred::BranchPredictor;
+use crate::cache::Hierarchy;
+use crate::chooser::FetchChooser;
+use crate::config::SimConfig;
+use crate::counters::{PolicyView, ThreadCounters};
+use crate::inflight::{find_seq, InFlight, Stage};
+use crate::trace::{TraceBuffer, TraceEvent};
+use crate::wrongpath::WrongPathGen;
+use smt_isa::{BranchKind, OpKind, RegClass, Tid};
+use smt_workloads::{SplitMix64, UopStream};
+use std::collections::VecDeque;
+
+/// Machine-wide statistics the detector thread (and experiment harness)
+/// reads in addition to the per-thread counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GlobalCounters {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Micro-ops committed across all threads.
+    pub committed: u64,
+    /// Cycles during which the shared LSQ was full.
+    pub lsq_full_cycles: u64,
+    /// Fetch slots actually filled (correct + wrong path).
+    pub fetch_slots_used: u64,
+    /// Total squash (mispredict recovery) events.
+    pub squashes: u64,
+    /// Cycles spent with a system call draining/executing.
+    pub syscall_drain_cycles: u64,
+}
+
+/// Reference into a shared queue: which thread's window, which sequence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct QRef {
+    tid: Tid,
+    seq: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LsqEntry {
+    tid: Tid,
+    seq: u64,
+    /// Address quantized to 8 bytes (the generator's access granularity).
+    addr8: u64,
+    is_store: bool,
+}
+
+/// Per-context state.
+#[derive(Clone, Debug)]
+struct ThreadCtx {
+    tid: Tid,
+    stream: UopStream,
+    wp_gen: WrongPathGen,
+    window: VecDeque<InFlight>,
+    next_seq: u64,
+    /// Flat arch-reg → producing seq.
+    rename: [Option<u64>; 64],
+    /// ADTS thread-control flag: may this thread fetch?
+    fetch_enabled: bool,
+    icache_stall_until: u64,
+    /// Line (addr / line_bytes) guaranteed deliverable after an I-miss
+    /// completes, even if meanwhile evicted by another thread — the fill
+    /// went to the fetch buffer, so re-probing would be a livelock.
+    icache_ready_line: Option<u64>,
+    redirect_stall_until: u64,
+    /// `Some(branch_seq)` while fetching down the wrong path.
+    wrong_path_since: Option<u64>,
+    /// Wrong-path fetch pc.
+    wp_pc: u64,
+    /// Lower bound on the earliest `done_at` among this thread's Executing
+    /// ops (`u64::MAX` when a fresh scan found none). Purely a fast-path
+    /// filter for the complete() scan; staleness on the low side only
+    /// costs a wasted scan, never a missed completion.
+    min_done_at: u64,
+    counters: ThreadCounters,
+}
+
+impl ThreadCtx {
+    /// Can this thread accept fetch this cycle (ignoring chooser priority)?
+    fn fetchable(&self, cycle: u64, cfg: &SimConfig) -> bool {
+        self.fetch_enabled
+            && self.icache_stall_until <= cycle
+            && self.redirect_stall_until <= cycle
+            && self.window.len() < cfg.rob_per_thread
+            && (self.counters.front_end_occ as usize) < cfg.fetch_buffer_per_thread
+    }
+
+    /// Would this thread like to fetch but is structurally blocked?
+    fn fetch_blocked(&self, cycle: u64, cfg: &SimConfig) -> bool {
+        self.fetch_enabled && !self.fetchable(cycle, cfg)
+    }
+}
+
+/// The simultaneous-multithreading machine.
+#[derive(Clone, Debug)]
+pub struct SmtMachine {
+    cfg: SimConfig,
+    cycle: u64,
+    pub mem: Hierarchy,
+    pub bpred: BranchPredictor,
+    threads: Vec<ThreadCtx>,
+    int_iq: Vec<QRef>,
+    fp_iq: Vec<QRef>,
+    lsq: Vec<LsqEntry>,
+    free_int_regs: usize,
+    free_fp_regs: usize,
+    int_div_free_at: u64,
+    fp_div_free_at: u64,
+    /// FIFO of fetched-but-unretired system calls; non-empty = drain mode.
+    pending_syscalls: VecDeque<QRef>,
+    global: GlobalCounters,
+    /// Scratch for chooser views (reused each cycle).
+    view_buf: Vec<PolicyView>,
+    /// Optional pipeline event trace (None = disabled, zero overhead
+    /// beyond one branch per event site).
+    trace: Option<TraceBuffer>,
+    /// The decode/rename pipe: fetched ops in global fetch order. Dispatch
+    /// consumes strictly from the head and *stalls* on a structural hazard
+    /// (queue/LSQ/register full), so one clogged thread's backlog delays
+    /// everyone behind it — the head-of-line interference the paper's
+    /// scheduling policies exist to manage. This is also what propagates
+    /// fetch priority into the shared queues: a thread that wins fetch
+    /// slots owns a proportional share of this FIFO.
+    dispatch_fifo: VecDeque<QRef>,
+}
+
+impl SmtMachine {
+    /// Build a machine running one [`UopStream`] per context. `streams.len()`
+    /// must equal `cfg.threads`.
+    pub fn new(cfg: SimConfig, streams: Vec<UopStream>) -> Self {
+        cfg.validate().expect("invalid SimConfig");
+        assert_eq!(streams.len(), cfg.threads, "one stream per configured context");
+        let threads = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, stream)| {
+                let base = stream.addr_base();
+                let ws = stream.profile().data_ws_bytes;
+                ThreadCtx {
+                    tid: Tid(i as u8),
+                    wp_gen: WrongPathGen::new(SplitMix64::derive(0xAD75 ^ i as u64, 7), base, ws),
+                    stream,
+                    window: VecDeque::with_capacity(cfg.rob_per_thread),
+                    next_seq: 0,
+                    rename: [None; 64],
+                    fetch_enabled: true,
+                    icache_stall_until: 0,
+                    icache_ready_line: None,
+                    redirect_stall_until: 0,
+                    wrong_path_since: None,
+                    wp_pc: 0,
+                    min_done_at: u64::MAX,
+                    counters: ThreadCounters::default(),
+                }
+            })
+            .collect();
+        let mut mem = Hierarchy::new(cfg.l1i, cfg.l1d, cfg.l2, cfg.mem_latency);
+        mem.set_next_line_prefetch(cfg.next_line_prefetch);
+        SmtMachine {
+            free_int_regs: cfg.extra_phys_int,
+            free_fp_regs: cfg.extra_phys_fp,
+            mem,
+            bpred: BranchPredictor::new(&cfg),
+            threads,
+            int_iq: Vec::with_capacity(cfg.int_iq_size),
+            fp_iq: Vec::with_capacity(cfg.fp_iq_size),
+            lsq: Vec::with_capacity(cfg.lsq_size),
+            int_div_free_at: 0,
+            fp_div_free_at: 0,
+            pending_syscalls: VecDeque::new(),
+            global: GlobalCounters::default(),
+            view_buf: Vec::with_capacity(cfg.threads),
+            trace: None,
+            dispatch_fifo: VecDeque::with_capacity(64),
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // public accessors
+    // ------------------------------------------------------------------
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    pub fn global(&self) -> &GlobalCounters {
+        &self.global
+    }
+
+    pub fn counters(&self, tid: Tid) -> &ThreadCounters {
+        &self.threads[tid.idx()].counters
+    }
+
+    /// Committed instructions across all threads.
+    pub fn total_committed(&self) -> u64 {
+        self.global.committed
+    }
+
+    /// Aggregate IPC since reset.
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.cycle == 0 {
+            0.0
+        } else {
+            self.global.committed as f64 / self.cycle as f64
+        }
+    }
+
+    /// Enable pipeline event tracing with a ring of `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(TraceBuffer::new(cap));
+    }
+
+    /// Disable tracing, returning the buffer (if any).
+    pub fn disable_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take()
+    }
+
+    /// The trace buffer, if tracing is enabled.
+    pub fn trace(&self) -> Option<&TraceBuffer> {
+        self.trace.as_ref()
+    }
+
+    #[inline]
+    fn trace_push(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.trace {
+            t.push(ev);
+        }
+    }
+
+    /// ADTS thread-control flag: enable/disable fetching for a context.
+    pub fn set_fetch_enabled(&mut self, tid: Tid, enabled: bool) {
+        self.threads[tid.idx()].fetch_enabled = enabled;
+    }
+
+    pub fn fetch_enabled(&self, tid: Tid) -> bool {
+        self.threads[tid.idx()].fetch_enabled
+    }
+
+    /// Profile of the application running on `tid`.
+    pub fn thread_profile(&self, tid: Tid) -> &smt_isa::AppProfile {
+        self.threads[tid.idx()].stream.profile()
+    }
+
+    /// Policy views for all threads (not just fetchable ones).
+    pub fn views(&self) -> Vec<PolicyView> {
+        self.threads
+            .iter()
+            .map(|t| PolicyView::of(t.tid, &t.counters, self.cycle))
+            .collect()
+    }
+
+    /// Total in-flight micro-ops (all windows).
+    pub fn total_inflight(&self) -> usize {
+        self.threads.iter().map(|t| t.window.len()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // the cycle
+    // ------------------------------------------------------------------
+
+    /// Advance one cycle under the given fetch policy.
+    pub fn step<C: FetchChooser>(&mut self, chooser: &mut C) {
+        self.complete();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.fetch(chooser);
+        self.end_cycle();
+    }
+
+    /// Run `cycles` cycles.
+    pub fn run<C: FetchChooser>(&mut self, cycles: u64, chooser: &mut C) {
+        for _ in 0..cycles {
+            self.step(chooser);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // stage 1: complete
+    // ------------------------------------------------------------------
+
+    fn complete(&mut self) {
+        let now = self.cycle;
+        // Branch mispredict squashes are collected first, then applied, so
+        // the window scan does not fight the borrow checker.
+        let mut squashes: Vec<(usize, u64, u64, Option<bool>)> = Vec::new();
+        let mut trace = self.trace.take();
+        for (ti, ctx) in self.threads.iter_mut().enumerate() {
+            if ctx.min_done_at > now {
+                continue;
+            }
+            let mut next_min = u64::MAX;
+            for i in 0..ctx.window.len() {
+                let op = &mut ctx.window[i];
+                let done_at = match op.stage {
+                    Stage::Executing { done_at } => done_at,
+                    _ => continue,
+                };
+                if done_at > now {
+                    next_min = next_min.min(done_at);
+                    continue;
+                }
+                op.stage = Stage::Done;
+                // Copy the facts out so counter updates don't fight the
+                // window borrow (MicroOp is Copy).
+                let uop = op.uop;
+                if let Some(t) = &mut trace {
+                    t.push(TraceEvent::Complete { cycle: now, tid: ctx.tid, seq: op.seq });
+                }
+                let (wrong_path, mispredicted, dmiss, seq, pht_index, hist) =
+                    (op.wrong_path, op.mispredicted, op.dmiss, op.seq, op.pht_index, op.history_at_fetch);
+                match uop.kind {
+                    OpKind::Branch => {
+                        if uop.is_cond_branch() {
+                            ctx.counters.inflight_branches -= 1;
+                        }
+                        if !wrong_path {
+                            if let Some(b) = uop.branch {
+                                if b.kind == BranchKind::Conditional {
+                                    ctx.counters.branches_resolved += 1;
+                                    self.bpred.train(uop.pc, pht_index, b.taken);
+                                }
+                                if mispredicted {
+                                    let outcome = (b.kind == BranchKind::Conditional)
+                                        .then_some(b.taken);
+                                    squashes.push((ti, seq, hist, outcome));
+                                }
+                            }
+                        }
+                    }
+                    OpKind::Load => {
+                        if dmiss {
+                            ctx.counters.outstanding_dmiss -= 1;
+                        }
+                        ctx.counters.inflight_loads -= 1;
+                        ctx.counters.inflight_mem -= 1;
+                    }
+                    OpKind::Store => {
+                        ctx.counters.inflight_mem -= 1;
+                    }
+                    _ => {}
+                }
+            }
+            ctx.min_done_at = next_min;
+        }
+        self.trace = trace.take();
+        for (ti, seq, hist, outcome) in squashes {
+            self.bpred.repair_history(Tid(ti as u8), hist, outcome);
+            self.squash_after(ti, seq);
+        }
+    }
+
+    /// Squash every op of thread `ti` younger than `seq` and redirect fetch.
+    fn squash_after(&mut self, ti: usize, seq: u64) {
+        let now = self.cycle;
+        let cut = {
+            let ctx = &self.threads[ti];
+            // First index with seq greater than the branch.
+            let (a, b) = ctx.window.as_slices();
+            let in_a = a.partition_point(|op| op.seq <= seq);
+            if in_a < a.len() {
+                in_a
+            } else {
+                a.len() + b.partition_point(|op| op.seq <= seq)
+            }
+        };
+        let ctx = &mut self.threads[ti];
+        let victims: Vec<InFlight> = ctx.window.drain(cut..).collect();
+        for op in &victims {
+            // Return every resource the op holds.
+            match op.stage {
+                Stage::FrontEnd { .. } => ctx.counters.front_end_occ -= 1,
+                Stage::Queued => ctx.counters.iq_occ -= 1,
+                _ => {}
+            }
+            if !op.is_done() {
+                match op.uop.kind {
+                    OpKind::Branch if op.uop.is_cond_branch() => {
+                        ctx.counters.inflight_branches -= 1
+                    }
+                    OpKind::Load => {
+                        if op.dmiss && matches!(op.stage, Stage::Executing { .. }) {
+                            ctx.counters.outstanding_dmiss -= 1;
+                        }
+                        ctx.counters.inflight_loads -= 1;
+                        ctx.counters.inflight_mem -= 1;
+                    }
+                    OpKind::Store => ctx.counters.inflight_mem -= 1,
+                    _ => {}
+                }
+            }
+            if op.past_dispatch() {
+                if let Some(d) = op.uop.dst {
+                    match d.class {
+                        RegClass::Int => self.free_int_regs += 1,
+                        RegClass::Fp => self.free_fp_regs += 1,
+                    }
+                }
+            }
+        }
+        let tid = ctx.tid;
+        // Purge shared structures of the squashed refs.
+        let min_gone = seq + 1;
+        self.int_iq.retain(|q| !(q.tid == tid && q.seq >= min_gone));
+        self.fp_iq.retain(|q| !(q.tid == tid && q.seq >= min_gone));
+        self.lsq.retain(|e| !(e.tid == tid && e.seq >= min_gone));
+        self.dispatch_fifo.retain(|q| !(q.tid == tid && q.seq >= min_gone));
+
+        let ctx = &mut self.threads[ti];
+        ctx.wrong_path_since = None;
+        ctx.redirect_stall_until = now + 1;
+        ctx.counters.squashes += 1;
+        ctx.counters.mispredicts += 1;
+        ctx.counters.recent_mispredicts += 1;
+        let n_victims = victims.len();
+        self.global.squashes += 1;
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent::Squash { cycle: now, tid, after_seq: seq, victims: n_victims });
+        }
+        // Rebuild the rename map from the surviving window.
+        ctx.rename = [None; 64];
+        for i in 0..ctx.window.len() {
+            if let Some(d) = ctx.window[i].uop.dst {
+                let s = ctx.window[i].seq;
+                ctx.rename[d.flat()] = Some(s);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // stage 2: commit
+    // ------------------------------------------------------------------
+
+    fn commit(&mut self) {
+        let n = self.threads.len();
+        let mut budget = self.cfg.commit_width;
+        let start = (self.cycle % n as u64) as usize;
+        for k in 0..n {
+            let ti = (start + k) % n;
+            while budget > 0 {
+                let ctx = &mut self.threads[ti];
+                let Some(head) = ctx.window.front() else { break };
+                if !head.is_done() {
+                    break;
+                }
+                debug_assert!(!head.wrong_path, "wrong-path op reached commit");
+                let op = ctx.window.pop_front().expect("head exists");
+                budget -= 1;
+                ctx.counters.committed += 1;
+                self.global.committed += 1;
+                if let Some(t) = &mut self.trace {
+                    t.push(TraceEvent::Commit { cycle: self.cycle, tid: ctx.tid, seq: op.seq });
+                }
+                if let Some(d) = op.uop.dst {
+                    match d.class {
+                        RegClass::Int => self.free_int_regs += 1,
+                        RegClass::Fp => self.free_fp_regs += 1,
+                    }
+                }
+                let tid = ctx.tid;
+                if op.uop.kind.is_mem() {
+                    if let Some(pos) =
+                        self.lsq.iter().position(|e| e.tid == tid && e.seq == op.seq)
+                    {
+                        self.lsq.swap_remove(pos);
+                    }
+                }
+                if op.uop.kind == OpKind::Syscall {
+                    ctx.counters.syscalls += 1;
+                    let popped = self.pending_syscalls.pop_front();
+                    debug_assert_eq!(
+                        popped.map(|q| (q.tid, q.seq)),
+                        Some((Tid(ti as u8), op.seq)),
+                        "drain FIFO out of sync"
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // stage 3: issue
+    // ------------------------------------------------------------------
+
+    /// Are all of `op`'s producers complete?
+    fn deps_ready(ctx: &ThreadCtx, op: &InFlight) -> bool {
+        let oldest = match ctx.window.front() {
+            Some(f) => f.seq,
+            None => return true,
+        };
+        for dep in op.deps.into_iter().flatten() {
+            if dep < oldest {
+                continue; // producer already committed
+            }
+            match find_seq(&ctx.window, dep) {
+                Some(i) => {
+                    if !ctx.window[i].is_done() {
+                        return false;
+                    }
+                }
+                None => {
+                    debug_assert!(false, "live op depends on squashed producer");
+                }
+            }
+        }
+        true
+    }
+
+    fn issue(&mut self) {
+        let now = self.cycle;
+        // Drained syscall execution (bypasses the queues entirely).
+        if let Some(&q) = self.pending_syscalls.front() {
+            // Drained when nothing is in flight except the pending syscalls
+            // themselves (several threads may have fetched one in the same
+            // cycle; they execute one at a time in FIFO order).
+            if self.total_inflight() == self.pending_syscalls.len() {
+                let ctx = &mut self.threads[q.tid.idx()];
+                if let Some(i) = find_seq(&ctx.window, q.seq) {
+                    if ctx.window[i].in_front_end() {
+                        let done_at = now + self.cfg.syscall_latency;
+                        ctx.window[i].stage = Stage::Executing { done_at };
+                        ctx.min_done_at = ctx.min_done_at.min(done_at);
+                        ctx.counters.front_end_occ -= 1;
+                    }
+                }
+            }
+        }
+
+        let mut budget = self.cfg.issue_width;
+        let mut int_units = self.cfg.int_alus;
+        let mut fp_units = self.cfg.fp_units;
+        let mut ldst_ports = self.cfg.ldst_ports;
+
+        // Issue frees the queue slot; long-latency *dep-blocked* ops are
+        // what clog the queues (Tullsen's "IQ clog"), not issued ops.
+        let int_iq = std::mem::take(&mut self.int_iq);
+        let mut keep_int = Vec::with_capacity(int_iq.len());
+        for q in int_iq {
+            if budget == 0 {
+                keep_int.push(q);
+                continue;
+            }
+            if self.try_issue_int(q, now, &mut int_units, &mut ldst_ports) {
+                budget -= 1;
+            } else {
+                keep_int.push(q);
+            }
+        }
+        self.int_iq = keep_int;
+
+        let fp_iq = std::mem::take(&mut self.fp_iq);
+        let mut keep_fp = Vec::with_capacity(fp_iq.len());
+        for q in fp_iq {
+            if budget == 0 || fp_units == 0 {
+                keep_fp.push(q);
+                continue;
+            }
+            if self.try_issue_fp(q, now, &mut fp_units) {
+                budget -= 1;
+            } else {
+                keep_fp.push(q);
+            }
+        }
+        self.fp_iq = keep_fp;
+    }
+
+    fn try_issue_int(
+        &mut self,
+        q: QRef,
+        now: u64,
+        int_units: &mut usize,
+        ldst_ports: &mut usize,
+    ) -> bool {
+        let cfg_lat_mul = self.cfg.lat_int_mul;
+        let cfg_lat_div = self.cfg.lat_int_div;
+        let ctx = &self.threads[q.tid.idx()];
+        let Some(i) = find_seq(&ctx.window, q.seq) else {
+            debug_assert!(false, "queue entry without window op");
+            return false;
+        };
+        debug_assert!(ctx.window[i].is_queued(), "issued op left in queue");
+        if !Self::deps_ready(ctx, &ctx.window[i]) {
+            return false;
+        }
+        let kind = ctx.window[i].uop.kind;
+        let done_at = match kind {
+            OpKind::IntAlu | OpKind::Nop | OpKind::Branch => {
+                if *int_units == 0 {
+                    return false;
+                }
+                *int_units -= 1;
+                now + 1
+            }
+            OpKind::IntMul => {
+                if *int_units == 0 {
+                    return false;
+                }
+                *int_units -= 1;
+                now + cfg_lat_mul
+            }
+            OpKind::IntDiv => {
+                if *int_units == 0 || self.int_div_free_at > now {
+                    return false;
+                }
+                *int_units -= 1;
+                self.int_div_free_at = now + cfg_lat_div;
+                now + cfg_lat_div
+            }
+            OpKind::Load => {
+                if *ldst_ports == 0 {
+                    return false;
+                }
+                *ldst_ports -= 1;
+                return self.issue_load(q, now);
+            }
+            OpKind::Store => {
+                if *ldst_ports == 0 {
+                    return false;
+                }
+                *ldst_ports -= 1;
+                return self.issue_store(q, now);
+            }
+            OpKind::Syscall => return false, // handled by the drain path
+            _ => unreachable!("fp op in int queue"),
+        };
+        let ctx = &mut self.threads[q.tid.idx()];
+        ctx.window[i].stage = Stage::Executing { done_at };
+        ctx.min_done_at = ctx.min_done_at.min(done_at);
+        ctx.counters.iq_occ -= 1;
+        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at });
+        true
+    }
+
+    fn issue_load(&mut self, q: QRef, now: u64) -> bool {
+        let ti = q.tid.idx();
+        let i = find_seq(&self.threads[ti].window, q.seq).expect("checked");
+        let uop = self.threads[ti].window[i].uop;
+        let wrong_path = self.threads[ti].window[i].wrong_path;
+        let addr = uop.mem.expect("load has mem").addr;
+        let addr8 = addr >> 3;
+        // Store-to-load forwarding: an older in-flight store to the same
+        // 8-byte word supplies the value without a cache access.
+        let forwarded = self
+            .lsq
+            .iter()
+            .any(|e| e.is_store && e.tid == q.tid && e.seq < q.seq && e.addr8 == addr8);
+        let (lat, l1_miss, l2_miss) = if forwarded {
+            (2, false, false)
+        } else {
+            let r = self.mem.data(addr);
+            (1 + r.latency, r.l1_miss, r.l2_miss)
+        };
+        let ctx = &mut self.threads[ti];
+        ctx.window[i].stage = Stage::Executing { done_at: now + lat };
+        ctx.min_done_at = ctx.min_done_at.min(now + lat);
+        ctx.window[i].dmiss = l1_miss;
+        ctx.counters.iq_occ -= 1;
+        if !wrong_path {
+            ctx.counters.loads += 1;
+        }
+        if l1_miss {
+            ctx.counters.l1d_misses += 1;
+            ctx.counters.recent_l1d_misses += 1;
+            ctx.counters.outstanding_dmiss += 1;
+        }
+        if l2_miss {
+            ctx.counters.l2_misses += 1;
+        }
+        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at: now + lat });
+        true
+    }
+
+    fn issue_store(&mut self, q: QRef, now: u64) -> bool {
+        let ti = q.tid.idx();
+        let i = find_seq(&self.threads[ti].window, q.seq).expect("checked");
+        let uop = self.threads[ti].window[i].uop;
+        let wrong_path = self.threads[ti].window[i].wrong_path;
+        let addr = uop.mem.expect("store has mem").addr;
+        // Write-allocate access now; the write buffer hides the miss
+        // latency from the store itself.
+        let r = self.mem.data(addr);
+        let ctx = &mut self.threads[ti];
+        ctx.window[i].stage = Stage::Executing { done_at: now + 1 };
+        ctx.min_done_at = ctx.min_done_at.min(now + 1);
+        ctx.counters.iq_occ -= 1;
+        if !wrong_path {
+            ctx.counters.stores += 1;
+        }
+        if r.l1_miss {
+            ctx.counters.l1d_misses += 1;
+            ctx.counters.recent_l1d_misses += 1;
+        }
+        if r.l2_miss {
+            ctx.counters.l2_misses += 1;
+        }
+        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at: now + 1 });
+        true
+    }
+
+    fn try_issue_fp(&mut self, q: QRef, now: u64, fp_units: &mut usize) -> bool {
+        let ctx = &self.threads[q.tid.idx()];
+        let Some(i) = find_seq(&ctx.window, q.seq) else {
+            debug_assert!(false, "queue entry without window op");
+            return false;
+        };
+        debug_assert!(ctx.window[i].is_queued(), "issued op left in queue");
+        if !Self::deps_ready(ctx, &ctx.window[i]) {
+            return false;
+        }
+        let done_at = match ctx.window[i].uop.kind {
+            OpKind::FpAlu => now + self.cfg.lat_fp_alu,
+            OpKind::FpMul => now + self.cfg.lat_fp_mul,
+            OpKind::FpDiv => {
+                if self.fp_div_free_at > now {
+                    return false;
+                }
+                self.fp_div_free_at = now + self.cfg.lat_fp_div;
+                now + self.cfg.lat_fp_div
+            }
+            _ => unreachable!("non-fp op in fp queue"),
+        };
+        *fp_units -= 1;
+        let ctx = &mut self.threads[q.tid.idx()];
+        ctx.window[i].stage = Stage::Executing { done_at };
+        ctx.min_done_at = ctx.min_done_at.min(done_at);
+        ctx.counters.iq_occ -= 1;
+        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at });
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // stage 4: dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self) {
+        let now = self.cycle;
+        let mut budget = self.cfg.dispatch_width;
+        while budget > 0 {
+            let Some(&QRef { tid, seq }) = self.dispatch_fifo.front() else { break };
+            let ti = tid.idx();
+            let Some(i) = find_seq(&self.threads[ti].window, seq) else {
+                // Squashed while queued for decode; skip the bubble.
+                self.dispatch_fifo.pop_front();
+                continue;
+            };
+            let op = &self.threads[ti].window[i];
+            match op.stage {
+                Stage::FrontEnd { ready_at } if ready_at <= now => {}
+                // Still in the decode pipe (or already handled): stall.
+                _ => break,
+            }
+            let kind = op.uop.kind;
+            if kind == OpKind::Syscall {
+                // Syscalls hold no queue resources; they leave the decode
+                // pipe and wait in the window for the machine-wide drain.
+                self.dispatch_fifo.pop_front();
+                continue;
+            }
+            // Structural hazards stall the whole in-order front end.
+            let is_fp = kind.is_fp();
+            if is_fp {
+                if self.fp_iq.len() >= self.cfg.fp_iq_size {
+                    break;
+                }
+            } else if self.int_iq.len() >= self.cfg.int_iq_size {
+                break;
+            }
+            if kind.is_mem() && self.lsq.len() >= self.cfg.lsq_size {
+                self.threads[ti].counters.lsq_full_cycles += 1;
+                break;
+            }
+            if let Some(d) = op.uop.dst {
+                let free = match d.class {
+                    RegClass::Int => &mut self.free_int_regs,
+                    RegClass::Fp => &mut self.free_fp_regs,
+                };
+                if *free == 0 {
+                    break;
+                }
+                *free -= 1;
+            }
+            // Commit the dispatch.
+            let addr8 = op.uop.mem.map(|m| m.addr >> 3);
+            let is_store = kind == OpKind::Store;
+            let ctx = &mut self.threads[ti];
+            ctx.window[i].stage = Stage::Queued;
+            ctx.counters.front_end_occ -= 1;
+            ctx.counters.iq_occ += 1;
+            if is_fp {
+                self.fp_iq.push(QRef { tid, seq });
+            } else {
+                self.int_iq.push(QRef { tid, seq });
+            }
+            if let Some(a8) = addr8 {
+                self.lsq.push(LsqEntry { tid, seq, addr8: a8, is_store });
+            }
+            self.dispatch_fifo.pop_front();
+            self.trace_push(TraceEvent::Dispatch { cycle: now, tid, seq });
+            budget -= 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // stage 5: fetch
+    // ------------------------------------------------------------------
+
+    fn fetch<C: FetchChooser>(&mut self, chooser: &mut C) {
+        let now = self.cycle;
+        // Account stalls for blocked-but-willing threads every cycle.
+        for ctx in &mut self.threads {
+            if (ctx.fetch_blocked(now, &self.cfg) || !self.pending_syscalls.is_empty())
+                && ctx.fetch_enabled
+            {
+                ctx.counters.fetch_stall_cycles += 1;
+                ctx.counters.recent_stalls += 1;
+            }
+        }
+        if !self.pending_syscalls.is_empty() {
+            self.global.syscall_drain_cycles += 1;
+            return;
+        }
+        // Fetchable candidates, ordered by the policy.
+        let mut views = std::mem::take(&mut self.view_buf);
+        views.clear();
+        for ctx in &self.threads {
+            if ctx.fetchable(now, &self.cfg) {
+                views.push(PolicyView::of(ctx.tid, &ctx.counters, now));
+            }
+        }
+        chooser.prioritize(now, &mut views);
+        let mut remaining = self.cfg.fetch_width;
+        for v in views.iter().take(self.cfg.max_fetch_threads) {
+            if remaining == 0 {
+                break;
+            }
+            remaining -= self.fetch_thread(v.tid, remaining);
+        }
+        self.view_buf = views;
+    }
+
+    /// Fetch up to `budget` ops from `tid`; returns how many were fetched.
+    fn fetch_thread(&mut self, tid: Tid, budget: usize) -> usize {
+        let now = self.cycle;
+        let line_bytes = self.cfg.l1i.line_bytes as u64;
+        let mut fetched = 0usize;
+        let mut line: Option<u64> = None;
+        while fetched < budget {
+            let ctx = &self.threads[tid.idx()];
+            if ctx.window.len() >= self.cfg.rob_per_thread
+                || (ctx.counters.front_end_occ as usize) >= self.cfg.fetch_buffer_per_thread
+            {
+                break;
+            }
+            let wrong_path = ctx.wrong_path_since.is_some();
+            let pc = if wrong_path { ctx.wp_pc } else { ctx.stream.current_pc() };
+            // One I-cache line per thread per cycle.
+            let this_line = pc / line_bytes;
+            match line {
+                None => line = Some(this_line),
+                Some(l) if l != this_line => break,
+                _ => {}
+            }
+            if fetched == 0 {
+                // Access the line once per cycle (first op). A line whose
+                // miss we already waited out is delivered from the fetch
+                // buffer without re-probing (otherwise another thread could
+                // evict it during the stall and livelock this one).
+                if ctx.icache_ready_line == Some(this_line) {
+                    self.threads[tid.idx()].icache_ready_line = None;
+                } else {
+                    let r = self.mem.fetch(pc);
+                    if r.l1_miss {
+                        let ctx = &mut self.threads[tid.idx()];
+                        ctx.counters.l1i_misses += 1;
+                        ctx.counters.recent_l1i_misses += 1;
+                        if r.l2_miss {
+                            ctx.counters.l2_misses += 1;
+                        }
+                        ctx.icache_stall_until = now + r.latency;
+                        ctx.icache_ready_line = Some(this_line);
+                        break;
+                    }
+                }
+            }
+            // Produce the op.
+            let ctx = &mut self.threads[tid.idx()];
+            let uop = if wrong_path {
+                let op = ctx.wp_gen.next(ctx.wp_pc);
+                ctx.wp_pc += 4;
+                op
+            } else {
+                ctx.stream.next_uop()
+            };
+            let seq = ctx.next_seq;
+            ctx.next_seq += 1;
+            // Rename: resolve sources, then bind the destination.
+            let dep1 = uop.src1.and_then(|r| ctx.rename[r.flat()]);
+            let dep2 = uop.src2.and_then(|r| ctx.rename[r.flat()]);
+            if let Some(d) = uop.dst {
+                ctx.rename[d.flat()] = Some(seq);
+            }
+            let mut inflight = InFlight {
+                seq,
+                uop,
+                wrong_path,
+                deps: [dep1, dep2],
+                stage: Stage::FrontEnd { ready_at: now + self.cfg.front_end_latency },
+                mispredicted: false,
+                dmiss: false,
+                pht_index: 0,
+                history_at_fetch: 0,
+                fetched_at: now,
+            };
+            // Gauges and cumulative fetch counters.
+            ctx.counters.front_end_occ += 1;
+            if wrong_path {
+                ctx.counters.wrongpath_fetched += 1;
+            } else {
+                ctx.counters.fetched += 1;
+            }
+            self.global.fetch_slots_used += 1;
+            match uop.kind {
+                OpKind::Load => {
+                    ctx.counters.inflight_loads += 1;
+                    ctx.counters.inflight_mem += 1;
+                }
+                OpKind::Store => ctx.counters.inflight_mem += 1,
+                _ => {}
+            }
+            let mut stop_after = false;
+            if let Some(b) = uop.branch {
+                if b.kind == BranchKind::Conditional && !wrong_path {
+                    ctx.counters.cond_branches += 1;
+                }
+                if uop.is_cond_branch() {
+                    ctx.counters.inflight_branches += 1;
+                }
+                let pred = self.bpred.predict(tid, uop.pc, b.kind, b.taken, !wrong_path);
+                inflight.pht_index = pred.pht_index;
+                inflight.history_at_fetch = pred.history_at_fetch;
+                let mispredict = match b.kind {
+                    BranchKind::Conditional => pred.taken != b.taken,
+                    // Unconditional/call: direction always right; a BTB miss
+                    // is a fetch break, not a mispredict.
+                    BranchKind::Unconditional | BranchKind::Call => false,
+                    // Empty-RAS returns are discovered wrong at resolve.
+                    BranchKind::Return => !pred.target_known,
+                };
+                if !wrong_path && mispredict {
+                    inflight.mispredicted = true;
+                    let ctx = &mut self.threads[tid.idx()];
+                    ctx.wrong_path_since = Some(seq);
+                    // The wrong path is whichever direction the predictor
+                    // chose: the target if predicted taken, else fall-through.
+                    ctx.wp_pc = if pred.taken { b.target } else { uop.pc + 4 };
+                }
+                // No fetching past a predicted-taken branch in one cycle,
+                // nor past a taken branch with an unknown target.
+                if pred.taken || !pred.target_known {
+                    stop_after = true;
+                }
+            }
+            if uop.kind == OpKind::Syscall {
+                // Begin the machine-wide drain once this is fetched.
+                self.pending_syscalls.push_back(QRef { tid, seq });
+                stop_after = true;
+            }
+            let kind = inflight.uop.kind;
+            self.threads[tid.idx()].window.push_back(inflight);
+            self.dispatch_fifo.push_back(QRef { tid, seq });
+            self.trace_push(TraceEvent::Fetch { cycle: now, tid, seq, kind, wrong_path });
+            fetched += 1;
+            if stop_after {
+                break;
+            }
+        }
+        fetched
+    }
+
+    /// Human-readable one-screen snapshot of the pipeline state: per-thread
+    /// window occupancy by stage, shared-queue fill, and the drain state.
+    /// Intended for interactive debugging and the examples.
+    pub fn debug_snapshot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle {}  committed {}  IPC {:.3}  intq {}/{}  fpq {}/{}  lsq {}/{}  regs {}i/{}f  drain {}",
+            self.cycle,
+            self.global.committed,
+            self.aggregate_ipc(),
+            self.int_iq.len(),
+            self.cfg.int_iq_size,
+            self.fp_iq.len(),
+            self.cfg.fp_iq_size,
+            self.lsq.len(),
+            self.cfg.lsq_size,
+            self.free_int_regs,
+            self.free_fp_regs,
+            self.pending_syscalls.len(),
+        );
+        for ctx in &self.threads {
+            let (mut fe, mut q, mut ex, mut done) = (0, 0, 0, 0);
+            for op in &ctx.window {
+                match op.stage {
+                    Stage::FrontEnd { .. } => fe += 1,
+                    Stage::Queued => q += 1,
+                    Stage::Executing { .. } => ex += 1,
+                    Stage::Done => done += 1,
+                }
+            }
+            let _ = writeln!(
+                out,
+                "  {} {:<8} win {:>3} (fe {fe:>2} q {q:>2} ex {ex:>2} done {done:>2})  committed {:>8}  wp {}  {}",
+                ctx.tid,
+                ctx.stream.profile().name,
+                ctx.window.len(),
+                ctx.counters.committed,
+                ctx.counters.wrongpath_fetched,
+                if ctx.wrong_path_since.is_some() { "WRONG-PATH" } else { "" },
+            );
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // context switching (job-scheduler support)
+    // ------------------------------------------------------------------
+
+    /// Replace the job running on context `tid` with a fresh stream, as a
+    /// job scheduler would: every in-flight op of the thread is flushed
+    /// (its shared resources returned), the context state is reset, and
+    /// fetch is blocked for `penalty` cycles to model state save/restore.
+    ///
+    /// Per-thread *cumulative* counters reset with the job (they describe
+    /// the job, not the context); the machine-wide counters keep counting.
+    pub fn replace_thread(&mut self, tid: Tid, stream: UopStream, penalty: u64) {
+        self.flush_thread(tid);
+        let ctx = &mut self.threads[tid.idx()];
+        let base = stream.addr_base();
+        let ws = stream.profile().data_ws_bytes;
+        ctx.wp_gen = WrongPathGen::new(
+            SplitMix64::derive(0xAD75 ^ tid.idx() as u64, stream.generated() ^ 7),
+            base,
+            ws,
+        );
+        ctx.stream = stream;
+        ctx.counters = ThreadCounters::default();
+        ctx.icache_stall_until = self.cycle + penalty;
+        ctx.icache_ready_line = None;
+        ctx.redirect_stall_until = self.cycle + penalty;
+    }
+
+    /// Flush every in-flight op of `tid` and return its shared resources
+    /// (queue slots, LSQ entries, rename registers, pending syscalls).
+    pub fn flush_thread(&mut self, tid: Tid) {
+        let ti = tid.idx();
+        let ctx = &mut self.threads[ti];
+        let victims: Vec<InFlight> = ctx.window.drain(..).collect();
+        for op in &victims {
+            match op.stage {
+                Stage::FrontEnd { .. } => ctx.counters.front_end_occ -= 1,
+                Stage::Queued => ctx.counters.iq_occ -= 1,
+                _ => {}
+            }
+            if !op.is_done() {
+                match op.uop.kind {
+                    OpKind::Branch if op.uop.is_cond_branch() => {
+                        ctx.counters.inflight_branches -= 1
+                    }
+                    OpKind::Load => {
+                        if op.dmiss && matches!(op.stage, Stage::Executing { .. }) {
+                            ctx.counters.outstanding_dmiss -= 1;
+                        }
+                        ctx.counters.inflight_loads -= 1;
+                        ctx.counters.inflight_mem -= 1;
+                    }
+                    OpKind::Store => ctx.counters.inflight_mem -= 1,
+                    _ => {}
+                }
+            }
+            if op.past_dispatch() {
+                if let Some(d) = op.uop.dst {
+                    match d.class {
+                        RegClass::Int => self.free_int_regs += 1,
+                        RegClass::Fp => self.free_fp_regs += 1,
+                    }
+                }
+            }
+        }
+        let ctx = &mut self.threads[ti];
+        ctx.wrong_path_since = None;
+        ctx.rename = [None; 64];
+        ctx.min_done_at = u64::MAX;
+        self.int_iq.retain(|q| q.tid != tid);
+        self.fp_iq.retain(|q| q.tid != tid);
+        self.lsq.retain(|e| e.tid != tid);
+        self.dispatch_fifo.retain(|q| q.tid != tid);
+        self.pending_syscalls.retain(|q| q.tid != tid);
+    }
+
+    // ------------------------------------------------------------------
+    // stage 6: cycle bookkeeping
+    // ------------------------------------------------------------------
+
+    fn end_cycle(&mut self) {
+        if self.lsq.len() >= self.cfg.lsq_size {
+            self.global.lsq_full_cycles += 1;
+        }
+        self.cycle += 1;
+        self.global.cycles = self.cycle;
+        if self.cycle.is_multiple_of(self.cfg.decay_period) {
+            for ctx in &mut self.threads {
+                ctx.counters.decay();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // invariant checking (tests and debug builds)
+    // ------------------------------------------------------------------
+
+    /// Recompute every gauge from scratch and compare with the maintained
+    /// values; panics on divergence. O(window); called from tests.
+    pub fn check_invariants(&self) {
+        let mut int_q = 0usize;
+        let mut fp_q = 0usize;
+        for ctx in &self.threads {
+            let mut fe = 0u32;
+            let mut iq = 0u32;
+            let mut brs = 0u32;
+            let mut lds = 0u32;
+            let mut mems = 0u32;
+            let mut dmiss = 0u32;
+            let mut prev_seq: Option<u64> = None;
+            for op in &ctx.window {
+                if let Some(p) = prev_seq {
+                    assert!(op.seq > p, "window out of order for {}", ctx.tid);
+                }
+                prev_seq = Some(op.seq);
+                match op.stage {
+                    Stage::FrontEnd { .. } => fe += 1,
+                    Stage::Queued => {
+                        iq += 1;
+                        if op.uop.kind.is_fp() {
+                            fp_q += 1;
+                        } else {
+                            int_q += 1;
+                        }
+                    }
+                    Stage::Executing { .. } => {
+                        if op.dmiss {
+                            dmiss += 1;
+                        }
+                    }
+                    Stage::Done => {}
+                }
+                if !op.is_done() {
+                    if op.uop.is_cond_branch() {
+                        brs += 1;
+                    }
+                    match op.uop.kind {
+                        OpKind::Load => {
+                            lds += 1;
+                            mems += 1;
+                        }
+                        OpKind::Store => mems += 1,
+                        _ => {}
+                    }
+                }
+            }
+            let c = &ctx.counters;
+            assert_eq!(c.front_end_occ, fe, "front_end_occ gauge drift on {}", ctx.tid);
+            assert_eq!(c.iq_occ, iq, "iq_occ gauge drift on {}", ctx.tid);
+            assert_eq!(c.inflight_branches, brs, "branch gauge drift on {}", ctx.tid);
+            assert_eq!(c.inflight_loads, lds, "load gauge drift on {}", ctx.tid);
+            assert_eq!(c.inflight_mem, mems, "mem gauge drift on {}", ctx.tid);
+            assert_eq!(c.outstanding_dmiss, dmiss, "dmiss gauge drift on {}", ctx.tid);
+        }
+        assert_eq!(self.int_iq.len(), int_q, "int IQ ref-count drift");
+        assert_eq!(self.fp_iq.len(), fp_q, "fp IQ ref-count drift");
+        assert!(self.int_iq.len() <= self.cfg.int_iq_size, "int IQ overflow");
+        assert!(self.fp_iq.len() <= self.cfg.fp_iq_size, "fp IQ overflow");
+        assert!(self.lsq.len() <= self.cfg.lsq_size, "LSQ overflow");
+        assert!(self.free_int_regs <= self.cfg.extra_phys_int, "int reg over-free");
+        assert!(self.free_fp_regs <= self.cfg.extra_phys_fp, "fp reg over-free");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::RoundRobin;
+    use smt_isa::AppProfile;
+    use std::sync::Arc;
+
+    fn stream(seed: u64, tid: usize) -> UopStream {
+        UopStream::new(
+            Arc::new(AppProfile::builder("t").build()),
+            seed,
+            smt_workloads::thread_addr_base(tid),
+        )
+    }
+
+    fn machine(n: usize, seed: u64) -> SmtMachine {
+        let cfg = SimConfig::with_threads(n);
+        let streams = (0..n).map(|i| stream(seed + i as u64, i)).collect();
+        SmtMachine::new(cfg, streams)
+    }
+
+    #[test]
+    fn makes_forward_progress() {
+        let mut m = machine(4, 1);
+        m.run(5_000, &mut RoundRobin);
+        assert!(m.total_committed() > 1_000, "committed {}", m.total_committed());
+        for t in 0..4 {
+            assert!(m.counters(Tid(t)).committed > 0, "thread {t} starved");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = machine(4, 2);
+        let mut b = machine(4, 2);
+        a.run(3_000, &mut RoundRobin);
+        b.run(3_000, &mut RoundRobin);
+        assert_eq!(a.total_committed(), b.total_committed());
+        for t in 0..4 {
+            assert_eq!(a.counters(Tid(t)), b.counters(Tid(t)));
+        }
+    }
+
+    #[test]
+    fn clone_resumes_identically() {
+        let mut a = machine(2, 3);
+        a.run(2_000, &mut RoundRobin);
+        let mut b = a.clone();
+        a.run(2_000, &mut RoundRobin);
+        b.run(2_000, &mut RoundRobin);
+        assert_eq!(a.total_committed(), b.total_committed());
+        assert_eq!(a.global(), b.global());
+    }
+
+    #[test]
+    fn invariants_hold_throughout() {
+        let mut m = machine(8, 4);
+        for _ in 0..2_000 {
+            m.step(&mut RoundRobin);
+            m.check_invariants();
+        }
+    }
+
+    #[test]
+    fn mispredicts_and_squashes_happen() {
+        let mut m = machine(4, 5);
+        m.run(10_000, &mut RoundRobin);
+        let total_mispred: u64 = (0..4).map(|t| m.counters(Tid(t)).mispredicts).sum();
+        assert!(total_mispred > 10, "no mispredicts in a branchy workload");
+        assert_eq!(m.global().squashes, total_mispred);
+        let wp: u64 = (0..4).map(|t| m.counters(Tid(t)).wrongpath_fetched).sum();
+        assert!(wp > 0, "mispredicts must cause wrong-path fetch");
+    }
+
+    #[test]
+    fn caches_miss_and_fill() {
+        let mut m = machine(2, 6);
+        m.run(10_000, &mut RoundRobin);
+        let c0 = m.counters(Tid(0));
+        assert!(c0.l1d_misses > 0, "no D-cache misses");
+        assert!(c0.loads > 0 && c0.stores > 0);
+        // The default profile's 64 KiB working set exceeds the shared L1D,
+        // so misses are plentiful — but strided reuse must keep the ratio
+        // well below a pure-streaming 100%.
+        assert!(m.mem.l1d.miss_ratio() < 0.85, "L1D miss ratio {}", m.mem.l1d.miss_ratio());
+        assert!(m.mem.l1d.miss_ratio() > 0.0);
+    }
+
+    #[test]
+    fn disabled_thread_does_not_fetch() {
+        let mut m = machine(2, 7);
+        m.set_fetch_enabled(Tid(1), false);
+        m.run(3_000, &mut RoundRobin);
+        assert_eq!(m.counters(Tid(1)).fetched, 0);
+        assert!(m.counters(Tid(0)).committed > 0);
+        assert!(!m.fetch_enabled(Tid(1)));
+    }
+
+    #[test]
+    fn syscall_drains_machine() {
+        let p = AppProfile::builder("sys").syscall_per_muop(2_000.0).build();
+        let streams = vec![
+            UopStream::new(Arc::new(p), 8, smt_workloads::thread_addr_base(0)),
+            stream(9, 1),
+        ];
+        let mut m = SmtMachine::new(SimConfig::with_threads(2), streams);
+        m.run(30_000, &mut RoundRobin);
+        assert!(m.counters(Tid(0)).syscalls > 0, "no syscalls retired");
+        assert!(m.global().syscall_drain_cycles > 0);
+        // Forward progress resumed after drains.
+        assert!(m.counters(Tid(1)).committed > 1_000);
+    }
+
+    #[test]
+    fn more_threads_more_throughput() {
+        let mut one = machine(1, 10);
+        let mut four = machine(4, 10);
+        one.run(8_000, &mut RoundRobin);
+        four.run(8_000, &mut RoundRobin);
+        assert!(
+            four.aggregate_ipc() > 1.3 * one.aggregate_ipc(),
+            "SMT gained nothing: 1T={} 4T={}",
+            one.aggregate_ipc(),
+            four.aggregate_ipc()
+        );
+    }
+
+    #[test]
+    fn ipc_is_plausible() {
+        let mut m = machine(8, 11);
+        m.run(20_000, &mut RoundRobin);
+        let ipc = m.aggregate_ipc();
+        assert!(ipc > 1.0 && ipc <= 8.0, "implausible aggregate IPC {ipc}");
+    }
+
+    #[test]
+    fn committed_matches_thread_sum() {
+        let mut m = machine(4, 12);
+        m.run(5_000, &mut RoundRobin);
+        let sum: u64 = (0..4).map(|t| m.counters(Tid(t)).committed).sum();
+        assert_eq!(sum, m.total_committed());
+    }
+
+    #[test]
+    fn views_cover_all_threads() {
+        let m = machine(3, 13);
+        let v = m.views();
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[2].tid, Tid(2));
+    }
+}
+
+#[cfg(test)]
+mod characterization {
+    //! Characterization tests: these pin down the *shape* of the machine
+    //! model (predictor quality, per-app orderings, SMT scaling) rather
+    //! than exact numbers, so modeling regressions are caught early.
+    use super::*;
+    use crate::chooser::{FnChooser, RoundRobin};
+    use smt_isa::AppProfile;
+    use std::sync::Arc;
+
+    fn app_machine(names: &[&str], seed: u64) -> SmtMachine {
+        let cfg = SimConfig::with_threads(names.len());
+        let streams = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| {
+                UopStream::new(
+                    Arc::new(smt_workloads::app(n)),
+                    seed + i as u64,
+                    smt_workloads::thread_addr_base(i),
+                )
+            })
+            .collect();
+        SmtMachine::new(cfg, streams)
+    }
+
+    fn single_ipc(name: &str) -> f64 {
+        let mut m = app_machine(&[name], 11);
+        m.run(30_000, &mut RoundRobin);
+        let warm = m.total_committed();
+        let c0 = m.cycle();
+        m.run(60_000, &mut RoundRobin);
+        (m.total_committed() - warm) as f64 / (m.cycle() - c0) as f64
+    }
+
+    #[test]
+    fn predictor_accuracy_on_stream_is_realistic() {
+        let mut st = UopStream::new(
+            Arc::new(AppProfile::builder("t").build()),
+            11,
+            smt_workloads::thread_addr_base(0),
+        );
+        let mut p = BranchPredictor::new(&SimConfig::default());
+        let (mut n, mut correct, mut warm) = (0u64, 0u64, 0u64);
+        loop {
+            let op = st.next_uop();
+            if !op.is_cond_branch() {
+                continue;
+            }
+            let b = op.branch.unwrap();
+            let pr = p.predict(Tid(0), op.pc, BranchKind::Conditional, b.taken, true);
+            p.train(op.pc, pr.pht_index, b.taken);
+            warm += 1;
+            if warm < 5_000 {
+                continue;
+            }
+            n += 1;
+            if pr.taken == b.taken {
+                correct += 1;
+            }
+            if n == 50_000 {
+                break;
+            }
+        }
+        let acc = correct as f64 / n as f64;
+        assert!(acc > 0.80, "predictor accuracy {acc} below the realistic band");
+    }
+
+    #[test]
+    fn single_thread_app_ipc_ordering() {
+        // The defining order: pointer-chasing mcf is the slowest, streaming
+        // swim is memory-bound but better, cache-resident gzip is fastest.
+        let mcf = single_ipc("mcf");
+        let swim = single_ipc("swim");
+        let gzip = single_ipc("gzip");
+        assert!(mcf < swim, "mcf {mcf} should trail swim {swim}");
+        assert!(swim < gzip, "swim {swim} should trail gzip {gzip}");
+        assert!(mcf < 0.6, "mcf must look memory-bound, got {mcf}");
+        assert!(gzip > 0.8, "gzip must look cache-resident, got {gzip}");
+    }
+
+    #[test]
+    fn mispredict_rates_track_app_character() {
+        let rate = |name: &str| {
+            let mut m = app_machine(&[name], 13);
+            m.run(60_000, &mut RoundRobin);
+            let c = m.counters(Tid(0));
+            c.mispredicts as f64 / c.branches_resolved.max(1) as f64
+        };
+        let gcc = rate("gcc");
+        let swim = rate("swim");
+        assert!(
+            gcc > 2.0 * swim,
+            "control-intensive gcc ({gcc}) must mispredict far more than swim ({swim})"
+        );
+        assert!(swim < 0.08, "swim mispredict rate {swim} too high");
+    }
+
+    #[test]
+    fn smt_throughput_scales_with_contexts() {
+        let ipc = |n: usize| {
+            let cfg = SimConfig::with_threads(n);
+            let streams = (0..n)
+                .map(|i| {
+                    UopStream::new(
+                        Arc::new(AppProfile::builder("t").build()),
+                        11 + i as u64,
+                        smt_workloads::thread_addr_base(i),
+                    )
+                })
+                .collect();
+            let mut m = SmtMachine::new(cfg, streams);
+            let mut icount = FnChooser(|_c: u64, v: &mut Vec<PolicyView>| {
+                v.sort_by_key(|x| x.front_end_occ as u64 + x.iq_occ as u64);
+            });
+            m.run(30_000, &mut icount);
+            m.aggregate_ipc()
+        };
+        let (i1, i2, i4, i8) = (ipc(1), ipc(2), ipc(4), ipc(8));
+        assert!(i2 > 1.5 * i1, "2T {i2} vs 1T {i1}");
+        assert!(i4 > i2, "4T {i4} vs 2T {i2}");
+        assert!(i8 > i4, "8T {i8} vs 4T {i4}");
+        assert!(i8 > 1.5, "8T aggregate IPC {i8} implausibly low");
+    }
+
+    #[test]
+    fn wrongpath_fetch_is_substantial_for_branchy_apps() {
+        let mut m = app_machine(&["gcc"], 17);
+        m.run(30_000, &mut RoundRobin);
+        let c = m.counters(Tid(0));
+        let frac = c.wrongpath_fetched as f64 / (c.fetched + c.wrongpath_fetched) as f64;
+        assert!(
+            frac > 0.10,
+            "gcc should waste a visible fraction of fetch on the wrong path, got {frac}"
+        );
+    }
+}

@@ -1,0 +1,136 @@
+//! Opt-in pipeline event tracing.
+//!
+//! A bounded ring of [`TraceEvent`]s the machine appends to when tracing
+//! is enabled (`SmtMachine::enable_trace`). Disabled by default and fully
+//! skipped in that case, so the hot loop pays one branch. Useful for
+//! debugging scheduling pathologies at cycle resolution — e.g. watching a
+//! clogging thread's ops monopolize dispatch slots, or a squash ripple
+//! through the queues.
+
+use smt_isa::{OpKind, Tid};
+use std::collections::VecDeque;
+
+/// One pipeline event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An op entered the window at fetch.
+    Fetch { cycle: u64, tid: Tid, seq: u64, kind: OpKind, wrong_path: bool },
+    /// An op left the decode pipe into an instruction queue.
+    Dispatch { cycle: u64, tid: Tid, seq: u64 },
+    /// An op began executing.
+    Issue { cycle: u64, tid: Tid, seq: u64, done_at: u64 },
+    /// An op finished executing.
+    Complete { cycle: u64, tid: Tid, seq: u64 },
+    /// An op retired.
+    Commit { cycle: u64, tid: Tid, seq: u64 },
+    /// A mispredict recovery removed every op of `tid` younger than
+    /// `after_seq` (`victims` of them).
+    Squash { cycle: u64, tid: Tid, after_seq: u64, victims: usize },
+}
+
+impl TraceEvent {
+    /// The cycle the event occurred in.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::Fetch { cycle, .. }
+            | TraceEvent::Dispatch { cycle, .. }
+            | TraceEvent::Issue { cycle, .. }
+            | TraceEvent::Complete { cycle, .. }
+            | TraceEvent::Commit { cycle, .. }
+            | TraceEvent::Squash { cycle, .. } => cycle,
+        }
+    }
+
+    /// The thread the event belongs to.
+    pub fn tid(&self) -> Tid {
+        match *self {
+            TraceEvent::Fetch { tid, .. }
+            | TraceEvent::Dispatch { tid, .. }
+            | TraceEvent::Issue { tid, .. }
+            | TraceEvent::Complete { tid, .. }
+            | TraceEvent::Commit { tid, .. }
+            | TraceEvent::Squash { tid, .. } => tid,
+        }
+    }
+}
+
+/// Bounded event ring: oldest events drop first.
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuffer {
+    cap: usize,
+    ring: VecDeque<TraceEvent>,
+    /// Total events ever recorded (including dropped ones).
+    pub recorded: u64,
+}
+
+impl TraceBuffer {
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "zero-capacity trace");
+        TraceBuffer { cap, ring: VecDeque::with_capacity(cap.min(4096)), recorded: 0 }
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+        self.recorded += 1;
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.ring.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Retained events for one thread, oldest first.
+    pub fn for_thread(&self, tid: Tid) -> Vec<TraceEvent> {
+        self.ring.iter().copied().filter(|e| e.tid() == tid).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, tid: u8, seq: u64) -> TraceEvent {
+        TraceEvent::Fetch { cycle, tid: Tid(tid), seq, kind: OpKind::IntAlu, wrong_path: false }
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let mut t = TraceBuffer::new(3);
+        for i in 0..5 {
+            t.push(ev(i, 0, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.recorded, 5);
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle()).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn per_thread_filter() {
+        let mut t = TraceBuffer::new(10);
+        t.push(ev(0, 0, 0));
+        t.push(ev(1, 1, 0));
+        t.push(ev(2, 0, 1));
+        assert_eq!(t.for_thread(Tid(0)).len(), 2);
+        assert_eq!(t.for_thread(Tid(1)).len(), 1);
+        assert!(t.for_thread(Tid(2)).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cap_panics() {
+        let _ = TraceBuffer::new(0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Wrong-path micro-op synthesis.
+//!
+//! After a fetch-time mispredict the machine keeps fetching down the wrong
+//! path until the branch resolves — those instructions occupy fetch slots,
+//! queue entries, registers and functional units, and pollute the caches.
+//! That waste is precisely the phenomenon BRCOUNT-style policies exist to
+//! limit (paper §1), so it must be modeled, but its *content* is
+//! meaningless: the [`WrongPathGen`] synthesizes plausible filler ops
+//! deterministically from the thread seed.
+//!
+//! Wrong-path streams never contain syscalls (a squashed drain would
+//! deadlock the drain protocol) and their branches never trigger nested
+//! squashes (the machine ignores mispredicts on wrong-path ops).
+
+use smt_isa::{ArchReg, BranchInfo, BranchKind, MemInfo, MicroOp, OpKind, RegClass};
+use smt_workloads::SplitMix64;
+
+/// Deterministic generator of wrong-path filler ops for one thread.
+#[derive(Clone, Debug)]
+pub struct WrongPathGen {
+    rng: SplitMix64,
+    /// Thread address base (so cache pollution lands in this thread's
+    /// address space).
+    addr_base: u64,
+    /// Data-region mask for synthesized accesses.
+    ws_mask: u64,
+    /// Wider mask for the polluting minority of wrong-path loads.
+    pollute_mask: u64,
+    next_dst: u8,
+}
+
+impl WrongPathGen {
+    pub fn new(seed: u64, addr_base: u64, ws_bytes: u64) -> Self {
+        // Wrong-path code is nearby code: its data accesses share the hot
+        // region, they don't stream the whole footprint.
+        let hot = (ws_bytes.max(64).next_power_of_two() / 32).clamp(2 << 10, 8 << 10);
+        let full = ws_bytes.max(64).next_power_of_two();
+        WrongPathGen {
+            rng: SplitMix64::new(SplitMix64::derive(seed, 0xDEAD)),
+            addr_base,
+            ws_mask: hot.min(full) - 1,
+            pollute_mask: full.min(1 << 22) - 1,
+            next_dst: 0,
+        }
+    }
+
+    /// Synthesize the op at wrong-path pc `pc`.
+    pub fn next(&mut self, pc: u64) -> MicroOp {
+        let r = self.rng.next_f64();
+        self.next_dst = (self.next_dst + 1) % 24;
+        let dst = ArchReg { class: RegClass::Int, idx: 2 + self.next_dst };
+        let src = ArchReg { class: RegClass::Int, idx: 2 + (self.next_dst + 11) % 24 };
+        if r < 0.55 {
+            MicroOp {
+                kind: OpKind::IntAlu,
+                pc,
+                dst: Some(dst),
+                src1: Some(src),
+                src2: None,
+                mem: None,
+                branch: None,
+            }
+        } else if r < 0.75 {
+            // Most wrong-path loads touch hot data, but a third wander off
+            // into the wider footprint and genuinely pollute the caches.
+            let addr = if self.rng.next_f64() < 0.33 {
+                self.addr_base | (self.rng.next_u64() & self.pollute_mask & !7)
+            } else {
+                self.addr_base | (self.rng.next_u64() & self.ws_mask & !7)
+            };
+            MicroOp {
+                kind: OpKind::Load,
+                pc,
+                dst: Some(dst),
+                src1: Some(src),
+                src2: None,
+                mem: Some(MemInfo { addr, size: 8 }),
+                branch: None,
+            }
+        } else if r < 0.83 {
+            let addr = self.addr_base | (self.rng.next_u64() & self.ws_mask & !7);
+            MicroOp {
+                kind: OpKind::Store,
+                pc,
+                dst: None,
+                src1: Some(src),
+                src2: None,
+                mem: Some(MemInfo { addr, size: 8 }),
+                branch: None,
+            }
+        } else if r < 0.93 {
+            let taken = self.rng.next_u64() & 1 == 0;
+            MicroOp {
+                kind: OpKind::Branch,
+                pc,
+                dst: None,
+                src1: Some(src),
+                src2: None,
+                mem: None,
+                branch: Some(BranchInfo { kind: BranchKind::Conditional, taken, target: pc + 32 }),
+            }
+        } else {
+            MicroOp {
+                kind: OpKind::IntAlu,
+                pc,
+                dst: Some(dst),
+                src1: None,
+                src2: None,
+                mem: None,
+                branch: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_emits_syscalls() {
+        let mut g = WrongPathGen::new(1, 1 << 40, 1 << 16);
+        for pc in 0..20_000u64 {
+            let op = g.next((1 << 40) | (pc * 4));
+            assert_ne!(op.kind, OpKind::Syscall);
+            assert!(op.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut a = WrongPathGen::new(5, 0, 4096);
+        let mut b = WrongPathGen::new(5, 0, 4096);
+        for pc in 0..1000u64 {
+            assert_eq!(a.next(pc * 4), b.next(pc * 4));
+        }
+    }
+
+    #[test]
+    fn addresses_within_thread_region() {
+        let base = 3u64 << 40;
+        let mut g = WrongPathGen::new(9, base, 1 << 20);
+        for pc in 0..5_000u64 {
+            if let Some(m) = g.next(base + pc * 4).mem {
+                assert_eq!(m.addr & base, base);
+                assert!((m.addr & !base) <= (1 << 20));
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Machine microtests: scripted op sequences pinning down the exact
+//! behaviour of individual mechanisms (forwarding, unpipelined dividers,
+//! register exhaustion, fetch breaks, the syscall drain).
+
+use smt_isa::{AppProfile, ArchReg, BranchInfo, BranchKind, MemInfo, MicroOp, OpKind, Tid};
+use smt_sim::{RoundRobin, SimConfig, SmtMachine};
+use smt_workloads::UopStream;
+use std::sync::Arc;
+
+const BASE: u64 = 1 << 40;
+
+fn profile() -> Arc<AppProfile> {
+    Arc::new(AppProfile::builder("micro").build())
+}
+
+fn machine_with(script: Vec<MicroOp>, cfg: SimConfig) -> SmtMachine {
+    let stream = UopStream::scripted(profile(), BASE, script);
+    SmtMachine::new(cfg, vec![stream])
+}
+
+fn alu(pc: u64, dst: u8, src: Option<u8>) -> MicroOp {
+    MicroOp {
+        kind: OpKind::IntAlu,
+        pc: BASE | pc,
+        dst: Some(ArchReg::int(dst)),
+        src1: src.map(ArchReg::int),
+        src2: None,
+        mem: None,
+        branch: None,
+    }
+}
+
+fn load(pc: u64, dst: u8, addr: u64) -> MicroOp {
+    MicroOp {
+        kind: OpKind::Load,
+        pc: BASE | pc,
+        dst: Some(ArchReg::int(dst)),
+        src1: None,
+        src2: None,
+        mem: Some(MemInfo { addr: BASE | addr, size: 8 }),
+        branch: None,
+    }
+}
+
+fn store(pc: u64, addr: u64) -> MicroOp {
+    MicroOp {
+        kind: OpKind::Store,
+        pc: BASE | pc,
+        dst: None,
+        src1: None,
+        src2: None,
+        mem: Some(MemInfo { addr: BASE | addr, size: 8 }),
+        branch: None,
+    }
+}
+
+#[test]
+fn store_to_load_forwarding_skips_the_cache() {
+    // A store and a dependent-address load to the same word, far from any
+    // cached line: with forwarding, the load never touches the D-cache.
+    let script = vec![store(0x0, 0x9000), load(0x4, 3, 0x9000)];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(2_000, &mut RoundRobin);
+    let c = m.counters(Tid(0));
+    assert!(c.committed > 100, "no progress");
+    // Every load pairs with an immediately older same-address store, so
+    // load-side L1D misses can only come from the stores themselves
+    // (write-allocate) — the first touch — not from the loads.
+    assert!(
+        c.l1d_misses <= c.stores / 8 + 2,
+        "forwarding not effective: {} misses for {} stores",
+        c.l1d_misses,
+        c.stores
+    );
+}
+
+#[test]
+fn unpipelined_divider_serializes() {
+    // Back-to-back independent divides vs back-to-back independent ALUs:
+    // the single divider must make the div script far slower.
+    let divs: Vec<MicroOp> = (0..4u8)
+        .map(|i| MicroOp { kind: OpKind::IntDiv, ..alu(4 * i as u64, 10 + i, None) })
+        .collect();
+    let alus: Vec<MicroOp> = (0..4u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
+    let mut md = machine_with(divs, SimConfig::with_threads(1));
+    let mut ma = machine_with(alus, SimConfig::with_threads(1));
+    md.run(4_000, &mut RoundRobin);
+    ma.run(4_000, &mut RoundRobin);
+    let div_ipc = md.aggregate_ipc();
+    let alu_ipc = ma.aggregate_ipc();
+    assert!(
+        alu_ipc > 5.0 * div_ipc,
+        "divider not serializing: div {div_ipc:.2} vs alu {alu_ipc:.2}"
+    );
+    // The divider bounds throughput at ~1 per lat_int_div cycles.
+    let max_div_ipc = 1.0 / md.config().lat_int_div as f64;
+    assert!(div_ipc <= max_div_ipc * 1.2, "div ipc {div_ipc} above divider bound");
+}
+
+#[test]
+fn register_exhaustion_throttles_but_never_deadlocks() {
+    let mut cfg = SimConfig::with_threads(1);
+    cfg.extra_phys_int = 4; // brutally small rename pool
+    let script: Vec<MicroOp> = (0..8u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
+    let mut m = machine_with(script, cfg);
+    m.run(3_000, &mut RoundRobin);
+    assert!(m.counters(Tid(0)).committed > 500, "deadlocked on tiny register file");
+    m.check_invariants();
+}
+
+#[test]
+fn tiny_lsq_throttles_but_never_deadlocks() {
+    let mut cfg = SimConfig::with_threads(1);
+    cfg.lsq_size = 2;
+    let script = vec![load(0x0, 3, 0x100), store(0x4, 0x200), load(0x8, 4, 0x300)];
+    let mut m = machine_with(script, cfg);
+    m.run(3_000, &mut RoundRobin);
+    assert!(m.counters(Tid(0)).committed > 300, "deadlocked on tiny LSQ");
+    m.check_invariants();
+}
+
+#[test]
+fn dependent_chain_runs_at_one_ipc() {
+    // Each op reads the previous op's destination: a pure serial chain.
+    // With single-cycle ALUs the machine must settle at ~1 IPC, proving
+    // that rename reconstructs the chain (no false independence).
+    let script: Vec<MicroOp> = (0..8u8)
+        .map(|i| alu(4 * i as u64, 10 + (i + 1) % 8, Some(10 + i)))
+        .collect();
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(500, &mut RoundRobin); // warm
+    let c0 = m.total_committed();
+    let cy0 = m.cycle();
+    m.run(2_000, &mut RoundRobin);
+    let ipc = (m.total_committed() - c0) as f64 / (m.cycle() - cy0) as f64;
+    assert!((0.8..=1.1).contains(&ipc), "serial chain ran at {ipc} IPC");
+}
+
+#[test]
+fn independent_ops_exceed_serial_throughput() {
+    let script: Vec<MicroOp> = (0..8u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(500, &mut RoundRobin);
+    let c0 = m.total_committed();
+    let cy0 = m.cycle();
+    m.run(2_000, &mut RoundRobin);
+    let ipc = (m.total_committed() - c0) as f64 / (m.cycle() - cy0) as f64;
+    assert!(ipc > 2.0, "independent ALUs only reached {ipc} IPC");
+}
+
+#[test]
+fn taken_branch_ends_the_fetch_group() {
+    // An always-taken self-loop branch: fetch can take at most one branch
+    // per cycle per thread, so fetched-per-cycle stays near 1.
+    let br = MicroOp {
+        kind: OpKind::Branch,
+        pc: BASE,
+        dst: None,
+        src1: None,
+        src2: None,
+        mem: None,
+        branch: Some(BranchInfo { kind: BranchKind::Unconditional, taken: true, target: BASE }),
+    };
+    let mut m = machine_with(vec![br], SimConfig::with_threads(1));
+    m.run(1_000, &mut RoundRobin);
+    let c = m.counters(Tid(0));
+    let per_cycle = (c.fetched + c.wrongpath_fetched) as f64 / m.cycle() as f64;
+    assert!(per_cycle <= 1.05, "fetched {per_cycle} branches/cycle past a taken branch");
+}
+
+#[test]
+fn syscall_drains_and_costs_its_latency() {
+    let script = vec![
+        alu(0x0, 10, None),
+        MicroOp { kind: OpKind::Syscall, ..MicroOp::nop(BASE | 0x4) },
+        alu(0x8, 11, None),
+    ];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(5_000, &mut RoundRobin);
+    let c = m.counters(Tid(0));
+    assert!(c.syscalls >= 1, "no syscall retired");
+    // Each script cycle (3 ops) costs at least syscall_latency cycles, so
+    // IPC is bounded by 3 / syscall_latency.
+    let bound = 3.0 / m.config().syscall_latency as f64;
+    assert!(
+        m.aggregate_ipc() < bound * 2.0,
+        "syscalls too cheap: {} vs bound {bound}",
+        m.aggregate_ipc()
+    );
+    assert!(m.global().syscall_drain_cycles > m.cycle() / 2);
+}
+
+#[test]
+fn flush_thread_releases_everything() {
+    let script = vec![load(0x0, 3, 0x5000), alu(0x4, 4, Some(3)), store(0x8, 0x6000)];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(100, &mut RoundRobin);
+    assert!(m.total_inflight() > 0);
+    m.flush_thread(Tid(0));
+    assert_eq!(m.total_inflight(), 0);
+    m.check_invariants();
+    // And the machine keeps running afterwards.
+    m.run(500, &mut RoundRobin);
+    assert!(m.total_committed() > 0);
+}
+
+#[test]
+fn replace_thread_swaps_the_job() {
+    let script = vec![alu(0x0, 10, None)];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(500, &mut RoundRobin);
+    let committed_before = m.counters(Tid(0)).committed;
+    assert!(committed_before > 0);
+    let new_stream = UopStream::scripted(profile(), BASE, vec![load(0x100, 5, 0x7000)]);
+    m.replace_thread(Tid(0), new_stream, 100);
+    assert_eq!(m.counters(Tid(0)).committed, 0, "new job starts fresh");
+    m.run(1_000, &mut RoundRobin);
+    let c = m.counters(Tid(0));
+    assert!(c.loads > 0, "new job's loads must run");
+    m.check_invariants();
+}
+
+#[test]
+fn trace_records_full_op_lifecycles() {
+    use smt_sim::TraceEvent;
+    let script = vec![alu(0x0, 10, None), load(0x4, 11, 0x2000)];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.enable_trace(4096);
+    m.run(200, &mut RoundRobin);
+    let trace = m.trace().expect("enabled");
+    assert!(!trace.is_empty());
+    // Some op must appear with all four lifecycle stages in order.
+    let mut stages_of_seq0 = Vec::new();
+    for e in trace.events() {
+        match *e {
+            TraceEvent::Fetch { seq: 0, .. } => stages_of_seq0.push("F"),
+            TraceEvent::Dispatch { seq: 0, .. } => stages_of_seq0.push("D"),
+            TraceEvent::Issue { seq: 0, .. } => stages_of_seq0.push("I"),
+            TraceEvent::Complete { seq: 0, .. } => stages_of_seq0.push("X"),
+            TraceEvent::Commit { seq: 0, .. } => stages_of_seq0.push("C"),
+            _ => {}
+        }
+    }
+    assert_eq!(stages_of_seq0, vec!["F", "D", "I", "X", "C"]);
+    // Event cycles are non-decreasing.
+    let cycles: Vec<u64> = trace.events().map(|e| e.cycle()).collect();
+    assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "trace out of order");
+}
+
+#[test]
+fn trace_is_off_by_default_and_removable() {
+    let script = vec![alu(0x0, 10, None)];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    assert!(m.trace().is_none());
+    m.run(50, &mut RoundRobin);
+    m.enable_trace(16);
+    m.run(50, &mut RoundRobin);
+    let buf = m.disable_trace().expect("was enabled");
+    assert!(buf.recorded > 0);
+    assert!(m.trace().is_none());
+    m.run(50, &mut RoundRobin); // still healthy
+    m.check_invariants();
+}

@@ -1,0 +1,116 @@
+//! Property-based tests on the machine's structural models.
+
+use proptest::prelude::*;
+use smt_isa::{BranchKind, Tid};
+use smt_sim::{BranchPredictor, Cache, CacheGeometry, Hierarchy, SimConfig};
+
+fn arb_geom() -> impl Strategy<Value = CacheGeometry> {
+    (5u32..8, 0u32..4, 1u32..4).prop_map(|(log_line, log_ways, log_sets_extra)| {
+        let line_bytes = 1usize << log_line;
+        let ways = 1usize << log_ways;
+        let sets = 1usize << (log_sets_extra + 2);
+        CacheGeometry { size_bytes: sets * ways * line_bytes, line_bytes, ways, hit_latency: 1 }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn cache_access_is_idempotent_hit(geom in arb_geom(), addr in 0u64..1_000_000) {
+        let mut c = Cache::new(geom);
+        let _ = c.access(addr);
+        prop_assert!(c.access(addr), "second access to same line must hit");
+        prop_assert!(c.contains(addr));
+    }
+
+    #[test]
+    fn cache_same_line_aliases(geom in arb_geom(), addr in 0u64..1_000_000, off in 0u64..64) {
+        let mut c = Cache::new(geom);
+        let line = geom.line_bytes as u64;
+        let base = addr & !(line - 1);
+        let _ = c.access(base);
+        prop_assert!(c.access(base + (off % line)), "same-line access must hit");
+    }
+
+    #[test]
+    fn cache_holds_at_least_ways_distinct_lines_per_set(geom in arb_geom(), base in 0u64..4096) {
+        // Accessing exactly `ways` lines that map to the same set must not
+        // evict any of them (LRU with capacity = ways).
+        let mut c = Cache::new(geom);
+        let set_stride = (geom.size_bytes / geom.ways) as u64;
+        let aligned = base & !(geom.line_bytes as u64 - 1);
+        for w in 0..geom.ways as u64 {
+            c.access(aligned + w * set_stride);
+        }
+        for w in 0..geom.ways as u64 {
+            prop_assert!(c.contains(aligned + w * set_stride), "way {w} evicted");
+        }
+    }
+
+    #[test]
+    fn cache_miss_count_bounded_by_accesses(geom in arb_geom(), addrs in prop::collection::vec(0u64..100_000, 1..200)) {
+        let mut c = Cache::new(geom);
+        for a in &addrs {
+            let _ = c.access(*a);
+        }
+        prop_assert_eq!(c.accesses, addrs.len() as u64);
+        prop_assert!(c.misses <= c.accesses);
+        prop_assert!((0.0..=1.0).contains(&c.miss_ratio()));
+    }
+
+    #[test]
+    fn hierarchy_l2_catches_l1_evictions(addr in 0u64..1_000_000) {
+        let small = CacheGeometry { size_bytes: 512, line_bytes: 64, ways: 2, hit_latency: 1 };
+        let big = CacheGeometry { size_bytes: 64 << 10, line_bytes: 64, ways: 8, hit_latency: 10 };
+        let mut h = Hierarchy::new(small, small, big, 80);
+        let _ = h.data(addr);
+        // Thrash L1 with conflicting lines.
+        for i in 1..=2u64 {
+            let _ = h.data(addr ^ (i * 256));
+        }
+        let r = h.data(addr);
+        prop_assert!(!r.l2_miss, "L2 must retain a recently-filled line");
+    }
+
+    #[test]
+    fn predictor_trains_toward_constant_direction(
+        pc in 0u64..100_000,
+        taken in any::<bool>(),
+        reps in 4u32..32,
+    ) {
+        let mut p = BranchPredictor::new(&SimConfig::default());
+        let mut last = None;
+        for _ in 0..reps {
+            let pr = p.predict(Tid(0), pc * 4, BranchKind::Conditional, taken, true);
+            p.train(pc * 4, pr.pht_index, taken);
+            last = Some(pr.taken);
+        }
+        // After ≥4 consistent trainings, prediction matches the direction.
+        prop_assert_eq!(last, Some(taken));
+    }
+
+    #[test]
+    fn history_repair_restores_exact_register(
+        pc in 0u64..10_000,
+        hist_bits in prop::collection::vec(any::<bool>(), 0..12),
+    ) {
+        let mut p = BranchPredictor::new(&SimConfig::default());
+        for b in &hist_bits {
+            let _ = p.predict(Tid(1), pc * 4, BranchKind::Conditional, *b, true);
+        }
+        let pr = p.predict(Tid(1), pc * 4 + 8, BranchKind::Conditional, true, true);
+        // Garbage wrong-path updates...
+        for _ in 0..7 {
+            let _ = p.predict(Tid(1), pc * 4 + 16, BranchKind::Conditional, false, false);
+        }
+        // ...then the squash repair: history must equal fetch-time value
+        // plus the architectural outcome bit.
+        p.repair_history(Tid(1), pr.history_at_fetch, Some(true));
+        let after = p.predict(Tid(1), pc * 4 + 8, BranchKind::Conditional, true, true);
+        prop_assert_eq!(
+            after.history_at_fetch,
+            ((pr.history_at_fetch << 1) | 1) & ((1 << 12) - 1)
+        );
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixed-bin histograms for per-quantum metric distributions.
+//!
+//! The mean hides exactly what adaptive scheduling is about — transient
+//! low-throughput quanta — so the experiment reports also look at the
+//! distribution of per-quantum IPC: how heavy the low tail is, and how the
+//! adaptive scheduler reshapes it.
+
+/// A histogram over `[lo, hi)` with equal-width bins; out-of-range samples
+/// clamp into the edge bins.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    n: u64,
+    sum: f64,
+}
+
+impl Histogram {
+    /// Panics if `hi <= lo` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "empty range");
+        assert!(bins > 0, "zero bins");
+        Histogram { lo, hi, counts: vec![0; bins], n: 0, sum: 0.0 }
+    }
+
+    /// Index of the bin `x` falls into (clamped).
+    fn bin_of(&self, x: f64) -> usize {
+        let b = self.counts.len() as f64;
+        let t = ((x - self.lo) / (self.hi - self.lo) * b).floor();
+        (t.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    pub fn add(&mut self, x: f64) {
+        let i = self.bin_of(x);
+        self.counts[i] += 1;
+        self.n += 1;
+        self.sum += x;
+    }
+
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.add(x);
+        }
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Fraction of samples at or below `x` (by bin resolution).
+    pub fn cdf_at(&self, x: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let upto = self.bin_of(x);
+        let c: u64 = self.counts[..=upto].iter().sum();
+        c as f64 / self.n as f64
+    }
+
+    /// Approximate quantile (bin midpoint), `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.n == 0 {
+            return self.lo;
+        }
+        let target = (q * self.n as f64).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+
+    /// One-line ASCII rendering (eight shade levels per bin).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        self.counts
+            .iter()
+            .map(|&c| {
+                if c == 0 {
+                    ' '
+                } else {
+                    LEVELS[((c * 7) / max) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_mean() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.extend([1.0, 2.0, 3.0]);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_at_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-5.0);
+        h.add(5.0);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[3], 1);
+    }
+
+    #[test]
+    fn cdf_monotone() {
+        let mut h = Histogram::new(0.0, 8.0, 16);
+        h.extend((0..100).map(|i| (i % 8) as f64));
+        let mut last = 0.0;
+        for x in [0.5, 2.0, 4.0, 6.0, 7.9] {
+            let c = h.cdf_at(x);
+            assert!(c >= last, "cdf not monotone at {x}");
+            last = c;
+        }
+        assert!((h.cdf_at(7.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_bracket_distribution() {
+        let mut h = Histogram::new(0.0, 10.0, 100);
+        h.extend((0..1000).map(|i| (i % 10) as f64));
+        assert!(h.quantile(0.0) <= h.quantile(0.5));
+        assert!(h.quantile(0.5) <= h.quantile(1.0));
+        let med = h.quantile(0.5);
+        assert!((3.0..6.5).contains(&med), "median {med}");
+    }
+
+    #[test]
+    fn sparkline_length_matches_bins() {
+        let mut h = Histogram::new(0.0, 1.0, 12);
+        h.add(0.5);
+        assert_eq!(h.sparkline().chars().count(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_range_panics() {
+        let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.cdf_at(0.5), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! ASCII timeline rendering of a [`RunSeries`]: per-quantum IPC as a
+//! sparkline with the active fetch policy as a track underneath — the
+//! quickest way to *see* a policy switch paying off (or not).
+
+use crate::series::RunSeries;
+
+/// Single-character code for a policy name (the adaptive triple gets
+/// stable letters; anything else shows as its initial).
+pub fn policy_char(name: &str) -> char {
+    match name {
+        "ICOUNT" => 'I',
+        "BRCOUNT" => 'B',
+        "L1MISSCOUNT" => 'M',
+        "RR" => 'R',
+        other => other.chars().next().unwrap_or('?'),
+    }
+}
+
+/// Render the series as three lines: IPC sparkline, policy track, switch
+/// markers (`^` benign, `!` malignant, `?` unjudged).
+pub fn render_timeline(series: &RunSeries) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.quanta.is_empty() {
+        return String::from("(empty series)\n");
+    }
+    let max = series.quanta.iter().map(|q| q.ipc).fold(f64::MIN, f64::max).max(1e-9);
+    let ipc_line: String = series
+        .quanta
+        .iter()
+        .map(|q| LEVELS[((q.ipc / max * 7.0).round() as usize).min(7)])
+        .collect();
+    let policy_line: String = series.quanta.iter().map(|q| policy_char(&q.policy)).collect();
+    let mut marks = vec![' '; series.quanta.len()];
+    for s in &series.switches {
+        // The switch decided at quantum q takes effect in q+1.
+        let idx = (s.quantum + 1) as usize;
+        if idx < marks.len() {
+            marks[idx] = match s.benign {
+                Some(true) => '^',
+                Some(false) => '!',
+                None => '?',
+            };
+        }
+    }
+    let mark_line: String = marks.into_iter().collect();
+    format!(
+        "ipc    {ipc_line}  (max {max:.2})\npolicy {policy_line}\nswitch {mark_line}\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{QuantumRecord, SwitchEvent};
+
+    fn series() -> RunSeries {
+        let q = |index: u64, ipc: f64, policy: &str| QuantumRecord {
+            index,
+            policy: policy.into(),
+            cycles: 100,
+            committed: (ipc * 100.0) as u64,
+            ipc,
+            l1_miss_rate: 0.0,
+            lsq_full_rate: 0.0,
+            mispredict_rate: 0.0,
+            branch_rate: 0.0,
+            idle_fetch_rate: 0.0,
+        };
+        RunSeries {
+            quanta: vec![q(0, 1.0, "ICOUNT"), q(1, 2.0, "BRCOUNT"), q(2, 0.5, "L1MISSCOUNT")],
+            switches: vec![SwitchEvent {
+                quantum: 0,
+                from: "ICOUNT".into(),
+                to: "BRCOUNT".into(),
+                benign: Some(true),
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_three_lines() {
+        let out = render_timeline(&series());
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("IBM"), "policy track: {}", lines[1]);
+        assert!(lines[2].contains('^'), "benign mark missing: {}", lines[2]);
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(render_timeline(&RunSeries::default()).contains("empty"));
+    }
+
+    #[test]
+    fn policy_chars() {
+        assert_eq!(policy_char("ICOUNT"), 'I');
+        assert_eq!(policy_char("BRCOUNT"), 'B');
+        assert_eq!(policy_char("L1MISSCOUNT"), 'M');
+        assert_eq!(policy_char("STALLCOUNT"), 'S');
+    }
+}

@@ -1,0 +1,211 @@
+//! The thirteen program mixes.
+//!
+//! §5 of the paper: "We used SPEC CPU2000 as our simulation workloads and
+//! formed thirteen program mixtures depending on each program's properties:
+//! IPC on a single threaded machine model, memory footprint and whether an
+//! application requires floating-point operations or not. For combinations
+//! with a mix of integer and floating-point applications, we attempted to
+//! make the mix as even as possible. For simulation of 4- and 6-thread
+//! cases, some applications were randomly chosen to be excluded from the
+//! 8-thread mixes."
+//!
+//! We follow the same taxonomy. MIX09 reconstructs the paper's §1 motivating
+//! scenario: four control-intensive applications plus four others. MIX13 is
+//! a deliberately *similar* (homogeneous) mix, because §6 reports that ADTS
+//! gains most when "more similar applications are found in a mixture".
+//! The 4-/6-thread variants use a deterministic SplitMix64 exclusion draw in
+//! place of the paper's unspecified random choice.
+
+use crate::apps::app;
+use crate::seed::SplitMix64;
+use crate::stream::UopStream;
+use smt_isa::AppProfile;
+use std::sync::Arc;
+
+/// Number of mixes ([`mix`] accepts `1..=MIX_COUNT`).
+pub const MIX_COUNT: usize = 13;
+
+/// Canonical per-thread virtual address base.
+///
+/// The high bits separate the address spaces; the `t << 16` component
+/// staggers each thread's regions across cache *sets* — with identical
+/// bases every thread's code would land on I-cache set 0 and eight threads
+/// would thrash one 4-way set forever, which no real address-space layout
+/// does.
+pub fn thread_addr_base(t: usize) -> u64 {
+    (((t as u64) + 1) << 40) | ((t as u64) << 16)
+}
+
+/// Threads per full mix.
+pub const MIX_WIDTH: usize = 8;
+
+/// A named eight-application mixture.
+#[derive(Clone, Debug)]
+pub struct Mix {
+    /// `"MIX01"`-style identifier.
+    pub name: String,
+    /// Human description of the composition axis.
+    pub description: &'static str,
+    /// The member applications, one per hardware context.
+    pub apps: Vec<AppProfile>,
+}
+
+/// Mix names in canonical order.
+pub fn mix_names() -> Vec<String> {
+    (1..=MIX_COUNT).map(|i| format!("MIX{i:02}")).collect()
+}
+
+fn members(id: usize) -> (&'static str, [&'static str; MIX_WIDTH]) {
+    match id {
+        1 => ("all-integer, balanced IPC", ["gzip", "vpr", "gcc", "mcf", "crafty", "parser", "gap", "bzip2"]),
+        2 => ("all floating-point, balanced IPC", ["wupwise", "swim", "mgrid", "applu", "mesa", "art", "equake", "apsi"]),
+        3 => ("even int/fp, high single-thread IPC", ["gzip", "crafty", "bzip2", "vortex", "wupwise", "mesa", "mgrid", "apsi"]),
+        4 => ("even int/fp, low single-thread IPC", ["mcf", "twolf", "vpr", "parser", "art", "equake", "ammp", "swim"]),
+        5 => ("control-intensive integer", ["gcc", "perlbmk", "crafty", "vpr", "parser", "twolf", "vortex", "bzip2"]),
+        6 => ("memory-bound, large footprint", ["mcf", "art", "swim", "equake", "ammp", "lucas", "applu", "twolf"]),
+        7 => ("high-IPC, cache-resident", ["gzip", "crafty", "bzip2", "mesa", "wupwise", "gap", "vortex", "gzip"]),
+        8 => ("low-IPC mixed", ["mcf", "twolf", "art", "equake", "ammp", "parser", "swim", "vpr"]),
+        9 => ("4 control-intensive + 4 others (paper §1 scenario)", ["gcc", "perlbmk", "parser", "vpr", "gzip", "mesa", "wupwise", "crafty"]),
+        10 => ("small data footprint", ["gzip", "crafty", "mesa", "gap", "perlbmk", "bzip2", "vpr", "parser"]),
+        11 => ("large data footprint", ["mcf", "vortex", "swim", "applu", "ammp", "lucas", "equake", "art"]),
+        12 => ("diverse, well-balanced (best case for fixed ICOUNT)", ["gzip", "gcc", "mcf", "crafty", "wupwise", "swim", "mesa", "art"]),
+        13 => ("similar memory-bound (best case for ADTS)", ["mcf", "mcf", "art", "art", "swim", "swim", "equake", "equake"]),
+        _ => panic!("mix id {id} outside 1..={MIX_COUNT}"),
+    }
+}
+
+/// Build mix `id` (`1..=MIX_COUNT`).
+pub fn mix(id: usize) -> Mix {
+    let (description, names) = members(id);
+    Mix {
+        name: format!("MIX{id:02}"),
+        description,
+        apps: names.iter().map(|n| app(n)).collect(),
+    }
+}
+
+impl Mix {
+    /// All thirteen mixes.
+    pub fn all() -> Vec<Mix> {
+        (1..=MIX_COUNT).map(mix).collect()
+    }
+
+    /// Reduce to `n` threads (n ≤ 8) by deterministically excluding members,
+    /// mirroring the paper's random exclusion for 4-/6-thread runs.
+    pub fn take_threads(&self, n: usize, seed: u64) -> Mix {
+        assert!(n >= 1 && n <= self.apps.len(), "thread count {n} out of range");
+        let mut keep: Vec<usize> = (0..self.apps.len()).collect();
+        let mut rng = SplitMix64::new(SplitMix64::derive(seed, 0x313));
+        while keep.len() > n {
+            let victim = rng.next_below(keep.len() as u64) as usize;
+            keep.remove(victim);
+        }
+        Mix {
+            name: format!("{}x{n}", self.name),
+            description: self.description,
+            apps: keep.iter().map(|&i| self.apps[i].clone()).collect(),
+        }
+    }
+
+    /// Instantiate one [`UopStream`] per member. Thread `t` gets a distinct
+    /// address base (distinct address spaces, shared caches) and a sub-seed
+    /// derived from `seed` and its position.
+    pub fn streams(&self, seed: u64) -> Vec<UopStream> {
+        self.apps
+            .iter()
+            .enumerate()
+            .map(|(t, p)| {
+                UopStream::new(
+                    Arc::new(p.clone()),
+                    SplitMix64::derive(seed, 0x1000 + t as u64),
+                    thread_addr_base(t),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::AppClass;
+
+    #[test]
+    fn all_mixes_have_eight_members() {
+        for m in Mix::all() {
+            assert_eq!(m.apps.len(), MIX_WIDTH, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn mix_count_is_thirteen() {
+        assert_eq!(Mix::all().len(), MIX_COUNT);
+        assert_eq!(mix_names().len(), MIX_COUNT);
+    }
+
+    #[test]
+    fn even_mixes_are_even() {
+        for id in [3, 4] {
+            let m = mix(id);
+            let ints = m.apps.iter().filter(|a| a.class == AppClass::Int).count();
+            assert_eq!(ints, 4, "{} int count", m.name);
+        }
+    }
+
+    #[test]
+    fn mix09_has_four_control_intensive() {
+        let m = mix(9);
+        let branchy = m.apps.iter().filter(|a| a.branch_frac >= 0.13).count();
+        assert_eq!(branchy, 4, "MIX09 should have exactly 4 control-intensive members");
+    }
+
+    #[test]
+    fn mix13_is_homogeneous_memory_bound() {
+        let m = mix(13);
+        assert!(m.apps.iter().all(|a| a.cold_frac >= 0.12), "MIX13 members must be memory-bound");
+    }
+
+    #[test]
+    fn take_threads_is_deterministic_and_sized() {
+        let m = mix(1);
+        for n in [4, 6] {
+            let a = m.take_threads(n, 99);
+            let b = m.take_threads(n, 99);
+            assert_eq!(a.apps.len(), n);
+            let names_a: Vec<_> = a.apps.iter().map(|p| p.name.clone()).collect();
+            let names_b: Vec<_> = b.apps.iter().map(|p| p.name.clone()).collect();
+            assert_eq!(names_a, names_b);
+        }
+    }
+
+    #[test]
+    fn take_threads_preserves_order_of_survivors() {
+        let m = mix(5);
+        let sub = m.take_threads(6, 7);
+        // Each survivor must appear in the original order.
+        let orig: Vec<_> = m.apps.iter().map(|p| &p.name).collect();
+        let mut last = 0;
+        for p in &sub.apps {
+            let pos = orig[last..].iter().position(|n| *n == &p.name).expect("member lost");
+            last += pos + 1;
+        }
+    }
+
+    #[test]
+    fn streams_have_distinct_bases_and_seeds() {
+        let m = mix(2);
+        let streams = m.streams(42);
+        assert_eq!(streams.len(), MIX_WIDTH);
+        let mut s0 = streams[0].clone();
+        let mut s1 = streams[1].clone();
+        let a = s0.next_uop();
+        let b = s1.next_uop();
+        assert_ne!(a.pc >> 40, b.pc >> 40, "threads must live at distinct bases");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mix_zero_panics() {
+        let _ = mix(0);
+    }
+}

@@ -1,0 +1,693 @@
+//! The statistical micro-op stream generator.
+//!
+//! [`UopStream`] turns an [`AppProfile`] into an infinite, deterministic,
+//! cloneable stream of dynamic [`MicroOp`]s. The generator models what the
+//! cycle-level machine needs to see, in a way the machine's *real* structural
+//! models (caches, gshare, rename) respond to faithfully:
+//!
+//! - **control flow**: a synthetic program counter walks a code region;
+//!   branches have per-site personalities (deterministic short patterns or
+//!   biased coins) so the machine's gshare predictor reaches realistic,
+//!   per-app accuracy; calls and returns maintain a shadow call stack so the
+//!   RAS works; taken branches relocate the PC, giving the I-cache a real
+//!   locality structure (loops, function bodies);
+//! - **data flow**: destination registers are allocated round-robin from a
+//!   window of 24 names, and sources name the destination written `d` ops
+//!   ago with `d` geometric (mean = `mean_dep_dist`). Because the window is
+//!   larger than the maximum distance, the *architectural* register name
+//!   uniquely identifies the intended producer, so the machine's renamer
+//!   reconstructs exactly the intended dependence graph;
+//! - **memory**: accesses split between a hot working set (strided and
+//!   random components) and a cold streaming region that always misses,
+//!   with the split modulated by the profile's phase schedule.
+//!
+//! Each thread's stream is placed at a distinct virtual base address so
+//! threads never share data, but they *do* compete for cache capacity —
+//! exactly the interference the paper's scheduling policies manage.
+
+use crate::seed::SplitMix64;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use smt_isa::{AppProfile, ArchReg, BranchInfo, BranchKind, MemInfo, MicroOp, OpKind, RegClass};
+use std::sync::Arc;
+
+/// Number of distinct destination registers the generator cycles through per
+/// class. Must exceed [`MAX_DEP_DIST`] so dependence distances are exact.
+const DST_WINDOW: u8 = 24;
+
+/// Dependence distances are capped here; beyond it the op is independent.
+const MAX_DEP_DIST: usize = 20;
+
+/// Code region instruction slot size (bytes per op).
+const OP_BYTES: u64 = 4;
+
+/// Size of the cold streaming region each thread walks through (wraps).
+const COLD_REGION_BYTES: u64 = 64 << 20;
+
+/// Maximum shadow call-stack depth tracked for return targets.
+const CALL_STACK_MAX: usize = 16;
+
+/// Per-site branch personality, derived deterministically from the stream
+/// seed and the site index, so it is stable across clones and replays.
+///
+/// Two flavours, matching the two dominant populations in real code:
+/// *loop* sites are taken `trip - 1` times then fall through once (a
+/// pc-indexed predictor gets `(trip-1)/trip` of them right); *biased*
+/// sites follow a dominant direction with probability `branch_bias`.
+#[derive(Clone, Copy, Debug)]
+struct BranchSite {
+    /// `Some(trip_count)` for loop-style sites.
+    loop_trip: Option<u16>,
+    /// Iteration position within the loop.
+    pos: u16,
+    /// For biased sites: dominant direction.
+    dominant_taken: bool,
+}
+
+/// Deterministic, cloneable infinite micro-op stream for one thread.
+///
+/// ```
+/// use smt_workloads::{app, thread_addr_base, UopStream};
+/// use std::sync::Arc;
+///
+/// let mut stream = UopStream::new(Arc::new(app("gzip")), 42, thread_addr_base(0));
+/// let op = stream.next_uop();
+/// assert!(op.is_well_formed());
+/// ```
+#[derive(Clone, Debug)]
+pub struct UopStream {
+    profile: Arc<AppProfile>,
+    rng: SmallRng,
+    /// Per-thread virtual address base; ORed into every address and PC.
+    addr_base: u64,
+
+    // control flow
+    pc: u64,
+    code_size: u64,
+    sites: Vec<BranchSite>,
+    call_stack: Vec<u64>,
+    /// Hot function entry points; most calls go here (code has hot spots —
+    /// without this, large-footprint apps walk their code uniformly and
+    /// the I-cache mispredicts reality by an order of magnitude).
+    hot_entries: Vec<u64>,
+
+    // data flow
+    next_dst_int: u8,
+    next_dst_fp: u8,
+    /// Ring of the last `MAX_DEP_DIST` destination registers, most recent
+    /// last. `None` entries are ops without a destination.
+    recent_dsts: [Option<ArchReg>; MAX_DEP_DIST],
+    recent_head: usize,
+    /// Destination of the most recent load: conditional branches test
+    /// loaded values half the time (that is *why* hard branches resolve
+    /// late and wrong-path waste piles up behind cache misses).
+    last_load_dst: Option<ArchReg>,
+
+    // memory
+    ws_size: u64,
+    /// Hot-subset size for random accesses (80/20 two-level locality).
+    ws_hot_size: u64,
+    /// Span the strided pointer walks before wrapping: real inner loops
+    /// re-walk bounded arrays, not the entire footprint.
+    stride_span: u64,
+    ws_stride_ptr: u64,
+    cold_ptr: u64,
+
+    // phases
+    phase_idx: usize,
+    phase_left: u64,
+
+    // bookkeeping
+    generated: u64,
+    /// When set, the stream replays this script cyclically instead of
+    /// generating statistically — the hook that lets the machine model be
+    /// microtested with exact op sequences.
+    script: Option<Vec<MicroOp>>,
+    script_pos: usize,
+}
+
+impl UopStream {
+    /// Create a stream for `profile`, seeded by `seed`, with all addresses
+    /// offset by `addr_base` (give each thread a distinct base).
+    pub fn new(profile: Arc<AppProfile>, seed: u64, addr_base: u64) -> Self {
+        debug_assert!(profile.validate().is_ok());
+        let code_size = profile.code_bytes.max(64).next_power_of_two();
+        // One site per instruction slot, capped: apps with very large code
+        // footprints alias sites, which (realistically) hurts their
+        // predictability a little.
+        let n_sites = ((code_size / OP_BYTES).max(16) as usize).min(16_384);
+        let mut site_seed = SplitMix64::new(SplitMix64::derive(seed, 0xB7A7));
+        let sites = (0..n_sites)
+            .map(|_| {
+                let r = site_seed.next_f64();
+                if r < profile.pattern_frac {
+                    // Trip counts 4..=32, skewed low like real inner loops.
+                    let trip = 4 + (site_seed.next_u64() % 29).min(site_seed.next_u64() % 29) as u16;
+                    BranchSite { loop_trip: Some(trip), pos: 0, dominant_taken: true }
+                } else {
+                    BranchSite {
+                        loop_trip: None,
+                        pos: 0,
+                        dominant_taken: site_seed.next_u64() & 1 == 0,
+                    }
+                }
+            })
+            .collect();
+        let phase_left = profile.phases.first().map(|p| p.len_uops).unwrap_or(u64::MAX);
+        let span_ops = code_size / OP_BYTES;
+        let mut entry_seed = SplitMix64::new(SplitMix64::derive(seed, 0xF00D));
+        let hot_entries = (0..12)
+            .map(|_| ((entry_seed.next_u64() % span_ops) & !63) * OP_BYTES % code_size)
+            .collect();
+        let ws_size = profile.data_ws_bytes.max(64).next_power_of_two();
+        UopStream {
+            rng: SmallRng::seed_from_u64(SplitMix64::derive(seed, 0x57EE)),
+            addr_base,
+            pc: 0,
+            code_size,
+            sites,
+            call_stack: Vec::with_capacity(CALL_STACK_MAX),
+            hot_entries,
+            next_dst_int: 0,
+            next_dst_fp: 0,
+            recent_dsts: [None; MAX_DEP_DIST],
+            recent_head: 0,
+            last_load_dst: None,
+            ws_hot_size: (ws_size / 32).clamp(2 << 10, 8 << 10).min(ws_size),
+            stride_span: (ws_size / 8).clamp(4 << 10, 64 << 10).min(ws_size),
+            ws_size,
+            ws_stride_ptr: 0,
+            cold_ptr: 0,
+            phase_idx: 0,
+            phase_left,
+            generated: 0,
+            script: None,
+            script_pos: 0,
+            profile,
+        }
+    }
+
+    /// A stream that replays `ops` cyclically (for machine microtests).
+    /// The ops' `pc` fields should already carry the thread's address base;
+    /// `profile` only provides metadata (working-set size for the
+    /// wrong-path generator).
+    pub fn scripted(profile: Arc<AppProfile>, addr_base: u64, ops: Vec<MicroOp>) -> Self {
+        assert!(!ops.is_empty(), "empty script");
+        let mut s = UopStream::new(profile, 0, addr_base);
+        s.script = Some(ops);
+        s
+    }
+
+    /// The profile driving this stream.
+    pub fn profile(&self) -> &AppProfile {
+        &self.profile
+    }
+
+    /// Total micro-ops generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Program counter of the *next* op this stream will generate (with the
+    /// thread's address base applied). The fetch stage uses this for the
+    /// I-cache access before consuming the op.
+    pub fn current_pc(&self) -> u64 {
+        if let Some(script) = &self.script {
+            return script[self.script_pos].pc;
+        }
+        self.addr_base | self.pc
+    }
+
+    /// The thread's virtual address base.
+    pub fn addr_base(&self) -> u64 {
+        self.addr_base
+    }
+
+    #[inline]
+    fn phase(&self) -> (f64, f64, f64, f64) {
+        match self.profile.phases.get(self.phase_idx) {
+            Some(p) => (p.mem_pressure, p.br_pressure, p.ilp_scale, p.predictability),
+            None => (1.0, 1.0, 1.0, 1.0),
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        if self.profile.phases.is_empty() {
+            return;
+        }
+        self.phase_left -= 1;
+        if self.phase_left == 0 {
+            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+            self.phase_left = self.profile.phases[self.phase_idx].len_uops;
+        }
+    }
+
+    /// Allocate a destination register of `class`, cycling through the
+    /// window (offset by 2 to keep r0/r1 as never-written "constant" regs).
+    fn alloc_dst(&mut self, class: RegClass) -> ArchReg {
+        let ctr = match class {
+            RegClass::Int => {
+                let c = self.next_dst_int;
+                self.next_dst_int = (self.next_dst_int + 1) % DST_WINDOW;
+                c
+            }
+            RegClass::Fp => {
+                let c = self.next_dst_fp;
+                self.next_dst_fp = (self.next_dst_fp + 1) % DST_WINDOW;
+                c
+            }
+        };
+        ArchReg { class, idx: 2 + ctr }
+    }
+
+    /// Pick a source register at a geometric dependence distance, or `None`
+    /// for an independent operand (an immediate / long-lived value) — drawn
+    /// with probability `indep_frac`, or when the distance draw exceeds the
+    /// window.
+    fn pick_src(&mut self, ilp_scale: f64, indep_frac: f64) -> Option<ArchReg> {
+        if self.rng.gen::<f64>() < indep_frac {
+            return None;
+        }
+        let mean = (self.profile.mean_dep_dist * ilp_scale).max(1.0);
+        // Geometric with mean `mean`: P(d = k) = (1-p)^(k-1) p, p = 1/mean.
+        let p = 1.0 / mean;
+        let u: f64 = self.rng.gen::<f64>();
+        let d = 1 + (u.ln() / (1.0 - p).max(1e-12).ln()).floor() as usize;
+        if d > MAX_DEP_DIST {
+            return None;
+        }
+        // recent_head points at the slot for the *next* push; distance 1 is
+        // the most recent.
+        let slot = (self.recent_head + MAX_DEP_DIST - d) % MAX_DEP_DIST;
+        self.recent_dsts[slot]
+    }
+
+    fn push_dst(&mut self, dst: Option<ArchReg>) {
+        self.recent_dsts[self.recent_head] = dst;
+        self.recent_head = (self.recent_head + 1) % MAX_DEP_DIST;
+    }
+
+    /// Generate a data address according to locality parameters.
+    fn gen_addr(&mut self, mem_pressure: f64) -> u64 {
+        let cold = (self.profile.cold_frac * mem_pressure).min(1.0);
+        let off = if self.rng.gen::<f64>() < cold {
+            // Streaming through a large cold region: every new line misses.
+            self.cold_ptr = (self.cold_ptr + 64) % COLD_REGION_BYTES;
+            (1 << 30) + self.cold_ptr
+        } else if self.rng.gen::<f64>() < self.profile.stride_frac {
+            self.ws_stride_ptr = (self.ws_stride_ptr + 8) % self.stride_span;
+            self.ws_stride_ptr
+        } else if self.rng.gen::<f64>() < 0.8 {
+            // Two-level locality: most random accesses hit a hot subset.
+            (self.rng.gen::<u64>() % self.ws_hot_size) & !7
+        } else {
+            (self.rng.gen::<u64>() % self.ws_size) & !7
+        };
+        self.addr_base | off
+    }
+
+    fn site_for(&self, pc: u64) -> usize {
+        ((pc / OP_BYTES) as usize) % self.sites.len()
+    }
+
+    /// Resolve the direction of the conditional branch at `pc`;
+    /// `predictability` is the current phase's learnable fraction.
+    fn branch_outcome(&mut self, pc: u64, predictability: f64) -> bool {
+        if predictability < 1.0 && self.rng.gen::<f64>() >= predictability {
+            // Storm outcome: pure noise, unlearnable by any predictor.
+            return self.rng.gen::<bool>();
+        }
+        let idx = self.site_for(pc);
+        let site = &mut self.sites[idx];
+        match site.loop_trip {
+            Some(trip) => {
+                // Taken trip-1 times, then the loop exit.
+                site.pos = (site.pos + 1) % trip;
+                site.pos != 0
+            }
+            None => {
+                let follow = self.rng.gen::<f64>() < self.profile.branch_bias;
+                site.dominant_taken == follow
+            }
+        }
+    }
+
+    /// Pick a conditional-branch target: mostly short backward loops, some
+    /// forward skips — both stay inside the code region.
+    fn cond_target(&mut self, pc: u64) -> u64 {
+        let span_ops = self.code_size / OP_BYTES;
+        if self.rng.gen::<f64>() < 0.6 {
+            let back = 4 + self.rng.gen::<u64>() % 60; // loop body 4..64 ops
+            pc.wrapping_sub(back * OP_BYTES) % self.code_size
+        } else {
+            let fwd = 2 + self.rng.gen::<u64>() % 30;
+            ((pc / OP_BYTES + fwd) % span_ops) * OP_BYTES
+        }
+    }
+
+    /// Generate the next micro-op.
+    pub fn next_uop(&mut self) -> MicroOp {
+        if let Some(script) = &self.script {
+            let op = script[self.script_pos];
+            self.script_pos = (self.script_pos + 1) % script.len();
+            self.generated += 1;
+            return op;
+        }
+        let (mem_p, br_p, ilp_s, predictability) = self.phase();
+        // Cheap Arc clone so profile reads don't hold a borrow of `self`
+        // across the mutating helper calls below.
+        let p = Arc::clone(&self.profile);
+
+        let branch_frac = (p.branch_frac * br_p).min(0.5);
+        let r: f64 = self.rng.gen();
+        let syscall_p = p.syscall_per_muop / 1.0e6;
+
+        let pc = self.addr_base | self.pc;
+        let mut next_pc = (self.pc + OP_BYTES) % self.code_size;
+
+        // Local snapshot of per-branch probabilities to keep the cascade
+        // readable. Order: syscall, cond-branch, jump, load, store, compute.
+        let jump_hi = syscall_p + branch_frac + p.jump_frac;
+        let load_hi = jump_hi + p.load_frac;
+        let store_hi = load_hi + p.store_frac;
+
+        let (kind, dst, src1, src2, mem, branch) = if r < syscall_p {
+            (OpKind::Syscall, None, None, None, None, None)
+        } else if r < syscall_p + branch_frac {
+            let taken = self.branch_outcome(self.pc, predictability);
+            let target_off = self.cond_target(self.pc);
+            if taken {
+                next_pc = target_off;
+            }
+            let s1 = if self.rng.gen::<f64>() < 0.5 && self.last_load_dst.is_some() {
+                self.last_load_dst
+            } else {
+                self.pick_src(ilp_s, p.src_indep_frac)
+            };
+            (
+                OpKind::Branch,
+                None,
+                s1,
+                None,
+                None,
+                Some(BranchInfo {
+                    kind: BranchKind::Conditional,
+                    taken,
+                    target: self.addr_base | target_off,
+                }),
+            )
+        } else if r < jump_hi {
+            // Unconditional control: call / return / direct jump.
+            let u: f64 = self.rng.gen();
+            let (bk, target_off) = if u < 0.35 && self.call_stack.len() < CALL_STACK_MAX {
+                // Call: usually one of the hot functions, occasionally a
+                // cold one (85/15 — code has hot spots).
+                let entry = if self.rng.gen::<f64>() < 0.85 {
+                    let i = (self.rng.gen::<u64>() as usize) % self.hot_entries.len();
+                    self.hot_entries[i]
+                } else {
+                    let span_ops = self.code_size / OP_BYTES;
+                    ((self.rng.gen::<u64>() % span_ops) & !63) * OP_BYTES % self.code_size
+                };
+                self.call_stack.push(next_pc);
+                (BranchKind::Call, entry)
+            } else if u < 0.70 {
+                match self.call_stack.pop() {
+                    Some(ret) => (BranchKind::Return, ret),
+                    None => (BranchKind::Unconditional, self.cond_target(self.pc)),
+                }
+            } else {
+                (BranchKind::Unconditional, self.cond_target(self.pc))
+            };
+            next_pc = target_off;
+            (
+                OpKind::Branch,
+                None,
+                None,
+                None,
+                None,
+                Some(BranchInfo { kind: bk, taken: true, target: self.addr_base | target_off }),
+            )
+        } else if r < load_hi {
+            let addr = self.gen_addr(mem_p);
+            let class = if self.rng.gen::<f64>() < p.fp_frac { RegClass::Fp } else { RegClass::Int };
+            let dst = self.alloc_dst(class);
+            self.last_load_dst = Some(dst);
+            let s1 = self.pick_src(ilp_s, p.addr_indep_frac);
+            (OpKind::Load, Some(dst), s1, None, Some(MemInfo { addr, size: 8 }), None)
+        } else if r < store_hi {
+            let addr = self.gen_addr(mem_p);
+            let s1 = self.pick_src(ilp_s, p.addr_indep_frac); // address
+            let s2 = self.pick_src(ilp_s, p.src_indep_frac); // data
+            (OpKind::Store, None, s1, s2, Some(MemInfo { addr, size: 8 }), None)
+        } else {
+            // Compute op.
+            let fp = self.rng.gen::<f64>() < p.fp_frac;
+            let u: f64 = self.rng.gen();
+            let kind = if u < p.div_frac {
+                if fp { OpKind::FpDiv } else { OpKind::IntDiv }
+            } else if u < p.div_frac + p.mul_frac {
+                if fp { OpKind::FpMul } else { OpKind::IntMul }
+            } else if fp {
+                OpKind::FpAlu
+            } else {
+                OpKind::IntAlu
+            };
+            let class = if fp { RegClass::Fp } else { RegClass::Int };
+            let dst = self.alloc_dst(class);
+            let s1 = self.pick_src(ilp_s, p.src_indep_frac);
+            let s2 = self.pick_src(ilp_s, p.src_indep_frac);
+            (kind, Some(dst), s1, s2, None, None)
+        };
+
+        self.push_dst(dst);
+        self.pc = next_pc;
+        self.generated += 1;
+        self.advance_phase();
+
+        let op = MicroOp { kind, pc, dst, src1, src2, mem, branch };
+        debug_assert!(op.is_well_formed(), "generator produced ill-formed op {op:?}");
+        op
+    }
+}
+
+impl Iterator for UopStream {
+    type Item = MicroOp;
+    fn next(&mut self) -> Option<MicroOp> {
+        Some(self.next_uop())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::AppProfile;
+
+    fn stream_of(p: AppProfile, seed: u64) -> UopStream {
+        UopStream::new(Arc::new(p), seed, 0x1_0000_0000)
+    }
+
+    fn default_stream(seed: u64) -> UopStream {
+        stream_of(AppProfile::builder("t").build(), seed)
+    }
+
+    #[test]
+    fn all_ops_well_formed() {
+        let mut s = default_stream(1);
+        for _ in 0..20_000 {
+            assert!(s.next_uop().is_well_formed());
+        }
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mut a = default_stream(7);
+        let mut b = default_stream(7);
+        for _ in 0..10_000 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn clone_preserves_future() {
+        let mut a = default_stream(9);
+        for _ in 0..5_000 {
+            a.next_uop();
+        }
+        let mut b = a.clone();
+        for _ in 0..5_000 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn mix_fractions_hit_targets() {
+        let p = AppProfile::builder("mix")
+            .branch_frac(0.15)
+            .load_frac(0.25)
+            .store_frac(0.10)
+            .build();
+        let mut s = stream_of(p, 3);
+        let n = 200_000;
+        let (mut br, mut ld, mut st) = (0u32, 0u32, 0u32);
+        for _ in 0..n {
+            let op = s.next_uop();
+            match op.kind {
+                OpKind::Branch if op.is_cond_branch() => br += 1,
+                OpKind::Load => ld += 1,
+                OpKind::Store => st += 1,
+                _ => {}
+            }
+        }
+        let f = |c: u32| c as f64 / n as f64;
+        assert!((f(br) - 0.15).abs() < 0.01, "branch frac {}", f(br));
+        assert!((f(ld) - 0.25).abs() < 0.01, "load frac {}", f(ld));
+        assert!((f(st) - 0.10).abs() < 0.01, "store frac {}", f(st));
+    }
+
+    #[test]
+    fn dependence_sources_were_recently_written() {
+        // Any named source must have been a destination within the last
+        // MAX_DEP_DIST ops — that is the contract that makes renaming
+        // reconstruct the intended dependence. The one exception is a
+        // conditional branch testing the most recent *load* result, which
+        // may lie further back.
+        let mut s = default_stream(11);
+        let mut recent: Vec<Option<ArchReg>> = Vec::new();
+        let mut last_load: Option<ArchReg> = None;
+        for _ in 0..50_000 {
+            let op = s.next_uop();
+            for src in [op.src1, op.src2].into_iter().flatten() {
+                let hit = recent.iter().rev().take(MAX_DEP_DIST).any(|d| *d == Some(src))
+                    || (op.is_cond_branch() && last_load == Some(src));
+                assert!(hit, "source {src} not written in the last {MAX_DEP_DIST} ops");
+            }
+            recent.push(op.dst);
+            if op.kind == OpKind::Load {
+                last_load = op.dst;
+            }
+        }
+    }
+
+    #[test]
+    fn addresses_carry_thread_base() {
+        let mut s = UopStream::new(Arc::new(AppProfile::builder("t").build()), 5, 0x7_0000_0000);
+        for _ in 0..10_000 {
+            let op = s.next_uop();
+            if let Some(m) = op.mem {
+                assert_eq!(m.addr & 0x7_0000_0000, 0x7_0000_0000);
+            }
+            assert_eq!(op.pc & 0x7_0000_0000, 0x7_0000_0000);
+        }
+    }
+
+    #[test]
+    fn cold_fraction_scales_with_phase_pressure() {
+        let base = AppProfile::builder("ph")
+            .cold_frac(0.05)
+            .phases(vec![
+                smt_isa::Phase::neutral(50_000),
+                smt_isa::Phase::mem_storm(50_000, 8.0),
+            ])
+            .build();
+        let mut s = stream_of(base, 13);
+        let cold_in = |s: &mut UopStream, n: u64| {
+            let (mut cold, mut mem) = (0u64, 0u64);
+            for _ in 0..n {
+                if let Some(m) = s.next_uop().mem {
+                    mem += 1;
+                    if m.addr & (1 << 30) != 0 {
+                        cold += 1;
+                    }
+                }
+            }
+            cold as f64 / mem.max(1) as f64
+        };
+        let quiet = cold_in(&mut s, 50_000);
+        let loud = cold_in(&mut s, 50_000);
+        assert!(loud > 3.0 * quiet, "phase pressure had no effect: {quiet} vs {loud}");
+    }
+
+    #[test]
+    fn branch_targets_in_code_region() {
+        let p = AppProfile::builder("code").code_bytes(4096).build();
+        let code_size = 4096u64;
+        let mut s = stream_of(p, 17);
+        for _ in 0..20_000 {
+            let op = s.next_uop();
+            if let Some(b) = op.branch {
+                let off = b.target & 0xFFFF_FFFF;
+                assert!(off < code_size, "target offset {off} outside code region");
+            }
+        }
+    }
+
+    #[test]
+    fn loop_sites_are_periodic() {
+        // With pattern_frac = 1 every branch site behaves like a loop
+        // branch: taken trip-1 times, not-taken once, repeating.
+        let p = AppProfile::builder("pat")
+            .pattern_frac(1.0)
+            .branch_frac(0.3)
+            .code_bytes(1024) // small code so individual sites get hot
+            .build();
+        let mut s = stream_of(p, 19);
+        use std::collections::HashMap;
+        let mut hist: HashMap<u64, Vec<bool>> = HashMap::new();
+        for _ in 0..200_000 {
+            let op = s.next_uop();
+            if op.is_cond_branch() {
+                hist.entry(op.pc).or_default().push(op.branch.unwrap().taken);
+            }
+        }
+        let (_, seq) = hist.iter().max_by_key(|(_, v)| v.len()).unwrap();
+        assert!(seq.len() > 64, "no hot branch site found");
+        // Not-taken events must be evenly spaced (the loop exits).
+        let exits: Vec<usize> =
+            seq.iter().enumerate().filter(|(_, t)| !**t).map(|(i, _)| i).collect();
+        assert!(exits.len() >= 2, "loop site never exits: {seq:?}");
+        let gaps: Vec<usize> = exits.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps.windows(2).all(|w| w[0] == w[1]), "irregular loop exits: {gaps:?}");
+        // Majority taken.
+        let taken = seq.iter().filter(|t| **t).count();
+        assert!(taken * 2 > seq.len(), "loop site not majority-taken");
+    }
+
+    #[test]
+    fn syscalls_at_configured_rate() {
+        let p = AppProfile::builder("sys").syscall_per_muop(500.0).build();
+        let mut s = stream_of(p, 23);
+        let n = 200_000;
+        let count = (0..n).filter(|_| s.next_uop().kind == OpKind::Syscall).count();
+        let per_muop = count as f64 * 1.0e6 / n as f64;
+        assert!((per_muop - 500.0).abs() < 120.0, "syscall rate {per_muop}");
+    }
+
+    #[test]
+    fn scripted_stream_replays_cyclically() {
+        let ops = vec![MicroOp::nop(0x100), MicroOp::nop(0x104)];
+        let mut s = UopStream::scripted(Arc::new(AppProfile::builder("t").build()), 0, ops);
+        assert_eq!(s.current_pc(), 0x100);
+        assert_eq!(s.next_uop().pc, 0x100);
+        assert_eq!(s.current_pc(), 0x104);
+        assert_eq!(s.next_uop().pc, 0x104);
+        assert_eq!(s.next_uop().pc, 0x100, "script must cycle");
+        assert_eq!(s.generated(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_script_panics() {
+        let _ = UopStream::scripted(Arc::new(AppProfile::builder("t").build()), 0, vec![]);
+    }
+
+    #[test]
+    fn generated_counter_advances() {
+        let mut s = default_stream(29);
+        assert_eq!(s.generated(), 0);
+        for _ in 0..10 {
+            s.next_uop();
+        }
+        assert_eq!(s.generated(), 10);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests on the workload generator: statistical targets and
+//! structural guarantees for arbitrary valid profiles.
+
+use proptest::prelude::*;
+use smt_isa::{AppProfile, OpKind};
+use smt_workloads::{thread_addr_base, SplitMix64, UopStream};
+use std::sync::Arc;
+
+fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        0.02..0.2f64,  // branch
+        0.05..0.3f64,  // load
+        0.0..0.15f64,  // store
+        1.0..6.0f64,   // dep
+        0.5..1.0f64,   // bias
+        12u32..22,     // ws log2
+        10u32..16,     // code log2
+    )
+        .prop_map(|(br, ld, st, dep, bias, ws, code)| {
+            AppProfile::builder("prop")
+                .branch_frac(br)
+                .load_frac(ld)
+                .store_frac(st)
+                .mean_dep_dist(dep)
+                .branch_bias(bias)
+                .data_ws_bytes(1 << ws)
+                .code_bytes(1 << code)
+                .build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn stream_is_deterministic(p in arb_profile(), seed in any::<u64>()) {
+        let mut a = UopStream::new(Arc::new(p.clone()), seed, thread_addr_base(0));
+        let mut b = UopStream::new(Arc::new(p), seed, thread_addr_base(0));
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn fractions_converge_to_profile(p in arb_profile(), seed in 0u64..100) {
+        let n = 60_000u64;
+        let mut s = UopStream::new(Arc::new(p.clone()), seed, thread_addr_base(1));
+        let (mut ld, mut st) = (0u64, 0u64);
+        for _ in 0..n {
+            match s.next_uop().kind {
+                OpKind::Load => ld += 1,
+                OpKind::Store => st += 1,
+                _ => {}
+            }
+        }
+        let f = |c: u64| c as f64 / n as f64;
+        prop_assert!((f(ld) - p.load_frac).abs() < 0.02, "load {} vs {}", f(ld), p.load_frac);
+        prop_assert!((f(st) - p.store_frac).abs() < 0.02, "store {} vs {}", f(st), p.store_frac);
+    }
+
+    #[test]
+    fn pcs_stay_in_code_region(p in arb_profile(), seed in 0u64..100) {
+        let code = p.code_bytes.next_power_of_two();
+        let base = thread_addr_base(2);
+        let mut s = UopStream::new(Arc::new(p), seed, base);
+        for _ in 0..5_000 {
+            let op = s.next_uop();
+            prop_assert!(op.pc & !base < code.max(64), "pc escaped code region");
+        }
+    }
+
+    #[test]
+    fn splitmix_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut s = SplitMix64::new(seed);
+        for _ in 0..100 {
+            prop_assert!(s.next_below(bound) < bound);
+            let f = s.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn generated_counter_matches_pulls(p in arb_profile(), n in 1u64..2_000) {
+        let mut s = UopStream::new(Arc::new(p), 5, thread_addr_base(3));
+        for _ in 0..n {
+            let _ = s.next_uop();
+        }
+        prop_assert_eq!(s.generated(), n);
+    }
+}

@@ -1,0 +1,58 @@
+//! Adaptation timeline: watch the detector thread react to workload phases
+//! in real time — per-quantum IPC sparkline, the policy track, and each
+//! switch marked benign (`^`) or malignant (`!`).
+//!
+//! ```sh
+//! cargo run --release --example adaptation_timeline -- 9 4.0
+//! ```
+
+use smt_adts::prelude::*;
+use smt_adts::stats::{render_timeline, Histogram};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mix_id: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let threshold: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4.0);
+    let mix = workloads::mix(mix_id);
+    println!("mix {} — {} (threshold m = {threshold})\n", mix.name, mix.description);
+
+    let quanta = 64;
+    let run = |heuristic: Option<HeuristicKind>| {
+        let mut machine = adts::machine_for_mix(&mix, 42);
+        let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 6, 8192);
+        match heuristic {
+            None => adts::run_fixed(FetchPolicy::Icount, &mut machine, quanta, 8192),
+            Some(h) => adts::run_adaptive(
+                AdtsConfig { ipc_threshold: threshold, heuristic: h, ..Default::default() },
+                &mut machine,
+                quanta,
+            ),
+        }
+    };
+
+    let fixed = run(None);
+    println!("fixed ICOUNT ({:.3} IPC):", fixed.aggregate_ipc());
+    println!("{}", render_timeline(&fixed));
+
+    for h in [HeuristicKind::Type1, HeuristicKind::Type3, HeuristicKind::Type4] {
+        let s = run(Some(h));
+        println!(
+            "{} ({:.3} IPC, {} switches, P(benign) {}):",
+            h.name(),
+            s.aggregate_ipc(),
+            s.switches.len(),
+            s.benign_fraction().map(|b| format!("{b:.2}")).unwrap_or_else(|| "-".into()),
+        );
+        println!("{}", render_timeline(&s));
+    }
+
+    // Distribution view: does adaptation trim the low-IPC tail?
+    let adaptive = run(Some(HeuristicKind::Type1));
+    let mut hf = Histogram::new(0.0, 8.0, 32);
+    let mut ha = Histogram::new(0.0, 8.0, 32);
+    hf.extend(fixed.quanta.iter().map(|q| q.ipc));
+    ha.extend(adaptive.quanta.iter().map(|q| q.ipc));
+    println!("per-quantum IPC distribution (0..8):");
+    println!("  fixed    {}  p10={:.2}", hf.sparkline(), hf.quantile(0.10));
+    println!("  adaptive {}  p10={:.2}", ha.sparkline(), ha.quantile(0.10));
+}

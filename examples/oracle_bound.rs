@@ -1,0 +1,57 @@
+//! Oracle bound: replay every scheduling quantum under each candidate
+//! policy (by checkpointing the whole machine) and keep the best — the
+//! upper bound the paper's detector-thread heuristics chase, and the
+//! motivation quoted in its abstract ("some 30% room for improvement
+//! compared to an oracle-scheduled case" on the authors' setup).
+//!
+//! ```sh
+//! cargo run --release --example oracle_bound -- 9 30
+//! ```
+
+use smt_adts::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mix_id: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    let quanta: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let mix = workloads::mix(mix_id);
+    println!("mix {} — {}\n", mix.name, mix.description);
+
+    // Baseline: fixed ICOUNT on the identical warmed machine.
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 6, 8192);
+    let baseline_machine = machine.clone();
+    let fixed = adts::run_fixed(FetchPolicy::Icount, &mut machine, quanta, 8192);
+
+    // Oracle over the adaptive triple.
+    let cfg = OracleConfig::default();
+    let mut machine = baseline_machine.clone();
+    let oracle = adts::run_oracle(&cfg, &mut machine, quanta);
+
+    println!("fixed ICOUNT : {:.3} IPC", fixed.aggregate_ipc());
+    println!(
+        "oracle(triple): {:.3} IPC  ({:+.2}% headroom)",
+        oracle.aggregate_ipc(),
+        100.0 * (oracle.aggregate_ipc() / fixed.aggregate_ipc() - 1.0)
+    );
+
+    println!("\nper-quantum oracle choices:");
+    print!("  ");
+    for q in &oracle.quanta {
+        let c = match q.policy.as_str() {
+            "ICOUNT" => 'I',
+            "BRCOUNT" => 'B',
+            "L1MISSCOUNT" => 'M',
+            _ => '?',
+        };
+        print!("{c}");
+    }
+    println!("\n  (I = ICOUNT, B = BRCOUNT, M = L1MISSCOUNT)");
+
+    let mut counts = std::collections::BTreeMap::new();
+    for q in &oracle.quanta {
+        *counts.entry(q.policy.clone()).or_insert(0u32) += 1;
+    }
+    println!("\nchoice distribution: {counts:?}");
+    println!("oracle switches: {}", oracle.switches.len());
+}

@@ -1,0 +1,39 @@
+//! Pipeline view: step the machine and print periodic snapshots of every
+//! context's window occupancy, the shared queues and the drain state —
+//! useful for building intuition about *how* a clogging thread starves the
+//! others.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_view -- 6 5000
+//! ```
+
+use smt_adts::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mix_id: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(6);
+    let cycles: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(5_000);
+    let mix = workloads::mix(mix_id);
+    println!("mix {} — {}\n", mix.name, mix.description);
+
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let mut tsu = Tsu::new(FetchPolicy::Icount, machine.n_threads());
+
+    let step = (cycles / 8).max(1);
+    for _ in 0..8 {
+        machine.run(step, &mut tsu);
+        println!("{}", machine.debug_snapshot());
+    }
+
+    println!("cache state after {} cycles:", machine.cycle());
+    println!(
+        "  L1I miss ratio {:.3}   L1D miss ratio {:.3}   L2 miss ratio {:.3}",
+        machine.mem.l1i.miss_ratio(),
+        machine.mem.l1d.miss_ratio(),
+        machine.mem.l2.miss_ratio()
+    );
+    println!(
+        "  predictor: {} lookups, {} BTB misses",
+        machine.bpred.lookups, machine.bpred.btb_misses
+    );
+}

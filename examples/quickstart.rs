@@ -1,0 +1,69 @@
+//! Quickstart: run one program mix under fixed ICOUNT and under the
+//! adaptive scheduler, and print the comparison the whole paper is about.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use smt_adts::prelude::*;
+
+fn main() {
+    // MIX09 is the paper's §1 motivating scenario: four control-intensive
+    // integer applications plus four well-behaved ones.
+    let mix = workloads::mix(9);
+    println!("mix {} — {}", mix.name, mix.description);
+    for (i, app) in mix.apps.iter().enumerate() {
+        println!("  T{i}: {}", app.name);
+    }
+
+    let quanta = 40;
+    let quantum_cycles = 8192;
+
+    // Fixed ICOUNT — the best single policy on average.
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let fixed = adts::run_fixed(FetchPolicy::Icount, &mut machine, quanta, quantum_cycles);
+
+    // ADTS at the paper's operating point (Type 3, m = 2) — on this
+    // substrate's IPC scale the m=2 threshold rarely fires...
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let paper_op = adts::run_adaptive(AdtsConfig::default(), &mut machine, quanta);
+
+    // ...so also show the recalibrated operating point (Type 1, m = 4),
+    // the best found by `repro fig8` on this machine (EXPERIMENTS.md).
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let ours = AdtsConfig {
+        ipc_threshold: 4.0,
+        heuristic: HeuristicKind::Type1,
+        ..Default::default()
+    };
+    let adaptive = adts::run_adaptive(ours, &mut machine, quanta);
+
+    println!("\nafter {quanta} quanta of {quantum_cycles} cycles:");
+    println!("  fixed ICOUNT : {:.3} IPC", fixed.aggregate_ipc());
+    println!(
+        "  ADTS (T3,m=2): {:.3} IPC  ({:+.1}% vs fixed, {} switches)",
+        paper_op.aggregate_ipc(),
+        100.0 * (paper_op.aggregate_ipc() / fixed.aggregate_ipc() - 1.0),
+        paper_op.switches.len()
+    );
+    println!(
+        "  ADTS (T1,m=4): {:.3} IPC  ({:+.1}% vs fixed)",
+        adaptive.aggregate_ipc(),
+        100.0 * (adaptive.aggregate_ipc() / fixed.aggregate_ipc() - 1.0)
+    );
+    println!(
+        "  policy switches: {} ({} judged benign)",
+        adaptive.switches.len(),
+        adaptive.switches.iter().filter(|s| s.benign == Some(true)).count()
+    );
+
+    // The per-quantum story: which policy was in force, and what happened.
+    println!("\nlast ten quanta under ADTS:");
+    println!("  q    policy        IPC   miss/cyc  mispred/cyc");
+    for q in adaptive.quanta.iter().rev().take(10).rev() {
+        println!(
+            "  {:<4} {:<12} {:>5.2}  {:>8.3}  {:>10.4}",
+            q.index, q.policy, q.ipc, q.l1_miss_rate, q.mispredict_rate
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # smt-adts
+//!
+//! A from-scratch Rust reproduction of **"Dynamic Scheduling Issues in SMT
+//! Architectures"** (Shin, Lee, Gaudiot — IPDPS 2003): **Adaptive Dynamic
+//! Thread Scheduling (ADTS)** with a detector thread, evaluated on a
+//! cycle-level simultaneous-multithreading pipeline simulator.
+//!
+//! This umbrella crate re-exports the workspace's crates under stable
+//! module names:
+//!
+//! - [`isa`] — micro-op model, registers, application profiles;
+//! - [`workloads`] — synthetic SPEC CPU2000-class applications, the 13
+//!   program mixes, deterministic micro-op stream generators;
+//! - [`sim`] — the SMT machine: shared caches, tournament branch
+//!   predictor, fetch (ICOUNT2.8 mechanism), rename, split instruction
+//!   queues, LSQ, out-of-order issue, in-order commit, wrong-path fetch
+//!   and squash;
+//! - [`policies`] — the ten fetch policies of the paper's Table 1 and the
+//!   thread selection unit;
+//! - [`adts`] — the paper's contribution: per-quantum detector-thread
+//!   loop, heuristics Type 1–4, switching-history buffer, DT cost model,
+//!   per-quantum oracle;
+//! - [`stats`] — time series, aggregation, table rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use smt_adts::prelude::*;
+//!
+//! // Eight SPEC-class applications sharing one SMT core.
+//! let mix = workloads::mix(9);
+//! let mut machine = adts::machine_for_mix(&mix, 42);
+//!
+//! // Fixed ICOUNT for 20 quanta...
+//! let fixed = adts::run_fixed(FetchPolicy::Icount, &mut machine, 20, 8192);
+//!
+//! // ...vs the adaptive scheduler at the paper's operating point.
+//! let mut machine = adts::machine_for_mix(&mix, 42);
+//! let adaptive = adts::run_adaptive(AdtsConfig::default(), &mut machine, 20);
+//!
+//! println!("fixed {:.3} vs adaptive {:.3} IPC",
+//!          fixed.aggregate_ipc(), adaptive.aggregate_ipc());
+//! ```
+
+pub use adts_core as adts;
+pub use smt_isa as isa;
+pub use smt_policies as policies;
+pub use smt_sim as sim;
+pub use smt_stats as stats;
+pub use smt_workloads as workloads;
+
+/// The names most programs want in scope.
+pub mod prelude {
+    pub use crate::{adts, isa, policies, sim, stats, workloads};
+    pub use adts_core::{
+        AdaptiveScheduler, AdtsConfig, CondThresholds, DtModel, Heuristic, HeuristicKind,
+        OracleConfig,
+    };
+    pub use smt_isa::{AppProfile, Tid};
+    pub use smt_policies::{FetchPolicy, Tsu};
+    pub use smt_sim::{SimConfig, SmtMachine};
+    pub use smt_stats::RunSeries;
+    pub use smt_workloads::{app, mix, Mix, UopStream};
+}

@@ -1,0 +1,116 @@
+//! Shape checks on the adaptive scheduler — the qualitative findings of
+//! the paper's Fig 7/Fig 8 at reduced scale (EXPERIMENTS.md records the
+//! full-scale versions):
+//!
+//! - switch count grows with the IPC threshold m;
+//! - m = 0 (never low-throughput) equals fixed scheduling exactly;
+//! - the benign-switch probability is defined and sane;
+//! - Type 3' (gradient guard) never switches more than Type 3.
+
+use smt_adts::prelude::*;
+
+fn adaptive(mix: &Mix, kind: HeuristicKind, m: f64, quanta: u64) -> RunSeries {
+    let mut machine = adts::machine_for_mix(mix, 42);
+    let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 4, 8192);
+    let cfg = AdtsConfig { ipc_threshold: m, heuristic: kind, ..Default::default() };
+    adts::run_adaptive(cfg, &mut machine, quanta)
+}
+
+#[test]
+fn switch_count_grows_with_threshold() {
+    let mix = workloads::mix(9);
+    let mut last = 0usize;
+    let mut grew = 0;
+    for m in [1.0, 3.0, 5.0] {
+        let s = adaptive(&mix, HeuristicKind::Type3, m, 25);
+        if s.switches.len() >= last {
+            grew += 1;
+        }
+        last = s.switches.len();
+    }
+    assert!(grew >= 2, "switch count should be (weakly) increasing in m");
+    // And the extremes must differ decisively.
+    let low = adaptive(&mix, HeuristicKind::Type1, 0.5, 25).switches.len();
+    let high = adaptive(&mix, HeuristicKind::Type1, 5.0, 25).switches.len();
+    assert!(high > low, "m=5 ({high}) must switch more than m=0.5 ({low})");
+}
+
+#[test]
+fn zero_threshold_is_fixed_scheduling() {
+    let mix = workloads::mix(5);
+    let s = adaptive(&mix, HeuristicKind::Type3, 0.0, 15);
+    assert!(s.switches.is_empty());
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 4, 8192);
+    let fixed = adts::run_fixed(FetchPolicy::Icount, &mut machine, 15, 8192);
+    assert_eq!(s.aggregate_ipc(), fixed.aggregate_ipc());
+}
+
+#[test]
+fn benign_fraction_is_a_probability() {
+    let mix = workloads::mix(6);
+    let s = adaptive(&mix, HeuristicKind::Type2, 5.0, 30);
+    let b = s.benign_fraction().expect("m=5 must produce judged switches");
+    assert!((0.0..=1.0).contains(&b), "benign fraction {b}");
+}
+
+#[test]
+fn gradient_guard_reduces_switching() {
+    // Type 3' = Type 3 + "don't switch while IPC is rising": across mixes
+    // it can only remove switch opportunities.
+    let mut t3_total = 0usize;
+    let mut t3p_total = 0usize;
+    for mix_id in [1, 6, 9] {
+        let mix = workloads::mix(mix_id);
+        t3_total += adaptive(&mix, HeuristicKind::Type3, 5.0, 25).switches.len();
+        t3p_total += adaptive(&mix, HeuristicKind::Type3Prime, 5.0, 25).switches.len();
+    }
+    assert!(
+        t3p_total <= t3_total,
+        "gradient guard increased switching: {t3p_total} vs {t3_total}"
+    );
+}
+
+#[test]
+fn adaptive_switches_move_within_the_triple() {
+    let mix = workloads::mix(9);
+    for kind in HeuristicKind::ALL {
+        let s = adaptive(&mix, kind, 5.0, 25);
+        for sw in &s.switches {
+            for p in [&sw.from, &sw.to] {
+                assert!(
+                    ["ICOUNT", "BRCOUNT", "L1MISSCOUNT"].contains(&p.as_str()),
+                    "{} left the triple: {sw:?}",
+                    kind.name()
+                );
+            }
+            assert_ne!(sw.from, sw.to, "self-switch recorded");
+        }
+    }
+}
+
+#[test]
+fn clog_marks_name_plausible_threads() {
+    // On the memory-bound mix, clog marks should overwhelmingly point at
+    // memory-bound members (they hold pipeline slots without committing).
+    let mix = workloads::mix(12); // gzip gcc mcf crafty wupwise swim mesa art
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 4, 8192);
+    let cfg = AdtsConfig { ipc_threshold: 8.0, ..Default::default() };
+    let mut sched = AdaptiveScheduler::new(cfg, machine.n_threads());
+    for _ in 0..25 {
+        sched.run_quantum(&mut machine);
+    }
+    let marks = sched.clog_log();
+    assert!(!marks.is_empty());
+    let memory_bound = ["mcf", "swim", "art", "equake", "ammp"];
+    let hits = marks
+        .iter()
+        .filter(|(_, t)| memory_bound.contains(&mix.apps[t.idx()].name.as_str()))
+        .count();
+    assert!(
+        hits * 2 > marks.len(),
+        "clog marks should mostly hit memory-bound threads: {hits}/{}",
+        marks.len()
+    );
+}

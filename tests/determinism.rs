@@ -1,0 +1,76 @@
+//! Full-stack determinism: identical (seed, config) must give identical
+//! results through workloads → machine → policies → ADTS, because the
+//! oracle scheduler and every experiment in EXPERIMENTS.md depend on it.
+
+use smt_adts::prelude::*;
+
+fn fixed_run(seed: u64, policy: FetchPolicy) -> (f64, u64) {
+    let mix = workloads::mix(5);
+    let mut machine = adts::machine_for_mix(&mix, seed);
+    let series = adts::run_fixed(policy, &mut machine, 12, 4096);
+    (series.aggregate_ipc(), machine.total_committed())
+}
+
+#[test]
+fn fixed_runs_replay_exactly() {
+    for policy in [FetchPolicy::Icount, FetchPolicy::BrCount, FetchPolicy::RoundRobin] {
+        assert_eq!(fixed_run(7, policy), fixed_run(7, policy), "{}", policy.name());
+    }
+}
+
+#[test]
+fn different_seeds_differ() {
+    assert_ne!(fixed_run(7, FetchPolicy::Icount), fixed_run(8, FetchPolicy::Icount));
+}
+
+#[test]
+fn adaptive_runs_replay_exactly() {
+    let run = |kind: HeuristicKind| {
+        let mix = workloads::mix(9);
+        let mut machine = adts::machine_for_mix(&mix, 11);
+        let cfg = AdtsConfig {
+            ipc_threshold: 4.0,
+            heuristic: kind,
+            quantum_cycles: 4096,
+            ..Default::default()
+        };
+        let s = adts::run_adaptive(cfg, &mut machine, 15);
+        (s.aggregate_ipc(), s.switches.len(), format!("{:?}", s.switches))
+    };
+    for kind in HeuristicKind::ALL {
+        assert_eq!(run(kind), run(kind), "{}", kind.name());
+    }
+}
+
+#[test]
+fn machine_clone_forks_identically() {
+    let mix = workloads::mix(12);
+    let mut machine = adts::machine_for_mix(&mix, 3);
+    let mut tsu = Tsu::new(FetchPolicy::Icount, 8);
+    machine.run(20_000, &mut tsu);
+    let mut a = machine.clone();
+    let mut b = machine;
+    let mut tsu_b = tsu;
+    a.run(20_000, &mut tsu);
+    b.run(20_000, &mut tsu_b);
+    assert_eq!(a.total_committed(), b.total_committed());
+    assert_eq!(a.global(), b.global());
+    for t in 0..8 {
+        assert_eq!(a.counters(Tid(t)), b.counters(Tid(t)), "thread {t}");
+    }
+}
+
+#[test]
+fn oracle_is_replayable() {
+    let cfg = OracleConfig { quantum_cycles: 2048, ..Default::default() };
+    let run = || {
+        let mix = workloads::mix(4);
+        let mut machine = adts::machine_for_mix(&mix, 5);
+        adts::run_oracle(&cfg, &mut machine, 6)
+            .quanta
+            .iter()
+            .map(|q| q.policy.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,77 @@
+//! Cross-crate tests of the job-scheduler extension: many swaps, machine
+//! invariants, and the DT-assistance claim.
+
+use smt_adts::adts::{EvictionPolicy, JobSchedConfig, JobScheduler};
+use smt_adts::prelude::*;
+
+fn pool() -> Vec<AppProfile> {
+    vec![
+        workloads::app("gap"),
+        workloads::app("apsi"),
+        workloads::app("vortex"),
+        workloads::app("mesa"),
+    ]
+}
+
+fn run(mix_id: usize, eviction: EvictionPolicy, timeslices: u64) -> (f64, usize, SmtMachine) {
+    let mix = workloads::mix(mix_id);
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let cfg = JobSchedConfig {
+        adts: AdtsConfig { ipc_threshold: 2.0, ..Default::default() },
+        timeslice_quanta: 5,
+        eviction,
+        ..Default::default()
+    };
+    let mut js = JobScheduler::new(cfg, pool());
+    let running = mix.apps.iter().map(|a| a.name.clone()).collect();
+    let out = js.run(&mut machine, running, timeslices);
+    (out.series.aggregate_ipc(), out.swaps.len(), machine)
+}
+
+#[test]
+fn many_swaps_keep_the_machine_consistent() {
+    for mix_id in [1, 6, 9] {
+        let (ipc, swaps, machine) = run(mix_id, EvictionPolicy::ClogMarks, 8);
+        assert!(ipc > 0.3, "mix {mix_id} collapsed to {ipc}");
+        assert_eq!(swaps, 8);
+        machine.check_invariants();
+    }
+}
+
+#[test]
+fn swapped_in_jobs_actually_run() {
+    let (_, _, machine) = run(6, EvictionPolicy::RoundRobin, 4);
+    // After four round-robin swaps, contexts 0..4 run pool jobs.
+    let names: Vec<String> =
+        (0..4).map(|t| machine.thread_profile(Tid(t)).name.clone()).collect();
+    let pool_names = ["gap", "apsi", "vortex", "mesa"];
+    for (t, n) in names.iter().enumerate() {
+        assert!(pool_names.contains(&n.as_str()), "context {t} still runs {n}");
+    }
+}
+
+#[test]
+fn assisted_eviction_targets_differ_from_blind_rotation() {
+    let mix = workloads::mix(6);
+    let mut machine = adts::machine_for_mix(&mix, 42);
+    let cfg = JobSchedConfig {
+        adts: AdtsConfig { ipc_threshold: 8.0, ..Default::default() },
+        timeslice_quanta: 5,
+        eviction: EvictionPolicy::ClogMarks,
+        ..Default::default()
+    };
+    let mut js = JobScheduler::new(cfg, pool());
+    let running = mix.apps.iter().map(|a| a.name.clone()).collect();
+    let out = js.run(&mut machine, running, 4);
+    // Blind rotation would evict contexts 0,1,2,3; clog marks must not.
+    let victims: Vec<u8> = out.swaps.iter().map(|(_, t, _, _)| t.0).collect();
+    assert_ne!(victims, vec![0, 1, 2, 3], "clog marks behaved like rotation");
+}
+
+#[test]
+fn jobsched_is_deterministic() {
+    let a = run(9, EvictionPolicy::ClogMarks, 5);
+    let b = run(9, EvictionPolicy::ClogMarks, 5);
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+}

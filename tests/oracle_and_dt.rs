@@ -1,0 +1,84 @@
+//! Oracle-bound and detector-thread-model checks across crates.
+
+use smt_adts::prelude::*;
+
+fn warmed(mix: &Mix, seed: u64) -> SmtMachine {
+    let mut machine = adts::machine_for_mix(mix, seed);
+    let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 4, 8192);
+    machine
+}
+
+#[test]
+fn oracle_never_loses_to_fixed_icount() {
+    for mix_id in [1, 9, 13] {
+        let mix = workloads::mix(mix_id);
+        let fixed =
+            adts::run_fixed(FetchPolicy::Icount, &mut warmed(&mix, 42), 12, 8192).aggregate_ipc();
+        let cfg = OracleConfig::default();
+        let oracle = adts::run_oracle(&cfg, &mut warmed(&mix, 42), 12).aggregate_ipc();
+        assert!(
+            oracle >= 0.99 * fixed,
+            "{}: oracle {oracle:.3} below fixed {fixed:.3}",
+            mix.name
+        );
+    }
+}
+
+#[test]
+fn oracle_uses_more_than_one_policy_across_mixes() {
+    // Per-quantum margins are small, so any single short run may settle on
+    // one policy; across a stormy, a memory-bound and a low-IPC mix the
+    // oracle must exercise at least two of the triple.
+    let cfg = OracleConfig::default();
+    let mut used = std::collections::HashSet::new();
+    for mix_id in [4, 6, 9] {
+        let mix = workloads::mix(mix_id);
+        let series = adts::run_oracle(&cfg, &mut warmed(&mix, 42), 15);
+        for q in &series.quanta {
+            used.insert(q.policy.clone());
+        }
+    }
+    assert!(used.len() >= 2, "oracle never changed its mind: {used:?}");
+}
+
+#[test]
+fn starved_dt_equals_fixed_icount() {
+    let mix = workloads::mix(6);
+    let cfg = AdtsConfig { ipc_threshold: 8.0, dt: DtModel::Starved, ..Default::default() };
+    let s = adts::run_adaptive(cfg, &mut warmed(&mix, 42), 12);
+    let f = adts::run_fixed(FetchPolicy::Icount, &mut warmed(&mix, 42), 12, 8192);
+    assert!(s.switches.is_empty());
+    assert_eq!(s.aggregate_ipc(), f.aggregate_ipc());
+}
+
+#[test]
+fn budgeted_dt_is_between_free_and_starved_in_switch_count() {
+    let mix = workloads::mix(9);
+    let run = |dt: DtModel| {
+        let cfg = AdtsConfig { ipc_threshold: 8.0, dt, ..Default::default() };
+        adts::run_adaptive(cfg, &mut warmed(&mix, 42), 20).switches.len()
+    };
+    let free = run(DtModel::Free);
+    let budgeted = run(DtModel::Budgeted { throughput_factor: 0.05 });
+    let starved = run(DtModel::Starved);
+    assert_eq!(starved, 0);
+    assert!(budgeted <= free, "budget cannot add switches: {budgeted} vs {free}");
+}
+
+#[test]
+fn dt_decision_cost_fits_idle_budget_on_loaded_machine() {
+    // The paper's feasibility claim: even on a busy 8-thread machine the
+    // idle fetch slots per quantum dwarf the decision cost.
+    let mix = workloads::mix(3); // high-IPC mix = worst case for the DT
+    let mut machine = warmed(&mix, 42);
+    let before = adts::MachineSnapshot::take(&machine);
+    let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 10, 8192);
+    let after = adts::MachineSnapshot::take(&machine);
+    let q = adts::QuantumStats::between(&before, &after, 8);
+    let idle_slots_per_quantum = q.idle_fetch_rate * 8192.0;
+    let cost = HeuristicKind::Type4.dt_cost_instructions() as f64;
+    assert!(
+        idle_slots_per_quantum > 10.0 * cost,
+        "idle budget {idle_slots_per_quantum:.0} too small for cost {cost}"
+    );
+}

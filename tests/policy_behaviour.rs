@@ -1,0 +1,85 @@
+//! Cross-crate behavioural checks on the fetch policies: the qualitative
+//! orderings from Tullsen et al. [20] that the paper builds on must hold
+//! in this substrate too.
+
+use smt_adts::prelude::*;
+
+fn fixed_ipc(mix: &Mix, policy: FetchPolicy, quanta: u64) -> f64 {
+    let mut machine = adts::machine_for_mix(mix, 42);
+    let _ = adts::run_fixed(policy, &mut machine, 4, 8192);
+    adts::run_fixed(policy, &mut machine, quanta, 8192).aggregate_ipc()
+}
+
+#[test]
+fn icount_beats_round_robin_on_balanced_mixes() {
+    // [20]'s headline result. Checked on the diverse, well-balanced mix
+    // where admission control matters most.
+    let mix = workloads::mix(12);
+    let icount = fixed_ipc(&mix, FetchPolicy::Icount, 25);
+    let rr = fixed_ipc(&mix, FetchPolicy::RoundRobin, 25);
+    assert!(
+        icount > 1.02 * rr,
+        "ICOUNT ({icount:.3}) must clearly beat RR ({rr:.3})"
+    );
+}
+
+#[test]
+fn policies_are_not_interchangeable() {
+    // If all policies scored identically, the adaptive question would be
+    // vacuous. Demand ≥2% spread between best and worst of the triple+RR
+    // on the storm mix.
+    let mix = workloads::mix(9);
+    let ipcs: Vec<f64> = [
+        FetchPolicy::Icount,
+        FetchPolicy::BrCount,
+        FetchPolicy::L1MissCount,
+        FetchPolicy::RoundRobin,
+    ]
+    .iter()
+    .map(|&p| fixed_ipc(&mix, p, 25))
+    .collect();
+    let best = ipcs.iter().copied().fold(f64::MIN, f64::max);
+    let worst = ipcs.iter().copied().fold(f64::MAX, f64::min);
+    assert!(best > 1.02 * worst, "no policy spread: {ipcs:?}");
+}
+
+#[test]
+fn brcount_wins_the_papers_motivating_scenario() {
+    // §1: four control-intensive threads in mispredict storms + four
+    // well-behaved threads — BRCOUNT should recover what ICOUNT wastes.
+    let mix = workloads::mix(9);
+    let icount = fixed_ipc(&mix, FetchPolicy::Icount, 40);
+    let brcount = fixed_ipc(&mix, FetchPolicy::BrCount, 40);
+    assert!(
+        brcount > icount,
+        "BRCOUNT ({brcount:.3}) should beat ICOUNT ({icount:.3}) on MIX09"
+    );
+}
+
+#[test]
+fn smt_beats_single_thread_throughput() {
+    let mix = workloads::mix(3);
+    let eight = fixed_ipc(&mix, FetchPolicy::Icount, 15);
+    let one = fixed_ipc(&mix.take_threads(1, 42), FetchPolicy::Icount, 15);
+    assert!(
+        eight > 1.5 * one,
+        "8-thread SMT ({eight:.3}) must clearly beat 1 thread ({one:.3})"
+    );
+}
+
+#[test]
+fn all_ten_policies_run_on_all_mixes() {
+    // Smoke coverage: every policy on every mix makes progress.
+    for mix in Mix::all() {
+        for policy in FetchPolicy::ALL {
+            let mut machine = adts::machine_for_mix(&mix, 1);
+            let s = adts::run_fixed(policy, &mut machine, 2, 2048);
+            assert!(
+                s.aggregate_ipc() > 0.05,
+                "{} stalled on {}",
+                policy.name(),
+                mix.name
+            );
+        }
+    }
+}

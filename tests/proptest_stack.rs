@@ -1,0 +1,104 @@
+//! Property-based tests across the full stack: arbitrary (valid) profiles
+//! and short machine runs must uphold the structural invariants.
+
+use proptest::prelude::*;
+use smt_adts::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a valid AppProfile within sane ranges.
+fn arb_profile() -> impl Strategy<Value = AppProfile> {
+    (
+        0.0..0.25f64,                 // branch_frac
+        0.05..0.3f64,                 // load_frac
+        0.0..0.15f64,                 // store_frac
+        0.0..0.8f64,                  // fp_frac
+        1.0..6.0f64,                  // mean_dep_dist
+        0.5..1.0f64,                  // branch_bias
+        0.0..1.0f64,                  // pattern_frac
+        12u32..24,                    // log2 data ws
+        10u32..18,                    // log2 code bytes
+        0.0..0.4f64,                  // cold_frac
+        0.0..1.0f64,                  // stride_frac
+    )
+        .prop_map(
+            |(br, ld, st, fp, dep, bias, pat, ws, code, cold, stride)| {
+                AppProfile::builder("prop")
+                    .branch_frac(br)
+                    .load_frac(ld)
+                    .store_frac(st)
+                    .fp_frac(fp)
+                    .mean_dep_dist(dep)
+                    .branch_bias(bias)
+                    .pattern_frac(pat)
+                    .data_ws_bytes(1 << ws)
+                    .code_bytes(1 << code)
+                    .cold_frac(cold)
+                    .stride_frac(stride)
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    #[test]
+    fn any_profile_yields_well_formed_ops(p in arb_profile(), seed in 0u64..1000) {
+        let mut s = UopStream::new(Arc::new(p), seed, workloads::thread_addr_base(0));
+        for _ in 0..2_000 {
+            prop_assert!(s.next_uop().is_well_formed());
+        }
+    }
+
+    #[test]
+    fn machine_invariants_hold_for_arbitrary_profiles(
+        p in arb_profile(),
+        seed in 0u64..1000,
+        n in 1usize..5,
+    ) {
+        let cfg = SimConfig::with_threads(n);
+        let streams = (0..n)
+            .map(|i| UopStream::new(
+                Arc::new(p.clone()),
+                seed + i as u64,
+                workloads::thread_addr_base(i),
+            ))
+            .collect();
+        let mut m = SmtMachine::new(cfg, streams);
+        let mut tsu = Tsu::new(FetchPolicy::Icount, n);
+        for _ in 0..40 {
+            m.run(50, &mut tsu);
+            m.check_invariants();
+        }
+        // Committed work is bounded by correct-path fetch.
+        let fetched: u64 = (0..n).map(|t| m.counters(Tid(t as u8)).fetched).sum();
+        prop_assert!(m.total_committed() <= fetched);
+    }
+
+    #[test]
+    fn adaptive_scheduler_never_panics_and_counts_consistently(
+        seed in 0u64..200,
+        m_thr in 0.0..8.0f64,
+        kind_i in 0usize..5,
+    ) {
+        let mix = workloads::mix(1 + (seed % 13) as usize);
+        let mut machine = adts::machine_for_mix(&mix, seed);
+        let cfg = AdtsConfig {
+            ipc_threshold: m_thr,
+            heuristic: HeuristicKind::ALL[kind_i],
+            quantum_cycles: 2048,
+            ..Default::default()
+        };
+        let s = adts::run_adaptive(cfg, &mut machine, 6);
+        prop_assert_eq!(s.quanta.len(), 6);
+        // Judged switches never exceed total switches; benign ≤ judged.
+        let judged = s.judged_switches();
+        prop_assert!(judged <= s.switches.len());
+        let benign = s.switches.iter().filter(|e| e.benign == Some(true)).count();
+        prop_assert!(benign <= judged);
+        // Quantum records sum to the machine's committed total (after the
+        // warmup-free start).
+        let sum: u64 = s.quanta.iter().map(|q| q.committed).sum();
+        prop_assert_eq!(sum, machine.total_committed());
+    }
+}
