@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the workspace's benches compiling and runnable with the API
+//! subset they use (`bench_function`, `benchmark_group`,
+//! `bench_with_input`, `Bencher::iter`, `Throughput`, `BenchmarkId`, the
+//! `criterion_group!`/`criterion_main!` macros).
+//!
+//! Measurement is intentionally simple: a short warm-up, then
+//! `sample_size` timed samples whose median per-iteration time is printed
+//! as one line per benchmark. There is no statistical analysis, HTML
+//! report, or baseline comparison — just a stable smoke-level signal that
+//! the hot paths still run at sane speed.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Top-level bench driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Recorded for display compatibility; the shim does not rescale.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Throughput hint (accepted, unused).
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to the benchmark closure; `iter` times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration, filled by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: a few unrecorded runs.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        median_ns: f64::NAN,
+    };
+    f(&mut b);
+    if b.median_ns.is_nan() {
+        println!("bench {label:<40} (no iter call)");
+    } else if b.median_ns >= 1e6 {
+        println!("bench {label:<40} {:>12.3} ms/iter", b.median_ns / 1e6);
+    } else {
+        println!("bench {label:<40} {:>12.0} ns/iter", b.median_ns);
+    }
+}
+
+/// Define a bench group entry point, in either criterion form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn group_runs_inputs() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        let mut total = 0u64;
+        g.bench_with_input(BenchmarkId::new("n", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                total += n;
+                black_box(total)
+            })
+        });
+        g.finish();
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so the real `serde`
+//! cannot be fetched. This facade keeps the workspace's `use serde::{…}`
+//! lines and `#[derive(Serialize, Deserialize)]` attributes compiling
+//! unchanged, backed by a small self-describing [`Value`] model instead of
+//! serde's visitor machinery:
+//!
+//! - [`Serialize`] converts a value into a [`Value`] tree;
+//! - [`Deserialize`] reconstructs a value from a [`Value`] tree;
+//! - [`json`] renders `Value` as canonical (deterministically ordered,
+//!   whitespace-free) JSON and parses it back.
+//!
+//! The derive macros (re-exported from the sibling `serde_derive` crate)
+//! follow real serde's externally-tagged conventions: named structs become
+//! maps in declaration order, newtypes are transparent, unit enum variants
+//! become strings, and data-carrying variants become single-entry maps.
+//! Canonical field order makes the JSON byte-stable, which the sweep
+//! cache's content hashing relies on.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
+
+/// A self-describing serialized value (the JSON data model plus an
+/// unsigned integer case so `u64` survives round trips exactly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Insertion-ordered map (declaration order for derived structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up an entry of a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        Error(format!("unknown variant `{variant}` for `{ty}`"))
+    }
+
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        Error(format!("expected {expected}, got {got:?}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the self-describing [`Value`] model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct a value from the self-describing [`Value`] model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch and deserialize a named field of a `Map` value (derive helper).
+pub fn de_field<T: Deserialize>(v: &Value, name: &str) -> Result<T, Error> {
+    match v.get(name) {
+        Some(field) => T::from_value(field).map_err(|e| Error(format!("field `{name}`: {e}"))),
+        None => Err(Error(format!("missing field `{name}` in {v:?}"))),
+    }
+}
+
+/// Fetch and deserialize a positional element of a `Seq` value (derive
+/// helper for tuple structs/variants).
+pub fn de_index<T: Deserialize>(v: &Value, index: usize) -> Result<T, Error> {
+    match v {
+        Value::Seq(items) => match items.get(index) {
+            Some(item) => T::from_value(item),
+            None => Err(Error(format!("missing tuple element {index}"))),
+        },
+        other => Err(Error::type_mismatch("sequence", other)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// impls for primitives and std containers
+// ---------------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) if *i >= 0 => *i as u64,
+                    other => return Err(Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u)
+                        .map_err(|_| Error(format!("{u} out of range for i64")))?,
+                    other => return Err(Error::type_mismatch(stringify!($t), other)),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error(format!("{raw} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(f) => Ok(*f),
+            Value::UInt(u) => Ok(*u as f64),
+            Value::Int(i) => Ok(*i as f64),
+            // Non-finite floats serialize as null (JSON has no NaN).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::type_mismatch("f64", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::type_mismatch("bool", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(Error::type_mismatch("char", other)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                Ok(($(de_index::<$t>(v, $idx)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3),);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<u64>::from_value(&None::<u64>.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u64>::from_value(&Some(3u64).to_value()),
+            Ok(Some(3))
+        );
+    }
+
+    #[test]
+    fn vec_round_trip() {
+        let xs = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&xs.to_value()), Ok(xs));
+    }
+
+    #[test]
+    fn de_field_reports_missing() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(de_field::<u64>(&v, "a"), Ok(1));
+        assert!(de_field::<u64>(&v, "b").is_err());
+    }
+
+    #[test]
+    fn uint_range_checked() {
+        assert!(u8::from_value(&Value::UInt(300)).is_err());
+        assert_eq!(u8::from_value(&Value::UInt(255)), Ok(255));
+    }
+}

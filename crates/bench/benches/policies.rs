@@ -2,9 +2,9 @@
 //! prioritization (the TSU sort the machine pays every cycle).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smt_isa::Tid;
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{FetchChooser, PolicyView};
-use smt_isa::Tid;
 
 fn views() -> Vec<PolicyView> {
     (0..8u8)
@@ -28,17 +28,21 @@ fn views() -> Vec<PolicyView> {
 fn bench_policies(c: &mut Criterion) {
     let mut g = c.benchmark_group("tsu_prioritize");
     for policy in FetchPolicy::ALL {
-        g.bench_with_input(BenchmarkId::new("policy", policy.name()), &policy, |b, &p| {
-            let mut tsu = Tsu::new(p, 8);
-            let base = views();
-            let mut cycle = 0u64;
-            b.iter(|| {
-                let mut v = base.clone();
-                cycle += 1;
-                tsu.prioritize(cycle, &mut v);
-                v
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("policy", policy.name()),
+            &policy,
+            |b, &p| {
+                let mut tsu = Tsu::new(p, 8);
+                let base = views();
+                let mut cycle = 0u64;
+                b.iter(|| {
+                    let mut v = base.clone();
+                    cycle += 1;
+                    tsu.prioritize(cycle, &mut v);
+                    v
+                });
+            },
+        );
     }
     g.finish();
 }

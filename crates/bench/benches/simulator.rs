@@ -27,11 +27,7 @@ fn bench_step(c: &mut Criterion) {
 
 fn bench_stream(c: &mut Criterion) {
     c.bench_function("uop_stream_next", |b| {
-        let mut s = UopStream::new(
-            Arc::new(smt_workloads::app("gcc")),
-            7,
-            thread_addr_base(0),
-        );
+        let mut s = UopStream::new(Arc::new(smt_workloads::app("gcc")), 7, thread_addr_base(0));
         b.iter(|| s.next_uop());
     });
 }
@@ -39,8 +35,18 @@ fn bench_stream(c: &mut Criterion) {
 fn bench_cache(c: &mut Criterion) {
     use smt_sim::{CacheGeometry, Hierarchy};
     c.bench_function("hierarchy_data_access", |b| {
-        let g = CacheGeometry { size_bytes: 32 << 10, line_bytes: 64, ways: 4, hit_latency: 1 };
-        let l2 = CacheGeometry { size_bytes: 512 << 10, line_bytes: 64, ways: 8, hit_latency: 10 };
+        let g = CacheGeometry {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 1,
+        };
+        let l2 = CacheGeometry {
+            size_bytes: 512 << 10,
+            line_bytes: 64,
+            ways: 8,
+            hit_latency: 10,
+        };
         let mut h = Hierarchy::new(g, g, l2, 80);
         let mut a = 0u64;
         b.iter(|| {

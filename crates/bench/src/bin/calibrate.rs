@@ -5,24 +5,54 @@
 //! machine model or workloads, and update `CondThresholds::default` if the
 //! averages moved materially.
 //!
+//! Runs go through the sweep engine, so repeated calibrations are served
+//! from `results/cache/` (pass `--no-cache` to force fresh simulation) and
+//! logged to `results/telemetry.jsonl`.
+//!
 //! ```sh
-//! cargo run --release -p smt-bench --bin calibrate
+//! cargo run --release -p smt-bench --bin calibrate [-- --no-cache --jobs N]
 //! ```
 
-use adts_core::{machine_for_mix, run_fixed, CondThresholds};
+use adts_core::CondThresholds;
+use smt_bench::{fixed_series, parallel::par_map, sweep, ExpParams};
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
-use smt_workloads::Mix;
+use smt_workloads::MIX_COUNT;
+use std::path::PathBuf;
 
 fn main() {
-    let quanta = 30u64;
-    let quantum = 8192u64;
+    let mut no_cache = false;
+    let mut jobs = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-cache" => no_cache = true,
+            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
+            other => {
+                eprintln!("error: unknown option {other} (known: --no-cache, --jobs N)");
+                std::process::exit(2);
+            }
+        }
+    }
+    sweep::configure(sweep::SweepConfig {
+        jobs,
+        cache_dir: (!no_cache).then(|| PathBuf::from("results/cache")),
+        telemetry_path: Some(PathBuf::from("results/telemetry.jsonl")),
+    });
+    // The paper's measurement protocol as ExpParams: the standard seed and
+    // quantum, a short warmed window, all thirteen mixes.
+    let p = ExpParams {
+        seed: 42,
+        warmup_quanta: 6,
+        quanta: 30,
+        quantum_cycles: 8192,
+        mix_ids: (1..=MIX_COUNT).collect(),
+    };
+    sweep::engine().begin_scope("calibrate");
+    let per_mix = par_map(p.mixes(), |mix| fixed_series(mix, FetchPolicy::Icount, &p));
     let (mut l1, mut lsq, mut mis, mut br, mut ipc) =
         (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
-    for mix in Mix::all() {
-        let mut m = machine_for_mix(&mix, 42);
-        let _ = run_fixed(FetchPolicy::Icount, &mut m, 6, quantum);
-        let s = run_fixed(FetchPolicy::Icount, &mut m, quanta, quantum);
+    for s in &per_mix {
         for q in &s.quanta {
             l1.push(q.l1_miss_rate);
             lsq.push(q.lsq_full_rate);
@@ -33,11 +63,28 @@ fn main() {
     }
     let d = CondThresholds::default();
     println!("metric             mean (13 mixes)   current default   paper");
-    println!("L1 miss / cycle    {:>14.3}   {:>15.3}   0.190", mean(&l1), d.l1_miss_rate);
-    println!("LSQ full / cycle   {:>14.3}   {:>15.3}   0.450", mean(&lsq), d.lsq_full_rate);
-    println!("mispredict / cycle {:>14.3}   {:>15.3}   0.020", mean(&mis), d.mispredict_rate);
-    println!("cond br / cycle    {:>14.3}   {:>15.3}   0.380", mean(&br), d.branch_rate);
+    println!(
+        "L1 miss / cycle    {:>14.3}   {:>15.3}   0.190",
+        mean(&l1),
+        d.l1_miss_rate
+    );
+    println!(
+        "LSQ full / cycle   {:>14.3}   {:>15.3}   0.450",
+        mean(&lsq),
+        d.lsq_full_rate
+    );
+    println!(
+        "mispredict / cycle {:>14.3}   {:>15.3}   0.020",
+        mean(&mis),
+        d.mispredict_rate
+    );
+    println!(
+        "cond br / cycle    {:>14.3}   {:>15.3}   0.380",
+        mean(&br),
+        d.branch_rate
+    );
     println!("aggregate IPC      {:>14.3}", mean(&ipc));
+    println!("\n{}", sweep::engine().scope_summary());
     println!(
         "\nPer the paper's method, CondThresholds::default should carry the\n\
          measured means; the COND_* conditions then fire exactly when a\n\

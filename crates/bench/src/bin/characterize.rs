@@ -3,63 +3,119 @@
 //! workload substitution lands each app in the counter-rate regime of its
 //! SPEC CPU2000 namesake.
 //!
+//! Each app's measurement runs through the sweep engine's value cache
+//! (keyed on the full profile, the machine config and the measurement
+//! window), so re-running after an unrelated change is instant; pass
+//! `--no-cache` to force fresh simulation. Counter math uses the
+//! [`smt_sim::CounterSnapshot`] delta export rather than hand-subtracted
+//! fields.
+//!
 //! ```sh
-//! cargo run --release -p smt-bench --bin characterize
+//! cargo run --release -p smt-bench --bin characterize [-- --no-cache]
 //! ```
 
+use serde::{Deserialize, Serialize};
+use smt_bench::sweep;
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
 use smt_stats::Table;
 use smt_workloads::{app, app_names, thread_addr_base, UopStream};
-use smt_isa::Tid;
+use std::path::PathBuf;
 use std::sync::Arc;
 
+/// One app's measured single-thread character (the cacheable unit).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct CharRow {
+    ipc: f64,
+    mispred_per_branch: f64,
+    l1d_miss_per_mem: f64,
+    l1i_per_kcycle: f64,
+    l2_per_kcycle: f64,
+    wrongpath_frac: f64,
+    branch_pct: f64,
+    mem_pct: f64,
+}
+
+fn measure(name: &str, cfg: &SimConfig, warm: u64, run: u64, seed: u64) -> CharRow {
+    let stream = UopStream::new(Arc::new(app(name)), seed, thread_addr_base(0));
+    let mut m = SmtMachine::new(cfg.clone(), vec![stream]);
+    let mut tsu = Tsu::new(FetchPolicy::Icount, 1);
+    m.run(warm, &mut tsu);
+    let warmed = m.counter_snapshot();
+    m.run(run, &mut tsu);
+    let delta = warmed.delta(&m.counter_snapshot());
+    let c = &delta.threads[0];
+    let dc = delta.cycle as f64;
+    let committed = c.committed as f64;
+    let branches = (c.branches_resolved as f64).max(1.0);
+    let mem = (c.loads + c.stores) as f64;
+    let fetched = c.fetched as f64;
+    let wp = c.wrongpath_fetched as f64;
+    CharRow {
+        ipc: committed / dc,
+        mispred_per_branch: c.mispredicts as f64 / branches,
+        l1d_miss_per_mem: c.l1d_misses as f64 / mem.max(1.0),
+        l1i_per_kcycle: c.l1i_misses as f64 / dc * 1000.0,
+        l2_per_kcycle: c.l2_misses as f64 / dc * 1000.0,
+        wrongpath_frac: wp / (fetched + wp).max(1.0),
+        branch_pct: 100.0 * c.cond_branches as f64 / fetched.max(1.0),
+        mem_pct: 100.0 * mem / committed.max(1.0),
+    }
+}
+
 fn main() {
+    let no_cache = std::env::args().skip(1).any(|a| a == "--no-cache");
+    sweep::configure(sweep::SweepConfig {
+        jobs: None,
+        cache_dir: (!no_cache).then(|| PathBuf::from("results/cache")),
+        telemetry_path: Some(PathBuf::from("results/telemetry.jsonl")),
+    });
     // Long enough to span several full phase cycles (storm + quiet), so
     // the row is the app's *average* character, not one phase's.
     let warm = 100_000u64;
-    let measure = 700_000u64;
+    let run = 700_000u64;
+    let seed = 42u64;
+    let cfg = SimConfig::with_threads(1);
+    sweep::engine().begin_scope("characterize");
     let mut t = Table::new(
-        &format!("W1 — single-thread app characterization ({measure} cycles after {warm} warmup)"),
+        &format!("W1 — single-thread app characterization ({run} cycles after {warm} warmup)"),
         &[
-            "app", "class", "IPC", "mispred/br", "L1D miss", "L1I/kcyc", "L2/kcyc",
-            "wrong-path", "branch%", "mem%",
+            "app",
+            "class",
+            "IPC",
+            "mispred/br",
+            "L1D miss",
+            "L1I/kcyc",
+            "L2/kcyc",
+            "wrong-path",
+            "branch%",
+            "mem%",
         ],
     );
     for name in app_names() {
         let profile = app(name);
-        let class = format!("{:?}", profile.class);
-        let stream = UopStream::new(Arc::new(profile), 42, thread_addr_base(0));
-        let mut m = SmtMachine::new(SimConfig::with_threads(1), vec![stream]);
-        let mut tsu = Tsu::new(FetchPolicy::Icount, 1);
-        m.run(warm, &mut tsu);
-        let c0 = m.counters(Tid(0)).clone();
-        let cy0 = m.cycle();
-        m.run(measure, &mut tsu);
-        let c = m.counters(Tid(0));
-        let dc = (m.cycle() - cy0) as f64;
-        let d = |a: u64, b: u64| (a - b) as f64;
-        let committed = d(c.committed, c0.committed);
-        let branches = d(c.branches_resolved, c0.branches_resolved);
-        let mem = d(c.loads, c0.loads) + d(c.stores, c0.stores);
-        let fetched = d(c.fetched, c0.fetched);
-        let wp = d(c.wrongpath_fetched, c0.wrongpath_fetched);
+        let key = sweep::point_key("characterize", &profile, &(warm, run, seed), &cfg);
+        let row =
+            sweep::engine().run_value::<CharRow>(key, || measure(name, &cfg, warm, run, seed));
         t.row(vec![
             name.to_string(),
-            class,
-            format!("{:.2}", committed / dc),
-            format!("{:.3}", d(c.mispredicts, c0.mispredicts) / branches.max(1.0)),
-            format!("{:.3}", d(c.l1d_misses, c0.l1d_misses) / mem.max(1.0)),
-            format!("{:.2}", d(c.l1i_misses, c0.l1i_misses) / dc * 1000.0),
-            format!("{:.2}", d(c.l2_misses, c0.l2_misses) / dc * 1000.0),
-            format!("{:.2}", wp / (fetched + wp).max(1.0)),
-            format!("{:.1}", 100.0 * d(c.cond_branches, c0.cond_branches) / fetched.max(1.0)),
-            format!("{:.1}", 100.0 * mem / committed.max(1.0)),
+            format!("{:?}", profile.class),
+            format!("{:.2}", row.ipc),
+            format!("{:.3}", row.mispred_per_branch),
+            format!("{:.3}", row.l1d_miss_per_mem),
+            format!("{:.2}", row.l1i_per_kcycle),
+            format!("{:.2}", row.l2_per_kcycle),
+            format!("{:.2}", row.wrongpath_frac),
+            format!("{:.1}", row.branch_pct),
+            format!("{:.1}", row.mem_pct),
         ]);
     }
     println!("{}", t.render());
+    println!("{}", sweep::engine().scope_summary());
     let _ = std::fs::create_dir_all("results");
-    if t.to_csv(std::path::Path::new("results/w1_characterize.csv")).is_ok() {
+    if t.to_csv(std::path::Path::new("results/w1_characterize.csv"))
+        .is_ok()
+    {
         println!("[csv] results/w1_characterize.csv");
     }
 }

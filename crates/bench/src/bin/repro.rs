@@ -25,12 +25,18 @@
 //!   --out DIR         also write CSVs into DIR (default results/)
 //!   --no-csv          skip CSV output
 //!   --oracle-all      oracle over all ten policies too (slow)
+//!   --jobs N          sweep worker threads (default: SMT_BENCH_JOBS, then
+//!                     available parallelism)
+//!   --no-cache        simulate every point even if cached
+//!   --cache-dir DIR   result cache location (default results/cache)
+//!   --no-telemetry    skip the results/telemetry.jsonl run log
+//!   --all             shorthand for the `all` experiment selector
 //! ```
 
 use smt_bench::{
-    ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum,
-    ablate_rotation, ablate_threshold, headline,
-    headline_random, jobsched, oracle, scaling, table1, threshold_type_sweep, ExpParams,
+    ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
+    ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
+    threshold_type_sweep, ExpParams,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -41,6 +47,10 @@ struct Cli {
     experiments: Vec<String>,
     out: Option<PathBuf>,
     oracle_all: bool,
+    jobs: Option<usize>,
+    no_cache: bool,
+    cache_dir: PathBuf,
+    no_telemetry: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -48,11 +58,29 @@ fn parse_args() -> Result<Cli, String> {
     let mut experiments = Vec::new();
     let mut out = Some(PathBuf::from("results"));
     let mut oracle_all = false;
+    let mut jobs = None;
+    let mut no_cache = false;
+    let mut cache_dir = PathBuf::from("results/cache");
+    let mut no_telemetry = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--full" => params = ExpParams::full(),
             "--smoke" => params = ExpParams::smoke(),
+            "--jobs" => {
+                jobs = Some(
+                    args.next()
+                        .ok_or("--jobs needs a value")?
+                        .parse()
+                        .map_err(|e| format!("bad jobs: {e}"))?,
+                );
+            }
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                cache_dir = PathBuf::from(args.next().ok_or("--cache-dir needs a value")?);
+            }
+            "--no-telemetry" => no_telemetry = true,
+            "--all" => experiments.push("all".to_string()),
             "--seed" => {
                 params.seed = args
                     .next()
@@ -71,7 +99,11 @@ fn parse_args() -> Result<Cli, String> {
                 let v = args.next().ok_or("--mixes needs a value")?;
                 params.mix_ids = v
                     .split(',')
-                    .map(|s| s.trim().parse::<usize>().map_err(|e| format!("bad mix id: {e}")))
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|e| format!("bad mix id: {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a value")?)),
@@ -89,7 +121,16 @@ fn parse_args() -> Result<Cli, String> {
     if experiments.is_empty() {
         experiments.push("help".to_string());
     }
-    Ok(Cli { params, experiments, out, oracle_all })
+    Ok(Cli {
+        params,
+        experiments,
+        out,
+        oracle_all,
+        jobs,
+        no_cache,
+        cache_dir,
+        no_telemetry,
+    })
 }
 
 fn emit(table: &Table, slug: &str, out: &Option<PathBuf>) {
@@ -117,10 +158,23 @@ fn main() {
     };
     let p = &cli.params;
     let known = [
-        "table1", "fig7", "fig8", "headline", "oracle", "scaling", "ablate-quantum",
-        "ablate-dt", "ablate-cond", "ablate-rotation", "ablate-threshold", "ablate-fetchmech",
-        "ablate-prefetch", "jobsched", "headline-random",
-        "all", "help",
+        "table1",
+        "fig7",
+        "fig8",
+        "headline",
+        "oracle",
+        "scaling",
+        "ablate-quantum",
+        "ablate-dt",
+        "ablate-cond",
+        "ablate-rotation",
+        "ablate-threshold",
+        "ablate-fetchmech",
+        "ablate-prefetch",
+        "jobsched",
+        "headline-random",
+        "all",
+        "help",
     ];
     for e in &cli.experiments {
         if !known.contains(&e.as_str()) {
@@ -130,72 +184,107 @@ fn main() {
     }
     if cli.experiments.iter().any(|e| e == "help") {
         println!("usage: repro [--full|--smoke] [--seed N] [--quanta N] [--mixes a,b,c]");
-        println!("             [--out DIR|--no-csv] [--oracle-all] <experiment>...");
+        println!("             [--out DIR|--no-csv] [--oracle-all] [--jobs N] [--no-cache]");
+        println!("             [--cache-dir DIR] [--no-telemetry] <experiment>...");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
     }
+    sweep::configure(sweep::SweepConfig {
+        jobs: cli.jobs,
+        cache_dir: (!cli.no_cache).then(|| cli.cache_dir.clone()),
+        telemetry_path: (!cli.no_telemetry).then(|| {
+            cli.out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from("results"))
+                .join("telemetry.jsonl")
+        }),
+    });
     let t0 = Instant::now();
     println!(
-        "# repro: seed={} quanta={} quantum={} mixes={:?}\n",
-        p.seed, p.quanta, p.quantum_cycles, p.mix_ids
+        "# repro: seed={} quanta={} quantum={} mixes={:?} jobs={} cache={}\n",
+        p.seed,
+        p.quanta,
+        p.quantum_cycles,
+        p.mix_ids,
+        sweep::engine().jobs(),
+        if sweep::engine().cache_enabled() {
+            "on"
+        } else {
+            "off"
+        },
     );
     let want = |name: &str| {
         cli.experiments.iter().any(|e| e == name) || cli.experiments.iter().any(|e| e == "all")
     };
+    // Compute a table inside a named engine scope and print the scope's
+    // cache/wall accounting line right after the table itself.
+    let run = |slug: &str, table: &dyn Fn() -> Table| {
+        sweep::engine().begin_scope(slug);
+        let t = table();
+        emit(&t, slug, &cli.out);
+        println!("{}\n", sweep::engine().scope_summary());
+    };
 
     if want("table1") {
-        emit(&table1(p), "e1_table1", &cli.out);
+        run("e1_table1", &|| table1(p));
     }
     if want("fig7") || want("fig8") {
-        let sweep = threshold_type_sweep(p);
+        sweep::engine().begin_scope("e2_e7_threshold_type_sweep");
+        let sw = threshold_type_sweep(p);
+        println!("{}\n", sweep::engine().scope_summary());
         if want("fig7") {
-            emit(&sweep.fig7a(), "e2_fig7a", &cli.out);
-            emit(&sweep.fig7b(), "e3_fig7b", &cli.out);
-            emit(&sweep.fig7c(), "e4_fig7c", &cli.out);
-            emit(&sweep.fig7d(), "e5_fig7d", &cli.out);
+            emit(&sw.fig7a(), "e2_fig7a", &cli.out);
+            emit(&sw.fig7b(), "e3_fig7b", &cli.out);
+            emit(&sw.fig7c(), "e4_fig7c", &cli.out);
+            emit(&sw.fig7d(), "e5_fig7d", &cli.out);
         }
         if want("fig8") {
-            emit(&sweep.fig8a(), "e6_fig8a", &cli.out);
-            emit(&sweep.fig8b(), "e7_fig8b", &cli.out);
-            let (m, k, ipc) = sweep.best();
-            println!("best operating point: {} at m={} (mean IPC {:.3})\n", k.name(), m, ipc);
+            emit(&sw.fig8a(), "e6_fig8a", &cli.out);
+            emit(&sw.fig8b(), "e7_fig8b", &cli.out);
+            let (m, k, ipc) = sw.best();
+            println!(
+                "best operating point: {} at m={} (mean IPC {:.3})\n",
+                k.name(),
+                m,
+                ipc
+            );
         }
     }
     if want("headline") {
-        emit(&headline(p), "e8_headline", &cli.out);
+        run("e8_headline", &|| headline(p));
     }
     if want("headline-random") {
-        emit(&headline_random(p, 8), "e8b_headline_random", &cli.out);
+        run("e8b_headline_random", &|| headline_random(p, 8));
     }
     if want("oracle") {
-        emit(&oracle(p, cli.oracle_all), "e9_oracle", &cli.out);
+        run("e9_oracle", &|| oracle(p, cli.oracle_all));
     }
     if want("scaling") {
-        emit(&scaling(p), "e10_scaling", &cli.out);
+        run("e10_scaling", &|| scaling(p));
     }
     if want("ablate-quantum") {
-        emit(&ablate_quantum(p), "a1_quantum", &cli.out);
+        run("a1_quantum", &|| ablate_quantum(p));
     }
     if want("ablate-dt") {
-        emit(&ablate_dt(p), "a2_dt", &cli.out);
+        run("a2_dt", &|| ablate_dt(p));
     }
     if want("ablate-cond") {
-        emit(&ablate_cond(p), "a3_cond", &cli.out);
+        run("a3_cond", &|| ablate_cond(p));
     }
     if want("ablate-rotation") {
-        emit(&ablate_rotation(p), "a4_rotation", &cli.out);
+        run("a4_rotation", &|| ablate_rotation(p));
     }
     if want("ablate-fetchmech") {
-        emit(&ablate_fetchmech(p), "a5_fetchmech", &cli.out);
+        run("a5_fetchmech", &|| ablate_fetchmech(p));
     }
     if want("ablate-prefetch") {
-        emit(&ablate_prefetch(p), "a6_prefetch", &cli.out);
+        run("a6_prefetch", &|| ablate_prefetch(p));
     }
     if want("ablate-threshold") {
-        emit(&ablate_threshold(p), "x1_threshold", &cli.out);
+        run("x1_threshold", &|| ablate_threshold(p));
     }
     if want("jobsched") {
-        emit(&jobsched(p), "x2_jobsched", &cli.out);
+        run("x2_jobsched", &|| jobsched(p));
     }
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -7,10 +7,11 @@
 
 use crate::parallel::par_map;
 use crate::params::ExpParams;
+use crate::sweep;
 use adts_core::{
-    machine_for_mix, run_fixed, run_oracle, AdaptiveScheduler, AdtsConfig, CondThresholds,
-    DtModel, EvictionPolicy, HeuristicKind, JobSchedConfig, JobScheduler, OracleConfig,
-    adaptive::SelfTuning,
+    adaptive::SelfTuning, machine_for_mix, run_fixed, run_oracle, AdaptiveScheduler, AdtsConfig,
+    CondThresholds, DtModel, EvictionPolicy, HeuristicKind, JobSchedConfig, JobScheduler,
+    OracleConfig,
 };
 use smt_policies::FetchPolicy;
 use smt_sim::SmtMachine;
@@ -18,8 +19,11 @@ use smt_stats::{mean, RunSeries, Table};
 use smt_workloads::Mix;
 
 /// The adaptive policy triple (what the heuristics switch among).
-pub const TRIPLE: [FetchPolicy; 3] =
-    [FetchPolicy::Icount, FetchPolicy::L1MissCount, FetchPolicy::BrCount];
+pub const TRIPLE: [FetchPolicy; 3] = [
+    FetchPolicy::Icount,
+    FetchPolicy::L1MissCount,
+    FetchPolicy::BrCount,
+];
 
 // ---------------------------------------------------------------------
 // helpers
@@ -27,14 +31,27 @@ pub const TRIPLE: [FetchPolicy; 3] =
 
 fn warmed_machine(mix: &Mix, p: &ExpParams) -> SmtMachine {
     let mut m = machine_for_mix(mix, p.seed);
-    let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
+    let _ = run_fixed(
+        FetchPolicy::Icount,
+        &mut m,
+        p.warmup_quanta,
+        p.quantum_cycles,
+    );
     m
 }
 
-/// Fixed-policy run on a warmed machine.
+/// Fixed-policy run on a warmed machine (cached by content key).
 pub fn fixed_series(mix: &Mix, policy: FetchPolicy, p: &ExpParams) -> RunSeries {
-    let mut m = warmed_machine(mix, p);
-    run_fixed(policy, &mut m, p.quanta, p.quantum_cycles)
+    let key = sweep::point_key("fixed", mix, p, &policy);
+    sweep::engine().run_series(
+        "fixed",
+        &format!("{}/{}", mix.name, policy.name()),
+        key,
+        || {
+            let mut m = warmed_machine(mix, p);
+            run_fixed(policy, &mut m, p.quanta, p.quantum_cycles)
+        },
+    )
 }
 
 /// Adaptive run on a warmed machine.
@@ -49,15 +66,19 @@ pub fn adaptive_series_with(
     p: &ExpParams,
     rotation: Option<Vec<FetchPolicy>>,
 ) -> RunSeries {
-    let mut m = warmed_machine(mix, p);
-    let mut sched = AdaptiveScheduler::new(cfg, m.n_threads());
-    if let Some(r) = rotation {
-        sched.set_rotation(r);
-    }
-    for _ in 0..p.quanta {
-        sched.run_quantum(&mut m);
-    }
-    sched.into_series()
+    let key = sweep::point_key("adaptive", mix, p, &(cfg, rotation.clone()));
+    let point = format!("{}/{}", mix.name, cfg.heuristic.name());
+    sweep::engine().run_series("adaptive", &point, key, || {
+        let mut m = warmed_machine(mix, p);
+        let mut sched = AdaptiveScheduler::new(cfg, m.n_threads());
+        if let Some(r) = rotation {
+            sched.set_rotation(r);
+        }
+        for _ in 0..p.quanta {
+            sched.run_quantum(&mut m);
+        }
+        sched.into_series()
+    })
 }
 
 fn adts(heuristic: HeuristicKind, m: f64, p: &ExpParams) -> AdtsConfig {
@@ -149,8 +170,9 @@ pub fn threshold_type_sweep(p: &ExpParams) -> ThresholdTypeSweep {
     let kinds = HeuristicKind::ALL.to_vec();
     let mixes = p.mixes();
 
-    let icount = par_map(mixes.clone(), |mix| fixed_series(mix, FetchPolicy::Icount, p)
-        .aggregate_ipc());
+    let icount = par_map(mixes.clone(), |mix| {
+        fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc()
+    });
 
     let mut points = Vec::new();
     for (ti, &m) in thresholds.iter().enumerate() {
@@ -170,8 +192,7 @@ pub fn threshold_type_sweep(p: &ExpParams) -> ThresholdTypeSweep {
         }
     });
 
-    let mut cells =
-        vec![vec![Vec::with_capacity(mixes.len()); kinds.len()]; thresholds.len()];
+    let mut cells = vec![vec![Vec::with_capacity(mixes.len()); kinds.len()]; thresholds.len()];
     for ((ti, ki, _, _, _), cell) in points.into_iter().zip(results) {
         cells[ti][ki].push(cell);
     }
@@ -209,13 +230,19 @@ impl ThresholdTypeSweep {
         headers.extend(hk);
         let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut t = Table::new(
-            &format!("E2 / Fig 7(a) — switchings per {} quanta vs threshold", self.quanta),
+            &format!(
+                "E2 / Fig 7(a) — switchings per {} quanta vs threshold",
+                self.quanta
+            ),
             &hrefs,
         );
         for (ti, m) in self.thresholds.iter().enumerate() {
             let mut row = vec![format!("m={m}")];
             for ki in 0..self.kinds.len() {
-                row.push(format!("{:.1}", self.mean_over_mixes(ti, ki, |c| c.switches as f64)));
+                row.push(format!(
+                    "{:.1}",
+                    self.mean_over_mixes(ti, ki, |c| c.switches as f64)
+                ));
             }
             t.row(row);
         }
@@ -228,13 +255,19 @@ impl ThresholdTypeSweep {
         headers.extend(self.thresholds.iter().map(|m| format!("m={m}")));
         let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
         let mut t = Table::new(
-            &format!("E3 / Fig 7(b) — switchings per {} quanta vs heuristic type", self.quanta),
+            &format!(
+                "E3 / Fig 7(b) — switchings per {} quanta vs heuristic type",
+                self.quanta
+            ),
             &hrefs,
         );
         for (ki, k) in self.kinds.iter().enumerate() {
             let mut row = vec![k.name().to_string()];
             for ti in 0..self.thresholds.len() {
-                row.push(format!("{:.1}", self.mean_over_mixes(ti, ki, |c| c.switches as f64)));
+                row.push(format!(
+                    "{:.1}",
+                    self.mean_over_mixes(ti, ki, |c| c.switches as f64)
+                ));
             }
             t.row(row);
         }
@@ -247,8 +280,10 @@ impl ThresholdTypeSweep {
         let mut headers = vec!["threshold".to_string()];
         headers.extend(hk);
         let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let mut t =
-            Table::new("E4 / Fig 7(c) — probability of benign switches vs threshold", &hrefs);
+        let mut t = Table::new(
+            "E4 / Fig 7(c) — probability of benign switches vs threshold",
+            &hrefs,
+        );
         for (ti, m) in self.thresholds.iter().enumerate() {
             let mut row = vec![format!("m={m}")];
             for ki in 0..self.kinds.len() {
@@ -267,8 +302,10 @@ impl ThresholdTypeSweep {
         let mut headers = vec!["type".to_string()];
         headers.extend(self.thresholds.iter().map(|m| format!("m={m}")));
         let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-        let mut t =
-            Table::new("E5 / Fig 7(d) — probability of benign switches vs heuristic type", &hrefs);
+        let mut t = Table::new(
+            "E5 / Fig 7(d) — probability of benign switches vs heuristic type",
+            &hrefs,
+        );
         for (ki, k) in self.kinds.iter().enumerate() {
             let mut row = vec![k.name().to_string()];
             for ti in 0..self.thresholds.len() {
@@ -368,7 +405,15 @@ pub fn headline(p: &ExpParams) -> Table {
     });
     let mut t = Table::new(
         "E8 — ADTS (Type 3, m=2) vs fixed scheduling",
-        &["mix", "ICOUNT", "RR", "best-fixed", "ADTS", "vs ICOUNT", "vs best-fixed"],
+        &[
+            "mix",
+            "ICOUNT",
+            "RR",
+            "best-fixed",
+            "ADTS",
+            "vs ICOUNT",
+            "vs best-fixed",
+        ],
     );
     let (mut ics, mut ads) = (Vec::new(), Vec::new());
     for (name, ic, rr, bf, ad) in rows {
@@ -405,29 +450,35 @@ pub fn headline(p: &ExpParams) -> Table {
 /// policies, vs fixed ICOUNT — the realizable headroom ADTS chases.
 pub fn oracle(p: &ExpParams, include_all_policies: bool) -> Table {
     let mixes = p.mixes();
+    let oracle_series = |mix: &Mix, candidates: Vec<FetchPolicy>| -> RunSeries {
+        let cfg = OracleConfig {
+            quantum_cycles: p.quantum_cycles,
+            candidates,
+        };
+        let key = sweep::point_key("oracle", mix, p, &cfg);
+        let point = format!("{}/oracle{}", mix.name, cfg.candidates.len());
+        sweep::engine().run_series("oracle", &point, key, || {
+            let mut m = warmed_machine(mix, p);
+            run_oracle(&cfg, &mut m, p.quanta)
+        })
+    };
     let rows = par_map(mixes, |mix| {
         let ic = fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc();
-        let cfg3 = OracleConfig {
-            quantum_cycles: p.quantum_cycles,
-            candidates: TRIPLE.to_vec(),
-        };
-        let mut m = warmed_machine(mix, p);
-        let o3 = run_oracle(&cfg3, &mut m, p.quanta).aggregate_ipc();
-        let oall = if include_all_policies {
-            let cfg = OracleConfig {
-                quantum_cycles: p.quantum_cycles,
-                candidates: FetchPolicy::ALL.to_vec(),
-            };
-            let mut m = warmed_machine(mix, p);
-            Some(run_oracle(&cfg, &mut m, p.quanta).aggregate_ipc())
-        } else {
-            None
-        };
+        let o3 = oracle_series(mix, TRIPLE.to_vec()).aggregate_ipc();
+        let oall = include_all_policies
+            .then(|| oracle_series(mix, FetchPolicy::ALL.to_vec()).aggregate_ipc());
         (mix.name.clone(), ic, o3, oall)
     });
     let mut t = Table::new(
         "E9 — per-quantum oracle bound vs fixed ICOUNT",
-        &["mix", "ICOUNT", "oracle(triple)", "headroom", "oracle(all 10)", "headroom(all)"],
+        &[
+            "mix",
+            "ICOUNT",
+            "oracle(triple)",
+            "headroom",
+            "oracle(all 10)",
+            "headroom(all)",
+        ],
     );
     for (name, ic, o3, oall) in rows {
         t.row(vec![
@@ -436,7 +487,8 @@ pub fn oracle(p: &ExpParams, include_all_policies: bool) -> Table {
             f3(o3),
             pct(o3 / ic - 1.0),
             oall.map(f3).unwrap_or_else(|| "-".into()),
-            oall.map(|o| pct(o / ic - 1.0)).unwrap_or_else(|| "-".into()),
+            oall.map(|o| pct(o / ic - 1.0))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     t
@@ -467,7 +519,13 @@ pub fn scaling(p: &ExpParams) -> Table {
         &["threads", "ICOUNT", "RR", "ADTS(T3,m2)", "ADTS vs ICOUNT"],
     );
     for (n, ic, rr, ad) in rows {
-        t.row(vec![n.to_string(), f3(ic), f3(rr), f3(ad), pct(ad / ic - 1.0)]);
+        t.row(vec![
+            n.to_string(),
+            f3(ic),
+            f3(rr),
+            f3(ad),
+            pct(ad / ic - 1.0),
+        ]);
     }
     t
 }
@@ -486,7 +544,11 @@ pub fn ablate_quantum(p: &ExpParams) -> Table {
         for mix in &mixes {
             // Hold total simulated cycles constant across quantum sizes.
             let quanta = (p.quanta * p.quantum_cycles / q).max(4);
-            let pp = ExpParams { quantum_cycles: q, quanta, ..p.clone() };
+            let pp = ExpParams {
+                quantum_cycles: q,
+                quanta,
+                ..p.clone()
+            };
             let cfg = AdtsConfig {
                 quantum_cycles: q,
                 ipc_threshold: 2.0,
@@ -515,11 +577,25 @@ pub fn ablate_quantum(p: &ExpParams) -> Table {
 pub fn ablate_dt(p: &ExpParams) -> Table {
     let models: [(&str, DtModel); 4] = [
         ("free", DtModel::Free),
-        ("budgeted x1.0", DtModel::Budgeted { throughput_factor: 1.0 }),
-        ("budgeted x0.25", DtModel::Budgeted { throughput_factor: 0.25 }),
+        (
+            "budgeted x1.0",
+            DtModel::Budgeted {
+                throughput_factor: 1.0,
+            },
+        ),
+        (
+            "budgeted x0.25",
+            DtModel::Budgeted {
+                throughput_factor: 0.25,
+            },
+        ),
         ("starved", DtModel::Starved),
     ];
-    let kinds = [HeuristicKind::Type1, HeuristicKind::Type3, HeuristicKind::Type4];
+    let kinds = [
+        HeuristicKind::Type1,
+        HeuristicKind::Type3,
+        HeuristicKind::Type4,
+    ];
     let mixes = p.mixes();
     let mut points = Vec::new();
     for &(name, dt) in &models {
@@ -531,7 +607,10 @@ pub fn ablate_dt(p: &ExpParams) -> Table {
         let mut ipcs = Vec::new();
         let mut switches = 0usize;
         for mix in &mixes {
-            let cfg = AdtsConfig { dt, ..adts(k, 2.0, p) };
+            let cfg = AdtsConfig {
+                dt,
+                ..adts(k, 2.0, p)
+            };
             let s = adaptive_series(mix, cfg, p);
             ipcs.push(s.aggregate_ipc());
             switches += s.switches.len();
@@ -543,7 +622,12 @@ pub fn ablate_dt(p: &ExpParams) -> Table {
         &["DT model", "heuristic", "mean IPC", "applied switches"],
     );
     for (name, k, ipc, sw) in rows {
-        t.row(vec![name.to_string(), k.name().to_string(), f3(ipc), sw.to_string()]);
+        t.row(vec![
+            name.to_string(),
+            k.name().to_string(),
+            f3(ipc),
+            sw.to_string(),
+        ]);
     }
     t
 }
@@ -589,7 +673,10 @@ pub fn ablate_rotation(p: &ExpParams) -> Table {
         ("paper (IC,L1,BR)", vec![Icount, L1MissCount, BrCount]),
         ("reversed (IC,BR,L1)", vec![Icount, BrCount, L1MissCount]),
         ("+MEMCOUNT", vec![Icount, L1MissCount, BrCount, MemCount]),
-        ("+STALLCOUNT", vec![Icount, L1MissCount, BrCount, StallCount]),
+        (
+            "+STALLCOUNT",
+            vec![Icount, L1MissCount, BrCount, StallCount],
+        ),
     ];
     let mixes = p.mixes();
     let rows = par_map(rotations.to_vec(), |(name, rot)| {
@@ -619,7 +706,6 @@ pub fn ablate_rotation(p: &ExpParams) -> Table {
     t
 }
 
-
 /// X1: self-tuning threshold (§4.2 extension) vs the fixed values of Fig 8.
 pub fn ablate_threshold(p: &ExpParams) -> Table {
     let mixes = p.mixes();
@@ -645,7 +731,10 @@ pub fn ablate_threshold(p: &ExpParams) -> Table {
             let cfg = match mode {
                 Mode::Fixed(m) => adts(HeuristicKind::Type3, *m, p),
                 Mode::Tuned(pc, w) => AdtsConfig {
-                    self_tuning: Some(SelfTuning { percentile: *pc, window: *w }),
+                    self_tuning: Some(SelfTuning {
+                        percentile: *pc,
+                        window: *w,
+                    }),
                     ..adts(HeuristicKind::Type3, 2.0, p)
                 },
             };
@@ -685,7 +774,6 @@ pub fn jobsched(p: &ExpParams) -> Table {
     let timeslices = (p.quanta / timeslice).max(2);
     let results = par_map(points.clone(), |&(mi, eviction)| {
         let mix = &mixes[mi];
-        let mut machine = machine_for_mix(mix, p.seed);
         let cfg = JobSchedConfig {
             adts: adts(HeuristicKind::Type3, 2.0, p),
             timeslice_quanta: timeslice,
@@ -694,10 +782,14 @@ pub fn jobsched(p: &ExpParams) -> Table {
         };
         // The waiting pool: three extra jobs beyond the eight contexts.
         let pool = vec![app("gap"), app("apsi"), app("vortex")];
-        let mut js = JobScheduler::new(cfg, pool);
-        let running = mix.apps.iter().map(|a| a.name.clone()).collect();
-        let out = js.run(&mut machine, running, timeslices);
-        (out.series.aggregate_ipc(), out.swaps.len())
+        let key = sweep::point_key("jobsched", mix, p, &(cfg.clone(), pool.clone(), timeslices));
+        sweep::engine().run_value::<(f64, usize)>(key, || {
+            let mut machine = machine_for_mix(mix, p.seed);
+            let mut js = JobScheduler::new(cfg, pool);
+            let running = mix.apps.iter().map(|a| a.name.clone()).collect();
+            let out = js.run(&mut machine, running, timeslices);
+            (out.series.aggregate_ipc(), out.swaps.len())
+        })
     });
     let mut t = Table::new(
         "X2 — job scheduler with DT clog-mark-assisted eviction vs oblivious RR",
@@ -727,7 +819,6 @@ pub fn jobsched(p: &ExpParams) -> Table {
     t
 }
 
-
 /// A5: fetch-mechanism ablation — the ICOUNT a.b partitioning study of
 /// [20] rebuilt on this substrate: a = threads fetched per cycle,
 /// b = total fetch width.
@@ -746,9 +837,18 @@ pub fn ablate_fetchmech(p: &ExpParams) -> Table {
             let mut cfg = smt_sim::SimConfig::with_threads(mix.apps.len());
             cfg.max_fetch_threads = threads_per_cycle.min(mix.apps.len());
             cfg.fetch_width = width;
-            let mut m = adts_core::machine_for_mix_with(cfg, mix, p.seed);
-            let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
-            let s = run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles);
+            let key = sweep::point_key("fetchmech", mix, p, &(cfg.clone(), FetchPolicy::Icount));
+            let point = format!("{}/{name}", mix.name);
+            let s = sweep::engine().run_series("fetchmech", &point, key, || {
+                let mut m = adts_core::machine_for_mix_with(cfg.clone(), mix, p.seed);
+                let _ = run_fixed(
+                    FetchPolicy::Icount,
+                    &mut m,
+                    p.warmup_quanta,
+                    p.quantum_cycles,
+                );
+                run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles)
+            });
             ipcs.push(s.aggregate_ipc());
         }
         (name, mean(&ipcs))
@@ -763,7 +863,6 @@ pub fn ablate_fetchmech(p: &ExpParams) -> Table {
     t
 }
 
-
 /// A6: next-line L2 prefetcher ablation — does a simple sequential
 /// prefetcher change the fixed-policy ranking or the adaptive gain?
 pub fn ablate_prefetch(p: &ExpParams) -> Table {
@@ -774,17 +873,42 @@ pub fn ablate_prefetch(p: &ExpParams) -> Table {
         for mix in &mixes {
             let mut cfg = smt_sim::SimConfig::with_threads(mix.apps.len());
             cfg.next_line_prefetch = prefetch;
-            let mut m = adts_core::machine_for_mix_with(cfg.clone(), mix, p.seed);
-            let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
-            ic.push(run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles)
-                .aggregate_ipc());
-            let mut m = adts_core::machine_for_mix_with(cfg, mix, p.seed);
-            let _ = run_fixed(FetchPolicy::Icount, &mut m, p.warmup_quanta, p.quantum_cycles);
-            let mut sched = AdaptiveScheduler::new(adts(HeuristicKind::Type1, 4.0, p), m.n_threads());
-            for _ in 0..p.quanta {
-                sched.run_quantum(&mut m);
-            }
-            ad.push(sched.series().aggregate_ipc());
+            let fixed_key = sweep::point_key(
+                "prefetch-fixed",
+                mix,
+                p,
+                &(cfg.clone(), FetchPolicy::Icount),
+            );
+            let point = format!("{}/prefetch={prefetch}", mix.name);
+            let cfg_fixed = cfg.clone();
+            let s = sweep::engine().run_series("fixed", &point, fixed_key, || {
+                let mut m = adts_core::machine_for_mix_with(cfg_fixed, mix, p.seed);
+                let _ = run_fixed(
+                    FetchPolicy::Icount,
+                    &mut m,
+                    p.warmup_quanta,
+                    p.quantum_cycles,
+                );
+                run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles)
+            });
+            ic.push(s.aggregate_ipc());
+            let acfg = adts(HeuristicKind::Type1, 4.0, p);
+            let ad_key = sweep::point_key("prefetch-adaptive", mix, p, &(cfg.clone(), acfg));
+            let s = sweep::engine().run_series("adaptive", &point, ad_key, || {
+                let mut m = adts_core::machine_for_mix_with(cfg, mix, p.seed);
+                let _ = run_fixed(
+                    FetchPolicy::Icount,
+                    &mut m,
+                    p.warmup_quanta,
+                    p.quantum_cycles,
+                );
+                let mut sched = AdaptiveScheduler::new(acfg, m.n_threads());
+                for _ in 0..p.quanta {
+                    sched.run_quantum(&mut m);
+                }
+                sched.into_series()
+            });
+            ad.push(s.aggregate_ipc());
         }
         (prefetch, mean(&ic), mean(&ad))
     });
@@ -798,13 +922,15 @@ pub fn ablate_prefetch(p: &ExpParams) -> Table {
     t
 }
 
-
 /// E8b — robustness: the E8 comparison on randomly generated mixes (same
 /// taxonomy constraints as the paper's hand-built thirteen), so the
 /// conclusion is not an artifact of mix selection.
 pub fn headline_random(p: &ExpParams, n_mixes: usize) -> Table {
     use smt_workloads::{generate_mixes, MixConstraints};
-    let constraints = MixConstraints { int_members: Some(4), ..Default::default() };
+    let constraints = MixConstraints {
+        int_members: Some(4),
+        ..Default::default()
+    };
     let mixes = generate_mixes(&constraints, p.seed, n_mixes);
     let rows = par_map(mixes, |mix| {
         let ic = fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc();
@@ -853,7 +979,10 @@ mod tests {
 
     #[test]
     fn sweep_views_are_complete() {
-        let p = ExpParams { mix_ids: vec![9], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![9],
+            ..smoke()
+        };
         let sw = threshold_type_sweep(&p);
         assert_eq!(sw.fig7a().n_rows(), 5);
         assert_eq!(sw.fig7b().n_rows(), 5);
@@ -874,14 +1003,20 @@ mod tests {
 
     #[test]
     fn scaling_covers_thread_counts() {
-        let p = ExpParams { mix_ids: vec![1], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![1],
+            ..smoke()
+        };
         let t = scaling(&p);
         assert_eq!(t.n_rows(), 5);
     }
 
     #[test]
     fn ablations_render() {
-        let p = ExpParams { mix_ids: vec![9], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![9],
+            ..smoke()
+        };
         assert_eq!(ablate_cond(&p).n_rows(), 3);
         assert_eq!(ablate_rotation(&p).n_rows(), 4);
         assert_eq!(ablate_dt(&p).n_rows(), 12);
@@ -896,26 +1031,38 @@ mod tests {
 
     #[test]
     fn prefetch_ablation_renders() {
-        let p = ExpParams { mix_ids: vec![6], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![6],
+            ..smoke()
+        };
         assert_eq!(ablate_prefetch(&p).n_rows(), 2);
     }
 
     #[test]
     fn fetchmech_ablation_renders() {
-        let p = ExpParams { mix_ids: vec![3], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![3],
+            ..smoke()
+        };
         let t = ablate_fetchmech(&p);
         assert_eq!(t.n_rows(), 5);
     }
 
     #[test]
     fn threshold_ablation_renders() {
-        let p = ExpParams { mix_ids: vec![6], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![6],
+            ..smoke()
+        };
         assert_eq!(ablate_threshold(&p).n_rows(), 7);
     }
 
     #[test]
     fn jobsched_has_mean_row() {
-        let p = ExpParams { mix_ids: vec![6, 9], ..smoke() };
+        let p = ExpParams {
+            mix_ids: vec![6, 9],
+            ..smoke()
+        };
         let t = jobsched(&p);
         assert_eq!(t.n_rows(), 3);
         assert!(t.render().contains("MEAN"));

@@ -1,48 +1,50 @@
-//! Minimal sweep parallelism.
+//! Sweep parallelism, now a thin front over [`crate::sweep::executor`].
 //!
 //! Every experiment point (mix × configuration) is an independent
-//! simulation, so the sweep is embarrassingly parallel. `std::thread::scope`
-//! plus an atomic work index is all that is needed — no extra dependencies
-//! (DESIGN.md §5). On a single-core host this degrades gracefully to a
-//! serial loop.
+//! simulation, so the sweep is embarrassingly parallel. The executor keeps
+//! the original `std::thread::scope` + atomic-work-index design (DESIGN.md
+//! §5) and adds per-item panic isolation and a configurable worker count
+//! taken from the process-wide sweep engine (`--jobs` / `SMT_BENCH_JOBS`).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use crate::sweep::{self, PointError};
 
-/// Map `f` over `items` using up to `available_parallelism` worker threads,
-/// preserving input order in the result.
+/// Map `f` over `items` with the engine's worker count, preserving input
+/// order. A panicking item aborts the whole map with a message naming every
+/// failed point — callers that need per-item errors use [`try_par_map`].
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = items.len();
-    if n == 0 {
-        return Vec::new();
+    let results = try_par_map(&items, f);
+    let failures: Vec<String> = results
+        .iter()
+        .filter_map(|r| r.as_ref().err().map(PointError::to_string))
+        .collect();
+    if !failures.is_empty() {
+        panic!(
+            "{} of {} sweep points failed: {}",
+            failures.len(),
+            items.len(),
+            failures.join("; ")
+        );
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
-    if workers <= 1 {
-        return items.iter().map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                *results[i].lock().expect("poisoned") = Some(r);
-            });
-        }
-    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("worker filled every slot"))
+        .map(|r| r.expect("failures were checked above"))
         .collect()
+}
+
+/// Map `f` over `items`, isolating panics per item; result order matches
+/// input order regardless of the worker count.
+pub fn try_par_map<T, R, F>(items: &[T], f: F) -> Vec<Result<R, PointError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    sweep::run_isolated(items, sweep::engine().jobs(), f)
 }
 
 #[cfg(test)]
@@ -64,5 +66,18 @@ mod tests {
     #[test]
     fn single_item() {
         assert_eq!(par_map(vec![7], |&x: &i32| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn try_par_map_reports_only_the_poisoned_point() {
+        let out = try_par_map(&[1, 2, 3], |&x: &i32| {
+            if x == 2 {
+                panic!("bad point");
+            }
+            x * 10
+        });
+        assert_eq!(out[0].as_ref().unwrap(), &10);
+        assert_eq!(out[1].as_ref().unwrap_err().index, 1);
+        assert_eq!(out[2].as_ref().unwrap(), &30);
     }
 }

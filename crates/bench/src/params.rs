@@ -1,9 +1,14 @@
 //! Shared experiment parameters.
 
+use serde::{Deserialize, Serialize};
 use smt_workloads::{mix, Mix, MIX_COUNT};
 
 /// Parameters common to every experiment.
-#[derive(Clone, Debug)]
+///
+/// Serializable so the sweep cache can fold every field into its content
+/// key (a conservative key: even fields a particular point does not read,
+/// like `mix_ids`, invalidate it when changed).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExpParams {
     /// Root seed; all per-(mix, thread) sub-seeds derive from it.
     pub seed: u64,
@@ -35,7 +40,11 @@ impl ExpParams {
     /// simulation for a million cycles in ten randomly chosen intervals" —
     /// we run one long warmed interval instead of ten samples).
     pub fn full() -> Self {
-        ExpParams { quanta: 123, warmup_quanta: 10, ..ExpParams::standard() }
+        ExpParams {
+            quanta: 123,
+            warmup_quanta: 10,
+            ..ExpParams::standard()
+        }
     }
 
     /// Tiny scale for integration tests.

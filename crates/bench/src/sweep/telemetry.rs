@@ -1,0 +1,251 @@
+//! Per-run structured telemetry.
+//!
+//! Every sweep point that flows through the engine appends one JSON object
+//! per line to `results/telemetry.jsonl` (or wherever the sink points):
+//! cache outcome, wall time, and the run's aggregate counter rates as the
+//! ADTS heuristics see them (per-quantum IPC trace, L1-miss / branch /
+//! mispredict rates from `smt_sim::counters`, policy switches). The format
+//! is append-only JSONL so repeated `repro` invocations accumulate a
+//! machine-readable log of everything that was ever simulated, and each
+//! record round-trips through `serde::json`.
+
+use serde::{Deserialize, Serialize};
+use smt_stats::RunSeries;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// How the engine satisfied one sweep point.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CacheOutcome {
+    /// Served from the persistent result cache.
+    Hit,
+    /// Simulated, then stored in the cache.
+    Miss,
+    /// Simulated with caching disabled.
+    Bypass,
+}
+
+/// One line of `telemetry.jsonl`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryRecord {
+    /// Table/experiment slug the point belongs to (e.g. `"e1_table1"`).
+    pub experiment: String,
+    /// Run kind (`"fixed"`, `"adaptive"`, `"oracle"`, ...).
+    pub kind: String,
+    /// Human-readable point label, e.g. `"MIX09/ICOUNT"`.
+    pub point: String,
+    /// Hex cache key of the point.
+    pub key: String,
+    pub cache: CacheOutcome,
+    /// Wall-clock time to produce the result (lookup or simulation).
+    pub wall_ms: f64,
+    /// Measured quanta in the run.
+    pub quanta: usize,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Total committed micro-ops.
+    pub committed: u64,
+    pub aggregate_ipc: f64,
+    /// Cycle-weighted mean L1 (I+D) misses per cycle.
+    pub l1_miss_rate: f64,
+    /// Cycle-weighted mean conditional branches fetched per cycle.
+    pub branch_rate: f64,
+    /// Cycle-weighted mean mispredicts per cycle.
+    pub mispredict_rate: f64,
+    pub policy_switches: usize,
+    /// Per-quantum committed IPC trace.
+    pub per_quantum_ipc: Vec<f64>,
+}
+
+impl TelemetryRecord {
+    /// Build a record from a finished run.
+    pub fn from_series(
+        experiment: &str,
+        kind: &str,
+        point: &str,
+        key_hex: String,
+        cache: CacheOutcome,
+        wall_ms: f64,
+        series: &RunSeries,
+    ) -> Self {
+        let cycles: u64 = series.quanta.iter().map(|q| q.cycles).sum();
+        let committed: u64 = series.quanta.iter().map(|q| q.committed).sum();
+        let weighted = |f: fn(&smt_stats::QuantumRecord) -> f64| -> f64 {
+            if cycles == 0 {
+                return 0.0;
+            }
+            series
+                .quanta
+                .iter()
+                .map(|q| f(q) * q.cycles as f64)
+                .sum::<f64>()
+                / cycles as f64
+        };
+        TelemetryRecord {
+            experiment: experiment.to_string(),
+            kind: kind.to_string(),
+            point: point.to_string(),
+            key: key_hex,
+            cache,
+            wall_ms,
+            quanta: series.quanta.len(),
+            cycles,
+            committed,
+            aggregate_ipc: series.aggregate_ipc(),
+            l1_miss_rate: weighted(|q| q.l1_miss_rate),
+            branch_rate: weighted(|q| q.branch_rate),
+            mispredict_rate: weighted(|q| q.mispredict_rate),
+            policy_switches: series.switches.len(),
+            per_quantum_ipc: series.quanta.iter().map(|q| q.ipc).collect(),
+        }
+    }
+}
+
+/// Append-only JSONL sink, safe to share across sweep workers.
+pub struct TelemetrySink {
+    path: PathBuf,
+    file: Mutex<Option<std::fs::File>>,
+}
+
+impl TelemetrySink {
+    /// Open `path` for appending, creating parent directories as needed.
+    /// On failure the sink is disabled (telemetry must never fail a sweep).
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path);
+        if let Err(ref e) = file {
+            eprintln!(
+                "warning: telemetry sink {} unavailable: {e}",
+                path.display()
+            );
+        }
+        TelemetrySink {
+            path,
+            file: Mutex::new(file.ok()),
+        }
+    }
+
+    /// Where this sink writes.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one record as a single JSON line.
+    pub fn append(&self, record: &TelemetryRecord) {
+        let line = serde::json::to_string(record);
+        let mut guard = self.file.lock().expect("telemetry sink poisoned");
+        if let Some(f) = guard.as_mut() {
+            if writeln!(f, "{line}").is_err() {
+                // Drop the handle so we warn once, not per record.
+                eprintln!(
+                    "warning: telemetry append to {} failed; disabling sink",
+                    self.path.display()
+                );
+                *guard = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_stats::{QuantumRecord, SwitchEvent};
+
+    fn series() -> RunSeries {
+        let q = |index: u64, cycles: u64, committed: u64, l1: f64| QuantumRecord {
+            index,
+            policy: "ICOUNT".into(),
+            cycles,
+            committed,
+            ipc: committed as f64 / cycles as f64,
+            l1_miss_rate: l1,
+            lsq_full_rate: 0.0,
+            mispredict_rate: 0.01,
+            branch_rate: 0.12,
+            idle_fetch_rate: 0.0,
+        };
+        RunSeries {
+            quanta: vec![q(0, 100, 250, 0.02), q(1, 300, 600, 0.06)],
+            switches: vec![SwitchEvent {
+                quantum: 0,
+                from: "ICOUNT".into(),
+                to: "BCOUNT".into(),
+                benign: Some(true),
+            }],
+        }
+    }
+
+    #[test]
+    fn record_aggregates_cycle_weighted() {
+        let r = TelemetryRecord::from_series(
+            "e1",
+            "fixed",
+            "MIX01/ICOUNT",
+            "00".into(),
+            CacheOutcome::Miss,
+            1.5,
+            &series(),
+        );
+        assert_eq!(r.cycles, 400);
+        assert_eq!(r.committed, 850);
+        assert_eq!(r.quanta, 2);
+        assert_eq!(r.policy_switches, 1);
+        // (0.02*100 + 0.06*300) / 400 = 0.05
+        assert!((r.l1_miss_rate - 0.05).abs() < 1e-12);
+        assert_eq!(r.per_quantum_ipc, vec![2.5, 2.0]);
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let r = TelemetryRecord::from_series(
+            "e1",
+            "adaptive",
+            "MIX09/adts",
+            "ab".into(),
+            CacheOutcome::Hit,
+            0.2,
+            &series(),
+        );
+        let line = serde::json::to_string(&r);
+        let back: TelemetryRecord =
+            serde::json::from_str(&line).expect("telemetry JSON must round-trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn sink_appends_one_line_per_record() {
+        let path = std::env::temp_dir().join(format!(
+            "smt-adts-telemetry-test-{}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let sink = TelemetrySink::open(&path);
+        let r = TelemetryRecord::from_series(
+            "e1",
+            "fixed",
+            "p",
+            "00".into(),
+            CacheOutcome::Bypass,
+            0.0,
+            &series(),
+        );
+        sink.append(&r);
+        sink.append(&r);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let back: TelemetryRecord = serde::json::from_str(line).unwrap();
+            assert_eq!(back, r);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,223 @@
+//! Properties of the sweep cache's content key.
+//!
+//! The cache is only sound if the key (a) survives serde round-trips of its
+//! inputs unchanged — otherwise a warm process would recompute everything —
+//! and (b) moves when *any* field of the experiment parameters or scheduler
+//! configuration moves — otherwise two different experiments could collide
+//! on one cache entry and silently share results.
+
+use adts_core::adaptive::SelfTuning;
+use adts_core::{AdtsConfig, CondThresholds, DtModel, HeuristicKind};
+use proptest::prelude::*;
+use smt_bench::sweep::point_key;
+use smt_bench::ExpParams;
+use smt_policies::FetchPolicy;
+use smt_workloads::mix;
+
+fn params_strategy() -> impl Strategy<Value = ExpParams> {
+    (
+        1u64..1_000_000,
+        0u64..12,
+        1u64..200,
+        1024u64..65536,
+        1usize..14,
+    )
+        .prop_map(
+            |(seed, warmup_quanta, quanta, quantum_cycles, n)| ExpParams {
+                seed,
+                warmup_quanta,
+                quanta,
+                quantum_cycles,
+                mix_ids: (1..=n).collect(),
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn key_is_stable_across_serde_round_trips(p in params_strategy()) {
+        let m = mix(1);
+        let policy = FetchPolicy::Icount;
+        let before = point_key("fixed", &m, &p, &policy);
+        let json = serde::json::to_string(&p);
+        let back: ExpParams = serde::json::from_str(&json).expect("ExpParams round-trips");
+        prop_assert_eq!(back.clone(), p);
+        prop_assert_eq!(point_key("fixed", &m, &back, &policy), before);
+    }
+
+    #[test]
+    fn distinct_seeds_get_distinct_keys(p in params_strategy(), bump in 1u64..1000) {
+        let m = mix(2);
+        let other = ExpParams { seed: p.seed + bump, ..p.clone() };
+        prop_assert_ne!(
+            point_key("fixed", &m, &p, &FetchPolicy::Icount),
+            point_key("fixed", &m, &other, &FetchPolicy::Icount)
+        );
+    }
+
+    #[test]
+    fn adts_config_round_trip_preserves_key(p in params_strategy()) {
+        let m = mix(3);
+        let cfg = AdtsConfig::default();
+        let before = point_key("adaptive", &m, &p, &cfg);
+        let back: AdtsConfig =
+            serde::json::from_str(&serde::json::to_string(&cfg)).expect("AdtsConfig round-trips");
+        prop_assert_eq!(point_key("adaptive", &m, &p, &back), before);
+    }
+}
+
+#[test]
+fn any_single_field_change_in_exp_params_changes_the_key() {
+    let m = mix(1);
+    let base = ExpParams::smoke();
+    let key = |p: &ExpParams| point_key("fixed", &m, p, &FetchPolicy::Icount);
+    let base_key = key(&base);
+    let variants: [(&str, ExpParams); 5] = [
+        (
+            "seed",
+            ExpParams {
+                seed: base.seed + 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "warmup_quanta",
+            ExpParams {
+                warmup_quanta: base.warmup_quanta + 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "quanta",
+            ExpParams {
+                quanta: base.quanta + 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "quantum_cycles",
+            ExpParams {
+                quantum_cycles: base.quantum_cycles * 2,
+                ..base.clone()
+            },
+        ),
+        (
+            "mix_ids",
+            ExpParams {
+                mix_ids: vec![2],
+                ..base.clone()
+            },
+        ),
+    ];
+    for (field, p) in variants {
+        assert_ne!(
+            key(&p),
+            base_key,
+            "changing ExpParams::{field} must change the key"
+        );
+    }
+}
+
+#[test]
+fn any_single_field_change_in_adts_config_changes_the_key() {
+    let m = mix(9);
+    let p = ExpParams::smoke();
+    let base = AdtsConfig::default();
+    let key = |c: &AdtsConfig| point_key("adaptive", &m, &p, c);
+    let base_key = key(&base);
+    let variants: [(&str, AdtsConfig); 8] = [
+        (
+            "quantum_cycles",
+            AdtsConfig {
+                quantum_cycles: base.quantum_cycles + 1,
+                ..base
+            },
+        ),
+        (
+            "ipc_threshold",
+            AdtsConfig {
+                ipc_threshold: base.ipc_threshold + 0.5,
+                ..base
+            },
+        ),
+        (
+            "self_tuning",
+            AdtsConfig {
+                self_tuning: Some(SelfTuning {
+                    percentile: 0.5,
+                    window: 16,
+                }),
+                ..base
+            },
+        ),
+        (
+            "heuristic",
+            AdtsConfig {
+                heuristic: HeuristicKind::Type1,
+                ..base
+            },
+        ),
+        (
+            "dt",
+            AdtsConfig {
+                dt: DtModel::Budgeted {
+                    throughput_factor: 0.25,
+                },
+                ..base
+            },
+        ),
+        (
+            "thresholds",
+            AdtsConfig {
+                thresholds: CondThresholds::default().scaled(2.0),
+                ..base
+            },
+        ),
+        (
+            "initial_policy",
+            AdtsConfig {
+                initial_policy: FetchPolicy::RoundRobin,
+                ..base
+            },
+        ),
+        (
+            "clog_control",
+            AdtsConfig {
+                clog_control: !base.clog_control,
+                ..base
+            },
+        ),
+    ];
+    for (field, cfg) in variants {
+        assert_ne!(
+            key(&cfg),
+            base_key,
+            "changing AdtsConfig::{field} must change the key"
+        );
+    }
+}
+
+#[test]
+fn kind_mix_and_policy_are_part_of_the_key() {
+    let p = ExpParams::smoke();
+    let base = point_key("fixed", &mix(1), &p, &FetchPolicy::Icount);
+    assert_ne!(
+        point_key("adaptive", &mix(1), &p, &FetchPolicy::Icount),
+        base
+    );
+    assert_ne!(point_key("fixed", &mix(2), &p, &FetchPolicy::Icount), base);
+    assert_ne!(point_key("fixed", &mix(1), &p, &FetchPolicy::BrCount), base);
+}
+
+#[test]
+fn submixes_of_the_same_mix_have_distinct_keys() {
+    // E10 sweeps thread counts via `take_threads`; the key must see the
+    // composition, not just the mix name.
+    let p = ExpParams::smoke();
+    let full = mix(1);
+    let sub = mix(1).take_threads(4, p.seed);
+    assert_ne!(
+        point_key("fixed", &full, &p, &FetchPolicy::Icount),
+        point_key("fixed", &sub, &p, &FetchPolicy::Icount)
+    );
+}

@@ -25,7 +25,10 @@ fn sweep_shapes_hold_at_reduced_scale() {
     for (ki, kind) in sw.kinds.iter().enumerate() {
         let counts: Vec<f64> = (0..sw.thresholds.len())
             .map(|ti| {
-                sw.cells[ti][ki].iter().map(|c| c.switches as f64).sum::<f64>()
+                sw.cells[ti][ki]
+                    .iter()
+                    .map(|c| c.switches as f64)
+                    .sum::<f64>()
             })
             .collect();
         assert!(
@@ -50,11 +53,16 @@ fn sweep_shapes_hold_at_reduced_scale() {
 
     // Shape 3: at m=1 (below any attainable quantum IPC floor here) there
     // is essentially no switching.
-    let bottom_total: usize =
-        (0..sw.kinds.len()).map(|ki| sw.cells[0][ki].iter().map(|c| c.switches).sum::<usize>()).sum();
-    let top_total: usize =
-        (0..sw.kinds.len()).map(|ki| sw.cells[top][ki].iter().map(|c| c.switches).sum::<usize>()).sum();
-    assert!(bottom_total * 4 < top_total, "threshold has no effect: {bottom_total} vs {top_total}");
+    let bottom_total: usize = (0..sw.kinds.len())
+        .map(|ki| sw.cells[0][ki].iter().map(|c| c.switches).sum::<usize>())
+        .sum();
+    let top_total: usize = (0..sw.kinds.len())
+        .map(|ki| sw.cells[top][ki].iter().map(|c| c.switches).sum::<usize>())
+        .sum();
+    assert!(
+        bottom_total * 4 < top_total,
+        "threshold has no effect: {bottom_total} vs {top_total}"
+    );
 
     // Shape 4: benign counts never exceed judged counts.
     for ti in 0..sw.thresholds.len() {

@@ -226,7 +226,9 @@ impl AdaptiveScheduler {
             }
             // Determine_NewPolicy + Policy_Switch.
             let incumbent = self.tsu.policy;
-            let target = self.heuristic.decide(incumbent, &stats, last_ipc_for_gradient);
+            let target = self
+                .heuristic
+                .decide(incumbent, &stats, last_ipc_for_gradient);
             if target != incumbent {
                 match self.cfg.dt.decision_delay(
                     self.cfg.heuristic,
@@ -295,7 +297,10 @@ mod tests {
     #[test]
     fn high_threshold_forces_switching() {
         let mut m = machine(4, 2);
-        let cfg = AdtsConfig { ipc_threshold: 8.0, ..Default::default() };
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            ..Default::default()
+        };
         let series = AdaptiveScheduler::new(cfg, 4).run(&mut m, 20);
         assert!(!series.switches.is_empty(), "m=8 must trigger switches");
         // All but possibly the last switch must have judged outcomes.
@@ -305,7 +310,10 @@ mod tests {
     #[test]
     fn zero_threshold_never_switches() {
         let mut m = machine(4, 3);
-        let cfg = AdtsConfig { ipc_threshold: 0.0, ..Default::default() };
+        let cfg = AdtsConfig {
+            ipc_threshold: 0.0,
+            ..Default::default()
+        };
         let series = AdaptiveScheduler::new(cfg, 4).run(&mut m, 10);
         assert!(series.switches.is_empty());
         assert!(series.quanta.iter().all(|q| q.policy == "ICOUNT"));
@@ -327,7 +335,10 @@ mod tests {
                 "unexpected Type 1 transition {s:?}"
             );
         }
-        assert!(series.switches.len() >= 6, "Type 1 at m=8 should toggle nearly every quantum");
+        assert!(
+            series.switches.len() >= 6,
+            "Type 1 at m=8 should toggle nearly every quantum"
+        );
     }
 
     #[test]
@@ -340,7 +351,10 @@ mod tests {
             ..Default::default()
         };
         let s1 = AdaptiveScheduler::new(adaptive_starved, 4).run(&mut a, 10);
-        let fixed = AdtsConfig { ipc_threshold: 0.0, ..Default::default() };
+        let fixed = AdtsConfig {
+            ipc_threshold: 0.0,
+            ..Default::default()
+        };
         let s2 = AdaptiveScheduler::new(fixed, 4).run(&mut b, 10);
         assert!(s1.switches.is_empty());
         assert_eq!(s1.aggregate_ipc(), s2.aggregate_ipc());
@@ -351,7 +365,9 @@ mod tests {
         let mut m = machine(2, 6);
         let cfg = AdtsConfig {
             ipc_threshold: 8.0,
-            dt: DtModel::Budgeted { throughput_factor: 1.0 },
+            dt: DtModel::Budgeted {
+                throughput_factor: 1.0,
+            },
             ..Default::default()
         };
         let series = AdaptiveScheduler::new(cfg, 2).run(&mut m, 15);
@@ -362,7 +378,10 @@ mod tests {
     #[test]
     fn clog_log_populates_under_low_throughput() {
         let mut m = machine(4, 7);
-        let cfg = AdtsConfig { ipc_threshold: 8.0, ..Default::default() };
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            ..Default::default()
+        };
         let mut sched = AdaptiveScheduler::new(cfg, 4);
         for _ in 0..10 {
             sched.run_quantum(&mut m);
@@ -373,15 +392,18 @@ mod tests {
     #[test]
     fn clog_control_blocks_and_unblocks() {
         let mut m = machine(4, 8);
-        let cfg = AdtsConfig { ipc_threshold: 8.0, clog_control: true, ..Default::default() };
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            clog_control: true,
+            ..Default::default()
+        };
         let mut sched = AdaptiveScheduler::new(cfg, 4);
         for _ in 0..6 {
             sched.run_quantum(&mut m);
         }
         // After the final boundary one thread may be blocked; all others
         // must be enabled.
-        let blocked: Vec<bool> =
-            (0..4).map(|t| !m.fetch_enabled(Tid(t))).collect();
+        let blocked: Vec<bool> = (0..4).map(|t| !m.fetch_enabled(Tid(t))).collect();
         assert!(blocked.iter().filter(|b| **b).count() <= 1);
         assert!(!sched.clog_log().is_empty());
     }
@@ -391,7 +413,10 @@ mod tests {
         let mut m = machine(4, 10);
         let cfg = AdtsConfig {
             ipc_threshold: 8.0, // bootstrap: everything is "low" at first
-            self_tuning: Some(SelfTuning { percentile: 0.5, window: 6 }),
+            self_tuning: Some(SelfTuning {
+                percentile: 0.5,
+                window: 6,
+            }),
             ..Default::default()
         };
         let mut sched = AdaptiveScheduler::new(cfg, 4);
@@ -409,11 +434,21 @@ mod tests {
     fn self_tuning_switches_less_than_absurd_fixed_threshold() {
         let run = |self_tuning| {
             let mut m = machine(4, 11);
-            let cfg = AdtsConfig { ipc_threshold: 8.0, self_tuning, ..Default::default() };
-            AdaptiveScheduler::new(cfg, 4).run(&mut m, 20).switches.len()
+            let cfg = AdtsConfig {
+                ipc_threshold: 8.0,
+                self_tuning,
+                ..Default::default()
+            };
+            AdaptiveScheduler::new(cfg, 4)
+                .run(&mut m, 20)
+                .switches
+                .len()
         };
         let fixed = run(None);
-        let tuned = run(Some(SelfTuning { percentile: 0.5, window: 6 }));
+        let tuned = run(Some(SelfTuning {
+            percentile: 0.5,
+            window: 6,
+        }));
         assert!(
             tuned < fixed,
             "self-tuning ({tuned}) should calm the absurd fixed threshold ({fixed})"
@@ -424,7 +459,9 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let run = || {
             let mut m = machine(4, 9);
-            AdaptiveScheduler::new(AdtsConfig::default(), 4).run(&mut m, 8).aggregate_ipc()
+            AdaptiveScheduler::new(AdtsConfig::default(), 4)
+                .run(&mut m, 8)
+                .aggregate_ipc()
         };
         assert_eq!(run(), run());
     }

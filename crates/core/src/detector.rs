@@ -33,8 +33,6 @@ pub enum DtModel {
     Starved,
 }
 
-
-
 impl DtModel {
     /// Cycles until the decision takes effect in the next quantum, or
     /// `None` if the DT cannot finish it within the quantum.
@@ -62,17 +60,25 @@ mod tests {
 
     #[test]
     fn free_is_instant() {
-        assert_eq!(DtModel::Free.decision_delay(HeuristicKind::Type4, 0.0, 8192), Some(0));
+        assert_eq!(
+            DtModel::Free.decision_delay(HeuristicKind::Type4, 0.0, 8192),
+            Some(0)
+        );
     }
 
     #[test]
     fn starved_drops_everything() {
-        assert_eq!(DtModel::Starved.decision_delay(HeuristicKind::Type1, 8.0, 8192), None);
+        assert_eq!(
+            DtModel::Starved.decision_delay(HeuristicKind::Type1, 8.0, 8192),
+            None
+        );
     }
 
     #[test]
     fn budgeted_delay_scales_with_idle_rate() {
-        let m = DtModel::Budgeted { throughput_factor: 1.0 };
+        let m = DtModel::Budgeted {
+            throughput_factor: 1.0,
+        };
         let fast = m.decision_delay(HeuristicKind::Type3, 4.0, 8192).unwrap();
         let slow = m.decision_delay(HeuristicKind::Type3, 0.5, 8192).unwrap();
         assert!(slow > fast);
@@ -81,14 +87,18 @@ mod tests {
 
     #[test]
     fn budgeted_drops_when_machine_is_busy() {
-        let m = DtModel::Budgeted { throughput_factor: 1.0 };
+        let m = DtModel::Budgeted {
+            throughput_factor: 1.0,
+        };
         // 260 instructions at ~0.02 idle slots/cycle > 8192 cycles → drop.
         assert_eq!(m.decision_delay(HeuristicKind::Type4, 0.02, 8192), None);
     }
 
     #[test]
     fn costlier_heuristics_wait_longer() {
-        let m = DtModel::Budgeted { throughput_factor: 1.0 };
+        let m = DtModel::Budgeted {
+            throughput_factor: 1.0,
+        };
         let t1 = m.decision_delay(HeuristicKind::Type1, 2.0, 8192).unwrap();
         let t4 = m.decision_delay(HeuristicKind::Type4, 2.0, 8192).unwrap();
         assert!(t4 > t1);

@@ -143,8 +143,11 @@ impl std::fmt::Display for HeuristicKind {
 }
 
 /// The rotation triple every heuristic moves within.
-const TRIPLE: [FetchPolicy; 3] =
-    [FetchPolicy::Icount, FetchPolicy::L1MissCount, FetchPolicy::BrCount];
+const TRIPLE: [FetchPolicy; 3] = [
+    FetchPolicy::Icount,
+    FetchPolicy::L1MissCount,
+    FetchPolicy::BrCount,
+];
 
 /// Third member of the triple, given two distinct members.
 fn third(a: FetchPolicy, b: FetchPolicy) -> FetchPolicy {
@@ -175,7 +178,11 @@ impl Heuristic {
             thresholds: CondThresholds::default(),
             history: SwitchHistory::new(),
             pending_case: None,
-            rotation: vec![FetchPolicy::Icount, FetchPolicy::L1MissCount, FetchPolicy::BrCount],
+            rotation: vec![
+                FetchPolicy::Icount,
+                FetchPolicy::L1MissCount,
+                FetchPolicy::BrCount,
+            ],
         }
     }
 
@@ -186,7 +193,10 @@ impl Heuristic {
     }
 
     pub fn with_thresholds(kind: HeuristicKind, thresholds: CondThresholds) -> Self {
-        Heuristic { thresholds, ..Heuristic::new(kind) }
+        Heuristic {
+            thresholds,
+            ..Heuristic::new(kind)
+        }
     }
 
     /// The condition the paper associates with each incumbent (Type 3's
@@ -355,7 +365,10 @@ mod tests {
         let d = CondThresholds::default();
         let p = CondThresholds::paper();
         assert_ne!(d, p);
-        assert!(d.l1_miss_rate > p.l1_miss_rate, "our L1 rate scale is higher");
+        assert!(
+            d.l1_miss_rate > p.l1_miss_rate,
+            "our L1 rate scale is higher"
+        );
     }
 
     #[test]
@@ -372,8 +385,14 @@ mod tests {
     #[test]
     fn type1_toggles() {
         let mut h = Heuristic::new(HeuristicKind::Type1);
-        assert_eq!(h.decide(FetchPolicy::Icount, &quiet(), None), FetchPolicy::BrCount);
-        assert_eq!(h.decide(FetchPolicy::BrCount, &quiet(), None), FetchPolicy::Icount);
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &quiet(), None),
+            FetchPolicy::BrCount
+        );
+        assert_eq!(
+            h.decide(FetchPolicy::BrCount, &quiet(), None),
+            FetchPolicy::Icount
+        );
     }
 
     #[test]
@@ -390,23 +409,50 @@ mod tests {
     #[test]
     fn type3_follows_conditions() {
         let mut h = Heuristic::new(HeuristicKind::Type3);
-        assert_eq!(h.decide(FetchPolicy::Icount, &branchy(), None), FetchPolicy::BrCount);
-        assert_eq!(h.decide(FetchPolicy::Icount, &memory_bound(), None), FetchPolicy::L1MissCount);
-        assert_eq!(h.decide(FetchPolicy::Icount, &quiet(), None), FetchPolicy::Icount);
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &branchy(), None),
+            FetchPolicy::BrCount
+        );
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &memory_bound(), None),
+            FetchPolicy::L1MissCount
+        );
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &quiet(), None),
+            FetchPolicy::Icount
+        );
         // The paper's worked example: BRCOUNT incumbent + COND_MEM.
-        assert_eq!(h.decide(FetchPolicy::BrCount, &memory_bound(), None), FetchPolicy::L1MissCount);
-        assert_eq!(h.decide(FetchPolicy::BrCount, &quiet(), None), FetchPolicy::Icount);
-        assert_eq!(h.decide(FetchPolicy::L1MissCount, &branchy(), None), FetchPolicy::BrCount);
-        assert_eq!(h.decide(FetchPolicy::L1MissCount, &quiet(), None), FetchPolicy::Icount);
+        assert_eq!(
+            h.decide(FetchPolicy::BrCount, &memory_bound(), None),
+            FetchPolicy::L1MissCount
+        );
+        assert_eq!(
+            h.decide(FetchPolicy::BrCount, &quiet(), None),
+            FetchPolicy::Icount
+        );
+        assert_eq!(
+            h.decide(FetchPolicy::L1MissCount, &branchy(), None),
+            FetchPolicy::BrCount
+        );
+        assert_eq!(
+            h.decide(FetchPolicy::L1MissCount, &quiet(), None),
+            FetchPolicy::Icount
+        );
     }
 
     #[test]
     fn type3_prime_respects_positive_gradient() {
         let mut h = Heuristic::new(HeuristicKind::Type3Prime);
         // IPC rising: stay even though COND_BR holds.
-        assert_eq!(h.decide(FetchPolicy::Icount, &branchy(), Some(0.5)), FetchPolicy::Icount);
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &branchy(), Some(0.5)),
+            FetchPolicy::Icount
+        );
         // IPC falling: switch.
-        assert_eq!(h.decide(FetchPolicy::Icount, &branchy(), Some(2.0)), FetchPolicy::BrCount);
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &branchy(), Some(2.0)),
+            FetchPolicy::BrCount
+        );
     }
 
     #[test]
@@ -415,11 +461,17 @@ mod tests {
         // Unseen case: poscnt == negcnt == 0 → opposite direction.
         // Regular (Type 3) from ICOUNT under COND_BR is BRCOUNT, so Type 4
         // goes to L1MISSCOUNT (the paper's example, §4.3.2).
-        assert_eq!(h.decide(FetchPolicy::Icount, &branchy(), None), FetchPolicy::L1MissCount);
+        assert_eq!(
+            h.decide(FetchPolicy::Icount, &branchy(), None),
+            FetchPolicy::L1MissCount
+        );
         // Feed positive outcomes for the case until poscnt > negcnt.
         h.feed_outcome(true);
         let mut h2 = h.clone();
-        assert_eq!(h2.decide(FetchPolicy::Icount, &branchy(), None), FetchPolicy::BrCount);
+        assert_eq!(
+            h2.decide(FetchPolicy::Icount, &branchy(), None),
+            FetchPolicy::BrCount
+        );
     }
 
     #[test]
@@ -444,8 +496,10 @@ mod tests {
 
     #[test]
     fn costs_are_ordered_by_sophistication() {
-        let costs: Vec<u64> =
-            HeuristicKind::ALL.iter().map(|k| k.dt_cost_instructions()).collect();
+        let costs: Vec<u64> = HeuristicKind::ALL
+            .iter()
+            .map(|k| k.dt_cost_instructions())
+            .collect();
         assert!(costs.windows(2).all(|w| w[0] <= w[1]), "{costs:?}");
     }
 
@@ -458,7 +512,13 @@ mod tests {
 
     #[test]
     fn third_member() {
-        assert_eq!(third(FetchPolicy::Icount, FetchPolicy::BrCount), FetchPolicy::L1MissCount);
-        assert_eq!(third(FetchPolicy::BrCount, FetchPolicy::L1MissCount), FetchPolicy::Icount);
+        assert_eq!(
+            third(FetchPolicy::Icount, FetchPolicy::BrCount),
+            FetchPolicy::L1MissCount
+        );
+        assert_eq!(
+            third(FetchPolicy::BrCount, FetchPolicy::L1MissCount),
+            FetchPolicy::Icount
+        );
     }
 }

@@ -44,7 +44,10 @@ impl SwitchHistory {
 
     /// Counters for a case (zeros if unseen).
     pub fn case(&self, incumbent: FetchPolicy, cond: bool) -> CaseCounters {
-        self.cases.get(&(incumbent, cond)).copied().unwrap_or_default()
+        self.cases
+            .get(&(incumbent, cond))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Record the observed outcome of the decision made under
@@ -60,7 +63,10 @@ impl SwitchHistory {
 
     /// Total recorded events.
     pub fn len(&self) -> usize {
-        self.cases.values().map(|c| (c.poscnt + c.negcnt) as usize).sum()
+        self.cases
+            .values()
+            .map(|c| (c.poscnt + c.negcnt) as usize)
+            .sum()
     }
 
     pub fn is_empty(&self) -> bool {

@@ -133,8 +133,7 @@ impl QuantumStats {
         (0..self.per_thread_icount.len())
             .max_by(|&a, &b| {
                 let score = |i: usize| {
-                    self.per_thread_icount[i] as f64
-                        / (self.per_thread_committed[i] as f64 + 1.0)
+                    self.per_thread_icount[i] as f64 / (self.per_thread_committed[i] as f64 + 1.0)
                 };
                 score(a).total_cmp(&score(b))
             })

@@ -19,6 +19,7 @@
 //! identification was already done off the critical path.
 
 use crate::adaptive::{AdaptiveScheduler, AdtsConfig};
+use serde::{Deserialize, Serialize};
 use smt_isa::{AppProfile, Tid};
 use smt_sim::SmtMachine;
 use smt_stats::RunSeries;
@@ -27,7 +28,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// How the job scheduler picks its eviction victim.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum EvictionPolicy {
     /// Suspend the thread the detector thread marked as clogging most often
     /// during the ending timeslice (ties: lowest thread id).
@@ -37,7 +38,7 @@ pub enum EvictionPolicy {
 }
 
 /// Job-scheduler configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct JobSchedConfig {
     /// ADTS configuration driving the within-timeslice scheduling.
     pub adts: AdtsConfig,
@@ -85,7 +86,12 @@ pub struct JobScheduler {
 impl JobScheduler {
     /// `pool` holds the jobs waiting off-processor.
     pub fn new(cfg: JobSchedConfig, pool: Vec<AppProfile>) -> Self {
-        JobScheduler { cfg, pool: pool.into(), next_seed: 0x10B5, rr_victim: 0 }
+        JobScheduler {
+            cfg,
+            pool: pool.into(),
+            next_seed: 0x10B5,
+            rr_victim: 0,
+        }
     }
 
     /// Jobs currently waiting.
@@ -160,7 +166,10 @@ impl JobScheduler {
                 incoming_name,
             ));
         }
-        JobSchedOutcome { series: sched.into_series(), swaps }
+        JobSchedOutcome {
+            series: sched.into_series(),
+            swaps,
+        }
     }
 }
 
@@ -185,7 +194,10 @@ mod tests {
         let mut machine = machine_for_mix(&m, 42);
         let cfg = JobSchedConfig {
             timeslice_quanta: 6,
-            adts: AdtsConfig { ipc_threshold: 8.0, ..Default::default() },
+            adts: AdtsConfig {
+                ipc_threshold: 8.0,
+                ..Default::default()
+            },
             eviction,
             ..Default::default()
         };
@@ -205,7 +217,10 @@ mod tests {
     fn pool_is_conserved() {
         let m = mix(6);
         let mut machine = machine_for_mix(&m, 42);
-        let cfg = JobSchedConfig { timeslice_quanta: 4, ..Default::default() };
+        let cfg = JobSchedConfig {
+            timeslice_quanta: 4,
+            ..Default::default()
+        };
         let mut js = JobScheduler::new(cfg, pool());
         let before = js.pool_len();
         let running = m.apps.iter().map(|a| a.name.clone()).collect();
@@ -220,7 +235,10 @@ mod tests {
         // notorious cloggers, not the well-behaved members.
         let cloggy = ["mcf", "art", "swim", "equake", "ammp", "lucas"];
         let first = &o.swaps[0].2;
-        assert!(cloggy.contains(&first.as_str()), "first eviction was {first}");
+        assert!(
+            cloggy.contains(&first.as_str()),
+            "first eviction was {first}"
+        );
     }
 
     #[test]
@@ -234,7 +252,10 @@ mod tests {
     fn empty_pool_means_no_swaps() {
         let m = mix(1);
         let mut machine = machine_for_mix(&m, 42);
-        let cfg = JobSchedConfig { timeslice_quanta: 3, ..Default::default() };
+        let cfg = JobSchedConfig {
+            timeslice_quanta: 3,
+            ..Default::default()
+        };
         let mut js = JobScheduler::new(cfg, vec![]);
         let running = m.apps.iter().map(|a| a.name.clone()).collect();
         let o = js.run(&mut machine, running, 3);
@@ -246,19 +267,17 @@ mod tests {
     fn machine_survives_swaps_with_invariants() {
         let m = mix(9);
         let mut machine = machine_for_mix(&m, 42);
-        let cfg = JobSchedConfig { timeslice_quanta: 3, ..Default::default() };
+        let cfg = JobSchedConfig {
+            timeslice_quanta: 3,
+            ..Default::default()
+        };
         let mut js = JobScheduler::new(cfg, pool());
         let running = m.apps.iter().map(|a| a.name.clone()).collect();
         let _ = js.run(&mut machine, running, 4);
         machine.check_invariants();
         // And it keeps making progress afterwards.
         let before = machine.total_committed();
-        let _ = crate::runner::run_fixed(
-            smt_policies::FetchPolicy::Icount,
-            &mut machine,
-            3,
-            4096,
-        );
+        let _ = crate::runner::run_fixed(smt_policies::FetchPolicy::Icount, &mut machine, 3, 4096);
         assert!(machine.total_committed() > before);
     }
 }

@@ -39,10 +39,13 @@ pub mod threshold;
 
 pub use adaptive::{AdaptiveScheduler, AdtsConfig};
 pub use detector::DtModel;
-pub use jobsched::{EvictionPolicy, JobSchedConfig, JobSchedOutcome, JobScheduler};
-pub use threshold::ThresholdMode;
 pub use heuristics::{CondThresholds, Heuristic, HeuristicKind};
 pub use history::{CaseCounters, SwitchHistory};
 pub use indicators::{MachineSnapshot, QuantumStats};
+pub use jobsched::{EvictionPolicy, JobSchedConfig, JobSchedOutcome, JobScheduler};
 pub use oracle::{run_oracle, OracleConfig};
-pub use runner::{machine_for_mix, machine_for_mix_with, run_adaptive, run_fixed, run_oracle_on};
+pub use runner::{
+    machine_for_mix, machine_for_mix_with, run_adaptive, run_fixed, run_fixed_observed,
+    run_oracle_on,
+};
+pub use threshold::ThresholdMode;

@@ -11,12 +11,13 @@
 //! heuristic can beat at the same quantum granularity.
 
 use crate::indicators::{MachineSnapshot, QuantumStats};
+use serde::{Deserialize, Serialize};
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::SmtMachine;
 use smt_stats::{QuantumRecord, RunSeries, SwitchEvent};
 
 /// Oracle configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct OracleConfig {
     pub quantum_cycles: u64,
     /// Candidate policies tried each quantum. Defaults to the adaptive
@@ -41,7 +42,10 @@ impl Default for OracleConfig {
 
 /// Run `quanta` oracle-scheduled quanta on `machine`.
 pub fn run_oracle(cfg: &OracleConfig, machine: &mut SmtMachine, quanta: u64) -> RunSeries {
-    assert!(!cfg.candidates.is_empty(), "oracle needs at least one candidate");
+    assert!(
+        !cfg.candidates.is_empty(),
+        "oracle needs at least one candidate"
+    );
     let fetch_width = machine.config().fetch_width;
     let mut series = RunSeries::default();
     let mut incumbent: Option<FetchPolicy> = None;
@@ -118,7 +122,10 @@ mod tests {
 
     #[test]
     fn oracle_never_loses_to_any_single_candidate() {
-        let cfg = OracleConfig { quantum_cycles: 2048, ..Default::default() };
+        let cfg = OracleConfig {
+            quantum_cycles: 2048,
+            ..Default::default()
+        };
         let mut m = machine(4, 21);
         let oracle = run_oracle(&cfg, &mut m, 8);
         for &policy in &cfg.candidates {
@@ -139,7 +146,10 @@ mod tests {
 
     #[test]
     fn oracle_is_deterministic() {
-        let cfg = OracleConfig { quantum_cycles: 1024, ..Default::default() };
+        let cfg = OracleConfig {
+            quantum_cycles: 1024,
+            ..Default::default()
+        };
         let a = run_oracle(&cfg, &mut machine(2, 22), 5).aggregate_ipc();
         let b = run_oracle(&cfg, &mut machine(2, 22), 5).aggregate_ipc();
         assert_eq!(a, b);
@@ -147,7 +157,10 @@ mod tests {
 
     #[test]
     fn records_policy_chosen_per_quantum() {
-        let cfg = OracleConfig { quantum_cycles: 1024, ..Default::default() };
+        let cfg = OracleConfig {
+            quantum_cycles: 1024,
+            ..Default::default()
+        };
         let series = run_oracle(&cfg, &mut machine(2, 23), 6);
         assert_eq!(series.quanta.len(), 6);
         for q in &series.quanta {
@@ -158,7 +171,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn empty_candidates_panics() {
-        let cfg = OracleConfig { quantum_cycles: 1024, candidates: vec![] };
+        let cfg = OracleConfig {
+            quantum_cycles: 1024,
+            candidates: vec![],
+        };
         let _ = run_oracle(&cfg, &mut machine(1, 24), 1);
     }
 }

@@ -9,7 +9,7 @@ use crate::adaptive::{AdaptiveScheduler, AdtsConfig};
 use crate::indicators::{MachineSnapshot, QuantumStats};
 use crate::oracle::{run_oracle, OracleConfig};
 use smt_policies::{FetchPolicy, Tsu};
-use smt_sim::{SimConfig, SmtMachine};
+use smt_sim::{CounterSnapshot, SimConfig, SmtMachine};
 use smt_stats::{QuantumRecord, RunSeries};
 use smt_workloads::Mix;
 
@@ -32,13 +32,31 @@ pub fn run_fixed(
     quanta: u64,
     quantum_cycles: u64,
 ) -> RunSeries {
+    run_fixed_observed(policy, machine, quanta, quantum_cycles, |_, _| {})
+}
+
+/// [`run_fixed`] with a per-quantum observer hook.
+///
+/// After each quantum the observer receives the quantum index and the
+/// per-quantum *delta* of every thread's status indicators
+/// ([`CounterSnapshot::delta`]) — the raw material telemetry and external
+/// analyses build on, at the same granularity the detector thread samples.
+pub fn run_fixed_observed(
+    policy: FetchPolicy,
+    machine: &mut SmtMachine,
+    quanta: u64,
+    quantum_cycles: u64,
+    mut observer: impl FnMut(u64, &CounterSnapshot),
+) -> RunSeries {
     let fetch_width = machine.config().fetch_width;
     let mut tsu = Tsu::new(policy, machine.n_threads());
     let mut series = RunSeries::default();
     for index in 0..quanta {
         let before = MachineSnapshot::take(machine);
+        let counters_before = machine.counter_snapshot();
         machine.run(quantum_cycles, &mut tsu);
         let after = MachineSnapshot::take(machine);
+        observer(index, &counters_before.delta(&machine.counter_snapshot()));
         let stats = QuantumStats::between(&before, &after, fetch_width);
         series.quanta.push(QuantumRecord {
             index,
@@ -96,13 +114,38 @@ mod tests {
     }
 
     #[test]
+    fn observer_sees_per_quantum_counter_deltas() {
+        let m = mix(10).take_threads(2, 1);
+        let mut machine = machine_for_mix(&m, 5);
+        let mut seen = Vec::new();
+        let series = run_fixed_observed(FetchPolicy::Icount, &mut machine, 3, 2048, |i, d| {
+            seen.push((i, d.cycle, d.committed()));
+        });
+        assert_eq!(seen.len(), 3);
+        for (qi, ((i, cycles, committed), q)) in seen.iter().zip(&series.quanta).enumerate() {
+            assert_eq!(*i, qi as u64);
+            assert_eq!(
+                *cycles, q.cycles,
+                "delta cycles must match the quantum record"
+            );
+            assert_eq!(
+                *committed, q.committed,
+                "delta commits must match the quantum record"
+            );
+        }
+    }
+
+    #[test]
     fn fixed_and_adaptive_at_zero_threshold_agree() {
         let m = mix(10).take_threads(2, 1);
         let mut a = machine_for_mix(&m, 6);
         let mut b = machine_for_mix(&m, 6);
         let f = run_fixed(FetchPolicy::Icount, &mut a, 4, 8192);
         let ad = run_adaptive(
-            AdtsConfig { ipc_threshold: 0.0, ..Default::default() },
+            AdtsConfig {
+                ipc_threshold: 0.0,
+                ..Default::default()
+            },
             &mut b,
             4,
         );

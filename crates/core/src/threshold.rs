@@ -21,7 +21,11 @@ pub enum ThresholdMode {
     Fixed(f64),
     /// The threshold is the given percentile (0..=1) of the last `window`
     /// quanta's IPC values; until the window fills, `bootstrap` is used.
-    SelfTuning { percentile: f64, window: usize, bootstrap: f64 },
+    SelfTuning {
+        percentile: f64,
+        window: usize,
+        bootstrap: f64,
+    },
 }
 
 impl Default for ThresholdMode {
@@ -39,11 +43,17 @@ pub struct ThresholdTracker {
 
 impl ThresholdTracker {
     pub fn new(mode: ThresholdMode) -> Self {
-        if let ThresholdMode::SelfTuning { percentile, window, .. } = mode {
+        if let ThresholdMode::SelfTuning {
+            percentile, window, ..
+        } = mode
+        {
             assert!((0.0..=1.0).contains(&percentile), "percentile out of range");
             assert!(window >= 2, "window too small");
         }
-        ThresholdTracker { mode, recent: VecDeque::new() }
+        ThresholdTracker {
+            mode,
+            recent: VecDeque::new(),
+        }
     }
 
     pub fn mode(&self) -> ThresholdMode {
@@ -54,7 +64,11 @@ impl ThresholdTracker {
     pub fn current(&self) -> f64 {
         match self.mode {
             ThresholdMode::Fixed(m) => m,
-            ThresholdMode::SelfTuning { percentile, window, bootstrap } => {
+            ThresholdMode::SelfTuning {
+                percentile,
+                window,
+                bootstrap,
+            } => {
                 if self.recent.len() < window {
                     return bootstrap;
                 }
@@ -92,7 +106,11 @@ mod tests {
 
     #[test]
     fn self_tuning_uses_bootstrap_until_window_fills() {
-        let mode = ThresholdMode::SelfTuning { percentile: 0.5, window: 4, bootstrap: 1.5 };
+        let mode = ThresholdMode::SelfTuning {
+            percentile: 0.5,
+            window: 4,
+            bootstrap: 1.5,
+        };
         let mut t = ThresholdTracker::new(mode);
         assert_eq!(t.current(), 1.5);
         for ipc in [1.0, 2.0, 3.0] {
@@ -106,7 +124,11 @@ mod tests {
 
     #[test]
     fn self_tuning_tracks_regime_change() {
-        let mode = ThresholdMode::SelfTuning { percentile: 0.5, window: 4, bootstrap: 2.0 };
+        let mode = ThresholdMode::SelfTuning {
+            percentile: 0.5,
+            window: 4,
+            bootstrap: 2.0,
+        };
         let mut t = ThresholdTracker::new(mode);
         for _ in 0..4 {
             t.observe(3.0);
@@ -116,12 +138,19 @@ mod tests {
             t.observe(0.5);
         }
         let low = t.current();
-        assert!(high > 2.5 && low < 1.0, "threshold did not track: {high} → {low}");
+        assert!(
+            high > 2.5 && low < 1.0,
+            "threshold did not track: {high} → {low}"
+        );
     }
 
     #[test]
     fn window_is_bounded() {
-        let mode = ThresholdMode::SelfTuning { percentile: 1.0, window: 3, bootstrap: 0.0 };
+        let mode = ThresholdMode::SelfTuning {
+            percentile: 1.0,
+            window: 3,
+            bootstrap: 0.0,
+        };
         let mut t = ThresholdTracker::new(mode);
         for i in 0..100 {
             t.observe(i as f64);

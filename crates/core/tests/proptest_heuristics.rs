@@ -5,8 +5,14 @@ use proptest::prelude::*;
 use smt_policies::FetchPolicy;
 
 fn arb_stats() -> impl Strategy<Value = QuantumStats> {
-    (0.0..8.0f64, 0.0..0.6f64, 0.0..1.0f64, 0.0..0.1f64, 0.0..0.6f64).prop_map(
-        |(ipc, miss, lsq, mis, br)| QuantumStats {
+    (
+        0.0..8.0f64,
+        0.0..0.6f64,
+        0.0..1.0f64,
+        0.0..0.1f64,
+        0.0..0.6f64,
+    )
+        .prop_map(|(ipc, miss, lsq, mis, br)| QuantumStats {
             cycles: 8192,
             committed: (ipc * 8192.0) as u64,
             ipc,
@@ -18,8 +24,7 @@ fn arb_stats() -> impl Strategy<Value = QuantumStats> {
             per_thread_committed: vec![1; 8],
             per_thread_l1_misses: vec![0; 8],
             per_thread_icount: vec![1; 8],
-        },
-    )
+        })
 }
 
 fn arb_incumbent() -> impl Strategy<Value = FetchPolicy> {
@@ -30,8 +35,11 @@ fn arb_incumbent() -> impl Strategy<Value = FetchPolicy> {
     ])
 }
 
-const TRIPLE: [FetchPolicy; 3] =
-    [FetchPolicy::Icount, FetchPolicy::L1MissCount, FetchPolicy::BrCount];
+const TRIPLE: [FetchPolicy; 3] = [
+    FetchPolicy::Icount,
+    FetchPolicy::L1MissCount,
+    FetchPolicy::BrCount,
+];
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]

@@ -83,12 +83,24 @@ impl Phase {
 
     /// A mispredict-storm phase.
     pub const fn branch_storm(len_uops: u64, predictability: f64) -> Self {
-        Phase { len_uops, mem_pressure: 1.0, br_pressure: 1.3, ilp_scale: 0.9, predictability }
+        Phase {
+            len_uops,
+            mem_pressure: 1.0,
+            br_pressure: 1.3,
+            ilp_scale: 0.9,
+            predictability,
+        }
     }
 
     /// A memory-pressure phase.
     pub const fn mem_storm(len_uops: u64, mem_pressure: f64) -> Self {
-        Phase { len_uops, mem_pressure, br_pressure: 1.0, ilp_scale: 1.0, predictability: 1.0 }
+        Phase {
+            len_uops,
+            mem_pressure,
+            br_pressure: 1.0,
+            ilp_scale: 1.0,
+            predictability: 1.0,
+        }
     }
 }
 
@@ -214,7 +226,10 @@ impl AppProfile {
         frac("src_indep_frac", self.src_indep_frac)?;
         frac("addr_indep_frac", self.addr_indep_frac)?;
         if !(0.5..=1.0).contains(&self.branch_bias) {
-            return Err(format!("branch_bias = {} outside [0.5,1]", self.branch_bias));
+            return Err(format!(
+                "branch_bias = {} outside [0.5,1]",
+                self.branch_bias
+            ));
         }
         if self.mix_sum() >= 1.0 {
             return Err(format!("instruction mix sums to {} >= 1", self.mix_sum()));
@@ -314,7 +329,9 @@ mod tests {
 
     #[test]
     fn bias_below_half_rejected() {
-        let p = AppProfile::builder("bad").branch_bias(0.3).build_unchecked();
+        let p = AppProfile::builder("bad")
+            .branch_bias(0.3)
+            .build_unchecked();
         assert!(p.validate().is_err());
     }
 
@@ -328,7 +345,9 @@ mod tests {
 
     #[test]
     fn dep_dist_below_one_rejected() {
-        let p = AppProfile::builder("bad").mean_dep_dist(0.5).build_unchecked();
+        let p = AppProfile::builder("bad")
+            .mean_dep_dist(0.5)
+            .build_unchecked();
         assert!(p.validate().is_err());
     }
 

@@ -31,14 +31,20 @@ impl ArchReg {
     #[inline]
     pub fn int(idx: u8) -> Self {
         debug_assert!(idx < NUM_ARCH_REGS_PER_CLASS);
-        ArchReg { class: RegClass::Int, idx }
+        ArchReg {
+            class: RegClass::Int,
+            idx,
+        }
     }
 
     /// A floating-point register. Panics in debug builds if out of range.
     #[inline]
     pub fn fp(idx: u8) -> Self {
         debug_assert!(idx < NUM_ARCH_REGS_PER_CLASS);
-        ArchReg { class: RegClass::Fp, idx }
+        ArchReg {
+            class: RegClass::Fp,
+            idx,
+        }
     }
 
     /// Flat index over both classes, `0 .. 2 * NUM_ARCH_REGS_PER_CLASS`,

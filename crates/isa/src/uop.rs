@@ -114,13 +114,27 @@ impl MicroOp {
     /// A plain single-cycle integer op with no operands; useful as a neutral
     /// filler in tests and for wrong-path synthesis.
     pub fn nop(pc: u64) -> Self {
-        MicroOp { kind: OpKind::Nop, pc, dst: None, src1: None, src2: None, mem: None, branch: None }
+        MicroOp {
+            kind: OpKind::Nop,
+            pc,
+            dst: None,
+            src1: None,
+            src2: None,
+            mem: None,
+            branch: None,
+        }
     }
 
     /// Is this a conditional branch (the BRCOUNT-relevant kind)?
     #[inline]
     pub fn is_cond_branch(self) -> bool {
-        matches!(self.branch, Some(BranchInfo { kind: BranchKind::Conditional, .. }))
+        matches!(
+            self.branch,
+            Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                ..
+            })
+        )
     }
 
     /// Internal consistency: memory ops carry `mem`, branches carry `branch`,
@@ -173,7 +187,10 @@ mod tests {
 
     #[test]
     fn branch_without_info_is_ill_formed() {
-        let op = MicroOp { kind: OpKind::Branch, ..MicroOp::nop(0) };
+        let op = MicroOp {
+            kind: OpKind::Branch,
+            ..MicroOp::nop(0)
+        };
         assert!(!op.is_well_formed());
     }
 
@@ -181,13 +198,21 @@ mod tests {
     fn cond_branch_detection() {
         let br = MicroOp {
             kind: OpKind::Branch,
-            branch: Some(BranchInfo { kind: BranchKind::Conditional, taken: true, target: 0x40 }),
+            branch: Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken: true,
+                target: 0x40,
+            }),
             ..MicroOp::nop(0)
         };
         assert!(br.is_cond_branch());
         let jmp = MicroOp {
             kind: OpKind::Branch,
-            branch: Some(BranchInfo { kind: BranchKind::Unconditional, taken: true, target: 0x40 }),
+            branch: Some(BranchInfo {
+                kind: BranchKind::Unconditional,
+                taken: true,
+                target: 0x40,
+            }),
             ..MicroOp::nop(0)
         };
         assert!(!jmp.is_cond_branch());

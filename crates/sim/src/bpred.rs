@@ -140,16 +140,33 @@ impl BranchPredictor {
                 let g = self.pht[idx] >= 2;
                 let b = self.bimodal[pci] >= 2;
                 let taken = if self.chooser[pci] >= 2 { g } else { b };
-                let target_known = if taken { self.btb_lookup_insert(pc) } else { true };
-                Prediction { taken, target_known, pht_index: idx as u32, history_at_fetch }
+                let target_known = if taken {
+                    self.btb_lookup_insert(pc)
+                } else {
+                    true
+                };
+                Prediction {
+                    taken,
+                    target_known,
+                    pht_index: idx as u32,
+                    history_at_fetch,
+                }
             }
-            BranchKind::Unconditional => {
-                Prediction { taken: true, target_known: self.btb_lookup_insert(pc), pht_index: 0, history_at_fetch }
-            }
+            BranchKind::Unconditional => Prediction {
+                taken: true,
+                target_known: self.btb_lookup_insert(pc),
+                pht_index: 0,
+                history_at_fetch,
+            },
             BranchKind::Call => {
                 let t = self.ras_depth[tid.idx()];
                 self.ras_depth[tid.idx()] = (t + 1).min(self.ras_max);
-                Prediction { taken: true, target_known: self.btb_lookup_insert(pc), pht_index: 0, history_at_fetch }
+                Prediction {
+                    taken: true,
+                    target_known: self.btb_lookup_insert(pc),
+                    pht_index: 0,
+                    history_at_fetch,
+                }
             }
             BranchKind::Return => {
                 let d = &mut self.ras_depth[tid.idx()];
@@ -157,13 +174,22 @@ impl BranchPredictor {
                 *d = d.saturating_sub(1);
                 // An empty RAS means the target is unknown: fetch break and,
                 // as we model it, a misprediction discovered at resolve.
-                Prediction { taken: true, target_known: known, pht_index: 0, history_at_fetch }
+                Prediction {
+                    taken: true,
+                    target_known: known,
+                    pht_index: 0,
+                    history_at_fetch,
+                }
             }
         };
         // Speculative history update: actual outcome when the fetcher is on
         // the correct path (it will not be rewound), prediction otherwise.
         if kind == BranchKind::Conditional {
-            let dir = if on_correct_path { actual_taken } else { pred.taken };
+            let dir = if on_correct_path {
+                actual_taken
+            } else {
+                pred.taken
+            };
             let h = &mut self.history[tid.idx()];
             *h = ((*h << 1) | dir as u64) & self.history_mask;
         }
@@ -255,7 +281,10 @@ mod tests {
             }
             p.train(pc, pr.pht_index, outcome);
         }
-        assert!(correct > 190, "gshare failed to learn alternation: {correct}/200");
+        assert!(
+            correct > 190,
+            "gshare failed to learn alternation: {correct}/200"
+        );
     }
 
     #[test]
@@ -297,7 +326,11 @@ mod tests {
     #[test]
     fn shared_pht_causes_interference() {
         // Tiny table to force collisions.
-        let cfg = SimConfig { gshare_bits: 4, history_bits: 2, ..Default::default() };
+        let cfg = SimConfig {
+            gshare_bits: 4,
+            history_bits: 2,
+            ..Default::default()
+        };
         let mut p = BranchPredictor::new(&cfg);
         // Thread 0 trains "taken" over every entry it touches; thread 1
         // trains the aliased entries "not taken"; accuracy of thread 0 drops.

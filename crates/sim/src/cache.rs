@@ -78,7 +78,13 @@ impl Cache {
         self.misses += 1;
         // Evict LRU (or an invalid way).
         let lru = (0..self.geom.ways)
-            .min_by_key(|&w| if self.tags[base + w] == u64::MAX { 0 } else { self.stamps[base + w] })
+            .min_by_key(|&w| {
+                if self.tags[base + w] == u64::MAX {
+                    0
+                } else {
+                    self.stamps[base + w]
+                }
+            })
             .expect("ways > 0");
         self.tags[base + lru] = tag;
         self.stamps[base + lru] = self.tick;
@@ -124,7 +130,12 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
-    pub fn new(l1i: CacheGeometry, l1d: CacheGeometry, l2: CacheGeometry, mem_latency: u64) -> Self {
+    pub fn new(
+        l1i: CacheGeometry,
+        l1d: CacheGeometry,
+        l2: CacheGeometry,
+        mem_latency: u64,
+    ) -> Self {
         Hierarchy {
             l1i: Cache::new(l1i),
             l1d: Cache::new(l1d),
@@ -151,17 +162,29 @@ impl Hierarchy {
     /// Instruction fetch of the line containing `addr`.
     pub fn fetch(&mut self, addr: u64) -> MemAccessResult {
         if self.l1i.access(addr) {
-            MemAccessResult { latency: self.l1i.geom.hit_latency, l1_miss: false, l2_miss: false }
+            MemAccessResult {
+                latency: self.l1i.geom.hit_latency,
+                l1_miss: false,
+                l2_miss: false,
+            }
         } else {
             let (below, l2_miss) = Self::through_l2(&mut self.l2, addr, self.mem_latency);
-            MemAccessResult { latency: self.l1i.geom.hit_latency + below, l1_miss: true, l2_miss }
+            MemAccessResult {
+                latency: self.l1i.geom.hit_latency + below,
+                l1_miss: true,
+                l2_miss,
+            }
         }
     }
 
     /// Data access (load or store; write-allocate makes them symmetric).
     pub fn data(&mut self, addr: u64) -> MemAccessResult {
         if self.l1d.access(addr) {
-            MemAccessResult { latency: self.l1d.geom.hit_latency, l1_miss: false, l2_miss: false }
+            MemAccessResult {
+                latency: self.l1d.geom.hit_latency,
+                l1_miss: false,
+                l2_miss: false,
+            }
         } else {
             let (below, l2_miss) = Self::through_l2(&mut self.l2, addr, self.mem_latency);
             if self.next_line_prefetch {
@@ -174,7 +197,11 @@ impl Hierarchy {
                     self.prefetches += 1;
                 }
             }
-            MemAccessResult { latency: self.l1d.geom.hit_latency + below, l1_miss: true, l2_miss }
+            MemAccessResult {
+                latency: self.l1d.geom.hit_latency + below,
+                l1_miss: true,
+                l2_miss,
+            }
         }
     }
 }
@@ -185,7 +212,12 @@ mod tests {
 
     fn small() -> CacheGeometry {
         // 4 sets x 2 ways x 64B = 512B
-        CacheGeometry { size_bytes: 512, line_bytes: 64, ways: 2, hit_latency: 1 }
+        CacheGeometry {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 1,
+        }
     }
 
     #[test]
@@ -242,17 +274,41 @@ mod tests {
 
     #[test]
     fn hierarchy_latencies_compose() {
-        let l2g = CacheGeometry { size_bytes: 4096, line_bytes: 64, ways: 4, hit_latency: 10 };
+        let l2g = CacheGeometry {
+            size_bytes: 4096,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 10,
+        };
         let mut h = Hierarchy::new(small(), small(), l2g, 80);
         let miss = h.data(0x5000);
-        assert_eq!(miss, MemAccessResult { latency: 1 + 10 + 80, l1_miss: true, l2_miss: true });
+        assert_eq!(
+            miss,
+            MemAccessResult {
+                latency: 1 + 10 + 80,
+                l1_miss: true,
+                l2_miss: true
+            }
+        );
         let hit = h.data(0x5000);
-        assert_eq!(hit, MemAccessResult { latency: 1, l1_miss: false, l2_miss: false });
+        assert_eq!(
+            hit,
+            MemAccessResult {
+                latency: 1,
+                l1_miss: false,
+                l2_miss: false
+            }
+        );
     }
 
     #[test]
     fn l1_miss_l2_hit_after_eviction() {
-        let l2g = CacheGeometry { size_bytes: 65536, line_bytes: 64, ways: 4, hit_latency: 10 };
+        let l2g = CacheGeometry {
+            size_bytes: 65536,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 10,
+        };
         let mut h = Hierarchy::new(small(), small(), l2g, 80);
         h.data(0x0000);
         // Evict 0x0000 from tiny L1D by filling its set.
@@ -266,7 +322,12 @@ mod tests {
 
     #[test]
     fn icache_and_dcache_are_separate() {
-        let l2g = CacheGeometry { size_bytes: 65536, line_bytes: 64, ways: 4, hit_latency: 10 };
+        let l2g = CacheGeometry {
+            size_bytes: 65536,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 10,
+        };
         let mut h = Hierarchy::new(small(), small(), l2g, 80);
         h.fetch(0x9000);
         let d = h.data(0x9000);
@@ -276,8 +337,18 @@ mod tests {
 
     #[test]
     fn next_line_prefetch_preloads_l2() {
-        let small = CacheGeometry { size_bytes: 512, line_bytes: 64, ways: 2, hit_latency: 1 };
-        let l2g = CacheGeometry { size_bytes: 65536, line_bytes: 64, ways: 4, hit_latency: 10 };
+        let small = CacheGeometry {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 1,
+        };
+        let l2g = CacheGeometry {
+            size_bytes: 65536,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 10,
+        };
         let mut h = Hierarchy::new(small, small, l2g, 80);
         h.set_next_line_prefetch(true);
         let miss = h.data(0x4000);
@@ -287,13 +358,26 @@ mod tests {
         h.data(0x4100);
         h.data(0x4200);
         let next = h.data(0x4040); // the prefetched line
-        assert!(next.l1_miss && !next.l2_miss, "prefetched line must be an L2 hit");
+        assert!(
+            next.l1_miss && !next.l2_miss,
+            "prefetched line must be an L2 hit"
+        );
     }
 
     #[test]
     fn prefetch_off_by_default() {
-        let small = CacheGeometry { size_bytes: 512, line_bytes: 64, ways: 2, hit_latency: 1 };
-        let l2g = CacheGeometry { size_bytes: 65536, line_bytes: 64, ways: 4, hit_latency: 10 };
+        let small = CacheGeometry {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+            hit_latency: 1,
+        };
+        let l2g = CacheGeometry {
+            size_bytes: 65536,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 10,
+        };
         let mut h = Hierarchy::new(small, small, l2g, 80);
         h.data(0x4000);
         assert_eq!(h.prefetches, 0);

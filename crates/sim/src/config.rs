@@ -102,8 +102,14 @@ pub struct CacheGeometry {
 impl CacheGeometry {
     /// Number of sets; panics if the geometry is inconsistent.
     pub fn sets(&self) -> usize {
-        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
-        assert!(self.size_bytes.is_multiple_of(self.line_bytes * self.ways), "size not divisible");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.size_bytes.is_multiple_of(self.line_bytes * self.ways),
+            "size not divisible"
+        );
         let sets = self.size_bytes / (self.line_bytes * self.ways);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -136,9 +142,24 @@ impl Default for SimConfig {
             lat_fp_div: 24,
             front_end_latency: 4,
             syscall_latency: 200,
-            l1i: CacheGeometry { size_bytes: 32 << 10, line_bytes: 64, ways: 4, hit_latency: 1 },
-            l1d: CacheGeometry { size_bytes: 32 << 10, line_bytes: 64, ways: 4, hit_latency: 1 },
-            l2: CacheGeometry { size_bytes: 512 << 10, line_bytes: 64, ways: 8, hit_latency: 10 },
+            l1i: CacheGeometry {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 4,
+                hit_latency: 1,
+            },
+            l1d: CacheGeometry {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 4,
+                hit_latency: 1,
+            },
+            l2: CacheGeometry {
+                size_bytes: 512 << 10,
+                line_bytes: 64,
+                ways: 8,
+                hit_latency: 10,
+            },
             mem_latency: 80,
             next_line_prefetch: false,
             gshare_bits: 13,
@@ -209,8 +230,8 @@ mod tests {
         let c = SimConfig::default();
         assert_eq!(c.fetch_width, 8);
         assert_eq!(c.max_fetch_threads, 2); // ICOUNT2.8
-        // Queues doubled relative to [20] (our front end is simpler, so
-        // the queues carry more of the window); FU mix identical.
+                                            // Queues doubled relative to [20] (our front end is simpler, so
+                                            // the queues carry more of the window); FU mix identical.
         assert_eq!(c.int_iq_size, 64);
         assert_eq!(c.fp_iq_size, 64);
         assert_eq!(c.int_alus, 6);
@@ -219,21 +240,35 @@ mod tests {
 
     #[test]
     fn sets_computation() {
-        let g = CacheGeometry { size_bytes: 32 << 10, line_bytes: 64, ways: 4, hit_latency: 1 };
+        let g = CacheGeometry {
+            size_bytes: 32 << 10,
+            line_bytes: 64,
+            ways: 4,
+            hit_latency: 1,
+        };
         assert_eq!(g.sets(), 128);
     }
 
     #[test]
     fn bad_threads_rejected() {
-        let c = SimConfig { threads: 0, ..Default::default() };
+        let c = SimConfig {
+            threads: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let c = SimConfig { threads: 9, ..Default::default() };
+        let c = SimConfig {
+            threads: 9,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn bad_btb_rejected() {
-        let c = SimConfig { btb_entries: 1000, ..Default::default() };
+        let c = SimConfig {
+            btb_entries: 1000,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -94,7 +94,10 @@ impl ThreadCounters {
     /// Accumulated IPC in milli-instructions-per-cycle over `cycles`.
     #[inline]
     pub fn acc_ipc_milli(&self, cycles: u64) -> u64 {
-        self.committed.saturating_mul(1000).checked_div(cycles).unwrap_or_default()
+        self.committed
+            .saturating_mul(1000)
+            .checked_div(cycles)
+            .unwrap_or_default()
     }
 }
 
@@ -138,13 +141,145 @@ impl PolicyView {
     }
 }
 
+/// A machine-wide copy of every thread's counters at one instant.
+///
+/// This is the exportable face of the status-indicator hardware: telemetry
+/// and external tooling take two snapshots and [`CounterSnapshot::delta`]
+/// them to get per-interval event counts, exactly as the detector thread
+/// does internally per quantum.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Machine cycle the snapshot was taken at.
+    pub cycle: u64,
+    /// One entry per hardware context, indexed by thread id.
+    pub threads: Vec<ThreadCounters>,
+}
+
+impl CounterSnapshot {
+    /// Events between `self` (earlier) and `later`: cumulative counters are
+    /// subtracted; gauges and decayed counters keep `later`'s value (they
+    /// are instantaneous, a difference would be meaningless).
+    pub fn delta(&self, later: &CounterSnapshot) -> CounterSnapshot {
+        assert_eq!(
+            self.threads.len(),
+            later.threads.len(),
+            "snapshots of different machines"
+        );
+        let threads = self
+            .threads
+            .iter()
+            .zip(&later.threads)
+            .map(|(a, b)| ThreadCounters {
+                fetched: b.fetched.saturating_sub(a.fetched),
+                wrongpath_fetched: b.wrongpath_fetched.saturating_sub(a.wrongpath_fetched),
+                committed: b.committed.saturating_sub(a.committed),
+                cond_branches: b.cond_branches.saturating_sub(a.cond_branches),
+                branches_resolved: b.branches_resolved.saturating_sub(a.branches_resolved),
+                mispredicts: b.mispredicts.saturating_sub(a.mispredicts),
+                loads: b.loads.saturating_sub(a.loads),
+                stores: b.stores.saturating_sub(a.stores),
+                l1d_misses: b.l1d_misses.saturating_sub(a.l1d_misses),
+                l1i_misses: b.l1i_misses.saturating_sub(a.l1i_misses),
+                l2_misses: b.l2_misses.saturating_sub(a.l2_misses),
+                fetch_stall_cycles: b.fetch_stall_cycles.saturating_sub(a.fetch_stall_cycles),
+                lsq_full_cycles: b.lsq_full_cycles.saturating_sub(a.lsq_full_cycles),
+                squashes: b.squashes.saturating_sub(a.squashes),
+                syscalls: b.syscalls.saturating_sub(a.syscalls),
+                ..b.clone()
+            })
+            .collect();
+        CounterSnapshot {
+            cycle: later.cycle.saturating_sub(self.cycle),
+            threads,
+        }
+    }
+
+    /// Total committed micro-ops across threads.
+    pub fn committed(&self) -> u64 {
+        self.threads.iter().map(|t| t.committed).sum()
+    }
+
+    /// Total L1 (I+D) misses across threads.
+    pub fn l1_misses(&self) -> u64 {
+        self.threads
+            .iter()
+            .map(|t| t.l1d_misses + t.l1i_misses)
+            .sum()
+    }
+
+    /// Total conditional branches fetched across threads.
+    pub fn cond_branches(&self) -> u64 {
+        self.threads.iter().map(|t| t.cond_branches).sum()
+    }
+
+    /// Total mispredictions across threads.
+    pub fn mispredicts(&self) -> u64 {
+        self.threads.iter().map(|t| t.mispredicts).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
+    fn snapshot_delta_subtracts_cumulative_keeps_gauges() {
+        let early = CounterSnapshot {
+            cycle: 100,
+            threads: vec![ThreadCounters {
+                committed: 50,
+                l1d_misses: 4,
+                cond_branches: 10,
+                front_end_occ: 2,
+                recent_stalls: 8,
+                ..Default::default()
+            }],
+        };
+        let late = CounterSnapshot {
+            cycle: 300,
+            threads: vec![ThreadCounters {
+                committed: 150,
+                l1d_misses: 9,
+                cond_branches: 25,
+                front_end_occ: 6,
+                recent_stalls: 3,
+                ..Default::default()
+            }],
+        };
+        let d = early.delta(&late);
+        assert_eq!(d.cycle, 200);
+        assert_eq!(d.committed(), 100);
+        assert_eq!(d.l1_misses(), 5);
+        assert_eq!(d.cond_branches(), 15);
+        assert_eq!(d.threads[0].front_end_occ, 6, "gauges take the later value");
+        assert_eq!(
+            d.threads[0].recent_stalls, 3,
+            "decayed counters take the later value"
+        );
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let s = CounterSnapshot {
+            cycle: 42,
+            threads: vec![ThreadCounters {
+                committed: 7,
+                iq_occ: 3,
+                ..Default::default()
+            }],
+        };
+        let text = serde::json::to_string(&s);
+        let back: CounterSnapshot = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
     fn decay_halves_recent_only() {
-        let mut c = ThreadCounters { recent_l1d_misses: 9, committed: 100, ..Default::default() };
+        let mut c = ThreadCounters {
+            recent_l1d_misses: 9,
+            committed: 100,
+            ..Default::default()
+        };
         c.decay();
         assert_eq!(c.recent_l1d_misses, 4);
         assert_eq!(c.committed, 100, "cumulative counters must not decay");
@@ -152,13 +287,20 @@ mod tests {
 
     #[test]
     fn icount_key_sums_frontend_and_iq() {
-        let c = ThreadCounters { front_end_occ: 3, iq_occ: 5, ..Default::default() };
+        let c = ThreadCounters {
+            front_end_occ: 3,
+            iq_occ: 5,
+            ..Default::default()
+        };
         assert_eq!(c.icount_key(), 8);
     }
 
     #[test]
     fn acc_ipc_handles_zero_cycles() {
-        let c = ThreadCounters { committed: 10, ..Default::default() };
+        let c = ThreadCounters {
+            committed: 10,
+            ..Default::default()
+        };
         assert_eq!(c.acc_ipc_milli(0), 0);
         assert_eq!(c.acc_ipc_milli(10), 1000);
     }

@@ -44,6 +44,6 @@ pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{Cache, Hierarchy, MemAccessResult};
 pub use chooser::{FetchChooser, FnChooser, RoundRobin};
 pub use config::{CacheGeometry, SimConfig};
-pub use counters::{PolicyView, ThreadCounters};
+pub use counters::{CounterSnapshot, PolicyView, ThreadCounters};
 pub use machine::{GlobalCounters, SmtMachine};
 pub use trace::{TraceBuffer, TraceEvent};

@@ -27,7 +27,7 @@ use crate::bpred::BranchPredictor;
 use crate::cache::Hierarchy;
 use crate::chooser::FetchChooser;
 use crate::config::SimConfig;
-use crate::counters::{PolicyView, ThreadCounters};
+use crate::counters::{CounterSnapshot, PolicyView, ThreadCounters};
 use crate::inflight::{find_seq, InFlight, Stage};
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::wrongpath::WrongPathGen;
@@ -153,7 +153,11 @@ impl SmtMachine {
     /// must equal `cfg.threads`.
     pub fn new(cfg: SimConfig, streams: Vec<UopStream>) -> Self {
         cfg.validate().expect("invalid SimConfig");
-        assert_eq!(streams.len(), cfg.threads, "one stream per configured context");
+        assert_eq!(
+            streams.len(),
+            cfg.threads,
+            "one stream per configured context"
+        );
         let threads = streams
             .into_iter()
             .enumerate()
@@ -223,6 +227,16 @@ impl SmtMachine {
 
     pub fn counters(&self, tid: Tid) -> &ThreadCounters {
         &self.threads[tid.idx()].counters
+    }
+
+    /// Copy every thread's status indicators at the current cycle, for
+    /// telemetry export and per-interval deltas
+    /// ([`crate::counters::CounterSnapshot::delta`]).
+    pub fn counter_snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            cycle: self.cycle,
+            threads: self.threads.iter().map(|t| t.counters.clone()).collect(),
+        }
     }
 
     /// Committed instructions across all threads.
@@ -339,10 +353,20 @@ impl SmtMachine {
                 // window borrow (MicroOp is Copy).
                 let uop = op.uop;
                 if let Some(t) = &mut trace {
-                    t.push(TraceEvent::Complete { cycle: now, tid: ctx.tid, seq: op.seq });
+                    t.push(TraceEvent::Complete {
+                        cycle: now,
+                        tid: ctx.tid,
+                        seq: op.seq,
+                    });
                 }
-                let (wrong_path, mispredicted, dmiss, seq, pht_index, hist) =
-                    (op.wrong_path, op.mispredicted, op.dmiss, op.seq, op.pht_index, op.history_at_fetch);
+                let (wrong_path, mispredicted, dmiss, seq, pht_index, hist) = (
+                    op.wrong_path,
+                    op.mispredicted,
+                    op.dmiss,
+                    op.seq,
+                    op.pht_index,
+                    op.history_at_fetch,
+                );
                 match uop.kind {
                     OpKind::Branch => {
                         if uop.is_cond_branch() {
@@ -355,8 +379,8 @@ impl SmtMachine {
                                     self.bpred.train(uop.pc, pht_index, b.taken);
                                 }
                                 if mispredicted {
-                                    let outcome = (b.kind == BranchKind::Conditional)
-                                        .then_some(b.taken);
+                                    let outcome =
+                                        (b.kind == BranchKind::Conditional).then_some(b.taken);
                                     squashes.push((ti, seq, hist, outcome));
                                 }
                             }
@@ -438,7 +462,8 @@ impl SmtMachine {
         self.int_iq.retain(|q| !(q.tid == tid && q.seq >= min_gone));
         self.fp_iq.retain(|q| !(q.tid == tid && q.seq >= min_gone));
         self.lsq.retain(|e| !(e.tid == tid && e.seq >= min_gone));
-        self.dispatch_fifo.retain(|q| !(q.tid == tid && q.seq >= min_gone));
+        self.dispatch_fifo
+            .retain(|q| !(q.tid == tid && q.seq >= min_gone));
 
         let ctx = &mut self.threads[ti];
         ctx.wrong_path_since = None;
@@ -449,7 +474,12 @@ impl SmtMachine {
         let n_victims = victims.len();
         self.global.squashes += 1;
         if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Squash { cycle: now, tid, after_seq: seq, victims: n_victims });
+            t.push(TraceEvent::Squash {
+                cycle: now,
+                tid,
+                after_seq: seq,
+                victims: n_victims,
+            });
         }
         // Rebuild the rename map from the surviving window.
         ctx.rename = [None; 64];
@@ -473,7 +503,9 @@ impl SmtMachine {
             let ti = (start + k) % n;
             while budget > 0 {
                 let ctx = &mut self.threads[ti];
-                let Some(head) = ctx.window.front() else { break };
+                let Some(head) = ctx.window.front() else {
+                    break;
+                };
                 if !head.is_done() {
                     break;
                 }
@@ -483,7 +515,11 @@ impl SmtMachine {
                 ctx.counters.committed += 1;
                 self.global.committed += 1;
                 if let Some(t) = &mut self.trace {
-                    t.push(TraceEvent::Commit { cycle: self.cycle, tid: ctx.tid, seq: op.seq });
+                    t.push(TraceEvent::Commit {
+                        cycle: self.cycle,
+                        tid: ctx.tid,
+                        seq: op.seq,
+                    });
                 }
                 if let Some(d) = op.uop.dst {
                     match d.class {
@@ -493,8 +529,10 @@ impl SmtMachine {
                 }
                 let tid = ctx.tid;
                 if op.uop.kind.is_mem() {
-                    if let Some(pos) =
-                        self.lsq.iter().position(|e| e.tid == tid && e.seq == op.seq)
+                    if let Some(pos) = self
+                        .lsq
+                        .iter()
+                        .position(|e| e.tid == tid && e.seq == op.seq)
                     {
                         self.lsq.swap_remove(pos);
                     }
@@ -661,7 +699,12 @@ impl SmtMachine {
         ctx.window[i].stage = Stage::Executing { done_at };
         ctx.min_done_at = ctx.min_done_at.min(done_at);
         ctx.counters.iq_occ -= 1;
-        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at });
+        self.trace_push(TraceEvent::Issue {
+            cycle: now,
+            tid: q.tid,
+            seq: q.seq,
+            done_at,
+        });
         true
     }
 
@@ -700,7 +743,12 @@ impl SmtMachine {
         if l2_miss {
             ctx.counters.l2_misses += 1;
         }
-        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at: now + lat });
+        self.trace_push(TraceEvent::Issue {
+            cycle: now,
+            tid: q.tid,
+            seq: q.seq,
+            done_at: now + lat,
+        });
         true
     }
 
@@ -727,7 +775,12 @@ impl SmtMachine {
         if r.l2_miss {
             ctx.counters.l2_misses += 1;
         }
-        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at: now + 1 });
+        self.trace_push(TraceEvent::Issue {
+            cycle: now,
+            tid: q.tid,
+            seq: q.seq,
+            done_at: now + 1,
+        });
         true
     }
 
@@ -758,7 +811,12 @@ impl SmtMachine {
         ctx.window[i].stage = Stage::Executing { done_at };
         ctx.min_done_at = ctx.min_done_at.min(done_at);
         ctx.counters.iq_occ -= 1;
-        self.trace_push(TraceEvent::Issue { cycle: now, tid: q.tid, seq: q.seq, done_at });
+        self.trace_push(TraceEvent::Issue {
+            cycle: now,
+            tid: q.tid,
+            seq: q.seq,
+            done_at,
+        });
         true
     }
 
@@ -770,7 +828,9 @@ impl SmtMachine {
         let now = self.cycle;
         let mut budget = self.cfg.dispatch_width;
         while budget > 0 {
-            let Some(&QRef { tid, seq }) = self.dispatch_fifo.front() else { break };
+            let Some(&QRef { tid, seq }) = self.dispatch_fifo.front() else {
+                break;
+            };
             let ti = tid.idx();
             let Some(i) = find_seq(&self.threads[ti].window, seq) else {
                 // Squashed while queued for decode; skip the bubble.
@@ -826,10 +886,19 @@ impl SmtMachine {
                 self.int_iq.push(QRef { tid, seq });
             }
             if let Some(a8) = addr8 {
-                self.lsq.push(LsqEntry { tid, seq, addr8: a8, is_store });
+                self.lsq.push(LsqEntry {
+                    tid,
+                    seq,
+                    addr8: a8,
+                    is_store,
+                });
             }
             self.dispatch_fifo.pop_front();
-            self.trace_push(TraceEvent::Dispatch { cycle: now, tid, seq });
+            self.trace_push(TraceEvent::Dispatch {
+                cycle: now,
+                tid,
+                seq,
+            });
             budget -= 1;
         }
     }
@@ -886,7 +955,11 @@ impl SmtMachine {
                 break;
             }
             let wrong_path = ctx.wrong_path_since.is_some();
-            let pc = if wrong_path { ctx.wp_pc } else { ctx.stream.current_pc() };
+            let pc = if wrong_path {
+                ctx.wp_pc
+            } else {
+                ctx.stream.current_pc()
+            };
             // One I-cache line per thread per cycle.
             let this_line = pc / line_bytes;
             match line {
@@ -938,7 +1011,9 @@ impl SmtMachine {
                 uop,
                 wrong_path,
                 deps: [dep1, dep2],
-                stage: Stage::FrontEnd { ready_at: now + self.cfg.front_end_latency },
+                stage: Stage::FrontEnd {
+                    ready_at: now + self.cfg.front_end_latency,
+                },
                 mispredicted: false,
                 dmiss: false,
                 pht_index: 0,
@@ -969,7 +1044,9 @@ impl SmtMachine {
                 if uop.is_cond_branch() {
                     ctx.counters.inflight_branches += 1;
                 }
-                let pred = self.bpred.predict(tid, uop.pc, b.kind, b.taken, !wrong_path);
+                let pred = self
+                    .bpred
+                    .predict(tid, uop.pc, b.kind, b.taken, !wrong_path);
                 inflight.pht_index = pred.pht_index;
                 inflight.history_at_fetch = pred.history_at_fetch;
                 let mispredict = match b.kind {
@@ -1002,7 +1079,13 @@ impl SmtMachine {
             let kind = inflight.uop.kind;
             self.threads[tid.idx()].window.push_back(inflight);
             self.dispatch_fifo.push_back(QRef { tid, seq });
-            self.trace_push(TraceEvent::Fetch { cycle: now, tid, seq, kind, wrong_path });
+            self.trace_push(TraceEvent::Fetch {
+                cycle: now,
+                tid,
+                seq,
+                kind,
+                wrong_path,
+            });
             fetched += 1;
             if stop_after {
                 break;
@@ -1204,20 +1287,38 @@ impl SmtMachine {
                 }
             }
             let c = &ctx.counters;
-            assert_eq!(c.front_end_occ, fe, "front_end_occ gauge drift on {}", ctx.tid);
+            assert_eq!(
+                c.front_end_occ, fe,
+                "front_end_occ gauge drift on {}",
+                ctx.tid
+            );
             assert_eq!(c.iq_occ, iq, "iq_occ gauge drift on {}", ctx.tid);
-            assert_eq!(c.inflight_branches, brs, "branch gauge drift on {}", ctx.tid);
+            assert_eq!(
+                c.inflight_branches, brs,
+                "branch gauge drift on {}",
+                ctx.tid
+            );
             assert_eq!(c.inflight_loads, lds, "load gauge drift on {}", ctx.tid);
             assert_eq!(c.inflight_mem, mems, "mem gauge drift on {}", ctx.tid);
-            assert_eq!(c.outstanding_dmiss, dmiss, "dmiss gauge drift on {}", ctx.tid);
+            assert_eq!(
+                c.outstanding_dmiss, dmiss,
+                "dmiss gauge drift on {}",
+                ctx.tid
+            );
         }
         assert_eq!(self.int_iq.len(), int_q, "int IQ ref-count drift");
         assert_eq!(self.fp_iq.len(), fp_q, "fp IQ ref-count drift");
         assert!(self.int_iq.len() <= self.cfg.int_iq_size, "int IQ overflow");
         assert!(self.fp_iq.len() <= self.cfg.fp_iq_size, "fp IQ overflow");
         assert!(self.lsq.len() <= self.cfg.lsq_size, "LSQ overflow");
-        assert!(self.free_int_regs <= self.cfg.extra_phys_int, "int reg over-free");
-        assert!(self.free_fp_regs <= self.cfg.extra_phys_fp, "fp reg over-free");
+        assert!(
+            self.free_int_regs <= self.cfg.extra_phys_int,
+            "int reg over-free"
+        );
+        assert!(
+            self.free_fp_regs <= self.cfg.extra_phys_fp,
+            "fp reg over-free"
+        );
     }
 }
 
@@ -1246,7 +1347,11 @@ mod tests {
     fn makes_forward_progress() {
         let mut m = machine(4, 1);
         m.run(5_000, &mut RoundRobin);
-        assert!(m.total_committed() > 1_000, "committed {}", m.total_committed());
+        assert!(
+            m.total_committed() > 1_000,
+            "committed {}",
+            m.total_committed()
+        );
         for t in 0..4 {
             assert!(m.counters(Tid(t)).committed > 0, "thread {t} starved");
         }
@@ -1305,7 +1410,11 @@ mod tests {
         // The default profile's 64 KiB working set exceeds the shared L1D,
         // so misses are plentiful — but strided reuse must keep the ratio
         // well below a pure-streaming 100%.
-        assert!(m.mem.l1d.miss_ratio() < 0.85, "L1D miss ratio {}", m.mem.l1d.miss_ratio());
+        assert!(
+            m.mem.l1d.miss_ratio() < 0.85,
+            "L1D miss ratio {}",
+            m.mem.l1d.miss_ratio()
+        );
         assert!(m.mem.l1d.miss_ratio() > 0.0);
     }
 
@@ -1438,7 +1547,10 @@ mod characterization {
             }
         }
         let acc = correct as f64 / n as f64;
-        assert!(acc > 0.80, "predictor accuracy {acc} below the realistic band");
+        assert!(
+            acc > 0.80,
+            "predictor accuracy {acc} below the realistic band"
+        );
     }
 
     #[test]

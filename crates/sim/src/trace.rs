@@ -14,18 +14,34 @@ use std::collections::VecDeque;
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// An op entered the window at fetch.
-    Fetch { cycle: u64, tid: Tid, seq: u64, kind: OpKind, wrong_path: bool },
+    Fetch {
+        cycle: u64,
+        tid: Tid,
+        seq: u64,
+        kind: OpKind,
+        wrong_path: bool,
+    },
     /// An op left the decode pipe into an instruction queue.
     Dispatch { cycle: u64, tid: Tid, seq: u64 },
     /// An op began executing.
-    Issue { cycle: u64, tid: Tid, seq: u64, done_at: u64 },
+    Issue {
+        cycle: u64,
+        tid: Tid,
+        seq: u64,
+        done_at: u64,
+    },
     /// An op finished executing.
     Complete { cycle: u64, tid: Tid, seq: u64 },
     /// An op retired.
     Commit { cycle: u64, tid: Tid, seq: u64 },
     /// A mispredict recovery removed every op of `tid` younger than
     /// `after_seq` (`victims` of them).
-    Squash { cycle: u64, tid: Tid, after_seq: u64, victims: usize },
+    Squash {
+        cycle: u64,
+        tid: Tid,
+        after_seq: u64,
+        victims: usize,
+    },
 }
 
 impl TraceEvent {
@@ -66,7 +82,11 @@ pub struct TraceBuffer {
 impl TraceBuffer {
     pub fn new(cap: usize) -> Self {
         assert!(cap > 0, "zero-capacity trace");
-        TraceBuffer { cap, ring: VecDeque::with_capacity(cap.min(4096)), recorded: 0 }
+        TraceBuffer {
+            cap,
+            ring: VecDeque::with_capacity(cap.min(4096)),
+            recorded: 0,
+        }
     }
 
     #[inline]
@@ -93,7 +113,11 @@ impl TraceBuffer {
 
     /// Retained events for one thread, oldest first.
     pub fn for_thread(&self, tid: Tid) -> Vec<TraceEvent> {
-        self.ring.iter().copied().filter(|e| e.tid() == tid).collect()
+        self.ring
+            .iter()
+            .copied()
+            .filter(|e| e.tid() == tid)
+            .collect()
     }
 }
 
@@ -102,7 +126,13 @@ mod tests {
     use super::*;
 
     fn ev(cycle: u64, tid: u8, seq: u64) -> TraceEvent {
-        TraceEvent::Fetch { cycle, tid: Tid(tid), seq, kind: OpKind::IntAlu, wrong_path: false }
+        TraceEvent::Fetch {
+            cycle,
+            tid: Tid(tid),
+            seq,
+            kind: OpKind::IntAlu,
+            wrong_path: false,
+        }
     }
 
     #[test]

@@ -48,8 +48,14 @@ impl WrongPathGen {
     pub fn next(&mut self, pc: u64) -> MicroOp {
         let r = self.rng.next_f64();
         self.next_dst = (self.next_dst + 1) % 24;
-        let dst = ArchReg { class: RegClass::Int, idx: 2 + self.next_dst };
-        let src = ArchReg { class: RegClass::Int, idx: 2 + (self.next_dst + 11) % 24 };
+        let dst = ArchReg {
+            class: RegClass::Int,
+            idx: 2 + self.next_dst,
+        };
+        let src = ArchReg {
+            class: RegClass::Int,
+            idx: 2 + (self.next_dst + 11) % 24,
+        };
         if r < 0.55 {
             MicroOp {
                 kind: OpKind::IntAlu,
@@ -97,7 +103,11 @@ impl WrongPathGen {
                 src1: Some(src),
                 src2: None,
                 mem: None,
-                branch: Some(BranchInfo { kind: BranchKind::Conditional, taken, target: pc + 32 }),
+                branch: Some(BranchInfo {
+                    kind: BranchKind::Conditional,
+                    taken,
+                    target: pc + 32,
+                }),
             }
         } else {
             MicroOp {

@@ -37,7 +37,10 @@ fn load(pc: u64, dst: u8, addr: u64) -> MicroOp {
         dst: Some(ArchReg::int(dst)),
         src1: None,
         src2: None,
-        mem: Some(MemInfo { addr: BASE | addr, size: 8 }),
+        mem: Some(MemInfo {
+            addr: BASE | addr,
+            size: 8,
+        }),
         branch: None,
     }
 }
@@ -49,7 +52,10 @@ fn store(pc: u64, addr: u64) -> MicroOp {
         dst: None,
         src1: None,
         src2: None,
-        mem: Some(MemInfo { addr: BASE | addr, size: 8 }),
+        mem: Some(MemInfo {
+            addr: BASE | addr,
+            size: 8,
+        }),
         branch: None,
     }
 }
@@ -79,7 +85,10 @@ fn unpipelined_divider_serializes() {
     // Back-to-back independent divides vs back-to-back independent ALUs:
     // the single divider must make the div script far slower.
     let divs: Vec<MicroOp> = (0..4u8)
-        .map(|i| MicroOp { kind: OpKind::IntDiv, ..alu(4 * i as u64, 10 + i, None) })
+        .map(|i| MicroOp {
+            kind: OpKind::IntDiv,
+            ..alu(4 * i as u64, 10 + i, None)
+        })
         .collect();
     let alus: Vec<MicroOp> = (0..4u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
     let mut md = machine_with(divs, SimConfig::with_threads(1));
@@ -94,7 +103,10 @@ fn unpipelined_divider_serializes() {
     );
     // The divider bounds throughput at ~1 per lat_int_div cycles.
     let max_div_ipc = 1.0 / md.config().lat_int_div as f64;
-    assert!(div_ipc <= max_div_ipc * 1.2, "div ipc {div_ipc} above divider bound");
+    assert!(
+        div_ipc <= max_div_ipc * 1.2,
+        "div ipc {div_ipc} above divider bound"
+    );
 }
 
 #[test]
@@ -104,7 +116,10 @@ fn register_exhaustion_throttles_but_never_deadlocks() {
     let script: Vec<MicroOp> = (0..8u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
     let mut m = machine_with(script, cfg);
     m.run(3_000, &mut RoundRobin);
-    assert!(m.counters(Tid(0)).committed > 500, "deadlocked on tiny register file");
+    assert!(
+        m.counters(Tid(0)).committed > 500,
+        "deadlocked on tiny register file"
+    );
     m.check_invariants();
 }
 
@@ -159,20 +174,30 @@ fn taken_branch_ends_the_fetch_group() {
         src1: None,
         src2: None,
         mem: None,
-        branch: Some(BranchInfo { kind: BranchKind::Unconditional, taken: true, target: BASE }),
+        branch: Some(BranchInfo {
+            kind: BranchKind::Unconditional,
+            taken: true,
+            target: BASE,
+        }),
     };
     let mut m = machine_with(vec![br], SimConfig::with_threads(1));
     m.run(1_000, &mut RoundRobin);
     let c = m.counters(Tid(0));
     let per_cycle = (c.fetched + c.wrongpath_fetched) as f64 / m.cycle() as f64;
-    assert!(per_cycle <= 1.05, "fetched {per_cycle} branches/cycle past a taken branch");
+    assert!(
+        per_cycle <= 1.05,
+        "fetched {per_cycle} branches/cycle past a taken branch"
+    );
 }
 
 #[test]
 fn syscall_drains_and_costs_its_latency() {
     let script = vec![
         alu(0x0, 10, None),
-        MicroOp { kind: OpKind::Syscall, ..MicroOp::nop(BASE | 0x4) },
+        MicroOp {
+            kind: OpKind::Syscall,
+            ..MicroOp::nop(BASE | 0x4)
+        },
         alu(0x8, 11, None),
     ];
     let mut m = machine_with(script, SimConfig::with_threads(1));
@@ -192,7 +217,11 @@ fn syscall_drains_and_costs_its_latency() {
 
 #[test]
 fn flush_thread_releases_everything() {
-    let script = vec![load(0x0, 3, 0x5000), alu(0x4, 4, Some(3)), store(0x8, 0x6000)];
+    let script = vec![
+        load(0x0, 3, 0x5000),
+        alu(0x4, 4, Some(3)),
+        store(0x8, 0x6000),
+    ];
     let mut m = machine_with(script, SimConfig::with_threads(1));
     m.run(100, &mut RoundRobin);
     assert!(m.total_inflight() > 0);
@@ -244,7 +273,10 @@ fn trace_records_full_op_lifecycles() {
     assert_eq!(stages_of_seq0, vec!["F", "D", "I", "X", "C"]);
     // Event cycles are non-decreasing.
     let cycles: Vec<u64> = trace.events().map(|e| e.cycle()).collect();
-    assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "trace out of order");
+    assert!(
+        cycles.windows(2).all(|w| w[0] <= w[1]),
+        "trace out of order"
+    );
 }
 
 #[test]

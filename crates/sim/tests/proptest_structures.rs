@@ -9,7 +9,12 @@ fn arb_geom() -> impl Strategy<Value = CacheGeometry> {
         let line_bytes = 1usize << log_line;
         let ways = 1usize << log_ways;
         let sets = 1usize << (log_sets_extra + 2);
-        CacheGeometry { size_bytes: sets * ways * line_bytes, line_bytes, ways, hit_latency: 1 }
+        CacheGeometry {
+            size_bytes: sets * ways * line_bytes,
+            line_bytes,
+            ways,
+            hit_latency: 1,
+        }
     })
 }
 

@@ -21,7 +21,13 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(hi > lo, "empty range");
         assert!(bins > 0, "zero bins");
-        Histogram { lo, hi, counts: vec![0; bins], n: 0, sum: 0.0 }
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            n: 0,
+            sum: 0.0,
+        }
     }
 
     /// Index of the bin `x` falls into (clamped).

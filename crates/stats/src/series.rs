@@ -71,7 +71,11 @@ impl RunSeries {
         if judged == 0 {
             return None;
         }
-        let benign = self.switches.iter().filter(|s| s.benign == Some(true)).count();
+        let benign = self
+            .switches
+            .iter()
+            .filter(|s| s.benign == Some(true))
+            .count();
         Some(benign as f64 / judged as f64)
     }
 
@@ -106,7 +110,10 @@ mod tests {
 
     #[test]
     fn aggregate_ipc_weights_by_cycles() {
-        let s = RunSeries { quanta: vec![q(0, 100, 100), q(1, 300, 900)], switches: vec![] };
+        let s = RunSeries {
+            quanta: vec![q(0, 100, 100), q(1, 300, 900)],
+            switches: vec![],
+        };
         // (100+900)/(100+300) = 2.5, not the mean of 1.0 and 3.0.
         assert!((s.aggregate_ipc() - 2.5).abs() < 1e-12);
     }
@@ -123,9 +130,24 @@ mod tests {
         let s = RunSeries {
             quanta: vec![q(0, 1, 1)],
             switches: vec![
-                SwitchEvent { quantum: 0, from: "A".into(), to: "B".into(), benign: Some(true) },
-                SwitchEvent { quantum: 1, from: "B".into(), to: "A".into(), benign: Some(false) },
-                SwitchEvent { quantum: 2, from: "A".into(), to: "B".into(), benign: None },
+                SwitchEvent {
+                    quantum: 0,
+                    from: "A".into(),
+                    to: "B".into(),
+                    benign: Some(true),
+                },
+                SwitchEvent {
+                    quantum: 1,
+                    from: "B".into(),
+                    to: "A".into(),
+                    benign: Some(false),
+                },
+                SwitchEvent {
+                    quantum: 2,
+                    from: "A".into(),
+                    to: "B".into(),
+                    benign: None,
+                },
             ],
         };
         assert_eq!(s.judged_switches(), 2);

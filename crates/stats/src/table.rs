@@ -84,7 +84,14 @@ impl Table {
                 s.to_string()
             }
         };
-        body.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        body.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         body.push('\n');
         for row in &self.rows {
             body.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));

@@ -23,13 +23,22 @@ pub fn render_timeline(series: &RunSeries) -> String {
     if series.quanta.is_empty() {
         return String::from("(empty series)\n");
     }
-    let max = series.quanta.iter().map(|q| q.ipc).fold(f64::MIN, f64::max).max(1e-9);
+    let max = series
+        .quanta
+        .iter()
+        .map(|q| q.ipc)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     let ipc_line: String = series
         .quanta
         .iter()
         .map(|q| LEVELS[((q.ipc / max * 7.0).round() as usize).min(7)])
         .collect();
-    let policy_line: String = series.quanta.iter().map(|q| policy_char(&q.policy)).collect();
+    let policy_line: String = series
+        .quanta
+        .iter()
+        .map(|q| policy_char(&q.policy))
+        .collect();
     let mut marks = vec![' '; series.quanta.len()];
     for s in &series.switches {
         // The switch decided at quantum q takes effect in q+1.
@@ -43,9 +52,7 @@ pub fn render_timeline(series: &RunSeries) -> String {
         }
     }
     let mark_line: String = marks.into_iter().collect();
-    format!(
-        "ipc    {ipc_line}  (max {max:.2})\npolicy {policy_line}\nswitch {mark_line}\n"
-    )
+    format!("ipc    {ipc_line}  (max {max:.2})\npolicy {policy_line}\nswitch {mark_line}\n")
 }
 
 #[cfg(test)]
@@ -67,7 +74,11 @@ mod tests {
             idle_fetch_rate: 0.0,
         };
         RunSeries {
-            quanta: vec![q(0, 1.0, "ICOUNT"), q(1, 2.0, "BRCOUNT"), q(2, 0.5, "L1MISSCOUNT")],
+            quanta: vec![
+                q(0, 1.0, "ICOUNT"),
+                q(1, 2.0, "BRCOUNT"),
+                q(2, 0.5, "L1MISSCOUNT"),
+            ],
             switches: vec![SwitchEvent {
                 quantum: 0,
                 from: "ICOUNT".into(),

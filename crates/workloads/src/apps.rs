@@ -44,11 +44,21 @@ pub fn app(name: &str) -> AppProfile {
     match name {
         // ---------------- integer ----------------
         "gzip" => b
-            .class(A::Int).ipc_class(I::High).footprint(F::Small)
-            .branch_frac(0.11).load_frac(0.20).store_frac(0.08)
-            .data_ws_bytes(192 * KB).cold_frac(0.015).stride_frac(0.65)
-            .code_bytes(8 * KB).branch_bias(0.93).pattern_frac(0.6)
-            .mean_dep_dist(3.6).addr_indep_frac(0.7).src_indep_frac(0.3)
+            .class(A::Int)
+            .ipc_class(I::High)
+            .footprint(F::Small)
+            .branch_frac(0.11)
+            .load_frac(0.20)
+            .store_frac(0.08)
+            .data_ws_bytes(192 * KB)
+            .cold_frac(0.015)
+            .stride_frac(0.65)
+            .code_bytes(8 * KB)
+            .branch_bias(0.93)
+            .pattern_frac(0.6)
+            .mean_dep_dist(3.6)
+            .addr_indep_frac(0.7)
+            .src_indep_frac(0.3)
             .phases(vec![
                 // compress (compute) / flush (memory) alternation
                 Phase::neutral(400_000),
@@ -56,10 +66,18 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "vpr" => b
-            .class(A::Int).ipc_class(I::Medium).footprint(F::Medium)
-            .branch_frac(0.13).load_frac(0.26).store_frac(0.08)
-            .data_ws_bytes(2 * MB).cold_frac(0.03).stride_frac(0.35)
-            .code_bytes(32 * KB).branch_bias(0.86).pattern_frac(0.35)
+            .class(A::Int)
+            .ipc_class(I::Medium)
+            .footprint(F::Medium)
+            .branch_frac(0.13)
+            .load_frac(0.26)
+            .store_frac(0.08)
+            .data_ws_bytes(2 * MB)
+            .cold_frac(0.03)
+            .stride_frac(0.35)
+            .code_bytes(32 * KB)
+            .branch_bias(0.86)
+            .pattern_frac(0.35)
             .mean_dep_dist(2.8)
             .phases(vec![
                 // annealing: data-dependent accept/reject branch storms
@@ -68,10 +86,19 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "gcc" => b
-            .class(A::Int).ipc_class(I::Medium).footprint(F::Medium)
-            .branch_frac(0.17).jump_frac(0.04).load_frac(0.24).store_frac(0.12)
-            .data_ws_bytes(MB).cold_frac(0.04).stride_frac(0.3)
-            .code_bytes(256 * KB).branch_bias(0.88).pattern_frac(0.4)
+            .class(A::Int)
+            .ipc_class(I::Medium)
+            .footprint(F::Medium)
+            .branch_frac(0.17)
+            .jump_frac(0.04)
+            .load_frac(0.24)
+            .store_frac(0.12)
+            .data_ws_bytes(MB)
+            .cold_frac(0.04)
+            .stride_frac(0.3)
+            .code_bytes(256 * KB)
+            .branch_bias(0.88)
+            .pattern_frac(0.4)
             .mean_dep_dist(2.6)
             .phases(vec![
                 // parse (branch storm) / optimize (memory) / codegen
@@ -81,23 +108,56 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "mcf" => b
-            .class(A::Int).ipc_class(I::Low).footprint(F::Large)
-            .branch_frac(0.12).load_frac(0.30).store_frac(0.09)
-            .data_ws_bytes(16 * MB).cold_frac(0.30).stride_frac(0.1)
-            .code_bytes(4 * KB).branch_bias(0.90).pattern_frac(0.4)
-            .mean_dep_dist(1.8).addr_indep_frac(0.15).src_indep_frac(0.15)
+            .class(A::Int)
+            .ipc_class(I::Low)
+            .footprint(F::Large)
+            .branch_frac(0.12)
+            .load_frac(0.30)
+            .store_frac(0.09)
+            .data_ws_bytes(16 * MB)
+            .cold_frac(0.30)
+            .stride_frac(0.1)
+            .code_bytes(4 * KB)
+            .branch_bias(0.90)
+            .pattern_frac(0.4)
+            .mean_dep_dist(1.8)
+            .addr_indep_frac(0.15)
+            .src_indep_frac(0.15)
             .phases(vec![
                 // pointer-chase (pathological) / price-update (milder)
-                Phase { len_uops: 250_000, mem_pressure: 1.5, br_pressure: 1.0, ilp_scale: 0.9, predictability: 1.0 },
-                Phase { len_uops: 120_000, mem_pressure: 0.4, br_pressure: 1.1, ilp_scale: 1.3, predictability: 1.0 },
+                Phase {
+                    len_uops: 250_000,
+                    mem_pressure: 1.5,
+                    br_pressure: 1.0,
+                    ilp_scale: 0.9,
+                    predictability: 1.0,
+                },
+                Phase {
+                    len_uops: 120_000,
+                    mem_pressure: 0.4,
+                    br_pressure: 1.1,
+                    ilp_scale: 1.3,
+                    predictability: 1.0,
+                },
             ])
             .build(),
         "crafty" => b
-            .class(A::Int).ipc_class(I::High).footprint(F::Small)
-            .branch_frac(0.12).jump_frac(0.03).load_frac(0.24).store_frac(0.07)
-            .data_ws_bytes(512 * KB).cold_frac(0.01).stride_frac(0.3)
-            .code_bytes(64 * KB).branch_bias(0.91).pattern_frac(0.55)
-            .mean_dep_dist(3.8).addr_indep_frac(0.7).src_indep_frac(0.3)
+            .class(A::Int)
+            .ipc_class(I::High)
+            .footprint(F::Small)
+            .branch_frac(0.12)
+            .jump_frac(0.03)
+            .load_frac(0.24)
+            .store_frac(0.07)
+            .data_ws_bytes(512 * KB)
+            .cold_frac(0.01)
+            .stride_frac(0.3)
+            .code_bytes(64 * KB)
+            .branch_bias(0.91)
+            .pattern_frac(0.55)
+            .mean_dep_dist(3.8)
+            .addr_indep_frac(0.7)
+            .src_indep_frac(0.3)
             .phases(vec![
                 Phase::neutral(300_000),
                 // tactical-search explosions: evaluation branches go random
@@ -105,10 +165,18 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "parser" => b
-            .class(A::Int).ipc_class(I::Medium).footprint(F::Medium)
-            .branch_frac(0.15).load_frac(0.23).store_frac(0.10)
-            .data_ws_bytes(MB).cold_frac(0.05).stride_frac(0.25)
-            .code_bytes(48 * KB).branch_bias(0.87).pattern_frac(0.35)
+            .class(A::Int)
+            .ipc_class(I::Medium)
+            .footprint(F::Medium)
+            .branch_frac(0.15)
+            .load_frac(0.23)
+            .store_frac(0.10)
+            .data_ws_bytes(MB)
+            .cold_frac(0.05)
+            .stride_frac(0.25)
+            .code_bytes(48 * KB)
+            .branch_bias(0.87)
+            .pattern_frac(0.35)
             .mean_dep_dist(2.4)
             .phases(vec![
                 // ambiguous-sentence bursts: linkage search backtracks
@@ -117,10 +185,19 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "perlbmk" => b
-            .class(A::Int).ipc_class(I::Medium).footprint(F::Medium)
-            .branch_frac(0.16).jump_frac(0.05).load_frac(0.24).store_frac(0.12)
-            .data_ws_bytes(768 * KB).cold_frac(0.02).stride_frac(0.3)
-            .code_bytes(384 * KB).branch_bias(0.89).pattern_frac(0.45)
+            .class(A::Int)
+            .ipc_class(I::Medium)
+            .footprint(F::Medium)
+            .branch_frac(0.16)
+            .jump_frac(0.05)
+            .load_frac(0.24)
+            .store_frac(0.12)
+            .data_ws_bytes(768 * KB)
+            .cold_frac(0.02)
+            .stride_frac(0.3)
+            .code_bytes(384 * KB)
+            .branch_bias(0.89)
+            .pattern_frac(0.45)
             .mean_dep_dist(2.7)
             .syscall_per_muop(2.0)
             .phases(vec![
@@ -131,37 +208,79 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "gap" => b
-            .class(A::Int).ipc_class(I::Medium).footprint(F::Medium)
-            .branch_frac(0.12).load_frac(0.27).store_frac(0.09)
-            .data_ws_bytes(3 * MB).cold_frac(0.04).stride_frac(0.4)
-            .code_bytes(96 * KB).branch_bias(0.90).pattern_frac(0.5)
+            .class(A::Int)
+            .ipc_class(I::Medium)
+            .footprint(F::Medium)
+            .branch_frac(0.12)
+            .load_frac(0.27)
+            .store_frac(0.09)
+            .data_ws_bytes(3 * MB)
+            .cold_frac(0.04)
+            .stride_frac(0.4)
+            .code_bytes(96 * KB)
+            .branch_bias(0.90)
+            .pattern_frac(0.5)
             .mean_dep_dist(3.0)
             .build(),
         "vortex" => b
-            .class(A::Int).ipc_class(I::Medium).footprint(F::Large)
-            .branch_frac(0.14).jump_frac(0.04).load_frac(0.28).store_frac(0.13)
-            .data_ws_bytes(4 * MB).cold_frac(0.05).stride_frac(0.35)
-            .code_bytes(512 * KB).branch_bias(0.92).pattern_frac(0.55)
+            .class(A::Int)
+            .ipc_class(I::Medium)
+            .footprint(F::Large)
+            .branch_frac(0.14)
+            .jump_frac(0.04)
+            .load_frac(0.28)
+            .store_frac(0.13)
+            .data_ws_bytes(4 * MB)
+            .cold_frac(0.05)
+            .stride_frac(0.35)
+            .code_bytes(512 * KB)
+            .branch_bias(0.92)
+            .pattern_frac(0.55)
             .mean_dep_dist(2.9)
             .syscall_per_muop(1.0)
             .build(),
         "bzip2" => b
-            .class(A::Int).ipc_class(I::High).footprint(F::Medium)
-            .branch_frac(0.12).load_frac(0.22).store_frac(0.09)
-            .data_ws_bytes(4 * MB).cold_frac(0.03).stride_frac(0.55)
-            .code_bytes(8 * KB).branch_bias(0.90).pattern_frac(0.5)
-            .mean_dep_dist(3.4).addr_indep_frac(0.7).src_indep_frac(0.3)
+            .class(A::Int)
+            .ipc_class(I::High)
+            .footprint(F::Medium)
+            .branch_frac(0.12)
+            .load_frac(0.22)
+            .store_frac(0.09)
+            .data_ws_bytes(4 * MB)
+            .cold_frac(0.03)
+            .stride_frac(0.55)
+            .code_bytes(8 * KB)
+            .branch_bias(0.90)
+            .pattern_frac(0.5)
+            .mean_dep_dist(3.4)
+            .addr_indep_frac(0.7)
+            .src_indep_frac(0.3)
             .phases(vec![
                 Phase::neutral(350_000),
-                Phase { len_uops: 200_000, mem_pressure: 3.0, br_pressure: 1.2, ilp_scale: 0.8, predictability: 1.0 },
+                Phase {
+                    len_uops: 200_000,
+                    mem_pressure: 3.0,
+                    br_pressure: 1.2,
+                    ilp_scale: 0.8,
+                    predictability: 1.0,
+                },
             ])
             .build(),
         "twolf" => b
-            .class(A::Int).ipc_class(I::Low).footprint(F::Medium)
-            .branch_frac(0.14).load_frac(0.25).store_frac(0.08)
-            .data_ws_bytes(MB).cold_frac(0.06).stride_frac(0.2)
-            .code_bytes(48 * KB).branch_bias(0.85).pattern_frac(0.3)
-            .mean_dep_dist(2.2).addr_indep_frac(0.4)
+            .class(A::Int)
+            .ipc_class(I::Low)
+            .footprint(F::Medium)
+            .branch_frac(0.14)
+            .load_frac(0.25)
+            .store_frac(0.08)
+            .data_ws_bytes(MB)
+            .cold_frac(0.06)
+            .stride_frac(0.2)
+            .code_bytes(48 * KB)
+            .branch_bias(0.85)
+            .pattern_frac(0.3)
+            .mean_dep_dist(2.2)
+            .addr_indep_frac(0.4)
             .phases(vec![
                 Phase::branch_storm(200_000, 0.40),
                 Phase::neutral(180_000),
@@ -169,20 +288,42 @@ pub fn app(name: &str) -> AppProfile {
             .build(),
         // ---------------- floating point ----------------
         "wupwise" => b
-            .class(A::Fp).ipc_class(I::High).footprint(F::Medium)
-            .branch_frac(0.06).load_frac(0.24).store_frac(0.10).fp_frac(0.55)
+            .class(A::Fp)
+            .ipc_class(I::High)
+            .footprint(F::Medium)
+            .branch_frac(0.06)
+            .load_frac(0.24)
+            .store_frac(0.10)
+            .fp_frac(0.55)
             .mul_frac(0.12)
-            .data_ws_bytes(8 * MB).cold_frac(0.04).stride_frac(0.8)
-            .code_bytes(16 * KB).branch_bias(0.97).pattern_frac(0.8)
-            .mean_dep_dist(4.5).addr_indep_frac(0.85).src_indep_frac(0.35)
+            .data_ws_bytes(8 * MB)
+            .cold_frac(0.04)
+            .stride_frac(0.8)
+            .code_bytes(16 * KB)
+            .branch_bias(0.97)
+            .pattern_frac(0.8)
+            .mean_dep_dist(4.5)
+            .addr_indep_frac(0.85)
+            .src_indep_frac(0.35)
             .build(),
         "swim" => b
-            .class(A::Fp).ipc_class(I::Low).footprint(F::Large)
-            .branch_frac(0.03).load_frac(0.30).store_frac(0.14).fp_frac(0.65)
+            .class(A::Fp)
+            .ipc_class(I::Low)
+            .footprint(F::Large)
+            .branch_frac(0.03)
+            .load_frac(0.30)
+            .store_frac(0.14)
+            .fp_frac(0.65)
             .mul_frac(0.10)
-            .data_ws_bytes(16 * MB).cold_frac(0.35).stride_frac(0.95)
-            .code_bytes(4 * KB).branch_bias(0.99).pattern_frac(0.9)
-            .mean_dep_dist(5.0).addr_indep_frac(0.95).src_indep_frac(0.4)
+            .data_ws_bytes(16 * MB)
+            .cold_frac(0.35)
+            .stride_frac(0.95)
+            .code_bytes(4 * KB)
+            .branch_bias(0.99)
+            .pattern_frac(0.9)
+            .mean_dep_dist(5.0)
+            .addr_indep_frac(0.95)
+            .src_indep_frac(0.4)
             .phases(vec![
                 // full-grid sweeps / boundary updates
                 Phase::mem_storm(300_000, 1.5),
@@ -190,53 +331,120 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "mgrid" => b
-            .class(A::Fp).ipc_class(I::Medium).footprint(F::Large)
-            .branch_frac(0.03).load_frac(0.33).store_frac(0.08).fp_frac(0.6)
+            .class(A::Fp)
+            .ipc_class(I::Medium)
+            .footprint(F::Large)
+            .branch_frac(0.03)
+            .load_frac(0.33)
+            .store_frac(0.08)
+            .fp_frac(0.6)
             .mul_frac(0.14)
-            .data_ws_bytes(8 * MB).cold_frac(0.18).stride_frac(0.9)
-            .code_bytes(8 * KB).branch_bias(0.99).pattern_frac(0.9)
-            .mean_dep_dist(4.2).addr_indep_frac(0.9).src_indep_frac(0.35)
+            .data_ws_bytes(8 * MB)
+            .cold_frac(0.18)
+            .stride_frac(0.9)
+            .code_bytes(8 * KB)
+            .branch_bias(0.99)
+            .pattern_frac(0.9)
+            .mean_dep_dist(4.2)
+            .addr_indep_frac(0.9)
+            .src_indep_frac(0.35)
             .build(),
         "applu" => b
-            .class(A::Fp).ipc_class(I::Medium).footprint(F::Large)
-            .branch_frac(0.04).load_frac(0.28).store_frac(0.12).fp_frac(0.6)
-            .mul_frac(0.12).div_frac(0.01)
-            .data_ws_bytes(16 * MB).cold_frac(0.15).stride_frac(0.85)
-            .code_bytes(24 * KB).branch_bias(0.98).pattern_frac(0.85)
-            .mean_dep_dist(3.8).addr_indep_frac(0.85).src_indep_frac(0.3)
+            .class(A::Fp)
+            .ipc_class(I::Medium)
+            .footprint(F::Large)
+            .branch_frac(0.04)
+            .load_frac(0.28)
+            .store_frac(0.12)
+            .fp_frac(0.6)
+            .mul_frac(0.12)
+            .div_frac(0.01)
+            .data_ws_bytes(16 * MB)
+            .cold_frac(0.15)
+            .stride_frac(0.85)
+            .code_bytes(24 * KB)
+            .branch_bias(0.98)
+            .pattern_frac(0.85)
+            .mean_dep_dist(3.8)
+            .addr_indep_frac(0.85)
+            .src_indep_frac(0.3)
             .phases(vec![
                 Phase::mem_storm(250_000, 1.5),
                 Phase::mem_storm(200_000, 0.7),
             ])
             .build(),
         "mesa" => b
-            .class(A::Fp).ipc_class(I::High).footprint(F::Small)
-            .branch_frac(0.09).jump_frac(0.03).load_frac(0.23).store_frac(0.09).fp_frac(0.4)
+            .class(A::Fp)
+            .ipc_class(I::High)
+            .footprint(F::Small)
+            .branch_frac(0.09)
+            .jump_frac(0.03)
+            .load_frac(0.23)
+            .store_frac(0.09)
+            .fp_frac(0.4)
             .mul_frac(0.10)
-            .data_ws_bytes(512 * KB).cold_frac(0.01).stride_frac(0.6)
-            .code_bytes(96 * KB).branch_bias(0.94).pattern_frac(0.6)
-            .mean_dep_dist(4.0).addr_indep_frac(0.75).src_indep_frac(0.3)
+            .data_ws_bytes(512 * KB)
+            .cold_frac(0.01)
+            .stride_frac(0.6)
+            .code_bytes(96 * KB)
+            .branch_bias(0.94)
+            .pattern_frac(0.6)
+            .mean_dep_dist(4.0)
+            .addr_indep_frac(0.75)
+            .src_indep_frac(0.3)
             .build(),
         "art" => b
-            .class(A::Fp).ipc_class(I::Low).footprint(F::Large)
-            .branch_frac(0.09).load_frac(0.32).store_frac(0.06).fp_frac(0.5)
+            .class(A::Fp)
+            .ipc_class(I::Low)
+            .footprint(F::Large)
+            .branch_frac(0.09)
+            .load_frac(0.32)
+            .store_frac(0.06)
+            .fp_frac(0.5)
             .mul_frac(0.15)
-            .data_ws_bytes(4 * MB).cold_frac(0.40).stride_frac(0.5)
-            .code_bytes(4 * KB).branch_bias(0.95).pattern_frac(0.7)
-            .mean_dep_dist(2.0).addr_indep_frac(0.35)
+            .data_ws_bytes(4 * MB)
+            .cold_frac(0.40)
+            .stride_frac(0.5)
+            .code_bytes(4 * KB)
+            .branch_bias(0.95)
+            .pattern_frac(0.7)
+            .mean_dep_dist(2.0)
+            .addr_indep_frac(0.35)
             .phases(vec![
                 // scan (streaming, hostile) / match (compute)
-                Phase { len_uops: 300_000, mem_pressure: 1.3, br_pressure: 1.0, ilp_scale: 0.9, predictability: 1.0 },
-                Phase { len_uops: 100_000, mem_pressure: 0.3, br_pressure: 1.2, ilp_scale: 1.4, predictability: 1.0 },
+                Phase {
+                    len_uops: 300_000,
+                    mem_pressure: 1.3,
+                    br_pressure: 1.0,
+                    ilp_scale: 0.9,
+                    predictability: 1.0,
+                },
+                Phase {
+                    len_uops: 100_000,
+                    mem_pressure: 0.3,
+                    br_pressure: 1.2,
+                    ilp_scale: 1.4,
+                    predictability: 1.0,
+                },
             ])
             .build(),
         "equake" => b
-            .class(A::Fp).ipc_class(I::Low).footprint(F::Large)
-            .branch_frac(0.07).load_frac(0.34).store_frac(0.08).fp_frac(0.55)
+            .class(A::Fp)
+            .ipc_class(I::Low)
+            .footprint(F::Large)
+            .branch_frac(0.07)
+            .load_frac(0.34)
+            .store_frac(0.08)
+            .fp_frac(0.55)
             .mul_frac(0.13)
-            .data_ws_bytes(8 * MB).cold_frac(0.20).stride_frac(0.4)
-            .code_bytes(8 * KB).branch_bias(0.96).pattern_frac(0.7)
-            .mean_dep_dist(2.6).addr_indep_frac(0.4)
+            .data_ws_bytes(8 * MB)
+            .cold_frac(0.20)
+            .stride_frac(0.4)
+            .code_bytes(8 * KB)
+            .branch_bias(0.96)
+            .pattern_frac(0.7)
+            .mean_dep_dist(2.6)
+            .addr_indep_frac(0.4)
             .phases(vec![
                 // sparse matrix-vector sweeps / time integration
                 Phase::mem_storm(200_000, 1.8),
@@ -244,12 +452,23 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "ammp" => b
-            .class(A::Fp).ipc_class(I::Low).footprint(F::Large)
-            .branch_frac(0.08).load_frac(0.30).store_frac(0.09).fp_frac(0.6)
-            .mul_frac(0.14).div_frac(0.012)
-            .data_ws_bytes(16 * MB).cold_frac(0.12).stride_frac(0.3)
-            .code_bytes(16 * KB).branch_bias(0.93).pattern_frac(0.5)
-            .mean_dep_dist(2.4).addr_indep_frac(0.25)
+            .class(A::Fp)
+            .ipc_class(I::Low)
+            .footprint(F::Large)
+            .branch_frac(0.08)
+            .load_frac(0.30)
+            .store_frac(0.09)
+            .fp_frac(0.6)
+            .mul_frac(0.14)
+            .div_frac(0.012)
+            .data_ws_bytes(16 * MB)
+            .cold_frac(0.12)
+            .stride_frac(0.3)
+            .code_bytes(16 * KB)
+            .branch_bias(0.93)
+            .pattern_frac(0.5)
+            .mean_dep_dist(2.4)
+            .addr_indep_frac(0.25)
             .phases(vec![
                 // neighbour-list rebuilds / force evaluation
                 Phase::mem_storm(250_000, 2.0),
@@ -257,12 +476,23 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "lucas" => b
-            .class(A::Fp).ipc_class(I::Medium).footprint(F::Large)
-            .branch_frac(0.02).load_frac(0.28).store_frac(0.14).fp_frac(0.7)
+            .class(A::Fp)
+            .ipc_class(I::Medium)
+            .footprint(F::Large)
+            .branch_frac(0.02)
+            .load_frac(0.28)
+            .store_frac(0.14)
+            .fp_frac(0.7)
             .mul_frac(0.2)
-            .data_ws_bytes(16 * MB).cold_frac(0.22).stride_frac(0.95)
-            .code_bytes(4 * KB).branch_bias(0.99).pattern_frac(0.95)
-            .mean_dep_dist(4.8).addr_indep_frac(0.95).src_indep_frac(0.4)
+            .data_ws_bytes(16 * MB)
+            .cold_frac(0.22)
+            .stride_frac(0.95)
+            .code_bytes(4 * KB)
+            .branch_bias(0.99)
+            .pattern_frac(0.95)
+            .mean_dep_dist(4.8)
+            .addr_indep_frac(0.95)
+            .src_indep_frac(0.4)
             .phases(vec![
                 // FFT passes (strided, cache-hostile) / pointwise squaring
                 Phase::mem_storm(300_000, 1.4),
@@ -270,11 +500,21 @@ pub fn app(name: &str) -> AppProfile {
             ])
             .build(),
         "apsi" => b
-            .class(A::Fp).ipc_class(I::Medium).footprint(F::Medium)
-            .branch_frac(0.05).load_frac(0.27).store_frac(0.11).fp_frac(0.55)
-            .mul_frac(0.13).div_frac(0.008)
-            .data_ws_bytes(4 * MB).cold_frac(0.08).stride_frac(0.7)
-            .code_bytes(32 * KB).branch_bias(0.97).pattern_frac(0.8)
+            .class(A::Fp)
+            .ipc_class(I::Medium)
+            .footprint(F::Medium)
+            .branch_frac(0.05)
+            .load_frac(0.27)
+            .store_frac(0.11)
+            .fp_frac(0.55)
+            .mul_frac(0.13)
+            .div_frac(0.008)
+            .data_ws_bytes(4 * MB)
+            .cold_frac(0.08)
+            .stride_frac(0.7)
+            .code_bytes(32 * KB)
+            .branch_bias(0.97)
+            .pattern_frac(0.8)
             .mean_dep_dist(3.6)
             .build(),
         other => panic!("unknown application profile {other:?}"),
@@ -342,7 +582,10 @@ mod tests {
 
     #[test]
     fn most_apps_have_phases() {
-        let phased = app_names().iter().filter(|n| !app(n).phases.is_empty()).count();
+        let phased = app_names()
+            .iter()
+            .filter(|n| !app(n).phases.is_empty())
+            .count();
         assert!(phased >= 12, "want >=12 phased apps, got {phased}");
     }
 
@@ -352,6 +595,9 @@ mod tests {
             .iter()
             .filter(|n| app(n).phases.iter().any(|p| p.predictability < 1.0))
             .count();
-        assert!(stormy >= 5, "want >=5 apps with mispredict storms, got {stormy}");
+        assert!(
+            stormy >= 5,
+            "want >=5 apps with mispredict storms, got {stormy}"
+        );
     }
 }

@@ -19,6 +19,7 @@
 use crate::apps::app;
 use crate::seed::SplitMix64;
 use crate::stream::UopStream;
+use serde::Serialize;
 use smt_isa::AppProfile;
 use std::sync::Arc;
 
@@ -40,7 +41,10 @@ pub fn thread_addr_base(t: usize) -> u64 {
 pub const MIX_WIDTH: usize = 8;
 
 /// A named eight-application mixture.
-#[derive(Clone, Debug)]
+///
+/// `Serialize` (but not `Deserialize`: `description` is static text) so the
+/// sweep cache can key results on the *full* composition, not just the name.
+#[derive(Clone, Debug, Serialize)]
 pub struct Mix {
     /// `"MIX01"`-style identifier.
     pub name: String,
@@ -57,19 +61,84 @@ pub fn mix_names() -> Vec<String> {
 
 fn members(id: usize) -> (&'static str, [&'static str; MIX_WIDTH]) {
     match id {
-        1 => ("all-integer, balanced IPC", ["gzip", "vpr", "gcc", "mcf", "crafty", "parser", "gap", "bzip2"]),
-        2 => ("all floating-point, balanced IPC", ["wupwise", "swim", "mgrid", "applu", "mesa", "art", "equake", "apsi"]),
-        3 => ("even int/fp, high single-thread IPC", ["gzip", "crafty", "bzip2", "vortex", "wupwise", "mesa", "mgrid", "apsi"]),
-        4 => ("even int/fp, low single-thread IPC", ["mcf", "twolf", "vpr", "parser", "art", "equake", "ammp", "swim"]),
-        5 => ("control-intensive integer", ["gcc", "perlbmk", "crafty", "vpr", "parser", "twolf", "vortex", "bzip2"]),
-        6 => ("memory-bound, large footprint", ["mcf", "art", "swim", "equake", "ammp", "lucas", "applu", "twolf"]),
-        7 => ("high-IPC, cache-resident", ["gzip", "crafty", "bzip2", "mesa", "wupwise", "gap", "vortex", "gzip"]),
-        8 => ("low-IPC mixed", ["mcf", "twolf", "art", "equake", "ammp", "parser", "swim", "vpr"]),
-        9 => ("4 control-intensive + 4 others (paper §1 scenario)", ["gcc", "perlbmk", "parser", "vpr", "gzip", "mesa", "wupwise", "crafty"]),
-        10 => ("small data footprint", ["gzip", "crafty", "mesa", "gap", "perlbmk", "bzip2", "vpr", "parser"]),
-        11 => ("large data footprint", ["mcf", "vortex", "swim", "applu", "ammp", "lucas", "equake", "art"]),
-        12 => ("diverse, well-balanced (best case for fixed ICOUNT)", ["gzip", "gcc", "mcf", "crafty", "wupwise", "swim", "mesa", "art"]),
-        13 => ("similar memory-bound (best case for ADTS)", ["mcf", "mcf", "art", "art", "swim", "swim", "equake", "equake"]),
+        1 => (
+            "all-integer, balanced IPC",
+            [
+                "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "gap", "bzip2",
+            ],
+        ),
+        2 => (
+            "all floating-point, balanced IPC",
+            [
+                "wupwise", "swim", "mgrid", "applu", "mesa", "art", "equake", "apsi",
+            ],
+        ),
+        3 => (
+            "even int/fp, high single-thread IPC",
+            [
+                "gzip", "crafty", "bzip2", "vortex", "wupwise", "mesa", "mgrid", "apsi",
+            ],
+        ),
+        4 => (
+            "even int/fp, low single-thread IPC",
+            [
+                "mcf", "twolf", "vpr", "parser", "art", "equake", "ammp", "swim",
+            ],
+        ),
+        5 => (
+            "control-intensive integer",
+            [
+                "gcc", "perlbmk", "crafty", "vpr", "parser", "twolf", "vortex", "bzip2",
+            ],
+        ),
+        6 => (
+            "memory-bound, large footprint",
+            [
+                "mcf", "art", "swim", "equake", "ammp", "lucas", "applu", "twolf",
+            ],
+        ),
+        7 => (
+            "high-IPC, cache-resident",
+            [
+                "gzip", "crafty", "bzip2", "mesa", "wupwise", "gap", "vortex", "gzip",
+            ],
+        ),
+        8 => (
+            "low-IPC mixed",
+            [
+                "mcf", "twolf", "art", "equake", "ammp", "parser", "swim", "vpr",
+            ],
+        ),
+        9 => (
+            "4 control-intensive + 4 others (paper §1 scenario)",
+            [
+                "gcc", "perlbmk", "parser", "vpr", "gzip", "mesa", "wupwise", "crafty",
+            ],
+        ),
+        10 => (
+            "small data footprint",
+            [
+                "gzip", "crafty", "mesa", "gap", "perlbmk", "bzip2", "vpr", "parser",
+            ],
+        ),
+        11 => (
+            "large data footprint",
+            [
+                "mcf", "vortex", "swim", "applu", "ammp", "lucas", "equake", "art",
+            ],
+        ),
+        12 => (
+            "diverse, well-balanced (best case for fixed ICOUNT)",
+            [
+                "gzip", "gcc", "mcf", "crafty", "wupwise", "swim", "mesa", "art",
+            ],
+        ),
+        13 => (
+            "similar memory-bound (best case for ADTS)",
+            [
+                "mcf", "mcf", "art", "art", "swim", "swim", "equake", "equake",
+            ],
+        ),
         _ => panic!("mix id {id} outside 1..={MIX_COUNT}"),
     }
 }
@@ -93,7 +162,10 @@ impl Mix {
     /// Reduce to `n` threads (n ≤ 8) by deterministically excluding members,
     /// mirroring the paper's random exclusion for 4-/6-thread runs.
     pub fn take_threads(&self, n: usize, seed: u64) -> Mix {
-        assert!(n >= 1 && n <= self.apps.len(), "thread count {n} out of range");
+        assert!(
+            n >= 1 && n <= self.apps.len(),
+            "thread count {n} out of range"
+        );
         let mut keep: Vec<usize> = (0..self.apps.len()).collect();
         let mut rng = SplitMix64::new(SplitMix64::derive(seed, 0x313));
         while keep.len() > n {
@@ -156,13 +228,19 @@ mod tests {
     fn mix09_has_four_control_intensive() {
         let m = mix(9);
         let branchy = m.apps.iter().filter(|a| a.branch_frac >= 0.13).count();
-        assert_eq!(branchy, 4, "MIX09 should have exactly 4 control-intensive members");
+        assert_eq!(
+            branchy, 4,
+            "MIX09 should have exactly 4 control-intensive members"
+        );
     }
 
     #[test]
     fn mix13_is_homogeneous_memory_bound() {
         let m = mix(13);
-        assert!(m.apps.iter().all(|a| a.cold_frac >= 0.12), "MIX13 members must be memory-bound");
+        assert!(
+            m.apps.iter().all(|a| a.cold_frac >= 0.12),
+            "MIX13 members must be memory-bound"
+        );
     }
 
     #[test]
@@ -186,7 +264,10 @@ mod tests {
         let orig: Vec<_> = m.apps.iter().map(|p| &p.name).collect();
         let mut last = 0;
         for p in &sub.apps {
-            let pos = orig[last..].iter().position(|n| *n == &p.name).expect("member lost");
+            let pos = orig[last..]
+                .iter()
+                .position(|n| *n == &p.name)
+                .expect("member lost");
             last += pos + 1;
         }
     }
@@ -200,7 +281,11 @@ mod tests {
         let mut s1 = streams[1].clone();
         let a = s0.next_uop();
         let b = s1.next_uop();
-        assert_ne!(a.pc >> 40, b.pc >> 40, "threads must live at distinct bases");
+        assert_ne!(
+            a.pc >> 40,
+            b.pc >> 40,
+            "threads must live at distinct bases"
+        );
     }
 
     #[test]

@@ -56,7 +56,10 @@ impl MixConstraints {
         if low < self.min_low_ipc {
             return false;
         }
-        let large = apps.iter().filter(|a| a.footprint == FootprintClass::Large).count();
+        let large = apps
+            .iter()
+            .filter(|a| a.footprint == FootprintClass::Large)
+            .count();
         if large > self.max_large_footprint {
             return false;
         }
@@ -83,9 +86,7 @@ pub fn generate(constraints: &MixConstraints, seed: u64) -> Option<Mix> {
         let mut picked: Vec<AppProfile> = Vec::with_capacity(constraints.width);
         while picked.len() < constraints.width {
             let name = names[rng.next_below(names.len() as u64) as usize];
-            if !constraints.allow_duplicates
-                && picked.iter().any(|a| a.name == name)
-            {
+            if !constraints.allow_duplicates && picked.iter().any(|a| a.name == name) {
                 continue;
             }
             picked.push(app(name));
@@ -148,7 +149,10 @@ mod tests {
 
     #[test]
     fn int_member_constraint_is_exact() {
-        let c = MixConstraints { int_members: Some(4), ..Default::default() };
+        let c = MixConstraints {
+            int_members: Some(4),
+            ..Default::default()
+        };
         for seed in 0..10 {
             let m = generate(&c, seed).expect("satisfiable");
             let ints = m.apps.iter().filter(|a| a.class == AppClass::Int).count();
@@ -158,9 +162,16 @@ mod tests {
 
     #[test]
     fn low_ipc_minimum_respected() {
-        let c = MixConstraints { min_low_ipc: 3, ..Default::default() };
+        let c = MixConstraints {
+            min_low_ipc: 3,
+            ..Default::default()
+        };
         let m = generate(&c, 5).expect("satisfiable");
-        let low = m.apps.iter().filter(|a| a.ipc_class == IpcClass::Low).count();
+        let low = m
+            .apps
+            .iter()
+            .filter(|a| a.ipc_class == IpcClass::Low)
+            .count();
         assert!(low >= 3);
     }
 
@@ -187,7 +198,10 @@ mod tests {
 
     #[test]
     fn duplicates_allowed_when_requested() {
-        let c = MixConstraints { allow_duplicates: true, ..Default::default() };
+        let c = MixConstraints {
+            allow_duplicates: true,
+            ..Default::default()
+        };
         // With duplicates allowed, some seed will produce one quickly; just
         // make sure generation succeeds and width holds.
         let m = generate(&c, 9).expect("satisfiable");

@@ -142,8 +142,13 @@ impl UopStream {
                 let r = site_seed.next_f64();
                 if r < profile.pattern_frac {
                     // Trip counts 4..=32, skewed low like real inner loops.
-                    let trip = 4 + (site_seed.next_u64() % 29).min(site_seed.next_u64() % 29) as u16;
-                    BranchSite { loop_trip: Some(trip), pos: 0, dominant_taken: true }
+                    let trip =
+                        4 + (site_seed.next_u64() % 29).min(site_seed.next_u64() % 29) as u16;
+                    BranchSite {
+                        loop_trip: Some(trip),
+                        pos: 0,
+                        dominant_taken: true,
+                    }
                 } else {
                     BranchSite {
                         loop_trip: None,
@@ -153,7 +158,11 @@ impl UopStream {
                 }
             })
             .collect();
-        let phase_left = profile.phases.first().map(|p| p.len_uops).unwrap_or(u64::MAX);
+        let phase_left = profile
+            .phases
+            .first()
+            .map(|p| p.len_uops)
+            .unwrap_or(u64::MAX);
         let span_ops = code_size / OP_BYTES;
         let mut entry_seed = SplitMix64::new(SplitMix64::derive(seed, 0xF00D));
         let hot_entries = (0..12)
@@ -257,7 +266,10 @@ impl UopStream {
                 c
             }
         };
-        ArchReg { class, idx: 2 + ctr }
+        ArchReg {
+            class,
+            idx: 2 + ctr,
+        }
     }
 
     /// Pick a source register at a geometric dependence distance, or `None`
@@ -426,28 +438,58 @@ impl UopStream {
                 None,
                 None,
                 None,
-                Some(BranchInfo { kind: bk, taken: true, target: self.addr_base | target_off }),
+                Some(BranchInfo {
+                    kind: bk,
+                    taken: true,
+                    target: self.addr_base | target_off,
+                }),
             )
         } else if r < load_hi {
             let addr = self.gen_addr(mem_p);
-            let class = if self.rng.gen::<f64>() < p.fp_frac { RegClass::Fp } else { RegClass::Int };
+            let class = if self.rng.gen::<f64>() < p.fp_frac {
+                RegClass::Fp
+            } else {
+                RegClass::Int
+            };
             let dst = self.alloc_dst(class);
             self.last_load_dst = Some(dst);
             let s1 = self.pick_src(ilp_s, p.addr_indep_frac);
-            (OpKind::Load, Some(dst), s1, None, Some(MemInfo { addr, size: 8 }), None)
+            (
+                OpKind::Load,
+                Some(dst),
+                s1,
+                None,
+                Some(MemInfo { addr, size: 8 }),
+                None,
+            )
         } else if r < store_hi {
             let addr = self.gen_addr(mem_p);
             let s1 = self.pick_src(ilp_s, p.addr_indep_frac); // address
             let s2 = self.pick_src(ilp_s, p.src_indep_frac); // data
-            (OpKind::Store, None, s1, s2, Some(MemInfo { addr, size: 8 }), None)
+            (
+                OpKind::Store,
+                None,
+                s1,
+                s2,
+                Some(MemInfo { addr, size: 8 }),
+                None,
+            )
         } else {
             // Compute op.
             let fp = self.rng.gen::<f64>() < p.fp_frac;
             let u: f64 = self.rng.gen();
             let kind = if u < p.div_frac {
-                if fp { OpKind::FpDiv } else { OpKind::IntDiv }
+                if fp {
+                    OpKind::FpDiv
+                } else {
+                    OpKind::IntDiv
+                }
             } else if u < p.div_frac + p.mul_frac {
-                if fp { OpKind::FpMul } else { OpKind::IntMul }
+                if fp {
+                    OpKind::FpMul
+                } else {
+                    OpKind::IntMul
+                }
             } else if fp {
                 OpKind::FpAlu
             } else {
@@ -465,8 +507,19 @@ impl UopStream {
         self.generated += 1;
         self.advance_phase();
 
-        let op = MicroOp { kind, pc, dst, src1, src2, mem, branch };
-        debug_assert!(op.is_well_formed(), "generator produced ill-formed op {op:?}");
+        let op = MicroOp {
+            kind,
+            pc,
+            dst,
+            src1,
+            src2,
+            mem,
+            branch,
+        };
+        debug_assert!(
+            op.is_well_formed(),
+            "generator produced ill-formed op {op:?}"
+        );
         op
     }
 }
@@ -558,9 +611,16 @@ mod tests {
         for _ in 0..50_000 {
             let op = s.next_uop();
             for src in [op.src1, op.src2].into_iter().flatten() {
-                let hit = recent.iter().rev().take(MAX_DEP_DIST).any(|d| *d == Some(src))
+                let hit = recent
+                    .iter()
+                    .rev()
+                    .take(MAX_DEP_DIST)
+                    .any(|d| *d == Some(src))
                     || (op.is_cond_branch() && last_load == Some(src));
-                assert!(hit, "source {src} not written in the last {MAX_DEP_DIST} ops");
+                assert!(
+                    hit,
+                    "source {src} not written in the last {MAX_DEP_DIST} ops"
+                );
             }
             recent.push(op.dst);
             if op.kind == OpKind::Load {
@@ -605,7 +665,10 @@ mod tests {
         };
         let quiet = cold_in(&mut s, 50_000);
         let loud = cold_in(&mut s, 50_000);
-        assert!(loud > 3.0 * quiet, "phase pressure had no effect: {quiet} vs {loud}");
+        assert!(
+            loud > 3.0 * quiet,
+            "phase pressure had no effect: {quiet} vs {loud}"
+        );
     }
 
     #[test]
@@ -637,17 +700,26 @@ mod tests {
         for _ in 0..200_000 {
             let op = s.next_uop();
             if op.is_cond_branch() {
-                hist.entry(op.pc).or_default().push(op.branch.unwrap().taken);
+                hist.entry(op.pc)
+                    .or_default()
+                    .push(op.branch.unwrap().taken);
             }
         }
         let (_, seq) = hist.iter().max_by_key(|(_, v)| v.len()).unwrap();
         assert!(seq.len() > 64, "no hot branch site found");
         // Not-taken events must be evenly spaced (the loop exits).
-        let exits: Vec<usize> =
-            seq.iter().enumerate().filter(|(_, t)| !**t).map(|(i, _)| i).collect();
+        let exits: Vec<usize> = seq
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !**t)
+            .map(|(i, _)| i)
+            .collect();
         assert!(exits.len() >= 2, "loop site never exits: {seq:?}");
         let gaps: Vec<usize> = exits.windows(2).map(|w| w[1] - w[0]).collect();
-        assert!(gaps.windows(2).all(|w| w[0] == w[1]), "irregular loop exits: {gaps:?}");
+        assert!(
+            gaps.windows(2).all(|w| w[0] == w[1]),
+            "irregular loop exits: {gaps:?}"
+        );
         // Majority taken.
         let taken = seq.iter().filter(|t| **t).count();
         assert!(taken * 2 > seq.len(), "loop site not majority-taken");
@@ -658,7 +730,9 @@ mod tests {
         let p = AppProfile::builder("sys").syscall_per_muop(500.0).build();
         let mut s = stream_of(p, 23);
         let n = 200_000;
-        let count = (0..n).filter(|_| s.next_uop().kind == OpKind::Syscall).count();
+        let count = (0..n)
+            .filter(|_| s.next_uop().kind == OpKind::Syscall)
+            .count();
         let per_muop = count as f64 * 1.0e6 / n as f64;
         assert!((per_muop - 500.0).abs() < 120.0, "syscall rate {per_muop}");
     }

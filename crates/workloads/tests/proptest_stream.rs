@@ -8,13 +8,13 @@ use std::sync::Arc;
 
 fn arb_profile() -> impl Strategy<Value = AppProfile> {
     (
-        0.02..0.2f64,  // branch
-        0.05..0.3f64,  // load
-        0.0..0.15f64,  // store
-        1.0..6.0f64,   // dep
-        0.5..1.0f64,   // bias
-        12u32..22,     // ws log2
-        10u32..16,     // code log2
+        0.02..0.2f64, // branch
+        0.05..0.3f64, // load
+        0.0..0.15f64, // store
+        1.0..6.0f64,  // dep
+        0.5..1.0f64,  // bias
+        12u32..22,    // ws log2
+        10u32..16,    // code log2
     )
         .prop_map(|(br, ld, st, dep, bias, ws, code)| {
             AppProfile::builder("prop")

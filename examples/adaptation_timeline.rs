@@ -14,7 +14,10 @@ fn main() {
     let mix_id: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
     let threshold: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(4.0);
     let mix = workloads::mix(mix_id);
-    println!("mix {} — {} (threshold m = {threshold})\n", mix.name, mix.description);
+    println!(
+        "mix {} — {} (threshold m = {threshold})\n",
+        mix.name, mix.description
+    );
 
     let quanta = 64;
     let run = |heuristic: Option<HeuristicKind>| {
@@ -23,7 +26,11 @@ fn main() {
         match heuristic {
             None => adts::run_fixed(FetchPolicy::Icount, &mut machine, quanta, 8192),
             Some(h) => adts::run_adaptive(
-                AdtsConfig { ipc_threshold: threshold, heuristic: h, ..Default::default() },
+                AdtsConfig {
+                    ipc_threshold: threshold,
+                    heuristic: h,
+                    ..Default::default()
+                },
                 &mut machine,
                 quanta,
             ),
@@ -34,14 +41,20 @@ fn main() {
     println!("fixed ICOUNT ({:.3} IPC):", fixed.aggregate_ipc());
     println!("{}", render_timeline(&fixed));
 
-    for h in [HeuristicKind::Type1, HeuristicKind::Type3, HeuristicKind::Type4] {
+    for h in [
+        HeuristicKind::Type1,
+        HeuristicKind::Type3,
+        HeuristicKind::Type4,
+    ] {
         let s = run(Some(h));
         println!(
             "{} ({:.3} IPC, {} switches, P(benign) {}):",
             h.name(),
             s.aggregate_ipc(),
             s.switches.len(),
-            s.benign_fraction().map(|b| format!("{b:.2}")).unwrap_or_else(|| "-".into()),
+            s.benign_fraction()
+                .map(|b| format!("{b:.2}"))
+                .unwrap_or_else(|| "-".into()),
         );
         println!("{}", render_timeline(&s));
     }
@@ -53,6 +66,14 @@ fn main() {
     hf.extend(fixed.quanta.iter().map(|q| q.ipc));
     ha.extend(adaptive.quanta.iter().map(|q| q.ipc));
     println!("per-quantum IPC distribution (0..8):");
-    println!("  fixed    {}  p10={:.2}", hf.sparkline(), hf.quantile(0.10));
-    println!("  adaptive {}  p10={:.2}", ha.sparkline(), ha.quantile(0.10));
+    println!(
+        "  fixed    {}  p10={:.2}",
+        hf.sparkline(),
+        hf.quantile(0.10)
+    );
+    println!(
+        "  adaptive {}  p10={:.2}",
+        ha.sparkline(),
+        ha.quantile(0.10)
+    );
 }

@@ -11,7 +11,11 @@
 use smt_adts::prelude::*;
 
 fn run(mix: &Mix, dt: DtModel, label: &str) {
-    let cfg = AdtsConfig { dt, heuristic: HeuristicKind::Type3, ..Default::default() };
+    let cfg = AdtsConfig {
+        dt,
+        heuristic: HeuristicKind::Type3,
+        ..Default::default()
+    };
     let mut machine = adts::machine_for_mix(mix, 42);
     let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 6, 8192);
     let mut sched = AdaptiveScheduler::new(cfg, machine.n_threads());
@@ -42,14 +46,28 @@ fn run(mix: &Mix, dt: DtModel, label: &str) {
 }
 
 fn main() {
-    let mix_id: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let mix_id: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     let mix = workloads::mix(mix_id);
     println!("mix {} — {}\n", mix.name, mix.description);
 
     run(&mix, DtModel::Free, "free DT");
-    run(&mix, DtModel::Budgeted { throughput_factor: 1.0 }, "budgeted x1.0");
-    run(&mix, DtModel::Budgeted { throughput_factor: 0.1 }, "budgeted x0.1");
+    run(
+        &mix,
+        DtModel::Budgeted {
+            throughput_factor: 1.0,
+        },
+        "budgeted x1.0",
+    );
+    run(
+        &mix,
+        DtModel::Budgeted {
+            throughput_factor: 0.1,
+        },
+        "budgeted x0.1",
+    );
     run(&mix, DtModel::Starved, "starved DT");
 
     println!(

@@ -12,13 +12,20 @@ use smt_adts::prelude::*;
 fn run(mix: &Mix, eviction: EvictionPolicy) {
     let mut machine = adts::machine_for_mix(mix, 42);
     let cfg = JobSchedConfig {
-        adts: AdtsConfig { ipc_threshold: 2.0, ..Default::default() },
+        adts: AdtsConfig {
+            ipc_threshold: 2.0,
+            ..Default::default()
+        },
         timeslice_quanta: 16,
         eviction,
         ..Default::default()
     };
     // Three jobs wait off-processor beyond the eight resident ones.
-    let pool = vec![workloads::app("gap"), workloads::app("apsi"), workloads::app("vortex")];
+    let pool = vec![
+        workloads::app("gap"),
+        workloads::app("apsi"),
+        workloads::app("vortex"),
+    ];
     let mut js = JobScheduler::new(cfg, pool);
     let running: Vec<String> = mix.apps.iter().map(|a| a.name.clone()).collect();
     let out = js.run(&mut machine, running, 6);
@@ -34,8 +41,10 @@ fn run(mix: &Mix, eviction: EvictionPolicy) {
 }
 
 fn main() {
-    let mix_id: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+    let mix_id: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6);
     let mix = workloads::mix(mix_id);
     println!("mix {} — {}\n", mix.name, mix.description);
     println!("eleven jobs, eight contexts, job-scheduler timeslice = 16 quanta\n");

@@ -14,15 +14,19 @@ fn main() {
     let mix_id: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(9);
     let quanta: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(40);
     let mix = workloads::mix(mix_id);
-    println!("mix {} — {} ({} quanta)\n", mix.name, mix.description, quanta);
+    println!(
+        "mix {} — {} ({} quanta)\n",
+        mix.name, mix.description, quanta
+    );
 
     println!("{:<14} {:>7}  per-thread committed IPC", "policy", "IPC");
     for policy in FetchPolicy::ALL {
         let mut machine = adts::machine_for_mix(&mix, 42);
         // Warm the caches and predictor under the policy itself.
         let _ = adts::run_fixed(policy, &mut machine, 6, 8192);
-        let warm: Vec<u64> =
-            (0..machine.n_threads()).map(|t| machine.counters(Tid(t as u8)).committed).collect();
+        let warm: Vec<u64> = (0..machine.n_threads())
+            .map(|t| machine.counters(Tid(t as u8)).committed)
+            .collect();
         let c0 = machine.cycle();
         let series = adts::run_fixed(policy, &mut machine, quanta, 8192);
         let dc = (machine.cycle() - c0) as f64;
@@ -32,7 +36,12 @@ fn main() {
                 format!("{:.2}", c as f64 / dc)
             })
             .collect();
-        println!("{:<14} {:>7.3}  [{}]", policy.name(), series.aggregate_ipc(), per.join(" "));
+        println!(
+            "{:<14} {:>7.3}  [{}]",
+            policy.name(),
+            series.aggregate_ipc(),
+            per.join(" ")
+        );
     }
 
     // Show the wrong-path waste ICOUNT tolerates from storming threads.

@@ -54,7 +54,11 @@ fn main() {
     println!(
         "  policy switches: {} ({} judged benign)",
         adaptive.switches.len(),
-        adaptive.switches.iter().filter(|s| s.benign == Some(true)).count()
+        adaptive
+            .switches
+            .iter()
+            .filter(|s| s.benign == Some(true))
+            .count()
     );
 
     // The per-quantum story: which policy was in force, and what happened.

@@ -12,7 +12,11 @@ use smt_adts::prelude::*;
 fn adaptive(mix: &Mix, kind: HeuristicKind, m: f64, quanta: u64) -> RunSeries {
     let mut machine = adts::machine_for_mix(mix, 42);
     let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 4, 8192);
-    let cfg = AdtsConfig { ipc_threshold: m, heuristic: kind, ..Default::default() };
+    let cfg = AdtsConfig {
+        ipc_threshold: m,
+        heuristic: kind,
+        ..Default::default()
+    };
     adts::run_adaptive(cfg, &mut machine, quanta)
 }
 
@@ -32,7 +36,10 @@ fn switch_count_grows_with_threshold() {
     // And the extremes must differ decisively.
     let low = adaptive(&mix, HeuristicKind::Type1, 0.5, 25).switches.len();
     let high = adaptive(&mix, HeuristicKind::Type1, 5.0, 25).switches.len();
-    assert!(high > low, "m=5 ({high}) must switch more than m=0.5 ({low})");
+    assert!(
+        high > low,
+        "m=5 ({high}) must switch more than m=0.5 ({low})"
+    );
 }
 
 #[test]
@@ -50,7 +57,9 @@ fn zero_threshold_is_fixed_scheduling() {
 fn benign_fraction_is_a_probability() {
     let mix = workloads::mix(6);
     let s = adaptive(&mix, HeuristicKind::Type2, 5.0, 30);
-    let b = s.benign_fraction().expect("m=5 must produce judged switches");
+    let b = s
+        .benign_fraction()
+        .expect("m=5 must produce judged switches");
     assert!((0.0..=1.0).contains(&b), "benign fraction {b}");
 }
 
@@ -63,7 +72,9 @@ fn gradient_guard_reduces_switching() {
     for mix_id in [1, 6, 9] {
         let mix = workloads::mix(mix_id);
         t3_total += adaptive(&mix, HeuristicKind::Type3, 5.0, 25).switches.len();
-        t3p_total += adaptive(&mix, HeuristicKind::Type3Prime, 5.0, 25).switches.len();
+        t3p_total += adaptive(&mix, HeuristicKind::Type3Prime, 5.0, 25)
+            .switches
+            .len();
     }
     assert!(
         t3p_total <= t3_total,
@@ -96,7 +107,10 @@ fn clog_marks_name_plausible_threads() {
     let mix = workloads::mix(12); // gzip gcc mcf crafty wupwise swim mesa art
     let mut machine = adts::machine_for_mix(&mix, 42);
     let _ = adts::run_fixed(FetchPolicy::Icount, &mut machine, 4, 8192);
-    let cfg = AdtsConfig { ipc_threshold: 8.0, ..Default::default() };
+    let cfg = AdtsConfig {
+        ipc_threshold: 8.0,
+        ..Default::default()
+    };
     let mut sched = AdaptiveScheduler::new(cfg, machine.n_threads());
     for _ in 0..25 {
         sched.run_quantum(&mut machine);

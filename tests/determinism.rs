@@ -13,14 +13,26 @@ fn fixed_run(seed: u64, policy: FetchPolicy) -> (f64, u64) {
 
 #[test]
 fn fixed_runs_replay_exactly() {
-    for policy in [FetchPolicy::Icount, FetchPolicy::BrCount, FetchPolicy::RoundRobin] {
-        assert_eq!(fixed_run(7, policy), fixed_run(7, policy), "{}", policy.name());
+    for policy in [
+        FetchPolicy::Icount,
+        FetchPolicy::BrCount,
+        FetchPolicy::RoundRobin,
+    ] {
+        assert_eq!(
+            fixed_run(7, policy),
+            fixed_run(7, policy),
+            "{}",
+            policy.name()
+        );
     }
 }
 
 #[test]
 fn different_seeds_differ() {
-    assert_ne!(fixed_run(7, FetchPolicy::Icount), fixed_run(8, FetchPolicy::Icount));
+    assert_ne!(
+        fixed_run(7, FetchPolicy::Icount),
+        fixed_run(8, FetchPolicy::Icount)
+    );
 }
 
 #[test]
@@ -35,7 +47,11 @@ fn adaptive_runs_replay_exactly() {
             ..Default::default()
         };
         let s = adts::run_adaptive(cfg, &mut machine, 15);
-        (s.aggregate_ipc(), s.switches.len(), format!("{:?}", s.switches))
+        (
+            s.aggregate_ipc(),
+            s.switches.len(),
+            format!("{:?}", s.switches),
+        )
     };
     for kind in HeuristicKind::ALL {
         assert_eq!(run(kind), run(kind), "{}", kind.name());
@@ -60,9 +76,65 @@ fn machine_clone_forks_identically() {
     }
 }
 
+/// Determinism must extend to the *bytes*: the sweep cache stores
+/// serialized `RunSeries` and replays them verbatim on warm runs, so two
+/// identical runs must serialize identically — IPC equality alone would
+/// let float-formatting or map-ordering drift hide there.
+#[test]
+fn fixed_series_serializes_bit_identically_across_replays() {
+    let run = || {
+        let mix = workloads::mix(7);
+        let mut machine = adts::machine_for_mix(&mix, 21);
+        serde::json::to_string(&adts::run_fixed(
+            FetchPolicy::Icount,
+            &mut machine,
+            10,
+            4096,
+        ))
+    };
+    let first = run();
+    assert_eq!(run(), first);
+    assert!(
+        first.contains("\"quanta\""),
+        "serialized form exposes the quantum series"
+    );
+}
+
+#[test]
+fn adaptive_series_serializes_bit_identically_across_replays() {
+    let run = || {
+        let mix = workloads::mix(3);
+        let mut machine = adts::machine_for_mix(&mix, 17);
+        let cfg = AdtsConfig {
+            ipc_threshold: 4.0,
+            quantum_cycles: 4096,
+            ..Default::default()
+        };
+        serde::json::to_string(&adts::run_adaptive(cfg, &mut machine, 12))
+    };
+    assert_eq!(run(), run());
+}
+
+/// A `RunSeries` pulled back out of its JSON must be indistinguishable
+/// from the original — this is exactly what a warm cache hit does.
+#[test]
+fn run_series_round_trips_through_json_losslessly() {
+    let mix = workloads::mix(11);
+    let mut machine = adts::machine_for_mix(&mix, 29);
+    let series = adts::run_fixed(FetchPolicy::BrCount, &mut machine, 8, 4096);
+    let json = serde::json::to_string(&series);
+    let back: stats::RunSeries = serde::json::from_str(&json).expect("RunSeries deserializes");
+    assert_eq!(serde::json::to_string(&back), json);
+    assert_eq!(back.aggregate_ipc(), series.aggregate_ipc());
+    assert_eq!(back.quanta.len(), series.quanta.len());
+}
+
 #[test]
 fn oracle_is_replayable() {
-    let cfg = OracleConfig { quantum_cycles: 2048, ..Default::default() };
+    let cfg = OracleConfig {
+        quantum_cycles: 2048,
+        ..Default::default()
+    };
     let run = || {
         let mix = workloads::mix(4);
         let mut machine = adts::machine_for_mix(&mix, 5);

@@ -17,7 +17,10 @@ fn run(mix_id: usize, eviction: EvictionPolicy, timeslices: u64) -> (f64, usize,
     let mix = workloads::mix(mix_id);
     let mut machine = adts::machine_for_mix(&mix, 42);
     let cfg = JobSchedConfig {
-        adts: AdtsConfig { ipc_threshold: 2.0, ..Default::default() },
+        adts: AdtsConfig {
+            ipc_threshold: 2.0,
+            ..Default::default()
+        },
         timeslice_quanta: 5,
         eviction,
         ..Default::default()
@@ -42,11 +45,15 @@ fn many_swaps_keep_the_machine_consistent() {
 fn swapped_in_jobs_actually_run() {
     let (_, _, machine) = run(6, EvictionPolicy::RoundRobin, 4);
     // After four round-robin swaps, contexts 0..4 run pool jobs.
-    let names: Vec<String> =
-        (0..4).map(|t| machine.thread_profile(Tid(t)).name.clone()).collect();
+    let names: Vec<String> = (0..4)
+        .map(|t| machine.thread_profile(Tid(t)).name.clone())
+        .collect();
     let pool_names = ["gap", "apsi", "vortex", "mesa"];
     for (t, n) in names.iter().enumerate() {
-        assert!(pool_names.contains(&n.as_str()), "context {t} still runs {n}");
+        assert!(
+            pool_names.contains(&n.as_str()),
+            "context {t} still runs {n}"
+        );
     }
 }
 
@@ -55,7 +62,10 @@ fn assisted_eviction_targets_differ_from_blind_rotation() {
     let mix = workloads::mix(6);
     let mut machine = adts::machine_for_mix(&mix, 42);
     let cfg = JobSchedConfig {
-        adts: AdtsConfig { ipc_threshold: 8.0, ..Default::default() },
+        adts: AdtsConfig {
+            ipc_threshold: 8.0,
+            ..Default::default()
+        },
         timeslice_quanta: 5,
         eviction: EvictionPolicy::ClogMarks,
         ..Default::default()
@@ -65,7 +75,11 @@ fn assisted_eviction_targets_differ_from_blind_rotation() {
     let out = js.run(&mut machine, running, 4);
     // Blind rotation would evict contexts 0,1,2,3; clog marks must not.
     let victims: Vec<u8> = out.swaps.iter().map(|(_, t, _, _)| t.0).collect();
-    assert_ne!(victims, vec![0, 1, 2, 3], "clog marks behaved like rotation");
+    assert_ne!(
+        victims,
+        vec![0, 1, 2, 3],
+        "clog marks behaved like rotation"
+    );
 }
 
 #[test]

@@ -44,7 +44,11 @@ fn oracle_uses_more_than_one_policy_across_mixes() {
 #[test]
 fn starved_dt_equals_fixed_icount() {
     let mix = workloads::mix(6);
-    let cfg = AdtsConfig { ipc_threshold: 8.0, dt: DtModel::Starved, ..Default::default() };
+    let cfg = AdtsConfig {
+        ipc_threshold: 8.0,
+        dt: DtModel::Starved,
+        ..Default::default()
+    };
     let s = adts::run_adaptive(cfg, &mut warmed(&mix, 42), 12);
     let f = adts::run_fixed(FetchPolicy::Icount, &mut warmed(&mix, 42), 12, 8192);
     assert!(s.switches.is_empty());
@@ -55,14 +59,25 @@ fn starved_dt_equals_fixed_icount() {
 fn budgeted_dt_is_between_free_and_starved_in_switch_count() {
     let mix = workloads::mix(9);
     let run = |dt: DtModel| {
-        let cfg = AdtsConfig { ipc_threshold: 8.0, dt, ..Default::default() };
-        adts::run_adaptive(cfg, &mut warmed(&mix, 42), 20).switches.len()
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            dt,
+            ..Default::default()
+        };
+        adts::run_adaptive(cfg, &mut warmed(&mix, 42), 20)
+            .switches
+            .len()
     };
     let free = run(DtModel::Free);
-    let budgeted = run(DtModel::Budgeted { throughput_factor: 0.05 });
+    let budgeted = run(DtModel::Budgeted {
+        throughput_factor: 0.05,
+    });
     let starved = run(DtModel::Starved);
     assert_eq!(starved, 0);
-    assert!(budgeted <= free, "budget cannot add switches: {budgeted} vs {free}");
+    assert!(
+        budgeted <= free,
+        "budget cannot add switches: {budgeted} vs {free}"
+    );
 }
 
 #[test]

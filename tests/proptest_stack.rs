@@ -8,35 +8,33 @@ use std::sync::Arc;
 /// Strategy: a valid AppProfile within sane ranges.
 fn arb_profile() -> impl Strategy<Value = AppProfile> {
     (
-        0.0..0.25f64,                 // branch_frac
-        0.05..0.3f64,                 // load_frac
-        0.0..0.15f64,                 // store_frac
-        0.0..0.8f64,                  // fp_frac
-        1.0..6.0f64,                  // mean_dep_dist
-        0.5..1.0f64,                  // branch_bias
-        0.0..1.0f64,                  // pattern_frac
-        12u32..24,                    // log2 data ws
-        10u32..18,                    // log2 code bytes
-        0.0..0.4f64,                  // cold_frac
-        0.0..1.0f64,                  // stride_frac
+        0.0..0.25f64, // branch_frac
+        0.05..0.3f64, // load_frac
+        0.0..0.15f64, // store_frac
+        0.0..0.8f64,  // fp_frac
+        1.0..6.0f64,  // mean_dep_dist
+        0.5..1.0f64,  // branch_bias
+        0.0..1.0f64,  // pattern_frac
+        12u32..24,    // log2 data ws
+        10u32..18,    // log2 code bytes
+        0.0..0.4f64,  // cold_frac
+        0.0..1.0f64,  // stride_frac
     )
-        .prop_map(
-            |(br, ld, st, fp, dep, bias, pat, ws, code, cold, stride)| {
-                AppProfile::builder("prop")
-                    .branch_frac(br)
-                    .load_frac(ld)
-                    .store_frac(st)
-                    .fp_frac(fp)
-                    .mean_dep_dist(dep)
-                    .branch_bias(bias)
-                    .pattern_frac(pat)
-                    .data_ws_bytes(1 << ws)
-                    .code_bytes(1 << code)
-                    .cold_frac(cold)
-                    .stride_frac(stride)
-                    .build()
-            },
-        )
+        .prop_map(|(br, ld, st, fp, dep, bias, pat, ws, code, cold, stride)| {
+            AppProfile::builder("prop")
+                .branch_frac(br)
+                .load_frac(ld)
+                .store_frac(st)
+                .fp_frac(fp)
+                .mean_dep_dist(dep)
+                .branch_bias(bias)
+                .pattern_frac(pat)
+                .data_ws_bytes(1 << ws)
+                .code_bytes(1 << code)
+                .cold_frac(cold)
+                .stride_frac(stride)
+                .build()
+        })
 }
 
 proptest! {
