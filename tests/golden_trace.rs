@@ -1,0 +1,214 @@
+//! Golden-trace conformance suite.
+//!
+//! Pins the machine's *exact* observable behavior: each canonical mix runs
+//! 16 quanta under every fetch policy of Table 1, and the resulting
+//! per-quantum (cycles, committed, milli-IPC) series plus the final
+//! [`CounterSnapshot`] must replay **byte-identically** against the
+//! checked-in fixtures under `tests/golden/`.
+//!
+//! These fixtures were generated *before* the hot-path rewrite of
+//! `SmtMachine` (indexed queues, zero-allocation snapshots, trace-off fast
+//! path) and gate it: an optimization that changes any counter by one is a
+//! semantic change and fails here.
+//!
+//! Refreshing fixtures (only when a semantic change is *intended*):
+//!
+//! ```text
+//! SMT_GOLDEN_BLESS=1 cargo test --test golden_trace
+//! git diff tests/golden/   # review every changed number deliberately
+//! ```
+//!
+//! The comparison is on the serialized canonical-JSON bytes, not on parsed
+//! values, so formatting drift in the serializer is caught too (the sweep
+//! cache's content addressing depends on the same byte stability).
+
+use serde::{Deserialize, Serialize};
+use smt_adts::prelude::*;
+use smt_sim::CounterSnapshot;
+use std::path::PathBuf;
+
+const QUANTA: u64 = 16;
+const QUANTUM_CYCLES: u64 = 4096;
+const SEED: u64 = 42;
+/// Bump only alongside an intended fixture refresh.
+const SCHEMA: u32 = 1;
+
+/// One policy's pinned observables for a mix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct PolicyTrace {
+    policy: String,
+    /// Per-quantum cycle counts (constant here, but pinned anyway).
+    quantum_cycles: Vec<u64>,
+    /// Per-quantum committed micro-ops.
+    quantum_committed: Vec<u64>,
+    /// Per-quantum IPC in milli-instructions-per-cycle (integer so the
+    /// fixture is exact regardless of float formatting).
+    quantum_ipc_milli: Vec<u64>,
+    /// Every thread's full counter state after the last quantum.
+    final_counters: CounterSnapshot,
+}
+
+/// The whole fixture for one (mix, thread-count) point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenTrace {
+    schema: u32,
+    mix: String,
+    threads: usize,
+    seed: u64,
+    quanta: u64,
+    quantum_cycles: u64,
+    policies: Vec<PolicyTrace>,
+}
+
+/// The canonical points: the three paper-representative 8-thread mixes
+/// (baseline MIX01, the §1 motivating MIX09, homogeneous MIX13) plus the
+/// 4- and 2-thread reductions of MIX01 used by the perf baseline.
+fn canonical_points() -> Vec<(usize, usize)> {
+    vec![(1, 8), (9, 8), (13, 8), (1, 4), (1, 2)]
+}
+
+fn mix_for(id: usize, threads: usize) -> Mix {
+    let m = workloads::mix(id);
+    if threads == m.apps.len() {
+        m
+    } else {
+        m.take_threads(threads, 7)
+    }
+}
+
+fn record_trace(mix_id: usize, threads: usize) -> GoldenTrace {
+    let mix = mix_for(mix_id, threads);
+    let mut policies = Vec::new();
+    for policy in FetchPolicy::ALL {
+        let mut machine = adts::machine_for_mix(&mix, SEED);
+        let series = adts::run_fixed(policy, &mut machine, QUANTA, QUANTUM_CYCLES);
+        machine.check_invariants();
+        let quantum_cycles: Vec<u64> = series.quanta.iter().map(|q| q.cycles).collect();
+        let quantum_committed: Vec<u64> = series.quanta.iter().map(|q| q.committed).collect();
+        let quantum_ipc_milli: Vec<u64> = series
+            .quanta
+            .iter()
+            .map(|q| q.committed.saturating_mul(1000) / q.cycles.max(1))
+            .collect();
+        policies.push(PolicyTrace {
+            policy: policy.name().to_string(),
+            quantum_cycles,
+            quantum_committed,
+            quantum_ipc_milli,
+            final_counters: machine.counter_snapshot(),
+        });
+    }
+    GoldenTrace {
+        schema: SCHEMA,
+        mix: mix.name.clone(),
+        threads,
+        seed: SEED,
+        quanta: QUANTA,
+        quantum_cycles: QUANTUM_CYCLES,
+        policies,
+    }
+}
+
+fn fixture_path(mix_id: usize, threads: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("mix{mix_id:02}_t{threads}.json"))
+}
+
+fn bless_requested() -> bool {
+    std::env::var("SMT_GOLDEN_BLESS").map(|v| v == "1").unwrap_or(false)
+}
+
+fn check_point(mix_id: usize, threads: usize) {
+    let path = fixture_path(mix_id, threads);
+    let trace = record_trace(mix_id, threads);
+    let fresh = serde::json::to_string(&trace);
+    if bless_requested() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, &fresh).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    if fresh == committed {
+        return;
+    }
+    // Bytes differ: decode both to point at the first semantic divergence
+    // before failing, so the report is actionable.
+    let old: GoldenTrace = serde::json::from_str(&committed).expect("parse committed fixture");
+    for (op, np) in old.policies.iter().zip(&trace.policies) {
+        assert_eq!(
+            op.quantum_ipc_milli, np.quantum_ipc_milli,
+            "per-quantum IPC diverged for {} on {} (t{})",
+            np.policy, trace.mix, trace.threads
+        );
+        assert_eq!(
+            op.quantum_committed, np.quantum_committed,
+            "per-quantum commits diverged for {} on {} (t{})",
+            np.policy, trace.mix, trace.threads
+        );
+        assert_eq!(
+            op.final_counters, np.final_counters,
+            "final counters diverged for {} on {} (t{})",
+            np.policy, trace.mix, trace.threads
+        );
+    }
+    assert_eq!(
+        old, trace,
+        "golden trace structure diverged for {} (t{})",
+        trace.mix, trace.threads
+    );
+    panic!(
+        "golden fixture {} is semantically equal but not byte-identical; \
+         the JSON serializer lost canonical formatting",
+        path.display()
+    );
+}
+
+#[test]
+fn golden_mix01_t8() {
+    check_point(1, 8);
+}
+
+#[test]
+fn golden_mix09_t8() {
+    check_point(9, 8);
+}
+
+#[test]
+fn golden_mix13_t8() {
+    check_point(13, 8);
+}
+
+#[test]
+fn golden_mix01_t4() {
+    check_point(1, 4);
+}
+
+#[test]
+fn golden_mix01_t2() {
+    check_point(1, 2);
+}
+
+/// The canonical point list, the fixture directory and the test functions
+/// must stay in sync; this meta-test catches a forgotten fixture.
+#[test]
+fn golden_fixture_set_is_complete() {
+    if bless_requested() {
+        return; // blessing runs may be mid-generation
+    }
+    for (mix_id, threads) in canonical_points() {
+        let path = fixture_path(mix_id, threads);
+        assert!(
+            path.exists(),
+            "golden fixture {} missing; bless it first",
+            path.display()
+        );
+    }
+}
