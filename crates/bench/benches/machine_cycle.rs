@@ -1,0 +1,71 @@
+//! The per-cycle hot path, isolated: `SmtMachine::run` on the canonical
+//! 2/4/8-thread mixes under ICOUNT (via the real `Tsu`) and round-robin.
+//!
+//! This is the criterion-level companion of `repro --bench` (which writes
+//! the recorded `BENCH_sim.json` baseline): same machine configurations,
+//! but per-iteration timing for quick A/B work while editing the machine.
+//! `cargo bench --bench machine_cycle` runs it; CI only compiles it
+//! (`cargo bench --no-run`) and gates on the `repro --bench` numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::{SimConfig, SmtMachine};
+use smt_workloads::mix;
+
+fn machine(mix_id: usize, threads: usize) -> SmtMachine {
+    let m = mix(mix_id);
+    let m = if threads == m.apps.len() {
+        m
+    } else {
+        m.take_threads(threads, 7)
+    };
+    SmtMachine::new(SimConfig::with_threads(threads), m.streams(42))
+}
+
+fn bench_icount_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_cycle/icount");
+    for threads in [2usize, 4, 8] {
+        g.throughput(Throughput::Elements(1000));
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                let mut m = machine(1, threads);
+                let mut tsu = Tsu::new(FetchPolicy::Icount, threads);
+                m.run(20_000, &mut tsu); // warm caches and predictor
+                b.iter(|| m.run(1000, &mut tsu));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_golden_mixes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine_cycle/mix8t");
+    for mix_id in [9usize, 13] {
+        g.throughput(Throughput::Elements(1000));
+        g.bench_with_input(BenchmarkId::new("mix", mix_id), &mix_id, |b, &mix_id| {
+            let mut m = machine(mix_id, 8);
+            let mut tsu = Tsu::new(FetchPolicy::Icount, 8);
+            m.run(20_000, &mut tsu);
+            b.iter(|| m.run(1000, &mut tsu));
+        });
+    }
+    g.finish();
+}
+
+fn bench_round_robin(c: &mut Criterion) {
+    c.bench_function("machine_cycle/rr/threads/8", |b| {
+        let mut m = machine(1, 8);
+        let mut tsu = Tsu::new(FetchPolicy::RoundRobin, 8);
+        m.run(20_000, &mut tsu);
+        b.iter(|| m.run(1000, &mut tsu));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_icount_scaling, bench_golden_mixes, bench_round_robin
+}
+criterion_main!(benches);

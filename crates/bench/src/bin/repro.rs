@@ -31,6 +31,15 @@
 //!   --cache-dir DIR   result cache location (default results/cache)
 //!   --no-telemetry    skip the results/telemetry.jsonl run log
 //!   --all             shorthand for the `all` experiment selector
+//!
+//! Perf-baseline mode (exclusive with experiments):
+//!   --bench               measure simulated cycles/second on the canonical
+//!                         2/4/8-thread mixes and write BENCH_sim.json
+//!   --quick               CI-sized timed regions
+//!   --bench-out PATH      report path (default BENCH_sim.json)
+//!   --check-baseline PATH compare against a previous report; exits 1 when a
+//!                         point regresses by more than 20% (override with
+//!                         SMT_BENCH_TOLERANCE, a fraction)
 //! ```
 
 use smt_bench::{
@@ -51,6 +60,10 @@ struct Cli {
     no_cache: bool,
     cache_dir: PathBuf,
     no_telemetry: bool,
+    bench: bool,
+    quick: bool,
+    bench_out: PathBuf,
+    check_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -62,6 +75,10 @@ fn parse_args() -> Result<Cli, String> {
     let mut no_cache = false;
     let mut cache_dir = PathBuf::from("results/cache");
     let mut no_telemetry = false;
+    let mut bench = false;
+    let mut quick = false;
+    let mut bench_out = PathBuf::from("BENCH_sim.json");
+    let mut check_baseline = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -80,6 +97,16 @@ fn parse_args() -> Result<Cli, String> {
                 cache_dir = PathBuf::from(args.next().ok_or("--cache-dir needs a value")?);
             }
             "--no-telemetry" => no_telemetry = true,
+            "--bench" => bench = true,
+            "--quick" => quick = true,
+            "--bench-out" => {
+                bench_out = PathBuf::from(args.next().ok_or("--bench-out needs a value")?);
+            }
+            "--check-baseline" => {
+                check_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--check-baseline needs a value")?,
+                ));
+            }
             "--all" => experiments.push("all".to_string()),
             "--seed" => {
                 params.seed = args
@@ -118,7 +145,7 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if experiments.is_empty() {
+    if experiments.is_empty() && !bench {
         experiments.push("help".to_string());
     }
     Ok(Cli {
@@ -130,7 +157,54 @@ fn parse_args() -> Result<Cli, String> {
         no_cache,
         cache_dir,
         no_telemetry,
+        bench,
+        quick,
+        bench_out,
+        check_baseline,
     })
+}
+
+/// `--bench` mode: measure, write the report, optionally gate against a
+/// baseline. Returns the process exit code.
+fn run_bench_mode(cli: &Cli) -> i32 {
+    use smt_bench::perf;
+    let report = perf::run_bench(cli.quick);
+    match perf::write_report(&report, &cli.bench_out) {
+        Ok(()) => println!("[bench] wrote {}", cli.bench_out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", cli.bench_out.display());
+            return 1;
+        }
+    }
+    let Some(baseline_path) = &cli.check_baseline else {
+        return 0;
+    };
+    let baseline = match perf::read_report(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read baseline: {e}");
+            return 1;
+        }
+    };
+    let tolerance = std::env::var("SMT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(perf::DEFAULT_TOLERANCE);
+    let regressions = perf::regressions(&report, &baseline, tolerance);
+    if regressions.is_empty() {
+        println!(
+            "[bench] no regression vs {} (tolerance {:.0}%)",
+            baseline_path.display(),
+            tolerance * 100.0
+        );
+        0
+    } else {
+        eprintln!("[bench] PERF REGRESSION vs {}:", baseline_path.display());
+        for r in &regressions {
+            eprintln!("  {r}");
+        }
+        1
+    }
 }
 
 fn emit(table: &Table, slug: &str, out: &Option<PathBuf>) {
@@ -156,6 +230,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if cli.bench {
+        if !cli.experiments.is_empty() {
+            eprintln!("error: --bench is exclusive with experiment selectors");
+            std::process::exit(2);
+        }
+        std::process::exit(run_bench_mode(&cli));
+    }
     let p = &cli.params;
     let known = [
         "table1",
@@ -186,6 +267,7 @@ fn main() {
         println!("usage: repro [--full|--smoke] [--seed N] [--quanta N] [--mixes a,b,c]");
         println!("             [--out DIR|--no-csv] [--oracle-all] [--jobs N] [--no-cache]");
         println!("             [--cache-dir DIR] [--no-telemetry] <experiment>...");
+        println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
     }

@@ -1,0 +1,242 @@
+//! Simulator throughput measurement: the repo's recorded perf baseline.
+//!
+//! `repro --bench` measures **simulated cycles per wall-clock second** on
+//! the canonical 2/4/8-thread mixes (MIX01 reductions, plus the 8-thread
+//! MIX09/MIX13 points the golden traces pin) under ICOUNT and round-robin,
+//! and writes the result as `BENCH_sim.json`. The committed copy under
+//! `benches/BENCH_baseline.json` is the repo's perf trajectory: CI re-runs
+//! the quick variant and [`check_against_baseline`] fails the job when a
+//! point regresses by more than the tolerance (default 20%).
+//!
+//! Wall-clock numbers are only comparable on similar hosts; CI therefore
+//! prefers a baseline cached per runner (see `.github/workflows/ci.yml`)
+//! and falls back to the committed one.
+
+use serde::{Deserialize, Serialize};
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::SmtMachine;
+use smt_workloads::mix;
+use std::path::Path;
+use std::time::Instant;
+
+/// Fractional slowdown that counts as a regression (0.20 = 20%).
+pub const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// One measured (mix, threads, policy) point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchPoint {
+    /// Stable identifier used to match points across reports.
+    pub label: String,
+    pub mix: String,
+    pub threads: usize,
+    pub policy: String,
+    /// Unmeasured warm-up cycles preceding the timed region.
+    pub warm_cycles: u64,
+    /// Simulated cycles inside the timed region.
+    pub measured_cycles: u64,
+    /// Wall-clock seconds for the timed region.
+    pub wall_seconds: f64,
+    /// The headline metric: simulated cycles per wall-clock second.
+    pub sim_cycles_per_sec: f64,
+    /// Micro-ops committed inside the timed region.
+    pub committed: u64,
+    /// Committed micro-ops per wall-clock second.
+    pub uops_per_sec: f64,
+}
+
+/// A full `repro --bench` run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchReport {
+    pub schema: u32,
+    /// True for the CI-sized quick variant.
+    pub quick: bool,
+    pub points: Vec<BenchPoint>,
+}
+
+/// The canonical measurement matrix: thread scaling on MIX01 under the
+/// ICOUNT baseline policy, plus the two other golden-trace mixes at eight
+/// threads, plus one round-robin point (different chooser cost profile).
+fn matrix() -> Vec<(usize, usize, FetchPolicy)> {
+    vec![
+        (1, 2, FetchPolicy::Icount),
+        (1, 4, FetchPolicy::Icount),
+        (1, 8, FetchPolicy::Icount),
+        (9, 8, FetchPolicy::Icount),
+        (13, 8, FetchPolicy::Icount),
+        (1, 8, FetchPolicy::RoundRobin),
+    ]
+}
+
+fn measure_point(
+    mix_id: usize,
+    threads: usize,
+    policy: FetchPolicy,
+    warm_cycles: u64,
+    measured_cycles: u64,
+) -> BenchPoint {
+    let m = mix(mix_id);
+    let m = if threads == m.apps.len() {
+        m
+    } else {
+        m.take_threads(threads, 7)
+    };
+    let cfg = smt_sim::SimConfig::with_threads(threads);
+    let mut machine = SmtMachine::new(cfg, m.streams(42));
+    let mut tsu = Tsu::new(policy, threads);
+    machine.run(warm_cycles, &mut tsu);
+    let committed_before = machine.total_committed();
+    let t0 = Instant::now();
+    machine.run(measured_cycles, &mut tsu);
+    let wall = t0.elapsed().as_secs_f64();
+    let committed = machine.total_committed() - committed_before;
+    BenchPoint {
+        label: format!("{}_t{}_{}", m.name, threads, policy.name()),
+        mix: m.name.clone(),
+        threads,
+        policy: policy.name().to_string(),
+        warm_cycles,
+        measured_cycles,
+        wall_seconds: wall,
+        sim_cycles_per_sec: measured_cycles as f64 / wall.max(1e-9),
+        committed,
+        uops_per_sec: committed as f64 / wall.max(1e-9),
+    }
+}
+
+/// Run the full measurement matrix. `quick` shrinks the timed region for
+/// CI smoke use; the default sizes give stable (±few %) numbers on an
+/// otherwise idle host.
+pub fn run_bench(quick: bool) -> BenchReport {
+    let (warm, measured) = if quick {
+        (20_000, 150_000)
+    } else {
+        (50_000, 1_000_000)
+    };
+    let points = matrix()
+        .into_iter()
+        .map(|(mix_id, threads, policy)| {
+            let p = measure_point(mix_id, threads, policy, warm, measured);
+            eprintln!(
+                "bench {:<24} {:>7.2} M sim-cycles/s ({:>6.2} M uops/s, {:.2}s wall)",
+                p.label,
+                p.sim_cycles_per_sec / 1e6,
+                p.uops_per_sec / 1e6,
+                p.wall_seconds,
+            );
+            p
+        })
+        .collect();
+    BenchReport {
+        schema: 1,
+        quick,
+        points,
+    }
+}
+
+/// Write a report as canonical JSON.
+pub fn write_report(report: &BenchReport, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde::json::to_string(report))
+}
+
+/// Read a report back.
+pub fn read_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde::json::from_str(&text).map_err(|e| format!("{}: {e:?}", path.display()))
+}
+
+/// Compare `new` against `baseline`: any shared label whose
+/// `sim_cycles_per_sec` dropped by more than `tolerance` is a regression.
+/// Returns human-readable regression lines (empty = pass). Labels present
+/// on only one side are reported informationally by the caller, not failed,
+/// so the matrix can grow without invalidating old baselines.
+pub fn regressions(new: &BenchReport, baseline: &BenchReport, tolerance: f64) -> Vec<String> {
+    let mut out = Vec::new();
+    for b in &baseline.points {
+        let Some(n) = new.points.iter().find(|p| p.label == b.label) else {
+            continue;
+        };
+        let floor = b.sim_cycles_per_sec * (1.0 - tolerance);
+        if n.sim_cycles_per_sec < floor {
+            out.push(format!(
+                "{}: {:.2} M cyc/s vs baseline {:.2} M cyc/s ({:+.1}%, tolerance {:.0}%)",
+                b.label,
+                n.sim_cycles_per_sec / 1e6,
+                b.sim_cycles_per_sec / 1e6,
+                (n.sim_cycles_per_sec / b.sim_cycles_per_sec - 1.0) * 100.0,
+                tolerance * 100.0,
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(label: &str, rate: f64) -> BenchPoint {
+        BenchPoint {
+            label: label.to_string(),
+            mix: "MIX01".to_string(),
+            threads: 8,
+            policy: "ICOUNT".to_string(),
+            warm_cycles: 0,
+            measured_cycles: 1000,
+            wall_seconds: 1.0,
+            sim_cycles_per_sec: rate,
+            committed: 100,
+            uops_per_sec: 100.0,
+        }
+    }
+
+    fn report(points: Vec<BenchPoint>) -> BenchReport {
+        BenchReport {
+            schema: 1,
+            quick: true,
+            points,
+        }
+    }
+
+    #[test]
+    fn regression_gate_fires_only_past_tolerance() {
+        let base = report(vec![point("a", 100.0), point("b", 100.0)]);
+        let new = report(vec![point("a", 85.0), point("b", 79.0)]);
+        let r = regressions(&new, &base, 0.20);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].starts_with("b:"), "{r:?}");
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let base = report(vec![point("a", 100.0)]);
+        let new = report(vec![point("a", 500.0)]);
+        assert!(regressions(&new, &base, 0.20).is_empty());
+    }
+
+    #[test]
+    fn unmatched_labels_are_ignored() {
+        let base = report(vec![point("gone", 100.0)]);
+        let new = report(vec![point("fresh", 1.0)]);
+        assert!(regressions(&new, &base, 0.20).is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let r = report(vec![point("a", 123.456)]);
+        let text = serde::json::to_string(&r);
+        let back: BenchReport = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn quick_bench_measures_something() {
+        // One tiny point end-to-end (not the full matrix: keep tests fast).
+        let p = measure_point(1, 2, FetchPolicy::Icount, 500, 2_000);
+        assert_eq!(p.measured_cycles, 2_000);
+        assert!(p.sim_cycles_per_sec > 0.0);
+        assert!(p.committed > 0, "timed region committed nothing");
+    }
+}

@@ -51,12 +51,19 @@ pub fn run_fixed_observed(
     let fetch_width = machine.config().fetch_width;
     let mut tsu = Tsu::new(policy, machine.n_threads());
     let mut series = RunSeries::default();
+    // Snapshot buffers reused across quanta — the observer loop allocates
+    // only on the first iteration.
+    let mut counters_before = CounterSnapshot::default();
+    let mut counters_after = CounterSnapshot::default();
+    let mut counters_delta = CounterSnapshot::default();
     for index in 0..quanta {
         let before = MachineSnapshot::take(machine);
-        let counters_before = machine.counter_snapshot();
+        machine.counter_snapshot_into(&mut counters_before);
         machine.run(quantum_cycles, &mut tsu);
         let after = MachineSnapshot::take(machine);
-        observer(index, &counters_before.delta(&machine.counter_snapshot()));
+        machine.counter_snapshot_into(&mut counters_after);
+        counters_before.delta_into(&counters_after, &mut counters_delta);
+        observer(index, &counters_delta);
         let stats = QuantumStats::between(&before, &after, fetch_width);
         series.quanta.push(QuantumRecord {
             index,

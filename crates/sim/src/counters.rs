@@ -160,38 +160,45 @@ impl CounterSnapshot {
     /// subtracted; gauges and decayed counters keep `later`'s value (they
     /// are instantaneous, a difference would be meaningless).
     pub fn delta(&self, later: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        self.delta_into(later, &mut out);
+        out
+    }
+
+    /// Write the [`Self::delta`] of `self` and `later` into `out` — the
+    /// zero-allocation variant for per-quantum observer loops (`out`'s
+    /// thread vector is reused once warm).
+    pub fn delta_into(&self, later: &CounterSnapshot, out: &mut CounterSnapshot) {
         assert_eq!(
             self.threads.len(),
             later.threads.len(),
             "snapshots of different machines"
         );
-        let threads = self
-            .threads
-            .iter()
-            .zip(&later.threads)
-            .map(|(a, b)| ThreadCounters {
-                fetched: b.fetched.saturating_sub(a.fetched),
-                wrongpath_fetched: b.wrongpath_fetched.saturating_sub(a.wrongpath_fetched),
-                committed: b.committed.saturating_sub(a.committed),
-                cond_branches: b.cond_branches.saturating_sub(a.cond_branches),
-                branches_resolved: b.branches_resolved.saturating_sub(a.branches_resolved),
-                mispredicts: b.mispredicts.saturating_sub(a.mispredicts),
-                loads: b.loads.saturating_sub(a.loads),
-                stores: b.stores.saturating_sub(a.stores),
-                l1d_misses: b.l1d_misses.saturating_sub(a.l1d_misses),
-                l1i_misses: b.l1i_misses.saturating_sub(a.l1i_misses),
-                l2_misses: b.l2_misses.saturating_sub(a.l2_misses),
-                fetch_stall_cycles: b.fetch_stall_cycles.saturating_sub(a.fetch_stall_cycles),
-                lsq_full_cycles: b.lsq_full_cycles.saturating_sub(a.lsq_full_cycles),
-                squashes: b.squashes.saturating_sub(a.squashes),
-                syscalls: b.syscalls.saturating_sub(a.syscalls),
-                ..b.clone()
-            })
-            .collect();
-        CounterSnapshot {
-            cycle: later.cycle.saturating_sub(self.cycle),
-            threads,
-        }
+        out.cycle = later.cycle.saturating_sub(self.cycle);
+        out.threads.clear();
+        out.threads.extend(
+            self.threads
+                .iter()
+                .zip(&later.threads)
+                .map(|(a, b)| ThreadCounters {
+                    fetched: b.fetched.saturating_sub(a.fetched),
+                    wrongpath_fetched: b.wrongpath_fetched.saturating_sub(a.wrongpath_fetched),
+                    committed: b.committed.saturating_sub(a.committed),
+                    cond_branches: b.cond_branches.saturating_sub(a.cond_branches),
+                    branches_resolved: b.branches_resolved.saturating_sub(a.branches_resolved),
+                    mispredicts: b.mispredicts.saturating_sub(a.mispredicts),
+                    loads: b.loads.saturating_sub(a.loads),
+                    stores: b.stores.saturating_sub(a.stores),
+                    l1d_misses: b.l1d_misses.saturating_sub(a.l1d_misses),
+                    l1i_misses: b.l1i_misses.saturating_sub(a.l1i_misses),
+                    l2_misses: b.l2_misses.saturating_sub(a.l2_misses),
+                    fetch_stall_cycles: b.fetch_stall_cycles.saturating_sub(a.fetch_stall_cycles),
+                    lsq_full_cycles: b.lsq_full_cycles.saturating_sub(a.lsq_full_cycles),
+                    squashes: b.squashes.saturating_sub(a.squashes),
+                    syscalls: b.syscalls.saturating_sub(a.syscalls),
+                    ..b.clone()
+                }),
+        );
     }
 
     /// Total committed micro-ops across threads.

@@ -1,0 +1,570 @@
+//! Per-thread-indexed shared queue.
+//!
+//! The machine's shared structures (instruction queues, LSQ, dispatch FIFO)
+//! hold entries from every hardware context in global age order, but the
+//! expensive operations are per-thread: a squash removes one thread's
+//! youngest entries, a flush removes one thread's entries outright, and
+//! store-to-load forwarding only ever inspects the loading thread's own
+//! stores. A flat `Vec` makes all of those O(total occupancy) `retain`
+//! scans — on an 8-thread machine that is ~8× more work than necessary,
+//! paid on every mispredict.
+//!
+//! [`IndexedQueue`] keeps each entry on **two intrusive doubly-linked
+//! lists** over one slab: the global age list (iteration order for issue
+//! and dispatch — identical to the `Vec` push order it replaces) and a
+//! per-thread list (seq-ordered, because every producer inserts a thread's
+//! entries in program order). Squash walks the victim thread's list from
+//! its tail and stops at the first survivor, so the cost is O(victims);
+//! every other thread's entries are untouched. All link surgery is O(1).
+//!
+//! The pre-optimization `Vec`+`retain` semantics are preserved verbatim —
+//! [`reference::RetainQueue`] keeps that implementation alive as the
+//! oracle for the differential property tests in
+//! `crates/sim/tests/proptest_machine_equiv.rs`, and the golden-trace
+//! suite pins the machine-level behavior bit-for-bit.
+
+use smt_isa::Tid;
+
+/// Null link. Slab indices are `u32`; the queues hold at most a few
+/// hundred entries.
+pub const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<T> {
+    seq: u64,
+    payload: T,
+    tid: u8,
+    /// Global age-order links.
+    prev: u32,
+    next: u32,
+    /// Per-thread (seq-order) links.
+    tprev: u32,
+    tnext: u32,
+}
+
+/// A shared queue with O(1) append/unlink and O(victims) per-thread purge.
+#[derive(Clone, Debug)]
+pub struct IndexedQueue<T> {
+    nodes: Vec<Node<T>>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    theads: Vec<u32>,
+    ttails: Vec<u32>,
+    tlens: Vec<u32>,
+    len: usize,
+}
+
+impl<T> IndexedQueue<T> {
+    /// An empty queue for `n_threads` contexts, with room for `cap`
+    /// entries before the slab reallocates.
+    pub fn new(n_threads: usize, cap: usize) -> Self {
+        IndexedQueue {
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            theads: vec![NIL; n_threads],
+            ttails: vec![NIL; n_threads],
+            tlens: vec![0; n_threads],
+            len: 0,
+        }
+    }
+
+    /// Live entries across all threads.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Live entries belonging to `tid`.
+    #[inline]
+    pub fn thread_len(&self, tid: Tid) -> usize {
+        self.tlens[tid.idx()] as usize
+    }
+
+    fn alloc(&mut self, node: Node<T>) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Append at the global tail. Callers insert each thread's entries in
+    /// program order, which is what keeps the per-thread list seq-sorted
+    /// (checked in debug builds) and the tail-walk squash correct.
+    pub fn push_back(&mut self, tid: Tid, seq: u64, payload: T) {
+        let ti = tid.idx();
+        debug_assert!(
+            self.ttails[ti] == NIL || self.nodes[self.ttails[ti] as usize].seq < seq,
+            "per-thread seq order violated on push"
+        );
+        let idx = self.alloc(Node {
+            seq,
+            payload,
+            tid: tid.0,
+            prev: self.tail,
+            next: NIL,
+            tprev: self.ttails[ti],
+            tnext: NIL,
+        });
+        if self.tail != NIL {
+            self.nodes[self.tail as usize].next = idx;
+        } else {
+            self.head = idx;
+        }
+        self.tail = idx;
+        if self.ttails[ti] != NIL {
+            self.nodes[self.ttails[ti] as usize].tnext = idx;
+        } else {
+            self.theads[ti] = idx;
+        }
+        self.ttails[ti] = idx;
+        self.len += 1;
+        self.tlens[ti] += 1;
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next, tprev, tnext, ti) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next, n.tprev, n.tnext, n.tid as usize)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        if tprev != NIL {
+            self.nodes[tprev as usize].tnext = tnext;
+        } else {
+            self.theads[ti] = tnext;
+        }
+        if tnext != NIL {
+            self.nodes[tnext as usize].tprev = tprev;
+        } else {
+            self.ttails[ti] = tprev;
+        }
+        self.free.push(idx);
+        self.len -= 1;
+        self.tlens[ti] -= 1;
+    }
+
+    /// Remove the entry at `idx` (a cursor obtained from [`Self::first`] /
+    /// [`Self::next_of`]). Neighbors' cursors stay valid; `idx` does not.
+    #[inline]
+    pub fn remove(&mut self, idx: u32) {
+        self.unlink(idx);
+    }
+
+    /// Oldest entry, if any.
+    #[inline]
+    pub fn front(&self) -> Option<(Tid, u64, &T)> {
+        if self.head == NIL {
+            None
+        } else {
+            let n = &self.nodes[self.head as usize];
+            Some((Tid(n.tid), n.seq, &n.payload))
+        }
+    }
+
+    /// Drop the oldest entry. Panics if empty.
+    pub fn pop_front(&mut self) {
+        assert!(self.head != NIL, "pop_front on empty IndexedQueue");
+        let h = self.head;
+        self.unlink(h);
+    }
+
+    /// Cursor to the oldest entry ([`NIL`] when empty).
+    #[inline]
+    pub fn first(&self) -> u32 {
+        self.head
+    }
+
+    /// Cursor following `idx` in age order.
+    #[inline]
+    pub fn next_of(&self, idx: u32) -> u32 {
+        self.nodes[idx as usize].next
+    }
+
+    /// (thread, seq) of the entry at `idx`.
+    #[inline]
+    pub fn key(&self, idx: u32) -> (Tid, u64) {
+        let n = &self.nodes[idx as usize];
+        (Tid(n.tid), n.seq)
+    }
+
+    /// Payload of the entry at `idx`.
+    #[inline]
+    pub fn payload(&self, idx: u32) -> &T {
+        &self.nodes[idx as usize].payload
+    }
+
+    /// Mutable payload of the entry at `idx` — for caller-maintained memos
+    /// (e.g. the issue stage's dependency-satisfied flag).
+    #[inline]
+    pub fn payload_mut(&mut self, idx: u32) -> &mut T {
+        &mut self.nodes[idx as usize].payload
+    }
+
+    /// Remove every entry of `tid` with `seq >= min_gone` — the squash
+    /// operation. Walks the thread's seq-sorted list from its tail and
+    /// stops at the first survivor: O(victims), other threads untouched.
+    pub fn squash_tail(&mut self, tid: Tid, min_gone: u64) -> usize {
+        let ti = tid.idx();
+        let mut removed = 0;
+        let mut idx = self.ttails[ti];
+        while idx != NIL {
+            let n = &self.nodes[idx as usize];
+            if n.seq < min_gone {
+                break;
+            }
+            let prev = n.tprev;
+            self.unlink(idx);
+            removed += 1;
+            idx = prev;
+        }
+        removed
+    }
+
+    /// Remove every entry of `tid` — the flush operation.
+    pub fn remove_thread(&mut self, tid: Tid) -> usize {
+        self.squash_tail(tid, 0)
+    }
+
+    /// Remove `tid`'s entry with exactly `seq` (if present). O(position in
+    /// the thread's list); commit removes the thread's oldest memory op,
+    /// so in practice this is the first probe.
+    pub fn find_thread_remove(&mut self, tid: Tid, seq: u64) -> bool {
+        let mut idx = self.theads[tid.idx()];
+        while idx != NIL {
+            let n = &self.nodes[idx as usize];
+            if n.seq == seq {
+                self.unlink(idx);
+                return true;
+            }
+            if n.seq > seq {
+                return false; // seq-sorted: overshot
+            }
+            idx = n.tnext;
+        }
+        false
+    }
+
+    /// `tid`'s entries in seq order.
+    pub fn iter_thread(&self, tid: Tid) -> impl Iterator<Item = (u64, &T)> + '_ {
+        let mut idx = self.theads[tid.idx()];
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let n = &self.nodes[idx as usize];
+            idx = n.tnext;
+            Some((n.seq, &n.payload))
+        })
+    }
+
+    /// All entries in global age order.
+    pub fn iter(&self) -> impl Iterator<Item = (Tid, u64, &T)> + '_ {
+        let mut idx = self.head;
+        std::iter::from_fn(move || {
+            if idx == NIL {
+                return None;
+            }
+            let n = &self.nodes[idx as usize];
+            idx = n.next;
+            Some((Tid(n.tid), n.seq, &n.payload))
+        })
+    }
+
+    /// Recheck every structural invariant from scratch: link symmetry on
+    /// both lists, per-thread seq order, length bookkeeping, slab
+    /// accounting. O(len); called from tests and `check_invariants`.
+    pub fn validate(&self) {
+        let mut count = 0usize;
+        let mut prev = NIL;
+        let mut idx = self.head;
+        while idx != NIL {
+            let n = &self.nodes[idx as usize];
+            assert_eq!(n.prev, prev, "global prev link broken at {idx}");
+            count += 1;
+            prev = idx;
+            idx = n.next;
+        }
+        assert_eq!(self.tail, prev, "global tail link broken");
+        assert_eq!(count, self.len, "global length drift");
+        let mut tsum = 0usize;
+        for ti in 0..self.theads.len() {
+            let mut cnt = 0usize;
+            let mut tprev = NIL;
+            let mut last_seq = None;
+            let mut idx = self.theads[ti];
+            while idx != NIL {
+                let n = &self.nodes[idx as usize];
+                assert_eq!(n.tid as usize, ti, "entry on wrong thread list");
+                assert_eq!(n.tprev, tprev, "thread prev link broken at {idx}");
+                if let Some(s) = last_seq {
+                    assert!(n.seq > s, "thread list out of seq order");
+                }
+                last_seq = Some(n.seq);
+                cnt += 1;
+                tprev = idx;
+                idx = n.tnext;
+            }
+            assert_eq!(self.ttails[ti], tprev, "thread tail link broken");
+            assert_eq!(cnt, self.tlens[ti] as usize, "thread length drift");
+            tsum += cnt;
+        }
+        assert_eq!(tsum, self.len, "thread lengths do not sum to total");
+        assert_eq!(
+            self.free.len() + self.len,
+            self.nodes.len(),
+            "slab accounting drift"
+        );
+    }
+}
+
+#[doc(hidden)]
+pub mod reference {
+    //! The **pre-optimization** shared-queue implementation: a flat `Vec`
+    //! purged with order-preserving `retain` scans, exactly as
+    //! `SmtMachine` did before [`super::IndexedQueue`] replaced it. Kept
+    //! (and exported, test-only by convention) as the oracle for the
+    //! differential property tests: both implementations must agree on
+    //! contents and order under every operation sequence.
+
+    use smt_isa::Tid;
+
+    /// `Vec`+`retain` shared queue with the original semantics.
+    #[derive(Clone, Debug, Default)]
+    pub struct RetainQueue<T> {
+        entries: Vec<(Tid, u64, T)>,
+    }
+
+    impl<T> RetainQueue<T> {
+        pub fn new() -> Self {
+            RetainQueue {
+                entries: Vec::new(),
+            }
+        }
+
+        pub fn len(&self) -> usize {
+            self.entries.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.entries.is_empty()
+        }
+
+        pub fn thread_len(&self, tid: Tid) -> usize {
+            self.entries.iter().filter(|(t, _, _)| *t == tid).count()
+        }
+
+        pub fn push_back(&mut self, tid: Tid, seq: u64, payload: T) {
+            self.entries.push((tid, seq, payload));
+        }
+
+        pub fn front(&self) -> Option<(Tid, u64, &T)> {
+            self.entries.first().map(|(t, s, p)| (*t, *s, p))
+        }
+
+        pub fn pop_front(&mut self) {
+            self.entries.remove(0);
+        }
+
+        /// The original squash purge:
+        /// `retain(|q| !(q.tid == tid && q.seq >= min_gone))`.
+        pub fn squash_tail(&mut self, tid: Tid, min_gone: u64) -> usize {
+            let before = self.entries.len();
+            self.entries
+                .retain(|(t, s, _)| !(*t == tid && *s >= min_gone));
+            before - self.entries.len()
+        }
+
+        /// The original flush purge: `retain(|q| q.tid != tid)`.
+        pub fn remove_thread(&mut self, tid: Tid) -> usize {
+            let before = self.entries.len();
+            self.entries.retain(|(t, _, _)| *t != tid);
+            before - self.entries.len()
+        }
+
+        /// Order-preserving removal by (tid, seq).
+        pub fn find_thread_remove(&mut self, tid: Tid, seq: u64) -> bool {
+            match self
+                .entries
+                .iter()
+                .position(|(t, s, _)| *t == tid && *s == seq)
+            {
+                Some(pos) => {
+                    self.entries.remove(pos);
+                    true
+                }
+                None => false,
+            }
+        }
+
+        pub fn iter(&self) -> impl Iterator<Item = (Tid, u64, &T)> + '_ {
+            self.entries.iter().map(|(t, s, p)| (*t, *s, p))
+        }
+
+        pub fn iter_thread(&self, tid: Tid) -> impl Iterator<Item = (u64, &T)> + '_ {
+            self.entries
+                .iter()
+                .filter(move |(t, _, _)| *t == tid)
+                .map(|(_, s, p)| (*s, p))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(q: &IndexedQueue<u32>) -> Vec<(u8, u64, u32)> {
+        q.iter().map(|(t, s, p)| (t.0, s, *p)).collect()
+    }
+
+    #[test]
+    fn push_preserves_global_age_order() {
+        let mut q = IndexedQueue::new(2, 8);
+        q.push_back(Tid(0), 0, 10);
+        q.push_back(Tid(1), 0, 20);
+        q.push_back(Tid(0), 1, 11);
+        assert_eq!(collect(&q), vec![(0, 0, 10), (1, 0, 20), (0, 1, 11)]);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.thread_len(Tid(0)), 2);
+        q.validate();
+    }
+
+    #[test]
+    fn squash_tail_removes_only_young_victims() {
+        let mut q = IndexedQueue::new(2, 8);
+        for s in 0..4 {
+            q.push_back(Tid(0), s, s as u32);
+            q.push_back(Tid(1), s, 100 + s as u32);
+        }
+        let removed = q.squash_tail(Tid(0), 2);
+        assert_eq!(removed, 2);
+        assert_eq!(
+            collect(&q),
+            vec![
+                (0, 0, 0),
+                (1, 0, 100),
+                (0, 1, 1),
+                (1, 1, 101),
+                (1, 2, 102),
+                (1, 3, 103)
+            ]
+        );
+        q.validate();
+    }
+
+    #[test]
+    fn remove_thread_spares_others() {
+        let mut q = IndexedQueue::new(3, 8);
+        for s in 0..3 {
+            q.push_back(Tid(0), s, 0);
+            q.push_back(Tid(2), s, 2);
+        }
+        assert_eq!(q.remove_thread(Tid(0)), 3);
+        assert_eq!(q.thread_len(Tid(0)), 0);
+        assert_eq!(q.thread_len(Tid(2)), 3);
+        assert_eq!(q.len(), 3);
+        q.validate();
+    }
+
+    #[test]
+    fn cursor_walk_with_removal_matches_vec_filtering() {
+        let mut q = IndexedQueue::new(1, 8);
+        for s in 0..6 {
+            q.push_back(Tid(0), s, s as u32);
+        }
+        // Remove even seqs during a walk, as issue does.
+        let mut idx = q.first();
+        while idx != NIL {
+            let next = q.next_of(idx);
+            if q.key(idx).1 % 2 == 0 {
+                q.remove(idx);
+            }
+            idx = next;
+        }
+        assert_eq!(collect(&q), vec![(0, 1, 1), (0, 3, 3), (0, 5, 5)]);
+        q.validate();
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let mut q = IndexedQueue::new(1, 4);
+        for s in 0..4 {
+            q.push_back(Tid(0), s, 0);
+        }
+        q.remove_thread(Tid(0));
+        for s in 10..14 {
+            q.push_back(Tid(0), s, 1);
+        }
+        assert_eq!(q.len(), 4);
+        q.validate();
+    }
+
+    #[test]
+    fn find_thread_remove_hits_exact_seq_only() {
+        let mut q = IndexedQueue::new(2, 8);
+        q.push_back(Tid(0), 5, 0);
+        q.push_back(Tid(1), 5, 1);
+        assert!(!q.find_thread_remove(Tid(0), 4));
+        assert!(q.find_thread_remove(Tid(0), 5));
+        assert!(!q.find_thread_remove(Tid(0), 5));
+        assert_eq!(q.thread_len(Tid(1)), 1, "other thread's seq 5 survives");
+        q.validate();
+    }
+
+    #[test]
+    fn pop_front_tracks_oldest() {
+        let mut q = IndexedQueue::new(2, 4);
+        q.push_back(Tid(1), 0, 7);
+        q.push_back(Tid(0), 0, 8);
+        assert_eq!(q.front().map(|(t, s, p)| (t.0, s, *p)), Some((1, 0, 7)));
+        q.pop_front();
+        assert_eq!(q.front().map(|(t, s, p)| (t.0, s, *p)), Some((0, 0, 8)));
+        q.pop_front();
+        assert!(q.front().is_none());
+        q.validate();
+    }
+
+    #[test]
+    fn matches_reference_on_a_fixed_script() {
+        use super::reference::RetainQueue;
+        let mut a = IndexedQueue::new(3, 8);
+        let mut b = RetainQueue::new();
+        let script: &[(u8, u64)] = &[(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2), (2, 1)];
+        for &(t, s) in script {
+            a.push_back(Tid(t), s, t as u32);
+            b.push_back(Tid(t), s, t as u32);
+        }
+        a.squash_tail(Tid(0), 1);
+        b.squash_tail(Tid(0), 1);
+        a.remove_thread(Tid(1));
+        b.remove_thread(Tid(1));
+        a.find_thread_remove(Tid(2), 0);
+        b.find_thread_remove(Tid(2), 0);
+        let av: Vec<_> = a.iter().map(|(t, s, p)| (t, s, *p)).collect();
+        let bv: Vec<_> = b.iter().map(|(t, s, p)| (t, s, *p)).collect();
+        assert_eq!(av, bv);
+        a.validate();
+    }
+}

@@ -36,6 +36,7 @@ pub mod chooser;
 pub mod config;
 pub mod counters;
 pub mod inflight;
+pub mod iqueue;
 pub mod machine;
 pub mod trace;
 pub mod wrongpath;
@@ -45,5 +46,6 @@ pub use cache::{Cache, Hierarchy, MemAccessResult};
 pub use chooser::{FetchChooser, FnChooser, RoundRobin};
 pub use config::{CacheGeometry, SimConfig};
 pub use counters::{CounterSnapshot, PolicyView, ThreadCounters};
+pub use iqueue::IndexedQueue;
 pub use machine::{GlobalCounters, SmtMachine};
 pub use trace::{TraceBuffer, TraceEvent};

@@ -29,6 +29,7 @@ use crate::chooser::FetchChooser;
 use crate::config::SimConfig;
 use crate::counters::{CounterSnapshot, PolicyView, ThreadCounters};
 use crate::inflight::{find_seq, InFlight, Stage};
+use crate::iqueue::{IndexedQueue, NIL};
 use crate::trace::{TraceBuffer, TraceEvent};
 use crate::wrongpath::WrongPathGen;
 use smt_isa::{BranchKind, OpKind, RegClass, Tid};
@@ -60,13 +61,27 @@ struct QRef {
     seq: u64,
 }
 
+/// LSQ payload carried alongside the (tid, seq) key of an entry.
 #[derive(Clone, Copy, Debug)]
-struct LsqEntry {
-    tid: Tid,
-    seq: u64,
+struct LsqData {
     /// Address quantized to 8 bytes (the generator's access granularity).
     addr8: u64,
     is_store: bool,
+}
+
+/// Instruction-queue payload: the facts issue needs every cycle, copied
+/// out of the window op at dispatch so a dep-blocked entry is judged
+/// without touching the window at all.
+#[derive(Clone, Copy, Debug)]
+struct IqData {
+    kind: OpKind,
+    /// Producer sequence numbers (immutable after fetch).
+    deps: [Option<u64>; 2],
+    /// Monotone memo: once every producer has been observed complete the
+    /// check never needs to run again. A producer can only leave the
+    /// window by committing (still satisfied) or by a squash that also
+    /// removes this younger entry, so the flag can never go stale.
+    deps_done: bool,
 }
 
 /// Per-context state.
@@ -123,9 +138,9 @@ pub struct SmtMachine {
     pub mem: Hierarchy,
     pub bpred: BranchPredictor,
     threads: Vec<ThreadCtx>,
-    int_iq: Vec<QRef>,
-    fp_iq: Vec<QRef>,
-    lsq: Vec<LsqEntry>,
+    int_iq: IndexedQueue<IqData>,
+    fp_iq: IndexedQueue<IqData>,
+    lsq: IndexedQueue<LsqData>,
     free_int_regs: usize,
     free_fp_regs: usize,
     int_div_free_at: u64,
@@ -133,8 +148,13 @@ pub struct SmtMachine {
     /// FIFO of fetched-but-unretired system calls; non-empty = drain mode.
     pending_syscalls: VecDeque<QRef>,
     global: GlobalCounters,
-    /// Scratch for chooser views (reused each cycle).
+    /// Scratch for chooser views (reused each cycle, and by
+    /// [`SmtMachine::views`]).
     view_buf: Vec<PolicyView>,
+    /// Scratch for mispredict squashes discovered during complete
+    /// (ti, seq, history, outcome); reused each cycle, empty between
+    /// cycles.
+    squash_buf: Vec<(usize, u64, u64, Option<bool>)>,
     /// Optional pipeline event trace (None = disabled, zero overhead
     /// beyond one branch per event site).
     trace: Option<TraceBuffer>,
@@ -145,7 +165,7 @@ pub struct SmtMachine {
     /// scheduling policies exist to manage. This is also what propagates
     /// fetch priority into the shared queues: a thread that wins fetch
     /// slots owns a proportional share of this FIFO.
-    dispatch_fifo: VecDeque<QRef>,
+    dispatch_fifo: IndexedQueue<()>,
 }
 
 impl SmtMachine {
@@ -190,16 +210,17 @@ impl SmtMachine {
             mem,
             bpred: BranchPredictor::new(&cfg),
             threads,
-            int_iq: Vec::with_capacity(cfg.int_iq_size),
-            fp_iq: Vec::with_capacity(cfg.fp_iq_size),
-            lsq: Vec::with_capacity(cfg.lsq_size),
+            int_iq: IndexedQueue::new(cfg.threads, cfg.int_iq_size),
+            fp_iq: IndexedQueue::new(cfg.threads, cfg.fp_iq_size),
+            lsq: IndexedQueue::new(cfg.threads, cfg.lsq_size),
             int_div_free_at: 0,
             fp_div_free_at: 0,
             pending_syscalls: VecDeque::new(),
             global: GlobalCounters::default(),
             view_buf: Vec::with_capacity(cfg.threads),
+            squash_buf: Vec::new(),
             trace: None,
-            dispatch_fifo: VecDeque::with_capacity(64),
+            dispatch_fifo: IndexedQueue::new(cfg.threads, 64),
             cycle: 0,
             cfg,
         }
@@ -233,9 +254,20 @@ impl SmtMachine {
     /// telemetry export and per-interval deltas
     /// ([`crate::counters::CounterSnapshot::delta`]).
     pub fn counter_snapshot(&self) -> CounterSnapshot {
-        CounterSnapshot {
-            cycle: self.cycle,
-            threads: self.threads.iter().map(|t| t.counters.clone()).collect(),
+        let mut out = CounterSnapshot::default();
+        self.counter_snapshot_into(&mut out);
+        out
+    }
+
+    /// Refill an existing snapshot in place — the zero-allocation variant
+    /// of [`Self::counter_snapshot`] for per-quantum telemetry loops: after
+    /// the first call the thread vector is warm and nothing allocates.
+    pub fn counter_snapshot_into(&self, out: &mut CounterSnapshot) {
+        out.cycle = self.cycle;
+        out.threads
+            .resize(self.threads.len(), ThreadCounters::default());
+        for (dst, src) in out.threads.iter_mut().zip(&self.threads) {
+            dst.clone_from(&src.counters);
         }
     }
 
@@ -289,12 +321,30 @@ impl SmtMachine {
         self.threads[tid.idx()].stream.profile()
     }
 
-    /// Policy views for all threads (not just fetchable ones).
-    pub fn views(&self) -> Vec<PolicyView> {
-        self.threads
-            .iter()
-            .map(|t| PolicyView::of(t.tid, &t.counters, self.cycle))
-            .collect()
+    /// Policy views for all threads (not just fetchable ones). Reuses the
+    /// machine's internal scratch buffer, so repeated calls never allocate;
+    /// the slice is valid until the next `views()` call or `step`.
+    pub fn views(&mut self) -> &[PolicyView] {
+        let cycle = self.cycle;
+        let threads = &self.threads;
+        self.view_buf.clear();
+        self.view_buf.extend(
+            threads
+                .iter()
+                .map(|t| PolicyView::of(t.tid, &t.counters, cycle)),
+        );
+        &self.view_buf
+    }
+
+    /// Fill `out` with policy views for all threads — for callers that
+    /// hold their own buffer across quanta.
+    pub fn views_into(&self, out: &mut Vec<PolicyView>) {
+        out.clear();
+        out.extend(
+            self.threads
+                .iter()
+                .map(|t| PolicyView::of(t.tid, &t.counters, self.cycle)),
+        );
     }
 
     /// Total in-flight micro-ops (all windows).
@@ -308,31 +358,54 @@ impl SmtMachine {
 
     /// Advance one cycle under the given fetch policy.
     pub fn step<C: FetchChooser>(&mut self, chooser: &mut C) {
-        self.complete();
-        self.commit();
-        self.issue();
-        self.dispatch();
-        self.fetch(chooser);
-        self.end_cycle();
+        if self.trace.is_some() {
+            self.step_impl::<C, true>(chooser);
+        } else {
+            self.step_impl::<C, false>(chooser);
+        }
     }
 
-    /// Run `cycles` cycles.
+    /// Run `cycles` cycles. The tracing check is hoisted out of the loop:
+    /// with tracing off (every sweep and bench) the whole quantum runs in
+    /// the traceless monomorphization, with no per-event branches anywhere
+    /// in the pipeline.
     pub fn run<C: FetchChooser>(&mut self, cycles: u64, chooser: &mut C) {
-        for _ in 0..cycles {
-            self.step(chooser);
+        if self.trace.is_some() {
+            for _ in 0..cycles {
+                self.step_impl::<C, true>(chooser);
+            }
+        } else {
+            for _ in 0..cycles {
+                self.step_impl::<C, false>(chooser);
+            }
         }
+    }
+
+    /// One cycle, monomorphized on whether event tracing is live. `TRACE`
+    /// must match `self.trace.is_some()`; `step`/`run` guarantee it.
+    fn step_impl<C: FetchChooser, const TRACE: bool>(&mut self, chooser: &mut C) {
+        debug_assert_eq!(TRACE, self.trace.is_some());
+        self.complete::<TRACE>();
+        self.commit::<TRACE>();
+        self.issue::<TRACE>();
+        self.dispatch::<TRACE>();
+        self.fetch::<C, TRACE>(chooser);
+        self.end_cycle();
     }
 
     // ------------------------------------------------------------------
     // stage 1: complete
     // ------------------------------------------------------------------
 
-    fn complete(&mut self) {
+    fn complete<const TRACE: bool>(&mut self) {
         let now = self.cycle;
         // Branch mispredict squashes are collected first, then applied, so
-        // the window scan does not fight the borrow checker.
-        let mut squashes: Vec<(usize, u64, u64, Option<bool>)> = Vec::new();
-        let mut trace = self.trace.take();
+        // the window scan does not fight the borrow checker. The buffer is
+        // a machine field, kept empty between cycles — no allocation on
+        // the hot path.
+        let mut squashes = std::mem::take(&mut self.squash_buf);
+        debug_assert!(squashes.is_empty());
+        let mut trace = if TRACE { self.trace.take() } else { None };
         for (ti, ctx) in self.threads.iter_mut().enumerate() {
             if ctx.min_done_at > now {
                 continue;
@@ -352,12 +425,14 @@ impl SmtMachine {
                 // Copy the facts out so counter updates don't fight the
                 // window borrow (MicroOp is Copy).
                 let uop = op.uop;
-                if let Some(t) = &mut trace {
-                    t.push(TraceEvent::Complete {
-                        cycle: now,
-                        tid: ctx.tid,
-                        seq: op.seq,
-                    });
+                if TRACE {
+                    if let Some(t) = &mut trace {
+                        t.push(TraceEvent::Complete {
+                            cycle: now,
+                            tid: ctx.tid,
+                            seq: op.seq,
+                        });
+                    }
                 }
                 let (wrong_path, mispredicted, dmiss, seq, pht_index, hist) = (
                     op.wrong_path,
@@ -401,15 +476,18 @@ impl SmtMachine {
             }
             ctx.min_done_at = next_min;
         }
-        self.trace = trace.take();
-        for (ti, seq, hist, outcome) in squashes {
-            self.bpred.repair_history(Tid(ti as u8), hist, outcome);
-            self.squash_after(ti, seq);
+        if TRACE {
+            self.trace = trace.take();
         }
+        for (ti, seq, hist, outcome) in squashes.drain(..) {
+            self.bpred.repair_history(Tid(ti as u8), hist, outcome);
+            self.squash_after::<TRACE>(ti, seq);
+        }
+        self.squash_buf = squashes;
     }
 
     /// Squash every op of thread `ti` younger than `seq` and redirect fetch.
-    fn squash_after(&mut self, ti: usize, seq: u64) {
+    fn squash_after<const TRACE: bool>(&mut self, ti: usize, seq: u64) {
         let now = self.cycle;
         let cut = {
             let ctx = &self.threads[ti];
@@ -423,21 +501,32 @@ impl SmtMachine {
             }
         };
         let ctx = &mut self.threads[ti];
-        let victims: Vec<InFlight> = ctx.window.drain(cut..).collect();
-        for op in &victims {
-            // Return every resource the op holds.
-            match op.stage {
+        let n_victims = ctx.window.len() - cut;
+        // Return every resource each victim holds, accounting in place —
+        // no drained victims Vec, no allocation.
+        for i in cut..ctx.window.len() {
+            let (stage, kind, is_cond, dmiss, dst, past_dispatch, done) = {
+                let op = &ctx.window[i];
+                (
+                    op.stage,
+                    op.uop.kind,
+                    op.uop.is_cond_branch(),
+                    op.dmiss,
+                    op.uop.dst,
+                    op.past_dispatch(),
+                    op.is_done(),
+                )
+            };
+            match stage {
                 Stage::FrontEnd { .. } => ctx.counters.front_end_occ -= 1,
                 Stage::Queued => ctx.counters.iq_occ -= 1,
                 _ => {}
             }
-            if !op.is_done() {
-                match op.uop.kind {
-                    OpKind::Branch if op.uop.is_cond_branch() => {
-                        ctx.counters.inflight_branches -= 1
-                    }
+            if !done {
+                match kind {
+                    OpKind::Branch if is_cond => ctx.counters.inflight_branches -= 1,
                     OpKind::Load => {
-                        if op.dmiss && matches!(op.stage, Stage::Executing { .. }) {
+                        if dmiss && matches!(stage, Stage::Executing { .. }) {
                             ctx.counters.outstanding_dmiss -= 1;
                         }
                         ctx.counters.inflight_loads -= 1;
@@ -447,8 +536,8 @@ impl SmtMachine {
                     _ => {}
                 }
             }
-            if op.past_dispatch() {
-                if let Some(d) = op.uop.dst {
+            if past_dispatch {
+                if let Some(d) = dst {
                     match d.class {
                         RegClass::Int => self.free_int_regs += 1,
                         RegClass::Fp => self.free_fp_regs += 1,
@@ -456,14 +545,15 @@ impl SmtMachine {
                 }
             }
         }
+        ctx.window.truncate(cut);
         let tid = ctx.tid;
-        // Purge shared structures of the squashed refs.
+        // Purge shared structures of the squashed refs: O(victims) per
+        // queue, touching only this thread's entries.
         let min_gone = seq + 1;
-        self.int_iq.retain(|q| !(q.tid == tid && q.seq >= min_gone));
-        self.fp_iq.retain(|q| !(q.tid == tid && q.seq >= min_gone));
-        self.lsq.retain(|e| !(e.tid == tid && e.seq >= min_gone));
-        self.dispatch_fifo
-            .retain(|q| !(q.tid == tid && q.seq >= min_gone));
+        self.int_iq.squash_tail(tid, min_gone);
+        self.fp_iq.squash_tail(tid, min_gone);
+        self.lsq.squash_tail(tid, min_gone);
+        self.dispatch_fifo.squash_tail(tid, min_gone);
 
         let ctx = &mut self.threads[ti];
         ctx.wrong_path_since = None;
@@ -471,15 +561,16 @@ impl SmtMachine {
         ctx.counters.squashes += 1;
         ctx.counters.mispredicts += 1;
         ctx.counters.recent_mispredicts += 1;
-        let n_victims = victims.len();
         self.global.squashes += 1;
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent::Squash {
-                cycle: now,
-                tid,
-                after_seq: seq,
-                victims: n_victims,
-            });
+        if TRACE {
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent::Squash {
+                    cycle: now,
+                    tid,
+                    after_seq: seq,
+                    victims: n_victims,
+                });
+            }
         }
         // Rebuild the rename map from the surviving window.
         ctx.rename = [None; 64];
@@ -495,7 +586,7 @@ impl SmtMachine {
     // stage 2: commit
     // ------------------------------------------------------------------
 
-    fn commit(&mut self) {
+    fn commit<const TRACE: bool>(&mut self) {
         let n = self.threads.len();
         let mut budget = self.cfg.commit_width;
         let start = (self.cycle % n as u64) as usize;
@@ -514,12 +605,14 @@ impl SmtMachine {
                 budget -= 1;
                 ctx.counters.committed += 1;
                 self.global.committed += 1;
-                if let Some(t) = &mut self.trace {
-                    t.push(TraceEvent::Commit {
-                        cycle: self.cycle,
-                        tid: ctx.tid,
-                        seq: op.seq,
-                    });
+                if TRACE {
+                    if let Some(t) = &mut self.trace {
+                        t.push(TraceEvent::Commit {
+                            cycle: self.cycle,
+                            tid: ctx.tid,
+                            seq: op.seq,
+                        });
+                    }
                 }
                 if let Some(d) = op.uop.dst {
                     match d.class {
@@ -529,13 +622,10 @@ impl SmtMachine {
                 }
                 let tid = ctx.tid;
                 if op.uop.kind.is_mem() {
-                    if let Some(pos) = self
-                        .lsq
-                        .iter()
-                        .position(|e| e.tid == tid && e.seq == op.seq)
-                    {
-                        self.lsq.swap_remove(pos);
-                    }
+                    // The committing op is the thread's oldest memory op,
+                    // so this probes the head of its per-thread list.
+                    let removed = self.lsq.find_thread_remove(tid, op.seq);
+                    debug_assert!(removed, "committed mem op missing from LSQ");
                 }
                 if op.uop.kind == OpKind::Syscall {
                     ctx.counters.syscalls += 1;
@@ -554,13 +644,13 @@ impl SmtMachine {
     // stage 3: issue
     // ------------------------------------------------------------------
 
-    /// Are all of `op`'s producers complete?
-    fn deps_ready(ctx: &ThreadCtx, op: &InFlight) -> bool {
+    /// Are all producers in `deps` complete?
+    fn deps_ready(ctx: &ThreadCtx, deps: &[Option<u64>; 2]) -> bool {
         let oldest = match ctx.window.front() {
             Some(f) => f.seq,
             None => return true,
         };
-        for dep in op.deps.into_iter().flatten() {
+        for dep in deps.iter().copied().flatten() {
             if dep < oldest {
                 continue; // producer already committed
             }
@@ -578,7 +668,7 @@ impl SmtMachine {
         true
     }
 
-    fn issue(&mut self) {
+    fn issue<const TRACE: bool>(&mut self) {
         let now = self.cycle;
         // Drained syscall execution (bypasses the queues entirely).
         if let Some(&q) = self.pending_syscalls.front() {
@@ -605,57 +695,51 @@ impl SmtMachine {
 
         // Issue frees the queue slot; long-latency *dep-blocked* ops are
         // what clog the queues (Tullsen's "IQ clog"), not issued ops.
-        let int_iq = std::mem::take(&mut self.int_iq);
-        let mut keep_int = Vec::with_capacity(int_iq.len());
-        for q in int_iq {
-            if budget == 0 {
-                keep_int.push(q);
-                continue;
-            }
-            if self.try_issue_int(q, now, &mut int_units, &mut ldst_ports) {
+        // Cursor walk in age order: an issued entry is unlinked in O(1),
+        // kept entries are never moved or rewritten (the Vec version
+        // rebuilt both queues every cycle).
+        let mut idx = self.int_iq.first();
+        while idx != NIL && budget > 0 {
+            let next = self.int_iq.next_of(idx);
+            if self.try_issue_int::<TRACE>(idx, now, &mut int_units, &mut ldst_ports) {
+                self.int_iq.remove(idx);
                 budget -= 1;
-            } else {
-                keep_int.push(q);
             }
+            idx = next;
         }
-        self.int_iq = keep_int;
 
-        let fp_iq = std::mem::take(&mut self.fp_iq);
-        let mut keep_fp = Vec::with_capacity(fp_iq.len());
-        for q in fp_iq {
-            if budget == 0 || fp_units == 0 {
-                keep_fp.push(q);
-                continue;
-            }
-            if self.try_issue_fp(q, now, &mut fp_units) {
+        let mut idx = self.fp_iq.first();
+        while idx != NIL && budget > 0 && fp_units > 0 {
+            let next = self.fp_iq.next_of(idx);
+            if self.try_issue_fp::<TRACE>(idx, now, &mut fp_units) {
+                self.fp_iq.remove(idx);
                 budget -= 1;
-            } else {
-                keep_fp.push(q);
             }
+            idx = next;
         }
-        self.fp_iq = keep_fp;
     }
 
-    fn try_issue_int(
+    fn try_issue_int<const TRACE: bool>(
         &mut self,
-        q: QRef,
+        idx: u32,
         now: u64,
         int_units: &mut usize,
         ldst_ports: &mut usize,
     ) -> bool {
         let cfg_lat_mul = self.cfg.lat_int_mul;
         let cfg_lat_div = self.cfg.lat_int_div;
-        let ctx = &self.threads[q.tid.idx()];
-        let Some(i) = find_seq(&ctx.window, q.seq) else {
-            debug_assert!(false, "queue entry without window op");
-            return false;
-        };
-        debug_assert!(ctx.window[i].is_queued(), "issued op left in queue");
-        if !Self::deps_ready(ctx, &ctx.window[i]) {
-            return false;
+        let (tid, seq) = self.int_iq.key(idx);
+        let q = QRef { tid, seq };
+        let d = *self.int_iq.payload(idx);
+        // Judge dep-blocked entries from the cached payload alone — no
+        // window search until the op actually has a chance to issue.
+        if !d.deps_done {
+            if !Self::deps_ready(&self.threads[tid.idx()], &d.deps) {
+                return false;
+            }
+            self.int_iq.payload_mut(idx).deps_done = true;
         }
-        let kind = ctx.window[i].uop.kind;
-        let done_at = match kind {
+        let done_at = match d.kind {
             OpKind::IntAlu | OpKind::Nop | OpKind::Branch => {
                 if *int_units == 0 {
                     return false;
@@ -683,32 +767,39 @@ impl SmtMachine {
                     return false;
                 }
                 *ldst_ports -= 1;
-                return self.issue_load(q, now);
+                return self.issue_load::<TRACE>(q, now);
             }
             OpKind::Store => {
                 if *ldst_ports == 0 {
                     return false;
                 }
                 *ldst_ports -= 1;
-                return self.issue_store(q, now);
+                return self.issue_store::<TRACE>(q, now);
             }
             OpKind::Syscall => return false, // handled by the drain path
             _ => unreachable!("fp op in int queue"),
         };
         let ctx = &mut self.threads[q.tid.idx()];
+        let Some(i) = find_seq(&ctx.window, q.seq) else {
+            debug_assert!(false, "queue entry without window op");
+            return false;
+        };
+        debug_assert!(ctx.window[i].is_queued(), "issued op left in queue");
         ctx.window[i].stage = Stage::Executing { done_at };
         ctx.min_done_at = ctx.min_done_at.min(done_at);
         ctx.counters.iq_occ -= 1;
-        self.trace_push(TraceEvent::Issue {
-            cycle: now,
-            tid: q.tid,
-            seq: q.seq,
-            done_at,
-        });
+        if TRACE {
+            self.trace_push(TraceEvent::Issue {
+                cycle: now,
+                tid: q.tid,
+                seq: q.seq,
+                done_at,
+            });
+        }
         true
     }
 
-    fn issue_load(&mut self, q: QRef, now: u64) -> bool {
+    fn issue_load<const TRACE: bool>(&mut self, q: QRef, now: u64) -> bool {
         let ti = q.tid.idx();
         let i = find_seq(&self.threads[ti].window, q.seq).expect("checked");
         let uop = self.threads[ti].window[i].uop;
@@ -716,11 +807,12 @@ impl SmtMachine {
         let addr = uop.mem.expect("load has mem").addr;
         let addr8 = addr >> 3;
         // Store-to-load forwarding: an older in-flight store to the same
-        // 8-byte word supplies the value without a cache access.
+        // 8-byte word supplies the value without a cache access. Only this
+        // thread's LSQ entries are walked.
         let forwarded = self
             .lsq
-            .iter()
-            .any(|e| e.is_store && e.tid == q.tid && e.seq < q.seq && e.addr8 == addr8);
+            .iter_thread(q.tid)
+            .any(|(seq, e)| e.is_store && seq < q.seq && e.addr8 == addr8);
         let (lat, l1_miss, l2_miss) = if forwarded {
             (2, false, false)
         } else {
@@ -743,16 +835,18 @@ impl SmtMachine {
         if l2_miss {
             ctx.counters.l2_misses += 1;
         }
-        self.trace_push(TraceEvent::Issue {
-            cycle: now,
-            tid: q.tid,
-            seq: q.seq,
-            done_at: now + lat,
-        });
+        if TRACE {
+            self.trace_push(TraceEvent::Issue {
+                cycle: now,
+                tid: q.tid,
+                seq: q.seq,
+                done_at: now + lat,
+            });
+        }
         true
     }
 
-    fn issue_store(&mut self, q: QRef, now: u64) -> bool {
+    fn issue_store<const TRACE: bool>(&mut self, q: QRef, now: u64) -> bool {
         let ti = q.tid.idx();
         let i = find_seq(&self.threads[ti].window, q.seq).expect("checked");
         let uop = self.threads[ti].window[i].uop;
@@ -775,26 +869,33 @@ impl SmtMachine {
         if r.l2_miss {
             ctx.counters.l2_misses += 1;
         }
-        self.trace_push(TraceEvent::Issue {
-            cycle: now,
-            tid: q.tid,
-            seq: q.seq,
-            done_at: now + 1,
-        });
+        if TRACE {
+            self.trace_push(TraceEvent::Issue {
+                cycle: now,
+                tid: q.tid,
+                seq: q.seq,
+                done_at: now + 1,
+            });
+        }
         true
     }
 
-    fn try_issue_fp(&mut self, q: QRef, now: u64, fp_units: &mut usize) -> bool {
-        let ctx = &self.threads[q.tid.idx()];
-        let Some(i) = find_seq(&ctx.window, q.seq) else {
-            debug_assert!(false, "queue entry without window op");
-            return false;
-        };
-        debug_assert!(ctx.window[i].is_queued(), "issued op left in queue");
-        if !Self::deps_ready(ctx, &ctx.window[i]) {
-            return false;
+    fn try_issue_fp<const TRACE: bool>(
+        &mut self,
+        idx: u32,
+        now: u64,
+        fp_units: &mut usize,
+    ) -> bool {
+        let (tid, seq) = self.fp_iq.key(idx);
+        let q = QRef { tid, seq };
+        let d = *self.fp_iq.payload(idx);
+        if !d.deps_done {
+            if !Self::deps_ready(&self.threads[tid.idx()], &d.deps) {
+                return false;
+            }
+            self.fp_iq.payload_mut(idx).deps_done = true;
         }
-        let done_at = match ctx.window[i].uop.kind {
+        let done_at = match d.kind {
             OpKind::FpAlu => now + self.cfg.lat_fp_alu,
             OpKind::FpMul => now + self.cfg.lat_fp_mul,
             OpKind::FpDiv => {
@@ -808,15 +909,22 @@ impl SmtMachine {
         };
         *fp_units -= 1;
         let ctx = &mut self.threads[q.tid.idx()];
+        let Some(i) = find_seq(&ctx.window, q.seq) else {
+            debug_assert!(false, "queue entry without window op");
+            return false;
+        };
+        debug_assert!(ctx.window[i].is_queued(), "issued op left in queue");
         ctx.window[i].stage = Stage::Executing { done_at };
         ctx.min_done_at = ctx.min_done_at.min(done_at);
         ctx.counters.iq_occ -= 1;
-        self.trace_push(TraceEvent::Issue {
-            cycle: now,
-            tid: q.tid,
-            seq: q.seq,
-            done_at,
-        });
+        if TRACE {
+            self.trace_push(TraceEvent::Issue {
+                cycle: now,
+                tid: q.tid,
+                seq: q.seq,
+                done_at,
+            });
+        }
         true
     }
 
@@ -824,11 +932,11 @@ impl SmtMachine {
     // stage 4: dispatch
     // ------------------------------------------------------------------
 
-    fn dispatch(&mut self) {
+    fn dispatch<const TRACE: bool>(&mut self) {
         let now = self.cycle;
         let mut budget = self.cfg.dispatch_width;
         while budget > 0 {
-            let Some(&QRef { tid, seq }) = self.dispatch_fifo.front() else {
+            let Some((tid, seq, _)) = self.dispatch_fifo.front() else {
                 break;
             };
             let ti = tid.idx();
@@ -876,29 +984,39 @@ impl SmtMachine {
             // Commit the dispatch.
             let addr8 = op.uop.mem.map(|m| m.addr >> 3);
             let is_store = kind == OpKind::Store;
+            let deps = op.deps;
             let ctx = &mut self.threads[ti];
             ctx.window[i].stage = Stage::Queued;
             ctx.counters.front_end_occ -= 1;
             ctx.counters.iq_occ += 1;
+            let data = IqData {
+                kind,
+                deps,
+                deps_done: false,
+            };
             if is_fp {
-                self.fp_iq.push(QRef { tid, seq });
+                self.fp_iq.push_back(tid, seq, data);
             } else {
-                self.int_iq.push(QRef { tid, seq });
+                self.int_iq.push_back(tid, seq, data);
             }
             if let Some(a8) = addr8 {
-                self.lsq.push(LsqEntry {
+                self.lsq.push_back(
                     tid,
                     seq,
-                    addr8: a8,
-                    is_store,
-                });
+                    LsqData {
+                        addr8: a8,
+                        is_store,
+                    },
+                );
             }
             self.dispatch_fifo.pop_front();
-            self.trace_push(TraceEvent::Dispatch {
-                cycle: now,
-                tid,
-                seq,
-            });
+            if TRACE {
+                self.trace_push(TraceEvent::Dispatch {
+                    cycle: now,
+                    tid,
+                    seq,
+                });
+            }
             budget -= 1;
         }
     }
@@ -907,7 +1025,7 @@ impl SmtMachine {
     // stage 5: fetch
     // ------------------------------------------------------------------
 
-    fn fetch<C: FetchChooser>(&mut self, chooser: &mut C) {
+    fn fetch<C: FetchChooser, const TRACE: bool>(&mut self, chooser: &mut C) {
         let now = self.cycle;
         // Account stalls for blocked-but-willing threads every cycle.
         for ctx in &mut self.threads {
@@ -936,13 +1054,13 @@ impl SmtMachine {
             if remaining == 0 {
                 break;
             }
-            remaining -= self.fetch_thread(v.tid, remaining);
+            remaining -= self.fetch_thread::<TRACE>(v.tid, remaining);
         }
         self.view_buf = views;
     }
 
     /// Fetch up to `budget` ops from `tid`; returns how many were fetched.
-    fn fetch_thread(&mut self, tid: Tid, budget: usize) -> usize {
+    fn fetch_thread<const TRACE: bool>(&mut self, tid: Tid, budget: usize) -> usize {
         let now = self.cycle;
         let line_bytes = self.cfg.l1i.line_bytes as u64;
         let mut fetched = 0usize;
@@ -1078,14 +1196,16 @@ impl SmtMachine {
             }
             let kind = inflight.uop.kind;
             self.threads[tid.idx()].window.push_back(inflight);
-            self.dispatch_fifo.push_back(QRef { tid, seq });
-            self.trace_push(TraceEvent::Fetch {
-                cycle: now,
-                tid,
-                seq,
-                kind,
-                wrong_path,
-            });
+            self.dispatch_fifo.push_back(tid, seq, ());
+            if TRACE {
+                self.trace_push(TraceEvent::Fetch {
+                    cycle: now,
+                    tid,
+                    seq,
+                    kind,
+                    wrong_path,
+                });
+            }
             fetched += 1;
             if stop_after {
                 break;
@@ -1173,20 +1293,31 @@ impl SmtMachine {
     pub fn flush_thread(&mut self, tid: Tid) {
         let ti = tid.idx();
         let ctx = &mut self.threads[ti];
-        let victims: Vec<InFlight> = ctx.window.drain(..).collect();
-        for op in &victims {
-            match op.stage {
+        // Same in-place victim accounting as squash_after, over the whole
+        // window.
+        for i in 0..ctx.window.len() {
+            let (stage, kind, is_cond, dmiss, dst, past_dispatch, done) = {
+                let op = &ctx.window[i];
+                (
+                    op.stage,
+                    op.uop.kind,
+                    op.uop.is_cond_branch(),
+                    op.dmiss,
+                    op.uop.dst,
+                    op.past_dispatch(),
+                    op.is_done(),
+                )
+            };
+            match stage {
                 Stage::FrontEnd { .. } => ctx.counters.front_end_occ -= 1,
                 Stage::Queued => ctx.counters.iq_occ -= 1,
                 _ => {}
             }
-            if !op.is_done() {
-                match op.uop.kind {
-                    OpKind::Branch if op.uop.is_cond_branch() => {
-                        ctx.counters.inflight_branches -= 1
-                    }
+            if !done {
+                match kind {
+                    OpKind::Branch if is_cond => ctx.counters.inflight_branches -= 1,
                     OpKind::Load => {
-                        if op.dmiss && matches!(op.stage, Stage::Executing { .. }) {
+                        if dmiss && matches!(stage, Stage::Executing { .. }) {
                             ctx.counters.outstanding_dmiss -= 1;
                         }
                         ctx.counters.inflight_loads -= 1;
@@ -1196,8 +1327,8 @@ impl SmtMachine {
                     _ => {}
                 }
             }
-            if op.past_dispatch() {
-                if let Some(d) = op.uop.dst {
+            if past_dispatch {
+                if let Some(d) = dst {
                     match d.class {
                         RegClass::Int => self.free_int_regs += 1,
                         RegClass::Fp => self.free_fp_regs += 1,
@@ -1205,14 +1336,14 @@ impl SmtMachine {
                 }
             }
         }
-        let ctx = &mut self.threads[ti];
+        ctx.window.clear();
         ctx.wrong_path_since = None;
         ctx.rename = [None; 64];
         ctx.min_done_at = u64::MAX;
-        self.int_iq.retain(|q| q.tid != tid);
-        self.fp_iq.retain(|q| q.tid != tid);
-        self.lsq.retain(|e| e.tid != tid);
-        self.dispatch_fifo.retain(|q| q.tid != tid);
+        self.int_iq.remove_thread(tid);
+        self.fp_iq.remove_thread(tid);
+        self.lsq.remove_thread(tid);
+        self.dispatch_fifo.remove_thread(tid);
         self.pending_syscalls.retain(|q| q.tid != tid);
     }
 
@@ -1245,6 +1376,8 @@ impl SmtMachine {
         for ctx in &self.threads {
             let mut fe = 0u32;
             let mut iq = 0u32;
+            let mut int_q_t = 0usize;
+            let mut fp_q_t = 0usize;
             let mut brs = 0u32;
             let mut lds = 0u32;
             let mut mems = 0u32;
@@ -1261,8 +1394,10 @@ impl SmtMachine {
                         iq += 1;
                         if op.uop.kind.is_fp() {
                             fp_q += 1;
+                            fp_q_t += 1;
                         } else {
                             int_q += 1;
+                            int_q_t += 1;
                         }
                     }
                     Stage::Executing { .. } => {
@@ -1305,9 +1440,25 @@ impl SmtMachine {
                 "dmiss gauge drift on {}",
                 ctx.tid
             );
+            assert_eq!(
+                self.int_iq.thread_len(ctx.tid),
+                int_q_t,
+                "int IQ per-thread index drift on {}",
+                ctx.tid
+            );
+            assert_eq!(
+                self.fp_iq.thread_len(ctx.tid),
+                fp_q_t,
+                "fp IQ per-thread index drift on {}",
+                ctx.tid
+            );
         }
         assert_eq!(self.int_iq.len(), int_q, "int IQ ref-count drift");
         assert_eq!(self.fp_iq.len(), fp_q, "fp IQ ref-count drift");
+        self.int_iq.validate();
+        self.fp_iq.validate();
+        self.lsq.validate();
+        self.dispatch_fifo.validate();
         assert!(self.int_iq.len() <= self.cfg.int_iq_size, "int IQ overflow");
         assert!(self.fp_iq.len() <= self.cfg.fp_iq_size, "fp IQ overflow");
         assert!(self.lsq.len() <= self.cfg.lsq_size, "LSQ overflow");
@@ -1475,7 +1626,7 @@ mod tests {
 
     #[test]
     fn views_cover_all_threads() {
-        let m = machine(3, 13);
+        let mut m = machine(3, 13);
         let v = m.views();
         assert_eq!(v.len(), 3);
         assert_eq!(v[2].tid, Tid(2));

@@ -1,0 +1,222 @@
+//! Edge cases of `flush_thread` / `replace_thread`.
+//!
+//! These two entry points are the job-scheduler face of the machine and
+//! the only operations that tear a thread's state out of the shared
+//! structures wholesale. The hot-path rewrite moved that teardown from
+//! whole-queue `retain` scans to per-thread index surgery, so each corner
+//! here is exercised against the full invariant check: flushing in the
+//! shadow of an in-flight mispredict, flushing mid-drain, replacing with
+//! an empty-ish stream, and back-to-back replacements within one quantum.
+
+use smt_isa::{AppProfile, Tid};
+use smt_sim::{RoundRobin, SimConfig, SmtMachine};
+use smt_workloads::UopStream;
+use std::sync::Arc;
+
+fn stream(seed: u64, tid: usize) -> UopStream {
+    UopStream::new(
+        Arc::new(AppProfile::builder("t").build()),
+        seed,
+        smt_workloads::thread_addr_base(tid),
+    )
+}
+
+fn branchy_stream(seed: u64, tid: usize) -> UopStream {
+    UopStream::new(
+        Arc::new(smt_workloads::app("gcc")),
+        seed,
+        smt_workloads::thread_addr_base(tid),
+    )
+}
+
+fn machine(n: usize, seed: u64) -> SmtMachine {
+    let cfg = SimConfig::with_threads(n);
+    let streams = (0..n).map(|i| stream(seed + i as u64, i)).collect();
+    SmtMachine::new(cfg, streams)
+}
+
+/// Flush a thread at every cycle offset across a window that includes
+/// mispredict squashes — the "flush mid-squash" interleaving. Whatever
+/// state the squash machinery left (wrong-path fetch, redirect stalls,
+/// partially drained queues), the flush must fully reclaim it.
+#[test]
+fn flush_lands_on_every_cycle_around_squashes() {
+    // Branchy thread 0 guarantees squash traffic in the probed window.
+    let cfg = SimConfig::with_threads(2);
+    let mk = || {
+        let streams = vec![branchy_stream(21, 0), stream(22, 1)];
+        SmtMachine::new(cfg.clone(), streams)
+    };
+    // Confirm the window actually contains squashes (else the test probes
+    // nothing).
+    let mut probe = mk();
+    probe.run(600, &mut RoundRobin);
+    assert!(probe.global().squashes > 0, "window has no squash traffic");
+    for offset in 0..40u64 {
+        let mut m = mk();
+        m.run(500 + offset, &mut RoundRobin);
+        m.flush_thread(Tid(0));
+        m.check_invariants();
+        assert_eq!(
+            m.counters(Tid(0)).front_end_occ,
+            0,
+            "flush left front-end residue at offset {offset}"
+        );
+        // The machine keeps running and the flushed thread refills.
+        m.run(2_000, &mut RoundRobin);
+        m.check_invariants();
+        assert!(
+            m.counters(Tid(0)).fetched > 0,
+            "flushed thread never refetched at offset {offset}"
+        );
+    }
+}
+
+/// Flush the thread that owns the pending syscall while the machine is
+/// draining for it: the drain FIFO entry must go with the thread, and the
+/// machine must resume fetching for everyone else.
+#[test]
+fn flush_mid_drain_releases_the_machine() {
+    let p = AppProfile::builder("sys").syscall_per_muop(300.0).build();
+    let streams = vec![
+        UopStream::new(Arc::new(p), 8, smt_workloads::thread_addr_base(0)),
+        stream(9, 1),
+    ];
+    let mut m = SmtMachine::new(SimConfig::with_threads(2), streams);
+    // Run until a drain is actually in progress.
+    let mut draining = false;
+    for _ in 0..30_000 {
+        m.step(&mut RoundRobin);
+        if m.global().syscall_drain_cycles > 0 {
+            draining = true;
+            break;
+        }
+    }
+    assert!(draining, "no syscall drain ever started");
+    m.flush_thread(Tid(0));
+    m.check_invariants();
+    let before = m.counters(Tid(1)).committed;
+    m.run(5_000, &mut RoundRobin);
+    m.check_invariants();
+    assert!(
+        m.counters(Tid(1)).committed > before + 1_000,
+        "machine stayed wedged after flushing the syscall owner"
+    );
+}
+
+/// replace_thread with a fresh stream resets the job-scoped counters,
+/// honors the switch penalty, and leaves all shared structures clean.
+#[test]
+fn replace_resets_counters_and_blocks_fetch_for_penalty() {
+    let mut m = machine(2, 31);
+    m.run(3_000, &mut RoundRobin);
+    assert!(m.counters(Tid(0)).committed > 0);
+    let cycle = m.cycle();
+    let penalty = 200;
+    m.replace_thread(Tid(0), stream(777, 0), penalty);
+    m.check_invariants();
+    assert_eq!(m.counters(Tid(0)).committed, 0, "job counters must reset");
+    assert_eq!(m.counters(Tid(0)).fetched, 0);
+    // During the penalty the thread fetches nothing…
+    m.run(penalty - 1, &mut RoundRobin);
+    assert_eq!(
+        m.counters(Tid(0)).fetched,
+        0,
+        "fetched during the switch penalty"
+    );
+    // …after it, it runs.
+    m.run(3_000, &mut RoundRobin);
+    m.check_invariants();
+    assert!(
+        m.counters(Tid(0)).fetched > 0,
+        "replacement job never started (penalty began at cycle {cycle})"
+    );
+    assert!(m.counters(Tid(0)).committed > 0);
+}
+
+/// Back-to-back replacements within a single quantum — a scheduler
+/// thrashing one context — must each leave a consistent machine, and the
+/// *last* job must be the one that ends up running.
+#[test]
+fn back_to_back_replacements_within_one_quantum() {
+    let mut m = machine(4, 41);
+    m.run(2_000, &mut RoundRobin);
+    let warmup: Vec<u64> = (0..4).map(|t| m.counters(Tid(t)).committed).collect();
+    for k in 0..5u64 {
+        m.replace_thread(Tid(2), stream(1_000 + k, 2), 10);
+        m.check_invariants();
+        // A few cycles between replacements — far less than a quantum,
+        // and sometimes less than the penalty itself.
+        m.run(3 + k, &mut RoundRobin);
+        m.check_invariants();
+    }
+    assert_eq!(
+        m.counters(Tid(2)).committed,
+        0,
+        "no replacement's penalty elapsed, nothing may have committed"
+    );
+    m.run(5_000, &mut RoundRobin);
+    m.check_invariants();
+    assert!(
+        m.counters(Tid(2)).committed > 0,
+        "final replacement job never ran"
+    );
+    // The other threads were never disturbed: each kept committing at
+    // (at least) its warmup pace through the thrash and afterwards.
+    for t in [0u8, 1, 3] {
+        assert!(
+            m.counters(Tid(t)).committed > 2 * warmup[t as usize],
+            "bystander {t} starved: {} vs warmup {}",
+            m.counters(Tid(t)).committed,
+            warmup[t as usize]
+        );
+    }
+}
+
+/// Replacing with a stream that immediately syscalls (the closest thing
+/// to an "empty" stream the generator produces) must not wedge the
+/// machine: the drain executes and everyone moves on.
+#[test]
+fn replace_with_immediately_draining_stream() {
+    let mut m = machine(2, 51);
+    m.run(2_000, &mut RoundRobin);
+    // 20k syscalls per million micro-ops — one drain every ~50 uops.
+    let p = AppProfile::builder("sysheavy")
+        .syscall_per_muop(20_000.0)
+        .build();
+    let s = UopStream::new(Arc::new(p), 5, smt_workloads::thread_addr_base(0));
+    m.replace_thread(Tid(0), s, 0);
+    m.check_invariants();
+    m.run(20_000, &mut RoundRobin);
+    m.check_invariants();
+    assert!(
+        m.counters(Tid(0)).syscalls > 0,
+        "syscall-heavy replacement never drained"
+    );
+    assert!(
+        m.counters(Tid(1)).committed > 1_000,
+        "bystander starved by drain-heavy neighbor"
+    );
+}
+
+/// Flushing a thread twice in a row is a no-op the second time; flushing
+/// all threads empties every shared structure.
+#[test]
+fn double_flush_and_flush_all() {
+    let mut m = machine(4, 61);
+    m.run(3_000, &mut RoundRobin);
+    m.flush_thread(Tid(1));
+    m.check_invariants();
+    m.flush_thread(Tid(1));
+    m.check_invariants();
+    for t in 0..4u8 {
+        m.flush_thread(Tid(t));
+    }
+    m.check_invariants();
+    assert_eq!(m.total_inflight(), 0, "flush-all left in-flight ops");
+    // And the machine restarts from empty.
+    let before = m.total_committed();
+    m.run(3_000, &mut RoundRobin);
+    m.check_invariants();
+    assert!(m.total_committed() > before, "machine dead after flush-all");
+}

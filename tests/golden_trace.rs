@@ -116,7 +116,9 @@ fn fixture_path(mix_id: usize, threads: usize) -> PathBuf {
 }
 
 fn bless_requested() -> bool {
-    std::env::var("SMT_GOLDEN_BLESS").map(|v| v == "1").unwrap_or(false)
+    std::env::var("SMT_GOLDEN_BLESS")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 fn check_point(mix_id: usize, threads: usize) {
