@@ -10,11 +10,12 @@
 //! logged to `results/telemetry.jsonl`.
 //!
 //! ```sh
-//! cargo run --release -p smt-bench --bin calibrate [-- --no-cache --jobs N]
+//! cargo run --release -p smt-bench --bin calibrate \
+//!     [-- --no-cache --jobs N --obs [--obs-out DIR] [--obs-events N]]
 //! ```
 
 use adts_core::CondThresholds;
-use smt_bench::{fixed_series, parallel::par_map, sweep, ExpParams};
+use smt_bench::{fixed_series, obs, parallel::par_map, sweep, ExpParams};
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
 use smt_workloads::MIX_COUNT;
@@ -23,13 +24,28 @@ use std::path::PathBuf;
 fn main() {
     let mut no_cache = false;
     let mut jobs = None;
+    let mut obs_opts = obs::ObsOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
             "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
+            "--obs" => obs_opts.enabled = true,
+            "--obs-out" => {
+                obs_opts.out_dir = args.next().map(PathBuf::from).unwrap_or(obs_opts.out_dir)
+            }
+            "--obs-events" => {
+                obs_opts.events_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(obs_opts.events_cap)
+            }
             other => {
-                eprintln!("error: unknown option {other} (known: --no-cache, --jobs N)");
+                eprintln!(
+                    "error: unknown option {other} (known: --no-cache, --jobs N, \
+                     --obs, --obs-out DIR, --obs-events N)"
+                );
                 std::process::exit(2);
             }
         }
@@ -85,6 +101,15 @@ fn main() {
     );
     println!("aggregate IPC      {:>14.3}", mean(&ipc));
     println!("\n{}", sweep::engine().scope_summary());
+    if obs_opts.enabled {
+        // Calibration reads eight-thread ICOUNT behavior, so observe the
+        // first selected mix under the same protocol.
+        let obs_p = ExpParams {
+            mix_ids: p.mix_ids[..1].to_vec(),
+            ..p.clone()
+        };
+        obs::run_observations(&obs_p, &obs_opts);
+    }
     println!(
         "\nPer the paper's method, CondThresholds::default should carry the\n\
          measured means; the COND_* conditions then fire exactly when a\n\

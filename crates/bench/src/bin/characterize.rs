@@ -11,11 +11,12 @@
 //! fields.
 //!
 //! ```sh
-//! cargo run --release -p smt-bench --bin characterize [-- --no-cache]
+//! cargo run --release -p smt-bench --bin characterize \
+//!     [-- --no-cache --obs [--obs-out DIR] [--obs-events N]]
 //! ```
 
 use serde::{Deserialize, Serialize};
-use smt_bench::sweep;
+use smt_bench::{obs, sweep, ExpParams};
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
 use smt_stats::Table;
@@ -64,7 +65,32 @@ fn measure(name: &str, cfg: &SimConfig, warm: u64, run: u64, seed: u64) -> CharR
 }
 
 fn main() {
-    let no_cache = std::env::args().skip(1).any(|a| a == "--no-cache");
+    let mut no_cache = false;
+    let mut obs_opts = obs::ObsOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-cache" => no_cache = true,
+            "--obs" => obs_opts.enabled = true,
+            "--obs-out" => {
+                obs_opts.out_dir = args.next().map(PathBuf::from).unwrap_or(obs_opts.out_dir)
+            }
+            "--obs-events" => {
+                obs_opts.events_cap = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or(obs_opts.events_cap)
+            }
+            other => {
+                eprintln!(
+                    "error: unknown option {other} (known: --no-cache, --obs, \
+                     --obs-out DIR, --obs-events N)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
     sweep::configure(sweep::SweepConfig {
         jobs: None,
         cache_dir: (!no_cache).then(|| PathBuf::from("results/cache")),
@@ -117,5 +143,14 @@ fn main() {
         .is_ok()
     {
         println!("[csv] results/w1_characterize.csv");
+    }
+    if obs_opts.enabled {
+        // Characterization is single-thread per app; the observability
+        // pass instead traces the canonical MIX01 point for context.
+        let obs_p = ExpParams {
+            mix_ids: vec![1],
+            ..ExpParams::smoke()
+        };
+        obs::run_observations(&obs_p, &obs_opts);
     }
 }

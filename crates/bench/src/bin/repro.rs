@@ -30,6 +30,11 @@
 //!   --no-cache        simulate every point even if cached
 //!   --cache-dir DIR   result cache location (default results/cache)
 //!   --no-telemetry    skip the results/telemetry.jsonl run log
+//!   --obs             after the experiments, re-run each selected mix with
+//!                     event tracing + metrics sampling and export JSONL /
+//!                     Chrome-trace / Prometheus artifacts
+//!   --obs-out DIR     artifact directory (default results/obs)
+//!   --obs-events N    trace ring capacity (default 65536)
 //!   --all             shorthand for the `all` experiment selector
 //!
 //! Perf-baseline mode (exclusive with experiments):
@@ -44,7 +49,7 @@
 
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
-    ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
+    ablate_threshold, headline, headline_random, jobsched, obs, oracle, scaling, sweep, table1,
     threshold_type_sweep, ExpParams,
 };
 use smt_stats::Table;
@@ -60,6 +65,7 @@ struct Cli {
     no_cache: bool,
     cache_dir: PathBuf,
     no_telemetry: bool,
+    obs: obs::ObsOptions,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
@@ -75,6 +81,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut no_cache = false;
     let mut cache_dir = PathBuf::from("results/cache");
     let mut no_telemetry = false;
+    let mut obs = obs::ObsOptions::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
@@ -97,6 +104,20 @@ fn parse_args() -> Result<Cli, String> {
                 cache_dir = PathBuf::from(args.next().ok_or("--cache-dir needs a value")?);
             }
             "--no-telemetry" => no_telemetry = true,
+            "--obs" => obs.enabled = true,
+            "--obs-out" => {
+                obs.out_dir = PathBuf::from(args.next().ok_or("--obs-out needs a value")?);
+            }
+            "--obs-events" => {
+                obs.events_cap = args
+                    .next()
+                    .ok_or("--obs-events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad events cap: {e}"))?;
+                if obs.events_cap == 0 {
+                    return Err("--obs-events must be positive".to_string());
+                }
+            }
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -157,6 +178,7 @@ fn parse_args() -> Result<Cli, String> {
         no_cache,
         cache_dir,
         no_telemetry,
+        obs,
         bench,
         quick,
         bench_out,
@@ -267,6 +289,7 @@ fn main() {
         println!("usage: repro [--full|--smoke] [--seed N] [--quanta N] [--mixes a,b,c]");
         println!("             [--out DIR|--no-csv] [--oracle-all] [--jobs N] [--no-cache]");
         println!("             [--cache-dir DIR] [--no-telemetry] <experiment>...");
+        println!("             [--obs] [--obs-out DIR] [--obs-events N]");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
@@ -367,6 +390,9 @@ fn main() {
     }
     if want("jobsched") {
         run("x2_jobsched", &|| jobsched(p));
+    }
+    if cli.obs.enabled {
+        obs::run_observations(p, &cli.obs);
     }
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -25,7 +25,7 @@ pub mod telemetry;
 
 pub use cache::{point_key, CacheKey, ResultCache, CODE_SALT};
 pub use executor::{resolve_jobs, run_isolated, PointError};
-pub use telemetry::{CacheOutcome, TelemetryRecord, TelemetrySink};
+pub use telemetry::{CacheOutcome, ObsSummary, TelemetryRecord, TelemetrySink};
 
 use serde::{Deserialize, Serialize};
 use smt_stats::RunSeries;
@@ -172,6 +172,18 @@ impl SweepEngine {
             ));
         }
         series
+    }
+
+    /// Append a pre-built record to the telemetry sink (no-op when
+    /// telemetry is disabled) and count it in the current scope. For runs
+    /// that bypass [`SweepEngine::run_series`] — the observability passes
+    /// must re-simulate to regenerate events, so they never consult the
+    /// result cache, but their runs should still land in the log.
+    pub fn append_telemetry(&self, record: &TelemetryRecord, wall_ms: f64) {
+        self.note(CacheOutcome::Bypass, wall_ms);
+        if let Some(t) = &self.telemetry {
+            t.append(record);
+        }
     }
 
     /// Run (or recall) one point producing an arbitrary serializable value.

@@ -26,6 +26,19 @@ pub enum CacheOutcome {
     Bypass,
 }
 
+/// Summary of an instrumented (observability) pass attached to a
+/// telemetry record: how many pipeline events the run recorded and where
+/// the exporter artifacts were written.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ObsSummary {
+    /// Events ever recorded by the trace ring (including dropped ones).
+    pub events_recorded: u64,
+    /// Events retained at the end of the run (≤ ring capacity).
+    pub events_retained: u64,
+    /// Directory the JSONL/Chrome/Prometheus artifacts landed in.
+    pub out_dir: String,
+}
+
 /// One line of `telemetry.jsonl`.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct TelemetryRecord {
@@ -56,6 +69,9 @@ pub struct TelemetryRecord {
     pub policy_switches: usize,
     /// Per-quantum committed IPC trace.
     pub per_quantum_ipc: Vec<f64>,
+    /// Present when the run was an instrumented observability pass
+    /// (`--obs`); `None` for ordinary sweep points.
+    pub obs: Option<ObsSummary>,
 }
 
 impl TelemetryRecord {
@@ -98,6 +114,7 @@ impl TelemetryRecord {
             mispredict_rate: weighted(|q| q.mispredict_rate),
             policy_switches: series.switches.len(),
             per_quantum_ipc: series.quanta.iter().map(|q| q.ipc).collect(),
+            obs: None,
         }
     }
 }
@@ -217,6 +234,27 @@ mod tests {
         let line = serde::json::to_string(&r);
         let back: TelemetryRecord =
             serde::json::from_str(&line).expect("telemetry JSON must round-trip");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn obs_summary_round_trips() {
+        let mut r = TelemetryRecord::from_series(
+            "e1",
+            "observed",
+            "MIX01/ICOUNT",
+            "00".into(),
+            CacheOutcome::Bypass,
+            3.0,
+            &series(),
+        );
+        r.obs = Some(ObsSummary {
+            events_recorded: 120_000,
+            events_retained: 65_536,
+            out_dir: "results/obs".into(),
+        });
+        let line = serde::json::to_string(&r);
+        let back: TelemetryRecord = serde::json::from_str(&line).unwrap();
         assert_eq!(back, r);
     }
 

@@ -167,8 +167,12 @@ impl AdaptiveScheduler {
 
         // Apply a pending switch `delay` cycles into this quantum.
         if let Some((to, delay, _)) = self.pending_switch {
+            let from = self.tsu.policy;
             machine.run(delay.min(self.cfg.quantum_cycles), &mut self.tsu);
             self.tsu.set_policy(to);
+            // Records into the event trace only; a no-op (and no behavior
+            // change) on untraced machines.
+            machine.note_policy_switch(from.id(), to.id());
             machine.run(self.cfg.quantum_cycles.saturating_sub(delay), &mut self.tsu);
         } else {
             machine.run(self.cfg.quantum_cycles, &mut self.tsu);

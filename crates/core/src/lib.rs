@@ -33,6 +33,7 @@ pub mod heuristics;
 pub mod history;
 pub mod indicators;
 pub mod jobsched;
+pub mod obs;
 pub mod oracle;
 pub mod runner;
 pub mod threshold;
@@ -43,9 +44,10 @@ pub use heuristics::{CondThresholds, Heuristic, HeuristicKind};
 pub use history::{CaseCounters, SwitchHistory};
 pub use indicators::{MachineSnapshot, QuantumStats};
 pub use jobsched::{EvictionPolicy, JobSchedConfig, JobSchedOutcome, JobScheduler};
+pub use obs::register_series_metrics;
 pub use oracle::{run_oracle, OracleConfig};
 pub use runner::{
     machine_for_mix, machine_for_mix_with, run_adaptive, run_fixed, run_fixed_observed,
-    run_oracle_on,
+    run_fixed_sampled, run_oracle_on,
 };
 pub use threshold::ThresholdMode;

@@ -48,6 +48,22 @@ pub fn run_fixed_observed(
     quantum_cycles: u64,
     mut observer: impl FnMut(u64, &CounterSnapshot),
 ) -> RunSeries {
+    run_fixed_sampled(policy, machine, quanta, quantum_cycles, |i, _m, d| {
+        observer(i, d)
+    })
+}
+
+/// [`run_fixed_observed`] plus read access to the machine itself: the
+/// observer additionally receives `&SmtMachine` after each quantum, which
+/// is what an occupancy sampler (`smt_sim::obs::PipelineSampler`) needs —
+/// queue depths are instantaneous state, not counter deltas.
+pub fn run_fixed_sampled(
+    policy: FetchPolicy,
+    machine: &mut SmtMachine,
+    quanta: u64,
+    quantum_cycles: u64,
+    mut observer: impl FnMut(u64, &SmtMachine, &CounterSnapshot),
+) -> RunSeries {
     let fetch_width = machine.config().fetch_width;
     let mut tsu = Tsu::new(policy, machine.n_threads());
     let mut series = RunSeries::default();
@@ -63,7 +79,7 @@ pub fn run_fixed_observed(
         let after = MachineSnapshot::take(machine);
         machine.counter_snapshot_into(&mut counters_after);
         counters_before.delta_into(&counters_after, &mut counters_delta);
-        observer(index, &counters_delta);
+        observer(index, machine, &counters_delta);
         let stats = QuantumStats::between(&before, &after, fetch_width);
         series.quanta.push(QuantumRecord {
             index,

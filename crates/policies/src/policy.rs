@@ -80,6 +80,16 @@ impl FetchPolicy {
         }
     }
 
+    /// Stable numeric id: the policy's index in [`FetchPolicy::ALL`]
+    /// (Table 1 order). Compact enough for trace events that cannot carry
+    /// a string (`smt_sim::TraceEvent::PolicySwitch`).
+    pub fn id(self) -> u8 {
+        FetchPolicy::ALL
+            .iter()
+            .position(|p| *p == self)
+            .expect("every policy is in ALL") as u8
+    }
+
     /// Parse a canonical name (case-insensitive).
     pub fn parse(s: &str) -> Option<FetchPolicy> {
         let up = s.to_ascii_uppercase();
@@ -142,6 +152,14 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn id_is_the_table1_index() {
+        for (i, p) in FetchPolicy::ALL.into_iter().enumerate() {
+            assert_eq!(p.id() as usize, i);
+            assert_eq!(FetchPolicy::ALL[p.id() as usize], p);
+        }
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod counters;
 pub mod inflight;
 pub mod iqueue;
 pub mod machine;
+pub mod obs;
 pub mod trace;
 pub mod wrongpath;
 
@@ -48,4 +49,5 @@ pub use config::{CacheGeometry, SimConfig};
 pub use counters::{CounterSnapshot, PolicyView, ThreadCounters};
 pub use iqueue::IndexedQueue;
 pub use machine::{GlobalCounters, SmtMachine};
-pub use trace::{TraceBuffer, TraceEvent};
+pub use obs::{EventRing, MetricsRegistry, MetricsSnapshot, PipelineSampler};
+pub use trace::{MissLevel, TraceBuffer, TraceEvent};

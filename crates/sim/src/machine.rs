@@ -30,7 +30,7 @@ use crate::config::SimConfig;
 use crate::counters::{CounterSnapshot, PolicyView, ThreadCounters};
 use crate::inflight::{find_seq, InFlight, Stage};
 use crate::iqueue::{IndexedQueue, NIL};
-use crate::trace::{TraceBuffer, TraceEvent};
+use crate::trace::{MissLevel, TraceBuffer, TraceEvent};
 use crate::wrongpath::WrongPathGen;
 use smt_isa::{BranchKind, OpKind, RegClass, Tid};
 use smt_workloads::{SplitMix64, UopStream};
@@ -350,6 +350,35 @@ impl SmtMachine {
     /// Total in-flight micro-ops (all windows).
     pub fn total_inflight(&self) -> usize {
         self.threads.iter().map(|t| t.window.len()).sum()
+    }
+
+    /// Current occupancy of the shared integer instruction queue.
+    pub fn int_iq_len(&self) -> usize {
+        self.int_iq.len()
+    }
+
+    /// Current occupancy of the shared floating-point instruction queue.
+    pub fn fp_iq_len(&self) -> usize {
+        self.fp_iq.len()
+    }
+
+    /// Current occupancy of the shared load/store queue.
+    pub fn lsq_len(&self) -> usize {
+        self.lsq.len()
+    }
+
+    /// In-flight ops in one thread's reorder window.
+    pub fn window_len(&self, tid: Tid) -> usize {
+        self.threads[tid.idx()].window.len()
+    }
+
+    /// Record a fetch-policy switch in the event trace (no-op unless
+    /// tracing is enabled). `from`/`to` index `FetchPolicy::ALL`; the
+    /// scheduling layer calls this when it retargets the TSU, since the
+    /// machine itself is policy-agnostic.
+    pub fn note_policy_switch(&mut self, from: u8, to: u8) {
+        let cycle = self.cycle;
+        self.trace_push(TraceEvent::PolicySwitch { cycle, from, to });
     }
 
     // ------------------------------------------------------------------
@@ -842,6 +871,22 @@ impl SmtMachine {
                 seq: q.seq,
                 done_at: now + lat,
             });
+            if l1_miss {
+                self.trace_push(TraceEvent::CacheMiss {
+                    cycle: now,
+                    tid: q.tid,
+                    addr,
+                    level: MissLevel::L1D,
+                });
+            }
+            if l2_miss {
+                self.trace_push(TraceEvent::CacheMiss {
+                    cycle: now,
+                    tid: q.tid,
+                    addr,
+                    level: MissLevel::L2,
+                });
+            }
         }
         true
     }
@@ -876,6 +921,22 @@ impl SmtMachine {
                 seq: q.seq,
                 done_at: now + 1,
             });
+            if r.l1_miss {
+                self.trace_push(TraceEvent::CacheMiss {
+                    cycle: now,
+                    tid: q.tid,
+                    addr,
+                    level: MissLevel::L1D,
+                });
+            }
+            if r.l2_miss {
+                self.trace_push(TraceEvent::CacheMiss {
+                    cycle: now,
+                    tid: q.tid,
+                    addr,
+                    level: MissLevel::L2,
+                });
+            }
         }
         true
     }
@@ -1103,6 +1164,22 @@ impl SmtMachine {
                         }
                         ctx.icache_stall_until = now + r.latency;
                         ctx.icache_ready_line = Some(this_line);
+                        if TRACE {
+                            self.trace_push(TraceEvent::CacheMiss {
+                                cycle: now,
+                                tid,
+                                addr: pc,
+                                level: MissLevel::L1I,
+                            });
+                            if r.l2_miss {
+                                self.trace_push(TraceEvent::CacheMiss {
+                                    cycle: now,
+                                    tid,
+                                    addr: pc,
+                                    level: MissLevel::L2,
+                                });
+                            }
+                        }
                         break;
                     }
                 }
@@ -1336,6 +1413,7 @@ impl SmtMachine {
                 }
             }
         }
+        let victims = ctx.window.len();
         ctx.window.clear();
         ctx.wrong_path_since = None;
         ctx.rename = [None; 64];
@@ -1345,6 +1423,14 @@ impl SmtMachine {
         self.lsq.remove_thread(tid);
         self.dispatch_fifo.remove_thread(tid);
         self.pending_syscalls.retain(|q| q.tid != tid);
+        // Not on the per-cycle hot path (quantum-boundary operation), so a
+        // plain runtime branch suffices instead of the TRACE const.
+        let cycle = self.cycle;
+        self.trace_push(TraceEvent::Flush {
+            cycle,
+            tid,
+            victims,
+        });
     }
 
     // ------------------------------------------------------------------

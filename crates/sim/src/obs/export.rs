@@ -1,0 +1,261 @@
+//! Exporters: trace events and metrics in interchange formats.
+//!
+//! Three text formats, all built from the same [`TraceEvent`] stream and
+//! [`MetricsRegistry`]:
+//!
+//! - [`events_jsonl`] — one canonical-JSON event per line, the lossless
+//!   dump (each line parses back into a [`TraceEvent`]);
+//! - [`chrome_trace`] — the Chrome `trace_event` JSON-array format, so a
+//!   quantum's pipeline activity opens directly in `chrome://tracing` /
+//!   Perfetto with one timeline row per hardware context (`ts` is the
+//!   simulated cycle, execution intervals are `X` complete events,
+//!   everything else an `i` instant);
+//! - [`prometheus`] — the Prometheus text exposition format for the
+//!   registry's counters and histograms (`_bucket`/`_sum`/`_count`
+//!   triplets with cumulative `le` buckets).
+
+use crate::obs::metrics::MetricsRegistry;
+use crate::trace::{MissLevel, TraceEvent};
+use std::fmt::Write as _;
+
+/// Serialize events as JSON Lines, oldest first.
+pub fn events_jsonl<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde::json::to_string(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// The Chrome `trace_event` "pid" all simulator events share.
+const CHROME_PID: u32 = 0;
+/// Synthetic Chrome "tid" for machine-wide events (policy switches).
+const CHROME_MACHINE_ROW: u32 = 99;
+
+fn chrome_event(out: &mut String, ev: &TraceEvent) {
+    let row = ev.tid().map(|t| t.0 as u32).unwrap_or(CHROME_MACHINE_ROW);
+    let ts = ev.cycle();
+    match *ev {
+        TraceEvent::Issue {
+            cycle,
+            seq,
+            done_at,
+            ..
+        } => {
+            let dur = done_at.saturating_sub(cycle).max(1);
+            let _ = write!(
+                out,
+                r#"{{"name":"exec","ph":"X","ts":{ts},"dur":{dur},"pid":{CHROME_PID},"tid":{row},"args":{{"seq":{seq}}}}}"#
+            );
+        }
+        TraceEvent::Fetch {
+            seq,
+            kind,
+            wrong_path,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"fetch","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"seq":{seq},"kind":"{kind:?}","wrong_path":{wrong_path}}}}}"#
+            );
+        }
+        TraceEvent::Dispatch { seq, .. }
+        | TraceEvent::Complete { seq, .. }
+        | TraceEvent::Commit { seq, .. } => {
+            let name = match ev {
+                TraceEvent::Dispatch { .. } => "dispatch",
+                TraceEvent::Complete { .. } => "complete",
+                _ => "commit",
+            };
+            let _ = write!(
+                out,
+                r#"{{"name":"{name}","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"seq":{seq}}}}}"#
+            );
+        }
+        TraceEvent::Squash {
+            after_seq, victims, ..
+        } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"squash","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"after_seq":{after_seq},"victims":{victims}}}}}"#
+            );
+        }
+        TraceEvent::Flush { victims, .. } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"flush","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"victims":{victims}}}}}"#
+            );
+        }
+        TraceEvent::CacheMiss { addr, level, .. } => {
+            let name = match level {
+                MissLevel::L1I => "miss-l1i",
+                MissLevel::L1D => "miss-l1d",
+                MissLevel::L2 => "miss-l2",
+            };
+            let _ = write!(
+                out,
+                r#"{{"name":"{name}","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"addr":{addr}}}}}"#
+            );
+        }
+        TraceEvent::PolicySwitch { from, to, .. } => {
+            let _ = write!(
+                out,
+                r#"{{"name":"policy_switch","ph":"i","ts":{ts},"s":"g","pid":{CHROME_PID},"tid":{row},"args":{{"from":{from},"to":{to}}}}}"#
+            );
+        }
+    }
+}
+
+/// Render events in the Chrome `trace_event` format (the JSON-object
+/// flavor, `{"traceEvents": [...]}`), oldest first.
+pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> String {
+    let mut out = String::from(r#"{"traceEvents":["#);
+    let mut first = true;
+    for ev in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        chrome_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Restrict a metric name to the Prometheus charset `[a-zA-Z0-9_:]`.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Format a bucket bound the Prometheus way (no trailing noise for exact
+/// integers, `{:?}`-style shortest float otherwise).
+fn fmt_le(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:?}")
+    }
+}
+
+/// Render the registry in the Prometheus text exposition format. All
+/// metric names get the `smt_` prefix.
+pub fn prometheus(reg: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in reg.counters() {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE smt_{n} counter");
+        let _ = writeln!(out, "smt_{n} {value}");
+    }
+    for (name, h) in reg.hists() {
+        let n = sanitize(name);
+        let _ = writeln!(out, "# TYPE smt_{n} histogram");
+        let mut cumulative = 0u64;
+        for (i, c) in h.counts().iter().enumerate() {
+            cumulative += c;
+            let _ = writeln!(
+                out,
+                "smt_{n}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_le(h.upper_edge(i))
+            );
+        }
+        let _ = writeln!(out, "smt_{n}_bucket{{le=\"+Inf\"}} {}", h.count());
+        let _ = writeln!(out, "smt_{n}_sum {:?}", h.sum());
+        let _ = writeln!(out, "smt_{n}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_isa::{OpKind, Tid};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Fetch {
+                cycle: 1,
+                tid: Tid(0),
+                seq: 0,
+                kind: OpKind::Load,
+                wrong_path: false,
+            },
+            TraceEvent::Issue {
+                cycle: 3,
+                tid: Tid(0),
+                seq: 0,
+                done_at: 9,
+            },
+            TraceEvent::CacheMiss {
+                cycle: 3,
+                tid: Tid(0),
+                addr: 4096,
+                level: MissLevel::L1D,
+            },
+            TraceEvent::PolicySwitch {
+                cycle: 5,
+                from: 0,
+                to: 4,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let evs = sample_events();
+        let text = events_jsonl(&evs);
+        let parsed: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| serde::json::from_str(l).expect("line must parse"))
+            .collect();
+        assert_eq!(parsed, evs);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_entry_per_event() {
+        let evs = sample_events();
+        let text = chrome_trace(&evs);
+        let v: serde::Value = serde::json::from_str(&text).expect("chrome trace JSON");
+        let serde::Value::Map(obj) = &v else {
+            panic!("top level must be an object");
+        };
+        let (_, entries) = obj.iter().find(|(k, _)| k == "traceEvents").unwrap();
+        let serde::Value::Seq(items) = entries else {
+            panic!("traceEvents must be an array");
+        };
+        assert_eq!(items.len(), evs.len());
+    }
+
+    #[test]
+    fn chrome_issue_events_have_duration() {
+        let text = chrome_trace(&sample_events());
+        assert!(text.contains(r#""ph":"X""#));
+        assert!(text.contains(r#""dur":6"#), "{text}");
+    }
+
+    #[test]
+    fn prometheus_renders_counters_and_hist_triplets() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("commits/total");
+        reg.inc(c, 41);
+        let h = reg.hist("iq depth", 0.0, 4.0, 4);
+        reg.observe(h, 0.5);
+        reg.observe(h, 3.5);
+        let text = prometheus(&reg);
+        assert!(text.contains("# TYPE smt_commits_total counter"));
+        assert!(text.contains("smt_commits_total 41"));
+        assert!(text.contains("smt_iq_depth_bucket{le=\"1\"} 1"));
+        assert!(text.contains("smt_iq_depth_bucket{le=\"4\"} 2"));
+        assert!(text.contains("smt_iq_depth_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("smt_iq_depth_count 2"));
+        assert!(text.contains("smt_iq_depth_sum 4.0"));
+    }
+}

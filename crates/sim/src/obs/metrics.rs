@@ -1,0 +1,187 @@
+//! Metrics registry: named monotonic counters and occupancy histograms.
+//!
+//! The paper's status-indicator hardware generalized: any layer (machine,
+//! ADTS core, experiment harness) registers a counter or histogram once,
+//! keeps the cheap integer id, and bumps it on the hot path without a name
+//! lookup. A registry snapshots into a reusable buffer without allocating
+//! — the same discipline as `SmtMachine::counter_snapshot_into` — and
+//! exports through [`crate::obs::export::prometheus`].
+//!
+//! Counters are monotone by construction (`inc` takes an unsigned delta);
+//! histograms are `smt_stats::Histogram`, so quantiles, CDFs and merges
+//! come for free.
+
+use smt_stats::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// Registry of named counters and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counter_names: Vec<String>,
+    counter_values: Vec<u64>,
+    hist_names: Vec<String>,
+    hists: Vec<Histogram>,
+}
+
+/// Values-only copy of a registry at one instant, in registration order.
+/// Taking repeated snapshots into the same buffer does not allocate once
+/// the shapes have stabilized.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<u64>,
+    pub hists: Vec<Histogram>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Register (or look up) the counter called `name`.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.counter_names.push(name.to_string());
+        self.counter_values.push(0);
+        CounterId(self.counter_names.len() - 1)
+    }
+
+    /// Register (or look up) the histogram called `name` over `[lo, hi)`
+    /// with `bins` equal-width bins. A second registration of the same
+    /// name returns the existing histogram regardless of geometry.
+    pub fn hist(&mut self, name: &str, lo: f64, hi: f64, bins: usize) -> HistId {
+        if let Some(i) = self.hist_names.iter().position(|n| n == name) {
+            return HistId(i);
+        }
+        self.hist_names.push(name.to_string());
+        self.hists.push(Histogram::new(lo, hi, bins));
+        HistId(self.hist_names.len() - 1)
+    }
+
+    /// Bump a counter. Monotone: deltas are unsigned.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counter_values[id.0] += by;
+    }
+
+    /// Add a sample to a histogram.
+    #[inline]
+    pub fn observe(&mut self, id: HistId, x: f64) {
+        self.hists[id.0].add(x);
+    }
+
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counter_values[id.0]
+    }
+
+    pub fn hist_of(&self, id: HistId) -> &Histogram {
+        &self.hists[id.0]
+    }
+
+    /// `(name, value)` for every counter, in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.counter_values.iter().copied())
+    }
+
+    /// `(name, histogram)` for every histogram, in registration order.
+    pub fn hists(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.hist_names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.hists.iter())
+    }
+
+    /// Copy the current values into `out`, reusing its buffers — the
+    /// zero-allocation path for periodic snapshot loops.
+    pub fn snapshot_into(&self, out: &mut MetricsSnapshot) {
+        out.counters.clear();
+        out.counters.extend_from_slice(&self.counter_values);
+        if out.hists.len() > self.hists.len() {
+            out.hists.truncate(self.hists.len());
+        }
+        for (i, h) in self.hists.iter().enumerate() {
+            match out.hists.get_mut(i) {
+                Some(slot) => slot.copy_from(h),
+                None => out.hists.push(h.clone()),
+            }
+        }
+    }
+
+    /// Allocating convenience wrapper over [`Self::snapshot_into`].
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        self.snapshot_into(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_once_and_accumulate() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("commits");
+        let b = r.counter("commits");
+        assert_eq!(a, b, "same name must return the same id");
+        r.inc(a, 3);
+        r.inc(b, 4);
+        assert_eq!(r.counter_value(a), 7);
+        let all: Vec<(&str, u64)> = r.counters().collect();
+        assert_eq!(all, vec![("commits", 7)]);
+    }
+
+    #[test]
+    fn hists_register_once_and_observe() {
+        let mut r = MetricsRegistry::new();
+        let h = r.hist("iq_depth", 0.0, 32.0, 32);
+        assert_eq!(h, r.hist("iq_depth", 0.0, 64.0, 8));
+        r.observe(h, 3.0);
+        r.observe(h, 3.5);
+        assert_eq!(r.hist_of(h).count(), 2);
+    }
+
+    #[test]
+    fn snapshot_copies_values_in_registration_order() {
+        let mut r = MetricsRegistry::new();
+        let c1 = r.counter("a");
+        let c2 = r.counter("b");
+        let h = r.hist("h", 0.0, 4.0, 4);
+        r.inc(c1, 1);
+        r.inc(c2, 10);
+        r.observe(h, 2.0);
+        let s = r.snapshot();
+        assert_eq!(s.counters, vec![1, 10]);
+        assert_eq!(s.hists[0].count(), 1);
+        // Mutating the registry does not touch the snapshot.
+        r.inc(c1, 5);
+        assert_eq!(s.counters[0], 1);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("x");
+        let h = r.hist("h", 0.0, 4.0, 4);
+        let mut snap = MetricsSnapshot::default();
+        r.snapshot_into(&mut snap);
+        r.inc(c, 2);
+        r.observe(h, 1.0);
+        r.snapshot_into(&mut snap);
+        assert_eq!(snap.counters, vec![2]);
+        assert_eq!(snap.hists[0].count(), 1);
+        assert_eq!(snap, r.snapshot());
+    }
+}

@@ -1,0 +1,27 @@
+//! Cycle-level observability: event ring, metrics registry, exporters.
+//!
+//! The paper's ADTS argument rests on *seeing into* the machine — the
+//! detector thread reads per-thread status indicators every quantum. This
+//! module is that visibility made first-class, in three layers:
+//!
+//! - [`ring`] — the fixed-capacity [`EventRing`] behind the machine's
+//!   typed pipeline-event trace ([`crate::trace`]); emission sits behind
+//!   the `const TRACE` monomorphization of `SmtMachine::step_impl`, so an
+//!   untraced run compiles every emit point out and stays bit-identical
+//!   to the golden fixtures;
+//! - [`metrics`] — [`MetricsRegistry`]: named monotonic counters and
+//!   occupancy histograms (reusing `smt_stats::Histogram`), registered
+//!   once, bumped by id, snapshot without allocation;
+//! - [`sampler`] — [`PipelineSampler`]: per-quantum occupancy/utilization
+//!   sampling (IQ/LSQ/ROB depth, fetch-slot shares) that only reads the
+//!   machine;
+//! - [`export`] — JSONL, Chrome `trace_event` and Prometheus text dumps.
+
+pub mod export;
+pub mod metrics;
+pub mod ring;
+pub mod sampler;
+
+pub use metrics::{CounterId, HistId, MetricsRegistry, MetricsSnapshot};
+pub use ring::EventRing;
+pub use sampler::PipelineSampler;

@@ -1,0 +1,98 @@
+//! Fixed-capacity event ring.
+//!
+//! The storage behind [`crate::trace::TraceBuffer`], generic so tests and
+//! external tooling can ring-buffer their own event types with the same
+//! drop-oldest semantics. Pushing is O(1) amortized and never allocates
+//! once the ring has filled.
+
+use std::collections::VecDeque;
+
+/// Bounded ring: the newest `cap` pushed values are retained, oldest drop
+/// first.
+#[derive(Clone, Debug, Default)]
+pub struct EventRing<T> {
+    cap: usize,
+    ring: VecDeque<T>,
+    /// Total values ever recorded (including dropped ones).
+    pub recorded: u64,
+}
+
+impl<T> EventRing<T> {
+    /// Panics if `cap == 0` — a ring that can hold nothing silently drops
+    /// everything, which is never what a tracing caller wants.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "zero-capacity trace");
+        EventRing {
+            cap,
+            ring: VecDeque::with_capacity(cap.min(4096)),
+            recorded: 0,
+        }
+    }
+
+    #[inline]
+    pub fn push(&mut self, ev: T) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(ev);
+        self.recorded += 1;
+    }
+
+    /// Retained values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.ring.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Maximum number of retained values.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many recorded values have been dropped to honor the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.recorded - self.ring.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_newest_cap_values() {
+        let mut r = EventRing::new(3);
+        for i in 0..7u64 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.recorded, 7);
+        assert_eq!(r.dropped(), 4);
+        let vals: Vec<u64> = r.iter().copied().collect();
+        assert_eq!(vals, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn under_capacity_keeps_everything() {
+        let mut r = EventRing::new(10);
+        r.push("a");
+        r.push("b");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 0);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = EventRing::<u8>::new(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Periodic pipeline occupancy sampling.
+//!
+//! A [`PipelineSampler`] registers the canonical occupancy histograms
+//! (shared IQ/LSQ depth, per-thread ROB depth) and fetch-slot utilization
+//! counters in a [`MetricsRegistry`], then records one sample per call to
+//! [`PipelineSampler::sample`] — typically once per scheduling quantum,
+//! the granularity the paper's detector thread observes at. Sampling only
+//! *reads* machine state, so it can never perturb simulation results (the
+//! differential test in `tests/obs_differential.rs` pins this).
+
+use crate::machine::SmtMachine;
+use crate::obs::metrics::{CounterId, HistId, MetricsRegistry};
+
+/// Occupancy/utilization sampler over one machine.
+#[derive(Clone, Debug)]
+pub struct PipelineSampler {
+    h_int_iq: HistId,
+    h_fp_iq: HistId,
+    h_lsq: HistId,
+    h_rob: HistId,
+    c_samples: CounterId,
+    /// Machine-wide fetch slots actually filled since the last sample.
+    c_fetch_slots: CounterId,
+    /// Per-thread fetched micro-ops (correct + wrong path) since the last
+    /// sample, i.e. each thread's share of the fetch bandwidth.
+    c_thread_fetch: Vec<CounterId>,
+    last_thread_fetch: Vec<u64>,
+    last_fetch_slots: u64,
+}
+
+impl PipelineSampler {
+    /// Register the sampler's instruments for `machine` in `reg`.
+    /// Histogram ranges come from the machine's configured queue sizes, so
+    /// a full queue lands in the top bin rather than clamping early.
+    pub fn new(reg: &mut MetricsRegistry, machine: &SmtMachine) -> Self {
+        let cfg = machine.config();
+        let n = machine.n_threads();
+        let depth_hist = |reg: &mut MetricsRegistry, name: &str, size: usize| {
+            let bins = (size + 1).min(64);
+            reg.hist(name, 0.0, (size + 1) as f64, bins)
+        };
+        PipelineSampler {
+            h_int_iq: depth_hist(reg, "int_iq_depth", cfg.int_iq_size),
+            h_fp_iq: depth_hist(reg, "fp_iq_depth", cfg.fp_iq_size),
+            h_lsq: depth_hist(reg, "lsq_depth", cfg.lsq_size),
+            h_rob: depth_hist(reg, "rob_depth_per_thread", cfg.rob_per_thread),
+            c_samples: reg.counter("obs_samples"),
+            c_fetch_slots: reg.counter("fetch_slots_used"),
+            c_thread_fetch: (0..n)
+                .map(|t| reg.counter(&format!("thread{t}_fetch_slots")))
+                .collect(),
+            last_thread_fetch: vec![0; n],
+            last_fetch_slots: 0,
+        }
+    }
+
+    /// Record one sample of `machine`'s occupancies into `reg`.
+    /// Read-only with respect to the machine.
+    pub fn sample(&mut self, machine: &SmtMachine, reg: &mut MetricsRegistry) {
+        reg.inc(self.c_samples, 1);
+        reg.observe(self.h_int_iq, machine.int_iq_len() as f64);
+        reg.observe(self.h_fp_iq, machine.fp_iq_len() as f64);
+        reg.observe(self.h_lsq, machine.lsq_len() as f64);
+        for t in 0..machine.n_threads() {
+            let tid = smt_isa::Tid(t as u8);
+            reg.observe(self.h_rob, machine.window_len(tid) as f64);
+            let c = machine.counters(tid);
+            let now = c.fetched + c.wrongpath_fetched;
+            let delta = now.saturating_sub(self.last_thread_fetch[t]);
+            self.last_thread_fetch[t] = now;
+            reg.inc(self.c_thread_fetch[t], delta);
+        }
+        let slots = machine.global().fetch_slots_used;
+        reg.inc(
+            self.c_fetch_slots,
+            slots.saturating_sub(self.last_fetch_slots),
+        );
+        self.last_fetch_slots = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chooser::RoundRobin;
+    use crate::config::SimConfig;
+    use smt_workloads::mix;
+
+    fn machine() -> SmtMachine {
+        let m = mix(1).take_threads(2, 1);
+        SmtMachine::new(SimConfig::with_threads(2), m.streams(42))
+    }
+
+    #[test]
+    fn sampler_accumulates_fetch_deltas() {
+        let mut m = machine();
+        let mut reg = MetricsRegistry::new();
+        let mut s = PipelineSampler::new(&mut reg, &m);
+        for _ in 0..4 {
+            m.run(512, &mut RoundRobin);
+            s.sample(&m, &mut reg);
+        }
+        let samples = reg.counter("obs_samples");
+        assert_eq!(reg.counter_value(samples), 4);
+        let slots = reg.counter("fetch_slots_used");
+        assert_eq!(
+            reg.counter_value(slots),
+            m.global().fetch_slots_used,
+            "summed deltas must equal the machine's cumulative count"
+        );
+        let per_thread: u64 = (0..2)
+            .map(|t| {
+                let c = reg.counter(&format!("thread{t}_fetch_slots"));
+                reg.counter_value(c)
+            })
+            .sum();
+        assert_eq!(per_thread, m.global().fetch_slots_used);
+        let rob = reg.hist("rob_depth_per_thread", 0.0, 1.0, 1);
+        assert_eq!(reg.hist_of(rob).count(), 8, "2 threads x 4 samples");
+    }
+
+    #[test]
+    fn sampling_does_not_mutate_the_machine() {
+        let mut a = machine();
+        let mut b = machine();
+        let mut reg = MetricsRegistry::new();
+        let mut s = PipelineSampler::new(&mut reg, &a);
+        for _ in 0..3 {
+            a.run(256, &mut RoundRobin);
+            s.sample(&a, &mut reg);
+            b.run(256, &mut RoundRobin);
+        }
+        assert_eq!(a.counter_snapshot(), b.counter_snapshot());
+        assert_eq!(a.debug_snapshot(), b.debug_snapshot());
+    }
+}

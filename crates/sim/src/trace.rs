@@ -6,12 +6,27 @@
 //! debugging scheduling pathologies at cycle resolution — e.g. watching a
 //! clogging thread's ops monopolize dispatch slots, or a squash ripple
 //! through the queues.
+//!
+//! Events serialize through `serde`, so a buffer drains losslessly into
+//! the [`crate::obs::export`] formats (JSONL, Chrome `trace_event`).
 
+use crate::obs::EventRing;
+use serde::{Deserialize, Serialize};
 use smt_isa::{OpKind, Tid};
-use std::collections::VecDeque;
+
+/// Which cache level a [`TraceEvent::CacheMiss`] missed in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MissLevel {
+    /// L1 instruction cache (fetch side).
+    L1I,
+    /// L1 data cache (load/store issue).
+    L1D,
+    /// Unified L2 (always accompanies an L1 miss event).
+    L2,
+}
 
 /// One pipeline event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TraceEvent {
     /// An op entered the window at fetch.
     Fetch {
@@ -42,6 +57,25 @@ pub enum TraceEvent {
         after_seq: u64,
         victims: usize,
     },
+    /// `flush_thread` returned all of `tid`'s shared resources
+    /// (`victims` in-flight ops discarded).
+    Flush {
+        cycle: u64,
+        tid: Tid,
+        victims: usize,
+    },
+    /// A cache access missed at `level`; `addr` is the data address for
+    /// `L1D`, the fetch PC for `L1I`, and whichever of the two triggered
+    /// the access for `L2`.
+    CacheMiss {
+        cycle: u64,
+        tid: Tid,
+        addr: u64,
+        level: MissLevel,
+    },
+    /// The thread selection unit changed fetch policy; `from`/`to` index
+    /// `FetchPolicy::ALL` (Table 1 order).
+    PolicySwitch { cycle: u64, from: u8, to: u8 },
 }
 
 impl TraceEvent {
@@ -53,70 +87,44 @@ impl TraceEvent {
             | TraceEvent::Issue { cycle, .. }
             | TraceEvent::Complete { cycle, .. }
             | TraceEvent::Commit { cycle, .. }
-            | TraceEvent::Squash { cycle, .. } => cycle,
+            | TraceEvent::Squash { cycle, .. }
+            | TraceEvent::Flush { cycle, .. }
+            | TraceEvent::CacheMiss { cycle, .. }
+            | TraceEvent::PolicySwitch { cycle, .. } => cycle,
         }
     }
 
-    /// The thread the event belongs to.
-    pub fn tid(&self) -> Tid {
+    /// The thread the event belongs to; `None` for machine-wide events
+    /// (policy switches).
+    pub fn tid(&self) -> Option<Tid> {
         match *self {
             TraceEvent::Fetch { tid, .. }
             | TraceEvent::Dispatch { tid, .. }
             | TraceEvent::Issue { tid, .. }
             | TraceEvent::Complete { tid, .. }
             | TraceEvent::Commit { tid, .. }
-            | TraceEvent::Squash { tid, .. } => tid,
+            | TraceEvent::Squash { tid, .. }
+            | TraceEvent::Flush { tid, .. }
+            | TraceEvent::CacheMiss { tid, .. } => Some(tid),
+            TraceEvent::PolicySwitch { .. } => None,
         }
     }
 }
 
 /// Bounded event ring: oldest events drop first.
-#[derive(Clone, Debug, Default)]
-pub struct TraceBuffer {
-    cap: usize,
-    ring: VecDeque<TraceEvent>,
-    /// Total events ever recorded (including dropped ones).
-    pub recorded: u64,
-}
+pub type TraceBuffer = EventRing<TraceEvent>;
 
-impl TraceBuffer {
-    pub fn new(cap: usize) -> Self {
-        assert!(cap > 0, "zero-capacity trace");
-        TraceBuffer {
-            cap,
-            ring: VecDeque::with_capacity(cap.min(4096)),
-            recorded: 0,
-        }
-    }
-
-    #[inline]
-    pub fn push(&mut self, ev: TraceEvent) {
-        if self.ring.len() == self.cap {
-            self.ring.pop_front();
-        }
-        self.ring.push_back(ev);
-        self.recorded += 1;
-    }
-
+impl EventRing<TraceEvent> {
     /// Events currently retained, oldest first.
     pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.ring.iter()
-    }
-
-    pub fn len(&self) -> usize {
-        self.ring.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.ring.is_empty()
+        self.iter()
     }
 
     /// Retained events for one thread, oldest first.
     pub fn for_thread(&self, tid: Tid) -> Vec<TraceEvent> {
-        self.ring
-            .iter()
+        self.iter()
             .copied()
-            .filter(|e| e.tid() == tid)
+            .filter(|e| e.tid() == Some(tid))
             .collect()
     }
 }
@@ -153,9 +161,59 @@ mod tests {
         t.push(ev(0, 0, 0));
         t.push(ev(1, 1, 0));
         t.push(ev(2, 0, 1));
+        t.push(TraceEvent::PolicySwitch {
+            cycle: 3,
+            from: 0,
+            to: 1,
+        });
         assert_eq!(t.for_thread(Tid(0)).len(), 2);
         assert_eq!(t.for_thread(Tid(1)).len(), 1);
         assert!(t.for_thread(Tid(2)).is_empty());
+    }
+
+    #[test]
+    fn machine_wide_events_have_no_tid() {
+        let ev = TraceEvent::PolicySwitch {
+            cycle: 7,
+            from: 0,
+            to: 9,
+        };
+        assert_eq!(ev.tid(), None);
+        assert_eq!(ev.cycle(), 7);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let evs = [
+            ev(5, 2, 11),
+            TraceEvent::Squash {
+                cycle: 6,
+                tid: Tid(1),
+                after_seq: 3,
+                victims: 4,
+            },
+            TraceEvent::Flush {
+                cycle: 7,
+                tid: Tid(0),
+                victims: 2,
+            },
+            TraceEvent::CacheMiss {
+                cycle: 8,
+                tid: Tid(3),
+                addr: 0xABCD,
+                level: MissLevel::L1D,
+            },
+            TraceEvent::PolicySwitch {
+                cycle: 9,
+                from: 0,
+                to: 4,
+            },
+        ];
+        for e in evs {
+            let text = serde::json::to_string(&e);
+            let back: TraceEvent = serde::json::from_str(&text).unwrap();
+            assert_eq!(back, e);
+        }
     }
 
     #[test]

@@ -293,3 +293,89 @@ fn trace_is_off_by_default_and_removable() {
     m.run(50, &mut RoundRobin); // still healthy
     m.check_invariants();
 }
+
+#[test]
+fn chooser_tolerates_empty_candidate_set() {
+    use smt_sim::FetchChooser as _;
+    // Direct contract: prioritizing zero candidates must not panic (the
+    // cycle-modulo rotation in RoundRobin divides by the candidate count)
+    // and must leave the vector empty.
+    let mut rr = RoundRobin;
+    let mut none: Vec<smt_sim::PolicyView> = Vec::new();
+    for cycle in [0, 1, 17, u64::MAX] {
+        rr.prioritize(cycle, &mut none);
+        assert!(none.is_empty());
+    }
+    let mut seen_empty = false;
+    let mut fc = smt_sim::FnChooser(|_cycle: u64, v: &mut Vec<smt_sim::PolicyView>| {
+        seen_empty |= v.is_empty();
+    });
+    fc.prioritize(3, &mut Vec::new());
+    assert!(seen_empty, "closure chooser must still be consulted");
+
+    // Machine contract: with every thread's fetch disabled the per-cycle
+    // candidate set is empty; the machine must keep cycling, drain its
+    // in-flight work, and resume cleanly when fetch is re-enabled.
+    let script = vec![alu(0x0, 10, None), load(0x4, 11, 0x3000)];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    m.run(100, &mut RoundRobin);
+    m.set_fetch_enabled(Tid(0), false);
+    let fetched_at_disable = m.counters(Tid(0)).fetched;
+    m.run(500, &mut RoundRobin);
+    m.check_invariants();
+    assert_eq!(
+        m.counters(Tid(0)).fetched,
+        fetched_at_disable,
+        "nothing may be fetched while the candidate set is empty"
+    );
+    assert_eq!(m.total_inflight(), 0, "in-flight work must drain");
+    let committed_stalled = m.total_committed();
+    m.set_fetch_enabled(Tid(0), true);
+    m.run(500, &mut RoundRobin);
+    m.check_invariants();
+    assert!(
+        m.total_committed() > committed_stalled,
+        "fetch re-enable must restore progress"
+    );
+}
+
+#[test]
+fn wrongpath_squash_survives_quantum_boundary_flush() {
+    use smt_sim::FetchChooser as _;
+    // A mispredict-heavy random stream (50/50 branch bias defeats the
+    // predictor) keeps wrong-path fetch and squash recovery continuously
+    // active; chopping the run into odd-sized "quanta" with a full flush
+    // at every boundary must never catch the machine in an inconsistent
+    // squash state.
+    let profile = Arc::new(
+        AppProfile::builder("wrongpath-heavy")
+            .branch_frac(0.25)
+            .branch_bias(0.5)
+            .build(),
+    );
+    let stream = UopStream::new(profile, 7, smt_workloads::thread_addr_base(0));
+    let mut m = SmtMachine::new(SimConfig::with_threads(1), vec![stream]);
+    let mut rr = RoundRobin;
+    for quantum in 0..8u64 {
+        // Odd lengths so boundaries land at arbitrary pipeline phases.
+        m.run(997 + quantum, &mut rr);
+        m.flush_thread(Tid(0));
+        m.check_invariants();
+        assert_eq!(m.total_inflight(), 0, "boundary flush must empty the pipe");
+        // The chooser still sees a consistent view right after the flush.
+        let mut views = Vec::new();
+        m.views_into(&mut views);
+        rr.prioritize(m.cycle(), &mut views);
+        assert_eq!(views.len(), 1);
+    }
+    let c = m.counters(Tid(0));
+    assert!(c.committed > 100, "no progress: {} committed", c.committed);
+    assert!(c.mispredicts > 0, "stream must mispredict");
+    assert!(c.squashes > 0, "mispredicts must squash");
+    assert!(c.wrongpath_fetched > 0, "wrong-path fetch must engage");
+    // Wrong-path ops are never committed: committed ops all came from the
+    // right path, so totals stay coherent after eight boundary flushes.
+    assert!(c.fetched >= c.committed);
+    m.run(1_000, &mut rr);
+    m.check_invariants();
+}

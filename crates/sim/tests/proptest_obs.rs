@@ -1,0 +1,79 @@
+//! Property-based tests for the observability primitives: the event ring
+//! and the metrics registry must uphold their contracts for arbitrary
+//! push/increment sequences, not just the unit-test cases.
+
+use proptest::prelude::*;
+use smt_sim::obs::{EventRing, MetricsRegistry};
+
+proptest! {
+    /// Wraparound keeps exactly the newest `min(cap, n)` items, in push
+    /// order, and accounts for every push in `recorded`.
+    #[test]
+    fn ring_wraparound_preserves_newest_n_ordering(
+        cap in 1usize..64,
+        items in prop::collection::vec(0u64..10_000, 0..200),
+    ) {
+        let mut ring = EventRing::new(cap);
+        for &x in &items {
+            ring.push(x);
+        }
+        prop_assert_eq!(ring.recorded, items.len() as u64);
+        let keep = items.len().min(cap);
+        prop_assert_eq!(ring.len(), keep);
+        prop_assert_eq!(ring.dropped(), (items.len() - keep) as u64);
+        let newest: Vec<u64> = items[items.len() - keep..].to_vec();
+        let retained: Vec<u64> = ring.iter().copied().collect();
+        prop_assert_eq!(retained, newest);
+    }
+
+    /// Counters are monotone: across any increment schedule, successive
+    /// snapshots never decrease anywhere, and the final snapshot equals
+    /// the per-counter sums.
+    #[test]
+    fn counter_snapshots_are_monotone(
+        n_counters in 1usize..6,
+        incs in prop::collection::vec((0usize..6, 0u64..1000), 0..100),
+    ) {
+        let mut reg = MetricsRegistry::new();
+        let ids: Vec<_> = (0..n_counters)
+            .map(|i| reg.counter(&format!("c{i}")))
+            .collect();
+        let mut sums = vec![0u64; n_counters];
+        let mut prev = reg.snapshot();
+        for &(slot, by) in &incs {
+            let k = slot % n_counters;
+            reg.inc(ids[k], by);
+            sums[k] += by;
+            let snap = reg.snapshot();
+            for (a, b) in prev.counters.iter().zip(&snap.counters) {
+                prop_assert!(b >= a, "counter went backwards: {a} -> {b}");
+            }
+            prev = snap;
+        }
+        for (id, want) in ids.iter().zip(&sums) {
+            prop_assert_eq!(reg.counter_value(*id), *want);
+        }
+    }
+
+    /// `snapshot_into` reuse agrees with a fresh `snapshot` regardless of
+    /// what the reused buffer previously held.
+    #[test]
+    fn snapshot_into_matches_fresh_snapshot(
+        incs in prop::collection::vec((0usize..4, 0u64..100), 0..50),
+        warm in prop::collection::vec((0usize..4, 0u64..100), 0..50),
+    ) {
+        let mut reg = MetricsRegistry::new();
+        let ids: Vec<_> = (0..4).map(|i| reg.counter(&format!("c{i}"))).collect();
+        // Dirty the reusable buffer with an unrelated state first.
+        let mut reused = Default::default();
+        for &(slot, by) in &warm {
+            reg.inc(ids[slot % 4], by);
+        }
+        reg.snapshot_into(&mut reused);
+        for &(slot, by) in &incs {
+            reg.inc(ids[slot % 4], by);
+        }
+        reg.snapshot_into(&mut reused);
+        prop_assert_eq!(reused, reg.snapshot());
+    }
+}

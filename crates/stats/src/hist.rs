@@ -54,6 +54,75 @@ impl Histogram {
         self.n
     }
 
+    /// Lower bound of the range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Per-bin sample counts, lowest bin first.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of every sample added (clamping does not alter the sum).
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Upper edge of bin `i` (the `le` bound Prometheus-style exporters
+    /// label buckets with).
+    pub fn upper_edge(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + (i as f64 + 1.0) * width
+    }
+
+    /// Whether `other` has the same range and bin count.
+    pub fn same_geometry(&self, other: &Histogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len()
+    }
+
+    /// Fold `other`'s samples into `self` bin-by-bin. The bin counts of a
+    /// merge are exact (plain `u64` adds, so merging is associative and
+    /// commutative); the float `sum` accumulates in call order and is only
+    /// reproducible up to rounding. Panics on geometry mismatch.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.same_geometry(other),
+            "merging histograms of different geometry"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.n += other.n;
+        self.sum += other.sum;
+    }
+
+    /// Overwrite `self` with `other`'s state, reusing the existing counts
+    /// buffer when the bin count matches — the zero-allocation path
+    /// snapshot loops rely on.
+    pub fn copy_from(&mut self, other: &Histogram) {
+        self.lo = other.lo;
+        self.hi = other.hi;
+        if self.counts.len() == other.counts.len() {
+            self.counts.copy_from_slice(&other.counts);
+        } else {
+            self.counts.clear();
+            self.counts.extend_from_slice(&other.counts);
+        }
+        self.n = other.n;
+        self.sum = other.sum;
+    }
+
     pub fn mean(&self) -> f64 {
         if self.n == 0 {
             0.0
@@ -162,6 +231,46 @@ mod tests {
     #[should_panic]
     fn bad_range_panics() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn merge_folds_counts_and_sum() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        a.extend([0.5, 1.5]);
+        let mut b = Histogram::new(0.0, 4.0, 4);
+        b.extend([1.5, 3.5]);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.counts(), &[1, 2, 0, 1]);
+        assert!((a.sum() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_geometry_mismatch() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        let b = Histogram::new(0.0, 4.0, 8);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn copy_from_reuses_buffer_and_matches() {
+        let mut src = Histogram::new(0.0, 8.0, 8);
+        src.extend([1.0, 2.0, 7.5]);
+        let mut dst = Histogram::new(0.0, 1.0, 8);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        // Different bin count still works (reallocates).
+        let mut other = Histogram::new(0.0, 1.0, 3);
+        other.copy_from(&src);
+        assert_eq!(other, src);
+    }
+
+    #[test]
+    fn upper_edges_partition_the_range() {
+        let h = Histogram::new(0.0, 8.0, 4);
+        assert_eq!(h.upper_edge(0), 2.0);
+        assert_eq!(h.upper_edge(3), 8.0);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Property-based tests for histogram merging: sharded observation (each
+//! worker filling its own histogram, merged at the end) must agree with
+//! direct observation, and the merge must be associative and commutative.
+//!
+//! Bin counts and `n` are u64 sums, so they are compared exactly; the
+//! float `sum` accumulates in a different order per merge tree, so it is
+//! compared within epsilon.
+
+use proptest::prelude::*;
+use smt_stats::Histogram;
+
+const LO: f64 = 0.0;
+const HI: f64 = 16.0;
+const BINS: usize = 8;
+
+fn fill(xs: &[f64]) -> Histogram {
+    let mut h = Histogram::new(LO, HI, BINS);
+    for &x in xs {
+        h.add(x);
+    }
+    h
+}
+
+fn assert_hist_eq(a: &Histogram, b: &Histogram) {
+    assert_eq!(a.counts(), b.counts());
+    assert_eq!(a.count(), b.count());
+    let scale = a.sum().abs().max(1.0);
+    assert!(
+        (a.sum() - b.sum()).abs() <= 1e-9 * scale,
+        "sums diverged beyond rounding: {} vs {}",
+        a.sum(),
+        b.sum()
+    );
+}
+
+proptest! {
+    /// merge(a, b) sees exactly the observations of a ++ b.
+    #[test]
+    fn merge_equals_direct_observation(
+        xs in prop::collection::vec(-4.0..20.0f64, 0..80),
+        split in 0usize..81,
+    ) {
+        let split = split.min(xs.len());
+        let mut merged = fill(&xs[..split]);
+        merged.merge(&fill(&xs[split..]));
+        assert_hist_eq(&merged, &fill(&xs));
+    }
+
+    /// a ∪ b == b ∪ a.
+    #[test]
+    fn merge_is_commutative(
+        xs in prop::collection::vec(-4.0..20.0f64, 0..60),
+        ys in prop::collection::vec(-4.0..20.0f64, 0..60),
+    ) {
+        let mut ab = fill(&xs);
+        ab.merge(&fill(&ys));
+        let mut ba = fill(&ys);
+        ba.merge(&fill(&xs));
+        assert_hist_eq(&ab, &ba);
+    }
+
+    /// (a ∪ b) ∪ c == a ∪ (b ∪ c).
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(-4.0..20.0f64, 0..40),
+        ys in prop::collection::vec(-4.0..20.0f64, 0..40),
+        zs in prop::collection::vec(-4.0..20.0f64, 0..40),
+    ) {
+        let mut left = fill(&xs);
+        left.merge(&fill(&ys));
+        left.merge(&fill(&zs));
+        let mut bc = fill(&ys);
+        bc.merge(&fill(&zs));
+        let mut right = fill(&xs);
+        right.merge(&bc);
+        assert_hist_eq(&left, &right);
+    }
+}

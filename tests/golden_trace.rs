@@ -61,10 +61,12 @@ struct GoldenTrace {
 }
 
 /// The canonical points: the three paper-representative 8-thread mixes
-/// (baseline MIX01, the §1 motivating MIX09, homogeneous MIX13) plus the
-/// 4- and 2-thread reductions of MIX01 used by the perf baseline.
+/// (baseline MIX01, the §1 motivating MIX09, homogeneous MIX13), the
+/// 4- and 2-thread reductions of MIX01 used by the perf baseline, and two
+/// cross-checks off the MIX01 axis (memory-heavy MIX05 at 4 threads,
+/// MIX09 at 2) so reduced-thread behavior is pinned on more than one mix.
 fn canonical_points() -> Vec<(usize, usize)> {
-    vec![(1, 8), (9, 8), (13, 8), (1, 4), (1, 2)]
+    vec![(1, 8), (9, 8), (13, 8), (1, 4), (1, 2), (5, 4), (9, 2)]
 }
 
 fn mix_for(id: usize, threads: usize) -> Mix {
@@ -77,12 +79,26 @@ fn mix_for(id: usize, threads: usize) -> Mix {
 }
 
 fn record_trace(mix_id: usize, threads: usize) -> GoldenTrace {
+    record_trace_with(mix_id, threads, false)
+}
+
+/// Record one point, optionally with full event tracing enabled: the
+/// traced replay must produce byte-identical observables (the trace layer
+/// is pure instrumentation).
+fn record_trace_with(mix_id: usize, threads: usize, traced: bool) -> GoldenTrace {
     let mix = mix_for(mix_id, threads);
     let mut policies = Vec::new();
     for policy in FetchPolicy::ALL {
         let mut machine = adts::machine_for_mix(&mix, SEED);
+        if traced {
+            machine.enable_trace(8192);
+        }
         let series = adts::run_fixed(policy, &mut machine, QUANTA, QUANTUM_CYCLES);
         machine.check_invariants();
+        if traced {
+            let buf = machine.disable_trace().expect("trace stayed enabled");
+            assert!(buf.recorded > 0, "traced run must actually record events");
+        }
         let quantum_cycles: Vec<u64> = series.quanta.iter().map(|q| q.cycles).collect();
         let quantum_committed: Vec<u64> = series.quanta.iter().map(|q| q.committed).collect();
         let quantum_ipc_milli: Vec<u64> = series
@@ -121,6 +137,70 @@ fn bless_requested() -> bool {
         .unwrap_or(false)
 }
 
+/// Locate the first differing quantum in a pinned per-quantum series.
+fn first_vec_diff(
+    what: &str,
+    old: &[u64],
+    new: &[u64],
+    policy: &str,
+    trace: &GoldenTrace,
+) -> Option<String> {
+    if old == new {
+        return None;
+    }
+    let at = format!("for {} on {} (t{})", policy, trace.mix, trace.threads);
+    Some(match old.iter().zip(new).position(|(a, b)| a != b) {
+        Some(i) => format!(
+            "{what} diverged {at}: quantum {i}: fixture {} vs fresh {}",
+            old[i], new[i]
+        ),
+        None => format!(
+            "{what} diverged {at}: length {} vs {}",
+            old.len(),
+            new.len()
+        ),
+    })
+}
+
+/// Semantic comparison of committed fixture vs fresh recording, naming the
+/// first divergence so the failure report is actionable. `Ok(())` iff the
+/// decoded structures are equal.
+fn compare_traces(old: &GoldenTrace, new: &GoldenTrace) -> Result<(), String> {
+    if old == new {
+        return Ok(());
+    }
+    for (op, np) in old.policies.iter().zip(&new.policies) {
+        if let Some(msg) = first_vec_diff(
+            "per-quantum IPC",
+            &op.quantum_ipc_milli,
+            &np.quantum_ipc_milli,
+            &np.policy,
+            new,
+        ) {
+            return Err(msg);
+        }
+        if let Some(msg) = first_vec_diff(
+            "per-quantum commits",
+            &op.quantum_committed,
+            &np.quantum_committed,
+            &np.policy,
+            new,
+        ) {
+            return Err(msg);
+        }
+        if op.final_counters != np.final_counters {
+            return Err(format!(
+                "final counters diverged for {} on {} (t{})",
+                np.policy, new.mix, new.threads
+            ));
+        }
+    }
+    Err(format!(
+        "golden trace structure diverged for {} (t{})",
+        new.mix, new.threads
+    ))
+}
+
 fn check_point(mix_id: usize, threads: usize) {
     let path = fixture_path(mix_id, threads);
     let trace = record_trace(mix_id, threads);
@@ -144,33 +224,19 @@ fn check_point(mix_id: usize, threads: usize) {
     // Bytes differ: decode both to point at the first semantic divergence
     // before failing, so the report is actionable.
     let old: GoldenTrace = serde::json::from_str(&committed).expect("parse committed fixture");
-    for (op, np) in old.policies.iter().zip(&trace.policies) {
-        assert_eq!(
-            op.quantum_ipc_milli, np.quantum_ipc_milli,
-            "per-quantum IPC diverged for {} on {} (t{})",
-            np.policy, trace.mix, trace.threads
-        );
-        assert_eq!(
-            op.quantum_committed, np.quantum_committed,
-            "per-quantum commits diverged for {} on {} (t{})",
-            np.policy, trace.mix, trace.threads
-        );
-        assert_eq!(
-            op.final_counters, np.final_counters,
-            "final counters diverged for {} on {} (t{})",
-            np.policy, trace.mix, trace.threads
-        );
+    match compare_traces(&old, &trace) {
+        Err(msg) => panic!(
+            "golden fixture {}: {msg}\n\
+             if this change is intended, re-bless with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        ),
+        Ok(()) => panic!(
+            "golden fixture {} is semantically equal but not byte-identical; \
+             the JSON serializer lost canonical formatting",
+            path.display()
+        ),
     }
-    assert_eq!(
-        old, trace,
-        "golden trace structure diverged for {} (t{})",
-        trace.mix, trace.threads
-    );
-    panic!(
-        "golden fixture {} is semantically equal but not byte-identical; \
-         the JSON serializer lost canonical formatting",
-        path.display()
-    );
 }
 
 #[test]
@@ -196,6 +262,54 @@ fn golden_mix01_t4() {
 #[test]
 fn golden_mix01_t2() {
     check_point(1, 2);
+}
+
+#[test]
+fn golden_mix05_t4() {
+    check_point(5, 4);
+}
+
+#[test]
+fn golden_mix09_t2() {
+    check_point(9, 2);
+}
+
+/// The zero-overhead claim, stated as conformance: replaying a canonical
+/// point with the event ring enabled must reproduce the *untraced*
+/// fixture byte-for-byte.
+#[test]
+fn golden_mix01_t8_traced_replay() {
+    if bless_requested() {
+        return; // the untraced run owns fixture generation
+    }
+    let path = fixture_path(1, 8);
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {} ({e})", path.display()));
+    let fresh = serde::json::to_string(&record_trace_with(1, 8, true));
+    assert_eq!(
+        fresh, committed,
+        "event tracing changed pinned observables on MIX01 (t8)"
+    );
+}
+
+/// The failure path itself is part of the contract: a perturbed fixture
+/// must be rejected with a message naming the policy, point and quantum.
+#[test]
+fn perturbed_fixture_fails_with_readable_diff() {
+    let path = fixture_path(1, 8);
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {} ({e})", path.display()));
+    let good: GoldenTrace = serde::json::from_str(&committed).expect("parse fixture");
+    let mut bad = good.clone();
+    bad.policies[0].quantum_committed[3] += 1;
+    bad.policies[0].quantum_ipc_milli[3] += 1;
+    let msg = compare_traces(&bad, &good).expect_err("perturbation must be detected");
+    assert!(msg.contains("per-quantum IPC diverged"), "{msg}");
+    assert!(msg.contains("quantum 3"), "{msg}");
+    assert!(
+        msg.contains(&good.policies[0].policy) && msg.contains("MIX01"),
+        "{msg}"
+    );
 }
 
 /// The canonical point list, the fixture directory and the test functions
