@@ -11,11 +11,14 @@
 //!
 //! ```sh
 //! cargo run --release -p smt-bench --bin calibrate \
-//!     [-- --no-cache --jobs N --obs [--obs-out DIR] [--obs-events N]]
+//!     [-- --no-cache --jobs N --obs [--obs-out DIR] [--obs-events N] \
+//!      --attr [--attr-out DIR]]
 //! ```
 
 use adts_core::CondThresholds;
-use smt_bench::{fixed_series, obs, parallel::par_map, sweep, ExpParams};
+use smt_bench::{
+    fixed_series, parallel::par_map, sweep, ExpParams, InstrumentCli, INSTRUMENT_USAGE,
+};
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
 use smt_workloads::MIX_COUNT;
@@ -24,30 +27,26 @@ use std::path::PathBuf;
 fn main() {
     let mut no_cache = false;
     let mut jobs = None;
-    let mut obs_opts = obs::ObsOptions::default();
+    let mut instrument = InstrumentCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
             "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
-            "--obs" => obs_opts.enabled = true,
-            "--obs-out" => {
-                obs_opts.out_dir = args.next().map(PathBuf::from).unwrap_or(obs_opts.out_dir)
-            }
-            "--obs-events" => {
-                obs_opts.events_cap = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or(obs_opts.events_cap)
-            }
-            other => {
-                eprintln!(
-                    "error: unknown option {other} (known: --no-cache, --jobs N, \
-                     --obs, --obs-out DIR, --obs-events N)"
-                );
-                std::process::exit(2);
-            }
+            flag => match instrument.accept(flag, &mut args) {
+                Ok(true) => {}
+                Ok(false) => {
+                    eprintln!(
+                        "error: unknown option {flag} (known: --no-cache, --jobs N, \
+                         {INSTRUMENT_USAGE})"
+                    );
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
     sweep::configure(sweep::SweepConfig {
@@ -101,14 +100,14 @@ fn main() {
     );
     println!("aggregate IPC      {:>14.3}", mean(&ipc));
     println!("\n{}", sweep::engine().scope_summary());
-    if obs_opts.enabled {
-        // Calibration reads eight-thread ICOUNT behavior, so observe the
-        // first selected mix under the same protocol.
+    if instrument.any_enabled() {
+        // Calibration reads eight-thread ICOUNT behavior, so instrument
+        // the first selected mix under the same protocol.
         let obs_p = ExpParams {
             mix_ids: p.mix_ids[..1].to_vec(),
             ..p.clone()
         };
-        obs::run_observations(&obs_p, &obs_opts);
+        instrument.run(&obs_p);
     }
     println!(
         "\nPer the paper's method, CondThresholds::default should carry the\n\

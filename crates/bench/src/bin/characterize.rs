@@ -12,11 +12,12 @@
 //!
 //! ```sh
 //! cargo run --release -p smt-bench --bin characterize \
-//!     [-- --no-cache --obs [--obs-out DIR] [--obs-events N]]
+//!     [-- --no-cache --obs [--obs-out DIR] [--obs-events N] \
+//!      --attr [--attr-out DIR]]
 //! ```
 
 use serde::{Deserialize, Serialize};
-use smt_bench::{obs, sweep, ExpParams};
+use smt_bench::{sweep, ExpParams, InstrumentCli, INSTRUMENT_USAGE};
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
 use smt_stats::Table;
@@ -66,29 +67,25 @@ fn measure(name: &str, cfg: &SimConfig, warm: u64, run: u64, seed: u64) -> CharR
 
 fn main() {
     let mut no_cache = false;
-    let mut obs_opts = obs::ObsOptions::default();
+    let mut instrument = InstrumentCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
-            "--obs" => obs_opts.enabled = true,
-            "--obs-out" => {
-                obs_opts.out_dir = args.next().map(PathBuf::from).unwrap_or(obs_opts.out_dir)
-            }
-            "--obs-events" => {
-                obs_opts.events_cap = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .filter(|&n| n > 0)
-                    .unwrap_or(obs_opts.events_cap)
-            }
-            other => {
-                eprintln!(
-                    "error: unknown option {other} (known: --no-cache, --obs, \
-                     --obs-out DIR, --obs-events N)"
-                );
-                std::process::exit(2);
-            }
+            flag => match instrument.accept(flag, &mut args) {
+                Ok(true) => {}
+                Ok(false) => {
+                    eprintln!(
+                        "error: unknown option {flag} (known: --no-cache, \
+                         {INSTRUMENT_USAGE})"
+                    );
+                    std::process::exit(2);
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+            },
         }
     }
     sweep::configure(sweep::SweepConfig {
@@ -144,13 +141,13 @@ fn main() {
     {
         println!("[csv] results/w1_characterize.csv");
     }
-    if obs_opts.enabled {
-        // Characterization is single-thread per app; the observability
-        // pass instead traces the canonical MIX01 point for context.
+    if instrument.any_enabled() {
+        // Characterization is single-thread per app; the instrumented
+        // passes instead cover the canonical MIX01 point for context.
         let obs_p = ExpParams {
             mix_ids: vec![1],
             ..ExpParams::smoke()
         };
-        obs::run_observations(&obs_p, &obs_opts);
+        instrument.run(&obs_p);
     }
 }

@@ -35,6 +35,11 @@
 //!                     Chrome-trace / Prometheus artifacts
 //!   --obs-out DIR     artifact directory (default results/obs)
 //!   --obs-events N    trace ring capacity (default 65536)
+//!   --attr            explain mode: re-run each selected mix with slot
+//!                     attribution (plus the ADTS decision audit) and render
+//!                     per-mix CPI-stack tables, CSV/JSON artifacts, a
+//!                     decision JSONL and the switch timeline
+//!   --attr-out DIR    explain artifact directory (default results/attr)
 //!   --all             shorthand for the `all` experiment selector
 //!
 //! Perf-baseline mode (exclusive with experiments):
@@ -49,8 +54,8 @@
 
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
-    ablate_threshold, headline, headline_random, jobsched, obs, oracle, scaling, sweep, table1,
-    threshold_type_sweep, ExpParams,
+    ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
+    threshold_type_sweep, ExpParams, InstrumentCli, INSTRUMENT_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -65,7 +70,7 @@ struct Cli {
     no_cache: bool,
     cache_dir: PathBuf,
     no_telemetry: bool,
-    obs: obs::ObsOptions,
+    instrument: InstrumentCli,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
@@ -81,7 +86,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut no_cache = false;
     let mut cache_dir = PathBuf::from("results/cache");
     let mut no_telemetry = false;
-    let mut obs = obs::ObsOptions::default();
+    let mut instrument = InstrumentCli::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
@@ -104,20 +109,7 @@ fn parse_args() -> Result<Cli, String> {
                 cache_dir = PathBuf::from(args.next().ok_or("--cache-dir needs a value")?);
             }
             "--no-telemetry" => no_telemetry = true,
-            "--obs" => obs.enabled = true,
-            "--obs-out" => {
-                obs.out_dir = PathBuf::from(args.next().ok_or("--obs-out needs a value")?);
-            }
-            "--obs-events" => {
-                obs.events_cap = args
-                    .next()
-                    .ok_or("--obs-events needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad events cap: {e}"))?;
-                if obs.events_cap == 0 {
-                    return Err("--obs-events must be positive".to_string());
-                }
-            }
+            flag if instrument.accept(flag, &mut args)? => {}
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -178,7 +170,7 @@ fn parse_args() -> Result<Cli, String> {
         no_cache,
         cache_dir,
         no_telemetry,
-        obs,
+        instrument,
         bench,
         quick,
         bench_out,
@@ -289,7 +281,7 @@ fn main() {
         println!("usage: repro [--full|--smoke] [--seed N] [--quanta N] [--mixes a,b,c]");
         println!("             [--out DIR|--no-csv] [--oracle-all] [--jobs N] [--no-cache]");
         println!("             [--cache-dir DIR] [--no-telemetry] <experiment>...");
-        println!("             [--obs] [--obs-out DIR] [--obs-events N]");
+        println!("             {INSTRUMENT_USAGE}");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
@@ -391,8 +383,8 @@ fn main() {
     if want("jobsched") {
         run("x2_jobsched", &|| jobsched(p));
     }
-    if cli.obs.enabled {
-        obs::run_observations(p, &cli.obs);
+    if cli.instrument.any_enabled() {
+        cli.instrument.run(p);
     }
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
 }

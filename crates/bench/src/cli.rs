@@ -1,0 +1,136 @@
+//! Shared instrumentation-flag plumbing for the experiment binaries.
+//!
+//! `repro`, `calibrate` and `characterize` all accept the observability
+//! (`--obs`, `--obs-out`, `--obs-events`) and attribution (`--attr`,
+//! `--attr-out`) flag families. Before this module each binary parsed
+//! them by hand — with drifting strictness (repro rejected a zero ring
+//! cap, the others silently kept the default). Now one [`InstrumentCli`]
+//! owns parsing, validation, the usage string, and the post-experiment
+//! dispatch into [`crate::obs`] / [`crate::attr`].
+
+use crate::attr::{self, AttrOptions};
+use crate::obs::{self, ObsOptions};
+use crate::params::ExpParams;
+use std::path::PathBuf;
+
+/// The instrumented-pass flags shared by every experiment binary.
+#[derive(Clone, Debug, Default)]
+pub struct InstrumentCli {
+    pub obs: ObsOptions,
+    pub attr: AttrOptions,
+}
+
+/// One line for each binary's usage text.
+pub const INSTRUMENT_USAGE: &str =
+    "[--obs] [--obs-out DIR] [--obs-events N] [--attr] [--attr-out DIR]";
+
+impl InstrumentCli {
+    /// Try to consume `arg` (pulling its value from `args` where the flag
+    /// takes one). Returns `Ok(true)` when the flag belonged to this
+    /// family, `Ok(false)` when the caller should keep matching, and
+    /// `Err` on a malformed value — uniformly strict across binaries.
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--obs" => self.obs.enabled = true,
+            "--obs-out" => {
+                self.obs.out_dir = PathBuf::from(args.next().ok_or("--obs-out needs a value")?);
+            }
+            "--obs-events" => {
+                self.obs.events_cap = args
+                    .next()
+                    .ok_or("--obs-events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad events cap: {e}"))?;
+                if self.obs.events_cap == 0 {
+                    return Err("--obs-events must be positive".to_string());
+                }
+            }
+            "--attr" => self.attr.enabled = true,
+            "--attr-out" => {
+                self.attr.out_dir = PathBuf::from(args.next().ok_or("--attr-out needs a value")?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Any instrumented pass requested?
+    pub fn any_enabled(&self) -> bool {
+        self.obs.enabled || self.attr.enabled
+    }
+
+    /// Run whichever instrumented passes were requested, in the canonical
+    /// order (observe, then explain).
+    pub fn run(&self, p: &ExpParams) {
+        if self.obs.enabled {
+            obs::run_observations(p, &self.obs);
+        }
+        if self.attr.enabled {
+            attr::run_explain(p, &self.attr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<InstrumentCli, String> {
+        let mut cli = InstrumentCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn parses_both_flag_families() {
+        let cli = parse(&[
+            "--obs",
+            "--obs-out",
+            "obs_dir",
+            "--obs-events",
+            "128",
+            "--attr",
+            "--attr-out",
+            "attr_dir",
+        ])
+        .unwrap();
+        assert!(cli.obs.enabled && cli.attr.enabled);
+        assert!(cli.any_enabled());
+        assert_eq!(cli.obs.out_dir, PathBuf::from("obs_dir"));
+        assert_eq!(cli.obs.events_cap, 128);
+        assert_eq!(cli.attr.out_dir, PathBuf::from("attr_dir"));
+    }
+
+    #[test]
+    fn defaults_leave_everything_disabled() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.any_enabled());
+        assert_eq!(cli.obs.out_dir, PathBuf::from("results/obs"));
+        assert_eq!(cli.attr.out_dir, PathBuf::from("results/attr"));
+    }
+
+    #[test]
+    fn rejects_malformed_values_strictly() {
+        assert!(parse(&["--obs-events", "0"]).is_err());
+        assert!(parse(&["--obs-events", "many"]).is_err());
+        assert!(parse(&["--obs-out"]).is_err());
+        assert!(parse(&["--attr-out"]).is_err());
+    }
+
+    #[test]
+    fn foreign_flags_are_left_to_the_caller() {
+        assert!(parse(&["--frobnicate"]).is_err());
+        let mut cli = InstrumentCli::default();
+        let mut args = std::iter::empty::<String>();
+        assert_eq!(cli.accept("--seed", &mut args), Ok(false));
+    }
+}

@@ -67,7 +67,7 @@ pub struct ObsArtifacts {
     pub events_retained: u64,
 }
 
-fn slug(mix: &Mix, label: &str) -> String {
+pub(crate) fn slug(mix: &Mix, label: &str) -> String {
     format!(
         "{}_{}",
         mix.name.to_ascii_lowercase(),

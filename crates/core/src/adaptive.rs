@@ -17,6 +17,7 @@
 //! quantum (an optional extension the paper describes but does not
 //! evaluate; off by default).
 
+use crate::audit::{DecisionReason, DecisionRecord};
 use crate::detector::DtModel;
 use crate::heuristics::{CondThresholds, Heuristic, HeuristicKind};
 use crate::indicators::{MachineSnapshot, QuantumStats};
@@ -24,8 +25,13 @@ use crate::threshold::{ThresholdMode, ThresholdTracker};
 use serde::{Deserialize, Serialize};
 use smt_isa::Tid;
 use smt_policies::{FetchPolicy, Tsu};
-use smt_sim::SmtMachine;
+use smt_sim::{EventRing, SmtMachine};
 use smt_stats::{QuantumRecord, RunSeries, SwitchEvent};
+
+/// Capacity of the per-scheduler decision-audit ring: one record per
+/// quantum, so this covers 4096 quanta (33 M cycles at the default 8 K)
+/// before the oldest records rotate out.
+const DECISION_RING_CAP: usize = 4096;
 
 /// ADTS configuration; defaults are the paper's evaluated operating point
 /// (8 K-cycle quanta, threshold m = 2, Type 3, free DT, ICOUNT start).
@@ -98,6 +104,8 @@ pub struct AdaptiveScheduler {
     blocked: Option<Tid>,
     series: RunSeries,
     clog_log: Vec<(u64, Tid)>,
+    /// One [`DecisionRecord`] per quantum boundary (ring-bounded).
+    audit: EventRing<DecisionRecord>,
     quantum_index: u64,
 }
 
@@ -120,6 +128,7 @@ impl AdaptiveScheduler {
             blocked: None,
             series: RunSeries::default(),
             clog_log: Vec::new(),
+            audit: EventRing::new(DECISION_RING_CAP),
             quantum_index: 0,
             cfg,
         }
@@ -152,6 +161,17 @@ impl AdaptiveScheduler {
     /// Clog marks: (quantum index, thread).
     pub fn clog_log(&self) -> &[(u64, Tid)] {
         &self.clog_log
+    }
+
+    /// The decision-audit trail: one record per completed quantum, oldest
+    /// first (ring-bounded at [`DECISION_RING_CAP`] quanta).
+    pub fn decision_log(&self) -> &EventRing<DecisionRecord> {
+        &self.audit
+    }
+
+    /// Take both recordings (series and decision audit), ending them.
+    pub fn into_recordings(self) -> (RunSeries, EventRing<DecisionRecord>) {
+        (self.series, self.audit)
     }
 
     /// The threshold value the next quantum will be judged against.
@@ -219,6 +239,19 @@ impl AdaptiveScheduler {
         self.threshold.observe(stats.ipc);
         let last_ipc_for_gradient = self.prev_ipc;
         self.prev_ipc = Some(stats.ipc);
+        let incumbent = self.tsu.policy;
+        let mut decision = DecisionRecord {
+            quantum: self.quantum_index,
+            cycle: machine.cycle(),
+            incumbent,
+            chosen: incumbent,
+            ipc: stats.ipc,
+            threshold,
+            below_threshold: stats.ipc < threshold,
+            switched: false,
+            reason: DecisionReason::AboveThreshold,
+            trace: None,
+        };
         if stats.ipc < threshold {
             // Identify clogging threads first (Fig 2's left branch).
             if let Some(clog) = stats.clogging_thread() {
@@ -229,10 +262,12 @@ impl AdaptiveScheduler {
                 }
             }
             // Determine_NewPolicy + Policy_Switch.
-            let incumbent = self.tsu.policy;
-            let target = self
+            let trace = self
                 .heuristic
-                .decide(incumbent, &stats, last_ipc_for_gradient);
+                .decide_explained(incumbent, &stats, last_ipc_for_gradient);
+            let target = trace.target;
+            decision.chosen = target;
+            decision.reason = trace.reason;
             if target != incumbent {
                 match self.cfg.dt.decision_delay(
                     self.cfg.heuristic,
@@ -248,11 +283,17 @@ impl AdaptiveScheduler {
                         });
                         let idx = self.series.switches.len() - 1;
                         self.pending_switch = Some((target, delay, idx));
+                        decision.switched = true;
                     }
-                    None => self.heuristic.cancel_pending(),
+                    None => {
+                        self.heuristic.cancel_pending();
+                        decision.reason = DecisionReason::DtStarved;
+                    }
                 }
             }
+            decision.trace = Some(trace);
         }
+        self.audit.push(decision);
 
         self.series.quanta.push(record);
         self.quantum_index += 1;
@@ -457,6 +498,88 @@ mod tests {
             tuned < fixed,
             "self-tuning ({tuned}) should calm the absurd fixed threshold ({fixed})"
         );
+    }
+
+    #[test]
+    fn audit_records_every_quantum() {
+        let mut m = machine(4, 2);
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            ..Default::default()
+        };
+        let mut sched = AdaptiveScheduler::new(cfg, 4);
+        for _ in 0..12 {
+            sched.run_quantum(&mut m);
+        }
+        let log: Vec<_> = sched.decision_log().iter().collect();
+        assert_eq!(log.len(), 12);
+        for (i, rec) in log.iter().enumerate() {
+            assert_eq!(rec.quantum, i as u64);
+            assert_eq!(rec.cycle, (i as u64 + 1) * 8192);
+            assert!(!rec.reason.name().is_empty());
+            // m = 8 is unattainable: every quantum is below threshold and
+            // carries a full trace.
+            assert!(rec.below_threshold);
+            assert!(rec.trace.is_some());
+        }
+        // Every recorded switch event must be explained by a `switched`
+        // audit record at the same quantum with matching endpoints.
+        let (series, audit) = sched.into_recordings();
+        assert!(!series.switches.is_empty());
+        for s in &series.switches {
+            let rec = audit
+                .iter()
+                .find(|r| r.quantum == s.quantum)
+                .expect("audited quantum");
+            assert!(rec.switched);
+            assert_eq!(rec.incumbent.name(), s.from);
+            assert_eq!(rec.chosen.name(), s.to);
+        }
+        // And the other way: every `switched` record has its switch event.
+        let switched = audit.iter().filter(|r| r.switched).count();
+        assert_eq!(switched, series.switches.len());
+    }
+
+    #[test]
+    fn audit_marks_above_threshold_quanta_without_trace() {
+        let mut m = machine(4, 3);
+        let cfg = AdtsConfig {
+            ipc_threshold: 0.0,
+            ..Default::default()
+        };
+        let mut sched = AdaptiveScheduler::new(cfg, 4);
+        for _ in 0..5 {
+            sched.run_quantum(&mut m);
+        }
+        for rec in sched.decision_log().iter() {
+            assert_eq!(rec.reason, crate::audit::DecisionReason::AboveThreshold);
+            assert!(!rec.below_threshold);
+            assert!(!rec.switched);
+            assert_eq!(rec.incumbent, rec.chosen);
+            assert!(rec.trace.is_none());
+        }
+    }
+
+    #[test]
+    fn audit_names_dt_starved_switches() {
+        let mut m = machine(4, 5);
+        let cfg = AdtsConfig {
+            ipc_threshold: 8.0,
+            dt: DtModel::Starved,
+            ..Default::default()
+        };
+        let mut sched = AdaptiveScheduler::new(cfg, 4);
+        for _ in 0..8 {
+            sched.run_quantum(&mut m);
+        }
+        assert!(sched.series().switches.is_empty());
+        let starved = sched
+            .decision_log()
+            .iter()
+            .filter(|r| r.reason == crate::audit::DecisionReason::DtStarved)
+            .count();
+        assert!(starved > 0, "a starved DT must leave dt_starved records");
+        assert!(sched.decision_log().iter().all(|r| !r.switched));
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! single golden reference measures", so they are configurable (and an
 //! ablation sweeps them).
 
+use crate::audit::{evaluate_conditions, DecisionReason, DecisionTrace, HistoryEval};
 use crate::history::SwitchHistory;
 use crate::indicators::QuantumStats;
 use serde::{Deserialize, Serialize};
@@ -255,46 +256,100 @@ impl Heuristic {
         q: &QuantumStats,
         prev_ipc: Option<f64>,
     ) -> FetchPolicy {
+        self.decide_explained(incumbent, q, prev_ipc).target
+    }
+
+    /// [`Heuristic::decide`] with its working shown: the returned
+    /// [`DecisionTrace`] carries every sub-condition evaluation, the
+    /// gradient verdict, Type 3's regular target and Type 4's history
+    /// vote, plus the reason the final target was chosen. Behaviorally
+    /// identical to `decide` (including the Type 4 pending-case side
+    /// effect) — `decide` is a thin wrapper over this.
+    pub fn decide_explained(
+        &mut self,
+        incumbent: FetchPolicy,
+        q: &QuantumStats,
+        prev_ipc: Option<f64>,
+    ) -> DecisionTrace {
         let gradient_positive = prev_ipc.is_some_and(|p| q.ipc > p);
+        let mut trace = DecisionTrace {
+            kind: self.kind,
+            conds: evaluate_conditions(&self.thresholds, q),
+            cond_mem: self.thresholds.cond_mem(q),
+            cond_br: self.thresholds.cond_br(q),
+            incumbent_cond: self.incumbent_condition(incumbent, q),
+            gradient_positive,
+            regular: None,
+            history: None,
+            reason: DecisionReason::Stay,
+            target: incumbent,
+        };
         match self.kind {
-            HeuristicKind::Type1 => match incumbent {
-                FetchPolicy::Icount => FetchPolicy::BrCount,
-                _ => FetchPolicy::Icount,
-            },
+            HeuristicKind::Type1 => {
+                trace.target = match incumbent {
+                    FetchPolicy::Icount => FetchPolicy::BrCount,
+                    _ => FetchPolicy::Icount,
+                };
+                trace.reason = DecisionReason::Toggle;
+            }
             HeuristicKind::Type2 => {
                 // Cycle through the rotation; unknown incumbents re-enter
                 // at the head.
-                match self.rotation.iter().position(|&p| p == incumbent) {
+                trace.target = match self.rotation.iter().position(|&p| p == incumbent) {
                     Some(i) => self.rotation[(i + 1) % self.rotation.len()],
                     None => self.rotation[0],
+                };
+                trace.reason = DecisionReason::Rotation;
+            }
+            HeuristicKind::Type3 => {
+                let regular = self.type3(incumbent, q);
+                trace.regular = Some(regular);
+                trace.target = regular;
+                if regular != incumbent {
+                    trace.reason = DecisionReason::Regular;
                 }
             }
-            HeuristicKind::Type3 => self.type3(incumbent, q),
             HeuristicKind::Type3Prime => {
                 if gradient_positive {
-                    incumbent
+                    trace.reason = DecisionReason::GradientPositive;
                 } else {
-                    self.type3(incumbent, q)
+                    let regular = self.type3(incumbent, q);
+                    trace.regular = Some(regular);
+                    trace.target = regular;
+                    if regular != incumbent {
+                        trace.reason = DecisionReason::Regular;
+                    }
                 }
             }
             HeuristicKind::Type4 => {
                 if gradient_positive {
-                    return incumbent;
-                }
-                let regular = self.type3(incumbent, q);
-                if regular == incumbent {
-                    return incumbent;
-                }
-                let cond = self.incumbent_condition(incumbent, q);
-                let target = if self.history.case(incumbent, cond).prefer_regular() {
-                    regular
+                    trace.reason = DecisionReason::GradientPositive;
                 } else {
-                    third(incumbent, regular)
-                };
-                self.pending_case = Some((incumbent, cond));
-                target
+                    let regular = self.type3(incumbent, q);
+                    trace.regular = Some(regular);
+                    if regular != incumbent {
+                        let cond = trace.incumbent_cond;
+                        let case = self.history.case(incumbent, cond);
+                        let prefer_regular = case.prefer_regular();
+                        trace.history = Some(HistoryEval {
+                            poscnt: case.poscnt,
+                            negcnt: case.negcnt,
+                            prefer_regular,
+                            inverted: !prefer_regular,
+                        });
+                        if prefer_regular {
+                            trace.target = regular;
+                            trace.reason = DecisionReason::Regular;
+                        } else {
+                            trace.target = third(incumbent, regular);
+                            trace.reason = DecisionReason::HistoryInverted;
+                        }
+                        self.pending_case = Some((incumbent, cond));
+                    }
+                }
             }
         }
+        trace
     }
 
     /// Feed back the outcome of the last applied switch (Type 4 history).
@@ -492,6 +547,71 @@ mod tests {
         h.cancel_pending();
         h.feed_outcome(true);
         assert!(h.history().is_empty());
+    }
+
+    #[test]
+    fn explained_pins_papers_brcount_cond_mem_example() {
+        // The paper's worked case (Fig 6): BRCOUNT incumbent with COND_MEM
+        // firing. Type 3 makes the regular transition to L1MISSCOUNT, and
+        // the trace must name exactly the sub-conditions that fired.
+        let mut h3 = Heuristic::new(HeuristicKind::Type3);
+        let t = h3.decide_explained(FetchPolicy::BrCount, &memory_bound(), None);
+        assert_eq!(t.target, FetchPolicy::L1MissCount);
+        assert_eq!(t.reason, DecisionReason::Regular);
+        assert!(t.incumbent_cond, "BRCOUNT's out-edge checks COND_MEM");
+        assert!(t.cond_mem && !t.cond_br);
+        assert_eq!(t.fired(), vec!["l1_miss_rate", "lsq_full_rate"]);
+        assert!(t.history.is_none(), "Type 3 never reads the buffer");
+
+        // Type 4 on the same evidence with an empty history buffer
+        // (poscnt == negcnt == 0) inverts the regular transition:
+        // third(BRCOUNT, L1MISSCOUNT) = ICOUNT.
+        let mut h4 = Heuristic::new(HeuristicKind::Type4);
+        let t = h4.decide_explained(FetchPolicy::BrCount, &memory_bound(), None);
+        assert_eq!(t.regular, Some(FetchPolicy::L1MissCount));
+        assert_eq!(t.target, FetchPolicy::Icount);
+        assert_eq!(t.reason, DecisionReason::HistoryInverted);
+        let hist = t.history.expect("Type 4 consulted the buffer");
+        assert_eq!((hist.poscnt, hist.negcnt), (0, 0));
+        assert!(!hist.prefer_regular);
+        assert!(hist.inverted);
+    }
+
+    #[test]
+    fn explained_reports_gradient_guard_and_fsm_self_loop() {
+        let mut h = Heuristic::new(HeuristicKind::Type4);
+        let t = h.decide_explained(FetchPolicy::Icount, &branchy(), Some(0.5));
+        assert_eq!(t.target, FetchPolicy::Icount);
+        assert_eq!(t.reason, DecisionReason::GradientPositive);
+        assert!(t.history.is_none());
+
+        let mut h3 = Heuristic::new(HeuristicKind::Type3);
+        let t = h3.decide_explained(FetchPolicy::Icount, &quiet(), None);
+        assert_eq!(t.target, FetchPolicy::Icount);
+        assert_eq!(t.reason, DecisionReason::Stay);
+        assert_eq!(t.regular, Some(FetchPolicy::Icount));
+        assert!(t.fired().is_empty());
+    }
+
+    #[test]
+    fn decide_matches_decide_explained_for_all_kinds() {
+        for kind in HeuristicKind::ALL {
+            for mk in [quiet, memory_bound, branchy] {
+                for prev in [None, Some(0.5), Some(2.0)] {
+                    for incumbent in [
+                        FetchPolicy::Icount,
+                        FetchPolicy::BrCount,
+                        FetchPolicy::L1MissCount,
+                    ] {
+                        let mut a = Heuristic::new(kind);
+                        let mut b = Heuristic::new(kind);
+                        let plain = a.decide(incumbent, &mk(), prev);
+                        let explained = b.decide_explained(incumbent, &mk(), prev);
+                        assert_eq!(plain, explained.target, "{kind:?} {incumbent:?} {prev:?}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

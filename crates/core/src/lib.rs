@@ -16,6 +16,8 @@
 //! - [`heuristics`] — `Determine_NewPolicy()`: the Type 1–4 policies with
 //!   the COND_MEM / COND_BR conditions;
 //! - [`history`] — Type 4's switching-history buffer (poscnt/negcnt);
+//! - [`audit`] — the decision-audit trail: a per-quantum
+//!   [`DecisionRecord`] explaining every switch and non-switch;
 //! - [`detector`] — the DT cycle-budget model (decisions execute in idle
 //!   fetch slots; `Free` reproduces the paper's functional model);
 //! - [`adaptive`] — the quantum loop: threshold check, clog
@@ -28,6 +30,7 @@
 //! - [`runner`] — fixed/adaptive/oracle drivers used by the experiments.
 
 pub mod adaptive;
+pub mod audit;
 pub mod detector;
 pub mod heuristics;
 pub mod history;
@@ -39,6 +42,10 @@ pub mod runner;
 pub mod threshold;
 
 pub use adaptive::{AdaptiveScheduler, AdtsConfig};
+pub use audit::{
+    decisions_jsonl, evaluate_conditions, CondEval, DecisionReason, DecisionRecord, DecisionTrace,
+    HistoryEval,
+};
 pub use detector::DtModel;
 pub use heuristics::{CondThresholds, Heuristic, HeuristicKind};
 pub use history::{CaseCounters, SwitchHistory};

@@ -49,5 +49,8 @@ pub use config::{CacheGeometry, SimConfig};
 pub use counters::{CounterSnapshot, PolicyView, ThreadCounters};
 pub use iqueue::IndexedQueue;
 pub use machine::{GlobalCounters, SmtMachine};
-pub use obs::{EventRing, MetricsRegistry, MetricsSnapshot, PipelineSampler};
+pub use obs::{
+    AttrSnapshot, CommitCause, EventRing, FetchCause, IssueCause, MetricsRegistry, MetricsSnapshot,
+    PipelineSampler, SlotAttribution, SlotStack,
+};
 pub use trace::{MissLevel, TraceBuffer, TraceEvent};

@@ -30,6 +30,7 @@ use crate::config::SimConfig;
 use crate::counters::{CounterSnapshot, PolicyView, ThreadCounters};
 use crate::inflight::{find_seq, InFlight, Stage};
 use crate::iqueue::{IndexedQueue, NIL};
+use crate::obs::attr::{CommitCause, FetchCause, IssueCause, SlotAttribution};
 use crate::trace::{MissLevel, TraceBuffer, TraceEvent};
 use crate::wrongpath::WrongPathGen;
 use smt_isa::{BranchKind, OpKind, RegClass, Tid};
@@ -158,6 +159,9 @@ pub struct SmtMachine {
     /// Optional pipeline event trace (None = disabled, zero overhead
     /// beyond one branch per event site).
     trace: Option<TraceBuffer>,
+    /// Optional slot-loss attribution (None = disabled; boxed so the
+    /// untraced machine stays small and `Clone` stays cheap).
+    attr: Option<Box<SlotAttribution>>,
     /// The decode/rename pipe: fetched ops in global fetch order. Dispatch
     /// consumes strictly from the head and *stalls* on a structural hazard
     /// (queue/LSQ/register full), so one clogged thread's backlog delays
@@ -220,6 +224,7 @@ impl SmtMachine {
             view_buf: Vec::with_capacity(cfg.threads),
             squash_buf: Vec::new(),
             trace: None,
+            attr: None,
             dispatch_fifo: IndexedQueue::new(cfg.threads, 64),
             cycle: 0,
             cfg,
@@ -298,6 +303,23 @@ impl SmtMachine {
     /// The trace buffer, if tracing is enabled.
     pub fn trace(&self) -> Option<&TraceBuffer> {
         self.trace.as_ref()
+    }
+
+    /// Enable slot-loss attribution (per-thread CPI stacks). Runs on the
+    /// same instrumented monomorphization as event tracing; simulated
+    /// behavior is unchanged (`tests/obs_differential.rs`).
+    pub fn enable_attr(&mut self) {
+        self.attr = Some(Box::new(SlotAttribution::new(self.threads.len())));
+    }
+
+    /// Disable attribution, returning the accumulated stacks (if any).
+    pub fn disable_attr(&mut self) -> Option<SlotAttribution> {
+        self.attr.take().map(|b| *b)
+    }
+
+    /// The attribution state, if enabled.
+    pub fn attr(&self) -> Option<&SlotAttribution> {
+        self.attr.as_deref()
     }
 
     #[inline]
@@ -385,21 +407,27 @@ impl SmtMachine {
     // the cycle
     // ------------------------------------------------------------------
 
+    /// Is any instrumentation (event trace or slot attribution) live?
+    #[inline]
+    fn instrumented(&self) -> bool {
+        self.trace.is_some() || self.attr.is_some()
+    }
+
     /// Advance one cycle under the given fetch policy.
     pub fn step<C: FetchChooser>(&mut self, chooser: &mut C) {
-        if self.trace.is_some() {
+        if self.instrumented() {
             self.step_impl::<C, true>(chooser);
         } else {
             self.step_impl::<C, false>(chooser);
         }
     }
 
-    /// Run `cycles` cycles. The tracing check is hoisted out of the loop:
-    /// with tracing off (every sweep and bench) the whole quantum runs in
-    /// the traceless monomorphization, with no per-event branches anywhere
-    /// in the pipeline.
+    /// Run `cycles` cycles. The instrumentation check is hoisted out of
+    /// the loop: with tracing and attribution off (every sweep and bench)
+    /// the whole quantum runs in the uninstrumented monomorphization, with
+    /// no per-event branches anywhere in the pipeline.
     pub fn run<C: FetchChooser>(&mut self, cycles: u64, chooser: &mut C) {
-        if self.trace.is_some() {
+        if self.instrumented() {
             for _ in 0..cycles {
                 self.step_impl::<C, true>(chooser);
             }
@@ -410,10 +438,16 @@ impl SmtMachine {
         }
     }
 
-    /// One cycle, monomorphized on whether event tracing is live. `TRACE`
-    /// must match `self.trace.is_some()`; `step`/`run` guarantee it.
+    /// One cycle, monomorphized on whether any instrumentation (event
+    /// trace or slot attribution) is live. `TRACE` must match
+    /// [`Self::instrumented`]; `step`/`run` guarantee it. Every trace
+    /// emission site still checks `self.trace`, and every attribution hook
+    /// checks `self.attr`, so either can be on without the other.
     fn step_impl<C: FetchChooser, const TRACE: bool>(&mut self, chooser: &mut C) {
-        debug_assert_eq!(TRACE, self.trace.is_some());
+        debug_assert_eq!(TRACE, self.instrumented());
+        if TRACE {
+            self.attr_begin_cycle();
+        }
         self.complete::<TRACE>();
         self.commit::<TRACE>();
         self.issue::<TRACE>();
@@ -667,6 +701,9 @@ impl SmtMachine {
                 }
             }
         }
+        if TRACE {
+            self.attr_commit(budget);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -699,6 +736,9 @@ impl SmtMachine {
 
     fn issue<const TRACE: bool>(&mut self) {
         let now = self.cycle;
+        if TRACE {
+            self.attr_issue_begin();
+        }
         // Drained syscall execution (bypasses the queues entirely).
         if let Some(&q) = self.pending_syscalls.front() {
             // Drained when nothing is in flight except the pending syscalls
@@ -745,6 +785,9 @@ impl SmtMachine {
                 budget -= 1;
             }
             idx = next;
+        }
+        if TRACE {
+            self.attr_issue_end(budget);
         }
     }
 
@@ -1099,6 +1142,9 @@ impl SmtMachine {
         }
         if !self.pending_syscalls.is_empty() {
             self.global.syscall_drain_cycles += 1;
+            if TRACE {
+                self.attr_fetch(self.cfg.fetch_width, true);
+            }
             return;
         }
         // Fetchable candidates, ordered by the policy.
@@ -1118,6 +1164,9 @@ impl SmtMachine {
             remaining -= self.fetch_thread::<TRACE>(v.tid, remaining);
         }
         self.view_buf = views;
+        if TRACE {
+            self.attr_fetch(remaining, false);
+        }
     }
 
     /// Fetch up to `budget` ops from `tid`; returns how many were fetched.
@@ -1431,6 +1480,173 @@ impl SmtMachine {
             tid,
             victims,
         });
+    }
+
+    // ------------------------------------------------------------------
+    // slot-loss attribution hooks (instrumented monomorphization only)
+    // ------------------------------------------------------------------
+    //
+    // "Used" slots per stage are deltas of the counters the machine
+    // already maintains (committed / fetched+wrongpath / iq_occ) across
+    // the stage's boundaries, so the per-op hot loops stay untouched.
+    // Lost slots are the stage budget left over, distributed
+    // deterministically and blamed on each thread's own blocking
+    // condition. Per cycle and stage the categories sum to the stage
+    // width exactly (debug-asserted here, property-tested in
+    // `tests/proptest_attr.rs`).
+
+    /// Record the per-thread counter bases this cycle's deltas are taken
+    /// against. `complete` only marks ops done (it never retires or
+    /// fetches), so cycle start is a valid base for commit and fetch; the
+    /// issue base is taken later because squashes during `complete` also
+    /// drop `iq_occ`.
+    fn attr_begin_cycle(&mut self) {
+        let Some(attr) = self.attr.as_deref_mut() else {
+            return;
+        };
+        attr.cycles += 1;
+        attr.base_fetch.clear();
+        attr.base_commit.clear();
+        for ctx in &self.threads {
+            attr.base_fetch
+                .push(ctx.counters.fetched + ctx.counters.wrongpath_fetched);
+            attr.base_commit.push(ctx.counters.committed);
+        }
+    }
+
+    /// Classify this cycle's commit slots; `lost` is the unspent budget.
+    fn attr_commit(&mut self, lost: usize) {
+        let Some(attr) = self.attr.as_deref_mut() else {
+            return;
+        };
+        let now = self.cycle;
+        let n = self.threads.len();
+        let mut used_total = 0usize;
+        for (t, ctx) in self.threads.iter().enumerate() {
+            let used = ctx.counters.committed - attr.base_commit[t];
+            attr.stacks[t].commit[CommitCause::Used as usize] += used;
+            used_total += used as usize;
+        }
+        debug_assert_eq!(used_total + lost, self.cfg.commit_width);
+        // Unfilled slots round-robin from the commit walk's own starting
+        // thread; with budget left over, every head is absent or not done.
+        let start = (now % n as u64) as usize;
+        for k in 0..lost {
+            let ti = (start + k) % n;
+            let ctx = &self.threads[ti];
+            let cause = match ctx.window.front() {
+                None if ctx.redirect_stall_until > now => CommitCause::SquashDrain,
+                None => CommitCause::Empty,
+                Some(head) => {
+                    if head.dmiss && matches!(head.stage, Stage::Executing { .. }) {
+                        CommitCause::DataMiss
+                    } else {
+                        CommitCause::NotReady
+                    }
+                }
+            };
+            attr.stacks[ti].commit[cause as usize] += 1;
+        }
+    }
+
+    /// Take the per-thread `iq_occ` base the issue deltas are read
+    /// against. Only issue decrements `iq_occ` between here and
+    /// [`Self::attr_issue_end`] (dispatch, which increments it, runs
+    /// after), so the decrease is exactly the slots the thread issued.
+    fn attr_issue_begin(&mut self) {
+        let Some(attr) = self.attr.as_deref_mut() else {
+            return;
+        };
+        attr.base_iq.clear();
+        attr.base_iq
+            .extend(self.threads.iter().map(|c| c.counters.iq_occ));
+    }
+
+    /// Classify this cycle's issue slots; `lost` is the unspent budget.
+    fn attr_issue_end(&mut self, mut lost: usize) {
+        let Some(attr) = self.attr.as_deref_mut() else {
+            return;
+        };
+        let now = self.cycle;
+        let n = self.threads.len();
+        let mut used_total = 0usize;
+        for (t, ctx) in self.threads.iter().enumerate() {
+            let used = (attr.base_iq[t] - ctx.counters.iq_occ) as u64;
+            attr.stacks[t].issue[IssueCause::Used as usize] += used;
+            used_total += used as usize;
+        }
+        debug_assert_eq!(used_total + lost, self.cfg.issue_width);
+        // Blame leftover queue entries in age order — the order issue
+        // itself considered them. Producers complete only in the next
+        // `complete`, so judging readiness now matches what issue saw.
+        for queue in [&self.int_iq, &self.fp_iq] {
+            let mut idx = queue.first();
+            while idx != NIL && lost > 0 {
+                let (tid, _) = queue.key(idx);
+                let d = queue.payload(idx);
+                let cause = if !d.deps_done && !Self::deps_ready(&self.threads[tid.idx()], &d.deps)
+                {
+                    IssueCause::DepsNotReady
+                } else {
+                    IssueCause::FuBusy
+                };
+                attr.stacks[tid.idx()].issue[cause as usize] += 1;
+                lost -= 1;
+                idx = queue.next_of(idx);
+            }
+        }
+        // Slots with nothing left in either queue to blame.
+        let empty = if self.pending_syscalls.is_empty() {
+            IssueCause::IqEmpty
+        } else {
+            IssueCause::Drain
+        };
+        let start = (now % n as u64) as usize;
+        for k in 0..lost {
+            let ti = (start + k) % n;
+            attr.stacks[ti].issue[empty as usize] += 1;
+        }
+    }
+
+    /// Classify this cycle's fetch slots; `lost` is the unspent budget
+    /// (the whole width when a syscall `drain` suppressed fetch).
+    fn attr_fetch(&mut self, lost: usize, drain: bool) {
+        let Some(attr) = self.attr.as_deref_mut() else {
+            return;
+        };
+        let now = self.cycle;
+        let n = self.threads.len();
+        let mut used_total = 0usize;
+        for (t, ctx) in self.threads.iter().enumerate() {
+            let used = ctx.counters.fetched + ctx.counters.wrongpath_fetched - attr.base_fetch[t];
+            attr.stacks[t].fetch[FetchCause::Used as usize] += used;
+            used_total += used as usize;
+        }
+        debug_assert_eq!(used_total + lost, self.cfg.fetch_width);
+        // A stall begun this very cycle (I-miss probed at fetch, redirect
+        // from this cycle's squash) already reads as `> now`, so the lost
+        // slots land on the condition that actually blocked the thread.
+        let start = (now % n as u64) as usize;
+        for k in 0..lost {
+            let ti = (start + k) % n;
+            let ctx = &self.threads[ti];
+            let cause = if drain {
+                FetchCause::Drain
+            } else if !ctx.fetch_enabled {
+                FetchCause::PolicyStarved
+            } else if ctx.icache_stall_until > now {
+                FetchCause::L1iMiss
+            } else if ctx.redirect_stall_until > now {
+                FetchCause::Redirect
+            } else if ctx.window.len() >= self.cfg.rob_per_thread {
+                FetchCause::RobFull
+            } else if (ctx.counters.front_end_occ as usize) >= self.cfg.fetch_buffer_per_thread {
+                FetchCause::FrontEndFull
+            } else {
+                FetchCause::PolicyStarved
+            };
+            attr.stacks[ti].fetch[cause as usize] += 1;
+        }
     }
 
     // ------------------------------------------------------------------

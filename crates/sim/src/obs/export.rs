@@ -14,6 +14,7 @@
 //!   registry's counters and histograms (`_bucket`/`_sum`/`_count`
 //!   triplets with cumulative `le` buckets).
 
+use crate::obs::attr::{CommitCause, FetchCause, IssueCause, SlotStack};
 use crate::obs::metrics::MetricsRegistry;
 use crate::trace::{MissLevel, TraceEvent};
 use std::fmt::Write as _;
@@ -118,6 +119,57 @@ pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Str
         }
         first = false;
         chrome_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Render per-quantum slot stacks as Chrome `trace_event` counter tracks
+/// (`ph: "C"`): one stacked-area track per thread and stage, sampled at
+/// `ts` (the quantum-end cycle). Opens in `chrome://tracing` / Perfetto
+/// alongside [`chrome_trace`]'s event rows, since both share `pid` 0.
+pub fn chrome_slot_tracks<'a>(
+    samples: impl IntoIterator<Item = (u64, u8, &'a SlotStack)>,
+) -> String {
+    let mut out = String::from(r#"{"traceEvents":["#);
+    let mut first = true;
+    for (ts, tid, stack) in samples {
+        for (stage, names, counts) in [
+            (
+                "fetch",
+                FetchCause::ALL.iter().map(|c| c.name()).collect::<Vec<_>>(),
+                &stack.fetch[..],
+            ),
+            (
+                "issue",
+                IssueCause::ALL.iter().map(|c| c.name()).collect::<Vec<_>>(),
+                &stack.issue[..],
+            ),
+            (
+                "commit",
+                CommitCause::ALL
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>(),
+                &stack.commit[..],
+            ),
+        ] {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                r#"{{"name":"{stage} slots t{tid}","ph":"C","ts":{ts},"pid":{CHROME_PID},"tid":{tid},"args":{{"#
+            );
+            for (i, (name, count)) in names.iter().zip(counts).enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, r#""{name}":{count}"#);
+            }
+            out.push_str("}}");
+        }
     }
     out.push_str("]}");
     out
@@ -239,6 +291,28 @@ mod tests {
         let text = chrome_trace(&sample_events());
         assert!(text.contains(r#""ph":"X""#));
         assert!(text.contains(r#""dur":6"#), "{text}");
+    }
+
+    #[test]
+    fn slot_tracks_are_valid_json_counter_events() {
+        use crate::obs::attr::SlotStack;
+        let mut stack = SlotStack::default();
+        stack.fetch[0] = 11;
+        stack.issue[2] = 5;
+        stack.commit[1] = 3;
+        let text = chrome_slot_tracks([(4096u64, 0u8, &stack), (8192, 1, &stack)]);
+        let v: serde::Value = serde::json::from_str(&text).expect("slot tracks JSON");
+        let serde::Value::Map(obj) = &v else {
+            panic!("top level must be an object");
+        };
+        let (_, entries) = obj.iter().find(|(k, _)| k == "traceEvents").unwrap();
+        let serde::Value::Seq(items) = entries else {
+            panic!("traceEvents must be an array");
+        };
+        assert_eq!(items.len(), 6, "3 stage tracks per sample");
+        assert!(text.contains(r#""ph":"C""#));
+        assert!(text.contains(r#""deps_not_ready":5"#));
+        assert!(text.contains(r#""data_miss":3"#));
     }
 
     #[test]

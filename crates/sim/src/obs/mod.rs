@@ -15,13 +15,21 @@
 //! - [`sampler`] — [`PipelineSampler`]: per-quantum occupancy/utilization
 //!   sampling (IQ/LSQ/ROB depth, fetch-slot shares) that only reads the
 //!   machine;
+//! - [`attr`] — slot-accounting attribution ([`SlotAttribution`]): every
+//!   fetch/issue/commit slot classified as used or lost-to-a-cause into
+//!   per-thread CPI stacks, behind the same `const TRACE` gate;
 //! - [`export`] — JSONL, Chrome `trace_event` and Prometheus text dumps.
 
+pub mod attr;
 pub mod export;
 pub mod metrics;
 pub mod ring;
 pub mod sampler;
 
+pub use attr::{
+    register_attr_metrics, AttrSnapshot, CommitCause, FetchCause, IssueCause, SlotAttribution,
+    SlotStack,
+};
 pub use metrics::{CounterId, HistId, MetricsRegistry, MetricsSnapshot};
 pub use ring::EventRing;
 pub use sampler::PipelineSampler;

@@ -1,0 +1,133 @@
+//! Conservation property for slot-accounting attribution.
+//!
+//! Every cycle the machine owns exactly `fetch_width` fetch slots,
+//! `issue_width` issue slots and `commit_width` commit slots; the
+//! attribution layer must account for all of them, every cycle, under any
+//! workload mix and any fetch-priority policy. These tests step machines
+//! one cycle at a time and require each per-cycle stack delta to sum to
+//! the stage width across threads — the machine's internal debug-asserts
+//! check the same thing at the hook sites, so a violation fails twice.
+
+use proptest::prelude::*;
+use smt_sim::{AttrSnapshot, FetchChooser, PolicyView, RoundRobin, SimConfig, SmtMachine};
+use smt_workloads::mix;
+
+/// A family of deterministic choosers standing in for the policy crate
+/// (`smt-sim` must not depend on `smt-policies`): identity, round-robin,
+/// an ICOUNT-alike, and a static inverted priority.
+struct TestChooser(u8);
+
+impl FetchChooser for TestChooser {
+    fn prioritize(&mut self, cycle: u64, views: &mut Vec<PolicyView>) {
+        match self.0 % 4 {
+            0 => {}
+            1 => RoundRobin.prioritize(cycle, views),
+            2 => views.sort_by_key(|v| (v.front_end_occ as u64 + v.iq_occ as u64, v.tid.0)),
+            _ => views.sort_by_key(|v| std::cmp::Reverse(v.tid.0)),
+        }
+    }
+}
+
+fn machine(mix_id: usize, threads: usize, seed: u64) -> SmtMachine {
+    let m = mix(mix_id).take_threads(threads, 1);
+    let mut machine = SmtMachine::new(SimConfig::with_threads(threads), m.streams(seed));
+    machine.enable_attr();
+    machine
+}
+
+/// Step once and require each stage's per-cycle categories to sum to its
+/// width; returns the new snapshot.
+fn step_checked<C: FetchChooser>(
+    machine: &mut SmtMachine,
+    chooser: &mut C,
+    prev: &AttrSnapshot,
+) -> AttrSnapshot {
+    let (fw, iw, cw) = {
+        let c = machine.config();
+        (c.fetch_width, c.issue_width, c.commit_width)
+    };
+    machine.step(chooser);
+    let snap = machine.attr().expect("attr enabled").snapshot();
+    let d = snap.delta(prev);
+    assert_eq!(d.cycles, 1);
+    let fetch: u64 = d.threads.iter().map(|s| s.fetch_total()).sum();
+    let issue: u64 = d.threads.iter().map(|s| s.issue_total()).sum();
+    let commit: u64 = d.threads.iter().map(|s| s.commit_total()).sum();
+    assert_eq!(fetch, fw as u64, "fetch slots not conserved: {d:?}");
+    assert_eq!(issue, iw as u64, "issue slots not conserved: {d:?}");
+    assert_eq!(commit, cw as u64, "commit slots not conserved: {d:?}");
+    snap
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Per-cycle, per-stage conservation over random mixes and policies.
+    #[test]
+    fn slot_stacks_conserve_stage_widths(
+        mix_id in 1usize..10,
+        threads in 2usize..5,
+        kind in 0u8..4,
+        cycles in 64u64..192,
+    ) {
+        let mut machine = machine(mix_id, threads, 42);
+        let mut chooser = TestChooser(kind);
+        let mut prev = machine.attr().expect("attr enabled").snapshot();
+        for _ in 0..cycles {
+            prev = step_checked(&mut machine, &mut chooser, &prev);
+        }
+        machine.check_invariants();
+        let total = machine.attr().expect("attr enabled");
+        prop_assert_eq!(total.cycles(), cycles);
+        let fetch: u64 = total.stacks().iter().map(|s| s.fetch_total()).sum();
+        prop_assert_eq!(fetch, cycles * machine.config().fetch_width as u64);
+    }
+
+    /// Conservation survives ADTS-style fetch gating: threads toggled off
+    /// mid-run must show up as policy-starved slots, never as slots gone
+    /// missing.
+    #[test]
+    fn conservation_with_fetch_gating(
+        mix_id in 1usize..10,
+        mask in 1u8..15,
+        cycles in 64u64..160,
+    ) {
+        let threads = 4;
+        let mut machine = machine(mix_id, threads, 7);
+        let mut chooser = TestChooser(1);
+        let mut prev = machine.attr().expect("attr enabled").snapshot();
+        for c in 0..cycles {
+            if c % 32 == 0 {
+                for t in 0..threads {
+                    let on = c % 64 == 0 || mask & (1 << t) != 0;
+                    machine.set_fetch_enabled(smt_isa::Tid(t as u8), on);
+                }
+            }
+            prev = step_checked(&mut machine, &mut chooser, &prev);
+        }
+        machine.check_invariants();
+    }
+}
+
+/// Attribution must never change what the machine does: a run with attr
+/// enabled commits exactly what the bare run commits.
+#[test]
+fn attribution_does_not_perturb_the_machine() {
+    for mix_id in [1, 9] {
+        let m = mix(mix_id).take_threads(2, 1);
+        let mut bare = SmtMachine::new(SimConfig::with_threads(2), m.streams(42));
+        let mut attributed = bare.clone();
+        attributed.enable_attr();
+        bare.run(4096, &mut RoundRobin);
+        attributed.run(4096, &mut RoundRobin);
+        assert_eq!(bare.counter_snapshot(), attributed.counter_snapshot());
+        assert_eq!(bare.debug_snapshot(), attributed.debug_snapshot());
+        let attr = attributed.disable_attr().expect("attr was enabled");
+        assert_eq!(attr.cycles(), 4096);
+        // Once disabled, the machine drops back to the uninstrumented path
+        // and the two stay in lockstep.
+        bare.run(1024, &mut RoundRobin);
+        attributed.run(1024, &mut RoundRobin);
+        assert_eq!(bare.counter_snapshot(), attributed.counter_snapshot());
+    }
+}

@@ -9,11 +9,13 @@
 pub mod agg;
 pub mod hist;
 pub mod series;
+pub mod stack;
 pub mod table;
 pub mod timeline;
 
 pub use agg::{ci95_half_width, geomean, mean, stdev, Summary};
 pub use hist::Histogram;
 pub use series::{QuantumRecord, RunSeries, SwitchEvent};
+pub use stack::{dominant, percent, percent_cell, shares};
 pub use table::{write_csv, Table};
 pub use timeline::{policy_char, render_timeline};

@@ -1,0 +1,220 @@
+//! Attribution cross-check suite.
+//!
+//! The slot-accounting layer (`smt_sim::obs::attr`) and the occupancy
+//! sampler (`smt_sim::obs::sampler`) measure overlapping quantities from
+//! opposite ends of the machine: the sampler diffs the per-thread fetch
+//! counters at quantum boundaries, while attribution classifies each fetch
+//! slot cycle-by-cycle inside the pipeline. These tests pin that the two
+//! instruments agree exactly — per thread, on both the paper's baseline
+//! MIX01 and the §1 motivating MIX09, under a fixed policy and under the
+//! full adaptive scheduler — and that commit-slot "used" totals reconcile
+//! with the committed counters the golden fixtures pin.
+//!
+//! The suite also carries the decision-audit integration contract: every
+//! `PolicySwitch` event in an adaptive traced run must be explained by a
+//! `switched` [`adts::DecisionRecord`] with the same endpoints and a
+//! non-empty reason.
+
+use smt_adts::prelude::*;
+use smt_sim::obs::{AttrSnapshot, CommitCause, FetchCause, MetricsRegistry, PipelineSampler};
+use smt_sim::TraceEvent;
+
+const QUANTA: u64 = 8;
+const QUANTUM_CYCLES: u64 = 4096;
+const SEED: u64 = 42;
+/// Large enough that a traced run never wraps (asserted), so the trace
+/// holds *every* PolicySwitch event, not a recent suffix.
+const EVENTS_CAP: usize = 1 << 21;
+
+const USED_F: usize = FetchCause::Used as usize;
+const USED_C: usize = CommitCause::Used as usize;
+
+/// Per-thread fetch-slot totals as the sampler counted them.
+fn sampler_fetch_totals(reg: &mut MetricsRegistry, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|t| {
+            let c = reg.counter(&format!("thread{t}_fetch_slots"));
+            reg.counter_value(c)
+        })
+        .collect()
+}
+
+/// Assert the two instruments and the architectural counters agree.
+fn check_agreement(label: &str, snap: &AttrSnapshot, sampler: Vec<u64>, machine: &SmtMachine) {
+    let counters = machine.counter_snapshot();
+    assert_eq!(snap.threads.len(), sampler.len(), "{label}: thread counts");
+    for (t, stack) in snap.threads.iter().enumerate() {
+        assert_eq!(
+            stack.fetch[USED_F], sampler[t],
+            "{label}: thread {t} fetch-used attribution vs sampler counter"
+        );
+        let c = &counters.threads[t];
+        assert_eq!(
+            stack.fetch[USED_F],
+            c.fetched + c.wrongpath_fetched,
+            "{label}: thread {t} fetch-used attribution vs architectural counters"
+        );
+        assert_eq!(
+            stack.commit[USED_C], c.committed,
+            "{label}: thread {t} commit-used attribution vs committed counter"
+        );
+    }
+}
+
+/// Fixed-ICOUNT run with trace, attribution and the sampler all live from
+/// cycle zero (the sampler's deltas are taken from machine creation, so
+/// the instruments only line up when they start together).
+fn fixed_crosscheck(mix_id: usize) {
+    let mix = workloads::mix(mix_id);
+    let mut machine = adts::machine_for_mix(&mix, SEED);
+    machine.enable_trace(EVENTS_CAP);
+    machine.enable_attr();
+    let mut reg = MetricsRegistry::new();
+    let mut sampler = PipelineSampler::new(&mut reg, &machine);
+    adts::run_fixed_sampled(
+        FetchPolicy::Icount,
+        &mut machine,
+        QUANTA,
+        QUANTUM_CYCLES,
+        |_, m, _| sampler.sample(m, &mut reg),
+    );
+    let snap = machine
+        .disable_attr()
+        .expect("attribution was enabled")
+        .snapshot();
+    assert_eq!(snap.cycles, QUANTA * QUANTUM_CYCLES);
+    let totals = sampler_fetch_totals(&mut reg, machine.n_threads());
+    check_agreement(&format!("MIX{mix_id:02}/ICOUNT"), &snap, totals, &machine);
+}
+
+/// Adaptive run with the same three instruments; returns everything the
+/// switch-audit test needs as well.
+struct AdaptiveCapture {
+    snap: AttrSnapshot,
+    sampler_totals: Vec<u64>,
+    machine: SmtMachine,
+    series: RunSeries,
+    audit: Vec<adts::DecisionRecord>,
+    switch_events: Vec<(u8, u8)>,
+    dropped: bool,
+}
+
+fn adaptive_crosscheck(mix_id: usize) -> AdaptiveCapture {
+    let mix = workloads::mix(mix_id);
+    let mut machine = adts::machine_for_mix(&mix, SEED);
+    machine.enable_trace(EVENTS_CAP);
+    machine.enable_attr();
+    let mut reg = MetricsRegistry::new();
+    let mut sampler = PipelineSampler::new(&mut reg, &machine);
+    let cfg = AdtsConfig {
+        quantum_cycles: QUANTUM_CYCLES,
+        // Unattainable threshold: the heuristic runs every quantum, so the
+        // run actually exercises switching.
+        ipc_threshold: 8.0,
+        ..AdtsConfig::default()
+    };
+    let mut sched = AdaptiveScheduler::new(cfg, machine.n_threads());
+    for _ in 0..QUANTA {
+        sched.run_quantum(&mut machine);
+        sampler.sample(&machine, &mut reg);
+    }
+    machine.check_invariants();
+    let snap = machine
+        .disable_attr()
+        .expect("attribution was enabled")
+        .snapshot();
+    let buf = machine.disable_trace().expect("trace was enabled");
+    let dropped = buf.recorded > buf.len() as u64;
+    let switch_events = buf
+        .events()
+        .filter_map(|ev| match *ev {
+            TraceEvent::PolicySwitch { from, to, .. } => Some((from, to)),
+            _ => None,
+        })
+        .collect();
+    let sampler_totals = sampler_fetch_totals(&mut reg, machine.n_threads());
+    let (series, audit) = sched.into_recordings();
+    AdaptiveCapture {
+        snap,
+        sampler_totals,
+        machine,
+        series,
+        audit: audit.iter().cloned().collect(),
+        switch_events,
+        dropped,
+    }
+}
+
+#[test]
+fn fixed_mix01_sampler_and_attribution_agree() {
+    fixed_crosscheck(1);
+}
+
+#[test]
+fn fixed_mix09_sampler_and_attribution_agree() {
+    fixed_crosscheck(9);
+}
+
+#[test]
+fn adaptive_mix01_sampler_and_attribution_agree() {
+    let cap = adaptive_crosscheck(1);
+    check_agreement("MIX01/adts", &cap.snap, cap.sampler_totals, &cap.machine);
+}
+
+#[test]
+fn adaptive_mix09_sampler_and_attribution_agree() {
+    let cap = adaptive_crosscheck(9);
+    check_agreement("MIX09/adts", &cap.snap, cap.sampler_totals, &cap.machine);
+}
+
+/// The acceptance contract: every `PolicySwitch` the trace saw must be
+/// explained by a `switched` decision record with the same endpoints and a
+/// non-empty reason. Switches land one quantum after they are decided, so
+/// the landed events form a prefix of the switched records — at most one
+/// trailing decision may still be pending when the run ends.
+#[test]
+fn every_policy_switch_has_a_matching_decision_record() {
+    let cap = adaptive_crosscheck(1);
+    assert!(!cap.dropped, "trace wrapped; raise EVENTS_CAP");
+    assert!(
+        !cap.switch_events.is_empty(),
+        "m=8 must force at least one landed switch on MIX01"
+    );
+    assert_eq!(cap.audit.len(), QUANTA as usize, "one record per quantum");
+
+    let switched: Vec<&adts::DecisionRecord> = cap.audit.iter().filter(|r| r.switched).collect();
+    assert_eq!(
+        cap.series.switches.len(),
+        switched.len(),
+        "series switch log and audit must agree"
+    );
+    assert!(
+        cap.switch_events.len() >= switched.len().saturating_sub(1)
+            && cap.switch_events.len() <= switched.len(),
+        "landed switches ({}) must be all decided switches ({}) minus at \
+         most one trailing pending decision",
+        cap.switch_events.len(),
+        switched.len()
+    );
+    for (i, &(from, to)) in cap.switch_events.iter().enumerate() {
+        let rec = switched[i];
+        assert_eq!(
+            rec.incumbent.id(),
+            from,
+            "switch {i}: trace `from` vs audited incumbent"
+        );
+        assert_eq!(
+            rec.chosen.id(),
+            to,
+            "switch {i}: trace `to` vs audited choice"
+        );
+        assert!(
+            !rec.reason.name().is_empty(),
+            "switch {i}: audited decision must carry a reason"
+        );
+        assert!(
+            rec.trace.is_some(),
+            "switch {i}: a below-threshold decision must carry its trace"
+        );
+    }
+}

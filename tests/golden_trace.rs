@@ -327,4 +327,249 @@ fn golden_fixture_set_is_complete() {
             path.display()
         );
     }
+    assert!(
+        adaptive_fixture_path().exists(),
+        "adaptive golden fixture missing; bless it first"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive (ADTS) golden point.
+//
+// The fixed-policy fixtures above cannot catch a regression in the
+// scheduler's decision loop, so one adaptive point is pinned too: MIX01
+// (t8) under Type 3 with an unattainable threshold (m = 8), which forces
+// the heuristic to run at every quantum boundary. When this point
+// diverges, the failure message includes the fresh run's decision-audit
+// record for the first divergent quantum — the explain layer applied to
+// conformance debugging.
+// ---------------------------------------------------------------------------
+
+/// The pinned observables of the adaptive point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct AdaptiveGolden {
+    schema: u32,
+    mix: String,
+    threads: usize,
+    seed: u64,
+    quanta: u64,
+    quantum_cycles: u64,
+    /// Threshold m in milli-IPC (integer so the fixture is exact).
+    ipc_threshold_milli: u64,
+    heuristic: String,
+    quantum_policy: Vec<String>,
+    quantum_committed: Vec<u64>,
+    quantum_ipc_milli: Vec<u64>,
+    switch_quantum: Vec<u64>,
+    switch_from: Vec<String>,
+    switch_to: Vec<String>,
+    final_counters: CounterSnapshot,
+}
+
+fn adaptive_fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mix01_t8_adts.json")
+}
+
+fn record_adaptive() -> (AdaptiveGolden, Vec<adts::DecisionRecord>) {
+    let mix = mix_for(1, 8);
+    let mut machine = adts::machine_for_mix(&mix, SEED);
+    let cfg = adts::AdtsConfig {
+        quantum_cycles: QUANTUM_CYCLES,
+        ipc_threshold: 8.0,
+        ..adts::AdtsConfig::default()
+    };
+    let mut sched = adts::AdaptiveScheduler::new(cfg, machine.n_threads());
+    for _ in 0..QUANTA {
+        sched.run_quantum(&mut machine);
+    }
+    machine.check_invariants();
+    let final_counters = machine.counter_snapshot();
+    let (series, audit) = sched.into_recordings();
+    let golden = AdaptiveGolden {
+        schema: SCHEMA,
+        mix: mix.name.clone(),
+        threads: 8,
+        seed: SEED,
+        quanta: QUANTA,
+        quantum_cycles: QUANTUM_CYCLES,
+        ipc_threshold_milli: (cfg.ipc_threshold * 1000.0) as u64,
+        heuristic: cfg.heuristic.name().to_string(),
+        quantum_policy: series.quanta.iter().map(|q| q.policy.clone()).collect(),
+        quantum_committed: series.quanta.iter().map(|q| q.committed).collect(),
+        quantum_ipc_milli: series
+            .quanta
+            .iter()
+            .map(|q| q.committed.saturating_mul(1000) / q.cycles.max(1))
+            .collect(),
+        switch_quantum: series.switches.iter().map(|s| s.quantum).collect(),
+        switch_from: series.switches.iter().map(|s| s.from.clone()).collect(),
+        switch_to: series.switches.iter().map(|s| s.to.clone()).collect(),
+        final_counters,
+    };
+    (golden, audit.iter().cloned().collect())
+}
+
+/// Decision audit for quantum `i`, as a one-line JSON suffix for failure
+/// messages (the audit explains *why* the fresh run scheduled what it did).
+fn audit_suffix(audit: &[adts::DecisionRecord], quantum: usize) -> String {
+    match audit.get(quantum) {
+        Some(rec) => format!(
+            "\nfirst divergent quantum's decision audit: {}",
+            serde::json::to_string(rec)
+        ),
+        None => String::new(),
+    }
+}
+
+/// Compare the committed adaptive fixture against a fresh recording,
+/// attaching the decision-audit record of the first divergent quantum.
+fn compare_adaptive(
+    old: &AdaptiveGolden,
+    new: &AdaptiveGolden,
+    audit: &[adts::DecisionRecord],
+) -> Result<(), String> {
+    if old == new {
+        return Ok(());
+    }
+    fn first_diff<T: PartialEq + std::fmt::Debug>(
+        what: &str,
+        old: &[T],
+        new: &[T],
+    ) -> Option<(usize, String)> {
+        if old == new {
+            return None;
+        }
+        Some(match old.iter().zip(new).position(|(a, b)| a != b) {
+            Some(i) => (
+                i,
+                format!(
+                    "{what} diverged at quantum {i}: fixture {:?} vs fresh {:?}",
+                    old[i], new[i]
+                ),
+            ),
+            None => (
+                old.len().min(new.len()),
+                format!("{what} diverged: length {} vs {}", old.len(), new.len()),
+            ),
+        })
+    }
+    for (what, o, n) in [
+        (
+            "per-quantum policy",
+            &old.quantum_policy,
+            &new.quantum_policy,
+        ),
+        ("switch-from", &old.switch_from, &new.switch_from),
+        ("switch-to", &old.switch_to, &new.switch_to),
+    ] {
+        if let Some((i, msg)) = first_diff(what, o, n) {
+            // Switch vectors index switches, not quanta: map back through
+            // the switch's quantum where possible.
+            let q = if what == "per-quantum policy" {
+                i
+            } else {
+                new.switch_quantum.get(i).copied().unwrap_or(i as u64) as usize
+            };
+            return Err(format!("{msg}{}", audit_suffix(audit, q)));
+        }
+    }
+    for (what, o, n) in [
+        (
+            "per-quantum commits",
+            &old.quantum_committed,
+            &new.quantum_committed,
+        ),
+        (
+            "per-quantum IPC",
+            &old.quantum_ipc_milli,
+            &new.quantum_ipc_milli,
+        ),
+        ("switch quantum", &old.switch_quantum, &new.switch_quantum),
+    ] {
+        if let Some((i, msg)) = first_diff(what, o, n) {
+            return Err(format!("{msg}{}", audit_suffix(audit, i)));
+        }
+    }
+    if old.final_counters != new.final_counters {
+        return Err("adaptive final counters diverged".to_string());
+    }
+    Err("adaptive golden structure diverged".to_string())
+}
+
+#[test]
+fn golden_mix01_t8_adaptive() {
+    let path = adaptive_fixture_path();
+    let (golden, audit) = record_adaptive();
+    let fresh = serde::json::to_string(&golden);
+    if bless_requested() {
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, &fresh).expect("write fixture");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing adaptive golden fixture {} ({e}); generate with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    if fresh == committed {
+        return;
+    }
+    let old: AdaptiveGolden = serde::json::from_str(&committed).expect("parse committed fixture");
+    match compare_adaptive(&old, &golden, &audit) {
+        Err(msg) => panic!(
+            "adaptive golden fixture {}: {msg}\n\
+             if this change is intended, re-bless with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        ),
+        Ok(()) => panic!(
+            "adaptive golden fixture {} is semantically equal but not \
+             byte-identical; the JSON serializer lost canonical formatting",
+            path.display()
+        ),
+    }
+}
+
+/// The adaptive run must switch at least once at m = 8 (otherwise the
+/// point pins nothing about the decision loop) and every recorded switch
+/// must be explained by a `switched` decision record.
+#[test]
+fn adaptive_golden_point_exercises_the_decision_loop() {
+    let (golden, audit) = record_adaptive();
+    assert!(
+        !golden.switch_quantum.is_empty(),
+        "m=8 must force switches on MIX01"
+    );
+    assert_eq!(audit.len(), QUANTA as usize);
+    for (i, q) in golden.switch_quantum.iter().enumerate() {
+        let rec = &audit[*q as usize];
+        assert!(rec.switched, "switch at quantum {q} must be audited");
+        assert_eq!(rec.incumbent.name(), golden.switch_from[i]);
+        assert_eq!(rec.chosen.name(), golden.switch_to[i]);
+        assert!(!rec.reason.name().is_empty());
+    }
+}
+
+/// The adaptive differ's failure path: a perturbed fixture must be
+/// rejected with a message that carries the decision audit of the first
+/// divergent quantum.
+#[test]
+fn perturbed_adaptive_fixture_prints_decision_audit() {
+    let (good, audit) = record_adaptive();
+    let mut bad = good.clone();
+    bad.quantum_committed[3] += 1;
+    bad.quantum_ipc_milli[3] = bad.quantum_committed[3].saturating_mul(1000) / QUANTUM_CYCLES;
+    let msg = compare_adaptive(&bad, &good, &audit).expect_err("perturbation must be detected");
+    assert!(msg.contains("quantum 3"), "{msg}");
+    assert!(
+        msg.contains("decision audit"),
+        "differ must attach the decision record: {msg}"
+    );
+    assert!(
+        msg.contains(r#""reason":"#),
+        "decision record JSON must be embedded: {msg}"
+    );
 }
