@@ -98,6 +98,20 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state, for external checkpointing.
+        #[inline]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from a previously captured [`state`](Self::state).
+        #[inline]
+        pub fn from_state(s: [u64; 4]) -> Self {
+            SmallRng { s }
+        }
+    }
+
     impl Rng for SmallRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {

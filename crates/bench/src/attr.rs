@@ -23,9 +23,9 @@
 use crate::obs::slug;
 use crate::params::ExpParams;
 use crate::sweep;
+use crate::warm::warmed_machine;
 use adts_core::{
-    decisions_jsonl, machine_for_mix, run_fixed, run_fixed_sampled, AdaptiveScheduler, AdtsConfig,
-    DecisionRecord,
+    decisions_jsonl, run_fixed_sampled, AdaptiveScheduler, AdtsConfig, DecisionRecord,
 };
 use smt_policies::FetchPolicy;
 use smt_sim::obs::{
@@ -275,13 +275,7 @@ pub fn explain_fixed(
     opts: &AttrOptions,
 ) -> std::io::Result<AttrArtifacts> {
     let t0 = Instant::now();
-    let mut machine = machine_for_mix(mix, p.seed);
-    let _ = run_fixed(
-        FetchPolicy::Icount,
-        &mut machine,
-        p.warmup_quanta,
-        p.quantum_cycles,
-    );
+    let mut machine = warmed_machine(mix, p);
     machine.enable_attr();
     let mut snaps: Vec<AttrSnapshot> = Vec::with_capacity(p.quanta as usize);
     let series = run_fixed_sampled(
@@ -322,13 +316,7 @@ pub fn explain_adaptive(
     opts: &AttrOptions,
 ) -> std::io::Result<AttrArtifacts> {
     let t0 = Instant::now();
-    let mut machine = machine_for_mix(mix, p.seed);
-    let _ = run_fixed(
-        FetchPolicy::Icount,
-        &mut machine,
-        p.warmup_quanta,
-        p.quantum_cycles,
-    );
+    let mut machine = warmed_machine(mix, p);
     machine.enable_attr();
     let mut snaps: Vec<AttrSnapshot> = Vec::with_capacity(p.quanta as usize);
     let mut sched = AdaptiveScheduler::new(cfg, machine.n_threads());

@@ -17,7 +17,8 @@
 
 use adts_core::CondThresholds;
 use smt_bench::{
-    fixed_series, parallel::par_map, sweep, ExpParams, InstrumentCli, INSTRUMENT_USAGE,
+    fixed_series, parallel::par_map, sweep, CkptCli, ExpParams, InstrumentCli, CKPT_USAGE,
+    INSTRUMENT_USAGE,
 };
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
@@ -28,17 +29,24 @@ fn main() {
     let mut no_cache = false;
     let mut jobs = None;
     let mut instrument = InstrumentCli::default();
+    let mut ckpt = CkptCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
             "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
-            flag => match instrument.accept(flag, &mut args) {
+            flag => match instrument.accept(flag, &mut args).and_then(|hit| {
+                if hit {
+                    Ok(true)
+                } else {
+                    ckpt.accept(flag, &mut args)
+                }
+            }) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, --jobs N, \
-                         {INSTRUMENT_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -54,6 +62,7 @@ fn main() {
         cache_dir: (!no_cache).then(|| PathBuf::from("results/cache")),
         telemetry_path: Some(PathBuf::from("results/telemetry.jsonl")),
     });
+    ckpt.apply();
     // The paper's measurement protocol as ExpParams: the standard seed and
     // quantum, a short warmed window, all thirteen mixes.
     let p = ExpParams {

@@ -17,7 +17,7 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
-use smt_bench::{sweep, ExpParams, InstrumentCli, INSTRUMENT_USAGE};
+use smt_bench::{sweep, CkptCli, ExpParams, InstrumentCli, CKPT_USAGE, INSTRUMENT_USAGE};
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
 use smt_stats::Table;
@@ -68,16 +68,23 @@ fn measure(name: &str, cfg: &SimConfig, warm: u64, run: u64, seed: u64) -> CharR
 fn main() {
     let mut no_cache = false;
     let mut instrument = InstrumentCli::default();
+    let mut ckpt = CkptCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
-            flag => match instrument.accept(flag, &mut args) {
+            flag => match instrument.accept(flag, &mut args).and_then(|hit| {
+                if hit {
+                    Ok(true)
+                } else {
+                    ckpt.accept(flag, &mut args)
+                }
+            }) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, \
-                         {INSTRUMENT_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -93,6 +100,9 @@ fn main() {
         cache_dir: (!no_cache).then(|| PathBuf::from("results/cache")),
         telemetry_path: Some(PathBuf::from("results/telemetry.jsonl")),
     });
+    // The instrumented passes (not the per-app measurements) go through
+    // the warm pool, so the checkpoint flags apply here too.
+    ckpt.apply();
     // Long enough to span several full phase cycles (storm + quiet), so
     // the row is the app's *average* character, not one phase's.
     let warm = 100_000u64;

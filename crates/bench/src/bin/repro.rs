@@ -40,6 +40,9 @@
 //!                     per-mix CPI-stack tables, CSV/JSON artifacts, a
 //!                     decision JSONL and the switch timeline
 //!   --attr-out DIR    explain artifact directory (default results/attr)
+//!   --no-ckpt         disable the warm pool and on-disk checkpoint store
+//!                     (every experiment point pays its own warmup)
+//!   --ckpt-dir DIR    checkpoint store location (default results/cache/ckpt)
 //!   --all             shorthand for the `all` experiment selector
 //!
 //! Perf-baseline mode (exclusive with experiments):
@@ -50,12 +53,21 @@
 //!   --check-baseline PATH compare against a previous report; exits 1 when a
 //!                         point regresses by more than 20% (override with
 //!                         SMT_BENCH_TOLERANCE, a fraction)
+//!
+//! Checkpoint-benchmark mode (exclusive with experiments and --bench):
+//!   --bench-sweep         time the threshold×type sweep cold vs warm vs
+//!                         checkpointed and write BENCH_sweep.json; the warm
+//!                         passes must reproduce the cold results bit for bit
+//!   --quick               CI-sized sweep
+//!   --bench-sweep-out PATH       report path (default BENCH_sweep.json)
+//!   --check-sweep-baseline PATH  gate against a previous report (exit 1 on
+//!                                lost speedup or any correctness failure)
 //! ```
 
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
     ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
-    threshold_type_sweep, ExpParams, InstrumentCli, INSTRUMENT_USAGE,
+    threshold_type_sweep, CkptCli, ExpParams, InstrumentCli, CKPT_USAGE, INSTRUMENT_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -71,10 +83,14 @@ struct Cli {
     cache_dir: PathBuf,
     no_telemetry: bool,
     instrument: InstrumentCli,
+    ckpt: CkptCli,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
     check_baseline: Option<PathBuf>,
+    bench_sweep: bool,
+    bench_sweep_out: PathBuf,
+    check_sweep_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -87,10 +103,14 @@ fn parse_args() -> Result<Cli, String> {
     let mut cache_dir = PathBuf::from("results/cache");
     let mut no_telemetry = false;
     let mut instrument = InstrumentCli::default();
+    let mut ckpt = CkptCli::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
     let mut check_baseline = None;
+    let mut bench_sweep = false;
+    let mut bench_sweep_out = PathBuf::from("BENCH_sweep.json");
+    let mut check_sweep_baseline = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -110,6 +130,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--no-telemetry" => no_telemetry = true,
             flag if instrument.accept(flag, &mut args)? => {}
+            flag if ckpt.accept(flag, &mut args)? => {}
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -118,6 +139,16 @@ fn parse_args() -> Result<Cli, String> {
             "--check-baseline" => {
                 check_baseline = Some(PathBuf::from(
                     args.next().ok_or("--check-baseline needs a value")?,
+                ));
+            }
+            "--bench-sweep" => bench_sweep = true,
+            "--bench-sweep-out" => {
+                bench_sweep_out =
+                    PathBuf::from(args.next().ok_or("--bench-sweep-out needs a value")?);
+            }
+            "--check-sweep-baseline" => {
+                check_sweep_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--check-sweep-baseline needs a value")?,
                 ));
             }
             "--all" => experiments.push("all".to_string()),
@@ -158,7 +189,7 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if experiments.is_empty() && !bench {
+    if experiments.is_empty() && !bench && !bench_sweep {
         experiments.push("help".to_string());
     }
     Ok(Cli {
@@ -171,10 +202,14 @@ fn parse_args() -> Result<Cli, String> {
         cache_dir,
         no_telemetry,
         instrument,
+        ckpt,
         bench,
         quick,
         bench_out,
         check_baseline,
+        bench_sweep,
+        bench_sweep_out,
+        check_sweep_baseline,
     })
 }
 
@@ -221,6 +256,51 @@ fn run_bench_mode(cli: &Cli) -> i32 {
     }
 }
 
+/// `--bench-sweep` mode: time the threshold×type sweep cold vs warm vs
+/// checkpointed, write the report, optionally gate against a baseline.
+/// Returns the process exit code.
+fn run_bench_sweep_mode(cli: &Cli) -> i32 {
+    use smt_bench::perf;
+    let report = perf::run_sweep_bench(cli.quick);
+    match perf::write_sweep_report(&report, &cli.bench_sweep_out) {
+        Ok(()) => println!("[bench-sweep] wrote {}", cli.bench_sweep_out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", cli.bench_sweep_out.display());
+            return 1;
+        }
+    }
+    let Some(baseline_path) = &cli.check_sweep_baseline else {
+        return 0;
+    };
+    let baseline = match perf::read_sweep_report(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read baseline: {e}");
+            return 1;
+        }
+    };
+    let tolerance = std::env::var("SMT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(perf::DEFAULT_TOLERANCE);
+    let failures = perf::sweep_regressions(&report, &baseline, tolerance);
+    if failures.is_empty() {
+        println!(
+            "[bench-sweep] {:.2}x cold→warm, bit-identical, vs {} (tolerance {:.0}%)",
+            report.speedup,
+            baseline_path.display(),
+            tolerance * 100.0
+        );
+        0
+    } else {
+        eprintln!("[bench-sweep] REGRESSION vs {}:", baseline_path.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
 fn emit(table: &Table, slug: &str, out: &Option<PathBuf>) {
     println!("{}", table.render());
     if let Some(dir) = out {
@@ -244,10 +324,24 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if cli.bench {
+    if cli.bench || cli.bench_sweep {
         if !cli.experiments.is_empty() {
-            eprintln!("error: --bench is exclusive with experiment selectors");
+            eprintln!("error: --bench/--bench-sweep are exclusive with experiment selectors");
             std::process::exit(2);
+        }
+        if cli.bench && cli.bench_sweep {
+            eprintln!("error: pick one of --bench and --bench-sweep");
+            std::process::exit(2);
+        }
+        if cli.bench_sweep {
+            // One worker and no result cache: the cold/warm wall-clock
+            // ratio must measure simulation, not cache hits or scheduling.
+            sweep::configure(sweep::SweepConfig {
+                jobs: Some(cli.jobs.unwrap_or(1)),
+                cache_dir: None,
+                telemetry_path: None,
+            });
+            std::process::exit(run_bench_sweep_mode(&cli));
         }
         std::process::exit(run_bench_mode(&cli));
     }
@@ -282,7 +376,10 @@ fn main() {
         println!("             [--out DIR|--no-csv] [--oracle-all] [--jobs N] [--no-cache]");
         println!("             [--cache-dir DIR] [--no-telemetry] <experiment>...");
         println!("             {INSTRUMENT_USAGE}");
+        println!("             {CKPT_USAGE}");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
+        println!("       repro --bench-sweep [--quick] [--bench-sweep-out PATH]");
+        println!("                           [--check-sweep-baseline PATH]");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
     }
@@ -296,6 +393,7 @@ fn main() {
                 .join("telemetry.jsonl")
         }),
     });
+    cli.ckpt.apply();
     let t0 = Instant::now();
     println!(
         "# repro: seed={} quanta={} quantum={} mixes={:?} jobs={} cache={}\n",

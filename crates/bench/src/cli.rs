@@ -24,6 +24,56 @@ pub struct InstrumentCli {
 pub const INSTRUMENT_USAGE: &str =
     "[--obs] [--obs-out DIR] [--obs-events N] [--attr] [--attr-out DIR]";
 
+/// Usage fragment for the checkpoint flags shared by every binary.
+pub const CKPT_USAGE: &str = "[--no-ckpt] [--ckpt-dir DIR]";
+
+/// The warm-state checkpoint flags (`--no-ckpt`, `--ckpt-dir`) shared by
+/// every experiment binary. By default warmed machines are pooled in
+/// memory and persisted as checkpoints beside the result cache; `apply`
+/// pushes the parsed settings into [`crate::warm`].
+#[derive(Clone, Debug)]
+pub struct CkptCli {
+    /// `--no-ckpt` clears this: disables both the in-memory warm pool and
+    /// the on-disk checkpoint store.
+    pub enabled: bool,
+    /// `--ckpt-dir DIR`: where checkpoints live.
+    pub dir: PathBuf,
+}
+
+impl Default for CkptCli {
+    fn default() -> Self {
+        CkptCli {
+            enabled: true,
+            dir: PathBuf::from("results/cache/ckpt"),
+        }
+    }
+}
+
+impl CkptCli {
+    /// Same contract as [`InstrumentCli::accept`].
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--no-ckpt" => self.enabled = false,
+            "--ckpt-dir" => {
+                self.dir = PathBuf::from(args.next().ok_or("--ckpt-dir needs a value")?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Push the parsed settings into the process-wide warm pool. Call once,
+    /// after argument parsing and before any experiment runs.
+    pub fn apply(&self) {
+        crate::warm::set_enabled(self.enabled);
+        crate::warm::configure_store(self.enabled.then(|| self.dir.clone()));
+    }
+}
+
 impl InstrumentCli {
     /// Try to consume `arg` (pulling its value from `args` where the flag
     /// takes one). Returns `Ok(true)` when the flag belonged to this
@@ -124,6 +174,33 @@ mod tests {
         assert!(parse(&["--obs-events", "many"]).is_err());
         assert!(parse(&["--obs-out"]).is_err());
         assert!(parse(&["--attr-out"]).is_err());
+    }
+
+    fn parse_ckpt(tokens: &[&str]) -> Result<CkptCli, String> {
+        let mut cli = CkptCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn ckpt_defaults_to_enabled_beside_the_result_cache() {
+        let cli = parse_ckpt(&[]).unwrap();
+        assert!(cli.enabled);
+        assert_eq!(cli.dir, PathBuf::from("results/cache/ckpt"));
+    }
+
+    #[test]
+    fn ckpt_flags_parse_and_validate() {
+        let cli = parse_ckpt(&["--no-ckpt", "--ckpt-dir", "elsewhere"]).unwrap();
+        assert!(!cli.enabled);
+        assert_eq!(cli.dir, PathBuf::from("elsewhere"));
+        assert!(parse_ckpt(&["--ckpt-dir"]).is_err());
+        assert!(parse_ckpt(&["--frobnicate"]).is_err());
     }
 
     #[test]

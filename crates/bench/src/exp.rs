@@ -8,13 +8,14 @@
 use crate::parallel::par_map;
 use crate::params::ExpParams;
 use crate::sweep;
+use crate::warm::{warmed_machine, warmed_machine_with};
 use adts_core::{
     adaptive::SelfTuning, machine_for_mix, run_fixed, run_oracle, AdaptiveScheduler, AdtsConfig,
     CondThresholds, DtModel, EvictionPolicy, HeuristicKind, JobSchedConfig, JobScheduler,
     OracleConfig,
 };
 use smt_policies::FetchPolicy;
-use smt_sim::SmtMachine;
+use smt_sim::SimConfig;
 use smt_stats::{mean, RunSeries, Table};
 use smt_workloads::Mix;
 
@@ -29,20 +30,16 @@ pub const TRIPLE: [FetchPolicy; 3] = [
 // helpers
 // ---------------------------------------------------------------------
 
-fn warmed_machine(mix: &Mix, p: &ExpParams) -> SmtMachine {
-    let mut m = machine_for_mix(mix, p.seed);
-    let _ = run_fixed(
-        FetchPolicy::Icount,
-        &mut m,
-        p.warmup_quanta,
-        p.quantum_cycles,
-    );
-    m
+/// The (implicit) machine configuration of a default experiment point —
+/// part of every cache and checkpoint key so results computed under one
+/// config can never be replayed under another.
+fn default_cfg(mix: &Mix) -> SimConfig {
+    SimConfig::with_threads(mix.apps.len())
 }
 
 /// Fixed-policy run on a warmed machine (cached by content key).
 pub fn fixed_series(mix: &Mix, policy: FetchPolicy, p: &ExpParams) -> RunSeries {
-    let key = sweep::point_key("fixed", mix, p, &policy);
+    let key = sweep::point_key("fixed", mix, p, &(default_cfg(mix), policy));
     sweep::engine().run_series(
         "fixed",
         &format!("{}/{}", mix.name, policy.name()),
@@ -66,7 +63,12 @@ pub fn adaptive_series_with(
     p: &ExpParams,
     rotation: Option<Vec<FetchPolicy>>,
 ) -> RunSeries {
-    let key = sweep::point_key("adaptive", mix, p, &(cfg, rotation.clone()));
+    let key = sweep::point_key(
+        "adaptive",
+        mix,
+        p,
+        &(default_cfg(mix), cfg, rotation.clone()),
+    );
     let point = format!("{}/{}", mix.name, cfg.heuristic.name());
     sweep::engine().run_series("adaptive", &point, key, || {
         let mut m = warmed_machine(mix, p);
@@ -455,7 +457,7 @@ pub fn oracle(p: &ExpParams, include_all_policies: bool) -> Table {
             quantum_cycles: p.quantum_cycles,
             candidates,
         };
-        let key = sweep::point_key("oracle", mix, p, &cfg);
+        let key = sweep::point_key("oracle", mix, p, &(default_cfg(mix), cfg.clone()));
         let point = format!("{}/oracle{}", mix.name, cfg.candidates.len());
         sweep::engine().run_series("oracle", &point, key, || {
             let mut m = warmed_machine(mix, p);
@@ -840,13 +842,7 @@ pub fn ablate_fetchmech(p: &ExpParams) -> Table {
             let key = sweep::point_key("fetchmech", mix, p, &(cfg.clone(), FetchPolicy::Icount));
             let point = format!("{}/{name}", mix.name);
             let s = sweep::engine().run_series("fetchmech", &point, key, || {
-                let mut m = adts_core::machine_for_mix_with(cfg.clone(), mix, p.seed);
-                let _ = run_fixed(
-                    FetchPolicy::Icount,
-                    &mut m,
-                    p.warmup_quanta,
-                    p.quantum_cycles,
-                );
+                let mut m = warmed_machine_with(cfg.clone(), mix, p);
                 run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles)
             });
             ipcs.push(s.aggregate_ipc());
@@ -882,26 +878,14 @@ pub fn ablate_prefetch(p: &ExpParams) -> Table {
             let point = format!("{}/prefetch={prefetch}", mix.name);
             let cfg_fixed = cfg.clone();
             let s = sweep::engine().run_series("fixed", &point, fixed_key, || {
-                let mut m = adts_core::machine_for_mix_with(cfg_fixed, mix, p.seed);
-                let _ = run_fixed(
-                    FetchPolicy::Icount,
-                    &mut m,
-                    p.warmup_quanta,
-                    p.quantum_cycles,
-                );
+                let mut m = warmed_machine_with(cfg_fixed, mix, p);
                 run_fixed(FetchPolicy::Icount, &mut m, p.quanta, p.quantum_cycles)
             });
             ic.push(s.aggregate_ipc());
             let acfg = adts(HeuristicKind::Type1, 4.0, p);
             let ad_key = sweep::point_key("prefetch-adaptive", mix, p, &(cfg.clone(), acfg));
             let s = sweep::engine().run_series("adaptive", &point, ad_key, || {
-                let mut m = adts_core::machine_for_mix_with(cfg, mix, p.seed);
-                let _ = run_fixed(
-                    FetchPolicy::Icount,
-                    &mut m,
-                    p.warmup_quanta,
-                    p.quantum_cycles,
-                );
+                let mut m = warmed_machine_with(cfg, mix, p);
                 let mut sched = AdaptiveScheduler::new(acfg, m.n_threads());
                 for _ in 0..p.quanta {
                     sched.run_quantum(&mut m);

@@ -21,10 +21,8 @@
 
 use crate::params::ExpParams;
 use crate::sweep;
-use adts_core::{
-    machine_for_mix, register_series_metrics, run_fixed, run_fixed_sampled, AdaptiveScheduler,
-    AdtsConfig,
-};
+use crate::warm::warmed_machine;
+use adts_core::{register_series_metrics, run_fixed_sampled, AdaptiveScheduler, AdtsConfig};
 use smt_policies::FetchPolicy;
 use smt_sim::obs::{export, MetricsRegistry, PipelineSampler};
 use smt_stats::RunSeries;
@@ -127,13 +125,7 @@ pub fn observe_fixed(
     opts: &ObsOptions,
 ) -> std::io::Result<ObsArtifacts> {
     let t0 = Instant::now();
-    let mut machine = machine_for_mix(mix, p.seed);
-    let _ = run_fixed(
-        FetchPolicy::Icount,
-        &mut machine,
-        p.warmup_quanta,
-        p.quantum_cycles,
-    );
+    let mut machine = warmed_machine(mix, p);
     machine.enable_trace(opts.events_cap);
     let mut reg = MetricsRegistry::new();
     let mut sampler = PipelineSampler::new(&mut reg, &machine);
@@ -167,13 +159,7 @@ pub fn observe_adaptive(
     opts: &ObsOptions,
 ) -> std::io::Result<ObsArtifacts> {
     let t0 = Instant::now();
-    let mut machine = machine_for_mix(mix, p.seed);
-    let _ = run_fixed(
-        FetchPolicy::Icount,
-        &mut machine,
-        p.warmup_quanta,
-        p.quantum_cycles,
-    );
+    let mut machine = warmed_machine(mix, p);
     machine.enable_trace(opts.events_cap);
     let mut reg = MetricsRegistry::new();
     let mut sampler = PipelineSampler::new(&mut reg, &machine);

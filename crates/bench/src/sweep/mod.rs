@@ -20,10 +20,12 @@
 //! turn the persistent pieces on.
 
 pub mod cache;
+pub mod ckpt;
 pub mod executor;
 pub mod telemetry;
 
 pub use cache::{point_key, CacheKey, ResultCache, CODE_SALT};
+pub use ckpt::{CkptStats, CkptStore};
 pub use executor::{resolve_jobs, run_isolated, PointError};
 pub use telemetry::{CacheOutcome, ObsSummary, TelemetryRecord, TelemetrySink};
 

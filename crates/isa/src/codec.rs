@@ -1,0 +1,671 @@
+//! Compact self-describing binary codec for machine checkpoints.
+//!
+//! The checkpoint subsystem (`smt-sim::snapshot`, `smt-bench::warm`) needs a
+//! byte-exact, versioned serialization of the whole machine state. The
+//! vendored `serde` facade is JSON-only and therefore too bulky (and too
+//! slow) for multi-megabyte microarchitectural state, so this module
+//! provides a tiny hand-rolled binary layer instead: little-endian
+//! primitives, tag bytes for options and enums, and `u64` length prefixes
+//! for sequences. Types whose fields live in other crates implement
+//! [`Codec`] next to their definitions; complex *configuration* leaves
+//! (e.g. `SimConfig`, `AppProfile`) are embedded as length-prefixed
+//! canonical-JSON strings via [`encode_json`]/[`decode_json`] — they are
+//! tiny, and the vendored serde derive already round-trips them exactly.
+//!
+//! Decoding never panics: every failure mode (truncation, unknown tag,
+//! bad checksum) surfaces as a [`CodecError`] so callers can fall back to
+//! recomputing the state from scratch.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::regs::{ArchReg, RegClass};
+use crate::uop::{BranchInfo, BranchKind, MemInfo, MicroOp, OpKind};
+
+/// FNV-1a offset basis (64-bit).
+const FNV64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV64_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash — the checkpoint container's payload checksum.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV64_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV64_PRIME);
+    }
+    h
+}
+
+/// Why a decode failed. Corrupt or foreign bytes must map here, never to a
+/// panic — the warm pool treats any error as "recompute from cold".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the next field needs.
+    Truncated { wanted: usize, available: usize },
+    /// An enum/option tag byte was out of range.
+    BadTag { what: &'static str, tag: u64 },
+    /// The container did not start with the expected magic bytes.
+    BadMagic,
+    /// The container's format version is not the one this build writes.
+    UnsupportedVersion { found: u32, expected: u32 },
+    /// The payload checksum did not match (bit rot or truncation).
+    ChecksumMismatch,
+    /// Bytes were left over after the top-level decode finished.
+    TrailingBytes { remaining: usize },
+    /// A semantic constraint failed (bad JSON leaf, impossible value).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { wanted, available } => {
+                write!(f, "truncated: wanted {wanted} bytes, {available} left")
+            }
+            CodecError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::UnsupportedVersion { found, expected } => {
+                write!(f, "unsupported version {found} (expected {expected})")
+            }
+            CodecError::ChecksumMismatch => write!(f, "checksum mismatch"),
+            CodecError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decode")
+            }
+            CodecError::Invalid(msg) => write!(f, "invalid data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> Self {
+        ByteWriter { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `f64` is stored as its exact IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// `usize` always travels as `u64` so 32/64-bit hosts interoperate.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Raw bytes, no length prefix (caller knows the length).
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        self.usize(bytes.len());
+        self.raw(bytes);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Cursor over a byte slice; every read is bounds-checked.
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Borrow the next `n` bytes and advance.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                wanted: n,
+                available: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn u128(&mut self) -> Result<u128, CodecError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    pub fn bool(&mut self) -> Result<bool, CodecError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(CodecError::BadTag {
+                what: "bool",
+                tag: t as u64,
+            }),
+        }
+    }
+
+    pub fn usize(&mut self) -> Result<usize, CodecError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid(format!("usize overflow: {v}")))
+    }
+
+    /// Length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| CodecError::Invalid(format!("bad utf-8: {e}")))
+    }
+
+    /// Assert the reader is fully consumed (top-level decodes call this).
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::TrailingBytes {
+                remaining: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Binary round-trip for one value. Implementations must be exact: decode
+/// of an encode yields a value indistinguishable from the original.
+pub trait Codec: Sized {
+    fn encode(&self, w: &mut ByteWriter);
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError>;
+}
+
+macro_rules! impl_codec_prim {
+    ($($t:ident),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.$t(*self);
+            }
+            fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+                r.$t()
+            }
+        }
+    )*};
+}
+
+impl_codec_prim!(u8, u16, u32, u64, u128, usize, f64, bool);
+
+impl Codec for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.str(self);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(r.str()?.to_string())
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.u8(0),
+            Some(v) => {
+                w.u8(1);
+                v.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            t => Err(CodecError::BadTag {
+                what: "option",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.usize(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let n = r.usize()?;
+        // Guard the pre-allocation: a corrupt length must not OOM us.
+        let mut out = Vec::with_capacity(n.min(r.remaining().max(16)));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec, const N: usize> Codec for [T; N] {
+    fn encode(&self, w: &mut ByteWriter) {
+        for v in self {
+            v.encode(w);
+        }
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(r)?);
+        }
+        out.try_into()
+            .map_err(|_| CodecError::Invalid("array length".into()))
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+/// Embed a serde-derived configuration value as a length-prefixed
+/// canonical-JSON leaf. The vendored serde writes deterministic JSON with
+/// shortest-round-trip floats, so equal values produce identical bytes and
+/// every `f64` survives exactly.
+pub fn encode_json<T: Serialize>(w: &mut ByteWriter, value: &T) {
+    w.str(&serde::json::to_string(value));
+}
+
+/// Decode a [`encode_json`] leaf.
+pub fn decode_json<T: Deserialize>(r: &mut ByteReader) -> Result<T, CodecError> {
+    let s = r.str()?;
+    serde::json::from_str(s).map_err(|e| CodecError::Invalid(format!("json leaf: {e}")))
+}
+
+// ---------------------------------------------------------------------
+// ISA types (all fields public, so the impls live here)
+// ---------------------------------------------------------------------
+
+impl Codec for RegClass {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            RegClass::Int => 0,
+            RegClass::Fp => 1,
+        });
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(RegClass::Int),
+            1 => Ok(RegClass::Fp),
+            t => Err(CodecError::BadTag {
+                what: "RegClass",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl Codec for ArchReg {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.class.encode(w);
+        w.u8(self.idx);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(ArchReg {
+            class: RegClass::decode(r)?,
+            idx: r.u8()?,
+        })
+    }
+}
+
+impl Codec for OpKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            OpKind::IntAlu => 0,
+            OpKind::IntMul => 1,
+            OpKind::IntDiv => 2,
+            OpKind::FpAlu => 3,
+            OpKind::FpMul => 4,
+            OpKind::FpDiv => 5,
+            OpKind::Load => 6,
+            OpKind::Store => 7,
+            OpKind::Branch => 8,
+            OpKind::Syscall => 9,
+            OpKind::Nop => 10,
+        });
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => OpKind::IntAlu,
+            1 => OpKind::IntMul,
+            2 => OpKind::IntDiv,
+            3 => OpKind::FpAlu,
+            4 => OpKind::FpMul,
+            5 => OpKind::FpDiv,
+            6 => OpKind::Load,
+            7 => OpKind::Store,
+            8 => OpKind::Branch,
+            9 => OpKind::Syscall,
+            10 => OpKind::Nop,
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "OpKind",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for BranchKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u8(match self {
+            BranchKind::Conditional => 0,
+            BranchKind::Unconditional => 1,
+            BranchKind::Call => 2,
+            BranchKind::Return => 3,
+        });
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => BranchKind::Conditional,
+            1 => BranchKind::Unconditional,
+            2 => BranchKind::Call,
+            3 => BranchKind::Return,
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "BranchKind",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for BranchInfo {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        w.bool(self.taken);
+        w.u64(self.target);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(BranchInfo {
+            kind: BranchKind::decode(r)?,
+            taken: r.bool()?,
+            target: r.u64()?,
+        })
+    }
+}
+
+impl Codec for MemInfo {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.addr);
+        w.u8(self.size);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(MemInfo {
+            addr: r.u64()?,
+            size: r.u8()?,
+        })
+    }
+}
+
+impl Codec for MicroOp {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        w.u64(self.pc);
+        self.dst.encode(w);
+        self.src1.encode(w);
+        self.src2.encode(w);
+        self.mem.encode(w);
+        self.branch.encode(w);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(MicroOp {
+            kind: OpKind::decode(r)?,
+            pc: r.u64()?,
+            dst: Option::decode(r)?,
+            src1: Option::decode(r)?,
+            src2: Option::decode(r)?,
+            mem: Option::decode(r)?,
+            branch: Option::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) {
+        let mut w = ByteWriter::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        assert_eq!(&back, v);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(&0xAAu8);
+        roundtrip(&0xBEEFu16);
+        roundtrip(&0xDEAD_BEEFu32);
+        roundtrip(&u64::MAX);
+        roundtrip(&(u128::MAX - 7));
+        roundtrip(&usize::MAX);
+        roundtrip(&true);
+        roundtrip(&false);
+        roundtrip(&1.5f64);
+        roundtrip(&f64::MIN_POSITIVE);
+        roundtrip(&"héllo wörld".to_string());
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(&Some(42u64));
+        roundtrip(&Option::<u64>::None);
+        roundtrip(&vec![1u32, 2, 3]);
+        roundtrip(&Vec::<u64>::new());
+        roundtrip(&[1u64, 2, 3, 4]);
+        roundtrip(&(7u32, Some(9u64)));
+    }
+
+    #[test]
+    fn isa_types_roundtrip() {
+        roundtrip(&ArchReg::int(5));
+        roundtrip(&ArchReg::fp(31));
+        for k in [
+            OpKind::IntAlu,
+            OpKind::IntMul,
+            OpKind::IntDiv,
+            OpKind::FpAlu,
+            OpKind::FpMul,
+            OpKind::FpDiv,
+            OpKind::Load,
+            OpKind::Store,
+            OpKind::Branch,
+            OpKind::Syscall,
+            OpKind::Nop,
+        ] {
+            roundtrip(&k);
+        }
+        let op = MicroOp {
+            kind: OpKind::Branch,
+            pc: 0x1000,
+            dst: None,
+            src1: Some(ArchReg::int(3)),
+            src2: None,
+            mem: None,
+            branch: Some(BranchInfo {
+                kind: BranchKind::Conditional,
+                taken: true,
+                target: 0x40,
+            }),
+        };
+        roundtrip(&op);
+        let ld = MicroOp {
+            kind: OpKind::Load,
+            pc: 0x2000,
+            dst: Some(ArchReg::fp(7)),
+            src1: None,
+            src2: None,
+            mem: Some(MemInfo {
+                addr: 0xF00,
+                size: 8,
+            }),
+            branch: None,
+        };
+        roundtrip(&ld);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        MicroOp::nop(0x77).encode(&mut w);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(MicroOp::decode(&mut r).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn bad_tags_are_errors() {
+        let mut r = ByteReader::new(&[9]);
+        assert!(matches!(
+            RegClass::decode(&mut r),
+            Err(CodecError::BadTag { .. })
+        ));
+        let mut r = ByteReader::new(&[2]);
+        assert!(bool::decode(&mut r).is_err());
+        let mut r = ByteReader::new(&[77]);
+        assert!(OpKind::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn corrupt_vec_length_does_not_allocate_unbounded() {
+        let mut w = ByteWriter::new();
+        w.u64(u64::MAX); // absurd length, no payload
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(Vec::<u64>::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = ByteWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let _ = r.u8().unwrap();
+        assert!(matches!(
+            r.finish(),
+            Err(CodecError::TrailingBytes { remaining: 1 })
+        ));
+    }
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a 64 of the empty string is the offset basis.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        // And "a" is a published test vector.
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn json_leaf_roundtrips_floats_exactly() {
+        let mut w = ByteWriter::new();
+        let v = vec![0.1f64, 1.0 / 3.0, f64::MIN_POSITIVE];
+        encode_json(&mut w, &v);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back: Vec<f64> = decode_json(&mut r).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -13,6 +13,7 @@
 //! depends on the pipeline; it is the stable vocabulary between the workload
 //! generator and the machine model.
 
+pub mod codec;
 pub mod profile;
 pub mod regs;
 pub mod thread;

@@ -21,6 +21,7 @@
 //! correct-path branches only.
 
 use crate::config::SimConfig;
+use smt_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use smt_isa::{BranchKind, Tid, MAX_HW_CONTEXTS};
 
 /// Outcome of predicting one branch at fetch.
@@ -205,6 +206,47 @@ impl BranchPredictor {
             None => history_at_fetch & self.history_mask,
         };
         self.history[tid.idx()] = h;
+    }
+
+    /// Serialize the full predictor state (tables, histories, RAS depths,
+    /// statistics) for checkpointing.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        self.pht.encode(w);
+        self.bimodal.encode(w);
+        self.chooser.encode(w);
+        w.u64(self.pht_mask);
+        w.u64(self.history_mask);
+        self.history.encode(w);
+        self.btb_tags.encode(w);
+        w.u64(self.btb_mask);
+        self.ras_depth.encode(w);
+        w.usize(self.ras_max);
+        w.u64(self.lookups);
+        w.u64(self.btb_misses);
+    }
+
+    /// Rebuild from [`Self::encode_into`] bytes.
+    pub(crate) fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let pht: Vec<u8> = Vec::decode(r)?;
+        let bimodal: Vec<u8> = Vec::decode(r)?;
+        let chooser: Vec<u8> = Vec::decode(r)?;
+        if bimodal.len() != pht.len() || chooser.len() != pht.len() {
+            return Err(CodecError::Invalid("predictor table sizes disagree".into()));
+        }
+        Ok(BranchPredictor {
+            pht,
+            bimodal,
+            chooser,
+            pht_mask: r.u64()?,
+            history_mask: r.u64()?,
+            history: <[u64; MAX_HW_CONTEXTS]>::decode(r)?,
+            btb_tags: Vec::decode(r)?,
+            btb_mask: r.u64()?,
+            ras_depth: <[usize; MAX_HW_CONTEXTS]>::decode(r)?,
+            ras_max: r.usize()?,
+            lookups: r.u64()?,
+            btb_misses: r.u64()?,
+        })
     }
 
     /// Train the direction predictor at branch resolution (correct path

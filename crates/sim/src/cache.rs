@@ -12,6 +12,7 @@
 //! to.
 
 use crate::config::CacheGeometry;
+use smt_isa::codec::{self, ByteReader, ByteWriter, Codec, CodecError};
 
 /// One set-associative, LRU, write-allocate cache level.
 #[derive(Clone, Debug)]
@@ -103,6 +104,41 @@ impl Cache {
     pub fn geometry(&self) -> CacheGeometry {
         self.geom
     }
+
+    /// Serialize the full cache state (tags, LRU stamps, statistics) for
+    /// checkpointing. Exact: a decoded cache hits, misses and evicts
+    /// identically to the original.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        codec::encode_json(w, &self.geom);
+        self.tags.encode(w);
+        self.stamps.encode(w);
+        w.u64(self.tick);
+        w.u64(self.accesses);
+        w.u64(self.misses);
+    }
+
+    /// Rebuild from [`Self::encode_into`] bytes.
+    pub(crate) fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let geom: CacheGeometry = codec::decode_json(r)?;
+        let sets = geom.sets();
+        let tags = Vec::decode(r)?;
+        let stamps: Vec<u64> = Vec::decode(r)?;
+        if tags.len() != sets * geom.ways || stamps.len() != tags.len() {
+            return Err(CodecError::Invalid(
+                "cache array sizes disagree with geometry".into(),
+            ));
+        }
+        Ok(Cache {
+            geom,
+            sets,
+            line_shift: geom.line_bytes.trailing_zeros(),
+            tags,
+            stamps,
+            tick: r.u64()?,
+            accesses: r.u64()?,
+            misses: r.u64()?,
+        })
+    }
 }
 
 /// Outcome of a hierarchy access.
@@ -175,6 +211,28 @@ impl Hierarchy {
                 l2_miss,
             }
         }
+    }
+
+    /// Serialize the whole hierarchy for checkpointing.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        self.l1i.encode_into(w);
+        self.l1d.encode_into(w);
+        self.l2.encode_into(w);
+        w.u64(self.mem_latency);
+        w.bool(self.next_line_prefetch);
+        w.u64(self.prefetches);
+    }
+
+    /// Rebuild from [`Self::encode_into`] bytes.
+    pub(crate) fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(Hierarchy {
+            l1i: Cache::decode_from(r)?,
+            l1d: Cache::decode_from(r)?,
+            l2: Cache::decode_from(r)?,
+            mem_latency: r.u64()?,
+            next_line_prefetch: r.bool()?,
+            prefetches: r.u64()?,
+        })
     }
 
     /// Data access (load or store; write-allocate makes them symmetric).

@@ -5,6 +5,7 @@
 //! monotone and never reused, so after a squash the window may contain a
 //! gap; lookups go through binary search on `seq`.
 
+use smt_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use smt_isa::MicroOp;
 
 /// Pipeline stage of an in-flight op.
@@ -68,6 +69,66 @@ impl InFlight {
     #[inline]
     pub fn past_dispatch(&self) -> bool {
         !self.in_front_end()
+    }
+}
+
+impl Codec for Stage {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Stage::FrontEnd { ready_at } => {
+                w.u8(0);
+                w.u64(*ready_at);
+            }
+            Stage::Queued => w.u8(1),
+            Stage::Executing { done_at } => {
+                w.u8(2);
+                w.u64(*done_at);
+            }
+            Stage::Done => w.u8(3),
+        }
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => Stage::FrontEnd { ready_at: r.u64()? },
+            1 => Stage::Queued,
+            2 => Stage::Executing { done_at: r.u64()? },
+            3 => Stage::Done,
+            t => {
+                return Err(CodecError::BadTag {
+                    what: "Stage",
+                    tag: t as u64,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for InFlight {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.u64(self.seq);
+        self.uop.encode(w);
+        w.bool(self.wrong_path);
+        self.deps.encode(w);
+        self.stage.encode(w);
+        w.bool(self.mispredicted);
+        w.bool(self.dmiss);
+        w.u32(self.pht_index);
+        w.u64(self.history_at_fetch);
+        w.u64(self.fetched_at);
+    }
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(InFlight {
+            seq: r.u64()?,
+            uop: MicroOp::decode(r)?,
+            wrong_path: r.bool()?,
+            deps: <[Option<u64>; 2]>::decode(r)?,
+            stage: Stage::decode(r)?,
+            mispredicted: r.bool()?,
+            dmiss: r.bool()?,
+            pht_index: r.u32()?,
+            history_at_fetch: r.u64()?,
+            fetched_at: r.u64()?,
+        })
     }
 }
 

@@ -23,6 +23,7 @@
 //! `crates/sim/tests/proptest_machine_equiv.rs`, and the golden-trace
 //! suite pins the machine-level behavior bit-for-bit.
 
+use smt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use smt_isa::Tid;
 
 /// Null link. Slab indices are `u32`; the queues hold at most a few
@@ -292,6 +293,55 @@ impl<T> IndexedQueue<T> {
         })
     }
 
+    /// Serialize the queue's *logical* contents — entries in global age
+    /// order, plus the context count. Slab indices and free-list layout
+    /// are deliberately not preserved: they are unobservable through the
+    /// public API (walks go through [`Self::first`]/[`Self::next_of`],
+    /// removals are key- or cursor-based), so a decode that re-pushes the
+    /// same entries in the same order is behaviorally identical.
+    pub fn encode_with(&self, w: &mut ByteWriter, mut enc: impl FnMut(&mut ByteWriter, &T)) {
+        w.usize(self.theads.len());
+        w.usize(self.len);
+        for (tid, seq, payload) in self.iter() {
+            w.u8(tid.0);
+            w.u64(seq);
+            enc(w, payload);
+        }
+    }
+
+    /// Rebuild from [`Self::encode_with`] bytes.
+    pub fn decode_with(
+        r: &mut ByteReader,
+        mut dec: impl FnMut(&mut ByteReader) -> Result<T, CodecError>,
+    ) -> Result<Self, CodecError> {
+        let n_threads = r.usize()?;
+        if n_threads == 0 || n_threads > smt_isa::MAX_HW_CONTEXTS {
+            return Err(CodecError::Invalid(format!(
+                "queue context count {n_threads} out of range"
+            )));
+        }
+        let len = r.usize()?;
+        let mut q = IndexedQueue::new(n_threads, len.min(r.remaining()));
+        for _ in 0..len {
+            let tid = r.u8()?;
+            if tid as usize >= n_threads {
+                return Err(CodecError::Invalid(format!(
+                    "queue entry tid {tid} out of range"
+                )));
+            }
+            let seq = r.u64()?;
+            let ti = tid as usize;
+            // push_back debug-asserts per-thread seq order; enforce it in
+            // release decodes too so corrupt bytes cannot corrupt links.
+            if q.ttails[ti] != NIL && q.nodes[q.ttails[ti] as usize].seq >= seq {
+                return Err(CodecError::Invalid("queue entries out of seq order".into()));
+            }
+            let payload = dec(r)?;
+            q.push_back(Tid(tid), seq, payload);
+        }
+        Ok(q)
+    }
+
     /// Recheck every structural invariant from scratch: link symmetry on
     /// both lists, per-thread seq order, length bookkeeping, slab
     /// accounting. O(len); called from tests and `check_invariants`.
@@ -544,6 +594,55 @@ mod tests {
         q.pop_front();
         assert!(q.front().is_none());
         q.validate();
+    }
+
+    #[test]
+    fn encode_decode_preserves_logical_contents() {
+        use smt_isa::codec::{ByteReader, ByteWriter};
+        let mut q = IndexedQueue::new(3, 8);
+        let script: &[(u8, u64)] = &[(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)];
+        for &(t, s) in script {
+            q.push_back(Tid(t), s, t as u32 * 10 + s as u32);
+        }
+        q.squash_tail(Tid(0), 2); // leave some slab holes
+        let mut w = ByteWriter::new();
+        q.encode_with(&mut w, |w, p| w.u32(*p));
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back: IndexedQueue<u32> = IndexedQueue::decode_with(&mut r, |r| r.u32()).unwrap();
+        r.finish().unwrap();
+        assert_eq!(collect(&back), collect(&q));
+        assert_eq!(back.thread_len(Tid(1)), q.thread_len(Tid(1)));
+        back.validate();
+    }
+
+    #[test]
+    fn decode_rejects_corrupt_queue_bytes() {
+        use smt_isa::codec::{ByteReader, ByteWriter};
+        // tid out of range
+        let mut w = ByteWriter::new();
+        w.usize(2); // n_threads
+        w.usize(1); // len
+        w.u8(7); // bad tid
+        w.u64(0);
+        w.u32(0);
+        let bytes = w.into_bytes();
+        assert!(
+            IndexedQueue::<u32>::decode_with(&mut ByteReader::new(&bytes), |r| r.u32()).is_err()
+        );
+        // per-thread seq order violated
+        let mut w = ByteWriter::new();
+        w.usize(1);
+        w.usize(2);
+        for seq in [5u64, 3u64] {
+            w.u8(0);
+            w.u64(seq);
+            w.u32(0);
+        }
+        let bytes = w.into_bytes();
+        assert!(
+            IndexedQueue::<u32>::decode_with(&mut ByteReader::new(&bytes), |r| r.u32()).is_err()
+        );
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod inflight;
 pub mod iqueue;
 pub mod machine;
 pub mod obs;
+pub mod snapshot;
 pub mod trace;
 pub mod wrongpath;
 

@@ -33,6 +33,7 @@ use crate::iqueue::{IndexedQueue, NIL};
 use crate::obs::attr::{CommitCause, FetchCause, IssueCause, SlotAttribution};
 use crate::trace::{MissLevel, TraceBuffer, TraceEvent};
 use crate::wrongpath::WrongPathGen;
+use smt_isa::codec::{self, ByteReader, ByteWriter, Codec, CodecError};
 use smt_isa::{BranchKind, OpKind, RegClass, Tid};
 use smt_workloads::{SplitMix64, UopStream};
 use std::collections::VecDeque;
@@ -115,7 +116,99 @@ struct ThreadCtx {
     counters: ThreadCounters,
 }
 
+impl IqData {
+    fn encode_into(&self, w: &mut ByteWriter) {
+        self.kind.encode(w);
+        self.deps.encode(w);
+        w.bool(self.deps_done);
+    }
+
+    fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(IqData {
+            kind: OpKind::decode(r)?,
+            deps: <[Option<u64>; 2]>::decode(r)?,
+            deps_done: r.bool()?,
+        })
+    }
+}
+
+impl LsqData {
+    fn encode_into(&self, w: &mut ByteWriter) {
+        w.u64(self.addr8);
+        w.bool(self.is_store);
+    }
+
+    fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(LsqData {
+            addr8: r.u64()?,
+            is_store: r.bool()?,
+        })
+    }
+}
+
 impl ThreadCtx {
+    fn encode_into(&self, w: &mut ByteWriter) {
+        w.u8(self.tid.0);
+        self.stream.encode_state(w);
+        self.wp_gen.encode_into(w);
+        w.usize(self.window.len());
+        for op in &self.window {
+            op.encode(w);
+        }
+        w.u64(self.next_seq);
+        self.rename.encode(w);
+        w.bool(self.fetch_enabled);
+        w.u64(self.icache_stall_until);
+        self.icache_ready_line.encode(w);
+        w.u64(self.redirect_stall_until);
+        self.wrong_path_since.encode(w);
+        w.u64(self.wp_pc);
+        w.u64(self.min_done_at);
+        codec::encode_json(w, &self.counters);
+    }
+
+    fn decode_from(r: &mut ByteReader, cfg: &SimConfig) -> Result<Self, CodecError> {
+        let tid = Tid(r.u8()?);
+        let stream = UopStream::decode_state(r)?;
+        let wp_gen = WrongPathGen::decode_from(r)?;
+        let n = r.usize()?;
+        if n > cfg.rob_per_thread {
+            return Err(CodecError::Invalid(format!(
+                "window length {n} exceeds rob_per_thread {}",
+                cfg.rob_per_thread
+            )));
+        }
+        // Rebuilt contiguous regardless of the source ring's split point —
+        // unobservable, since all window lookups go through `find_seq`'s
+        // two-slice binary search.
+        let mut window = VecDeque::with_capacity(cfg.rob_per_thread);
+        let mut last_seq = None;
+        for _ in 0..n {
+            let op = InFlight::decode(r)?;
+            if last_seq.is_some_and(|s| op.seq <= s) {
+                return Err(CodecError::Invalid("window out of seq order".into()));
+            }
+            last_seq = Some(op.seq);
+            window.push_back(op);
+        }
+        Ok(ThreadCtx {
+            tid,
+            stream,
+            wp_gen,
+            window,
+            next_seq: r.u64()?,
+            rename: <[Option<u64>; 64]>::decode(r)?,
+            fetch_enabled: r.bool()?,
+            icache_stall_until: r.u64()?,
+            icache_ready_line: Option::decode(r)?,
+            redirect_stall_until: r.u64()?,
+            wrong_path_since: Option::decode(r)?,
+            wp_pc: r.u64()?,
+            min_done_at: r.u64()?,
+            counters: codec::decode_json(r)?,
+        })
+    }
+
     /// Can this thread accept fetch this cycle (ignoring chooser priority)?
     fn fetchable(&self, cycle: u64, cfg: &SimConfig) -> bool {
         self.fetch_enabled
@@ -229,6 +322,121 @@ impl SmtMachine {
             cycle: 0,
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // checkpoint codec
+    // ------------------------------------------------------------------
+
+    /// Serialize the complete simulated state (architectural and
+    /// microarchitectural) for checkpointing. Instrumentation (`trace`,
+    /// `attr`) and the per-cycle scratch buffers are *not* captured: both
+    /// are empty/disabled at every quantum boundary, which is the only
+    /// place snapshots are taken. A machine decoded from these bytes
+    /// simulates bit-identically to this one.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        codec::encode_json(w, &self.cfg);
+        w.u64(self.cycle);
+        self.mem.encode_into(w);
+        self.bpred.encode_into(w);
+        w.usize(self.threads.len());
+        for t in &self.threads {
+            t.encode_into(w);
+        }
+        self.int_iq.encode_with(w, |w, d| d.encode_into(w));
+        self.fp_iq.encode_with(w, |w, d| d.encode_into(w));
+        self.lsq.encode_with(w, |w, d| d.encode_into(w));
+        w.usize(self.free_int_regs);
+        w.usize(self.free_fp_regs);
+        w.u64(self.int_div_free_at);
+        w.u64(self.fp_div_free_at);
+        w.usize(self.pending_syscalls.len());
+        for q in &self.pending_syscalls {
+            w.u8(q.tid.0);
+            w.u64(q.seq);
+        }
+        w.u64(self.global.cycles);
+        w.u64(self.global.committed);
+        w.u64(self.global.lsq_full_cycles);
+        w.u64(self.global.fetch_slots_used);
+        w.u64(self.global.squashes);
+        w.u64(self.global.syscall_drain_cycles);
+        self.dispatch_fifo.encode_with(w, |_, ()| {});
+    }
+
+    /// Rebuild a machine from [`Self::encode_into`] bytes. Never panics on
+    /// corrupt input — every structural inconsistency decodes to an error.
+    pub(crate) fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let cfg: SimConfig = codec::decode_json(r)?;
+        cfg.validate()
+            .map_err(|e| CodecError::Invalid(format!("bad SimConfig: {e}")))?;
+        let cycle = r.u64()?;
+        let mem = Hierarchy::decode_from(r)?;
+        let bpred = BranchPredictor::decode_from(r)?;
+        let n_threads = r.usize()?;
+        if n_threads != cfg.threads {
+            return Err(CodecError::Invalid(format!(
+                "thread count {n_threads} disagrees with config {}",
+                cfg.threads
+            )));
+        }
+        let mut threads = Vec::with_capacity(n_threads);
+        for i in 0..n_threads {
+            let t = ThreadCtx::decode_from(r, &cfg)?;
+            if t.tid.idx() != i {
+                return Err(CodecError::Invalid("thread ids out of order".into()));
+            }
+            threads.push(t);
+        }
+        let int_iq = IndexedQueue::decode_with(r, IqData::decode_from)?;
+        let fp_iq = IndexedQueue::decode_with(r, IqData::decode_from)?;
+        let lsq = IndexedQueue::decode_with(r, LsqData::decode_from)?;
+        let free_int_regs = r.usize()?;
+        let free_fp_regs = r.usize()?;
+        let int_div_free_at = r.u64()?;
+        let fp_div_free_at = r.u64()?;
+        let n_sys = r.usize()?;
+        let mut pending_syscalls = VecDeque::with_capacity(n_sys.min(r.remaining()));
+        for _ in 0..n_sys {
+            let tid = r.u8()?;
+            if tid as usize >= n_threads {
+                return Err(CodecError::Invalid("syscall tid out of range".into()));
+            }
+            pending_syscalls.push_back(QRef {
+                tid: Tid(tid),
+                seq: r.u64()?,
+            });
+        }
+        let global = GlobalCounters {
+            cycles: r.u64()?,
+            committed: r.u64()?,
+            lsq_full_cycles: r.u64()?,
+            fetch_slots_used: r.u64()?,
+            squashes: r.u64()?,
+            syscall_drain_cycles: r.u64()?,
+        };
+        let dispatch_fifo = IndexedQueue::decode_with(r, |_| Ok(()))?;
+        Ok(SmtMachine {
+            view_buf: Vec::with_capacity(cfg.threads),
+            squash_buf: Vec::new(),
+            trace: None,
+            attr: None,
+            cfg,
+            cycle,
+            mem,
+            bpred,
+            threads,
+            int_iq,
+            fp_iq,
+            lsq,
+            free_int_regs,
+            free_fp_regs,
+            int_div_free_at,
+            fp_div_free_at,
+            pending_syscalls,
+            global,
+            dispatch_fifo,
+        })
     }
 
     // ------------------------------------------------------------------

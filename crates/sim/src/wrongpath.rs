@@ -12,6 +12,7 @@
 //! deadlock the drain protocol) and their branches never trigger nested
 //! squashes (the machine ignores mispredicts on wrong-path ops).
 
+use smt_isa::codec::{ByteReader, ByteWriter, CodecError};
 use smt_isa::{ArchReg, BranchInfo, BranchKind, MemInfo, MicroOp, OpKind, RegClass};
 use smt_workloads::SplitMix64;
 
@@ -42,6 +43,26 @@ impl WrongPathGen {
             pollute_mask: full.min(1 << 22) - 1,
             next_dst: 0,
         }
+    }
+
+    /// Serialize the full generator state for checkpointing.
+    pub(crate) fn encode_into(&self, w: &mut ByteWriter) {
+        w.u64(self.rng.state());
+        w.u64(self.addr_base);
+        w.u64(self.ws_mask);
+        w.u64(self.pollute_mask);
+        w.u8(self.next_dst);
+    }
+
+    /// Rebuild from [`Self::encode_into`] bytes.
+    pub(crate) fn decode_from(r: &mut ByteReader) -> Result<Self, CodecError> {
+        Ok(WrongPathGen {
+            rng: SplitMix64::from_state(r.u64()?),
+            addr_base: r.u64()?,
+            ws_mask: r.u64()?,
+            pollute_mask: r.u64()?,
+            next_dst: r.u8()?,
+        })
     }
 
     /// Synthesize the op at wrong-path pc `pc`.

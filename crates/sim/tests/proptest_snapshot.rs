@@ -1,0 +1,110 @@
+//! Property tests for warm-state checkpointing: resuming a machine from a
+//! serialized [`MachineSnapshot`] must be indistinguishable — bit for bit —
+//! from never having stopped it.
+//!
+//! The unit tests in `snapshot.rs` pin the fixed canonical cases; here the
+//! thread count, seed, split point and continuation length are all random,
+//! and the final comparison is the strongest available: the full serialized
+//! machine state of the two timelines must be byte-identical.
+
+use proptest::prelude::*;
+use smt_isa::Tid;
+use smt_sim::snapshot::MachineSnapshot;
+use smt_sim::{RoundRobin, SimConfig, SmtMachine};
+use smt_workloads::UopStream;
+use std::sync::Arc;
+
+fn test_machine(n: usize, seed: u64) -> SmtMachine {
+    let cfg = SimConfig::with_threads(n);
+    let streams = (0..n)
+        .map(|i| {
+            UopStream::new(
+                Arc::new(smt_isa::AppProfile::builder("t").build()),
+                seed + i as u64,
+                smt_workloads::thread_addr_base(i),
+            )
+        })
+        .collect();
+    SmtMachine::new(cfg, streams)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// snapshot → binary round trip → restore → N cycles ≡ N cycles
+    /// uninterrupted, at a random split point of a random machine.
+    #[test]
+    fn restored_machine_is_bit_identical_to_uninterrupted(
+        n in 1usize..5,
+        seed in 0u64..1_000,
+        pre in 1u64..4_000,
+        post in 1u64..4_000,
+    ) {
+        let mut live = test_machine(n, seed);
+        live.run(pre, &mut RoundRobin);
+
+        let bytes = MachineSnapshot::capture(&live).to_bytes();
+        let snap = MachineSnapshot::from_bytes(&bytes).expect("decode");
+        prop_assert_eq!(snap.cycle(), live.cycle());
+        let mut resumed = snap.restore();
+        resumed.check_invariants();
+
+        live.run(post, &mut RoundRobin);
+        resumed.run(post, &mut RoundRobin);
+
+        prop_assert_eq!(live.cycle(), resumed.cycle());
+        prop_assert_eq!(live.counter_snapshot(), resumed.counter_snapshot());
+        // The decisive check: both timelines serialize to the same bytes.
+        prop_assert_eq!(
+            MachineSnapshot::capture(&live).to_bytes(),
+            MachineSnapshot::capture(&resumed).to_bytes(),
+            "continuations diverged at the state level"
+        );
+    }
+
+    /// Snapshots survive flush/replace/fetch-toggle churn before the split:
+    /// whatever in-flight shape the machine is in, the checkpoint captures
+    /// it exactly.
+    #[test]
+    fn snapshot_is_exact_after_flush_replace_churn(
+        seed in 0u64..1_000,
+        events in prop::collection::vec((0u64..4, 0u8..3, 1u64..60), 1..8),
+        post in 1u64..2_000,
+    ) {
+        let mut live = test_machine(4, seed);
+        let mut replaced = 0u64;
+        for (t, kind, burst) in events {
+            let tid = Tid(t as u8);
+            match kind {
+                0 => live.flush_thread(tid),
+                1 => {
+                    replaced += 1;
+                    let s = UopStream::new(
+                        Arc::new(smt_isa::AppProfile::builder("t").build()),
+                        seed ^ (0xF00D + replaced),
+                        smt_workloads::thread_addr_base(t as usize),
+                    );
+                    live.replace_thread(tid, s, replaced % 7);
+                }
+                _ => {
+                    let on = live.fetch_enabled(tid);
+                    live.set_fetch_enabled(tid, !on);
+                }
+            }
+            live.run(burst, &mut RoundRobin);
+        }
+
+        let bytes = MachineSnapshot::capture(&live).to_bytes();
+        let mut resumed = MachineSnapshot::from_bytes(&bytes).expect("decode").restore();
+        resumed.check_invariants();
+
+        live.run(post, &mut RoundRobin);
+        resumed.run(post, &mut RoundRobin);
+        prop_assert_eq!(live.counter_snapshot(), resumed.counter_snapshot());
+        prop_assert_eq!(
+            MachineSnapshot::capture(&live).to_bytes(),
+            MachineSnapshot::capture(&resumed).to_bytes(),
+            "post-churn continuations diverged at the state level"
+        );
+    }
+}

@@ -45,6 +45,18 @@ impl SplitMix64 {
         ((self.next_u64() as u128 * bound as u128) >> 64) as u64
     }
 
+    /// The raw generator state, for external checkpointing.
+    #[inline]
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator from a previously captured [`state`](Self::state).
+    #[inline]
+    pub fn from_state(state: u64) -> Self {
+        SplitMix64 { state }
+    }
+
     /// Derive an independent sub-seed for a labelled purpose. The label is
     /// hashed in so `derive(a)` and `derive(b)` never collide for `a != b`.
     #[inline]

@@ -28,6 +28,7 @@
 use crate::seed::SplitMix64;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use smt_isa::codec::{self, ByteReader, ByteWriter, Codec, CodecError};
 use smt_isa::{AppProfile, ArchReg, BranchInfo, BranchKind, MemInfo, MicroOp, OpKind, RegClass};
 use std::sync::Arc;
 
@@ -355,6 +356,86 @@ impl UopStream {
             let fwd = 2 + self.rng.gen::<u64>() % 30;
             ((pc / OP_BYTES + fwd) % span_ops) * OP_BYTES
         }
+    }
+
+    /// Serialize the complete generator state for checkpointing. Decoding
+    /// with [`decode_state`](Self::decode_state) yields a stream whose
+    /// future output is bit-identical to this one's.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        codec::encode_json(w, self.profile.as_ref());
+        self.rng.state().encode(w);
+        w.u64(self.addr_base);
+        w.u64(self.pc);
+        w.u64(self.code_size);
+        w.usize(self.sites.len());
+        for s in &self.sites {
+            s.loop_trip.encode(w);
+            w.u16(s.pos);
+            w.bool(s.dominant_taken);
+        }
+        self.call_stack.encode(w);
+        self.hot_entries.encode(w);
+        w.u8(self.next_dst_int);
+        w.u8(self.next_dst_fp);
+        self.recent_dsts.encode(w);
+        w.usize(self.recent_head);
+        self.last_load_dst.encode(w);
+        w.u64(self.ws_size);
+        w.u64(self.ws_hot_size);
+        w.u64(self.stride_span);
+        w.u64(self.ws_stride_ptr);
+        w.u64(self.cold_ptr);
+        w.usize(self.phase_idx);
+        w.u64(self.phase_left);
+        w.u64(self.generated);
+        self.script.encode(w);
+        w.usize(self.script_pos);
+    }
+
+    /// Rebuild a stream from [`encode_state`](Self::encode_state) bytes.
+    pub fn decode_state(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let profile: AppProfile = codec::decode_json(r)?;
+        let rng = SmallRng::from_state(<[u64; 4]>::decode(r)?);
+        let addr_base = r.u64()?;
+        let pc = r.u64()?;
+        let code_size = r.u64()?;
+        let n_sites = r.usize()?;
+        let mut sites = Vec::with_capacity(n_sites.min(16_384));
+        for _ in 0..n_sites {
+            sites.push(BranchSite {
+                loop_trip: Option::decode(r)?,
+                pos: r.u16()?,
+                dominant_taken: r.bool()?,
+            });
+        }
+        if sites.is_empty() {
+            return Err(CodecError::Invalid("stream has no branch sites".into()));
+        }
+        Ok(UopStream {
+            profile: Arc::new(profile),
+            rng,
+            addr_base,
+            pc,
+            code_size,
+            sites,
+            call_stack: Vec::decode(r)?,
+            hot_entries: Vec::decode(r)?,
+            next_dst_int: r.u8()?,
+            next_dst_fp: r.u8()?,
+            recent_dsts: <[Option<ArchReg>; MAX_DEP_DIST]>::decode(r)?,
+            recent_head: r.usize()?,
+            last_load_dst: Option::decode(r)?,
+            ws_size: r.u64()?,
+            ws_hot_size: r.u64()?,
+            stride_span: r.u64()?,
+            ws_stride_ptr: r.u64()?,
+            cold_ptr: r.u64()?,
+            phase_idx: r.usize()?,
+            phase_left: r.u64()?,
+            generated: r.u64()?,
+            script: Option::decode(r)?,
+            script_pos: r.usize()?,
+        })
     }
 
     /// Generate the next micro-op.
@@ -753,6 +834,49 @@ mod tests {
     #[should_panic]
     fn empty_script_panics() {
         let _ = UopStream::scripted(Arc::new(AppProfile::builder("t").build()), 0, vec![]);
+    }
+
+    #[test]
+    fn encoded_state_resumes_identically() {
+        let mut a = default_stream(31);
+        for _ in 0..7_500 {
+            a.next_uop();
+        }
+        let mut w = ByteWriter::new();
+        a.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let mut b = UopStream::decode_state(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        assert_eq!(b.generated(), a.generated());
+        assert_eq!(b.current_pc(), a.current_pc());
+        for _ in 0..7_500 {
+            assert_eq!(a.next_uop(), b.next_uop());
+        }
+    }
+
+    #[test]
+    fn scripted_state_roundtrips() {
+        let ops = vec![MicroOp::nop(0x100), MicroOp::nop(0x104)];
+        let mut s = UopStream::scripted(Arc::new(AppProfile::builder("t").build()), 0, ops);
+        s.next_uop();
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = UopStream::decode_state(&mut ByteReader::new(&bytes)).expect("decode");
+        assert_eq!(b.current_pc(), 0x104);
+        assert_eq!(b.next_uop().pc, 0x104);
+        assert_eq!(b.next_uop().pc, 0x100);
+    }
+
+    #[test]
+    fn truncated_state_is_an_error() {
+        let s = default_stream(37);
+        let mut w = ByteWriter::new();
+        s.encode_state(&mut w);
+        let bytes = w.into_bytes();
+        let cut = bytes.len() / 2;
+        assert!(UopStream::decode_state(&mut ByteReader::new(&bytes[..cut])).is_err());
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Checkpoint-continuation conformance: interrupting a canonical golden
+//! run at a quantum boundary, round-tripping the machine through the
+//! binary [`MachineSnapshot`] container, and replaying the remaining
+//! quanta must reproduce the committed fixture **exactly** — same
+//! per-quantum series, same final counters.
+//!
+//! This is the end-to-end guarantee the warm pool and the on-disk
+//! checkpoint store rely on: a restored machine is indistinguishable from
+//! one that never stopped, measured against the same fixtures that pin
+//! uninterrupted behavior in `golden_trace.rs`.
+
+use serde::{Deserialize, Serialize};
+use smt_adts::prelude::*;
+use smt_sim::snapshot::MachineSnapshot;
+use smt_sim::CounterSnapshot;
+use std::path::PathBuf;
+
+const QUANTA: u64 = 16;
+const QUANTUM_CYCLES: u64 = 4096;
+const SEED: u64 = 42;
+
+/// Mirror of the fixture schema in `golden_trace.rs` (kept private there
+/// on purpose: this suite must read the committed bytes, not share code
+/// with the generator).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct PolicyTrace {
+    policy: String,
+    quantum_cycles: Vec<u64>,
+    quantum_committed: Vec<u64>,
+    quantum_ipc_milli: Vec<u64>,
+    final_counters: CounterSnapshot,
+}
+
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+struct GoldenTrace {
+    schema: u32,
+    mix: String,
+    threads: usize,
+    seed: u64,
+    quanta: u64,
+    quantum_cycles: u64,
+    policies: Vec<PolicyTrace>,
+}
+
+fn fixture(mix_id: usize, threads: usize) -> GoldenTrace {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("mix{mix_id:02}_t{threads}.json"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {} ({e})", path.display()));
+    serde::json::from_str(&text).expect("parse committed fixture")
+}
+
+fn mix_for(id: usize, threads: usize) -> Mix {
+    let m = workloads::mix(id);
+    if threads == m.apps.len() {
+        m
+    } else {
+        m.take_threads(threads, 7)
+    }
+}
+
+fn ipc_milli(committed: u64, cycles: u64) -> u64 {
+    committed.saturating_mul(1000) / cycles.max(1)
+}
+
+/// Run `split` quanta, checkpoint through the full binary container,
+/// replay the rest on the restored machine, and compare the stitched
+/// observables against the committed fixture for every policy.
+fn check_continuation(mix_id: usize, threads: usize, split: u64) {
+    assert!(split > 0 && split < QUANTA);
+    let fix = fixture(mix_id, threads);
+    assert_eq!(fix.quanta, QUANTA);
+    assert_eq!(fix.quantum_cycles, QUANTUM_CYCLES);
+    let mix = mix_for(mix_id, threads);
+    for pinned in &fix.policies {
+        let policy = FetchPolicy::ALL
+            .iter()
+            .copied()
+            .find(|p| p.name() == pinned.policy)
+            .unwrap_or_else(|| panic!("fixture names unknown policy {}", pinned.policy));
+        let mut machine = adts::machine_for_mix(&mix, SEED);
+        let head = adts::run_fixed(policy, &mut machine, split, QUANTUM_CYCLES);
+
+        let bytes = MachineSnapshot::capture(&machine).to_bytes();
+        let mut resumed = MachineSnapshot::from_bytes(&bytes)
+            .expect("decode checkpoint")
+            .restore();
+        resumed.check_invariants();
+
+        let tail = adts::run_fixed(policy, &mut resumed, QUANTA - split, QUANTUM_CYCLES);
+
+        let at = format!(
+            "for {} on {} (t{threads}), split at quantum {split}",
+            pinned.policy, fix.mix
+        );
+        let committed: Vec<u64> = head
+            .quanta
+            .iter()
+            .chain(tail.quanta.iter())
+            .map(|q| q.committed)
+            .collect();
+        assert_eq!(
+            committed, pinned.quantum_committed,
+            "stitched per-quantum commits diverge from the fixture {at}"
+        );
+        let ipc: Vec<u64> = head
+            .quanta
+            .iter()
+            .chain(tail.quanta.iter())
+            .map(|q| ipc_milli(q.committed, q.cycles))
+            .collect();
+        assert_eq!(
+            ipc, pinned.quantum_ipc_milli,
+            "stitched per-quantum IPC diverges from the fixture {at}"
+        );
+        assert_eq!(
+            resumed.counter_snapshot(),
+            pinned.final_counters,
+            "final counters after checkpointed replay diverge {at}"
+        );
+    }
+}
+
+/// The canonical 8-thread baseline, interrupted where the warm pool
+/// actually checkpoints experiment runs (after a warmup-sized prefix).
+#[test]
+fn continuation_matches_golden_mix01_t8() {
+    check_continuation(1, 8, 6);
+}
+
+/// A reduced-thread point with a late split: the checkpoint carries the
+/// bulk of the run instead of a warmup prefix.
+#[test]
+fn continuation_matches_golden_mix09_t2() {
+    check_continuation(9, 2, 12);
+}
