@@ -17,8 +17,8 @@
 
 use adts_core::CondThresholds;
 use smt_bench::{
-    fixed_series, parallel::par_map, sweep, CkptCli, ExpParams, InstrumentCli, CKPT_USAGE,
-    INSTRUMENT_USAGE,
+    fixed_series, parallel::par_map, sweep, BatchCli, CkptCli, ExpParams, InstrumentCli,
+    BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
 };
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
@@ -30,6 +30,7 @@ fn main() {
     let mut jobs = None;
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
+    let mut batch = BatchCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -43,10 +44,11 @@ fn main() {
                 }
             }) {
                 Ok(true) => {}
+                Ok(false) if batch.accept(flag, &mut args).unwrap_or(false) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, --jobs N, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -63,6 +65,7 @@ fn main() {
         telemetry_path: Some(PathBuf::from("results/telemetry.jsonl")),
     });
     ckpt.apply();
+    batch.apply();
     // The paper's measurement protocol as ExpParams: the standard seed and
     // quantum, a short warmed window, all thirteen mixes.
     let p = ExpParams {

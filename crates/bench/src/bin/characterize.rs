@@ -17,7 +17,9 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
-use smt_bench::{sweep, CkptCli, ExpParams, InstrumentCli, CKPT_USAGE, INSTRUMENT_USAGE};
+use smt_bench::{
+    sweep, BatchCli, CkptCli, ExpParams, InstrumentCli, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
+};
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
 use smt_stats::Table;
@@ -69,6 +71,7 @@ fn main() {
     let mut no_cache = false;
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
+    let mut batch = BatchCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -81,10 +84,11 @@ fn main() {
                 }
             }) {
                 Ok(true) => {}
+                Ok(false) if batch.accept(flag, &mut args).unwrap_or(false) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -103,6 +107,7 @@ fn main() {
     // The instrumented passes (not the per-app measurements) go through
     // the warm pool, so the checkpoint flags apply here too.
     ckpt.apply();
+    batch.apply();
     // Long enough to span several full phase cycles (storm + quiet), so
     // the row is the app's *average* character, not one phase's.
     let warm = 100_000u64;

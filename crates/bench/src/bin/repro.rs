@@ -43,6 +43,9 @@
 //!   --no-ckpt         disable the warm pool and on-disk checkpoint store
 //!                     (every experiment point pays its own warmup)
 //!   --ckpt-dir DIR    checkpoint store location (default results/cache/ckpt)
+//!   --batch           step sweep points as lockstep batches (the default;
+//!                     bit-identical to scalar stepping per point)
+//!   --no-batch        force the scalar per-point stepping path
 //!   --all             shorthand for the `all` experiment selector
 //!
 //! Perf-baseline mode (exclusive with experiments):
@@ -62,12 +65,23 @@
 //!   --bench-sweep-out PATH       report path (default BENCH_sweep.json)
 //!   --check-sweep-baseline PATH  gate against a previous report (exit 1 on
 //!                                lost speedup or any correctness failure)
+//!
+//! Batch-benchmark mode (exclusive with the other modes):
+//!   --bench-batch         time the sweep cells batched vs scalar from the
+//!                         same warm snapshot and write BENCH_batch.json; the
+//!                         batched pass must reproduce the scalar results bit
+//!                         for bit and run at least 3x faster
+//!   --quick               CI-sized runs
+//!   --bench-batch-out PATH       report path (default BENCH_batch.json)
+//!   --check-batch-baseline PATH  gate against a previous report (exit 1 on
+//!                                lost speedup or any correctness failure)
 //! ```
 
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
     ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
-    threshold_type_sweep, CkptCli, ExpParams, InstrumentCli, CKPT_USAGE, INSTRUMENT_USAGE,
+    threshold_type_sweep, BatchCli, CkptCli, ExpParams, InstrumentCli, BATCH_USAGE, CKPT_USAGE,
+    INSTRUMENT_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -84,6 +98,7 @@ struct Cli {
     no_telemetry: bool,
     instrument: InstrumentCli,
     ckpt: CkptCli,
+    batch: BatchCli,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
@@ -91,6 +106,9 @@ struct Cli {
     bench_sweep: bool,
     bench_sweep_out: PathBuf,
     check_sweep_baseline: Option<PathBuf>,
+    bench_batch: bool,
+    bench_batch_out: PathBuf,
+    check_batch_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -104,6 +122,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut no_telemetry = false;
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
+    let mut batch = BatchCli::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
@@ -111,6 +130,9 @@ fn parse_args() -> Result<Cli, String> {
     let mut bench_sweep = false;
     let mut bench_sweep_out = PathBuf::from("BENCH_sweep.json");
     let mut check_sweep_baseline = None;
+    let mut bench_batch = false;
+    let mut bench_batch_out = PathBuf::from("BENCH_batch.json");
+    let mut check_batch_baseline = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -131,6 +153,7 @@ fn parse_args() -> Result<Cli, String> {
             "--no-telemetry" => no_telemetry = true,
             flag if instrument.accept(flag, &mut args)? => {}
             flag if ckpt.accept(flag, &mut args)? => {}
+            flag if batch.accept(flag, &mut args)? => {}
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -149,6 +172,16 @@ fn parse_args() -> Result<Cli, String> {
             "--check-sweep-baseline" => {
                 check_sweep_baseline = Some(PathBuf::from(
                     args.next().ok_or("--check-sweep-baseline needs a value")?,
+                ));
+            }
+            "--bench-batch" => bench_batch = true,
+            "--bench-batch-out" => {
+                bench_batch_out =
+                    PathBuf::from(args.next().ok_or("--bench-batch-out needs a value")?);
+            }
+            "--check-batch-baseline" => {
+                check_batch_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--check-batch-baseline needs a value")?,
                 ));
             }
             "--all" => experiments.push("all".to_string()),
@@ -189,7 +222,7 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if experiments.is_empty() && !bench && !bench_sweep {
+    if experiments.is_empty() && !bench && !bench_sweep && !bench_batch {
         experiments.push("help".to_string());
     }
     Ok(Cli {
@@ -203,6 +236,7 @@ fn parse_args() -> Result<Cli, String> {
         no_telemetry,
         instrument,
         ckpt,
+        batch,
         bench,
         quick,
         bench_out,
@@ -210,6 +244,9 @@ fn parse_args() -> Result<Cli, String> {
         bench_sweep,
         bench_sweep_out,
         check_sweep_baseline,
+        bench_batch,
+        bench_batch_out,
+        check_batch_baseline,
     })
 }
 
@@ -301,6 +338,51 @@ fn run_bench_sweep_mode(cli: &Cli) -> i32 {
     }
 }
 
+/// `--bench-batch` mode: time the sweep cells batched vs scalar, write
+/// the report, optionally gate against a baseline. Returns the process
+/// exit code.
+fn run_bench_batch_mode(cli: &Cli) -> i32 {
+    use smt_bench::perf;
+    let report = perf::run_batch_bench(cli.quick);
+    match perf::write_batch_report(&report, &cli.bench_batch_out) {
+        Ok(()) => println!("[bench-batch] wrote {}", cli.bench_batch_out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", cli.bench_batch_out.display());
+            return 1;
+        }
+    }
+    let Some(baseline_path) = &cli.check_batch_baseline else {
+        return 0;
+    };
+    let baseline = match perf::read_batch_report(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read baseline: {e}");
+            return 1;
+        }
+    };
+    let tolerance = std::env::var("SMT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(perf::DEFAULT_TOLERANCE);
+    let failures = perf::batch_regressions(&report, &baseline, tolerance);
+    if failures.is_empty() {
+        println!(
+            "[bench-batch] {:.2}x batched, bit-identical, vs {} (tolerance {:.0}%)",
+            report.speedup,
+            baseline_path.display(),
+            tolerance * 100.0
+        );
+        0
+    } else {
+        eprintln!("[bench-batch] REGRESSION vs {}:", baseline_path.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
 fn emit(table: &Table, slug: &str, out: &Option<PathBuf>) {
     println!("{}", table.render());
     if let Some(dir) = out {
@@ -324,24 +406,35 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if cli.bench || cli.bench_sweep {
+    if cli.bench || cli.bench_sweep || cli.bench_batch {
         if !cli.experiments.is_empty() {
-            eprintln!("error: --bench/--bench-sweep are exclusive with experiment selectors");
+            eprintln!(
+                "error: --bench/--bench-sweep/--bench-batch are exclusive with \
+                 experiment selectors"
+            );
             std::process::exit(2);
         }
-        if cli.bench && cli.bench_sweep {
-            eprintln!("error: pick one of --bench and --bench-sweep");
+        if [cli.bench, cli.bench_sweep, cli.bench_batch]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+            > 1
+        {
+            eprintln!("error: pick one of --bench, --bench-sweep and --bench-batch");
             std::process::exit(2);
         }
-        if cli.bench_sweep {
-            // One worker and no result cache: the cold/warm wall-clock
-            // ratio must measure simulation, not cache hits or scheduling.
+        if cli.bench_sweep || cli.bench_batch {
+            // One worker and no result cache: the wall-clock ratios must
+            // measure simulation, not cache hits or scheduling.
             sweep::configure(sweep::SweepConfig {
                 jobs: Some(cli.jobs.unwrap_or(1)),
                 cache_dir: None,
                 telemetry_path: None,
             });
-            std::process::exit(run_bench_sweep_mode(&cli));
+            if cli.bench_sweep {
+                std::process::exit(run_bench_sweep_mode(&cli));
+            }
+            std::process::exit(run_bench_batch_mode(&cli));
         }
         std::process::exit(run_bench_mode(&cli));
     }
@@ -377,9 +470,12 @@ fn main() {
         println!("             [--cache-dir DIR] [--no-telemetry] <experiment>...");
         println!("             {INSTRUMENT_USAGE}");
         println!("             {CKPT_USAGE}");
+        println!("             {BATCH_USAGE}");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("       repro --bench-sweep [--quick] [--bench-sweep-out PATH]");
         println!("                           [--check-sweep-baseline PATH]");
+        println!("       repro --bench-batch [--quick] [--bench-batch-out PATH]");
+        println!("                           [--check-batch-baseline PATH]");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
     }
@@ -394,6 +490,7 @@ fn main() {
         }),
     });
     cli.ckpt.apply();
+    cli.batch.apply();
     let t0 = Instant::now();
     println!(
         "# repro: seed={} quanta={} quantum={} mixes={:?} jobs={} cache={}\n",

@@ -27,6 +27,46 @@ pub const INSTRUMENT_USAGE: &str =
 /// Usage fragment for the checkpoint flags shared by every binary.
 pub const CKPT_USAGE: &str = "[--no-ckpt] [--ckpt-dir DIR]";
 
+/// Usage fragment for the batched-sweep flags shared by every binary.
+pub const BATCH_USAGE: &str = "[--batch] [--no-batch]";
+
+/// The batched-sweep flags (`--batch`/`--no-batch`) shared by every
+/// experiment binary. Batched lockstep stepping is on by default — it is
+/// bit-identical to scalar stepping per point — and `--no-batch` is the
+/// escape hatch that forces the scalar path; `apply` pushes the setting
+/// into [`crate::sweep`].
+#[derive(Clone, Debug)]
+pub struct BatchCli {
+    pub enabled: bool,
+}
+
+impl Default for BatchCli {
+    fn default() -> Self {
+        BatchCli { enabled: true }
+    }
+}
+
+impl BatchCli {
+    /// Same contract as [`InstrumentCli::accept`].
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        _args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--batch" => self.enabled = true,
+            "--no-batch" => self.enabled = false,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Push the parsed setting into the process-wide sweep configuration.
+    pub fn apply(&self) {
+        crate::sweep::set_batch_enabled(self.enabled);
+    }
+}
+
 /// The warm-state checkpoint flags (`--no-ckpt`, `--ckpt-dir`) shared by
 /// every experiment binary. By default warmed machines are pooled in
 /// memory and persisted as checkpoints beside the result cache; `apply`
@@ -201,6 +241,26 @@ mod tests {
         assert_eq!(cli.dir, PathBuf::from("elsewhere"));
         assert!(parse_ckpt(&["--ckpt-dir"]).is_err());
         assert!(parse_ckpt(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_batch(tokens: &[&str]) -> Result<BatchCli, String> {
+        let mut cli = BatchCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn batch_defaults_on_with_escape_hatch() {
+        assert!(parse_batch(&[]).unwrap().enabled);
+        assert!(!parse_batch(&["--no-batch"]).unwrap().enabled);
+        // Last flag wins, so `--no-batch --batch` re-enables.
+        assert!(parse_batch(&["--no-batch", "--batch"]).unwrap().enabled);
+        assert!(parse_batch(&["--frobnicate"]).is_err());
     }
 
     #[test]

@@ -167,10 +167,29 @@ pub struct ThresholdTypeSweep {
 
 /// Run the sweep (the expensive part; everything in Fig 7/Fig 8 and the
 /// headline is a view over this).
+///
+/// By default the sweep steps as *lockstep batches*: all 26 points of a
+/// mix (fixed ICOUNT + 5 thresholds × 5 heuristics) share one machine
+/// until their policy decisions diverge (`smt_sim::batch`). The batched
+/// and scalar paths are bit-identical per point and share cache keys;
+/// `--no-batch` ([`sweep::set_batch_enabled`]) selects the scalar path.
 pub fn threshold_type_sweep(p: &ExpParams) -> ThresholdTypeSweep {
+    threshold_type_sweep_with(p, sweep::batch_enabled())
+}
+
+/// [`threshold_type_sweep`] with the stepping mode chosen explicitly
+/// instead of via the process-wide flag — the perf harness times the two
+/// paths against each other, and the checkpoint benchmark must pin the
+/// scalar path (batching collapses the per-point warmups whose
+/// elimination it measures).
+pub fn threshold_type_sweep_with(p: &ExpParams, batched: bool) -> ThresholdTypeSweep {
     let thresholds: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0];
     let kinds = HeuristicKind::ALL.to_vec();
     let mixes = p.mixes();
+
+    if batched {
+        return threshold_type_sweep_batched(thresholds, kinds, mixes, p);
+    }
 
     let icount = par_map(mixes.clone(), |mix| {
         fixed_series(mix, FetchPolicy::Icount, p).aggregate_ipc()
@@ -186,6 +205,121 @@ pub fn threshold_type_sweep(p: &ExpParams) -> ThresholdTypeSweep {
     }
     let results = par_map(points.clone(), |&(_, _, mi, m, k)| {
         let s = adaptive_series(&mixes[mi], adts(k, m, p), p);
+        SweepCell {
+            ipc: s.aggregate_ipc(),
+            switches: s.switches.len(),
+            judged: s.judged_switches(),
+            benign: s.switches.iter().filter(|e| e.benign == Some(true)).count(),
+        }
+    });
+
+    let mut cells = vec![vec![Vec::with_capacity(mixes.len()); kinds.len()]; thresholds.len()];
+    for ((ti, ki, _, _, _), cell) in points.into_iter().zip(results) {
+        cells[ti][ki].push(cell);
+    }
+    ThresholdTypeSweep {
+        thresholds,
+        kinds,
+        mix_names: mixes.iter().map(|m| m.name.clone()).collect(),
+        cells,
+        icount,
+        quanta: p.quanta,
+    }
+}
+
+/// The canonical sweep's lockstep cells for one machine: the fixed-ICOUNT
+/// baseline followed by every (threshold, heuristic) ADTS point. Cell 0 is
+/// the baseline; cell `1 + ti*kinds.len() + ki` is (threshold `ti`,
+/// heuristic `ki`) — the same order [`threshold_type_sweep_batched`]
+/// indexes by.
+pub(crate) fn sweep_point_cells(
+    n_threads: usize,
+    thresholds: &[f64],
+    kinds: &[HeuristicKind],
+    p: &ExpParams,
+) -> Vec<adts_core::PointCell> {
+    use adts_core::PointCell;
+    let mut cells = vec![PointCell::fixed(FetchPolicy::Icount, p.quantum_cycles)];
+    for &m in thresholds {
+        for &k in kinds {
+            cells.push(PointCell::adaptive(adts(k, m, p), n_threads));
+        }
+    }
+    cells
+}
+
+/// Step all 26 points of one mix as one lockstep batch: one warm-pool
+/// snapshot restored into a single machine, cells forking only where
+/// policy decisions diverge (cell order per [`sweep_point_cells`]).
+pub(crate) fn run_mix_batch(
+    mix: &Mix,
+    thresholds: &[f64],
+    kinds: &[HeuristicKind],
+    p: &ExpParams,
+) -> (Vec<RunSeries>, smt_sim::BatchStats) {
+    use adts_core::PointCell;
+    let machine = warmed_machine(mix, p);
+    let cells = sweep_point_cells(machine.n_threads(), thresholds, kinds, p);
+    let mut batch = smt_sim::MachineBatch::new(machine, cells);
+    for _ in 0..p.quanta {
+        batch.run_quantum();
+    }
+    let stats = batch.stats();
+    let series = batch
+        .into_cells()
+        .into_iter()
+        .map(PointCell::into_series)
+        .collect();
+    (series, stats)
+}
+
+/// The lockstep implementation behind [`threshold_type_sweep`].
+///
+/// Cache keys are exactly the scalar path's, so warm caches interoperate
+/// across `--batch`/`--no-batch`; the per-mix batch runs lazily on the
+/// first cache miss of that mix and is shared by all its missing points.
+fn threshold_type_sweep_batched(
+    thresholds: Vec<f64>,
+    kinds: Vec<HeuristicKind>,
+    mixes: Vec<Mix>,
+    p: &ExpParams,
+) -> ThresholdTypeSweep {
+    use std::sync::OnceLock;
+    let batches: Vec<OnceLock<Vec<RunSeries>>> = mixes.iter().map(|_| OnceLock::new()).collect();
+    let series_for = |mi: usize, cell: usize| -> RunSeries {
+        batches[mi].get_or_init(|| run_mix_batch(&mixes[mi], &thresholds, &kinds, p).0)[cell]
+            .clone()
+    };
+
+    let icount: Vec<f64> = par_map((0..mixes.len()).collect(), |&mi| {
+        let mix = &mixes[mi];
+        let key = sweep::point_key("fixed", mix, p, &(default_cfg(mix), FetchPolicy::Icount));
+        let point = format!("{}/{}", mix.name, FetchPolicy::Icount.name());
+        sweep::engine()
+            .run_series("fixed", &point, key, || series_for(mi, 0))
+            .aggregate_ipc()
+    });
+
+    let mut points = Vec::new();
+    for (ti, &m) in thresholds.iter().enumerate() {
+        for (ki, &k) in kinds.iter().enumerate() {
+            for mi in 0..mixes.len() {
+                points.push((ti, ki, mi, m, k));
+            }
+        }
+    }
+    let results = par_map(points.clone(), |&(ti, ki, mi, m, k)| {
+        let mix = &mixes[mi];
+        let cfg = adts(k, m, p);
+        let key = sweep::point_key(
+            "adaptive",
+            mix,
+            p,
+            &(default_cfg(mix), cfg, None::<Vec<FetchPolicy>>),
+        );
+        let point = format!("{}/{}", mix.name, cfg.heuristic.name());
+        let cell = 1 + ti * kinds.len() + ki;
+        let s = sweep::engine().run_series("adaptive", &point, key, || series_for(mi, cell));
         SweepCell {
             ipc: s.aggregate_ipc(),
             switches: s.switches.len(),
@@ -976,6 +1110,33 @@ mod tests {
         assert_eq!(sw.fig8b().n_rows(), 6); // 5 types + baseline row
         let (m, _, ipc) = sw.best();
         assert!(m >= 1.0 && ipc > 0.0);
+    }
+
+    #[test]
+    fn batched_sweep_is_bit_identical_to_scalar() {
+        let p = ExpParams {
+            mix_ids: vec![9],
+            ..smoke()
+        };
+        // No persistent cache in unit tests, so both calls simulate. The
+        // mode is passed explicitly so concurrent tests flipping the
+        // process-wide flag cannot perturb which path each call takes.
+        let scalar = threshold_type_sweep_with(&p, false);
+        let batched = threshold_type_sweep_with(&p, true);
+        assert_eq!(batched.icount, scalar.icount, "fixed baseline diverged");
+        for ti in 0..scalar.thresholds.len() {
+            for ki in 0..scalar.kinds.len() {
+                for mi in 0..scalar.mix_names.len() {
+                    let s = &scalar.cells[ti][ki][mi];
+                    let b = &batched.cells[ti][ki][mi];
+                    assert_eq!(
+                        (b.ipc, b.switches, b.judged, b.benign),
+                        (s.ipc, s.switches, s.judged, s.benign),
+                        "cell (t={ti}, k={ki}, mix={mi}) diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //! prefers a baseline cached per runner (see `.github/workflows/ci.yml`)
 //! and falls back to the committed one.
 
-use crate::exp::{threshold_type_sweep, ThresholdTypeSweep};
+use crate::exp::{self, threshold_type_sweep_with, ThresholdTypeSweep};
 use crate::params::ExpParams;
 use crate::warm;
+use adts_core::HeuristicKind;
 use serde::{Deserialize, Serialize};
 use smt_policies::{FetchPolicy, Tsu};
-use smt_sim::SmtMachine;
+use smt_sim::{run_scalar_quantum, BatchStats, SmtMachine};
+use smt_stats::RunSeries;
 use smt_workloads::mix;
 use std::path::Path;
 use std::time::Instant;
@@ -260,11 +262,15 @@ pub fn run_sweep_bench(quick: bool) -> SweepBenchReport {
     let dir = std::env::temp_dir().join(format!("smt-adts-bench-ckpt-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
 
+    // All three passes pin the *scalar* stepping path: this benchmark
+    // measures per-point warmup elimination, and lockstep batching would
+    // mask it (one warmup per mix regardless of the pool).
+    //
     // Cold: warm pool and store disabled — every point pays its own warmup.
     warm::set_enabled(false);
     warm::configure_store(None);
     let t0 = Instant::now();
-    let cold = threshold_type_sweep(&p);
+    let cold = threshold_type_sweep_with(&p, false);
     let cold_wall = t0.elapsed().as_secs_f64();
 
     // Warm: empty pool + empty store. Exactly one warmup per mix; the
@@ -274,7 +280,7 @@ pub fn run_sweep_bench(quick: bool) -> SweepBenchReport {
     warm::reset_pool();
     warm::configure_store(Some(dir.clone()));
     let t0 = Instant::now();
-    let warmed = threshold_type_sweep(&p);
+    let warmed = threshold_type_sweep_with(&p, false);
     let warm_wall = t0.elapsed().as_secs_f64();
     let warm_stats = warm::stats();
 
@@ -282,7 +288,7 @@ pub fn run_sweep_bench(quick: bool) -> SweepBenchReport {
     // resuming from the checkpoint directory.
     warm::reset_pool();
     let t0 = Instant::now();
-    let ckpt = threshold_type_sweep(&p);
+    let ckpt = threshold_type_sweep_with(&p, false);
     let ckpt_wall = t0.elapsed().as_secs_f64();
     let ckpt_stats = warm::stats();
 
@@ -377,6 +383,191 @@ pub fn sweep_regressions(
     if new.speedup < floor {
         out.push(format!(
             "cold→warm speedup {:.2}x vs baseline {:.2}x ({:+.1}%, tolerance {:.0}%)",
+            new.speedup,
+            baseline.speedup,
+            (new.speedup / baseline.speedup - 1.0) * 100.0,
+            tolerance * 100.0,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Lockstep batch benchmark: batched vs scalar sweep-cell stepping
+// ---------------------------------------------------------------------
+
+/// Minimum batched/scalar throughput ratio the lockstep engine must
+/// deliver on the threshold×type sweep cells (the ISSUE's acceptance
+/// bar). An absolute ratio, so it is robust to host speed differences.
+pub const MIN_BATCH_SPEEDUP: f64 = 3.0;
+
+/// A full `repro --bench-batch` run: the sweep's 26 per-mix cells stepped
+/// twice from the same warm snapshot — scalar (every cell drives its own
+/// machine through [`run_scalar_quantum`]) and batched (one
+/// [`smt_sim::MachineBatch`] per mix, cells sharing a machine until their
+/// policy decisions diverge).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BatchBenchReport {
+    pub schema: u32,
+    /// True for the CI-sized quick variant.
+    pub quick: bool,
+    /// The parameters both passes ran with.
+    pub params: ExpParams,
+    /// Cells per mix (1 ICOUNT baseline + thresholds × kinds).
+    pub points_per_mix: usize,
+    pub scalar_wall_seconds: f64,
+    pub batch_wall_seconds: f64,
+    /// scalar / batched wall time: the sweep-cell throughput gain.
+    pub speedup: f64,
+    /// Quanta a scalar runner would have stepped (cells × quanta × mixes).
+    pub cell_quanta: u64,
+    /// Machine-quanta the batched pass actually simulated.
+    pub machine_quanta: u64,
+    /// Partition splits at the plan fork (policy-decision divergence).
+    pub plan_forks: u64,
+    /// Partition splits at the boundary fork (clog-control divergence).
+    pub boundary_forks: u64,
+    /// Batched results byte-identical to scalar stepping, cell by cell.
+    pub bit_identical: bool,
+    /// FNV-1a over the canonical JSON of every scalar-pass series.
+    pub fingerprint: String,
+}
+
+/// Run the scalar/batched comparison. Both passes start every cell from
+/// the same prewarmed snapshot (warmup happens outside the timed regions),
+/// so the wall-clock ratio measures stepping cost alone. Mutates the
+/// process-wide warm pool and restores its default state before returning;
+/// like [`run_sweep_bench`] the caller should be a dedicated bench process
+/// (`repro --bench-batch`).
+pub fn run_batch_bench(quick: bool) -> BatchBenchReport {
+    let p = ExpParams {
+        seed: 42,
+        warmup_quanta: 12,
+        quanta: 4,
+        quantum_cycles: if quick { 2048 } else { 8192 },
+        mix_ids: if quick { vec![1] } else { vec![1, 9] },
+    };
+    let thresholds: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+    let kinds = HeuristicKind::ALL.to_vec();
+    let mixes = p.mixes();
+
+    // Prewarm the pool outside the timed regions.
+    warm::set_enabled(true);
+    warm::configure_store(None);
+    warm::reset_pool();
+    for mix in &mixes {
+        drop(warm::warmed_machine(mix, &p));
+    }
+
+    // Scalar: every cell steps its own clone of the warmed machine.
+    let t0 = Instant::now();
+    let scalar: Vec<Vec<RunSeries>> = mixes
+        .iter()
+        .map(|mix| {
+            let template = warm::warmed_machine(mix, &p);
+            exp::sweep_point_cells(template.n_threads(), &thresholds, &kinds, &p)
+                .into_iter()
+                .map(|mut cell| {
+                    let mut m = template.clone();
+                    for _ in 0..p.quanta {
+                        run_scalar_quantum(&mut cell, &mut m);
+                    }
+                    cell.into_series()
+                })
+                .collect()
+        })
+        .collect();
+    let scalar_wall = t0.elapsed().as_secs_f64();
+
+    // Batched: the same cells as one lockstep batch per mix.
+    let t0 = Instant::now();
+    let mut stats = BatchStats::default();
+    let batched: Vec<Vec<RunSeries>> = mixes
+        .iter()
+        .map(|mix| {
+            let (series, s) = exp::run_mix_batch(mix, &thresholds, &kinds, &p);
+            stats.quanta += s.quanta;
+            stats.cell_quanta += s.cell_quanta;
+            stats.machine_quanta += s.machine_quanta;
+            stats.plan_forks += s.plan_forks;
+            stats.boundary_forks += s.boundary_forks;
+            series
+        })
+        .collect();
+    let batch_wall = t0.elapsed().as_secs_f64();
+
+    // Leave the pool in the binaries' default state.
+    warm::reset_pool();
+
+    let scalar_json = serde::json::to_string(&scalar);
+    let bit_identical = scalar_json == serde::json::to_string(&batched);
+    let report = BatchBenchReport {
+        schema: 1,
+        quick,
+        params: p,
+        points_per_mix: 1 + thresholds.len() * kinds.len(),
+        scalar_wall_seconds: scalar_wall,
+        batch_wall_seconds: batch_wall,
+        speedup: scalar_wall / batch_wall.max(1e-9),
+        cell_quanta: stats.cell_quanta,
+        machine_quanta: stats.machine_quanta,
+        plan_forks: stats.plan_forks,
+        boundary_forks: stats.boundary_forks,
+        bit_identical,
+        fingerprint: format!("{:016x}", smt_isa::codec::fnv1a_64(scalar_json.as_bytes())),
+    };
+    eprintln!(
+        "bench-batch scalar {:.2}s  batched {:.2}s ({:.2}x)  machine-quanta {}/{}  \
+         forks {}+{}  bit-identical {}",
+        report.scalar_wall_seconds,
+        report.batch_wall_seconds,
+        report.speedup,
+        report.machine_quanta,
+        report.cell_quanta,
+        report.plan_forks,
+        report.boundary_forks,
+        report.bit_identical,
+    );
+    report
+}
+
+/// Write a batch-bench report as canonical JSON.
+pub fn write_batch_report(report: &BatchBenchReport, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, serde::json::to_string(report))
+}
+
+/// Read a batch-bench report back.
+pub fn read_batch_report(path: &Path) -> Result<BatchBenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde::json::from_str(&text).map_err(|e| format!("{}: {e:?}", path.display()))
+}
+
+/// Gate a new batch-bench report: a bit-identity failure is unconditional;
+/// the speedup must clear the absolute [`MIN_BATCH_SPEEDUP`] bar and stay
+/// within `tolerance` of the baseline's ratio. Returns human-readable
+/// failure lines (empty = pass).
+pub fn batch_regressions(
+    new: &BatchBenchReport,
+    baseline: &BatchBenchReport,
+    tolerance: f64,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    if !new.bit_identical {
+        out.push("batched sweep results are not bit-identical to scalar stepping".to_string());
+    }
+    if new.speedup < MIN_BATCH_SPEEDUP {
+        out.push(format!(
+            "batched speedup {:.2}x below the required {MIN_BATCH_SPEEDUP:.1}x",
+            new.speedup
+        ));
+    }
+    let floor = baseline.speedup * (1.0 - tolerance);
+    if new.speedup < floor {
+        out.push(format!(
+            "batched speedup {:.2}x vs baseline {:.2}x ({:+.1}%, tolerance {:.0}%)",
             new.speedup,
             baseline.speedup,
             (new.speedup / baseline.speedup - 1.0) * 100.0,
@@ -520,6 +711,78 @@ mod tests {
         assert_eq!(r.points_per_mix, 26);
         assert_eq!(r.expected_warmups, 1);
         assert!(r.cold_wall_seconds > 0.0 && r.warm_wall_seconds > 0.0);
+        assert_eq!(r.fingerprint.len(), 16);
+    }
+
+    fn batch_report(speedup: f64) -> BatchBenchReport {
+        BatchBenchReport {
+            schema: 1,
+            quick: true,
+            params: ExpParams {
+                seed: 42,
+                warmup_quanta: 12,
+                quanta: 4,
+                quantum_cycles: 2048,
+                mix_ids: vec![1],
+            },
+            points_per_mix: 26,
+            scalar_wall_seconds: speedup,
+            batch_wall_seconds: 1.0,
+            speedup,
+            cell_quanta: 104,
+            machine_quanta: 20,
+            plan_forks: 3,
+            boundary_forks: 0,
+            bit_identical: true,
+            fingerprint: "deadbeefdeadbeef".to_string(),
+        }
+    }
+
+    #[test]
+    fn batch_gate_requires_the_absolute_speedup_bar() {
+        let base = batch_report(5.0);
+        let ok = batch_report(4.5);
+        assert!(batch_regressions(&ok, &base, 0.20).is_empty());
+        let slow = batch_report(2.0);
+        let r = batch_regressions(&slow, &base, 0.20);
+        // Fails both the absolute bar and the baseline comparison.
+        assert_eq!(r.len(), 2, "{r:?}");
+    }
+
+    #[test]
+    fn batch_gate_fails_bit_identity_unconditionally() {
+        let base = batch_report(5.0);
+        let mut bad = batch_report(10.0);
+        bad.bit_identical = false;
+        let r = batch_regressions(&bad, &base, 0.20);
+        assert_eq!(r.len(), 1, "{r:?}");
+        assert!(r[0].contains("bit-identical"), "{r:?}");
+    }
+
+    #[test]
+    fn batch_report_round_trips_through_json() {
+        let r = batch_report(5.0);
+        let text = serde::json::to_string(&r);
+        let back: BatchBenchReport = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn batch_bench_results_are_bit_identical_to_scalar() {
+        // End-to-end on the quick parameters. The speedup itself is
+        // asserted by the CI bench run (a dedicated, single-worker
+        // process); under the parallel test harness wall-clock ratios are
+        // noise, so here we pin what must hold regardless: identical
+        // results, real machine-sharing, and a coherent report.
+        let r = run_batch_bench(true);
+        assert!(r.bit_identical, "batched sweep diverged: {r:?}");
+        assert_eq!(r.points_per_mix, 26);
+        assert_eq!(r.cell_quanta, 26 * 4);
+        assert!(
+            r.machine_quanta < r.cell_quanta,
+            "no machine-sharing happened: {r:?}"
+        );
+        assert!(r.scalar_wall_seconds > 0.0 && r.batch_wall_seconds > 0.0);
         assert_eq!(r.fingerprint.len(), 16);
     }
 }

@@ -77,6 +77,41 @@ impl Default for AdtsConfig {
     }
 }
 
+/// Everything that determines how the machine evolves over one quantum.
+///
+/// Produced by [`AdaptiveScheduler::plan_quantum`]; executed (possibly on
+/// a machine shared between many schedulers — see `smt_sim::batch`) by
+/// [`AdaptiveScheduler::execute_plan`]. Two equal plans applied to
+/// bit-identical machines evolve them identically: the TSU is stateless
+/// beyond its policy, so the plan's policy/switch schedule is the entire
+/// scheduler-side input to the quantum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantumPlan {
+    /// Cycles to simulate.
+    pub quantum_cycles: u64,
+    /// Policy at quantum entry.
+    pub from: FetchPolicy,
+    /// Pending switch landing this quantum: (delay-cycles, target).
+    pub switch: Option<(u64, FetchPolicy)>,
+}
+
+/// Machine mutations the scheduler wants applied at a quantum boundary.
+///
+/// Empty unless `clog_control` is enabled (the paper's schedulers mark
+/// clogs but do not act), so batched cells virtually never fork here.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BoundaryActions {
+    /// Fetch-enable toggles, applied in order: (thread, enabled).
+    pub fetch_toggles: Vec<(Tid, bool)>,
+}
+
+impl BoundaryActions {
+    /// No machine mutation requested?
+    pub fn is_empty(&self) -> bool {
+        self.fetch_toggles.is_empty()
+    }
+}
+
 /// The adaptive scheduler: owns the TSU and the heuristic state.
 ///
 /// ```
@@ -102,6 +137,9 @@ pub struct AdaptiveScheduler {
     pending_switch: Option<(FetchPolicy, u64, usize)>,
     /// Thread whose fetch we disabled for the current quantum.
     blocked: Option<Tid>,
+    /// Pre-quantum counter snapshot, captured by [`Self::plan_quantum`]
+    /// and consumed by [`Self::observe_quantum`].
+    before: Option<MachineSnapshot>,
     series: RunSeries,
     clog_log: Vec<(u64, Tid)>,
     /// One [`DecisionRecord`] per quantum boundary (ring-bounded).
@@ -126,6 +164,7 @@ impl AdaptiveScheduler {
             prev_ipc: None,
             pending_switch: None,
             blocked: None,
+            before: None,
             series: RunSeries::default(),
             clog_log: Vec::new(),
             audit: EventRing::new(DECISION_RING_CAP),
@@ -181,25 +220,68 @@ impl AdaptiveScheduler {
 
     /// Run one scheduling quantum on `machine` and apply the ADTS boundary
     /// work. Returns the quantum's stats.
+    ///
+    /// This is exactly the four lockstep phases in sequence — the scalar
+    /// path and the batched path (`smt_sim::batch`) share every line of
+    /// scheduler logic.
     pub fn run_quantum(&mut self, machine: &mut SmtMachine) -> QuantumStats {
-        let fetch_width = machine.config().fetch_width;
-        let before = MachineSnapshot::take(machine);
+        let plan = self.plan_quantum(machine);
+        Self::execute_plan(&plan, machine);
+        let (stats, boundary) = self.observe_quantum(machine);
+        Self::apply_boundary(&boundary, machine);
+        stats
+    }
 
-        // Apply a pending switch `delay` cycles into this quantum.
-        if let Some((to, delay, _)) = self.pending_switch {
-            let from = self.tsu.policy;
-            machine.run(delay.min(self.cfg.quantum_cycles), &mut self.tsu);
+    /// Phase 1: decide the plan for the next quantum. Captures the
+    /// pre-quantum counter snapshot and commits the pending policy switch
+    /// to the TSU (the plan records the old policy and the switch delay).
+    pub fn plan_quantum(&mut self, machine: &SmtMachine) -> QuantumPlan {
+        self.before = Some(MachineSnapshot::take(machine));
+        let from = self.tsu.policy;
+        let switch = self.pending_switch.map(|(to, delay, _)| (delay, to));
+        if let Some((to, _, _)) = self.pending_switch {
             self.tsu.set_policy(to);
-            // Records into the event trace only; a no-op (and no behavior
-            // change) on untraced machines.
-            machine.note_policy_switch(from.id(), to.id());
-            machine.run(self.cfg.quantum_cycles.saturating_sub(delay), &mut self.tsu);
-        } else {
-            machine.run(self.cfg.quantum_cycles, &mut self.tsu);
         }
+        QuantumPlan {
+            quantum_cycles: self.cfg.quantum_cycles,
+            from,
+            switch,
+        }
+    }
 
+    /// Phase 2: step the machine through one quantum under `plan`. Pure
+    /// in the scheduler: depends only on the plan and the machine, so one
+    /// execution can serve every batched cell that produced an equal plan.
+    pub fn execute_plan(plan: &QuantumPlan, machine: &mut SmtMachine) {
+        // The TSU is stateless beyond its policy, so reconstructing it
+        // from the plan is exact.
+        let mut tsu = Tsu::new(plan.from, machine.n_threads());
+        match plan.switch {
+            // Apply the pending switch `delay` cycles into the quantum.
+            Some((delay, to)) => {
+                machine.run(delay.min(plan.quantum_cycles), &mut tsu);
+                tsu.set_policy(to);
+                // Records into the event trace only; a no-op (and no
+                // behavior change) on untraced machines.
+                machine.note_policy_switch(plan.from.id(), to.id());
+                machine.run(plan.quantum_cycles.saturating_sub(delay), &mut tsu);
+            }
+            None => machine.run(plan.quantum_cycles, &mut tsu),
+        }
+    }
+
+    /// Phase 3: inspect the post-quantum machine (read-only), record the
+    /// quantum, judge the landed switch, and run the detector-thread
+    /// decision. Returns the stats plus the boundary mutations to apply.
+    pub fn observe_quantum(&mut self, machine: &SmtMachine) -> (QuantumStats, BoundaryActions) {
+        let fetch_width = machine.config().fetch_width;
+        let before = self
+            .before
+            .take()
+            .expect("observe_quantum without a preceding plan_quantum");
         let after = MachineSnapshot::take(machine);
         let stats = QuantumStats::between(&before, &after, fetch_width);
+        let mut boundary = BoundaryActions::default();
 
         // Judge the switch that produced this quantum (benign = IPC rose
         // relative to the quantum that triggered it = `prev` record).
@@ -217,7 +299,7 @@ impl AdaptiveScheduler {
 
         // Lift last quantum's clog block before deciding anew.
         if let Some(t) = self.blocked.take() {
-            machine.set_fetch_enabled(t, true);
+            boundary.fetch_toggles.push((t, true));
         }
 
         let record = QuantumRecord {
@@ -257,7 +339,7 @@ impl AdaptiveScheduler {
             if let Some(clog) = stats.clogging_thread() {
                 self.clog_log.push((self.quantum_index, clog));
                 if self.cfg.clog_control {
-                    machine.set_fetch_enabled(clog, false);
+                    boundary.fetch_toggles.push((clog, false));
                     self.blocked = Some(clog);
                 }
             }
@@ -297,7 +379,16 @@ impl AdaptiveScheduler {
 
         self.series.quanta.push(record);
         self.quantum_index += 1;
-        stats
+        (stats, boundary)
+    }
+
+    /// Phase 4: apply the boundary mutations. Like [`Self::execute_plan`]
+    /// this depends only on its value argument, so equal boundaries can be
+    /// applied once per batched group.
+    pub fn apply_boundary(boundary: &BoundaryActions, machine: &mut SmtMachine) {
+        for &(t, enabled) in &boundary.fetch_toggles {
+            machine.set_fetch_enabled(t, enabled);
+        }
     }
 
     /// Run `quanta` scheduling quanta and return the recorded series.

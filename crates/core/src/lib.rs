@@ -36,12 +36,13 @@ pub mod heuristics;
 pub mod history;
 pub mod indicators;
 pub mod jobsched;
+pub mod lockstep;
 pub mod obs;
 pub mod oracle;
 pub mod runner;
 pub mod threshold;
 
-pub use adaptive::{AdaptiveScheduler, AdtsConfig};
+pub use adaptive::{AdaptiveScheduler, AdtsConfig, BoundaryActions, QuantumPlan};
 pub use audit::{
     decisions_jsonl, evaluate_conditions, CondEval, DecisionReason, DecisionRecord, DecisionTrace,
     HistoryEval,
@@ -51,6 +52,7 @@ pub use heuristics::{CondThresholds, Heuristic, HeuristicKind};
 pub use history::{CaseCounters, SwitchHistory};
 pub use indicators::{MachineSnapshot, QuantumStats};
 pub use jobsched::{EvictionPolicy, JobSchedConfig, JobSchedOutcome, JobScheduler};
+pub use lockstep::{FixedCell, PointCell};
 pub use obs::register_series_metrics;
 pub use oracle::{run_oracle, OracleConfig};
 pub use runner::{

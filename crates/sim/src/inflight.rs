@@ -43,7 +43,15 @@ pub struct InFlight {
     /// only; used to repair the history on squash).
     pub history_at_fetch: u64,
     pub fetched_at: u64,
+    /// Head of this producer's wake chain in the machine's wake arena
+    /// ([`NO_WAKE`] = no registered waiters). Transient acceleration
+    /// state: *not* serialized (the machine rebuilds it after decode), so
+    /// snapshot bytes are unchanged from the binary-search era.
+    pub wake_head: u32,
 }
+
+/// Sentinel for an empty wake chain ([`InFlight::wake_head`]).
+pub const NO_WAKE: u32 = u32::MAX;
 
 impl InFlight {
     /// True once execution finished.
@@ -128,6 +136,7 @@ impl Codec for InFlight {
             pht_index: r.u32()?,
             history_at_fetch: r.u64()?,
             fetched_at: r.u64()?,
+            wake_head: NO_WAKE,
         })
     }
 }
@@ -161,6 +170,7 @@ mod tests {
             pht_index: 0,
             history_at_fetch: 0,
             fetched_at: 0,
+            wake_head: NO_WAKE,
         }
     }
 

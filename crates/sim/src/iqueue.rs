@@ -105,7 +105,11 @@ impl<T> IndexedQueue<T> {
     /// Append at the global tail. Callers insert each thread's entries in
     /// program order, which is what keeps the per-thread list seq-sorted
     /// (checked in debug builds) and the tail-walk squash correct.
-    pub fn push_back(&mut self, tid: Tid, seq: u64, payload: T) {
+    ///
+    /// Returns the entry's slab index — stable for the entry's whole
+    /// lifetime, so callers may hold it as a weak reference and later
+    /// revalidate it with [`Self::entry_matches`].
+    pub fn push_back(&mut self, tid: Tid, seq: u64, payload: T) -> u32 {
         let ti = tid.idx();
         debug_assert!(
             self.ttails[ti] == NIL || self.nodes[self.ttails[ti] as usize].seq < seq,
@@ -134,6 +138,24 @@ impl<T> IndexedQueue<T> {
         self.ttails[ti] = idx;
         self.len += 1;
         self.tlens[ti] += 1;
+        idx
+    }
+
+    /// Does the slab slot `idx` still hold the live entry `(tid, seq)`?
+    ///
+    /// A freed slot retains its last key until `alloc` overwrites it, and
+    /// `(tid, seq)` keys are never reused within one queue (per-thread
+    /// sequence numbers are monotone), so a key match identifies either
+    /// the original entry or its dead residue — and writes through a dead
+    /// residue's payload are unobservable. A reused slot holds a
+    /// different key and compares unequal. This is what makes a stale
+    /// index a safe *weak* reference rather than a dangling one.
+    #[inline]
+    pub fn entry_matches(&self, idx: u32, tid: Tid, seq: u64) -> bool {
+        match self.nodes.get(idx as usize) {
+            Some(n) => n.tid == tid.0 && n.seq == seq,
+            None => false,
+        }
     }
 
     fn unlink(&mut self, idx: u32) {

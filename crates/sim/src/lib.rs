@@ -30,6 +30,7 @@
 //! assert!(machine.total_committed() > 0);
 //! ```
 
+pub mod batch;
 pub mod bpred;
 pub mod cache;
 pub mod chooser;
@@ -43,6 +44,7 @@ pub mod snapshot;
 pub mod trace;
 pub mod wrongpath;
 
+pub use batch::{run_scalar_quantum, BatchStats, LockstepCell, MachineBatch};
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{Cache, Hierarchy, MemAccessResult};
 pub use chooser::{FetchChooser, FnChooser, RoundRobin};

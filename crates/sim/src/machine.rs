@@ -28,7 +28,7 @@ use crate::cache::Hierarchy;
 use crate::chooser::FetchChooser;
 use crate::config::SimConfig;
 use crate::counters::{CounterSnapshot, PolicyView, ThreadCounters};
-use crate::inflight::{find_seq, InFlight, Stage};
+use crate::inflight::{find_seq, InFlight, Stage, NO_WAKE};
 use crate::iqueue::{IndexedQueue, NIL};
 use crate::obs::attr::{CommitCause, FetchCause, IssueCause, SlotAttribution};
 use crate::trace::{MissLevel, TraceBuffer, TraceEvent};
@@ -84,6 +84,14 @@ struct IqData {
     /// window by committing (still satisfied) or by a squash that also
     /// removes this younger entry, so the flag can never go stale.
     deps_done: bool,
+    /// Outstanding (not yet completed) producers, maintained by the wake
+    /// chains: dispatch counts the live producers, each producer's
+    /// Done-transition decrements. Issue judges readiness as
+    /// `pending == 0` — O(1), no window binary search. Transient
+    /// acceleration state, *not* serialized (rebuilt after decode), so
+    /// snapshot bytes are unchanged; `deps_done` stays the serialized
+    /// memo. `deps_ready` remains as the search-based reference oracle.
+    pending: u8,
 }
 
 /// Per-context state.
@@ -128,6 +136,9 @@ impl IqData {
             kind: OpKind::decode(r)?,
             deps: <[Option<u64>; 2]>::decode(r)?,
             deps_done: r.bool()?,
+            // Rebuilt by `rebuild_wake_state` once the whole machine is
+            // decoded (the windows aren't available yet here).
+            pending: 0,
         })
     }
 }
@@ -143,6 +154,68 @@ impl LsqData {
             addr8: r.u64()?,
             is_store: r.bool()?,
         })
+    }
+}
+
+/// One registered waiter on a producer's wake chain: when the producer
+/// completes, decrement `pending` of the instruction-queue entry at
+/// `slot` — *after* revalidating that the slot still holds
+/// `(producer's tid, waiter_seq)`, because a waiter can be squashed while
+/// its (older) producer survives, and the queue slab may have reused the
+/// slot since ([`IndexedQueue::entry_matches`]).
+#[derive(Clone, Copy, Debug)]
+struct WakeNode {
+    /// Waiter sits in the fp queue (else the int queue).
+    fp: bool,
+    /// Slab index of the waiter's queue entry at registration time.
+    slot: u32,
+    /// Waiter's sequence number, for slot revalidation.
+    waiter_seq: u64,
+    /// Next node in this producer's chain ([`NO_WAKE`] terminates).
+    next: u32,
+}
+
+/// Slab of [`WakeNode`]s with a free list. Chains are singly linked from
+/// each window op's `wake_head`; every allocated node sits on exactly one
+/// chain (freed when its producer completes, is squashed, or is flushed).
+#[derive(Clone, Debug, Default)]
+struct WakeArena {
+    nodes: Vec<WakeNode>,
+    free: Vec<u32>,
+}
+
+impl WakeArena {
+    fn alloc(&mut self, node: WakeNode) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Free every node of the chain starting at `head`.
+    fn free_chain(&mut self, head: u32) {
+        let mut idx = head;
+        while idx != NO_WAKE {
+            let next = self.nodes[idx as usize].next;
+            self.free.push(idx);
+            idx = next;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+    }
+
+    /// Allocated (live) nodes.
+    fn live(&self) -> usize {
+        self.nodes.len() - self.free.len()
     }
 }
 
@@ -263,6 +336,11 @@ pub struct SmtMachine {
     /// fetch priority into the shared queues: a thread that wins fetch
     /// slots owns a proportional share of this FIFO.
     dispatch_fifo: IndexedQueue<()>,
+    /// Producer-completion wake chains backing the issue stage's
+    /// `pending` readiness counters. Transient acceleration state:
+    /// cloned with the machine (slab indices are preserved by `Clone`),
+    /// never serialized (rebuilt after decode).
+    wake: WakeArena,
 }
 
 impl SmtMachine {
@@ -319,6 +397,7 @@ impl SmtMachine {
             trace: None,
             attr: None,
             dispatch_fifo: IndexedQueue::new(cfg.threads, 64),
+            wake: WakeArena::default(),
             cycle: 0,
             cfg,
         }
@@ -416,11 +495,12 @@ impl SmtMachine {
             syscall_drain_cycles: r.u64()?,
         };
         let dispatch_fifo = IndexedQueue::decode_with(r, |_| Ok(()))?;
-        Ok(SmtMachine {
+        let mut m = SmtMachine {
             view_buf: Vec::with_capacity(cfg.threads),
             squash_buf: Vec::new(),
             trace: None,
             attr: None,
+            wake: WakeArena::default(),
             cfg,
             cycle,
             mem,
@@ -436,7 +516,68 @@ impl SmtMachine {
             pending_syscalls,
             global,
             dispatch_fifo,
-        })
+        };
+        // The wake chains and `pending` counters are transient (not part
+        // of the byte format) and the queue decode does not preserve slab
+        // indices, so recompute them from the decoded windows/queues.
+        m.rebuild_wake_state();
+        Ok(m)
+    }
+
+    /// Recompute the readiness-tracking acceleration state (wake chains
+    /// and per-entry `pending` counters) from the architecturally
+    /// serialized state: windows, queues and `deps`. Used after decode;
+    /// `Clone` preserves the state directly.
+    fn rebuild_wake_state(&mut self) {
+        self.wake.clear();
+        for ctx in &mut self.threads {
+            for op in ctx.window.iter_mut() {
+                op.wake_head = NO_WAKE;
+            }
+        }
+        for is_fp in [false, true] {
+            let queue = if is_fp { &self.fp_iq } else { &self.int_iq };
+            // Collect first: registration mutates windows and the arena
+            // while the cursor walk borrows the queue.
+            let mut entries: Vec<(u32, Tid, u64, [Option<u64>; 2])> = Vec::new();
+            let mut idx = queue.first();
+            while idx != NIL {
+                let (tid, seq) = queue.key(idx);
+                entries.push((idx, tid, seq, queue.payload(idx).deps));
+                idx = queue.next_of(idx);
+            }
+            for (slot, tid, seq, deps) in entries {
+                let ctx = &mut self.threads[tid.idx()];
+                let oldest = match ctx.window.front() {
+                    Some(f) => f.seq,
+                    None => continue,
+                };
+                let mut pending = 0u8;
+                for dep in deps.iter().copied().flatten() {
+                    if dep < oldest {
+                        continue; // producer already committed
+                    }
+                    if let Some(i) = find_seq(&ctx.window, dep) {
+                        if !ctx.window[i].is_done() {
+                            pending += 1;
+                            let head = ctx.window[i].wake_head;
+                            ctx.window[i].wake_head = self.wake.alloc(WakeNode {
+                                fp: is_fp,
+                                slot,
+                                waiter_seq: seq,
+                                next: head,
+                            });
+                        }
+                    }
+                }
+                let q = if is_fp {
+                    &mut self.fp_iq
+                } else {
+                    &mut self.int_iq
+                };
+                q.payload_mut(slot).pending = pending;
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -681,6 +822,7 @@ impl SmtMachine {
             if ctx.min_done_at > now {
                 continue;
             }
+            let tid = ctx.tid;
             let mut next_min = u64::MAX;
             for i in 0..ctx.window.len() {
                 let op = &mut ctx.window[i];
@@ -693,6 +835,7 @@ impl SmtMachine {
                     continue;
                 }
                 op.stage = Stage::Done;
+                let wake_head = std::mem::replace(&mut op.wake_head, NO_WAKE);
                 // Copy the facts out so counter updates don't fight the
                 // window borrow (MicroOp is Copy).
                 let uop = op.uop;
@@ -713,6 +856,27 @@ impl SmtMachine {
                     op.pht_index,
                     op.history_at_fetch,
                 );
+                // Wake this producer's registered waiters: O(waiters)
+                // counter decrements instead of every blocked entry
+                // re-searching the window each cycle. A stale node (its
+                // waiter was squashed after registering) fails the slot
+                // revalidation and is simply dropped.
+                let mut widx = wake_head;
+                while widx != NO_WAKE {
+                    let node = self.wake.nodes[widx as usize];
+                    let queue = if node.fp {
+                        &mut self.fp_iq
+                    } else {
+                        &mut self.int_iq
+                    };
+                    if queue.entry_matches(node.slot, tid, node.waiter_seq) {
+                        let p = queue.payload_mut(node.slot);
+                        debug_assert!(p.pending > 0, "wake underflow");
+                        p.pending = p.pending.saturating_sub(1);
+                    }
+                    self.wake.free.push(widx);
+                    widx = node.next;
+                }
                 match uop.kind {
                     OpKind::Branch => {
                         if uop.is_cond_branch() {
@@ -788,6 +952,13 @@ impl SmtMachine {
                     op.is_done(),
                 )
             };
+            // A squashed producer takes its wake chain with it; its
+            // waiters are younger ops of the same thread, squashed here
+            // too, so no pending counter goes un-decremented. (A squashed
+            // *waiter* may leave a stale node on an older surviving
+            // producer; the drain's slot revalidation drops it.)
+            let wake_head = std::mem::replace(&mut ctx.window[i].wake_head, NO_WAKE);
+            self.wake.free_chain(wake_head);
             match stage {
                 Stage::FrontEnd { .. } => ctx.counters.front_end_occ -= 1,
                 Stage::Queued => ctx.counters.iq_occ -= 1,
@@ -918,7 +1089,11 @@ impl SmtMachine {
     // stage 3: issue
     // ------------------------------------------------------------------
 
-    /// Are all producers in `deps` complete?
+    /// Are all producers in `deps` complete? The pre-readiness-tracking
+    /// window binary search — retained as the *reference oracle* for the
+    /// `pending` counters (cross-checked by the issue stage's debug
+    /// asserts, [`Self::check_invariants`], and the readiness microtests
+    /// and proptests, via [`Self::deps_ready_search`]).
     fn deps_ready(ctx: &ThreadCtx, deps: &[Option<u64>; 2]) -> bool {
         let oldest = match ctx.window.front() {
             Some(f) => f.seq,
@@ -940,6 +1115,30 @@ impl SmtMachine {
             }
         }
         true
+    }
+
+    /// Public face of the reference oracle: judge `deps` of thread `tid`
+    /// by binary-searching the window, exactly as the issue stage did
+    /// before readiness tracking. Cold path, for differential tests.
+    pub fn deps_ready_search(&self, tid: Tid, deps: &[Option<u64>; 2]) -> bool {
+        Self::deps_ready(&self.threads[tid.idx()], deps)
+    }
+
+    /// Readiness counter of the queued op `(tid, seq)`: `Some(pending)`
+    /// if the op currently sits in an instruction queue, else `None`.
+    /// O(thread queue length); for tests and invariant checks only.
+    pub fn queued_pending(&self, tid: Tid, seq: u64) -> Option<u8> {
+        for queue in [&self.int_iq, &self.fp_iq] {
+            let mut idx = queue.first();
+            while idx != NIL {
+                let (t, s) = queue.key(idx);
+                if t == tid && s == seq {
+                    return Some(queue.payload(idx).pending);
+                }
+                idx = queue.next_of(idx);
+            }
+        }
+        None
     }
 
     fn issue<const TRACE: bool>(&mut self) {
@@ -1011,12 +1210,22 @@ impl SmtMachine {
         let (tid, seq) = self.int_iq.key(idx);
         let q = QRef { tid, seq };
         let d = *self.int_iq.payload(idx);
-        // Judge dep-blocked entries from the cached payload alone — no
-        // window search until the op actually has a chance to issue.
+        // Judge dep-blocked entries from the cached payload alone: the
+        // wake chains keep `pending` current, so readiness is one counter
+        // compare — no window binary search at all. `deps_ready` is kept
+        // as the reference oracle and cross-checked in debug builds.
         if !d.deps_done {
-            if !Self::deps_ready(&self.threads[tid.idx()], &d.deps) {
+            if d.pending != 0 {
+                debug_assert!(
+                    !Self::deps_ready(&self.threads[tid.idx()], &d.deps),
+                    "pending > 0 but search says ready"
+                );
                 return false;
             }
+            debug_assert!(
+                Self::deps_ready(&self.threads[tid.idx()], &d.deps),
+                "pending == 0 but search says blocked"
+            );
             self.int_iq.payload_mut(idx).deps_done = true;
         }
         let done_at = match d.kind {
@@ -1202,9 +1411,17 @@ impl SmtMachine {
         let q = QRef { tid, seq };
         let d = *self.fp_iq.payload(idx);
         if !d.deps_done {
-            if !Self::deps_ready(&self.threads[tid.idx()], &d.deps) {
+            if d.pending != 0 {
+                debug_assert!(
+                    !Self::deps_ready(&self.threads[tid.idx()], &d.deps),
+                    "pending > 0 but search says ready"
+                );
                 return false;
             }
+            debug_assert!(
+                Self::deps_ready(&self.threads[tid.idx()], &d.deps),
+                "pending == 0 but search says blocked"
+            );
             self.fp_iq.payload_mut(idx).deps_done = true;
         }
         let done_at = match d.kind {
@@ -1305,11 +1522,49 @@ impl SmtMachine {
                 kind,
                 deps,
                 deps_done: false,
+                pending: 0,
             };
-            if is_fp {
-                self.fp_iq.push_back(tid, seq, data);
+            let slot = if is_fp {
+                self.fp_iq.push_back(tid, seq, data)
             } else {
-                self.int_iq.push_back(tid, seq, data);
+                self.int_iq.push_back(tid, seq, data)
+            };
+            // Register on each live, not-yet-done producer: count it in
+            // `pending` and link a wake node onto the producer's chain.
+            // `complete` ran earlier this cycle, so a producer finishing
+            // *now* already reads as Done — exactly what `deps_ready`
+            // would conclude at this op's first issue attempt.
+            let oldest = ctx.window.front().map(|f| f.seq).unwrap_or(u64::MAX);
+            let mut pending = 0u8;
+            for dep in deps.iter().copied().flatten() {
+                if dep < oldest {
+                    continue; // producer already committed
+                }
+                match find_seq(&ctx.window, dep) {
+                    Some(p) => {
+                        if !ctx.window[p].is_done() {
+                            pending += 1;
+                            let head = ctx.window[p].wake_head;
+                            ctx.window[p].wake_head = self.wake.alloc(WakeNode {
+                                fp: is_fp,
+                                slot,
+                                waiter_seq: seq,
+                                next: head,
+                            });
+                        }
+                    }
+                    None => {
+                        debug_assert!(false, "dispatched op depends on squashed producer");
+                    }
+                }
+            }
+            if pending != 0 {
+                let q = if is_fp {
+                    &mut self.fp_iq
+                } else {
+                    &mut self.int_iq
+                };
+                q.payload_mut(slot).pending = pending;
             }
             if let Some(a8) = addr8 {
                 self.lsq.push_back(
@@ -1471,6 +1726,7 @@ impl SmtMachine {
                 pht_index: 0,
                 history_at_fetch: 0,
                 fetched_at: now,
+                wake_head: NO_WAKE,
             };
             // Gauges and cumulative fetch counters.
             ctx.counters.front_end_occ += 1;
@@ -1642,6 +1898,10 @@ impl SmtMachine {
                     op.is_done(),
                 )
             };
+            // The whole thread goes: every producer chain dies with it
+            // (its waiters are same-thread, flushed here too).
+            let wake_head = std::mem::replace(&mut ctx.window[i].wake_head, NO_WAKE);
+            self.wake.free_chain(wake_head);
             match stage {
                 Stage::FrontEnd { .. } => ctx.counters.front_end_occ -= 1,
                 Stage::Queued => ctx.counters.iq_occ -= 1,
@@ -1786,14 +2046,15 @@ impl SmtMachine {
         debug_assert_eq!(used_total + lost, self.cfg.issue_width);
         // Blame leftover queue entries in age order — the order issue
         // itself considered them. Producers complete only in the next
-        // `complete`, so judging readiness now matches what issue saw.
+        // `complete`, so the `pending` counters still read exactly what
+        // issue saw.
         for queue in [&self.int_iq, &self.fp_iq] {
             let mut idx = queue.first();
             while idx != NIL && lost > 0 {
                 let (tid, _) = queue.key(idx);
                 let d = queue.payload(idx);
-                let cause = if !d.deps_done && !Self::deps_ready(&self.threads[tid.idx()], &d.deps)
-                {
+                let cause = if !d.deps_done && d.pending != 0 {
+                    debug_assert!(!Self::deps_ready(&self.threads[tid.idx()], &d.deps));
                     IssueCause::DepsNotReady
                 } else {
                     IssueCause::FuBusy
@@ -1979,6 +2240,59 @@ impl SmtMachine {
         assert!(
             self.free_fp_regs <= self.cfg.extra_phys_fp,
             "fp reg over-free"
+        );
+        // Readiness tracking vs the search oracle: every queue entry's
+        // `pending` counter must equal the number of live, not-yet-done
+        // producers the reference binary search would find.
+        for queue in [&self.int_iq, &self.fp_iq] {
+            let mut idx = queue.first();
+            while idx != NIL {
+                let (tid, seq) = queue.key(idx);
+                let d = queue.payload(idx);
+                let ctx = &self.threads[tid.idx()];
+                let mut expect = 0u8;
+                if let Some(front) = ctx.window.front() {
+                    for dep in d.deps.iter().copied().flatten() {
+                        if dep < front.seq {
+                            continue;
+                        }
+                        if let Some(i) = find_seq(&ctx.window, dep) {
+                            if !ctx.window[i].is_done() {
+                                expect += 1;
+                            }
+                        }
+                    }
+                }
+                assert_eq!(
+                    d.pending, expect,
+                    "pending counter drift on {tid} seq {seq}"
+                );
+                assert_eq!(
+                    d.pending == 0,
+                    Self::deps_ready(ctx, &d.deps),
+                    "pending disagrees with the search oracle on {tid} seq {seq}"
+                );
+                idx = queue.next_of(idx);
+            }
+        }
+        // Every allocated wake node sits on exactly one producer's chain.
+        let mut chained = 0usize;
+        for ctx in &self.threads {
+            for op in &ctx.window {
+                let mut widx = op.wake_head;
+                let mut steps = 0usize;
+                while widx != NO_WAKE {
+                    chained += 1;
+                    steps += 1;
+                    assert!(steps <= self.wake.nodes.len(), "wake chain cycle");
+                    widx = self.wake.nodes[widx as usize].next;
+                }
+            }
+        }
+        assert_eq!(
+            chained,
+            self.wake.live(),
+            "wake arena leak: chained nodes vs live allocations"
         );
     }
 }

@@ -339,6 +339,160 @@ fn chooser_tolerates_empty_candidate_set() {
     );
 }
 
+// ---------------------------------------------------------------------
+// readiness tracking: the per-op pending counters vs the search oracle
+// ---------------------------------------------------------------------
+
+fn div_op(pc: u64, dst: u8) -> MicroOp {
+    MicroOp {
+        kind: OpKind::IntDiv,
+        ..alu(pc, dst, None)
+    }
+}
+
+#[test]
+fn wake_fires_the_cycle_the_producer_completes() {
+    // An unpipelined divide and its dependent consumer, looping. The
+    // consumer dispatches long before the divide completes, so it sits
+    // dep-blocked in the int queue with a non-zero pending counter. The
+    // wake must land in the *same cycle* the producer completes: stepping
+    // one cycle at a time, there may never be a cycle where the search
+    // oracle says ready while the counter still reads pending > 0 (a late
+    // wake), nor the reverse (an early or lost wake).
+    let script = vec![div_op(0x0, 10), alu(0x4, 11, Some(10))];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    let mut blocked_seen = 0u64;
+    for _ in 0..1_500 {
+        m.step(&mut RoundRobin);
+        // Consumers are the odd seqs; each depends on exactly seq - 1
+        // (in-order fetch, no branches, so seqs follow the script).
+        let lo = m.total_committed();
+        for seq in lo..lo + 160 {
+            if seq % 2 != 1 {
+                continue;
+            }
+            if let Some(pending) = m.queued_pending(Tid(0), seq) {
+                assert_eq!(
+                    pending == 0,
+                    m.deps_ready_search(Tid(0), &[Some(seq - 1), None]),
+                    "pending {pending} disagrees with the search oracle \
+                     for seq {seq} at cycle {}",
+                    m.cycle()
+                );
+                if pending > 0 {
+                    blocked_seen += 1;
+                }
+            }
+        }
+    }
+    assert!(blocked_seen > 10, "consumer was never observed dep-blocked");
+    assert!(m.counters(Tid(0)).committed > 50, "divide chain wedged");
+    m.check_invariants();
+}
+
+#[test]
+fn squash_during_producer_flight_keeps_readiness_coherent() {
+    // A mispredicting conditional loop branch rides with an unpipelined
+    // divide: wrong-path ops fetched past the branch rename their sources
+    // onto the still-executing divider (the wrong-path generator sources
+    // int regs 2..26, which covers r10) and register wake nodes on its
+    // chain; the squash then removes those waiters while the producer
+    // survives. When the divide finally completes it must revalidate each
+    // waiter's queue slot instead of decrementing a squashed (possibly
+    // reused) entry. check_invariants() recounts every pending counter
+    // against the search oracle and audits the wake arena every cycle.
+    // Both branch entries share one PC but alternate direction, so the
+    // weakly-taken-initialized predictor keeps mispredicting for a while.
+    let branch = |taken| MicroOp {
+        kind: OpKind::Branch,
+        pc: BASE | 0x8,
+        dst: None,
+        src1: None,
+        src2: None,
+        mem: None,
+        branch: Some(BranchInfo {
+            kind: BranchKind::Conditional,
+            taken,
+            target: BASE,
+        }),
+    };
+    let script = vec![
+        div_op(0x0, 10),
+        alu(0x4, 11, Some(10)),
+        branch(true),
+        div_op(0x10, 10),
+        alu(0x14, 11, Some(10)),
+        branch(false),
+    ];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    for _ in 0..2_000 {
+        m.step(&mut RoundRobin);
+        m.check_invariants();
+    }
+    let c = m.counters(Tid(0));
+    assert!(c.mispredicts > 0, "loop branch never mispredicted");
+    assert!(c.squashes > 0, "mispredicts must squash");
+    assert!(c.wrongpath_fetched > 0, "wrong-path fetch must engage");
+    assert!(
+        c.committed > 100,
+        "no progress after squash churn: {} committed",
+        c.committed
+    );
+}
+
+#[test]
+fn syscall_drain_waits_out_dep_blocked_ops() {
+    // Divide producer, dep-blocked consumer, syscall, trailing op. The
+    // fetched syscall puts the machine in drain mode while the consumer is
+    // still waiting on the divide (the front end runs ~20 cycles ahead of
+    // the unpipelined divider), but the drain may only execute once
+    // nothing else is in flight — so every retired syscall proves the
+    // dep-blocked consumer was woken and completed *during* the drain. A
+    // lost wake would deadlock the drain forever.
+    let script = vec![
+        div_op(0x0, 10),
+        alu(0x4, 11, Some(10)),
+        MicroOp {
+            kind: OpKind::Syscall,
+            ..MicroOp::nop(BASE | 0x8)
+        },
+        alu(0xC, 12, None),
+    ];
+    let mut m = machine_with(script, SimConfig::with_threads(1));
+    let mut blocked_seen = 0u64;
+    for _ in 0..4_000 {
+        m.step(&mut RoundRobin);
+        m.check_invariants();
+        // Consumers are the seqs ≡ 1 (mod 4), each depending on seq - 1.
+        let lo = m.total_committed();
+        for seq in lo..lo + 64 {
+            if seq % 4 != 1 {
+                continue;
+            }
+            if let Some(pending) = m.queued_pending(Tid(0), seq) {
+                assert_eq!(
+                    pending == 0,
+                    m.deps_ready_search(Tid(0), &[Some(seq - 1), None]),
+                    "pending {pending} disagrees with the search oracle \
+                     for seq {seq} during drain"
+                );
+                if pending > 0 {
+                    blocked_seen += 1;
+                }
+            }
+        }
+    }
+    let c = m.counters(Tid(0));
+    assert!(blocked_seen > 0, "consumer never dep-blocked");
+    assert!(c.syscalls >= 2, "drain never retired a syscall");
+    assert!(
+        c.committed >= 8,
+        "drain deadlocked on the dep-blocked consumer: {} committed",
+        c.committed
+    );
+    assert!(m.global().syscall_drain_cycles > 0);
+}
+
 #[test]
 fn wrongpath_squash_survives_quantum_boundary_flush() {
     use smt_sim::FetchChooser as _;

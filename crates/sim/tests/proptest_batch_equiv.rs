@@ -1,0 +1,250 @@
+//! Property tests for the lockstep batch engine: a [`MachineBatch`] must
+//! be indistinguishable — bit for bit — from stepping every cell's machine
+//! scalar, no matter where the cells' decisions diverge.
+//!
+//! The cell here is a deliberately adversarial stand-in for a policy
+//! point: its plan flips fetch priority on a per-cell *threshold* (so
+//! sibling cells fork mid-batch exactly like ADTS points crossing their
+//! IPC thresholds), its boundary toggles fetch gates on a per-cell
+//! *parity* (forking the second partition point too), and its plan carries
+//! random flush / thread-replace / fetch-toggle churn. After **every**
+//! quantum, every cell's machine must match its scalar twin in both the
+//! counter snapshot and the full serialized machine state.
+
+use proptest::prelude::*;
+use smt_isa::Tid;
+use smt_sim::snapshot::MachineSnapshot;
+use smt_sim::{
+    run_scalar_quantum, FetchChooser, FnChooser, LockstepCell, MachineBatch, RoundRobin, SimConfig,
+    SmtMachine,
+};
+use smt_workloads::UopStream;
+use std::sync::Arc;
+
+fn test_machine(n: usize, seed: u64) -> SmtMachine {
+    let cfg = SimConfig::with_threads(n);
+    let streams = (0..n)
+        .map(|i| {
+            UopStream::new(
+                Arc::new(smt_isa::AppProfile::builder("t").build()),
+                seed + i as u64,
+                smt_workloads::thread_addr_base(i),
+            )
+        })
+        .collect();
+    SmtMachine::new(cfg, streams)
+}
+
+/// One scripted churn event, fanned out through the plan so both stepping
+/// paths replay it identically.
+#[derive(Clone, Debug, PartialEq)]
+enum ChurnOp {
+    Flush(u8),
+    Replace(u8, u64),
+    Toggle(u8),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct ChurnPlan {
+    cycles: u64,
+    /// The "policy decision": fetch priority reversed this quantum.
+    reversed: bool,
+    ops: Vec<ChurnOp>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+struct ChurnBoundary {
+    toggles: Vec<(u8, bool)>,
+}
+
+/// A policy-point stand-in whose decisions depend on machine state and two
+/// per-cell knobs, so sibling cells shear apart at both fork points.
+struct ChurnCell {
+    /// Plan divergence knob: reverse priority when committed % 97 < this.
+    threshold: u64,
+    /// Boundary divergence knob: offsets the fetch-gate parity.
+    parity: u64,
+    /// Per-quantum churn script.
+    script: Vec<Vec<ChurnOp>>,
+    q: usize,
+}
+
+impl LockstepCell for ChurnCell {
+    type Plan = ChurnPlan;
+    type Boundary = ChurnBoundary;
+
+    fn plan(&mut self, m: &SmtMachine) -> ChurnPlan {
+        let ops = self.script.get(self.q).cloned().unwrap_or_default();
+        self.q += 1;
+        ChurnPlan {
+            cycles: 120,
+            reversed: m.total_committed() % 97 < self.threshold,
+            ops,
+        }
+    }
+
+    fn execute(plan: &ChurnPlan, m: &mut SmtMachine) {
+        let n = m.n_threads() as u8;
+        for op in &plan.ops {
+            match *op {
+                ChurnOp::Flush(t) => m.flush_thread(Tid(t % n)),
+                ChurnOp::Replace(t, salt) => {
+                    let t = t % n;
+                    let s = UopStream::new(
+                        Arc::new(smt_isa::AppProfile::builder("t").build()),
+                        salt ^ 0xF00D,
+                        smt_workloads::thread_addr_base(t as usize),
+                    );
+                    m.replace_thread(Tid(t), s, salt % 7);
+                }
+                ChurnOp::Toggle(t) => {
+                    let tid = Tid(t % n);
+                    let on = m.fetch_enabled(tid);
+                    m.set_fetch_enabled(tid, !on);
+                }
+            }
+        }
+        if plan.reversed {
+            let mut chooser = FnChooser(|cycle, views: &mut Vec<_>| {
+                RoundRobin.prioritize(cycle, views);
+                views.reverse();
+            });
+            m.run(plan.cycles, &mut chooser);
+        } else {
+            m.run(plan.cycles, &mut RoundRobin);
+        }
+    }
+
+    fn observe(&mut self, m: &SmtMachine) -> ChurnBoundary {
+        // Clog-control analogue: gate one thread, direction by parity.
+        let n = m.n_threads() as u64;
+        let t = ((m.cycle() / 7) % n) as u8;
+        let on = (m.total_committed() + self.parity).is_multiple_of(2);
+        ChurnBoundary {
+            toggles: vec![(t, on)],
+        }
+    }
+
+    fn apply_boundary(b: &ChurnBoundary, m: &mut SmtMachine) {
+        for &(t, on) in &b.toggles {
+            m.set_fetch_enabled(Tid(t), on);
+        }
+    }
+}
+
+/// Per-cell parameters drawn by proptest (the cell itself is stateful, so
+/// the batch and scalar paths each construct their own instance from
+/// these).
+#[derive(Clone, Debug)]
+struct CellParams {
+    threshold: u64,
+    parity: u64,
+    script: Vec<Vec<ChurnOp>>,
+}
+
+fn make_cell(p: &CellParams) -> ChurnCell {
+    ChurnCell {
+        threshold: p.threshold,
+        parity: p.parity,
+        script: p.script.clone(),
+        q: 0,
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = ChurnOp> {
+    (0u8..3, 0u8..8, 0u64..1_000).prop_map(|(kind, t, salt)| match kind {
+        0 => ChurnOp::Flush(t),
+        1 => ChurnOp::Replace(t, salt),
+        _ => ChurnOp::Toggle(t),
+    })
+}
+
+fn cell_params() -> impl Strategy<Value = CellParams> {
+    (
+        0u64..98,
+        0u64..2,
+        prop::collection::vec(prop::collection::vec(op_strategy(), 0..3), 0..6),
+    )
+        .prop_map(|(threshold, parity, script)| CellParams {
+            threshold,
+            parity,
+            script,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// The ISSUE's pinning property: random machine, random cells (random
+    /// thresholds, parities and churn scripts) — after every quantum every
+    /// batched cell's machine is bit-identical to its scalar twin.
+    #[test]
+    fn batched_cells_are_bit_identical_to_scalar_after_every_quantum(
+        n in 1usize..5,
+        seed in 0u64..1_000,
+        warm in 0u64..400,
+        quanta in 1usize..6,
+        params in prop::collection::vec(cell_params(), 1..5),
+    ) {
+        let mut base = test_machine(n, seed);
+        base.run(warm, &mut RoundRobin);
+
+        let k = params.len();
+        let mut scalar_cells: Vec<ChurnCell> = params.iter().map(make_cell).collect();
+        let mut scalar_ms: Vec<SmtMachine> = (0..k).map(|_| base.clone()).collect();
+        let mut batch = MachineBatch::new(base, params.iter().map(make_cell).collect());
+
+        for q in 0..quanta {
+            batch.run_quantum();
+            for i in 0..k {
+                run_scalar_quantum(&mut scalar_cells[i], &mut scalar_ms[i]);
+                prop_assert_eq!(
+                    scalar_ms[i].counter_snapshot(),
+                    batch.machine_for(i).counter_snapshot(),
+                    "cell {} counters diverged at quantum {}", i, q
+                );
+                prop_assert_eq!(
+                    MachineSnapshot::capture(&scalar_ms[i]).to_bytes(),
+                    MachineSnapshot::capture(batch.machine_for(i)).to_bytes(),
+                    "cell {} machine state diverged at quantum {}", i, q
+                );
+            }
+        }
+        // Accounting sanity: every cell advanced every quantum, on no more
+        // machines than cells.
+        let stats = batch.stats();
+        prop_assert_eq!(stats.cell_quanta, (k * quanta) as u64);
+        prop_assert!(stats.machine_quanta <= stats.cell_quanta);
+    }
+
+    /// Identical cells never fork: the batch must run the whole quantum
+    /// sequence on exactly one machine, and still match scalar stepping.
+    #[test]
+    fn identical_cells_share_one_machine(
+        n in 1usize..4,
+        seed in 0u64..1_000,
+        quanta in 1usize..5,
+        k in 2usize..5,
+        p in cell_params(),
+    ) {
+        let base = test_machine(n, seed);
+        let mut scalar_cell = make_cell(&p);
+        let mut scalar_m = base.clone();
+        let mut batch = MachineBatch::new(base, (0..k).map(|_| make_cell(&p)).collect());
+        for _ in 0..quanta {
+            batch.run_quantum();
+            run_scalar_quantum(&mut scalar_cell, &mut scalar_m);
+        }
+        let stats = batch.stats();
+        prop_assert_eq!(batch.n_groups(), 1);
+        prop_assert_eq!(stats.machine_quanta, quanta as u64);
+        prop_assert_eq!(stats.plan_forks + stats.boundary_forks, 0);
+        for i in 0..k {
+            prop_assert_eq!(
+                MachineSnapshot::capture(&scalar_m).to_bytes(),
+                MachineSnapshot::capture(batch.machine_for(i)).to_bytes(),
+                "shared-machine cell {} diverged from scalar", i
+            );
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Golden *batch* conformance suite.
+//!
+//! Replays every committed golden fixture through the lockstep batch
+//! engine: each canonical (mix, threads) point becomes one
+//! [`MachineBatch`] whose cells are the ten fixed fetch policies (plus,
+//! on MIX01 t8, the pinned ADTS point), all sharing one seed-42 machine.
+//! The recorded observables must reproduce the committed fixture bytes
+//! **exactly** — the same bytes `golden_trace.rs` pins for scalar
+//! stepping, so batched and scalar stepping can never drift apart without
+//! a test naming the divergence.
+//!
+//! This suite never blesses; fixtures are owned by `golden_trace.rs`. On
+//! divergence the shared semantic differ reports the offending cell (the
+//! policy) and the first divergent quantum.
+
+#[path = "golden_common/mod.rs"]
+mod golden_common;
+
+use golden_common::{
+    adaptive_fixture_path, bless_requested, canonical_points, compare_adaptive, compare_traces,
+    fixture_path, mix_for, AdaptiveGolden, GoldenTrace, PolicyTrace, QUANTA, QUANTUM_CYCLES,
+    SCHEMA, SEED,
+};
+use smt_adts::prelude::*;
+use smt_sim::MachineBatch;
+
+/// The pinned ADTS configuration of the adaptive golden point.
+fn adaptive_cfg() -> adts::AdtsConfig {
+    adts::AdtsConfig {
+        quantum_cycles: QUANTUM_CYCLES,
+        ipc_threshold: 8.0,
+        ..adts::AdtsConfig::default()
+    }
+}
+
+fn policy_trace(
+    policy: FetchPolicy,
+    series: &RunSeries,
+    finals: smt_sim::CounterSnapshot,
+) -> PolicyTrace {
+    PolicyTrace {
+        policy: policy.name().to_string(),
+        quantum_cycles: series.quanta.iter().map(|q| q.cycles).collect(),
+        quantum_committed: series.quanta.iter().map(|q| q.committed).collect(),
+        quantum_ipc_milli: series
+            .quanta
+            .iter()
+            .map(|q| q.committed.saturating_mul(1000) / q.cycles.max(1))
+            .collect(),
+        final_counters: finals,
+    }
+}
+
+/// Record one canonical point with every policy as a cell of a single
+/// lockstep batch. On MIX01 t8 the pinned adaptive point rides along as an
+/// extra cell of the same batch, and its golden record is returned too.
+fn record_batched(mix_id: usize, threads: usize) -> (GoldenTrace, Option<AdaptiveGolden>) {
+    let mix = mix_for(mix_id, threads);
+    let machine = adts::machine_for_mix(&mix, SEED);
+    let n = machine.n_threads();
+    let mut cells: Vec<adts::PointCell> = FetchPolicy::ALL
+        .iter()
+        .map(|&p| adts::PointCell::fixed(p, QUANTUM_CYCLES))
+        .collect();
+    let with_adaptive = (mix_id, threads) == (1, 8);
+    if with_adaptive {
+        cells.push(adts::PointCell::adaptive(adaptive_cfg(), n));
+    }
+    let mut batch = MachineBatch::new(machine, cells);
+    for _ in 0..QUANTA {
+        batch.run_quantum();
+    }
+    let finals: Vec<smt_sim::CounterSnapshot> = (0..batch.n_cells())
+        .map(|i| {
+            let m = batch.machine_for(i);
+            m.check_invariants();
+            m.counter_snapshot()
+        })
+        .collect();
+    let mut series = batch
+        .into_cells()
+        .into_iter()
+        .map(adts::PointCell::into_series);
+
+    let policies = FetchPolicy::ALL
+        .iter()
+        .zip(finals.iter())
+        .map(|(&p, f)| policy_trace(p, &series.next().expect("fixed cell series"), f.clone()))
+        .collect();
+    let trace = GoldenTrace {
+        schema: SCHEMA,
+        mix: mix.name.clone(),
+        threads,
+        seed: SEED,
+        quanta: QUANTA,
+        quantum_cycles: QUANTUM_CYCLES,
+        policies,
+    };
+
+    let adaptive = with_adaptive.then(|| {
+        let s = series.next().expect("adaptive cell series");
+        let cfg = adaptive_cfg();
+        AdaptiveGolden {
+            schema: SCHEMA,
+            mix: mix.name.clone(),
+            threads,
+            seed: SEED,
+            quanta: QUANTA,
+            quantum_cycles: QUANTUM_CYCLES,
+            ipc_threshold_milli: (cfg.ipc_threshold * 1000.0) as u64,
+            heuristic: cfg.heuristic.name().to_string(),
+            quantum_policy: s.quanta.iter().map(|q| q.policy.clone()).collect(),
+            quantum_committed: s.quanta.iter().map(|q| q.committed).collect(),
+            quantum_ipc_milli: s
+                .quanta
+                .iter()
+                .map(|q| q.committed.saturating_mul(1000) / q.cycles.max(1))
+                .collect(),
+            switch_quantum: s.switches.iter().map(|sw| sw.quantum).collect(),
+            switch_from: s.switches.iter().map(|sw| sw.from.clone()).collect(),
+            switch_to: s.switches.iter().map(|sw| sw.to.clone()).collect(),
+            final_counters: finals.last().expect("adaptive finals").clone(),
+        }
+    });
+    (trace, adaptive)
+}
+
+fn check_batched(mix_id: usize, threads: usize) {
+    if bless_requested() {
+        return; // fixtures are owned (and possibly mid-refresh) by golden_trace
+    }
+    let path = fixture_path(mix_id, threads);
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); generate with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    let (trace, adaptive) = record_batched(mix_id, threads);
+    let fresh = serde::json::to_string(&trace);
+    if fresh != committed {
+        let old: GoldenTrace = serde::json::from_str(&committed).expect("parse committed fixture");
+        match compare_traces(&old, &trace) {
+            Err(msg) => panic!(
+                "batched replay of golden fixture {}: {msg}\n\
+                 the offending cell is the named policy; scalar stepping \
+                 (golden_trace) passing while this fails means the batch \
+                 engine diverged",
+                path.display()
+            ),
+            Ok(()) => panic!(
+                "batched replay of {} is semantically equal but not \
+                 byte-identical; the JSON serializer lost canonical formatting",
+                path.display()
+            ),
+        }
+    }
+    let Some(adaptive) = adaptive else { return };
+    let path = adaptive_fixture_path();
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing adaptive golden fixture {} ({e})", path.display()));
+    let fresh = serde::json::to_string(&adaptive);
+    if fresh != committed {
+        let old: AdaptiveGolden =
+            serde::json::from_str(&committed).expect("parse committed fixture");
+        match compare_adaptive(&old, &adaptive, &[]) {
+            Err(msg) => panic!(
+                "batched replay of adaptive golden fixture {}: {msg}\n\
+                 the offending cell is the ADTS point",
+                path.display()
+            ),
+            Ok(()) => panic!(
+                "batched replay of {} is semantically equal but not \
+                 byte-identical; the JSON serializer lost canonical formatting",
+                path.display()
+            ),
+        }
+    }
+}
+
+#[test]
+fn batched_golden_mix01_t8_with_adaptive_cell() {
+    check_batched(1, 8);
+}
+
+#[test]
+fn batched_golden_mix09_t8() {
+    check_batched(9, 8);
+}
+
+#[test]
+fn batched_golden_mix13_t8() {
+    check_batched(13, 8);
+}
+
+#[test]
+fn batched_golden_mix01_t4() {
+    check_batched(1, 4);
+}
+
+#[test]
+fn batched_golden_mix01_t2() {
+    check_batched(1, 2);
+}
+
+#[test]
+fn batched_golden_mix05_t4() {
+    check_batched(5, 4);
+}
+
+#[test]
+fn batched_golden_mix09_t2() {
+    check_batched(9, 2);
+}
+
+/// The batched suite must cover exactly the scalar suite's canonical
+/// points (one test above per entry); this meta-test catches drift.
+#[test]
+fn batched_suite_covers_all_canonical_points() {
+    assert_eq!(
+        canonical_points(),
+        vec![(1, 8), (9, 8), (13, 8), (1, 4), (1, 2), (5, 4), (9, 2)],
+        "canonical point list changed; add/remove batched_golden_* tests to match"
+    );
+}

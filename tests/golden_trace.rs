@@ -22,61 +22,15 @@
 //! values, so formatting drift in the serializer is caught too (the sweep
 //! cache's content addressing depends on the same byte stability).
 
-use serde::{Deserialize, Serialize};
+#[path = "golden_common/mod.rs"]
+mod golden_common;
+
+use golden_common::{
+    adaptive_fixture_path, bless_requested, canonical_points, compare_adaptive, compare_traces,
+    fixture_path, mix_for, AdaptiveGolden, GoldenTrace, PolicyTrace, QUANTA, QUANTUM_CYCLES,
+    SCHEMA, SEED,
+};
 use smt_adts::prelude::*;
-use smt_sim::CounterSnapshot;
-use std::path::PathBuf;
-
-const QUANTA: u64 = 16;
-const QUANTUM_CYCLES: u64 = 4096;
-const SEED: u64 = 42;
-/// Bump only alongside an intended fixture refresh.
-const SCHEMA: u32 = 1;
-
-/// One policy's pinned observables for a mix.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-struct PolicyTrace {
-    policy: String,
-    /// Per-quantum cycle counts (constant here, but pinned anyway).
-    quantum_cycles: Vec<u64>,
-    /// Per-quantum committed micro-ops.
-    quantum_committed: Vec<u64>,
-    /// Per-quantum IPC in milli-instructions-per-cycle (integer so the
-    /// fixture is exact regardless of float formatting).
-    quantum_ipc_milli: Vec<u64>,
-    /// Every thread's full counter state after the last quantum.
-    final_counters: CounterSnapshot,
-}
-
-/// The whole fixture for one (mix, thread-count) point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-struct GoldenTrace {
-    schema: u32,
-    mix: String,
-    threads: usize,
-    seed: u64,
-    quanta: u64,
-    quantum_cycles: u64,
-    policies: Vec<PolicyTrace>,
-}
-
-/// The canonical points: the three paper-representative 8-thread mixes
-/// (baseline MIX01, the §1 motivating MIX09, homogeneous MIX13), the
-/// 4- and 2-thread reductions of MIX01 used by the perf baseline, and two
-/// cross-checks off the MIX01 axis (memory-heavy MIX05 at 4 threads,
-/// MIX09 at 2) so reduced-thread behavior is pinned on more than one mix.
-fn canonical_points() -> Vec<(usize, usize)> {
-    vec![(1, 8), (9, 8), (13, 8), (1, 4), (1, 2), (5, 4), (9, 2)]
-}
-
-fn mix_for(id: usize, threads: usize) -> Mix {
-    let m = workloads::mix(id);
-    if threads == m.apps.len() {
-        m
-    } else {
-        m.take_threads(threads, 7)
-    }
-}
 
 fn record_trace(mix_id: usize, threads: usize) -> GoldenTrace {
     record_trace_with(mix_id, threads, false)
@@ -123,82 +77,6 @@ fn record_trace_with(mix_id: usize, threads: usize, traced: bool) -> GoldenTrace
         quantum_cycles: QUANTUM_CYCLES,
         policies,
     }
-}
-
-fn fixture_path(mix_id: usize, threads: usize) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests/golden")
-        .join(format!("mix{mix_id:02}_t{threads}.json"))
-}
-
-fn bless_requested() -> bool {
-    std::env::var("SMT_GOLDEN_BLESS")
-        .map(|v| v == "1")
-        .unwrap_or(false)
-}
-
-/// Locate the first differing quantum in a pinned per-quantum series.
-fn first_vec_diff(
-    what: &str,
-    old: &[u64],
-    new: &[u64],
-    policy: &str,
-    trace: &GoldenTrace,
-) -> Option<String> {
-    if old == new {
-        return None;
-    }
-    let at = format!("for {} on {} (t{})", policy, trace.mix, trace.threads);
-    Some(match old.iter().zip(new).position(|(a, b)| a != b) {
-        Some(i) => format!(
-            "{what} diverged {at}: quantum {i}: fixture {} vs fresh {}",
-            old[i], new[i]
-        ),
-        None => format!(
-            "{what} diverged {at}: length {} vs {}",
-            old.len(),
-            new.len()
-        ),
-    })
-}
-
-/// Semantic comparison of committed fixture vs fresh recording, naming the
-/// first divergence so the failure report is actionable. `Ok(())` iff the
-/// decoded structures are equal.
-fn compare_traces(old: &GoldenTrace, new: &GoldenTrace) -> Result<(), String> {
-    if old == new {
-        return Ok(());
-    }
-    for (op, np) in old.policies.iter().zip(&new.policies) {
-        if let Some(msg) = first_vec_diff(
-            "per-quantum IPC",
-            &op.quantum_ipc_milli,
-            &np.quantum_ipc_milli,
-            &np.policy,
-            new,
-        ) {
-            return Err(msg);
-        }
-        if let Some(msg) = first_vec_diff(
-            "per-quantum commits",
-            &op.quantum_committed,
-            &np.quantum_committed,
-            &np.policy,
-            new,
-        ) {
-            return Err(msg);
-        }
-        if op.final_counters != np.final_counters {
-            return Err(format!(
-                "final counters diverged for {} on {} (t{})",
-                np.policy, new.mix, new.threads
-            ));
-        }
-    }
-    Err(format!(
-        "golden trace structure diverged for {} (t{})",
-        new.mix, new.threads
-    ))
 }
 
 fn check_point(mix_id: usize, threads: usize) {
@@ -345,31 +223,6 @@ fn golden_fixture_set_is_complete() {
 // conformance debugging.
 // ---------------------------------------------------------------------------
 
-/// The pinned observables of the adaptive point.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
-struct AdaptiveGolden {
-    schema: u32,
-    mix: String,
-    threads: usize,
-    seed: u64,
-    quanta: u64,
-    quantum_cycles: u64,
-    /// Threshold m in milli-IPC (integer so the fixture is exact).
-    ipc_threshold_milli: u64,
-    heuristic: String,
-    quantum_policy: Vec<String>,
-    quantum_committed: Vec<u64>,
-    quantum_ipc_milli: Vec<u64>,
-    switch_quantum: Vec<u64>,
-    switch_from: Vec<String>,
-    switch_to: Vec<String>,
-    final_counters: CounterSnapshot,
-}
-
-fn adaptive_fixture_path() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mix01_t8_adts.json")
-}
-
 fn record_adaptive() -> (AdaptiveGolden, Vec<adts::DecisionRecord>) {
     let mix = mix_for(1, 8);
     let mut machine = adts::machine_for_mix(&mix, SEED);
@@ -407,93 +260,6 @@ fn record_adaptive() -> (AdaptiveGolden, Vec<adts::DecisionRecord>) {
         final_counters,
     };
     (golden, audit.iter().cloned().collect())
-}
-
-/// Decision audit for quantum `i`, as a one-line JSON suffix for failure
-/// messages (the audit explains *why* the fresh run scheduled what it did).
-fn audit_suffix(audit: &[adts::DecisionRecord], quantum: usize) -> String {
-    match audit.get(quantum) {
-        Some(rec) => format!(
-            "\nfirst divergent quantum's decision audit: {}",
-            serde::json::to_string(rec)
-        ),
-        None => String::new(),
-    }
-}
-
-/// Compare the committed adaptive fixture against a fresh recording,
-/// attaching the decision-audit record of the first divergent quantum.
-fn compare_adaptive(
-    old: &AdaptiveGolden,
-    new: &AdaptiveGolden,
-    audit: &[adts::DecisionRecord],
-) -> Result<(), String> {
-    if old == new {
-        return Ok(());
-    }
-    fn first_diff<T: PartialEq + std::fmt::Debug>(
-        what: &str,
-        old: &[T],
-        new: &[T],
-    ) -> Option<(usize, String)> {
-        if old == new {
-            return None;
-        }
-        Some(match old.iter().zip(new).position(|(a, b)| a != b) {
-            Some(i) => (
-                i,
-                format!(
-                    "{what} diverged at quantum {i}: fixture {:?} vs fresh {:?}",
-                    old[i], new[i]
-                ),
-            ),
-            None => (
-                old.len().min(new.len()),
-                format!("{what} diverged: length {} vs {}", old.len(), new.len()),
-            ),
-        })
-    }
-    for (what, o, n) in [
-        (
-            "per-quantum policy",
-            &old.quantum_policy,
-            &new.quantum_policy,
-        ),
-        ("switch-from", &old.switch_from, &new.switch_from),
-        ("switch-to", &old.switch_to, &new.switch_to),
-    ] {
-        if let Some((i, msg)) = first_diff(what, o, n) {
-            // Switch vectors index switches, not quanta: map back through
-            // the switch's quantum where possible.
-            let q = if what == "per-quantum policy" {
-                i
-            } else {
-                new.switch_quantum.get(i).copied().unwrap_or(i as u64) as usize
-            };
-            return Err(format!("{msg}{}", audit_suffix(audit, q)));
-        }
-    }
-    for (what, o, n) in [
-        (
-            "per-quantum commits",
-            &old.quantum_committed,
-            &new.quantum_committed,
-        ),
-        (
-            "per-quantum IPC",
-            &old.quantum_ipc_milli,
-            &new.quantum_ipc_milli,
-        ),
-        ("switch quantum", &old.switch_quantum, &new.switch_quantum),
-    ] {
-        if let Some((i, msg)) = first_diff(what, o, n) {
-            return Err(format!("{msg}{}", audit_suffix(audit, i)));
-        }
-    }
-    if old.final_counters != new.final_counters {
-        return Err("adaptive final counters diverged".to_string());
-    }
-    Err("adaptive golden structure diverged".to_string())
 }
 
 #[test]
