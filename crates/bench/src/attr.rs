@@ -274,8 +274,23 @@ pub fn explain_fixed(
     p: &ExpParams,
     opts: &AttrOptions,
 ) -> std::io::Result<AttrArtifacts> {
+    explain_warmed(warmed_machine(mix, p), &mix.name, policy, p, opts)
+}
+
+/// Fixed-policy explain pass over an already-warmed machine with an
+/// explicit point name — the shared core of [`explain_fixed`] and the
+/// trace-backed explain pass (`tracebench`), which build their machines
+/// differently but attribute identically. Artifacts land under
+/// `<name>_<policy>` (lowercased), matching the historical
+/// [`explain_fixed`] slugs.
+pub fn explain_warmed(
+    mut machine: smt_sim::SmtMachine,
+    name: &str,
+    policy: FetchPolicy,
+    p: &ExpParams,
+    opts: &AttrOptions,
+) -> std::io::Result<AttrArtifacts> {
     let t0 = Instant::now();
-    let mut machine = warmed_machine(mix, p);
     machine.enable_attr();
     let mut snaps: Vec<AttrSnapshot> = Vec::with_capacity(p.quanta as usize);
     let series = run_fixed_sampled(
@@ -290,17 +305,21 @@ pub fn explain_fixed(
     let attr = machine
         .disable_attr()
         .expect("explain pass ran without attribution enabled");
-    let s = slug(mix, policy.name());
+    let s = format!(
+        "{}_{}",
+        name.to_ascii_lowercase(),
+        policy.name().to_ascii_lowercase()
+    );
     let title = format!(
         "CPI stack — {} under {} ({} quanta x {} cycles)",
-        mix.name,
+        name,
         policy.name(),
         p.quanta,
         p.quantum_cycles
     );
     let art = write_attr_artifacts(&attr.snapshot(), &snaps, &[], &opts.out_dir, &s, &title)?;
     log_pass(
-        &format!("{}/{}", mix.name, policy.name()),
+        &format!("{}/{}", name, policy.name()),
         &series,
         t0.elapsed().as_secs_f64() * 1e3,
     );

@@ -17,8 +17,8 @@
 
 use adts_core::CondThresholds;
 use smt_bench::{
-    fixed_series, parallel::par_map, sweep, BatchCli, CkptCli, ExpParams, InstrumentCli,
-    BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
+    fixed_series, parallel::par_map, sweep, tracebench, BatchCli, CkptCli, ExpParams,
+    InstrumentCli, TraceCli, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
 };
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
@@ -31,24 +31,40 @@ fn main() {
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
+    let mut trace = TraceCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
             "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
-            flag => match instrument.accept(flag, &mut args).and_then(|hit| {
-                if hit {
-                    Ok(true)
-                } else {
-                    ckpt.accept(flag, &mut args)
-                }
-            }) {
+            flag => match instrument
+                .accept(flag, &mut args)
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        ckpt.accept(flag, &mut args)
+                    }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        batch.accept(flag, &mut args)
+                    }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        trace.accept(flag, &mut args)
+                    }
+                }) {
                 Ok(true) => {}
-                Ok(false) if batch.accept(flag, &mut args).unwrap_or(false) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, --jobs N, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -75,6 +91,16 @@ fn main() {
         quantum_cycles: 8192,
         mix_ids: (1..=MIX_COUNT).collect(),
     };
+    // Standalone trace pass (capture/replay the calibration mixes) — the
+    // shared plumbing every binary routes these flags through.
+    match tracebench::run_cli(&trace, &p, &instrument.attr) {
+        Ok(false) => {}
+        Ok(true) => return,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     sweep::engine().begin_scope("calibrate");
     let per_mix = par_map(p.mixes(), |mix| fixed_series(mix, FetchPolicy::Icount, &p));
     let (mut l1, mut lsq, mut mis, mut br, mut ipc) =

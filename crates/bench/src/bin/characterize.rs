@@ -18,7 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 use smt_bench::{
-    sweep, BatchCli, CkptCli, ExpParams, InstrumentCli, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
+    sweep, tracebench, BatchCli, CkptCli, ExpParams, InstrumentCli, TraceCli, BATCH_USAGE,
+    CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
 };
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
@@ -72,23 +73,39 @@ fn main() {
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
+    let mut trace = TraceCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
-            flag => match instrument.accept(flag, &mut args).and_then(|hit| {
-                if hit {
-                    Ok(true)
-                } else {
-                    ckpt.accept(flag, &mut args)
-                }
-            }) {
+            flag => match instrument
+                .accept(flag, &mut args)
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        ckpt.accept(flag, &mut args)
+                    }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        batch.accept(flag, &mut args)
+                    }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        trace.accept(flag, &mut args)
+                    }
+                }) {
                 Ok(true) => {}
-                Ok(false) if batch.accept(flag, &mut args).unwrap_or(false) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -108,6 +125,16 @@ fn main() {
     // the warm pool, so the checkpoint flags apply here too.
     ckpt.apply();
     batch.apply();
+    // Standalone trace pass — characterize has no mix protocol of its
+    // own, so trace capture/replay runs at the standard experiment scale.
+    match tracebench::run_cli(&trace, &ExpParams::standard(), &instrument.attr) {
+        Ok(false) => {}
+        Ok(true) => return,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     // Long enough to span several full phase cycles (storm + quiet), so
     // the row is the app's *average* character, not one phase's.
     let warm = 100_000u64;

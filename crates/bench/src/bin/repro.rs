@@ -46,6 +46,11 @@
 //!   --batch           step sweep points as lockstep batches (the default;
 //!                     bit-identical to scalar stepping per point)
 //!   --no-batch        force the scalar per-point stepping path
+//!   --capture-trace FILE  record the configured mixes' synthetic runs to
+//!                     SMTTRACE files (standalone: skips the experiments)
+//!   --trace FILE      replay a captured trace through the trace-backed
+//!                     threshold×type sweep (with --attr: plus a replayed
+//!                     CPI-stack explain pass)
 //!   --all             shorthand for the `all` experiment selector
 //!
 //! Perf-baseline mode (exclusive with experiments):
@@ -80,8 +85,8 @@
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
     ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
-    threshold_type_sweep, BatchCli, CkptCli, ExpParams, InstrumentCli, BATCH_USAGE, CKPT_USAGE,
-    INSTRUMENT_USAGE,
+    threshold_type_sweep, tracebench, BatchCli, CkptCli, ExpParams, InstrumentCli, TraceCli,
+    BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -99,6 +104,7 @@ struct Cli {
     instrument: InstrumentCli,
     ckpt: CkptCli,
     batch: BatchCli,
+    trace: TraceCli,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
@@ -123,6 +129,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
+    let mut trace = TraceCli::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
@@ -154,6 +161,7 @@ fn parse_args() -> Result<Cli, String> {
             flag if instrument.accept(flag, &mut args)? => {}
             flag if ckpt.accept(flag, &mut args)? => {}
             flag if batch.accept(flag, &mut args)? => {}
+            flag if trace.accept(flag, &mut args)? => {}
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -222,7 +230,7 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if experiments.is_empty() && !bench && !bench_sweep && !bench_batch {
+    if experiments.is_empty() && !bench && !bench_sweep && !bench_batch && !trace.active() {
         experiments.push("help".to_string());
     }
     Ok(Cli {
@@ -237,6 +245,7 @@ fn parse_args() -> Result<Cli, String> {
         instrument,
         ckpt,
         batch,
+        trace,
         bench,
         quick,
         bench_out,
@@ -471,6 +480,7 @@ fn main() {
         println!("             {INSTRUMENT_USAGE}");
         println!("             {CKPT_USAGE}");
         println!("             {BATCH_USAGE}");
+        println!("             {TRACE_USAGE}");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("       repro --bench-sweep [--quick] [--bench-sweep-out PATH]");
         println!("                           [--check-sweep-baseline PATH]");
@@ -492,6 +502,17 @@ fn main() {
     cli.ckpt.apply();
     cli.batch.apply();
     let t0 = Instant::now();
+    match tracebench::run_cli(&cli.trace, p, &cli.instrument.attr) {
+        Ok(false) => {}
+        Ok(true) => {
+            eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
+            return;
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
     println!(
         "# repro: seed={} quanta={} quantum={} mixes={:?} jobs={} cache={}\n",
         p.seed,

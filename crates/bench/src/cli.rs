@@ -30,6 +30,51 @@ pub const CKPT_USAGE: &str = "[--no-ckpt] [--ckpt-dir DIR]";
 /// Usage fragment for the batched-sweep flags shared by every binary.
 pub const BATCH_USAGE: &str = "[--batch] [--no-batch]";
 
+/// Usage fragment for the trace capture/replay flags shared by every
+/// binary.
+pub const TRACE_USAGE: &str = "[--capture-trace FILE] [--trace FILE]";
+
+/// The trace-frontend flags (`--capture-trace`, `--trace`) shared by
+/// every experiment binary. Either flag switches the binary into a
+/// standalone trace pass (run by [`crate::tracebench::run_cli`]) instead
+/// of its normal experiments: `--capture-trace` records the configured
+/// synthetic runs to `SMTTRACE` files, `--trace` replays a recorded file
+/// through the trace-backed sweep (and `--attr` explain, if requested).
+#[derive(Clone, Debug, Default)]
+pub struct TraceCli {
+    /// `--capture-trace FILE`: capture destination.
+    pub capture: Option<PathBuf>,
+    /// `--trace FILE`: trace to replay.
+    pub replay: Option<PathBuf>,
+}
+
+impl TraceCli {
+    /// Same contract as [`InstrumentCli::accept`].
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--capture-trace" => {
+                self.capture = Some(PathBuf::from(
+                    args.next().ok_or("--capture-trace needs a value")?,
+                ));
+            }
+            "--trace" => {
+                self.replay = Some(PathBuf::from(args.next().ok_or("--trace needs a value")?));
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Was a trace pass requested at all?
+    pub fn active(&self) -> bool {
+        self.capture.is_some() || self.replay.is_some()
+    }
+}
+
 /// The batched-sweep flags (`--batch`/`--no-batch`) shared by every
 /// experiment binary. Batched lockstep stepping is on by default — it is
 /// bit-identical to scalar stepping per point — and `--no-batch` is the
@@ -261,6 +306,30 @@ mod tests {
         // Last flag wins, so `--no-batch --batch` re-enables.
         assert!(parse_batch(&["--no-batch", "--batch"]).unwrap().enabled);
         assert!(parse_batch(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_trace(tokens: &[&str]) -> Result<TraceCli, String> {
+        let mut cli = TraceCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn trace_flags_parse_and_validate() {
+        assert!(!parse_trace(&[]).unwrap().active());
+        let cli =
+            parse_trace(&["--capture-trace", "out.smttrace", "--trace", "in.smttrace"]).unwrap();
+        assert!(cli.active());
+        assert_eq!(cli.capture, Some(PathBuf::from("out.smttrace")));
+        assert_eq!(cli.replay, Some(PathBuf::from("in.smttrace")));
+        assert!(parse_trace(&["--capture-trace"]).is_err());
+        assert!(parse_trace(&["--trace"]).is_err());
+        assert!(parse_trace(&["--frobnicate"]).is_err());
     }
 
     #[test]

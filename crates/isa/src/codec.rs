@@ -161,6 +161,26 @@ impl ByteWriter {
     pub fn str(&mut self, s: &str) {
         self.bytes(s.as_bytes());
     }
+
+    /// LEB128 unsigned varint: 7 value bits per byte, high bit = continue.
+    /// The trace codec's workhorse — small deltas cost one byte.
+    pub fn varu64(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7F) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                return;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+
+    /// Zigzag-mapped signed varint (`0 → 0, -1 → 1, 1 → 2, …`), so small
+    /// deltas of either sign stay short.
+    pub fn vari64(&mut self, v: i64) {
+        self.varu64(((v << 1) ^ (v >> 63)) as u64);
+    }
 }
 
 /// Cursor over a byte slice; every read is bounds-checked.
@@ -241,6 +261,30 @@ impl<'a> ByteReader<'a> {
     pub fn str(&mut self) -> Result<&'a str, CodecError> {
         std::str::from_utf8(self.bytes()?)
             .map_err(|e| CodecError::Invalid(format!("bad utf-8: {e}")))
+    }
+
+    /// LEB128 unsigned varint (see [`ByteWriter::varu64`]). Rejects
+    /// encodings longer than 10 bytes or overflowing 64 bits.
+    pub fn varu64(&mut self) -> Result<u64, CodecError> {
+        let mut v: u64 = 0;
+        for shift in (0..64).step_by(7) {
+            let byte = self.u8()?;
+            let bits = (byte & 0x7F) as u64;
+            if shift == 63 && bits > 1 {
+                return Err(CodecError::Invalid("varint overflows u64".into()));
+            }
+            v |= bits << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Invalid("varint longer than 10 bytes".into()))
+    }
+
+    /// Zigzag-mapped signed varint (see [`ByteWriter::vari64`]).
+    pub fn vari64(&mut self) -> Result<i64, CodecError> {
+        let z = self.varu64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
     }
 
     /// Assert the reader is fully consumed (top-level decodes call this).
@@ -656,6 +700,51 @@ mod tests {
         assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
         // And "a" is a published test vector.
         assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn varints_roundtrip_across_magnitudes() {
+        let mut w = ByteWriter::new();
+        let us = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let is = [0i64, 1, -1, 63, -64, 64, i64::MAX, i64::MIN];
+        for &v in &us {
+            w.varu64(v);
+        }
+        for &v in &is {
+            w.vari64(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        for &v in &us {
+            assert_eq!(r.varu64().unwrap(), v);
+        }
+        for &v in &is {
+            assert_eq!(r.vari64().unwrap(), v);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn varint_small_values_are_one_byte() {
+        let mut w = ByteWriter::new();
+        w.varu64(100);
+        w.vari64(-50);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn varint_overflow_and_truncation_are_errors() {
+        // 11 continuation bytes: longer than any valid u64 encoding.
+        let mut r = ByteReader::new(&[0x80; 11]);
+        assert!(r.varu64().is_err());
+        // 10th byte carries more than the single remaining bit.
+        let mut bytes = vec![0x80u8; 9];
+        bytes.push(0x02);
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.varu64().is_err());
+        // Truncated mid-varint.
+        let mut r = ByteReader::new(&[0x80]);
+        assert!(matches!(r.varu64(), Err(CodecError::Truncated { .. })));
     }
 
     #[test]

@@ -17,6 +17,7 @@ pub mod codec;
 pub mod profile;
 pub mod regs;
 pub mod thread;
+pub mod tracefile;
 pub mod uop;
 
 pub use profile::{AppClass, AppProfile, FootprintClass, IpcClass, Phase};

@@ -1,0 +1,776 @@
+//! The binary micro-op trace container (`.smttrace`).
+//!
+//! The workload layer's second `UopStream` backend replays *recorded*
+//! instruction traces instead of generating them statistically — the
+//! format of those recordings lives here, next to the [`MicroOp`] it
+//! serializes and the [`codec`] primitives it builds on. Design goals,
+//! in the tradition of the `"SMTCKPT\0"` snapshot container:
+//!
+//! - **Versioned, checksummed, fail-safe.** Magic + version up front, an
+//!   FNV-1a-64 checksum over every independently decodable region
+//!   (header, each chunk, the chunk index). Corrupt, truncated or
+//!   foreign bytes decode to a typed [`CodecError`], never a panic.
+//! - **Chunked and indexed.** Ops are grouped into fixed-size per-thread
+//!   chunks, each independently decodable (delta state resets at chunk
+//!   boundaries), with a trailing chunk index mapping
+//!   `(thread, op range) → file offset`. Fast-forwarding to op *k* of a
+//!   thread decodes only the chunks overlapping `k..`, so sampling a
+//!   SPEC-sized trace never pays a full linear decode. The layout is
+//!   mmap-friendly: all regions are located by absolute offsets, nothing
+//!   requires buffering the whole file to find anything.
+//! - **Compact.** Records are delta-encoded varints: program counters and
+//!   memory addresses are zigzag deltas against the previous op in the
+//!   chunk, register operands are single bytes, and per-kind flags make
+//!   absent fields free. Typical synthetic captures land around 6–8
+//!   bytes per op versus ~40 for the naive [`Codec`] encoding.
+//!
+//! File layout (all integers little-endian, `var*` = LEB128):
+//!
+//! ```text
+//! magic        [u8; 8] = b"SMTTRACE"
+//! version      u32     = TRACE_VERSION
+//! header_len   u64     byte count of header payload
+//! header       [u8]    TraceMeta (json leaf + marks), see encode_header
+//! header_fnv   u64     FNV-1a 64 of header payload
+//! chunk*                repeated:
+//!   tid        u8
+//!   first_idx  u64     index of the chunk's first op in its thread
+//!   n_ops      u32
+//!   body_len   u32
+//!   body       [u8]    delta-encoded ops (see encode_chunk_body)
+//!   body_fnv   u64     FNV-1a 64 of body
+//! index        [u8]    per chunk: tid u8 | first_idx u64 | n_ops u32 |
+//!                      offset u64 (of the chunk's tid byte)
+//! index_fnv    u64     FNV-1a 64 of index bytes
+//! index_off    u64     absolute offset of index
+//! index_len    u64     byte count of index
+//! ```
+//!
+//! The fixed-size trailer (`index_fnv | index_off | index_len`, 24 bytes)
+//! lets a reader locate the index without scanning the chunks.
+
+use crate::codec::{self, fnv1a_64, ByteReader, ByteWriter, Codec, CodecError};
+use crate::profile::AppProfile;
+use crate::uop::{BranchInfo, BranchKind, MemInfo, MicroOp, OpKind};
+
+/// Leading magic of every trace container.
+pub const TRACE_MAGIC: [u8; 8] = *b"SMTTRACE";
+
+/// Current trace format version. Bump on any layout change — old files
+/// then decode to [`CodecError::UnsupportedVersion`], never garbage.
+pub const TRACE_VERSION: u32 = 1;
+
+/// Ops per chunk. Small enough that fast-forward over-decodes at most a
+/// few KiB, large enough that per-chunk framing (25 bytes + index entry)
+/// is noise.
+pub const CHUNK_OPS: usize = 1024;
+
+/// Byte size of one chunk-index entry (`tid | first_idx | n_ops | offset`).
+const INDEX_ENTRY_BYTES: usize = 1 + 8 + 4 + 8;
+
+/// Byte size of the fixed trailer (`index_fnv | index_off | index_len`).
+const TRAILER_BYTES: usize = 24;
+
+/// Per-thread identity carried by a trace: everything the simulator needs
+/// to rebuild the thread's context around the replayed ops (the wrong-path
+/// generator reads the profile's working-set size and the address base).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceThreadMeta {
+    pub profile: AppProfile,
+    pub addr_base: u64,
+    /// Total recorded ops for this thread.
+    pub ops: u64,
+}
+
+/// Trace-wide metadata, stored in the checksummed header.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceMeta {
+    /// Human description of the capture ("MIX01x2 seed 42", a tool tag…).
+    pub source: String,
+    /// Seed of the synthetic run this trace was captured from (0 for
+    /// externally produced traces).
+    pub seed: u64,
+    /// Quantum length (cycles) of the capture run; 0 when unknown.
+    pub quantum_cycles: u64,
+    pub threads: Vec<TraceThreadMeta>,
+    /// Optional per-quantum consumption marks from the capture run:
+    /// `marks[q][t]` = cumulative ops thread `t` had consumed when
+    /// quantum `q` ended. This is what maps "fast-forward to quantum N"
+    /// onto per-thread op indices.
+    pub quantum_marks: Vec<Vec<u64>>,
+}
+
+impl TraceMeta {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.str(&self.source);
+        w.u64(self.seed);
+        w.u64(self.quantum_cycles);
+        w.usize(self.threads.len());
+        for t in &self.threads {
+            codec::encode_json(w, &t.profile);
+            w.u64(t.addr_base);
+            w.u64(t.ops);
+        }
+        self.quantum_marks.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader) -> Result<Self, CodecError> {
+        let source = r.str()?.to_string();
+        let seed = r.u64()?;
+        let quantum_cycles = r.u64()?;
+        let n = r.usize()?;
+        if n == 0 || n > crate::thread::MAX_HW_CONTEXTS {
+            return Err(CodecError::Invalid(format!(
+                "trace thread count {n} outside 1..={}",
+                crate::thread::MAX_HW_CONTEXTS
+            )));
+        }
+        let mut threads = Vec::with_capacity(n);
+        for _ in 0..n {
+            let profile: AppProfile = codec::decode_json(r)?;
+            profile
+                .validate()
+                .map_err(|e| CodecError::Invalid(format!("trace profile: {e}")))?;
+            threads.push(TraceThreadMeta {
+                profile,
+                addr_base: r.u64()?,
+                ops: r.u64()?,
+            });
+        }
+        let quantum_marks: Vec<Vec<u64>> = Vec::decode(r)?;
+        for (q, m) in quantum_marks.iter().enumerate() {
+            if m.len() != threads.len() {
+                return Err(CodecError::Invalid(format!(
+                    "quantum mark {q} has {} entries for {} threads",
+                    m.len(),
+                    threads.len()
+                )));
+            }
+        }
+        Ok(TraceMeta {
+            source,
+            seed,
+            quantum_cycles,
+            threads,
+            quantum_marks,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record codec: delta-encoded op sequences
+// ---------------------------------------------------------------------
+
+/// Pack `kind` (low nibble) and operand-presence flags (high nibble) into
+/// the record's lead byte. Mem/branch presence is implied by the kind.
+fn lead_byte(op: &MicroOp) -> u8 {
+    let kind = match op.kind {
+        OpKind::IntAlu => 0u8,
+        OpKind::IntMul => 1,
+        OpKind::IntDiv => 2,
+        OpKind::FpAlu => 3,
+        OpKind::FpMul => 4,
+        OpKind::FpDiv => 5,
+        OpKind::Load => 6,
+        OpKind::Store => 7,
+        OpKind::Branch => 8,
+        OpKind::Syscall => 9,
+        OpKind::Nop => 10,
+    };
+    kind | ((op.dst.is_some() as u8) << 4)
+        | ((op.src1.is_some() as u8) << 5)
+        | ((op.src2.is_some() as u8) << 6)
+}
+
+fn kind_of(lead: u8) -> Result<OpKind, CodecError> {
+    Ok(match lead & 0x0F {
+        0 => OpKind::IntAlu,
+        1 => OpKind::IntMul,
+        2 => OpKind::IntDiv,
+        3 => OpKind::FpAlu,
+        4 => OpKind::FpMul,
+        5 => OpKind::FpDiv,
+        6 => OpKind::Load,
+        7 => OpKind::Store,
+        8 => OpKind::Branch,
+        9 => OpKind::Syscall,
+        10 => OpKind::Nop,
+        t => {
+            return Err(CodecError::BadTag {
+                what: "trace OpKind",
+                tag: t as u64,
+            })
+        }
+    })
+}
+
+/// A register operand in one byte: class in bit 7, index below.
+fn reg_byte(r: crate::regs::ArchReg) -> u8 {
+    ((matches!(r.class, crate::regs::RegClass::Fp) as u8) << 7) | (r.idx & 0x7F)
+}
+
+fn reg_of(b: u8) -> Result<crate::regs::ArchReg, CodecError> {
+    let idx = b & 0x7F;
+    if idx >= crate::regs::NUM_ARCH_REGS_PER_CLASS {
+        return Err(CodecError::Invalid(format!(
+            "trace register index {idx} out of range"
+        )));
+    }
+    Ok(crate::regs::ArchReg {
+        class: if b & 0x80 != 0 {
+            crate::regs::RegClass::Fp
+        } else {
+            crate::regs::RegClass::Int
+        },
+        idx,
+    })
+}
+
+/// Delta-encode `ops` as one chunk body. The delta state (previous pc,
+/// previous data address) starts at zero so every chunk decodes
+/// independently of its predecessors.
+pub fn encode_chunk_body(ops: &[MicroOp]) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(ops.len() * 8);
+    let (mut prev_pc, mut prev_addr) = (0u64, 0u64);
+    for op in ops {
+        w.u8(lead_byte(op));
+        w.vari64(op.pc.wrapping_sub(prev_pc) as i64);
+        prev_pc = op.pc;
+        if let Some(d) = op.dst {
+            w.u8(reg_byte(d));
+        }
+        if let Some(s) = op.src1 {
+            w.u8(reg_byte(s));
+        }
+        if let Some(s) = op.src2 {
+            w.u8(reg_byte(s));
+        }
+        match op.kind {
+            OpKind::Load | OpKind::Store => {
+                let m = op.mem.expect("load/store op without mem info");
+                w.vari64(m.addr.wrapping_sub(prev_addr) as i64);
+                prev_addr = m.addr;
+                w.u8(m.size);
+            }
+            OpKind::Branch => {
+                let b = op.branch.expect("branch op without branch info");
+                let bk = match b.kind {
+                    BranchKind::Conditional => 0u8,
+                    BranchKind::Unconditional => 1,
+                    BranchKind::Call => 2,
+                    BranchKind::Return => 3,
+                };
+                w.u8(bk | ((b.taken as u8) << 2));
+                w.vari64(b.target.wrapping_sub(op.pc) as i64);
+            }
+            _ => {}
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decode a chunk body of exactly `n_ops` records. Fails (never panics)
+/// on truncation, bad tags, out-of-range registers or trailing bytes.
+pub fn decode_chunk_body(body: &[u8], n_ops: usize) -> Result<Vec<MicroOp>, CodecError> {
+    let mut r = ByteReader::new(body);
+    let mut ops = Vec::with_capacity(n_ops.min(body.len()));
+    let (mut prev_pc, mut prev_addr) = (0u64, 0u64);
+    for _ in 0..n_ops {
+        let lead = r.u8()?;
+        if lead & 0x80 != 0 {
+            return Err(CodecError::BadTag {
+                what: "trace record lead",
+                tag: lead as u64,
+            });
+        }
+        let kind = kind_of(lead)?;
+        let pc = prev_pc.wrapping_add(r.vari64()? as u64);
+        prev_pc = pc;
+        let dst = if lead & 0x10 != 0 {
+            Some(reg_of(r.u8()?)?)
+        } else {
+            None
+        };
+        let src1 = if lead & 0x20 != 0 {
+            Some(reg_of(r.u8()?)?)
+        } else {
+            None
+        };
+        let src2 = if lead & 0x40 != 0 {
+            Some(reg_of(r.u8()?)?)
+        } else {
+            None
+        };
+        let mem = match kind {
+            OpKind::Load | OpKind::Store => {
+                let addr = prev_addr.wrapping_add(r.vari64()? as u64);
+                prev_addr = addr;
+                Some(MemInfo {
+                    addr,
+                    size: r.u8()?,
+                })
+            }
+            _ => None,
+        };
+        let branch = match kind {
+            OpKind::Branch => {
+                let b = r.u8()?;
+                if b & !0x07 != 0 {
+                    return Err(CodecError::BadTag {
+                        what: "trace branch byte",
+                        tag: b as u64,
+                    });
+                }
+                let bkind = match b & 0x03 {
+                    0 => BranchKind::Conditional,
+                    1 => BranchKind::Unconditional,
+                    2 => BranchKind::Call,
+                    _ => BranchKind::Return,
+                };
+                Some(BranchInfo {
+                    kind: bkind,
+                    taken: b & 0x04 != 0,
+                    target: pc.wrapping_add(r.vari64()? as u64),
+                })
+            }
+            _ => None,
+        };
+        ops.push(MicroOp {
+            kind,
+            pc,
+            dst,
+            src1,
+            src2,
+            mem,
+            branch,
+        });
+    }
+    r.finish()?;
+    Ok(ops)
+}
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+/// Builds a trace container in memory. Threads are added whole (the
+/// capture path owns complete op vectors); chunking, checksumming and the
+/// index are handled here.
+pub struct TraceWriter {
+    source: String,
+    seed: u64,
+    quantum_cycles: u64,
+    threads: Vec<TraceThreadMeta>,
+    /// `(tid, first_idx, ops)` per chunk, in append order.
+    chunks: Vec<(u8, u64, Vec<MicroOp>)>,
+    quantum_marks: Vec<Vec<u64>>,
+    chunk_ops: usize,
+}
+
+impl TraceWriter {
+    pub fn new(source: &str, seed: u64, quantum_cycles: u64) -> Self {
+        TraceWriter {
+            source: source.to_string(),
+            seed,
+            quantum_cycles,
+            threads: Vec::new(),
+            chunks: Vec::new(),
+            quantum_marks: Vec::new(),
+            chunk_ops: CHUNK_OPS,
+        }
+    }
+
+    /// Override the chunk granularity (tests exercise boundary behavior
+    /// with tiny chunks; production captures keep [`CHUNK_OPS`]).
+    pub fn with_chunk_ops(mut self, n: usize) -> Self {
+        assert!(n > 0, "chunk size must be positive");
+        self.chunk_ops = n;
+        self
+    }
+
+    /// Append one thread's complete recorded op sequence. Threads are
+    /// assigned ids in call order.
+    pub fn add_thread(&mut self, profile: &AppProfile, addr_base: u64, ops: &[MicroOp]) {
+        assert!(!ops.is_empty(), "a trace thread must have at least one op");
+        let tid = self.threads.len() as u8;
+        self.threads.push(TraceThreadMeta {
+            profile: profile.clone(),
+            addr_base,
+            ops: ops.len() as u64,
+        });
+        for (i, chunk) in ops.chunks(self.chunk_ops).enumerate() {
+            self.chunks
+                .push((tid, (i * self.chunk_ops) as u64, chunk.to_vec()));
+        }
+    }
+
+    /// Attach per-quantum consumption marks (see [`TraceMeta`]).
+    pub fn set_quantum_marks(&mut self, marks: Vec<Vec<u64>>) {
+        self.quantum_marks = marks;
+    }
+
+    /// Serialize the container.
+    pub fn finish(self) -> Vec<u8> {
+        let meta = TraceMeta {
+            source: self.source,
+            seed: self.seed,
+            quantum_cycles: self.quantum_cycles,
+            threads: self.threads,
+            quantum_marks: self.quantum_marks,
+        };
+        let mut hw = ByteWriter::new();
+        meta.encode(&mut hw);
+        let header = hw.into_bytes();
+
+        let mut w = ByteWriter::with_capacity(header.len() + self.chunks.len() * 64);
+        w.raw(&TRACE_MAGIC);
+        w.u32(TRACE_VERSION);
+        w.u64(header.len() as u64);
+        w.raw(&header);
+        w.u64(fnv1a_64(&header));
+
+        let mut index = ByteWriter::with_capacity(self.chunks.len() * INDEX_ENTRY_BYTES);
+        for (tid, first_idx, ops) in &self.chunks {
+            let offset = w.len() as u64;
+            let body = encode_chunk_body(ops);
+            w.u8(*tid);
+            w.u64(*first_idx);
+            w.u32(ops.len() as u32);
+            w.u32(body.len() as u32);
+            w.raw(&body);
+            w.u64(fnv1a_64(&body));
+            index.u8(*tid);
+            index.u64(*first_idx);
+            index.u32(ops.len() as u32);
+            index.u64(offset);
+        }
+        let index = index.into_bytes();
+        let index_off = w.len() as u64;
+        w.raw(&index);
+        w.u64(fnv1a_64(&index));
+        w.u64(index_off);
+        w.u64(index.len() as u64);
+        w.into_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+/// One validated chunk-index entry.
+#[derive(Clone, Copy, Debug)]
+struct ChunkRef {
+    first_idx: u64,
+    n_ops: u32,
+    offset: u64,
+}
+
+/// A parsed trace container: validated header and chunk index over the
+/// raw bytes; chunk bodies are decoded on demand (and checksum-verified
+/// at that point), so opening a trace and fast-forwarding deep into it
+/// touches only the chunks actually read.
+pub struct TraceFile {
+    bytes: Vec<u8>,
+    meta: TraceMeta,
+    /// Per-thread chunk lists, ascending by `first_idx`.
+    chunks: Vec<Vec<ChunkRef>>,
+}
+
+impl std::fmt::Debug for TraceFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceFile")
+            .field("source", &self.meta.source)
+            .field("threads", &self.meta.threads.len())
+            .field("bytes", &self.bytes.len())
+            .finish()
+    }
+}
+
+impl TraceFile {
+    /// Parse and validate container structure: magic, version, header and
+    /// index checksums, chunk framing, thread ids, and per-thread op
+    /// numbering (each thread's chunks must tile `0..ops` contiguously —
+    /// an out-of-order or gapped sequence is a corrupt file).
+    pub fn parse(bytes: Vec<u8>) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(&bytes);
+        if r.take(TRACE_MAGIC.len())? != TRACE_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != TRACE_VERSION {
+            return Err(CodecError::UnsupportedVersion {
+                found: version,
+                expected: TRACE_VERSION,
+            });
+        }
+        let header_len = r.usize()?;
+        let header = r.take(header_len)?;
+        let header_fnv = r.u64()?;
+        if fnv1a_64(header) != header_fnv {
+            return Err(CodecError::ChecksumMismatch);
+        }
+        let chunks_start = bytes.len() - r.remaining();
+        let mut hr = ByteReader::new(header);
+        let meta = TraceMeta::decode(&mut hr)?;
+        hr.finish()?;
+
+        if bytes.len() < chunks_start + TRAILER_BYTES {
+            return Err(CodecError::Truncated {
+                wanted: TRAILER_BYTES,
+                available: bytes.len().saturating_sub(chunks_start),
+            });
+        }
+        let mut tr = ByteReader::new(&bytes[bytes.len() - TRAILER_BYTES..]);
+        let index_fnv = tr.u64()?;
+        let index_off = tr.usize()?;
+        let index_len = tr.usize()?;
+        let index_end = index_off
+            .checked_add(index_len)
+            .filter(|&e| e + TRAILER_BYTES == bytes.len() && index_off >= chunks_start)
+            .ok_or(CodecError::Invalid(
+                "trace index frame out of bounds".into(),
+            ))?;
+        let index = &bytes[index_off..index_end];
+        if fnv1a_64(index) != index_fnv {
+            return Err(CodecError::ChecksumMismatch);
+        }
+        if index_len % INDEX_ENTRY_BYTES != 0 {
+            return Err(CodecError::Invalid(format!(
+                "trace index length {index_len} not a multiple of {INDEX_ENTRY_BYTES}"
+            )));
+        }
+
+        let mut chunks: Vec<Vec<ChunkRef>> = vec![Vec::new(); meta.threads.len()];
+        let mut ir = ByteReader::new(index);
+        while ir.remaining() > 0 {
+            let tid = ir.u8()? as usize;
+            let first_idx = ir.u64()?;
+            let n_ops = ir.u32()?;
+            let offset = ir.usize()?;
+            if tid >= meta.threads.len() {
+                return Err(CodecError::Invalid(format!(
+                    "trace chunk names thread {tid}, file has {}",
+                    meta.threads.len()
+                )));
+            }
+            if n_ops == 0 {
+                return Err(CodecError::Invalid("empty trace chunk".into()));
+            }
+            if offset < chunks_start || offset >= index_off {
+                return Err(CodecError::Invalid(format!(
+                    "trace chunk offset {offset} outside chunk region"
+                )));
+            }
+            chunks[tid].push(ChunkRef {
+                first_idx,
+                n_ops,
+                offset: offset as u64,
+            });
+        }
+        for (tid, (list, t)) in chunks.iter().zip(&meta.threads).enumerate() {
+            let mut next = 0u64;
+            for c in list {
+                if c.first_idx != next {
+                    return Err(CodecError::Invalid(format!(
+                        "thread {tid} chunk starts at op {} (expected {next}): \
+                         out-of-order or gapped sequence",
+                        c.first_idx
+                    )));
+                }
+                next += c.n_ops as u64;
+            }
+            if next != t.ops {
+                return Err(CodecError::Invalid(format!(
+                    "thread {tid} chunks cover {next} ops, header says {}",
+                    t.ops
+                )));
+            }
+        }
+        Ok(TraceFile {
+            bytes,
+            meta,
+            chunks,
+        })
+    }
+
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    pub fn n_threads(&self) -> usize {
+        self.meta.threads.len()
+    }
+
+    /// Total recorded ops for `tid`.
+    pub fn thread_ops(&self, tid: usize) -> u64 {
+        self.meta.threads[tid].ops
+    }
+
+    /// Decode one chunk's ops, verifying its framing and checksum.
+    fn decode_chunk(&self, tid: usize, c: &ChunkRef) -> Result<Vec<MicroOp>, CodecError> {
+        let mut r = ByteReader::new(&self.bytes[c.offset as usize..]);
+        let hdr_tid = r.u8()?;
+        let first_idx = r.u64()?;
+        let n_ops = r.u32()?;
+        if hdr_tid as usize != tid || first_idx != c.first_idx || n_ops != c.n_ops {
+            return Err(CodecError::Invalid(
+                "trace chunk header disagrees with index".into(),
+            ));
+        }
+        let body_len = r.u32()? as usize;
+        let body = r.take(body_len)?;
+        let fnv = r.u64()?;
+        if fnv1a_64(body) != fnv {
+            return Err(CodecError::ChecksumMismatch);
+        }
+        decode_chunk_body(body, n_ops as usize)
+    }
+
+    /// Decode all of thread `tid`'s ops.
+    pub fn read_thread(&self, tid: usize) -> Result<Vec<MicroOp>, CodecError> {
+        self.read_thread_from(tid, 0)
+    }
+
+    /// Decode thread `tid`'s ops from op index `start` to the end,
+    /// skipping (neither reading nor verifying) every chunk that ends
+    /// before `start` — the fast-forward path. Equivalent to
+    /// `read_thread(tid)[start..]`, which the conformance suite pins.
+    pub fn read_thread_from(&self, tid: usize, start: u64) -> Result<Vec<MicroOp>, CodecError> {
+        if tid >= self.n_threads() {
+            return Err(CodecError::Invalid(format!(
+                "thread {tid} out of range ({} threads)",
+                self.n_threads()
+            )));
+        }
+        let total = self.thread_ops(tid);
+        if start > total {
+            return Err(CodecError::Invalid(format!(
+                "fast-forward to op {start} beyond thread {tid}'s {total} ops"
+            )));
+        }
+        let mut out = Vec::with_capacity((total - start) as usize);
+        for c in &self.chunks[tid] {
+            let end = c.first_idx + c.n_ops as u64;
+            if end <= start {
+                continue;
+            }
+            let ops = self.decode_chunk(tid, c)?;
+            let skip = start.saturating_sub(c.first_idx) as usize;
+            out.extend_from_slice(&ops[skip..]);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::AppProfile;
+    use crate::regs::ArchReg;
+
+    fn sample_ops(n: usize) -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| match i % 5 {
+                0 => MicroOp {
+                    kind: OpKind::Load,
+                    pc: 0x1000 + 4 * i as u64,
+                    dst: Some(ArchReg::int((i % 20) as u8 + 2)),
+                    src1: Some(ArchReg::int(2)),
+                    src2: None,
+                    mem: Some(MemInfo {
+                        addr: 0x8000 + 8 * i as u64,
+                        size: 8,
+                    }),
+                    branch: None,
+                },
+                1 => MicroOp {
+                    kind: OpKind::Branch,
+                    pc: 0x1000 + 4 * i as u64,
+                    dst: None,
+                    src1: Some(ArchReg::int(3)),
+                    src2: None,
+                    mem: None,
+                    branch: Some(BranchInfo {
+                        kind: BranchKind::Conditional,
+                        taken: i % 2 == 0,
+                        target: 0x1000 + 4 * ((i + 7) % n.max(1)) as u64,
+                    }),
+                },
+                2 => MicroOp {
+                    kind: OpKind::FpMul,
+                    pc: 0x1000 + 4 * i as u64,
+                    dst: Some(ArchReg::fp(4)),
+                    src1: Some(ArchReg::fp(5)),
+                    src2: Some(ArchReg::fp(6)),
+                    mem: None,
+                    branch: None,
+                },
+                3 => MicroOp {
+                    kind: OpKind::Store,
+                    pc: 0x1000 + 4 * i as u64,
+                    dst: None,
+                    src1: Some(ArchReg::int(7)),
+                    src2: Some(ArchReg::int(8)),
+                    mem: Some(MemInfo {
+                        addr: 0x9000_0000 + 64 * i as u64,
+                        size: 8,
+                    }),
+                    branch: None,
+                },
+                _ => MicroOp::nop(0x1000 + 4 * i as u64),
+            })
+            .collect()
+    }
+
+    fn write_two_thread_trace(chunk_ops: usize) -> (Vec<u8>, Vec<MicroOp>, Vec<MicroOp>) {
+        let p = AppProfile::builder("t").build();
+        let a = sample_ops(300);
+        let b = sample_ops(77);
+        let mut w = TraceWriter::new("test", 42, 1024).with_chunk_ops(chunk_ops);
+        w.add_thread(&p, 0x1_0000_0000, &a);
+        w.add_thread(&p, 0x2_0000_0000, &b);
+        w.set_quantum_marks(vec![vec![10, 5], vec![300, 77]]);
+        (w.finish(), a, b)
+    }
+
+    #[test]
+    fn chunk_body_roundtrips() {
+        let ops = sample_ops(137);
+        let body = encode_chunk_body(&ops);
+        let back = decode_chunk_body(&body, ops.len()).unwrap();
+        assert_eq!(back, ops);
+        // Compactness sanity: well under the naive codec's ~30+ bytes/op.
+        assert!(body.len() < ops.len() * 12, "body {} bytes", body.len());
+    }
+
+    #[test]
+    fn container_roundtrips_across_chunk_sizes() {
+        for chunk_ops in [1, 7, 64, 300, 1024] {
+            let (bytes, a, b) = write_two_thread_trace(chunk_ops);
+            let f = TraceFile::parse(bytes).unwrap();
+            assert_eq!(f.n_threads(), 2);
+            assert_eq!(f.thread_ops(0), 300);
+            assert_eq!(f.thread_ops(1), 77);
+            assert_eq!(f.read_thread(0).unwrap(), a);
+            assert_eq!(f.read_thread(1).unwrap(), b);
+            assert_eq!(f.meta().quantum_marks.len(), 2);
+            assert_eq!(f.meta().seed, 42);
+        }
+    }
+
+    #[test]
+    fn fast_forward_equals_suffix_of_full_decode() {
+        let (bytes, a, _) = write_two_thread_trace(16);
+        let f = TraceFile::parse(bytes).unwrap();
+        for start in [0u64, 1, 15, 16, 17, 155, 299, 300] {
+            assert_eq!(
+                f.read_thread_from(0, start).unwrap(),
+                a[start as usize..],
+                "fast-forward to {start}"
+            );
+        }
+        assert!(f.read_thread_from(0, 301).is_err());
+        assert!(f.read_thread_from(2, 0).is_err());
+    }
+}

@@ -692,6 +692,14 @@ impl SmtMachine {
         self.threads[tid.idx()].stream.profile()
     }
 
+    /// Total micro-ops `tid`'s stream has handed to the front end so far.
+    /// Trace capture uses this to learn how deep a run consumed each
+    /// per-thread stream (wrong-path ops come from a separate generator
+    /// and are not counted).
+    pub fn stream_generated(&self, tid: Tid) -> u64 {
+        self.threads[tid.idx()].stream.generated()
+    }
+
     /// Policy views for all threads (not just fetchable ones). Reuses the
     /// machine's internal scratch buffer, so repeated calls never allocate;
     /// the slice is valid until the next `views()` call or `step`.

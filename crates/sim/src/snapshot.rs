@@ -39,7 +39,10 @@ pub const MAGIC: [u8; 8] = *b"SMTCKPT\0";
 /// Current container format version. Bump on any layout change — old
 /// files then decode to [`CodecError::UnsupportedVersion`] and are
 /// recomputed, never misinterpreted.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: `UopStream` state gained a leading backend tag (synthetic vs
+/// trace replay), changing the thread payload layout.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// A captured warm machine state.
 ///

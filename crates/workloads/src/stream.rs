@@ -65,18 +65,10 @@ struct BranchSite {
     dominant_taken: bool,
 }
 
-/// Deterministic, cloneable infinite micro-op stream for one thread.
-///
-/// ```
-/// use smt_workloads::{app, thread_addr_base, UopStream};
-/// use std::sync::Arc;
-///
-/// let mut stream = UopStream::new(Arc::new(app("gzip")), 42, thread_addr_base(0));
-/// let op = stream.next_uop();
-/// assert!(op.is_well_formed());
-/// ```
+/// Deterministic, cloneable infinite *statistical* micro-op stream for one
+/// thread — the synthetic backend behind the [`UopStream`] facade.
 #[derive(Clone, Debug)]
-pub struct UopStream {
+pub struct SynthStream {
     profile: Arc<AppProfile>,
     rng: SmallRng,
     /// Per-thread virtual address base; ORed into every address and PC.
@@ -127,7 +119,7 @@ pub struct UopStream {
     script_pos: usize,
 }
 
-impl UopStream {
+impl SynthStream {
     /// Create a stream for `profile`, seeded by `seed`, with all addresses
     /// offset by `addr_base` (give each thread a distinct base).
     pub fn new(profile: Arc<AppProfile>, seed: u64, addr_base: u64) -> Self {
@@ -170,7 +162,7 @@ impl UopStream {
             .map(|_| ((entry_seed.next_u64() % span_ops) & !63) * OP_BYTES % code_size)
             .collect();
         let ws_size = profile.data_ws_bytes.max(64).next_power_of_two();
-        UopStream {
+        SynthStream {
             rng: SmallRng::seed_from_u64(SplitMix64::derive(seed, 0x57EE)),
             addr_base,
             pc: 0,
@@ -203,7 +195,7 @@ impl UopStream {
     /// wrong-path generator).
     pub fn scripted(profile: Arc<AppProfile>, addr_base: u64, ops: Vec<MicroOp>) -> Self {
         assert!(!ops.is_empty(), "empty script");
-        let mut s = UopStream::new(profile, 0, addr_base);
+        let mut s = SynthStream::new(profile, 0, addr_base);
         s.script = Some(ops);
         s
     }
@@ -411,7 +403,7 @@ impl UopStream {
         if sites.is_empty() {
             return Err(CodecError::Invalid("stream has no branch sites".into()));
         }
-        Ok(UopStream {
+        Ok(SynthStream {
             profile: Arc::new(profile),
             rng,
             addr_base,
@@ -602,6 +594,138 @@ impl UopStream {
             "generator produced ill-formed op {op:?}"
         );
         op
+    }
+}
+
+impl Iterator for SynthStream {
+    type Item = MicroOp;
+    fn next(&mut self) -> Option<MicroOp> {
+        Some(self.next_uop())
+    }
+}
+
+/// Backend tag leading every serialized [`UopStream`] state.
+const STATE_TAG_SYNTH: u8 = 0;
+const STATE_TAG_TRACE: u8 = 1;
+
+/// A per-thread micro-op source: either the statistical generator
+/// ([`SynthStream`]) or a recorded-trace replayer
+/// ([`TraceStream`](crate::trace::TraceStream)). The machine, the warm
+/// pool and the batch stepper all hold this facade, so every simulator
+/// feature works identically over both backends.
+///
+/// ```
+/// use smt_workloads::{app, thread_addr_base, UopStream};
+/// use std::sync::Arc;
+///
+/// let mut stream = UopStream::new(Arc::new(app("gzip")), 42, thread_addr_base(0));
+/// let op = stream.next_uop();
+/// assert!(op.is_well_formed());
+/// ```
+// The synthetic variant dominates the size, but boxing it would put a
+// pointer chase on the default backend's per-op hot path for the sake of
+// a handful of per-thread instances — not a trade worth making.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum UopStream {
+    Synth(SynthStream),
+    Trace(crate::trace::TraceStream),
+}
+
+impl UopStream {
+    /// A synthetic stream for `profile` (see [`SynthStream::new`]).
+    pub fn new(profile: Arc<AppProfile>, seed: u64, addr_base: u64) -> Self {
+        UopStream::Synth(SynthStream::new(profile, seed, addr_base))
+    }
+
+    /// A synthetic stream that replays `ops` cyclically (see
+    /// [`SynthStream::scripted`]).
+    pub fn scripted(profile: Arc<AppProfile>, addr_base: u64, ops: Vec<MicroOp>) -> Self {
+        UopStream::Synth(SynthStream::scripted(profile, addr_base, ops))
+    }
+
+    /// The profile describing this stream's application (replay carries the
+    /// captured profile, so the wrong-path generator and thread metadata
+    /// behave identically over both backends).
+    pub fn profile(&self) -> &AppProfile {
+        match self {
+            UopStream::Synth(s) => s.profile(),
+            UopStream::Trace(t) => t.profile(),
+        }
+    }
+
+    /// Total micro-ops this stream has handed out.
+    pub fn generated(&self) -> u64 {
+        match self {
+            UopStream::Synth(s) => s.generated(),
+            UopStream::Trace(t) => t.generated(),
+        }
+    }
+
+    /// Program counter of the *next* op (address base applied).
+    pub fn current_pc(&self) -> u64 {
+        match self {
+            UopStream::Synth(s) => s.current_pc(),
+            UopStream::Trace(t) => t.current_pc(),
+        }
+    }
+
+    /// The thread's virtual address base.
+    pub fn addr_base(&self) -> u64 {
+        match self {
+            UopStream::Synth(s) => s.addr_base(),
+            UopStream::Trace(t) => t.addr_base(),
+        }
+    }
+
+    /// Generate or replay the next micro-op.
+    pub fn next_uop(&mut self) -> MicroOp {
+        match self {
+            UopStream::Synth(s) => s.next_uop(),
+            UopStream::Trace(t) => t.next_uop(),
+        }
+    }
+
+    /// Serialize the stream (backend tag + backend state) for
+    /// checkpointing. Decoding yields a stream whose future output is
+    /// bit-identical to this one's.
+    pub fn encode_state(&self, w: &mut ByteWriter) {
+        match self {
+            UopStream::Synth(s) => {
+                w.u8(STATE_TAG_SYNTH);
+                s.encode_state(w);
+            }
+            UopStream::Trace(t) => {
+                w.u8(STATE_TAG_TRACE);
+                t.encode_state(w);
+            }
+        }
+    }
+
+    /// Rebuild a stream from [`encode_state`](Self::encode_state) bytes.
+    pub fn decode_state(r: &mut ByteReader) -> Result<Self, CodecError> {
+        match r.u8()? {
+            STATE_TAG_SYNTH => Ok(UopStream::Synth(SynthStream::decode_state(r)?)),
+            STATE_TAG_TRACE => Ok(UopStream::Trace(crate::trace::TraceStream::decode_state(
+                r,
+            )?)),
+            tag => Err(CodecError::BadTag {
+                what: "UopStream backend",
+                tag: tag as u64,
+            }),
+        }
+    }
+}
+
+impl From<SynthStream> for UopStream {
+    fn from(s: SynthStream) -> Self {
+        UopStream::Synth(s)
+    }
+}
+
+impl From<crate::trace::TraceStream> for UopStream {
+    fn from(t: crate::trace::TraceStream) -> Self {
+        UopStream::Trace(t)
     }
 }
 

@@ -76,6 +76,41 @@ pub fn adaptive_fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/mix01_t8_adts.json")
 }
 
+// ---------------------------------------------------------------------------
+// Trace-backed golden points (`golden_trace_replay.rs`).
+//
+// Replays of *committed capture files* under the full policy matrix, pinned
+// with the same `GoldenTrace` schema and differs as the synthetic points
+// above. The scale is reduced so the binary trace fixtures stay small
+// enough to commit: each point's capture spans one ICOUNT warmup quantum
+// plus `TRACE_QUANTA` measured quanta of `TRACE_QUANTUM_CYCLES` cycles.
+// ---------------------------------------------------------------------------
+
+pub const TRACE_QUANTA: u64 = 6;
+pub const TRACE_QUANTUM_CYCLES: u64 = 1024;
+pub const TRACE_WARMUP_QUANTA: u64 = 1;
+
+/// The trace-backed points: the perf-baseline 2-thread MIX01 reduction and
+/// the memory-heavy MIX05 at 4 threads (both already pinned synthetically,
+/// so a replay divergence isolates the trace path, not the machine).
+pub fn trace_points() -> Vec<(usize, usize)> {
+    vec![(1, 2), (5, 4)]
+}
+
+/// The committed binary capture for a trace point.
+pub fn trace_capture_path(mix_id: usize, threads: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("traces")
+        .join(format!("mix{mix_id:02}_t{threads}.smttrace"))
+}
+
+/// The pinned replay observables for a trace point.
+pub fn trace_fixture_path(mix_id: usize, threads: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("trace_mix{mix_id:02}_t{threads}.json"))
+}
+
 pub fn bless_requested() -> bool {
     std::env::var("SMT_GOLDEN_BLESS")
         .map(|v| v == "1")

@@ -1,0 +1,220 @@
+//! Trace-backed golden conformance suite.
+//!
+//! Every point here replays a **committed binary capture file** from
+//! `traces/` under the full fixed-policy matrix and pins the resulting
+//! per-quantum observables with the same [`GoldenTrace`] schema, fixture
+//! bytes and semantic differ as the synthetic suite (`golden_trace.rs`).
+//! Both trace points are also pinned synthetically, so a divergence here
+//! with a clean `golden_trace` run isolates the trace codec/replay path
+//! rather than the machine model.
+//!
+//! The replay protocol mirrors the capture protocol exactly: one quantum
+//! of fixed-ICOUNT warmup (excluded from the recorded series, included in
+//! the pinned final counters) followed by `TRACE_QUANTA` measured quanta
+//! per policy — so the replay stays strictly inside the captured op span
+//! and never exercises the cyclic-wrap fallback.
+//!
+//! Refreshing (regenerates both the `.smttrace` capture and the JSON):
+//!
+//! ```text
+//! SMT_GOLDEN_BLESS=1 cargo test --test golden_trace_replay
+//! git diff traces/ tests/golden/   # review deliberately
+//! ```
+
+#[path = "golden_common/mod.rs"]
+mod golden_common;
+
+use golden_common::{
+    bless_requested, compare_traces, mix_for, trace_capture_path, trace_fixture_path, trace_points,
+    GoldenTrace, PolicyTrace, SCHEMA, SEED, TRACE_QUANTA, TRACE_QUANTUM_CYCLES,
+    TRACE_WARMUP_QUANTA,
+};
+use smt_adts::prelude::*;
+use smt_bench::tracebench::{capture_mix_trace, trace_machine};
+use smt_bench::ExpParams;
+use smt_isa::tracefile::TraceFile;
+use smt_sim::SmtMachine;
+
+fn trace_params(mix_id: usize) -> ExpParams {
+    ExpParams {
+        seed: SEED,
+        warmup_quanta: TRACE_WARMUP_QUANTA,
+        quanta: TRACE_QUANTA,
+        quantum_cycles: TRACE_QUANTUM_CYCLES,
+        mix_ids: vec![mix_id],
+    }
+}
+
+/// Run the capture protocol's measured window on `machine` and pin it.
+fn record_policy(policy: FetchPolicy, mut machine: SmtMachine) -> PolicyTrace {
+    adts::run_fixed(
+        FetchPolicy::Icount,
+        &mut machine,
+        TRACE_WARMUP_QUANTA,
+        TRACE_QUANTUM_CYCLES,
+    );
+    let series = adts::run_fixed(policy, &mut machine, TRACE_QUANTA, TRACE_QUANTUM_CYCLES);
+    machine.check_invariants();
+    PolicyTrace {
+        policy: policy.name().to_string(),
+        quantum_cycles: series.quanta.iter().map(|q| q.cycles).collect(),
+        quantum_committed: series.quanta.iter().map(|q| q.committed).collect(),
+        quantum_ipc_milli: series
+            .quanta
+            .iter()
+            .map(|q| q.committed.saturating_mul(1000) / q.cycles.max(1))
+            .collect(),
+        final_counters: machine.counter_snapshot(),
+    }
+}
+
+fn golden_over(mix_id: usize, threads: usize, machine_for: impl Fn() -> SmtMachine) -> GoldenTrace {
+    let mix = mix_for(mix_id, threads);
+    GoldenTrace {
+        schema: SCHEMA,
+        mix: mix.name.clone(),
+        threads,
+        seed: SEED,
+        quanta: TRACE_QUANTA,
+        quantum_cycles: TRACE_QUANTUM_CYCLES,
+        policies: FetchPolicy::ALL
+            .iter()
+            .map(|&p| record_policy(p, machine_for()))
+            .collect(),
+    }
+}
+
+fn load_capture(mix_id: usize, threads: usize) -> TraceFile {
+    let path = trace_capture_path(mix_id, threads);
+    let bytes = std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing trace capture {} ({e}); generate with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace_replay",
+            path.display()
+        )
+    });
+    TraceFile::parse(bytes)
+        .unwrap_or_else(|e| panic!("committed trace {} is corrupt: {e}", path.display()))
+}
+
+fn record_replay(mix_id: usize, threads: usize) -> GoldenTrace {
+    let file = load_capture(mix_id, threads);
+    golden_over(mix_id, threads, || {
+        trace_machine(&file).expect("replay machine from committed trace")
+    })
+}
+
+fn check_point(mix_id: usize, threads: usize) {
+    let json_path = trace_fixture_path(mix_id, threads);
+    if bless_requested() {
+        let capture_path = trace_capture_path(mix_id, threads);
+        let bytes = capture_mix_trace(&mix_for(mix_id, threads), &trace_params(mix_id));
+        std::fs::create_dir_all(capture_path.parent().unwrap()).expect("create traces/");
+        std::fs::write(&capture_path, &bytes).expect("write trace capture");
+        eprintln!("blessed {} ({} bytes)", capture_path.display(), bytes.len());
+    }
+    let trace = record_replay(mix_id, threads);
+    let fresh = serde::json::to_string(&trace);
+    if bless_requested() {
+        std::fs::create_dir_all(json_path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&json_path, &fresh).expect("write fixture");
+        eprintln!("blessed {}", json_path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&json_path).unwrap_or_else(|e| {
+        panic!(
+            "missing trace golden fixture {} ({e}); generate with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace_replay",
+            json_path.display()
+        )
+    });
+    if fresh == committed {
+        return;
+    }
+    let old: GoldenTrace = serde::json::from_str(&committed).expect("parse committed fixture");
+    match compare_traces(&old, &trace) {
+        Err(msg) => panic!(
+            "trace golden fixture {}: {msg}\n\
+             if this change is intended, re-bless with \
+             SMT_GOLDEN_BLESS=1 cargo test --test golden_trace_replay",
+            json_path.display()
+        ),
+        Ok(()) => panic!(
+            "trace golden fixture {} is semantically equal but not byte-identical; \
+             the JSON serializer lost canonical formatting",
+            json_path.display()
+        ),
+    }
+}
+
+#[test]
+fn golden_trace_mix01_t2() {
+    check_point(1, 2);
+}
+
+#[test]
+fn golden_trace_mix05_t4() {
+    check_point(5, 4);
+}
+
+/// The capture→replay bit-identity contract, stated over the *committed*
+/// captures: rebuilding each point from fresh synthetic streams under the
+/// identical protocol must produce exactly the observables the trace
+/// replay produces — same per-quantum series, same final counters, for
+/// every policy in the matrix.
+#[test]
+fn synth_and_trace_goldens_agree() {
+    for (mix_id, threads) in trace_points() {
+        let mix = mix_for(mix_id, threads);
+        let synth = golden_over(mix_id, threads, || adts::machine_for_mix(&mix, SEED));
+        let replay = record_replay(mix_id, threads);
+        if synth != replay {
+            let msg = compare_traces(&synth, &replay).expect_err("structs differ");
+            panic!("trace replay diverged from its synthetic source: {msg}");
+        }
+    }
+}
+
+/// Both halves of every trace point must be committed together.
+#[test]
+fn trace_fixture_set_is_complete() {
+    if bless_requested() {
+        return; // blessing runs may be mid-generation
+    }
+    for (mix_id, threads) in trace_points() {
+        for path in [
+            trace_capture_path(mix_id, threads),
+            trace_fixture_path(mix_id, threads),
+        ] {
+            assert!(
+                path.exists(),
+                "trace fixture {} missing; bless it first",
+                path.display()
+            );
+        }
+    }
+}
+
+/// The committed captures must carry usable metadata: the protocol scale
+/// recorded in the header is what fast-forward consumers key on.
+#[test]
+fn committed_captures_declare_the_protocol() {
+    if bless_requested() {
+        return;
+    }
+    for (mix_id, threads) in trace_points() {
+        let file = load_capture(mix_id, threads);
+        let meta = file.meta();
+        assert_eq!(file.n_threads(), threads);
+        assert_eq!(meta.seed, SEED);
+        assert_eq!(meta.quantum_cycles, TRACE_QUANTUM_CYCLES);
+        assert_eq!(
+            meta.quantum_marks.len() as u64,
+            TRACE_WARMUP_QUANTA + TRACE_QUANTA,
+            "one consumption mark per protocol quantum"
+        );
+        for t in 0..threads {
+            assert!(file.thread_ops(t) > 0);
+        }
+    }
+}

@@ -1,0 +1,349 @@
+//! Negative-path suite for the `SMTTRACE` container: every corruption
+//! mode must surface as a typed [`CodecError`] — never a panic, never
+//! silently-wrong ops.
+//!
+//! The format's validation is two-phase by design: [`TraceFile::parse`]
+//! verifies structure (magic, version, header and index checksums, chunk
+//! framing and per-thread op tiling) while chunk *bodies* are verified
+//! lazily on first decode. The corruption tests therefore probe both
+//! phases: `parse` alone for structural damage, `parse` + full read for
+//! body damage.
+
+use smt_isa::codec::{fnv1a_64, CodecError};
+use smt_isa::tracefile::{
+    decode_chunk_body, encode_chunk_body, TraceFile, TraceWriter, TRACE_VERSION,
+};
+use smt_isa::uop::{BranchInfo, BranchKind, MemInfo, MicroOp, OpKind};
+use smt_isa::{AppProfile, ArchReg};
+
+/// A small but structurally rich trace: two threads, multiple chunks
+/// each, every record shape (loads, stores, branches, fp, nops), marks.
+fn sample_trace() -> Vec<u8> {
+    let profile = AppProfile::builder("neg").build();
+    let ops_for = |salt: u64, n: usize| -> Vec<MicroOp> {
+        (0..n)
+            .map(|i| {
+                let pc = 0x4000 + salt * 0x100 + 4 * i as u64;
+                match i % 4 {
+                    0 => MicroOp {
+                        kind: OpKind::Load,
+                        pc,
+                        dst: Some(ArchReg::int((i % 30) as u8)),
+                        src1: Some(ArchReg::int(2)),
+                        src2: None,
+                        mem: Some(MemInfo {
+                            addr: 0x1_0000 + 16 * i as u64,
+                            size: 8,
+                        }),
+                        branch: None,
+                    },
+                    1 => MicroOp {
+                        kind: OpKind::Branch,
+                        pc,
+                        dst: None,
+                        src1: Some(ArchReg::int(5)),
+                        src2: None,
+                        mem: None,
+                        branch: Some(BranchInfo {
+                            kind: BranchKind::Conditional,
+                            taken: i % 3 == 0,
+                            target: pc.wrapping_add(32),
+                        }),
+                    },
+                    2 => MicroOp {
+                        kind: OpKind::FpMul,
+                        pc,
+                        dst: Some(ArchReg::fp(1)),
+                        src1: Some(ArchReg::fp(2)),
+                        src2: Some(ArchReg::fp(3)),
+                        mem: None,
+                        branch: None,
+                    },
+                    _ => MicroOp::nop(pc),
+                }
+            })
+            .collect()
+    };
+    let mut w = TraceWriter::new("negative-path sample", 7, 256).with_chunk_ops(16);
+    w.add_thread(&profile, 0x1_0000_0000, &ops_for(0, 60));
+    w.add_thread(&profile, 0x2_0000_0000, &ops_for(9, 37));
+    w.set_quantum_marks(vec![vec![8, 5], vec![40, 30], vec![60, 37]]);
+    w.finish()
+}
+
+/// Parse, and if that succeeds decode every thread — the full read path a
+/// replay consumer exercises. Any corruption must fail one of the two.
+fn full_read(bytes: Vec<u8>) -> Result<(), CodecError> {
+    let f = TraceFile::parse(bytes)?;
+    for t in 0..f.n_threads() {
+        f.read_thread(t)?;
+    }
+    Ok(())
+}
+
+fn trailer(bytes: &[u8]) -> (usize, usize) {
+    let n = bytes.len();
+    let off = u64::from_le_bytes(bytes[n - 16..n - 8].try_into().unwrap()) as usize;
+    let len = u64::from_le_bytes(bytes[n - 8..].try_into().unwrap()) as usize;
+    (off, len)
+}
+
+/// Mutate the index region in place, then restamp its checksum so the
+/// mutation (not the checksum) is what the parser has to catch.
+fn with_restamped_index(mut bytes: Vec<u8>, f: impl FnOnce(&mut [u8])) -> Vec<u8> {
+    let n = bytes.len();
+    let (off, len) = trailer(&bytes);
+    f(&mut bytes[off..off + len]);
+    let fnv = fnv1a_64(&bytes[off..off + len]);
+    bytes[n - 24..n - 16].copy_from_slice(&fnv.to_le_bytes());
+    bytes
+}
+
+const INDEX_ENTRY_BYTES: usize = 21; // tid u8 | first_idx u64 | n_ops u32 | offset u64
+
+#[test]
+fn the_sample_is_valid_to_begin_with() {
+    full_read(sample_trace()).expect("uncorrupted sample must round-trip");
+    let f = TraceFile::parse(sample_trace()).unwrap();
+    assert_eq!(f.n_threads(), 2);
+    assert!(f.thread_ops(0) == 60 && f.thread_ops(1) == 37);
+}
+
+/// Truncation at *every* byte boundary: each proper prefix must decode to
+/// an error, never a panic and never a spuriously valid file.
+#[test]
+fn truncation_at_every_cut_is_a_typed_error() {
+    let bytes = sample_trace();
+    for cut in 0..bytes.len() {
+        let err = full_read(bytes[..cut].to_vec())
+            .expect_err(&format!("prefix of {cut} bytes must not decode"));
+        // The error itself must be displayable (the CLI prints it).
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+/// Single-byte flips at *every* offset: the checksummed regions (header,
+/// bodies, index) and the cross-checked framing leave no byte of the
+/// container unprotected.
+#[test]
+fn every_single_byte_flip_is_detected() {
+    let bytes = sample_trace();
+    for at in 0..bytes.len() {
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x40;
+        full_read(bad).expect_err(&format!("flip at byte {at} must be detected"));
+    }
+}
+
+#[test]
+fn foreign_magic_is_rejected() {
+    let mut bytes = sample_trace();
+    bytes[..8].copy_from_slice(b"SMTCKPT\0");
+    assert!(matches!(TraceFile::parse(bytes), Err(CodecError::BadMagic)));
+}
+
+#[test]
+fn future_version_is_rejected_with_both_versions_named() {
+    let mut bytes = sample_trace();
+    let future = TRACE_VERSION + 1;
+    bytes[8..12].copy_from_slice(&future.to_le_bytes());
+    match TraceFile::parse(bytes) {
+        Err(CodecError::UnsupportedVersion { found, expected }) => {
+            assert_eq!(found, future);
+            assert_eq!(expected, TRACE_VERSION);
+        }
+        other => panic!("expected UnsupportedVersion, got {other:?}"),
+    }
+}
+
+#[test]
+fn header_corruption_is_a_checksum_mismatch() {
+    let mut bytes = sample_trace();
+    bytes[24] ^= 0x01; // inside the header payload (source string)
+    assert!(matches!(
+        TraceFile::parse(bytes),
+        Err(CodecError::ChecksumMismatch)
+    ));
+}
+
+#[test]
+fn index_corruption_is_a_checksum_mismatch() {
+    let mut bytes = sample_trace();
+    let (off, _) = trailer(&bytes);
+    bytes[off] ^= 0x01;
+    assert!(matches!(
+        TraceFile::parse(bytes),
+        Err(CodecError::ChecksumMismatch)
+    ));
+}
+
+/// Reordered chunks (a valid checksum over a wrong sequence) must be
+/// caught by the per-thread tiling check, with a readable message.
+#[test]
+fn out_of_order_chunk_sequence_is_rejected() {
+    let bytes = sample_trace();
+    let bad = with_restamped_index(bytes, |index| {
+        // Entries 0 and 1 are thread 0's first two chunks (first_idx 0
+        // and 16); swapping them breaks the required contiguous tiling.
+        let (a, rest) = index.split_at_mut(INDEX_ENTRY_BYTES);
+        a.swap_with_slice(&mut rest[..INDEX_ENTRY_BYTES]);
+    });
+    match TraceFile::parse(bad) {
+        Err(CodecError::Invalid(msg)) => {
+            assert!(msg.contains("out-of-order or gapped"), "{msg}")
+        }
+        other => panic!("expected Invalid(out-of-order), got {other:?}"),
+    }
+}
+
+/// A chunk claiming a thread id the header never declared.
+#[test]
+fn out_of_range_tid_is_rejected() {
+    let bad = with_restamped_index(sample_trace(), |index| index[0] = 6);
+    match TraceFile::parse(bad) {
+        Err(CodecError::Invalid(msg)) => {
+            assert!(msg.contains("names thread 6"), "{msg}")
+        }
+        other => panic!("expected Invalid(bad tid), got {other:?}"),
+    }
+}
+
+/// Body damage is caught lazily: structure parses, the read fails. This
+/// pins the two-phase contract explicitly.
+#[test]
+fn body_corruption_parses_but_fails_on_read() {
+    let bytes = sample_trace();
+    let (ioff, _) = trailer(&bytes);
+    // Entry 0's chunk offset lives at index bytes 13..21.
+    let chunk_off = u64::from_le_bytes(bytes[ioff + 13..ioff + 21].try_into().unwrap()) as usize;
+    // Chunk layout: tid u8 | first_idx u64 | n_ops u32 | body_len u32 | body…
+    let body_start = chunk_off + 1 + 8 + 4 + 4;
+    let mut bad = bytes.clone();
+    bad[body_start] ^= 0x01;
+    let f = TraceFile::parse(bad).expect("structural parse must still succeed");
+    assert!(matches!(
+        f.read_thread(0),
+        Err(CodecError::ChecksumMismatch)
+    ));
+    // The undamaged thread stays readable: corruption is contained.
+    assert!(f.read_thread(1).is_ok());
+}
+
+/// A body that checksums correctly but decodes to reserved bits must be
+/// rejected by the record decoder itself (defense against a buggy or
+/// malicious writer, not bit rot).
+#[test]
+fn reserved_record_bits_are_bad_tags() {
+    let ops = vec![MicroOp::nop(0x1000)];
+    let mut body = encode_chunk_body(&ops);
+    body[0] |= 0x80; // reserved lead-byte bit
+    match decode_chunk_body(&body, 1) {
+        Err(CodecError::BadTag { what, .. }) => assert_eq!(what, "trace record lead"),
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+
+    let mut body = encode_chunk_body(&ops);
+    body[0] = (body[0] & 0xF0) | 0x0B; // kind tag 11: one past the last OpKind
+    match decode_chunk_body(&body, 1) {
+        Err(CodecError::BadTag { what, tag }) => {
+            assert_eq!(what, "trace OpKind");
+            assert_eq!(tag, 11);
+        }
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+
+    let branch = vec![MicroOp {
+        kind: OpKind::Branch,
+        pc: 0x1000,
+        dst: None,
+        src1: None,
+        src2: None,
+        mem: None,
+        branch: Some(BranchInfo {
+            kind: BranchKind::Call,
+            taken: true,
+            target: 0x2000,
+        }),
+    }];
+    let mut body = encode_chunk_body(&branch);
+    let n = body.len();
+    // The packed branch byte precedes the final target varint; set one of
+    // its reserved high bits.
+    body[n - 3] |= 0x08;
+    match decode_chunk_body(&body, 1) {
+        Err(CodecError::BadTag { what, .. }) => assert_eq!(what, "trace branch byte"),
+        other => panic!("expected BadTag, got {other:?}"),
+    }
+}
+
+#[test]
+fn out_of_range_register_index_is_rejected() {
+    let ops = vec![MicroOp {
+        kind: OpKind::IntAlu,
+        pc: 0x1000,
+        dst: Some(ArchReg::int(3)),
+        src1: None,
+        src2: None,
+        mem: None,
+        branch: None,
+    }];
+    let mut body = encode_chunk_body(&ops);
+    let n = body.len();
+    body[n - 1] = 0x7F; // register index 127 with NUM_ARCH_REGS_PER_CLASS = 32
+    match decode_chunk_body(&body, 1) {
+        Err(CodecError::Invalid(msg)) => assert!(msg.contains("register index"), "{msg}"),
+        other => panic!("expected Invalid(register), got {other:?}"),
+    }
+}
+
+#[test]
+fn chunk_bodies_reject_trailing_and_missing_bytes() {
+    let ops: Vec<MicroOp> = (0..5).map(|i| MicroOp::nop(0x1000 + 4 * i)).collect();
+    let body = encode_chunk_body(&ops);
+    // One op short of the payload: trailing bytes.
+    assert!(matches!(
+        decode_chunk_body(&body, 4),
+        Err(CodecError::TrailingBytes { .. })
+    ));
+    // One op beyond the payload: truncation.
+    assert!(matches!(
+        decode_chunk_body(&body, 6),
+        Err(CodecError::Truncated { .. })
+    ));
+}
+
+/// The trailer's frame pointers are validated against the file extent.
+#[test]
+fn trailer_frame_out_of_bounds_is_rejected() {
+    let bytes = sample_trace();
+    let n = bytes.len();
+    for (name, mutate) in [
+        ("offset", 16usize), // index_off field
+        ("length", 8),       // index_len field
+    ] {
+        let mut bad = bytes.clone();
+        let at = n - mutate;
+        let huge = (n as u64 * 2).to_le_bytes();
+        bad[at..at + 8].copy_from_slice(&huge);
+        let err = TraceFile::parse(bad).expect_err(&format!("bad index {name}"));
+        assert!(
+            matches!(err, CodecError::Invalid(_) | CodecError::ChecksumMismatch),
+            "bad index {name}: unexpected error {err:?}"
+        );
+    }
+}
+
+/// Empty input and random garbage: the parser's first steps must already
+/// be fail-safe.
+#[test]
+fn garbage_inputs_never_panic() {
+    assert!(TraceFile::parse(Vec::new()).is_err());
+    assert!(TraceFile::parse(vec![0u8; 7]).is_err());
+    assert!(TraceFile::parse(vec![0xFF; 64]).is_err());
+    let mut not_quite = b"SMTTRACF".to_vec();
+    not_quite.extend_from_slice(&[0u8; 56]);
+    assert!(matches!(
+        TraceFile::parse(not_quite),
+        Err(CodecError::BadMagic)
+    ));
+}
