@@ -17,8 +17,9 @@
 
 use adts_core::CondThresholds;
 use smt_bench::{
-    fixed_series, parallel::par_map, sweep, tracebench, BatchCli, CkptCli, ExpParams,
-    InstrumentCli, TraceCli, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
+    alloc_sweep, fixed_series, parallel::par_map, sweep, tracebench, AllocCli, BatchCli, CkptCli,
+    ExpParams, InstrumentCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
+    TRACE_USAGE,
 };
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
@@ -32,6 +33,7 @@ fn main() {
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
     let mut trace = TraceCli::default();
+    let mut alloc = AllocCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -59,12 +61,20 @@ fn main() {
                     } else {
                         trace.accept(flag, &mut args)
                     }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        alloc.accept(flag, &mut args)
+                    }
                 }) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, --jobs N, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE}, \
+                         {ALLOC_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -138,6 +148,14 @@ fn main() {
     );
     println!("aggregate IPC      {:>14.3}", mean(&ipc));
     println!("\n{}", sweep::engine().scope_summary());
+    if alloc.requested {
+        // Multi-core context for the thresholds: the same calibration
+        // protocol swept over thread-to-core allocation policies.
+        sweep::engine().begin_scope("calibrate-alloc");
+        let sw = alloc_sweep(&p, alloc.cores, &alloc.allocs(), alloc.penalty);
+        println!("\n{}", sw.ipc_table().render());
+        println!("{}", sweep::engine().scope_summary());
+    }
     if instrument.any_enabled() {
         // Calibration reads eight-thread ICOUNT behavior, so instrument
         // the first selected mix under the same protocol.

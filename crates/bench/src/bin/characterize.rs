@@ -18,8 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 use smt_bench::{
-    sweep, tracebench, BatchCli, CkptCli, ExpParams, InstrumentCli, TraceCli, BATCH_USAGE,
-    CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
+    alloc_sweep, sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams, InstrumentCli,
+    TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
 };
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
@@ -74,6 +74,7 @@ fn main() {
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
     let mut trace = TraceCli::default();
+    let mut alloc = AllocCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -100,12 +101,20 @@ fn main() {
                     } else {
                         trace.accept(flag, &mut args)
                     }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        alloc.accept(flag, &mut args)
+                    }
                 }) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE}, \
+                         {ALLOC_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -191,5 +200,17 @@ fn main() {
             ..ExpParams::smoke()
         };
         instrument.run(&obs_p);
+    }
+    if alloc.requested {
+        // Multi-core context pass, same spirit: how the characterized
+        // apps co-schedule across cores on the canonical MIX01 point.
+        let mc_p = ExpParams {
+            mix_ids: vec![1],
+            ..ExpParams::smoke()
+        };
+        sweep::engine().begin_scope("characterize-alloc");
+        let sw = alloc_sweep(&mc_p, alloc.cores, &alloc.allocs(), alloc.penalty);
+        println!("\n{}", sw.ipc_table().render());
+        println!("{}", sweep::engine().scope_summary());
     }
 }

@@ -14,6 +14,8 @@
 //!   ablate-quantum | ablate-dt | ablate-cond | ablate-rotation
 //!   ablate-threshold   X1 fixed vs self-tuning IPC threshold
 //!   jobsched           X2 clog-mark-assisted job scheduling
+//!   alloc              X3 thread-to-core allocation policies on a
+//!                      multi-core machine (see --cores/--alloc below)
 //!   all        everything above
 //!
 //! Options:
@@ -51,6 +53,12 @@
 //!   --trace FILE      replay a captured trace through the trace-backed
 //!                     threshold×type sweep (with --attr: plus a replayed
 //!                     CPI-stack explain pass)
+//!   --cores N         cores sharing the L2 in the alloc experiment
+//!                     (default 2)
+//!   --alloc NAME      restrict the alloc sweep to this allocation policy
+//!                     (repeatable; default: all four)
+//!   --mig-penalty N   cold-frontend cycles charged per migration
+//!                     (default 256)
 //!   --all             shorthand for the `all` experiment selector
 //!
 //! Perf-baseline mode (exclusive with experiments):
@@ -84,9 +92,9 @@
 
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
-    ablate_threshold, headline, headline_random, jobsched, oracle, scaling, sweep, table1,
-    threshold_type_sweep, tracebench, BatchCli, CkptCli, ExpParams, InstrumentCli, TraceCli,
-    BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
+    ablate_threshold, alloc_sweep, headline, headline_random, jobsched, oracle, scaling, sweep,
+    table1, threshold_type_sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams,
+    InstrumentCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -105,6 +113,7 @@ struct Cli {
     ckpt: CkptCli,
     batch: BatchCli,
     trace: TraceCli,
+    alloc: AllocCli,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
@@ -130,6 +139,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
     let mut trace = TraceCli::default();
+    let mut alloc = AllocCli::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
@@ -162,6 +172,7 @@ fn parse_args() -> Result<Cli, String> {
             flag if ckpt.accept(flag, &mut args)? => {}
             flag if batch.accept(flag, &mut args)? => {}
             flag if trace.accept(flag, &mut args)? => {}
+            flag if alloc.accept(flag, &mut args)? => {}
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -246,6 +257,7 @@ fn parse_args() -> Result<Cli, String> {
         ckpt,
         batch,
         trace,
+        alloc,
         bench,
         quick,
         bench_out,
@@ -463,6 +475,7 @@ fn main() {
         "ablate-fetchmech",
         "ablate-prefetch",
         "jobsched",
+        "alloc",
         "headline-random",
         "all",
         "help",
@@ -481,6 +494,7 @@ fn main() {
         println!("             {CKPT_USAGE}");
         println!("             {BATCH_USAGE}");
         println!("             {TRACE_USAGE}");
+        println!("             {ALLOC_USAGE}");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("       repro --bench-sweep [--quick] [--bench-sweep-out PATH]");
         println!("                           [--check-sweep-baseline PATH]");
@@ -598,6 +612,21 @@ fn main() {
     }
     if want("jobsched") {
         run("x2_jobsched", &|| jobsched(p));
+    }
+    if want("alloc") {
+        sweep::engine().begin_scope("x3_alloc_sweep");
+        let sw = alloc_sweep(p, cli.alloc.cores, &cli.alloc.allocs(), cli.alloc.penalty);
+        println!("{}\n", sweep::engine().scope_summary());
+        emit(&sw.ipc_table(), "x3_alloc_ipc", &cli.out);
+        emit(&sw.migration_table(), "x3_alloc_migrations", &cli.out);
+        let (f, a, ipc) = sw.best();
+        println!(
+            "best allocation point: {}/{} on {} cores (mean IPC {:.3})\n",
+            f.name(),
+            a.name(),
+            sw.cores,
+            ipc
+        );
     }
     if cli.instrument.any_enabled() {
         cli.instrument.run(p);

@@ -11,6 +11,7 @@
 use crate::attr::{self, AttrOptions};
 use crate::obs::{self, ObsOptions};
 use crate::params::ExpParams;
+use adts_core::AllocKind;
 use std::path::PathBuf;
 
 /// The instrumented-pass flags shared by every experiment binary.
@@ -33,6 +34,94 @@ pub const BATCH_USAGE: &str = "[--batch] [--no-batch]";
 /// Usage fragment for the trace capture/replay flags shared by every
 /// binary.
 pub const TRACE_USAGE: &str = "[--capture-trace FILE] [--trace FILE]";
+
+/// Usage fragment for the multi-core allocation flags shared by every
+/// binary.
+pub const ALLOC_USAGE: &str = "[--cores N] [--alloc NAME]... [--mig-penalty N]";
+
+/// The multi-core allocation flags (`--cores`, `--alloc`,
+/// `--mig-penalty`) shared by every experiment binary. They parameterize
+/// the `alloc_sweep` experiment: core count, the allocation policies to
+/// sweep (default: all four), and the cold-frontend migration penalty in
+/// cycles.
+#[derive(Clone, Debug)]
+pub struct AllocCli {
+    /// `--cores N`: number of cores sharing the L2.
+    pub cores: usize,
+    /// `--alloc NAME` (repeatable): restrict the sweep to these
+    /// policies; empty means all of [`AllocKind::ALL`].
+    pub allocs: Vec<AllocKind>,
+    /// `--mig-penalty N`: cold-frontend cycles charged per migration.
+    pub penalty: u64,
+    /// Any of the family's flags seen at all (calibrate/characterize run
+    /// their multi-core context pass only when asked).
+    pub requested: bool,
+}
+
+impl Default for AllocCli {
+    fn default() -> Self {
+        AllocCli {
+            cores: 2,
+            allocs: Vec::new(),
+            penalty: 256,
+            requested: false,
+        }
+    }
+}
+
+impl AllocCli {
+    /// Same contract as [`InstrumentCli::accept`].
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--cores" => {
+                self.cores = args
+                    .next()
+                    .ok_or("--cores needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad core count: {e}"))?;
+                if self.cores == 0 {
+                    return Err("--cores must be at least 1".to_string());
+                }
+            }
+            "--alloc" => {
+                let name = args.next().ok_or("--alloc needs a value")?;
+                let kind = AllocKind::by_name(&name).ok_or_else(|| {
+                    let known: Vec<&str> = AllocKind::ALL.iter().map(|k| k.name()).collect();
+                    format!(
+                        "unknown allocation policy {name:?} (known: {})",
+                        known.join(", ")
+                    )
+                })?;
+                if !self.allocs.contains(&kind) {
+                    self.allocs.push(kind);
+                }
+            }
+            "--mig-penalty" => {
+                self.penalty = args
+                    .next()
+                    .ok_or("--mig-penalty needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad migration penalty: {e}"))?;
+            }
+            _ => return Ok(false),
+        }
+        self.requested = true;
+        Ok(true)
+    }
+
+    /// The policies to sweep: the `--alloc` selection, or all four.
+    pub fn allocs(&self) -> Vec<AllocKind> {
+        if self.allocs.is_empty() {
+            AllocKind::ALL.to_vec()
+        } else {
+            self.allocs.clone()
+        }
+    }
+}
 
 /// The trace-frontend flags (`--capture-trace`, `--trace`) shared by
 /// every experiment binary. Either flag switches the binary into a
@@ -330,6 +419,54 @@ mod tests {
         assert!(parse_trace(&["--capture-trace"]).is_err());
         assert!(parse_trace(&["--trace"]).is_err());
         assert!(parse_trace(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_alloc(tokens: &[&str]) -> Result<AllocCli, String> {
+        let mut cli = AllocCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn alloc_defaults_to_two_cores_all_policies() {
+        let cli = parse_alloc(&[]).unwrap();
+        assert!(!cli.requested);
+        assert_eq!(cli.cores, 2);
+        assert_eq!(cli.penalty, 256);
+        assert_eq!(cli.allocs(), AllocKind::ALL.to_vec());
+    }
+
+    #[test]
+    fn alloc_flags_parse_and_validate() {
+        let cli = parse_alloc(&[
+            "--cores",
+            "4",
+            "--alloc",
+            "rotate",
+            "--alloc",
+            "ipc-greedy",
+            "--alloc",
+            "rotate", // duplicates collapse
+            "--mig-penalty",
+            "64",
+        ])
+        .unwrap();
+        assert!(cli.requested);
+        assert_eq!(cli.cores, 4);
+        assert_eq!(cli.penalty, 64);
+        assert_eq!(cli.allocs(), vec![AllocKind::Rotate, AllocKind::IpcGreedy]);
+        assert!(parse_alloc(&["--cores", "0"]).is_err());
+        assert!(parse_alloc(&["--cores", "many"]).is_err());
+        assert!(parse_alloc(&["--alloc"]).is_err());
+        let err = parse_alloc(&["--alloc", "lru"]).unwrap_err();
+        assert!(err.contains("ipc-greedy"), "{err}");
+        assert!(parse_alloc(&["--mig-penalty", "-1"]).is_err());
+        assert!(parse_alloc(&["--frobnicate"]).is_err());
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crate::sweep;
 use crate::warm::{warmed_machine, warmed_machine_with};
 use adts_core::{
     adaptive::SelfTuning, machine_for_mix, run_fixed, run_oracle, AdaptiveScheduler, AdtsConfig,
-    CondThresholds, DtModel, EvictionPolicy, HeuristicKind, JobSchedConfig, JobScheduler,
-    OracleConfig,
+    AllocCell, AllocKind, CondThresholds, DtModel, EvictionPolicy, HeuristicKind, JobSchedConfig,
+    JobScheduler, OracleConfig,
 };
 use smt_policies::FetchPolicy;
 use smt_sim::SimConfig;
@@ -1076,6 +1076,250 @@ pub fn headline_random(p: &ExpParams, n_mixes: usize) -> Table {
     t
 }
 
+// ---------------------------------------------------------------------
+// X3 — thread-to-core allocation sweep (multi-core)
+// ---------------------------------------------------------------------
+
+/// The per-core fetch policies the allocation sweep crosses with the
+/// allocation policies: the paper's best fixed policy and the baseline.
+pub const ALLOC_FETCHES: [FetchPolicy; 2] = [FetchPolicy::Icount, FetchPolicy::RoundRobin];
+
+/// One (fetch, allocation, mix) outcome.
+#[derive(Clone, Debug)]
+pub struct AllocCellResult {
+    pub ipc: f64,
+    /// Cross-core migrations over the measured quanta.
+    pub migrations: usize,
+}
+
+/// The allocation sweep: per-core fetch policy × allocation policy ×
+/// mix on an `cores`-core machine sharing one L2.
+pub struct AllocSweep {
+    pub cores: usize,
+    pub penalty: u64,
+    pub fetches: Vec<FetchPolicy>,
+    pub allocs: Vec<AllocKind>,
+    pub mix_names: Vec<String>,
+    /// `cells[f][a][m]`.
+    pub cells: Vec<Vec<Vec<AllocCellResult>>>,
+    pub quanta: u64,
+}
+
+/// Run the allocation sweep. Like [`threshold_type_sweep`] it steps as
+/// lockstep batches by default: all fetch × allocation points of one mix
+/// share one warmed [`smt_sim::MultiCoreMachine`] (from the warm pool's
+/// multi-core layer) until their placements diverge; `--no-batch`
+/// selects the scalar per-point path, bit-identical and sharing cache
+/// keys.
+pub fn alloc_sweep(p: &ExpParams, cores: usize, allocs: &[AllocKind], penalty: u64) -> AllocSweep {
+    alloc_sweep_with(p, cores, allocs, penalty, sweep::batch_enabled())
+}
+
+/// Cache key of one allocation point; shared by both stepping modes.
+fn alloc_point_key(
+    mix: &Mix,
+    p: &ExpParams,
+    cores: usize,
+    penalty: u64,
+    fetch: FetchPolicy,
+    alloc: AllocKind,
+) -> sweep::CacheKey {
+    sweep::point_key(
+        "alloc",
+        mix,
+        p,
+        &(
+            default_cfg(mix),
+            (cores as u64, penalty),
+            fetch,
+            alloc.name(),
+        ),
+    )
+}
+
+/// Step every (fetch, alloc) point of one mix as one lockstep batch on a
+/// single warmed multi-core machine. Cell `f * allocs.len() + a` is
+/// (fetch `f`, alloc `a`) — the order [`alloc_sweep_with`] indexes by.
+fn run_alloc_mix_batch(
+    mix: &Mix,
+    fetches: &[FetchPolicy],
+    allocs: &[AllocKind],
+    p: &ExpParams,
+    cores: usize,
+    penalty: u64,
+) -> Vec<RunSeries> {
+    let machine = crate::warm::warmed_multicore(mix, p, cores, penalty);
+    let mut cells = Vec::with_capacity(fetches.len() * allocs.len());
+    for &f in fetches {
+        for &a in allocs {
+            cells.push(AllocCell::new(f, a, p.quantum_cycles, &machine));
+        }
+    }
+    let mut batch = smt_sim::MachineBatch::new(machine, cells);
+    for _ in 0..p.quanta {
+        batch.run_quantum();
+    }
+    batch
+        .into_cells()
+        .into_iter()
+        .map(AllocCell::into_series)
+        .collect()
+}
+
+/// [`alloc_sweep`] with the stepping mode chosen explicitly (the unit
+/// tests pin both paths against each other).
+pub fn alloc_sweep_with(
+    p: &ExpParams,
+    cores: usize,
+    allocs: &[AllocKind],
+    penalty: u64,
+    batched: bool,
+) -> AllocSweep {
+    assert!(cores >= 1, "need at least one core");
+    assert!(!allocs.is_empty(), "need at least one allocation policy");
+    let fetches = ALLOC_FETCHES.to_vec();
+    let allocs = allocs.to_vec();
+    let mixes = p.mixes();
+
+    use std::sync::OnceLock;
+    let batches: Vec<OnceLock<Vec<RunSeries>>> = mixes.iter().map(|_| OnceLock::new()).collect();
+    let series_for = |mi: usize, cell: usize| -> RunSeries {
+        batches[mi]
+            .get_or_init(|| run_alloc_mix_batch(&mixes[mi], &fetches, &allocs, p, cores, penalty))
+            [cell]
+            .clone()
+    };
+
+    let mut points = Vec::new();
+    for (fi, &f) in fetches.iter().enumerate() {
+        for (ai, &a) in allocs.iter().enumerate() {
+            for mi in 0..mixes.len() {
+                points.push((fi, ai, mi, f, a));
+            }
+        }
+    }
+    let results = par_map(points.clone(), |&(fi, ai, mi, f, a)| {
+        let mix = &mixes[mi];
+        let key = alloc_point_key(mix, p, cores, penalty, f, a);
+        let point = format!("{}/c{}/{}/{}", mix.name, cores, f.name(), a.name());
+        let s = sweep::engine().run_series("alloc", &point, key, || {
+            if batched {
+                series_for(mi, fi * allocs.len() + ai)
+            } else {
+                let mut m = crate::warm::warmed_multicore(mix, p, cores, penalty);
+                adts_core::run_alloc(f, a, &mut m, p.quanta, p.quantum_cycles)
+            }
+        });
+        AllocCellResult {
+            ipc: s.aggregate_ipc(),
+            // AllocCell records one switch event per migration.
+            migrations: s.switches.len(),
+        }
+    });
+
+    let mut cells = vec![vec![Vec::with_capacity(mixes.len()); allocs.len()]; fetches.len()];
+    for ((fi, ai, _, _, _), cell) in points.into_iter().zip(results) {
+        cells[fi][ai].push(cell);
+    }
+    AllocSweep {
+        cores,
+        penalty,
+        fetches,
+        allocs,
+        mix_names: mixes.iter().map(|m| m.name.clone()).collect(),
+        cells,
+        quanta: p.quanta,
+    }
+}
+
+impl AllocSweep {
+    fn col_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for f in &self.fetches {
+            for a in &self.allocs {
+                names.push(format!("{}/{}", f.name(), a.name()));
+            }
+        }
+        names
+    }
+
+    fn col(&self, fi: usize, ai: usize) -> &[AllocCellResult] {
+        &self.cells[fi][ai]
+    }
+
+    /// Aggregate IPC per mix and (fetch, allocation) pair, with a MEAN row.
+    pub fn ipc_table(&self) -> Table {
+        let mut headers = vec!["mix".to_string()];
+        headers.extend(self.col_names());
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            &format!(
+                "X3 — aggregate IPC by thread-to-core allocation ({} cores, penalty {})",
+                self.cores, self.penalty
+            ),
+            &hrefs,
+        );
+        for (mi, name) in self.mix_names.iter().enumerate() {
+            let mut row = vec![name.clone()];
+            for fi in 0..self.fetches.len() {
+                for ai in 0..self.allocs.len() {
+                    row.push(f3(self.col(fi, ai)[mi].ipc));
+                }
+            }
+            t.row(row);
+        }
+        let mut row = vec!["MEAN".to_string()];
+        for fi in 0..self.fetches.len() {
+            for ai in 0..self.allocs.len() {
+                let vals: Vec<f64> = self.col(fi, ai).iter().map(|c| c.ipc).collect();
+                row.push(f3(mean(&vals)));
+            }
+        }
+        t.row(row);
+        t
+    }
+
+    /// Cross-core migrations per run of `quanta` quanta, same shape as
+    /// [`ipc_table`](AllocSweep::ipc_table).
+    pub fn migration_table(&self) -> Table {
+        let mut headers = vec!["mix".to_string()];
+        headers.extend(self.col_names());
+        let hrefs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let mut t = Table::new(
+            &format!(
+                "X3 — cross-core migrations per {} quanta ({} cores, penalty {})",
+                self.quanta, self.cores, self.penalty
+            ),
+            &hrefs,
+        );
+        for (mi, name) in self.mix_names.iter().enumerate() {
+            let mut row = vec![name.clone()];
+            for fi in 0..self.fetches.len() {
+                for ai in 0..self.allocs.len() {
+                    row.push(self.col(fi, ai)[mi].migrations.to_string());
+                }
+            }
+            t.row(row);
+        }
+        t
+    }
+
+    /// The best (fetch, allocation) pair by mean IPC.
+    pub fn best(&self) -> (FetchPolicy, AllocKind, f64) {
+        let mut best = (self.fetches[0], self.allocs[0], f64::MIN);
+        for (fi, &f) in self.fetches.iter().enumerate() {
+            for (ai, &a) in self.allocs.iter().enumerate() {
+                let vals: Vec<f64> = self.col(fi, ai).iter().map(|c| c.ipc).collect();
+                let ipc = mean(&vals);
+                if ipc > best.2 {
+                    best = (f, a, ipc);
+                }
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1200,6 +1444,59 @@ mod tests {
             ..smoke()
         };
         assert_eq!(ablate_threshold(&p).n_rows(), 7);
+    }
+
+    #[test]
+    fn alloc_sweep_views_are_complete() {
+        let p = ExpParams {
+            mix_ids: vec![1],
+            ..smoke()
+        };
+        let sw = alloc_sweep_with(&p, 2, &AllocKind::ALL, 256, true);
+        // 1 mix + MEAN row; one column per fetch × alloc pair.
+        let t = sw.ipc_table();
+        assert_eq!(t.n_rows(), 2);
+        assert!(t.render().contains("ICOUNT/ipc-greedy"));
+        assert_eq!(sw.migration_table().n_rows(), 1);
+        let (_, _, ipc) = sw.best();
+        assert!(ipc > 0.0);
+        // rotate migrates every resident thread every quantum; static never.
+        let rot = sw
+            .allocs
+            .iter()
+            .position(|&a| a == AllocKind::Rotate)
+            .unwrap();
+        let sta = sw
+            .allocs
+            .iter()
+            .position(|&a| a == AllocKind::Static)
+            .unwrap();
+        assert!(sw.cells[0][rot][0].migrations > 0);
+        assert_eq!(sw.cells[0][sta][0].migrations, 0);
+    }
+
+    #[test]
+    fn batched_alloc_sweep_is_bit_identical_to_scalar() {
+        let p = ExpParams {
+            mix_ids: vec![9],
+            ..smoke()
+        };
+        let allocs = [AllocKind::Static, AllocKind::Rotate, AllocKind::IpcGreedy];
+        let scalar = alloc_sweep_with(&p, 2, &allocs, 128, false);
+        let batched = alloc_sweep_with(&p, 2, &allocs, 128, true);
+        for fi in 0..scalar.fetches.len() {
+            for ai in 0..scalar.allocs.len() {
+                for mi in 0..scalar.mix_names.len() {
+                    let s = &scalar.cells[fi][ai][mi];
+                    let b = &batched.cells[fi][ai][mi];
+                    assert_eq!(
+                        (b.ipc, b.migrations),
+                        (s.ipc, s.migrations),
+                        "cell (f={fi}, a={ai}, mix={mi}) diverged"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -32,10 +32,10 @@
 
 use crate::params::ExpParams;
 use crate::sweep::{self, CkptStore};
-use adts_core::{machine_for_mix_with, run_fixed};
+use adts_core::{machine_for_mix_with, multicore_for_mix, run_fixed, run_fixed_multicore};
 use smt_policies::FetchPolicy;
 use smt_sim::snapshot::MachineSnapshot;
-use smt_sim::{SimConfig, SmtMachine};
+use smt_sim::{MultiCoreMachine, MultiCoreSnapshot, SimConfig, SmtMachine};
 use smt_stats::RunSeries;
 use smt_workloads::Mix;
 use std::collections::HashMap;
@@ -62,6 +62,10 @@ pub struct WarmStats {
 /// serialize on the cell's lock, so the warmup runs exactly once.
 type WarmSlot = Arc<Mutex<Option<Arc<MachineSnapshot>>>>;
 
+/// The multi-core counterpart: one warmed [`MultiCoreSnapshot`] per
+/// (mix, cores, penalty) key.
+type McWarmSlot = Arc<Mutex<Option<Arc<MultiCoreSnapshot>>>>;
+
 /// A memoizing warmup cache: in-memory snapshots, optionally backed by an
 /// on-disk [`CkptStore`]. Safe to share across sweep workers.
 #[derive(Default)]
@@ -70,6 +74,10 @@ pub struct WarmPool {
     /// slot; the warmup itself runs under the slot's own lock, so two
     /// workers racing on one key serialize while other keys proceed.
     slots: Mutex<HashMap<u128, WarmSlot>>,
+    /// Multi-core warm snapshots. In-memory only: the on-disk store
+    /// speaks single-machine snapshots, and a multi-core warmup is one
+    /// `run_fixed_multicore` away from its (pooled) ingredients.
+    mc_slots: Mutex<HashMap<u128, McWarmSlot>>,
     store: Mutex<Option<Arc<CkptStore>>>,
     disabled: AtomicBool,
     pool_hits: AtomicU64,
@@ -135,6 +143,7 @@ impl WarmPool {
     /// stats) is left attached.
     pub fn reset(&self) {
         self.slots.lock().expect("warm pool poisoned").clear();
+        self.mc_slots.lock().expect("warm pool poisoned").clear();
         for c in [
             &self.pool_hits,
             &self.ckpt_hits,
@@ -189,6 +198,38 @@ impl WarmPool {
         *guard = Some(snap);
         m
     }
+
+    /// A warmed [`MultiCoreMachine`] for the allocation sweeps: fresh
+    /// [`multicore_for_mix`] construction plus `warmup_quanta` quanta of
+    /// fixed ICOUNT on every core in lockstep, memoized per
+    /// (mix, config, seed, warmup, cores, penalty) key. In-memory only —
+    /// see [`WarmPool::mc_slots`].
+    pub fn warmed_multicore(
+        &self,
+        mix: &Mix,
+        p: &ExpParams,
+        n_cores: usize,
+        penalty: u64,
+    ) -> MultiCoreMachine {
+        if self.disabled.load(Ordering::Relaxed) {
+            self.bypass.fetch_add(1, Ordering::Relaxed);
+            return cold_multicore_warmup(mix, p, n_cores, penalty);
+        }
+        let key = mc_warm_key(mix, p, n_cores, penalty);
+        let slot = {
+            let mut slots = self.mc_slots.lock().expect("warm pool poisoned");
+            slots.entry(key.0).or_default().clone()
+        };
+        let mut guard = slot.lock().expect("warm slot poisoned");
+        if let Some(snap) = guard.as_ref() {
+            self.pool_hits.fetch_add(1, Ordering::Relaxed);
+            return snap.restore();
+        }
+        self.warmups.fetch_add(1, Ordering::Relaxed);
+        let m = cold_multicore_warmup(mix, p, n_cores, penalty);
+        *guard = Some(Arc::new(MultiCoreSnapshot::capture(&m, Vec::new())));
+        m
+    }
 }
 
 static POOL: OnceLock<WarmPool> = OnceLock::new();
@@ -235,6 +276,16 @@ pub fn warmed_machine_with(cfg: SimConfig, mix: &Mix, p: &ExpParams) -> SmtMachi
     pool().warmed_machine_with(cfg, mix, p)
 }
 
+/// [`WarmPool::warmed_multicore`] on the process-wide pool.
+pub fn warmed_multicore(
+    mix: &Mix,
+    p: &ExpParams,
+    n_cores: usize,
+    penalty: u64,
+) -> MultiCoreMachine {
+    pool().warmed_multicore(mix, p, n_cores, penalty)
+}
+
 /// The content key of one warm point. Only the warmup-relevant
 /// [`ExpParams`] fields participate (`quanta`/`mix_ids` don't change the
 /// warm state); the machine seed and the full [`SimConfig`] always do.
@@ -245,6 +296,37 @@ pub fn warm_key(cfg: &SimConfig, mix: &Mix, p: &ExpParams) -> sweep::CacheKey {
         &(p.seed, p.warmup_quanta, p.quantum_cycles),
         cfg,
     )
+}
+
+/// The content key of one multi-core warm point: the scalar warm-key
+/// ingredients plus the core count and migration penalty (both shape the
+/// warmed state — placement, shared L2, stall windows).
+pub fn mc_warm_key(mix: &Mix, p: &ExpParams, n_cores: usize, penalty: u64) -> sweep::CacheKey {
+    sweep::point_key(
+        "warm-mc",
+        mix,
+        &(
+            (p.seed, p.warmup_quanta, p.quantum_cycles),
+            (n_cores as u64, penalty),
+        ),
+        &SimConfig::with_threads(mix.apps.len()),
+    )
+}
+
+fn cold_multicore_warmup(
+    mix: &Mix,
+    p: &ExpParams,
+    n_cores: usize,
+    penalty: u64,
+) -> MultiCoreMachine {
+    let mut m = multicore_for_mix(mix, p.seed, n_cores, penalty);
+    let _ = run_fixed_multicore(
+        FetchPolicy::Icount,
+        &mut m,
+        p.warmup_quanta,
+        p.quantum_cycles,
+    );
+    m
 }
 
 fn cold_warmup(cfg: SimConfig, mix: &Mix, p: &ExpParams) -> SmtMachine {
@@ -388,6 +470,47 @@ mod tests {
         let b = pool.warmed_machine_with(cfg, &mix, &other_seed);
         assert_eq!(pool.stats().warmups, 2);
         assert_ne!(a.counter_snapshot(), b.counter_snapshot());
+    }
+
+    #[test]
+    fn pooled_multicore_restore_is_bit_identical_to_cold_warmup() {
+        let pool = WarmPool::new();
+        let mix = smt_workloads::mix(1).take_threads(2, 1);
+        let p = tiny_params(42);
+        let cold = cold_multicore_warmup(&mix, &p, 2, 64);
+        let first = pool.warmed_multicore(&mix, &p, 2, 64);
+        let second = pool.warmed_multicore(&mix, &p, 2, 64);
+        for m in [&first, &second] {
+            assert_eq!(m.cycle(), cold.cycle());
+            assert_eq!(m.counter_snapshot(), cold.counter_snapshot());
+            assert_eq!(m.placement(), cold.placement());
+        }
+        let s = pool.stats();
+        assert_eq!(s.warmups, 1, "{s:?}");
+        assert_eq!(s.pool_hits, 1, "{s:?}");
+    }
+
+    #[test]
+    fn multicore_keys_fold_in_cores_and_penalty() {
+        let mix = smt_workloads::mix(1).take_threads(2, 1);
+        let p = tiny_params(42);
+        let base = mc_warm_key(&mix, &p, 2, 64);
+        assert_ne!(base, mc_warm_key(&mix, &p, 3, 64));
+        assert_ne!(base, mc_warm_key(&mix, &p, 2, 65));
+        assert_ne!(
+            base,
+            mc_warm_key(
+                &mix,
+                &ExpParams {
+                    seed: 43,
+                    ..p.clone()
+                },
+                2,
+                64
+            )
+        );
+        // Multi-core and scalar warm points never alias either.
+        assert_ne!(base.0, warm_key(&SimConfig::with_threads(2), &mix, &p).0);
     }
 
     #[test]

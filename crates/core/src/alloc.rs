@@ -1,0 +1,531 @@
+//! Thread-to-core allocation above the per-core fetch policy.
+//!
+//! The paper's ADTS heuristics pick *which threads fetch* inside one SMT
+//! core; this module adds the next axis up — *which threads live on
+//! which core* — re-decided at quantum boundaries, in the spirit of the
+//! thread-to-core allocation families of Navarro et al. and Durbhakula
+//! (PAPERS.md). An [`AllocationPolicy`] maps the just-finished quantum's
+//! per-thread activity to a new placement; `MultiCoreMachine::
+//! apply_placement` then performs the migrations, each one a flushed
+//! architectural transfer paying a cold-frontend penalty attributed to
+//! the `migration` CPI-stack category.
+//!
+//! Four policies ship ([`AllocKind`]):
+//!
+//! * **static** — never migrate; the initial round-robin partition.
+//! * **rotate** — cyclic shift: every quantum each core's resident set
+//!   moves one core up. Maximum churn; the migration-cost yardstick.
+//! * **ipc-greedy** — threads sorted by last-quantum committed ops,
+//!   greedily dealt to the core with the lowest committed-sum so far
+//!   (load balance on observed throughput).
+//! * **ilp-aware** — threads sorted by last-quantum L1D misses,
+//!   snake-dealt so each core pairs memory-bound with compute-bound
+//!   threads instead of stacking the cache-hungry ones.
+//!
+//! Every policy is deterministic: sorts are stable with ascending global
+//! thread id as the tiebreak, and core choices break ties toward the
+//! lowest core id. The batched sweep path drives the same code through
+//! [`AllocCell`] (a `LockstepCell<MultiCoreMachine>`), so scalar and
+//! lockstep runs are interchangeable (`proptest_batch_equiv` idiom).
+
+use crate::adaptive::{AdaptiveScheduler, AdtsConfig, QuantumPlan};
+use crate::indicators::{MachineSnapshot, QuantumStats};
+use smt_policies::{FetchPolicy, Tsu};
+use smt_sim::{LockstepCell, MultiCoreMachine, SimConfig, SmtMachine};
+use smt_stats::{QuantumRecord, RunSeries, SwitchEvent};
+use smt_workloads::{Mix, UopStream};
+
+/// Read-only view of the just-finished quantum, handed to
+/// [`AllocationPolicy::decide`]. All per-thread slices are indexed by
+/// global thread id.
+#[derive(Debug)]
+pub struct AllocView<'a> {
+    /// Index of the quantum that just finished (0-based).
+    pub quantum: u64,
+    pub n_cores: usize,
+    /// Current placement: global thread → (core, context slot).
+    pub placement: &'a [(usize, usize)],
+    /// Context slots per core (a placement may not exceed these).
+    pub core_capacity: &'a [usize],
+    /// Micro-ops committed per thread in the just-finished quantum.
+    pub committed_delta: &'a [u64],
+    /// L1D misses per thread in the just-finished quantum — the
+    /// memory-boundedness proxy the ILP-aware policy keys on.
+    pub mem_delta: &'a [u64],
+}
+
+/// A thread-to-core allocation policy: decides, at each quantum
+/// boundary, the destination core of every global thread.
+pub trait AllocationPolicy {
+    fn name(&self) -> &'static str;
+
+    /// Destination core per global thread for the next quantum. The
+    /// result must respect `view.core_capacity`; threads whose core is
+    /// unchanged do not migrate.
+    fn decide(&mut self, view: &AllocView<'_>) -> Vec<usize>;
+
+    /// Opaque state for the multi-core checkpoint container. The four
+    /// shipped policies are stateless, so the default empty blob
+    /// round-trips them exactly.
+    fn encode_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+}
+
+/// The shipped allocation policies (module docs). Implements
+/// [`AllocationPolicy`] directly so cells can hold it by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocKind {
+    Static,
+    Rotate,
+    IpcGreedy,
+    IlpAware,
+}
+
+impl AllocKind {
+    pub const ALL: [AllocKind; 4] = [
+        AllocKind::Static,
+        AllocKind::Rotate,
+        AllocKind::IpcGreedy,
+        AllocKind::IlpAware,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocKind::Static => "static",
+            AllocKind::Rotate => "rotate",
+            AllocKind::IpcGreedy => "ipc-greedy",
+            AllocKind::IlpAware => "ilp-aware",
+        }
+    }
+
+    pub fn by_name(name: &str) -> Option<AllocKind> {
+        AllocKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// Thread ids ordered by `key` descending, global id ascending on ties.
+fn by_key_desc(keys: &[u64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| keys[b].cmp(&keys[a]).then(a.cmp(&b)));
+    order
+}
+
+/// Deal `order` across cores in snake order (0..n-1, n-1..0, …),
+/// skipping cores already at capacity.
+fn snake_deal(order: &[usize], view: &AllocView<'_>) -> Vec<usize> {
+    let n = view.n_cores;
+    let mut counts = vec![0usize; n];
+    let mut out = vec![0usize; order.len()];
+    let mut lap = 0usize;
+    let mut pos = 0usize;
+    for &g in order {
+        loop {
+            let c = if lap % 2 == 0 { pos } else { n - 1 - pos };
+            let advance = |lap: &mut usize, pos: &mut usize| {
+                *pos += 1;
+                if *pos == n {
+                    *pos = 0;
+                    *lap += 1;
+                }
+            };
+            if counts[c] < view.core_capacity[c] {
+                out[g] = c;
+                counts[c] += 1;
+                advance(&mut lap, &mut pos);
+                break;
+            }
+            advance(&mut lap, &mut pos);
+        }
+    }
+    out
+}
+
+impl AllocationPolicy for AllocKind {
+    fn name(&self) -> &'static str {
+        (*self).name()
+    }
+
+    fn decide(&mut self, view: &AllocView<'_>) -> Vec<usize> {
+        let n = view.n_cores;
+        match self {
+            AllocKind::Static => view.placement.iter().map(|&(c, _)| c).collect(),
+            // A cyclic shift permutes whole resident sets, so per-core
+            // occupancy is preserved (uniform capacities assumed, which
+            // is what the constructors build).
+            AllocKind::Rotate => view.placement.iter().map(|&(c, _)| (c + 1) % n).collect(),
+            AllocKind::IpcGreedy => {
+                let order = by_key_desc(view.committed_delta);
+                let mut load = vec![0u64; n];
+                let mut counts = vec![0usize; n];
+                let mut out = vec![0usize; order.len()];
+                for &g in &order {
+                    let c = (0..n)
+                        .filter(|&c| counts[c] < view.core_capacity[c])
+                        .min_by_key(|&c| (load[c], c))
+                        .expect("total capacity below thread count");
+                    out[g] = c;
+                    load[c] += view.committed_delta[g];
+                    counts[c] += 1;
+                }
+                out
+            }
+            AllocKind::IlpAware => snake_deal(&by_key_desc(view.mem_delta), view),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// construction
+// ---------------------------------------------------------------------------
+
+/// Build an `n_cores`-core machine for a mix on default-derived per-core
+/// configs. Every core gets one context slot per mix thread (full
+/// migration freedom — any allocation up to "all threads on one core" is
+/// representable); global thread `g` starts on core `g % n_cores`,
+/// packed into ascending slots. With `n_cores == 1` this is exactly
+/// [`machine_for_mix`](crate::runner::machine_for_mix) wrapped via
+/// `MultiCoreMachine::single` — the N=1 bit-identity anchor.
+pub fn multicore_for_mix(
+    mix: &Mix,
+    seed: u64,
+    n_cores: usize,
+    migration_penalty: u64,
+) -> MultiCoreMachine {
+    assert!(n_cores >= 1, "need at least one core");
+    let total = mix.apps.len();
+    let cfg = SimConfig::with_threads(total);
+    // Thread g → core g % n_cores, slot = rank of g within its core.
+    let mut placement = Vec::with_capacity(total);
+    let mut next_slot = vec![0usize; n_cores];
+    for g in 0..total {
+        let c = g % n_cores;
+        placement.push((c, next_slot[c]));
+        next_slot[c] += 1;
+    }
+    let cores: Vec<SmtMachine> = (0..n_cores)
+        .map(|c| {
+            // Slot s of core c hosts global thread c + s*n_cores (when it
+            // exists); higher slots get an arbitrary placeholder stream
+            // and are parked by `from_cores`.
+            let mut pool: Vec<Option<UopStream>> =
+                mix.streams(seed).into_iter().map(Some).collect();
+            let spare = mix.streams(seed);
+            let streams = (0..total)
+                .map(|s| {
+                    let g = c + s * n_cores;
+                    match pool.get_mut(g).and_then(Option::take) {
+                        Some(stream) => stream,
+                        None => spare[s].clone(),
+                    }
+                })
+                .collect();
+            SmtMachine::new(cfg.clone(), streams)
+        })
+        .collect();
+    MultiCoreMachine::from_cores(cores, placement, migration_penalty)
+}
+
+// ---------------------------------------------------------------------------
+// runners
+// ---------------------------------------------------------------------------
+
+/// Multi-core counterpart of [`run_fixed`](crate::runner::run_fixed):
+/// one fixed fetch policy on every core, fixed placement, `quanta`
+/// quanta of `quantum_cycles`. Per-quantum records aggregate all cores
+/// (committed sums, rates average); for a 1-core machine they equal the
+/// scalar runner's bit-for-bit.
+pub fn run_fixed_multicore(
+    policy: FetchPolicy,
+    machine: &mut MultiCoreMachine,
+    quanta: u64,
+    quantum_cycles: u64,
+) -> RunSeries {
+    let fetch_width = machine.core(0).config().fetch_width;
+    let mut tsus: Vec<Tsu> = (0..machine.n_cores())
+        .map(|i| Tsu::new(policy, machine.core(i).n_threads()))
+        .collect();
+    let mut series = RunSeries::default();
+    for index in 0..quanta {
+        let before: Vec<MachineSnapshot> = (0..machine.n_cores())
+            .map(|i| MachineSnapshot::take(machine.core(i)))
+            .collect();
+        machine.run(quantum_cycles, &mut tsus);
+        let stats: Vec<QuantumStats> = before
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                QuantumStats::between(b, &MachineSnapshot::take(machine.core(i)), fetch_width)
+            })
+            .collect();
+        series
+            .quanta
+            .push(aggregate_record(index, policy.name(), &stats));
+    }
+    series
+}
+
+/// Sum committed, keep the (lockstep-equal) cycle count, average rates.
+fn aggregate_record(index: u64, policy: &str, stats: &[QuantumStats]) -> QuantumRecord {
+    let n = stats.len() as f64;
+    let cycles = stats[0].cycles;
+    let committed: u64 = stats.iter().map(|s| s.committed).sum();
+    QuantumRecord {
+        index,
+        policy: policy.to_string(),
+        cycles,
+        committed,
+        ipc: if cycles == 0 {
+            0.0
+        } else {
+            committed as f64 / cycles as f64
+        },
+        l1_miss_rate: stats.iter().map(|s| s.l1_miss_rate).sum::<f64>() / n,
+        lsq_full_rate: stats.iter().map(|s| s.lsq_full_rate).sum::<f64>() / n,
+        mispredict_rate: stats.iter().map(|s| s.mispredict_rate).sum::<f64>() / n,
+        branch_rate: stats.iter().map(|s| s.branch_rate).sum::<f64>() / n,
+        idle_fetch_rate: stats.iter().map(|s| s.idle_fetch_rate).sum::<f64>() / n,
+    }
+}
+
+/// Execute one quantum of per-core [`QuantumPlan`]s on a multi-core
+/// machine, in lockstep. Reproduces `AdaptiveScheduler::execute_plan`
+/// per core exactly: the quantum is cut at each core's pending-switch
+/// delay; between segments the switching cores' TSUs change policy and
+/// the switch is noted on that core.
+pub fn execute_plans_multicore(machine: &mut MultiCoreMachine, plans: &[QuantumPlan]) {
+    assert_eq!(plans.len(), machine.n_cores(), "one plan per core");
+    let q = plans[0].quantum_cycles;
+    assert!(
+        plans.iter().all(|p| p.quantum_cycles == q),
+        "cores must share the quantum length"
+    );
+    let mut tsus: Vec<Tsu> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Tsu::new(p.from, machine.core(i).n_threads()))
+        .collect();
+    let mut cuts: Vec<u64> = plans
+        .iter()
+        .filter_map(|p| p.switch.map(|(delay, _)| delay.min(q)))
+        .collect();
+    cuts.push(q);
+    cuts.sort_unstable();
+    cuts.dedup();
+    let mut at = 0u64;
+    for cut in cuts {
+        machine.run(cut - at, &mut tsus);
+        at = cut;
+        for (i, p) in plans.iter().enumerate() {
+            if let Some((delay, to)) = p.switch {
+                if delay.min(q) == cut {
+                    tsus[i].set_policy(to);
+                    machine.core_mut(i).note_policy_switch(p.from.id(), to.id());
+                }
+            }
+        }
+    }
+}
+
+/// Run one [`AdaptiveScheduler`] per core for `quanta` quanta, with the
+/// cores stepping in lockstep through [`execute_plans_multicore`].
+/// Returns the schedulers (recordings inside). For a 1-core machine the
+/// single scheduler's series and audit are bit-identical to a scalar
+/// `run_quantum` loop on the wrapped `SmtMachine`.
+pub fn run_adaptive_multicore(
+    cfg: AdtsConfig,
+    machine: &mut MultiCoreMachine,
+    quanta: u64,
+) -> Vec<AdaptiveScheduler> {
+    let mut scheds: Vec<AdaptiveScheduler> = (0..machine.n_cores())
+        .map(|i| AdaptiveScheduler::new(cfg, machine.core(i).n_threads()))
+        .collect();
+    for _ in 0..quanta {
+        let plans: Vec<QuantumPlan> = scheds
+            .iter_mut()
+            .enumerate()
+            .map(|(i, s)| s.plan_quantum(machine.core(i)))
+            .collect();
+        execute_plans_multicore(machine, &plans);
+        for (i, s) in scheds.iter_mut().enumerate() {
+            let (_stats, boundary) = s.observe_quantum(machine.core(i));
+            AdaptiveScheduler::apply_boundary(&boundary, machine.core_mut(i));
+        }
+    }
+    scheds
+}
+
+// ---------------------------------------------------------------------------
+// lockstep cell
+// ---------------------------------------------------------------------------
+
+/// One allocation-sweep point: a fixed per-core fetch policy plus an
+/// [`AllocKind`] re-deciding placement each quantum boundary. Implements
+/// [`LockstepCell`] over [`MultiCoreMachine`], so a whole
+/// policy × allocation matrix for one mix runs batched on one warm
+/// machine, forking only where placements actually diverge.
+#[derive(Clone, Debug)]
+pub struct AllocCell {
+    fetch: FetchPolicy,
+    alloc: AllocKind,
+    quantum_cycles: u64,
+    quantum: u64,
+    /// Per global thread, cumulative at last quantum boundary:
+    /// (committed, L1D misses).
+    prev: Vec<(u64, u64)>,
+    prev_placement: Vec<(usize, usize)>,
+    series: RunSeries,
+    migrations: u64,
+}
+
+fn thread_marks(machine: &MultiCoreMachine) -> Vec<(u64, u64)> {
+    (0..machine.n_threads())
+        .map(|g| {
+            let c = machine.thread_counters(g);
+            (c.committed, c.l1d_misses)
+        })
+        .collect()
+}
+
+impl AllocCell {
+    pub fn new(
+        fetch: FetchPolicy,
+        alloc: AllocKind,
+        quantum_cycles: u64,
+        machine: &MultiCoreMachine,
+    ) -> Self {
+        AllocCell {
+            fetch,
+            alloc,
+            quantum_cycles,
+            quantum: 0,
+            prev: thread_marks(machine),
+            prev_placement: machine.placement().to_vec(),
+            series: RunSeries::default(),
+            migrations: 0,
+        }
+    }
+
+    pub fn fetch_policy(&self) -> FetchPolicy {
+        self.fetch
+    }
+
+    pub fn alloc_kind(&self) -> AllocKind {
+        self.alloc
+    }
+
+    /// Cross-core migrations this cell's allocation decisions caused.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// The accumulated per-quantum records; `switches` holds one event
+    /// per migration (`t<g>@c<from>` → `c<to>`).
+    pub fn into_series(self) -> RunSeries {
+        self.series
+    }
+}
+
+impl LockstepCell<MultiCoreMachine> for AllocCell {
+    /// (fetch policy, quantum cycles): the entire machine-side input of
+    /// one quantum — placement changes ride in the boundary.
+    type Plan = (FetchPolicy, u64);
+    /// Destination core per global thread.
+    type Boundary = Vec<usize>;
+
+    fn plan(&mut self, _machine: &MultiCoreMachine) -> Self::Plan {
+        (self.fetch, self.quantum_cycles)
+    }
+
+    fn execute(plan: &Self::Plan, machine: &mut MultiCoreMachine) {
+        let mut tsus: Vec<Tsu> = (0..machine.n_cores())
+            .map(|i| Tsu::new(plan.0, machine.core(i).n_threads()))
+            .collect();
+        machine.run(plan.1, &mut tsus);
+    }
+
+    fn observe(&mut self, machine: &MultiCoreMachine) -> Self::Boundary {
+        // Record the migrations the *previous* boundary performed (the
+        // placement diff is only visible once the group machine has the
+        // boundary applied, i.e. here).
+        for (g, (&old, &new)) in self
+            .prev_placement
+            .iter()
+            .zip(machine.placement())
+            .enumerate()
+        {
+            if old.0 != new.0 {
+                self.migrations += 1;
+                self.series.switches.push(SwitchEvent {
+                    quantum: self.quantum,
+                    from: format!("t{g}@c{}", old.0),
+                    to: format!("c{}", new.0),
+                    benign: None,
+                });
+            }
+        }
+        self.prev_placement = machine.placement().to_vec();
+
+        let marks = thread_marks(machine);
+        let committed_delta: Vec<u64> = marks
+            .iter()
+            .zip(&self.prev)
+            .map(|(m, p)| m.0 - p.0)
+            .collect();
+        let mem_delta: Vec<u64> = marks
+            .iter()
+            .zip(&self.prev)
+            .map(|(m, p)| m.1 - p.1)
+            .collect();
+        self.prev = marks;
+
+        let committed: u64 = committed_delta.iter().sum();
+        self.series.quanta.push(QuantumRecord {
+            index: self.quantum,
+            policy: self.fetch.name().to_string(),
+            cycles: self.quantum_cycles,
+            committed,
+            ipc: committed as f64 / self.quantum_cycles.max(1) as f64,
+            l1_miss_rate: 0.0,
+            lsq_full_rate: 0.0,
+            mispredict_rate: 0.0,
+            branch_rate: 0.0,
+            idle_fetch_rate: 0.0,
+        });
+
+        let capacities: Vec<usize> = (0..machine.n_cores())
+            .map(|i| machine.core(i).n_threads())
+            .collect();
+        let view = AllocView {
+            quantum: self.quantum,
+            n_cores: machine.n_cores(),
+            placement: machine.placement(),
+            core_capacity: &capacities,
+            committed_delta: &committed_delta,
+            mem_delta: &mem_delta,
+        };
+        self.quantum += 1;
+        self.alloc.decide(&view)
+    }
+
+    fn apply_boundary(boundary: &Self::Boundary, machine: &mut MultiCoreMachine) {
+        machine.apply_placement(boundary);
+    }
+}
+
+/// Scalar driver for one allocation point: `quanta` quanta of
+/// [`AllocCell`] against its own machine. The batched sweep must be
+/// observationally identical to this.
+pub fn run_alloc(
+    fetch: FetchPolicy,
+    alloc: AllocKind,
+    machine: &mut MultiCoreMachine,
+    quanta: u64,
+    quantum_cycles: u64,
+) -> RunSeries {
+    let mut cell = AllocCell::new(fetch, alloc, quantum_cycles, machine);
+    for _ in 0..quanta {
+        smt_sim::run_scalar_quantum(&mut cell, machine);
+    }
+    cell.into_series()
+}

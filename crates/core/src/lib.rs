@@ -30,6 +30,7 @@
 //! - [`runner`] — fixed/adaptive/oracle drivers used by the experiments.
 
 pub mod adaptive;
+pub mod alloc;
 pub mod audit;
 pub mod detector;
 pub mod heuristics;
@@ -43,6 +44,10 @@ pub mod runner;
 pub mod threshold;
 
 pub use adaptive::{AdaptiveScheduler, AdtsConfig, BoundaryActions, QuantumPlan};
+pub use alloc::{
+    execute_plans_multicore, multicore_for_mix, run_adaptive_multicore, run_alloc,
+    run_fixed_multicore, AllocCell, AllocKind, AllocView, AllocationPolicy,
+};
 pub use audit::{
     decisions_jsonl, evaluate_conditions, CondEval, DecisionReason, DecisionRecord, DecisionTrace,
     HistoryEval,

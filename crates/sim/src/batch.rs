@@ -39,6 +39,13 @@
 
 use crate::machine::SmtMachine;
 
+/// The machine side of lockstep stepping: anything deterministic and
+/// clonable that a [`LockstepCell`] can plan over. Implemented by
+/// [`SmtMachine`] and by `MultiCoreMachine` (multi-core cells).
+pub trait LockstepMachine: Clone {}
+
+impl LockstepMachine for SmtMachine {}
+
 /// Per-cell policy driver for lockstep stepping.
 ///
 /// A cell owns everything about a sweep point *except* the machine: the
@@ -53,7 +60,7 @@ use crate::machine::SmtMachine;
 ///   are associated functions with no access to the cell at all — they
 ///   may only depend on the plan/boundary value, which is what makes
 ///   running them once per *group* equivalent to once per *cell*.
-pub trait LockstepCell {
+pub trait LockstepCell<M: LockstepMachine = SmtMachine> {
     /// Everything that determines the machine's evolution over one
     /// quantum. Two equal plans applied to bit-identical machines must
     /// produce bit-identical machines.
@@ -66,23 +73,23 @@ pub trait LockstepCell {
 
     /// Decide the plan for the next quantum from (read-only) machine
     /// state. May record per-quantum bookkeeping on `self`.
-    fn plan(&mut self, machine: &SmtMachine) -> Self::Plan;
+    fn plan(&mut self, machine: &M) -> Self::Plan;
 
     /// Step the machine through one quantum under `plan`.
-    fn execute(plan: &Self::Plan, machine: &mut SmtMachine);
+    fn execute(plan: &Self::Plan, machine: &mut M);
 
     /// Inspect the post-quantum machine, record stats on `self`, and
     /// return the boundary mutation to apply.
-    fn observe(&mut self, machine: &SmtMachine) -> Self::Boundary;
+    fn observe(&mut self, machine: &M) -> Self::Boundary;
 
     /// Apply the boundary mutation to the machine.
-    fn apply_boundary(boundary: &Self::Boundary, machine: &mut SmtMachine);
+    fn apply_boundary(boundary: &Self::Boundary, machine: &mut M);
 }
 
 /// Run one full quantum of a single cell against its own machine — the
 /// scalar reference path. Batched stepping of a batch of one must be
 /// observationally identical to repeated calls of this function.
-pub fn run_scalar_quantum<C: LockstepCell>(cell: &mut C, machine: &mut SmtMachine) {
+pub fn run_scalar_quantum<M: LockstepMachine, C: LockstepCell<M>>(cell: &mut C, machine: &mut M) {
     let plan = cell.plan(machine);
     C::execute(&plan, machine);
     let boundary = cell.observe(machine);
@@ -105,26 +112,32 @@ pub struct BatchStats {
     pub boundary_forks: u64,
 }
 
-struct Group {
-    machine: SmtMachine,
+struct Group<M> {
+    machine: M,
     /// Cell indices sharing `machine`, ascending.
     members: Vec<usize>,
 }
 
 /// N cells stepped in lockstep over shared machines (see module docs).
-pub struct MachineBatch<C: LockstepCell> {
-    groups: Vec<Group>,
+pub struct MachineBatch<C, M: LockstepMachine = SmtMachine>
+where
+    C: LockstepCell<M>,
+{
+    groups: Vec<Group<M>>,
     cells: Vec<C>,
     stats: BatchStats,
 }
 
-impl<C: LockstepCell> MachineBatch<C> {
+impl<C, M: LockstepMachine> MachineBatch<C, M>
+where
+    C: LockstepCell<M>,
+{
     /// Build a batch whose cells all start from the same machine state
     /// (typically a warm-pool snapshot restored once).
     ///
     /// # Panics
     /// Panics if `cells` is empty.
-    pub fn new(machine: SmtMachine, cells: Vec<C>) -> Self {
+    pub fn new(machine: M, cells: Vec<C>) -> Self {
         assert!(!cells.is_empty(), "MachineBatch needs at least one cell");
         let members = (0..cells.len()).collect();
         MachineBatch {
@@ -219,7 +232,7 @@ impl<C: LockstepCell> MachineBatch<C> {
 
     /// The machine currently backing `cell` (shared with every other
     /// member of its group).
-    pub fn machine_for(&self, cell: usize) -> &SmtMachine {
+    pub fn machine_for(&self, cell: usize) -> &M {
         &self
             .groups
             .iter()

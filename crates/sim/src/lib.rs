@@ -39,19 +39,21 @@ pub mod counters;
 pub mod inflight;
 pub mod iqueue;
 pub mod machine;
+pub mod multicore;
 pub mod obs;
 pub mod snapshot;
 pub mod trace;
 pub mod wrongpath;
 
-pub use batch::{run_scalar_quantum, BatchStats, LockstepCell, MachineBatch};
+pub use batch::{run_scalar_quantum, BatchStats, LockstepCell, LockstepMachine, MachineBatch};
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{Cache, Hierarchy, MemAccessResult};
 pub use chooser::{FetchChooser, FnChooser, RoundRobin};
 pub use config::{CacheGeometry, SimConfig};
 pub use counters::{CounterSnapshot, PolicyView, ThreadCounters};
 pub use iqueue::IndexedQueue;
-pub use machine::{GlobalCounters, SmtMachine};
+pub use machine::{GlobalCounters, MigratedThread, SmtMachine};
+pub use multicore::{MultiCoreMachine, MultiCoreSnapshot, MC_FORMAT_VERSION};
 pub use obs::{
     AttrSnapshot, CommitCause, EventRing, FetchCause, IssueCause, MetricsRegistry, MetricsSnapshot,
     PipelineSampler, SlotAttribution, SlotStack,

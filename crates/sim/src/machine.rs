@@ -121,7 +121,29 @@ struct ThreadCtx {
     /// filter for the complete() scan; staleness on the low side only
     /// costs a wasted scan, never a missed completion.
     min_done_at: u64,
+    /// Cold-frontend penalty of a cross-core migration: fetch is held
+    /// until this cycle (0 = no pending penalty). Set by
+    /// [`SmtMachine::migrate_in`], attributed as [`FetchCause::Migration`].
+    migration_stall_until: u64,
     counters: ThreadCounters,
+}
+
+/// A thread's architectural residue in transit between cores: the stream
+/// position and cumulative counters survive a migration; every piece of
+/// microarchitectural state (window, rename, queues, stalls) is flushed
+/// at the source and rebuilt cold at the destination. Produced by
+/// [`SmtMachine::migrate_out`], consumed by [`SmtMachine::migrate_in`].
+#[derive(Clone, Debug)]
+pub struct MigratedThread {
+    stream: UopStream,
+    counters: ThreadCounters,
+}
+
+impl MigratedThread {
+    /// Cumulative committed micro-ops carried by the migrating thread.
+    pub fn committed(&self) -> u64 {
+        self.counters.committed
+    }
 }
 
 impl IqData {
@@ -237,6 +259,7 @@ impl ThreadCtx {
         self.wrong_path_since.encode(w);
         w.u64(self.wp_pc);
         w.u64(self.min_done_at);
+        w.u64(self.migration_stall_until);
         codec::encode_json(w, &self.counters);
     }
 
@@ -278,6 +301,7 @@ impl ThreadCtx {
             wrong_path_since: Option::decode(r)?,
             wp_pc: r.u64()?,
             min_done_at: r.u64()?,
+            migration_stall_until: r.u64()?,
             counters: codec::decode_json(r)?,
         })
     }
@@ -285,6 +309,7 @@ impl ThreadCtx {
     /// Can this thread accept fetch this cycle (ignoring chooser priority)?
     fn fetchable(&self, cycle: u64, cfg: &SimConfig) -> bool {
         self.fetch_enabled
+            && self.migration_stall_until <= cycle
             && self.icache_stall_until <= cycle
             && self.redirect_stall_until <= cycle
             && self.window.len() < cfg.rob_per_thread
@@ -373,6 +398,7 @@ impl SmtMachine {
                     wrong_path_since: None,
                     wp_pc: 0,
                     min_done_at: u64::MAX,
+                    migration_stall_until: 0,
                     counters: ThreadCounters::default(),
                 }
             })
@@ -1884,6 +1910,66 @@ impl SmtMachine {
         ctx.icache_stall_until = self.cycle + penalty;
         ctx.icache_ready_line = None;
         ctx.redirect_stall_until = self.cycle + penalty;
+        ctx.migration_stall_until = 0;
+    }
+
+    /// Extract `tid`'s architectural residue for a cross-core migration:
+    /// flush every in-flight op (returning its shared resources), then
+    /// park the context (fetch disabled, stalls cleared) and hand back
+    /// the stream position plus cumulative counters. Microarchitectural
+    /// state does not travel — the destination rebuilds it cold.
+    pub fn migrate_out(&mut self, tid: Tid) -> MigratedThread {
+        self.flush_thread(tid);
+        let ctx = &mut self.threads[tid.idx()];
+        debug_assert_eq!(ctx.counters.front_end_occ, 0, "flush left frontend occ");
+        debug_assert_eq!(ctx.counters.iq_occ, 0, "flush left IQ occ");
+        let stream = ctx.stream.clone();
+        let counters = std::mem::take(&mut ctx.counters);
+        ctx.fetch_enabled = false;
+        ctx.icache_stall_until = 0;
+        ctx.icache_ready_line = None;
+        ctx.redirect_stall_until = 0;
+        ctx.migration_stall_until = 0;
+        MigratedThread { stream, counters }
+    }
+
+    /// Install a migrated thread into context `tid`: the slot is flushed,
+    /// the stream position and cumulative counters are restored, the
+    /// wrong-path generator is re-derived from the stream position (as in
+    /// [`replace_thread`](Self::replace_thread)), and fetch is held for
+    /// `penalty` cycles of cold-frontend stall attributed as
+    /// [`crate::obs::FetchCause::Migration`].
+    pub fn migrate_in(&mut self, tid: Tid, thread: MigratedThread, penalty: u64) {
+        self.flush_thread(tid);
+        let ctx = &mut self.threads[tid.idx()];
+        let MigratedThread { stream, counters } = thread;
+        let base = stream.addr_base();
+        let ws = stream.profile().data_ws_bytes;
+        ctx.wp_gen = WrongPathGen::new(
+            SplitMix64::derive(0xAD75 ^ tid.idx() as u64, stream.generated() ^ 7),
+            base,
+            ws,
+        );
+        ctx.stream = stream;
+        ctx.counters = counters;
+        ctx.fetch_enabled = true;
+        ctx.icache_stall_until = 0;
+        ctx.icache_ready_line = None;
+        ctx.redirect_stall_until = 0;
+        ctx.migration_stall_until = self.cycle + penalty;
+    }
+
+    /// Park context `tid`: fetch disabled, stalls cleared. Used by the
+    /// multi-core constructor for slots above a core's initial occupancy.
+    pub fn park_thread(&mut self, tid: Tid) {
+        self.flush_thread(tid);
+        let ctx = &mut self.threads[tid.idx()];
+        ctx.counters = ThreadCounters::default();
+        ctx.fetch_enabled = false;
+        ctx.icache_stall_until = 0;
+        ctx.icache_ready_line = None;
+        ctx.redirect_stall_until = 0;
+        ctx.migration_stall_until = 0;
     }
 
     /// Flush every in-flight op of `tid` and return its shared resources
@@ -2111,6 +2197,8 @@ impl SmtMachine {
                 FetchCause::Drain
             } else if !ctx.fetch_enabled {
                 FetchCause::PolicyStarved
+            } else if ctx.migration_stall_until > now {
+                FetchCause::Migration
             } else if ctx.icache_stall_until > now {
                 FetchCause::L1iMiss
             } else if ctx.redirect_stall_until > now {

@@ -44,10 +44,13 @@ pub enum FetchCause {
     PolicyStarved,
     /// Machine-wide syscall drain suppressed fetch entirely.
     Drain,
+    /// Thread is serving the cold-frontend penalty of a cross-core
+    /// migration (see `MultiCoreMachine::apply_placement`).
+    Migration,
 }
 
 impl FetchCause {
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
     pub const ALL: [FetchCause; FetchCause::COUNT] = [
         FetchCause::Used,
         FetchCause::L1iMiss,
@@ -56,6 +59,7 @@ impl FetchCause {
         FetchCause::RobFull,
         FetchCause::PolicyStarved,
         FetchCause::Drain,
+        FetchCause::Migration,
     ];
 
     pub fn name(self) -> &'static str {
@@ -67,6 +71,7 @@ impl FetchCause {
             FetchCause::RobFull => "rob_full",
             FetchCause::PolicyStarved => "policy_starved",
             FetchCause::Drain => "drain",
+            FetchCause::Migration => "migration",
         }
     }
 }

@@ -42,7 +42,10 @@ pub const MAGIC: [u8; 8] = *b"SMTCKPT\0";
 ///
 /// v2: `UopStream` state gained a leading backend tag (synthetic vs
 /// trace replay), changing the thread payload layout.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: `ThreadCtx` gained `migration_stall_until` (cross-core migration
+/// cold-frontend penalty), changing the thread payload layout.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// A captured warm machine state.
 ///

@@ -3,7 +3,7 @@
 //! register exhaustion, fetch breaks, the syscall drain).
 
 use smt_isa::{AppProfile, ArchReg, BranchInfo, BranchKind, MemInfo, MicroOp, OpKind, Tid};
-use smt_sim::{RoundRobin, SimConfig, SmtMachine};
+use smt_sim::{FetchCause, MultiCoreMachine, RoundRobin, SimConfig, SmtMachine};
 use smt_workloads::UopStream;
 use std::sync::Arc;
 
@@ -531,5 +531,246 @@ fn wrongpath_squash_survives_quantum_boundary_flush() {
     // right path, so totals stay coherent after eight boundary flushes.
     assert!(c.fetched >= c.committed);
     m.run(1_000, &mut rr);
+    m.check_invariants();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-core migration edge cases (MultiCoreMachine).
+// ---------------------------------------------------------------------------
+
+fn synth(seed: u64, t: usize) -> UopStream {
+    UopStream::new(profile(), seed, smt_workloads::thread_addr_base(t))
+}
+
+/// Two single-context cores hosting one global thread on core 0; the spare
+/// slot on core 1 starts parked and is the migration target.
+fn two_cores_one_thread(script: Vec<MicroOp>, penalty: u64) -> MultiCoreMachine {
+    let cfg = SimConfig::with_threads(1);
+    let core0 = SmtMachine::new(
+        cfg.clone(),
+        vec![UopStream::scripted(profile(), BASE, script)],
+    );
+    let core1 = SmtMachine::new(cfg, vec![synth(99, 1)]);
+    MultiCoreMachine::from_cores(vec![core0, core1], vec![(0, 0)], penalty)
+}
+
+#[test]
+fn migration_mid_syscall_drain_releases_the_drain() {
+    // The script fetches a syscall behind a far-miss load, so the machine
+    // sits in drain mode for the load's whole miss latency. Migrating the
+    // thread away mid-drain must purge the pending syscall from the old
+    // core — an empty core must not keep draining — while the thread
+    // resumes (and still retires syscalls) on its new core.
+    let script = vec![
+        load(0x0, 3, 0x9000),
+        MicroOp {
+            kind: OpKind::Syscall,
+            ..MicroOp::nop(BASE | 0x4)
+        },
+        alu(0x8, 10, None),
+    ];
+    let mut m = two_cores_one_thread(script, 0);
+    let mut ch = [RoundRobin, RoundRobin];
+    while m.core(0).global().syscall_drain_cycles == 0 {
+        m.step(&mut ch);
+        assert!(m.cycle() < 5_000, "drain never engaged");
+    }
+    let drained_before = m.core(0).global().syscall_drain_cycles;
+    let committed_before = m.thread_counters(0).committed;
+    let syscalls_before = m.thread_counters(0).syscalls;
+    assert_eq!(m.apply_placement(&[1]), 1);
+    m.check_invariants();
+    assert_eq!(m.core(0).total_inflight(), 0, "migrate_out must flush");
+    m.run(8_000, &mut ch);
+    assert_eq!(
+        m.core(0).global().syscall_drain_cycles,
+        drained_before,
+        "empty core kept draining after the syscall owner migrated away"
+    );
+    let c = m.thread_counters(0);
+    assert!(
+        c.committed > committed_before,
+        "thread stalled after migration"
+    );
+    assert!(
+        c.syscalls > syscalls_before,
+        "migrated thread stopped retiring syscalls"
+    );
+    m.check_invariants();
+}
+
+#[test]
+fn migration_with_wrongpath_ops_in_flight() {
+    // A 50/50-bias branch-heavy stream keeps wrong-path fetch continuously
+    // active; migrating at an arbitrary cycle must catch speculative ops in
+    // flight, squash them cleanly, and carry the architectural counters to
+    // the new core untouched.
+    let profile = Arc::new(
+        AppProfile::builder("wrongpath-heavy")
+            .branch_frac(0.25)
+            .branch_bias(0.5)
+            .build(),
+    );
+    let cfg = SimConfig::with_threads(1);
+    let core0 = SmtMachine::new(
+        cfg.clone(),
+        vec![UopStream::new(
+            profile,
+            7,
+            smt_workloads::thread_addr_base(0),
+        )],
+    );
+    let core1 = SmtMachine::new(cfg, vec![synth(8, 1)]);
+    let mut m = MultiCoreMachine::from_cores(vec![core0, core1], vec![(0, 0)], 64);
+    let mut ch = [RoundRobin, RoundRobin];
+    m.run(997, &mut ch);
+    assert!(
+        m.thread_counters(0).wrongpath_fetched > 0,
+        "stream must be fetching down the wrong path"
+    );
+    let before = m.thread_counters(0).clone();
+    assert_eq!(m.apply_placement(&[1]), 1);
+    m.check_invariants();
+    assert_eq!(m.core(0).total_inflight(), 0, "wrong-path ops must squash");
+    assert_eq!(
+        *m.thread_counters(0),
+        before,
+        "architectural counters must travel unchanged"
+    );
+    m.run(3_000, &mut ch);
+    assert!(m.thread_counters(0).committed > before.committed);
+    m.check_invariants();
+}
+
+#[test]
+fn migrating_the_same_thread_two_quanta_in_a_row_stacks_cleanly() {
+    // Penalty longer than the inter-migration gap: the second migration
+    // lands while the first cold-frontend penalty is still being served.
+    // The stall must restart (not wedge), and fetch stays frozen across
+    // both windows.
+    let script: Vec<MicroOp> = (0..4u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
+    let mut m = two_cores_one_thread(script, 2_000);
+    let mut ch = [RoundRobin, RoundRobin];
+    m.run(200, &mut ch);
+    let before = m.thread_counters(0).committed;
+    assert!(before > 0);
+    assert_eq!(m.apply_placement(&[1]), 1);
+    m.run(500, &mut ch); // still inside the first penalty window
+    assert_eq!(m.apply_placement(&[0]), 1); // second migration mid-penalty
+    m.run(500, &mut ch); // still inside the restarted window
+    assert_eq!(m.migrations(), &[2]);
+    assert_eq!(
+        m.thread_counters(0).committed,
+        before,
+        "committed during a cold-frontend penalty"
+    );
+    m.check_invariants();
+    m.run(4_000, &mut ch); // well past cycle 1200 + 2000
+    assert!(
+        m.thread_counters(0).committed > before,
+        "thread never resumed after back-to-back migrations"
+    );
+    m.check_invariants();
+}
+
+#[test]
+fn allocation_can_empty_a_core_and_refill_it() {
+    // Co-scheduling both threads onto core 0 leaves core 1 with no work:
+    // it must keep cycling in lockstep (the shared-L2 rotation depends on
+    // it) without draining or deadlocking, and refilling it later works.
+    let cfg = SimConfig::with_threads(2);
+    let core0 = SmtMachine::new(cfg.clone(), vec![synth(1, 0), synth(91, 2)]);
+    let core1 = SmtMachine::new(cfg, vec![synth(92, 3), synth(2, 1)]);
+    let mut m = MultiCoreMachine::from_cores(vec![core0, core1], vec![(0, 0), (1, 1)], 32);
+    let mut ch = [RoundRobin, RoundRobin];
+    m.run(500, &mut ch);
+    assert_eq!(m.apply_placement(&[0, 0]), 1);
+    m.check_invariants();
+    assert_eq!(
+        m.core(1).total_inflight(),
+        0,
+        "emptied core must be flushed"
+    );
+    let (c0, c1) = (
+        m.thread_counters(0).committed,
+        m.thread_counters(1).committed,
+    );
+    // The machine-global counter keeps counting across migrations, so the
+    // emptied core's total freezes at whatever the departed thread left.
+    let core1_frozen = m.core(1).total_committed();
+    m.run(3_000, &mut ch);
+    assert!(m.thread_counters(0).committed > c0, "thread 0 stalled");
+    assert!(m.thread_counters(1).committed > c1, "thread 1 stalled");
+    assert_eq!(
+        m.core(1).cycle(),
+        m.core(0).cycle(),
+        "empty core fell out of lockstep"
+    );
+    assert_eq!(
+        m.core(1).total_committed(),
+        core1_frozen,
+        "empty core committed ops"
+    );
+    // Refill the emptied core and keep going.
+    assert_eq!(m.apply_placement(&[1, 0]), 1);
+    let c0 = m.thread_counters(0).committed;
+    m.run(3_000, &mut ch);
+    assert!(m.thread_counters(0).committed > c0, "refilled core stalled");
+    assert_eq!(m.migrations(), &[1, 1]);
+    m.check_invariants();
+}
+
+#[test]
+fn n_threads_on_one_core_matches_plain_smt_machine() {
+    // The N=1 equivalence guarantee at microtest scale: wrapping a 4-thread
+    // SmtMachine in MultiCoreMachine::single and stepping through odd-sized
+    // chunks must reproduce the standalone machine's counters exactly.
+    let cfg = SimConfig::with_threads(4);
+    let streams: Vec<UopStream> = (0..4).map(|t| synth(3 + t as u64, t)).collect();
+    let mut plain = SmtMachine::new(cfg.clone(), streams.clone());
+    let mut wrapped = MultiCoreMachine::single(SmtMachine::new(cfg, streams));
+    let mut ch = [RoundRobin];
+    for chunk in [13u64, 101, 997, 1, 7, 400] {
+        plain.run(chunk, &mut RoundRobin);
+        wrapped.run(chunk, &mut ch);
+        assert_eq!(
+            plain.counter_snapshot(),
+            wrapped.counter_snapshot(),
+            "wrapper diverged from plain machine"
+        );
+    }
+    assert!(plain.total_committed() > 0, "vacuous equivalence");
+    plain.check_invariants();
+    wrapped.check_invariants();
+}
+
+#[test]
+fn migration_penalty_freezes_fetch_and_is_attributed() {
+    // During the cold-frontend penalty the thread commits nothing (its
+    // pipeline was flushed and fetch is held), and the attribution layer
+    // charges the lost fetch slots to the dedicated Migration cause.
+    let script: Vec<MicroOp> = (0..4u8).map(|i| alu(4 * i as u64, 10 + i, None)).collect();
+    let mut m = two_cores_one_thread(script, 300);
+    let mut ch = [RoundRobin, RoundRobin];
+    m.run(500, &mut ch);
+    let before = m.thread_counters(0).committed;
+    assert_eq!(m.apply_placement(&[1]), 1);
+    m.core_mut(1).enable_attr();
+    m.run(300, &mut ch);
+    assert_eq!(
+        m.thread_counters(0).committed,
+        before,
+        "committed while the migration penalty held fetch"
+    );
+    let attr = m.core_mut(1).disable_attr().expect("attr was enabled");
+    assert!(
+        attr.stacks()[0].fetch_count(FetchCause::Migration) > 0,
+        "penalty cycles not attributed to the migration cause"
+    );
+    m.run(2_000, &mut ch);
+    assert!(
+        m.thread_counters(0).committed > before,
+        "thread never thawed after the penalty"
+    );
     m.check_invariants();
 }

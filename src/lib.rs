@@ -53,12 +53,12 @@ pub use smt_workloads as workloads;
 pub mod prelude {
     pub use crate::{adts, isa, policies, sim, stats, workloads};
     pub use adts_core::{
-        AdaptiveScheduler, AdtsConfig, CondThresholds, DtModel, Heuristic, HeuristicKind,
-        OracleConfig,
+        AdaptiveScheduler, AdtsConfig, AllocCell, AllocKind, AllocView, AllocationPolicy,
+        CondThresholds, DtModel, Heuristic, HeuristicKind, OracleConfig,
     };
     pub use smt_isa::{AppProfile, Tid};
     pub use smt_policies::{FetchPolicy, Tsu};
-    pub use smt_sim::{SimConfig, SmtMachine};
+    pub use smt_sim::{MultiCoreMachine, MultiCoreSnapshot, SimConfig, SmtMachine};
     pub use smt_stats::RunSeries;
     pub use smt_workloads::{app, mix, Mix, UopStream};
 }

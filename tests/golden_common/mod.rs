@@ -111,6 +111,111 @@ pub fn trace_fixture_path(mix_id: usize, threads: usize) -> PathBuf {
         .join(format!("trace_mix{mix_id:02}_t{threads}.json"))
 }
 
+// ---------------------------------------------------------------------------
+// Multi-core golden points (`golden_multicore.rs`).
+//
+// The N=1 half of that suite replays every fixture above byte-for-byte
+// through `MultiCoreMachine::single`; these constants scope the genuinely
+// multi-core half: 2-core allocation runs whose placement is re-decided
+// every quantum by an allocation policy, with a nonzero migration
+// penalty so the cost model is pinned too.
+// ---------------------------------------------------------------------------
+
+/// Cold-frontend fetch hold per migration in the pinned points, cycles.
+pub const MC_MIGRATION_PENALTY: u64 = 256;
+
+/// The multi-core points: (mix, threads, cores) — the 2-thread MIX01 and
+/// 4-thread MIX05 reductions already pinned at N=1, each on 2 cores.
+pub fn multicore_points() -> Vec<(usize, usize, usize)> {
+    vec![(1, 2, 2), (5, 4, 2)]
+}
+
+/// The allocation policies each multi-core point pins: the maximum-churn
+/// rotation (every quantum migrates every thread) and the feedback-driven
+/// greedy rebalance.
+pub fn multicore_allocs() -> Vec<&'static str> {
+    vec!["rotate", "ipc-greedy"]
+}
+
+pub fn multicore_fixture_path(mix_id: usize, threads: usize, cores: usize) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("mc{cores}_mix{mix_id:02}_t{threads}.json"))
+}
+
+/// One allocation policy's pinned observables for a multi-core point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AllocTrace {
+    pub alloc: String,
+    pub fetch: String,
+    /// Per-quantum committed micro-ops, all cores.
+    pub quantum_committed: Vec<u64>,
+    /// Per-quantum chip IPC in milli-instructions-per-cycle.
+    pub quantum_ipc_milli: Vec<u64>,
+    /// Final per-global-thread migration counts.
+    pub migrations: Vec<u64>,
+    /// Every global thread's full counter state after the last quantum.
+    pub final_counters: CounterSnapshot,
+}
+
+/// The whole fixture for one (mix, threads, cores) point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiGolden {
+    pub schema: u32,
+    pub mix: String,
+    pub threads: usize,
+    pub cores: usize,
+    pub seed: u64,
+    pub quanta: u64,
+    pub quantum_cycles: u64,
+    pub migration_penalty: u64,
+    pub allocs: Vec<AllocTrace>,
+}
+
+/// Semantic comparison of a committed multi-core fixture vs a fresh
+/// recording, naming the first divergence.
+pub fn compare_multi(old: &MultiGolden, new: &MultiGolden) -> Result<(), String> {
+    if old == new {
+        return Ok(());
+    }
+    for (oa, na) in old.allocs.iter().zip(&new.allocs) {
+        let at = format!(
+            "for {}+{} on {} (t{} c{})",
+            na.alloc, na.fetch, new.mix, new.threads, new.cores
+        );
+        for (what, o, n) in [
+            (
+                "per-quantum commits",
+                &oa.quantum_committed,
+                &na.quantum_committed,
+            ),
+            (
+                "per-quantum IPC",
+                &oa.quantum_ipc_milli,
+                &na.quantum_ipc_milli,
+            ),
+            ("migration counts", &oa.migrations, &na.migrations),
+        ] {
+            if o != n {
+                return Err(match o.iter().zip(n).position(|(a, b)| a != b) {
+                    Some(i) => format!(
+                        "{what} diverged {at}: index {i}: fixture {} vs fresh {}",
+                        o[i], n[i]
+                    ),
+                    None => format!("{what} diverged {at}: length {} vs {}", o.len(), n.len()),
+                });
+            }
+        }
+        if oa.final_counters != na.final_counters {
+            return Err(format!("final counters diverged {at}"));
+        }
+    }
+    Err(format!(
+        "multi-core golden structure diverged for {} (t{} c{})",
+        new.mix, new.threads, new.cores
+    ))
+}
+
 pub fn bless_requested() -> bool {
     std::env::var("SMT_GOLDEN_BLESS")
         .map(|v| v == "1")
