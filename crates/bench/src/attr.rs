@@ -23,15 +23,17 @@
 use crate::obs::slug;
 use crate::params::ExpParams;
 use crate::sweep;
-use crate::warm::warmed_machine;
+use crate::warm::{warmed_machine, warmed_multicore};
 use adts_core::{
-    decisions_jsonl, run_fixed_sampled, AdaptiveScheduler, AdtsConfig, DecisionRecord,
+    alloc_decisions_jsonl, decisions_jsonl, run_fixed_sampled, AdaptiveScheduler, AdtsConfig,
+    AllocCell, AllocDecisionRecord, AllocKind, DecisionRecord,
 };
 use smt_policies::FetchPolicy;
 use smt_sim::obs::{
-    export, register_attr_metrics, AttrSnapshot, CommitCause, FetchCause, IssueCause,
-    MetricsRegistry, SlotStack,
+    export, merge_attr_snapshots, register_attr_metrics, AttrSnapshot, CommitCause, FetchCause,
+    IssueCause, MetricsRegistry, SlotStack,
 };
+use smt_sim::run_scalar_quantum;
 use smt_stats::{percent_cell, shares, Table};
 use smt_workloads::Mix;
 use std::path::{Path, PathBuf};
@@ -362,6 +364,152 @@ pub fn explain_adaptive(
     Ok(art)
 }
 
+/// Where one multi-core explain pass's artifacts landed.
+#[derive(Clone, Debug)]
+pub struct McAttrArtifacts {
+    /// One CPI-stack CSV per core, `<slug>.core<c>.cpi.csv`.
+    pub core_cpi_csv: Vec<PathBuf>,
+    /// Merged machine-wide snapshot ([`merge_attr_snapshots`]) as JSON.
+    pub cpi_json: PathBuf,
+    /// One [`AllocDecisionRecord`] per quantum boundary.
+    pub decisions_path: PathBuf,
+    /// Human-readable migration timeline.
+    pub timeline_path: PathBuf,
+}
+
+/// The migration timeline: one line per quantum boundary naming the
+/// allocation decision and every hop it caused.
+fn render_migration_timeline(records: &[&AllocDecisionRecord]) -> String {
+    let mut out = String::from("# q  policy  reason  migrations  moves\n");
+    for rec in records {
+        let moves: Vec<String> = rec
+            .threads
+            .iter()
+            .filter(|r| r.migrated)
+            .map(|r| format!("t{}:c{}->c{}", r.thread, r.from_core, r.to_core))
+            .collect();
+        out.push_str(&format!(
+            "q={:<4} {:12} {:14} {:<3} {}\n",
+            rec.quantum,
+            rec.policy,
+            rec.reason.name(),
+            rec.migrations,
+            if moves.is_empty() {
+                "-".to_string()
+            } else {
+                moves.join(" ")
+            },
+        ));
+    }
+    out
+}
+
+/// Multi-core explain pass: slot attribution on every core plus the
+/// allocation decision audit. Produces per-core CPI stacks (each
+/// conserving `cycles x width` for its own core), the merged machine
+/// stack, the per-quantum [`AllocDecisionRecord`] log and the migration
+/// timeline. Migration stall cycles surface in the `migration` fetch
+/// category of the affected threads' stacks.
+pub fn explain_alloc(
+    mix: &Mix,
+    fetch: FetchPolicy,
+    alloc: AllocKind,
+    p: &ExpParams,
+    cores: usize,
+    penalty: u64,
+    opts: &AttrOptions,
+) -> std::io::Result<McAttrArtifacts> {
+    let t0 = Instant::now();
+    let mut machine = warmed_multicore(mix, p, cores, penalty);
+    machine.enable_attr();
+    let mut cell = AllocCell::new(fetch, alloc, p.quantum_cycles, &machine);
+    cell.enable_audit(p.quanta as usize + 1);
+    for _ in 0..p.quanta {
+        run_scalar_quantum(&mut cell, &mut machine);
+    }
+    let per_core_snaps: Vec<AttrSnapshot> = machine
+        .disable_attr()
+        .into_iter()
+        .map(|a| {
+            a.expect("multi-core explain pass ran without attribution enabled")
+                .snapshot()
+        })
+        .collect();
+    let audit = cell
+        .take_audit()
+        .expect("audit ring was enabled before the run");
+    let records: Vec<&AllocDecisionRecord> = audit.iter().collect();
+    let series = cell.into_series();
+
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let s = slug(mix, &format!("{}_{}_c{cores}", fetch.name(), alloc.name()));
+    let mut art = McAttrArtifacts {
+        core_cpi_csv: Vec::new(),
+        cpi_json: opts.out_dir.join(format!("{s}.cpi.json")),
+        decisions_path: opts.out_dir.join(format!("{s}.decisions.jsonl")),
+        timeline_path: opts.out_dir.join(format!("{s}.migration_timeline.txt")),
+    };
+    for (c, snap) in per_core_snaps.iter().enumerate() {
+        let title = format!(
+            "CPI stack — {} core {c} under {}+{} ({} quanta x {} cycles)",
+            mix.name,
+            fetch.name(),
+            alloc.name(),
+            p.quanta,
+            p.quantum_cycles
+        );
+        let table = cpi_table(&title, snap);
+        println!("{}", table.render());
+        let path = opts.out_dir.join(format!("{s}.core{c}.cpi.csv"));
+        table.to_csv(&path)?;
+        art.core_cpi_csv.push(path);
+    }
+    let merged = merge_attr_snapshots(&per_core_snaps);
+    std::fs::write(&art.cpi_json, serde::json::to_string(&merged))?;
+    std::fs::write(
+        &art.decisions_path,
+        alloc_decisions_jsonl(records.iter().copied()),
+    )?;
+    std::fs::write(&art.timeline_path, render_migration_timeline(&records))?;
+    log_pass(
+        &format!("{}/{}+{}x{cores}", mix.name, fetch.name(), alloc.name()),
+        &series,
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
+    Ok(art)
+}
+
+/// The binaries' multi-core `--attr` entry point (`--alloc --cores N`
+/// with `--attr`): one explain pass per selected mix × allocation
+/// policy, fetch fixed at ICOUNT.
+pub fn run_explain_multicore(
+    p: &ExpParams,
+    opts: &AttrOptions,
+    cores: usize,
+    penalty: u64,
+    allocs: &[AllocKind],
+) {
+    sweep::engine().begin_scope("attr-mc");
+    for mix in p.mixes() {
+        for &alloc in allocs {
+            match explain_alloc(&mix, FetchPolicy::Icount, alloc, p, cores, penalty, opts) {
+                Ok(a) => {
+                    for c in &a.core_cpi_csv {
+                        println!("[attr] {}", c.display());
+                    }
+                    println!("[attr] {}", a.decisions_path.display());
+                }
+                Err(e) => eprintln!(
+                    "warning: multi-core attr pass for {}/{} failed: {e}",
+                    mix.name,
+                    alloc.name()
+                ),
+            }
+        }
+    }
+    println!("{}\n", sweep::engine().scope_summary());
+}
+
 /// The binaries' `--attr` entry point: one fixed-ICOUNT explain pass and
 /// one adaptive explain pass per selected mix.
 pub fn run_explain(p: &ExpParams, opts: &AttrOptions) {
@@ -453,6 +601,66 @@ mod tests {
         assert_eq!(sum_stage("commit"), *cycles * cfg.commit_width as u64);
         let csv = std::fs::read_to_string(&art.cpi_csv).unwrap();
         assert!(csv.contains("policy_starved"));
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn multicore_explain_conserves_slots_per_core() {
+        let opts = tmp_opts("mc");
+        let p = tiny_params();
+        let mix = smt_workloads::mix(1).take_threads(4, 7);
+        let art = explain_alloc(
+            &mix,
+            FetchPolicy::Icount,
+            AllocKind::Rotate,
+            &p,
+            2,
+            64,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(art.core_cpi_csv.len(), 2);
+        let window = p.quanta * p.quantum_cycles;
+        let cfg = smt_sim::SimConfig::with_threads(2);
+        for path in &art.core_cpi_csv {
+            // Re-sum the per-core CSV: each stage must account for
+            // exactly cycles x width slots on its own core.
+            let csv = std::fs::read_to_string(path).unwrap();
+            let mut fetch_total = 0u64;
+            for line in csv.lines().skip(1) {
+                let cols: Vec<&str> = line.split(',').collect();
+                if cols[0] == "fetch" {
+                    fetch_total += cols[cols.len() - 2].parse::<u64>().unwrap();
+                }
+            }
+            assert_eq!(
+                fetch_total,
+                window * cfg.fetch_width as u64,
+                "{}",
+                path.display()
+            );
+        }
+        // The merged snapshot spans the same window, all threads.
+        let json = std::fs::read_to_string(&art.cpi_json).unwrap();
+        let v: Value = serde::json::from_str(&json).unwrap();
+        assert_eq!(v.get("cycles"), Some(&Value::UInt(window)));
+        let Some(Value::Seq(threads)) = v.get("threads") else {
+            panic!("threads must be a list");
+        };
+        // Every core carries one context slot per mix thread, so the
+        // merged stack has cores x threads entries (2 x 4).
+        assert_eq!(threads.len(), 8);
+        // One decision per quantum, each with a rotate rationale.
+        let decisions = std::fs::read_to_string(&art.decisions_path).unwrap();
+        assert_eq!(decisions.lines().count(), p.quanta as usize);
+        for line in decisions.lines() {
+            let v: Value = serde::json::from_str(line).unwrap();
+            assert_eq!(v.get("policy"), Some(&Value::Str("rotate".into())));
+            assert_eq!(v.get("reason"), Some(&Value::Str("cyclic_shift".into())));
+        }
+        let timeline = std::fs::read_to_string(&art.timeline_path).unwrap();
+        assert_eq!(timeline.lines().count(), 1 + p.quanta as usize);
+        assert!(timeline.contains("->c"), "rotate must migrate:\n{timeline}");
         let _ = std::fs::remove_dir_all(&opts.out_dir);
     }
 

@@ -18,8 +18,8 @@
 use adts_core::CondThresholds;
 use smt_bench::{
     alloc_sweep, fixed_series, parallel::par_map, sweep, tracebench, AllocCli, BatchCli, CkptCli,
-    ExpParams, InstrumentCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
-    TRACE_USAGE,
+    ExpParams, InstrumentCli, SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE,
+    INSTRUMENT_USAGE, SPANS_USAGE, TRACE_USAGE,
 };
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
@@ -34,6 +34,7 @@ fn main() {
     let mut batch = BatchCli::default();
     let mut trace = TraceCli::default();
     let mut alloc = AllocCli::default();
+    let mut spans = SpanCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -68,13 +69,20 @@ fn main() {
                     } else {
                         alloc.accept(flag, &mut args)
                     }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        spans.accept(flag, &mut args)
+                    }
                 }) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, --jobs N, \
                          {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE}, \
-                         {ALLOC_USAGE})"
+                         {ALLOC_USAGE}, {SPANS_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -92,6 +100,7 @@ fn main() {
     });
     ckpt.apply();
     batch.apply();
+    spans.apply();
     // The paper's measurement protocol as ExpParams: the standard seed and
     // quantum, a short warmed window, all thirteen mixes.
     let p = ExpParams {
@@ -163,8 +172,9 @@ fn main() {
             mix_ids: p.mix_ids[..1].to_vec(),
             ..p.clone()
         };
-        instrument.run(&obs_p);
+        instrument.run(&obs_p, &alloc);
     }
+    spans.finish();
     println!(
         "\nPer the paper's method, CondThresholds::default should carry the\n\
          measured means; the COND_* conditions then fire exactly when a\n\

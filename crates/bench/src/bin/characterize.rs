@@ -18,8 +18,8 @@
 
 use serde::{Deserialize, Serialize};
 use smt_bench::{
-    alloc_sweep, sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams, InstrumentCli,
-    TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
+    alloc_sweep, sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams, InstrumentCli, SpanCli,
+    TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, SPANS_USAGE, TRACE_USAGE,
 };
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
@@ -75,6 +75,7 @@ fn main() {
     let mut batch = BatchCli::default();
     let mut trace = TraceCli::default();
     let mut alloc = AllocCli::default();
+    let mut spans = SpanCli::default();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -108,13 +109,20 @@ fn main() {
                     } else {
                         alloc.accept(flag, &mut args)
                     }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        spans.accept(flag, &mut args)
+                    }
                 }) {
                 Ok(true) => {}
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, \
                          {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE}, \
-                         {ALLOC_USAGE})"
+                         {ALLOC_USAGE}, {SPANS_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -134,6 +142,7 @@ fn main() {
     // the warm pool, so the checkpoint flags apply here too.
     ckpt.apply();
     batch.apply();
+    spans.apply();
     // Standalone trace pass — characterize has no mix protocol of its
     // own, so trace capture/replay runs at the standard experiment scale.
     match tracebench::run_cli(&trace, &ExpParams::standard(), &instrument.attr) {
@@ -199,7 +208,7 @@ fn main() {
             mix_ids: vec![1],
             ..ExpParams::smoke()
         };
-        instrument.run(&obs_p);
+        instrument.run(&obs_p, &alloc);
     }
     if alloc.requested {
         // Multi-core context pass, same spirit: how the characterized
@@ -213,4 +222,5 @@ fn main() {
         println!("\n{}", sw.ipc_table().render());
         println!("{}", sweep::engine().scope_summary());
     }
+    spans.finish();
 }

@@ -42,6 +42,15 @@
 //!                     per-mix CPI-stack tables, CSV/JSON artifacts, a
 //!                     decision JSONL and the switch timeline
 //!   --attr-out DIR    explain artifact directory (default results/attr)
+//!                     (--obs/--attr combined with `alloc --cores N` re-run
+//!                     the passes on the N-core machine: per-core event
+//!                     rings, merged Chrome trace with migration arrows,
+//!                     per-core CPI stacks and the allocation decision log)
+//!   --spans           record a hierarchical span trace of the sweep engine
+//!                     itself (points, warmups, checkpoint I/O, batch forks,
+//!                     worker lanes) and export JSONL / Chrome-trace /
+//!                     Prometheus artifacts at exit
+//!   --spans-out DIR   span artifact directory (default results/spans)
 //!   --no-ckpt         disable the warm pool and on-disk checkpoint store
 //!                     (every experiment point pays its own warmup)
 //!   --ckpt-dir DIR    checkpoint store location (default results/cache/ckpt)
@@ -94,7 +103,8 @@ use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
     ablate_threshold, alloc_sweep, headline, headline_random, jobsched, oracle, scaling, sweep,
     table1, threshold_type_sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams,
-    InstrumentCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, TRACE_USAGE,
+    InstrumentCli, SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
+    SPANS_USAGE, TRACE_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -114,6 +124,7 @@ struct Cli {
     batch: BatchCli,
     trace: TraceCli,
     alloc: AllocCli,
+    spans: SpanCli,
     bench: bool,
     quick: bool,
     bench_out: PathBuf,
@@ -140,6 +151,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut batch = BatchCli::default();
     let mut trace = TraceCli::default();
     let mut alloc = AllocCli::default();
+    let mut spans = SpanCli::default();
     let mut bench = false;
     let mut quick = false;
     let mut bench_out = PathBuf::from("BENCH_sim.json");
@@ -173,6 +185,7 @@ fn parse_args() -> Result<Cli, String> {
             flag if batch.accept(flag, &mut args)? => {}
             flag if trace.accept(flag, &mut args)? => {}
             flag if alloc.accept(flag, &mut args)? => {}
+            flag if spans.accept(flag, &mut args)? => {}
             "--bench" => bench = true,
             "--quick" => quick = true,
             "--bench-out" => {
@@ -258,6 +271,7 @@ fn parse_args() -> Result<Cli, String> {
         batch,
         trace,
         alloc,
+        spans,
         bench,
         quick,
         bench_out,
@@ -495,6 +509,7 @@ fn main() {
         println!("             {BATCH_USAGE}");
         println!("             {TRACE_USAGE}");
         println!("             {ALLOC_USAGE}");
+        println!("             {SPANS_USAGE}");
         println!("       repro --bench [--quick] [--bench-out PATH] [--check-baseline PATH]");
         println!("       repro --bench-sweep [--quick] [--bench-sweep-out PATH]");
         println!("                           [--check-sweep-baseline PATH]");
@@ -515,6 +530,7 @@ fn main() {
     });
     cli.ckpt.apply();
     cli.batch.apply();
+    cli.spans.apply();
     let t0 = Instant::now();
     match tracebench::run_cli(&cli.trace, p, &cli.instrument.attr) {
         Ok(false) => {}
@@ -629,7 +645,8 @@ fn main() {
         );
     }
     if cli.instrument.any_enabled() {
-        cli.instrument.run(p);
+        cli.instrument.run(p, &cli.alloc);
     }
+    cli.spans.finish();
     eprintln!("done in {:.1}s", t0.elapsed().as_secs_f64());
 }

@@ -39,6 +39,74 @@ pub const TRACE_USAGE: &str = "[--capture-trace FILE] [--trace FILE]";
 /// binary.
 pub const ALLOC_USAGE: &str = "[--cores N] [--alloc NAME]... [--mig-penalty N]";
 
+/// Usage fragment for the engine span-trace flags shared by every
+/// binary.
+pub const SPANS_USAGE: &str = "[--spans] [--spans-out DIR]";
+
+/// The engine span-trace flags (`--spans`, `--spans-out`) shared by
+/// every experiment binary. `--spans` turns on the process-wide
+/// [`crate::sweep::span::SpanRecorder`] for the whole run — per-point
+/// spans, warm-pool and checkpoint events, batch forks, worker lanes —
+/// and the binary writes the three artifacts (`spans.jsonl`,
+/// `spans.trace.json`, `engine.prom`) on exit.
+#[derive(Clone, Debug)]
+pub struct SpanCli {
+    /// `--spans`: record the engine trace at all.
+    pub enabled: bool,
+    /// `--spans-out DIR`: artifact directory.
+    pub out_dir: PathBuf,
+}
+
+impl Default for SpanCli {
+    fn default() -> Self {
+        SpanCli {
+            enabled: false,
+            out_dir: PathBuf::from("results/spans"),
+        }
+    }
+}
+
+impl SpanCli {
+    /// Same contract as [`InstrumentCli::accept`].
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--spans" => self.enabled = true,
+            "--spans-out" => {
+                self.out_dir = PathBuf::from(args.next().ok_or("--spans-out needs a value")?);
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Enable the process-wide recorder if requested. Call once, after
+    /// argument parsing and before any experiment runs.
+    pub fn apply(&self) {
+        if self.enabled {
+            crate::sweep::span::set_enabled(true);
+        }
+    }
+
+    /// Write the engine-trace artifacts (no-op unless `--spans`); call
+    /// at binary exit, after every experiment ran.
+    pub fn finish(&self) {
+        if !self.enabled {
+            return;
+        }
+        match crate::sweep::spans().write_artifacts(&self.out_dir) {
+            Ok(art) => println!("[spans] {}", art.trace.display()),
+            Err(e) => eprintln!(
+                "warning: engine span artifacts at {} failed: {e}",
+                self.out_dir.display()
+            ),
+        }
+    }
+}
+
 /// The multi-core allocation flags (`--cores`, `--alloc`,
 /// `--mig-penalty`) shared by every experiment binary. They parameterize
 /// the `alloc_sweep` experiment: core count, the allocation policies to
@@ -288,13 +356,38 @@ impl InstrumentCli {
     }
 
     /// Run whichever instrumented passes were requested, in the canonical
-    /// order (observe, then explain).
-    pub fn run(&self, p: &ExpParams) {
+    /// order (observe, then explain). When the user also asked for the
+    /// multi-core context (`--cores`/`--alloc`/`--mig-penalty` with more
+    /// than one core), the passes instrument that context instead of the
+    /// single-core one — previously `--obs --cores 2` silently observed
+    /// a single-core run.
+    pub fn run(&self, p: &ExpParams, alloc: &AllocCli) {
+        let multicore = alloc.requested && alloc.cores > 1;
         if self.obs.enabled {
-            obs::run_observations(p, &self.obs);
+            if multicore {
+                obs::run_observations_multicore(
+                    p,
+                    &self.obs,
+                    alloc.cores,
+                    alloc.penalty,
+                    &alloc.allocs(),
+                );
+            } else {
+                obs::run_observations(p, &self.obs);
+            }
         }
         if self.attr.enabled {
-            attr::run_explain(p, &self.attr);
+            if multicore {
+                attr::run_explain_multicore(
+                    p,
+                    &self.attr,
+                    alloc.cores,
+                    alloc.penalty,
+                    &alloc.allocs(),
+                );
+            } else {
+                attr::run_explain(p, &self.attr);
+            }
         }
     }
 }
@@ -467,6 +560,33 @@ mod tests {
         assert!(err.contains("ipc-greedy"), "{err}");
         assert!(parse_alloc(&["--mig-penalty", "-1"]).is_err());
         assert!(parse_alloc(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_spans(tokens: &[&str]) -> Result<SpanCli, String> {
+        let mut cli = SpanCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn spans_default_off_under_results() {
+        let cli = parse_spans(&[]).unwrap();
+        assert!(!cli.enabled);
+        assert_eq!(cli.out_dir, PathBuf::from("results/spans"));
+    }
+
+    #[test]
+    fn spans_flags_parse_and_validate() {
+        let cli = parse_spans(&["--spans", "--spans-out", "elsewhere"]).unwrap();
+        assert!(cli.enabled);
+        assert_eq!(cli.out_dir, PathBuf::from("elsewhere"));
+        assert!(parse_spans(&["--spans-out"]).is_err());
+        assert!(parse_spans(&["--frobnicate"]).is_err());
     }
 
     #[test]

@@ -261,8 +261,9 @@ pub(crate) fn run_mix_batch(
     let machine = warmed_machine(mix, p);
     let cells = sweep_point_cells(machine.n_threads(), thresholds, kinds, p);
     let mut batch = smt_sim::MachineBatch::new(machine, cells);
-    for _ in 0..p.quanta {
-        batch.run_quantum();
+    for q in 0..p.quanta {
+        let forks = batch.run_quantum();
+        sweep::span::note_batch_forks(q, &forks);
     }
     let stats = batch.stats();
     let series = batch
@@ -1156,8 +1157,9 @@ fn run_alloc_mix_batch(
         }
     }
     let mut batch = smt_sim::MachineBatch::new(machine, cells);
-    for _ in 0..p.quanta {
-        batch.run_quantum();
+    for q in 0..p.quanta {
+        let forks = batch.run_quantum();
+        sweep::span::note_batch_forks(q, &forks);
     }
     batch
         .into_cells()

@@ -21,10 +21,13 @@
 
 use crate::params::ExpParams;
 use crate::sweep;
-use crate::warm::warmed_machine;
-use adts_core::{register_series_metrics, run_fixed_sampled, AdaptiveScheduler, AdtsConfig};
+use crate::warm::{warmed_machine, warmed_multicore};
+use adts_core::{
+    register_series_metrics, run_fixed_sampled, AdaptiveScheduler, AdtsConfig, AllocCell, AllocKind,
+};
 use smt_policies::FetchPolicy;
-use smt_sim::obs::{export, MetricsRegistry, PipelineSampler};
+use smt_sim::obs::{export, MetricsRegistry, MigrationArrow, MultiCoreSampler, PipelineSampler};
+use smt_sim::run_scalar_quantum;
 use smt_stats::RunSeries;
 use smt_workloads::Mix;
 use std::path::{Path, PathBuf};
@@ -181,6 +184,143 @@ pub fn observe_adaptive(
     Ok(art)
 }
 
+/// Where one multi-core observe pass's artifacts landed.
+#[derive(Clone, Debug)]
+pub struct McObsArtifacts {
+    /// One retained event ring per core, `<slug>.core<c>.events.jsonl`.
+    pub core_events: Vec<PathBuf>,
+    /// Merged Chrome trace: one track group per core, migration arrows
+    /// between them.
+    pub trace_path: PathBuf,
+    pub prom_path: PathBuf,
+    /// Summed across cores.
+    pub events_recorded: u64,
+    /// Summed across cores.
+    pub events_retained: u64,
+    /// Cross-core thread migrations observed over the measured quanta.
+    pub migrations: usize,
+}
+
+/// Instrumented multi-core pass over one mix: warm exactly like the
+/// allocation sweep, then run `fetch`+`alloc` with per-core event rings,
+/// the [`MultiCoreSampler`] (per-core occupancy, thread placement,
+/// shared-L2 contention) and migration arrows derived from placement
+/// diffs at each quantum boundary.
+pub fn observe_alloc(
+    mix: &Mix,
+    fetch: FetchPolicy,
+    alloc: AllocKind,
+    p: &ExpParams,
+    cores: usize,
+    penalty: u64,
+    opts: &ObsOptions,
+) -> std::io::Result<McObsArtifacts> {
+    let t0 = Instant::now();
+    let mut machine = warmed_multicore(mix, p, cores, penalty);
+    machine.enable_trace(opts.events_cap);
+    let mut reg = MetricsRegistry::new();
+    let mut sampler = MultiCoreSampler::new(&mut reg, &machine);
+    let mut cell = AllocCell::new(fetch, alloc, p.quantum_cycles, &machine);
+    let mut migrations: Vec<MigrationArrow> = Vec::new();
+    for _ in 0..p.quanta {
+        let before = machine.placement().to_vec();
+        run_scalar_quantum(&mut cell, &mut machine);
+        let cycle = machine.cycle();
+        for (g, (prev, now)) in before.iter().zip(machine.placement()).enumerate() {
+            if prev.0 != now.0 {
+                migrations.push(MigrationArrow {
+                    cycle,
+                    thread: g,
+                    from_core: prev.0,
+                    to_core: now.0,
+                });
+            }
+        }
+        sampler.sample(&machine, &mut reg);
+    }
+    let series = cell.into_series();
+    register_series_metrics(&mut reg, &series);
+
+    std::fs::create_dir_all(&opts.out_dir)?;
+    let s = slug(mix, &format!("{}_{}_c{cores}", fetch.name(), alloc.name()));
+    let bufs = machine.disable_trace();
+    let mut art = McObsArtifacts {
+        core_events: Vec::new(),
+        trace_path: opts.out_dir.join(format!("{s}.trace.json")),
+        prom_path: opts.out_dir.join(format!("{s}.prom")),
+        events_recorded: 0,
+        events_retained: 0,
+        migrations: migrations.len(),
+    };
+    let mut per_core: Vec<Vec<smt_sim::TraceEvent>> = Vec::with_capacity(bufs.len());
+    for (c, buf) in bufs.iter().enumerate() {
+        let buf = buf
+            .as_ref()
+            .expect("multi-core observe pass ran without tracing enabled");
+        art.events_recorded += buf.recorded;
+        art.events_retained += buf.len() as u64;
+        let path = opts.out_dir.join(format!("{s}.core{c}.events.jsonl"));
+        std::fs::write(&path, export::events_jsonl(buf.events()))?;
+        art.core_events.push(path);
+        per_core.push(buf.events().copied().collect());
+    }
+    std::fs::write(
+        &art.trace_path,
+        export::chrome_multicore_trace(&per_core, &migrations),
+    )?;
+    std::fs::write(&art.prom_path, export::prometheus(&reg))?;
+
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let mut rec = sweep::TelemetryRecord::from_series(
+        "obs",
+        "observed_mc",
+        &format!("{}/{}+{}x{cores}", mix.name, fetch.name(), alloc.name()),
+        "-".into(),
+        sweep::CacheOutcome::Bypass,
+        wall_ms,
+        &series,
+    );
+    rec.obs = Some(sweep::ObsSummary {
+        events_recorded: art.events_recorded,
+        events_retained: art.events_retained,
+        out_dir: opts.out_dir.display().to_string(),
+    });
+    sweep::engine().append_telemetry(&rec, wall_ms);
+    Ok(art)
+}
+
+/// The binaries' multi-core `--obs` entry point (`--alloc --cores N`
+/// with `--obs`): one instrumented pass per selected mix × allocation
+/// policy, fetch fixed at ICOUNT, artifacts under `opts.out_dir`.
+pub fn run_observations_multicore(
+    p: &ExpParams,
+    opts: &ObsOptions,
+    cores: usize,
+    penalty: u64,
+    allocs: &[AllocKind],
+) {
+    sweep::engine().begin_scope("obs-mc");
+    for mix in p.mixes() {
+        for &alloc in allocs {
+            match observe_alloc(&mix, FetchPolicy::Icount, alloc, p, cores, penalty, opts) {
+                Ok(a) => println!(
+                    "[obs] {} ({} events recorded, {} retained, {} migrations)",
+                    a.trace_path.display(),
+                    a.events_recorded,
+                    a.events_retained,
+                    a.migrations
+                ),
+                Err(e) => eprintln!(
+                    "warning: multi-core obs pass for {}/{} failed: {e}",
+                    mix.name,
+                    alloc.name()
+                ),
+            }
+        }
+    }
+    println!("{}\n", sweep::engine().scope_summary());
+}
+
 /// The binaries' `--obs` entry point: one fixed-ICOUNT pass and one
 /// adaptive pass per selected mix, artifacts under `opts.out_dir`.
 pub fn run_observations(p: &ExpParams, opts: &ObsOptions) {
@@ -247,6 +387,41 @@ mod tests {
         for line in jsonl.lines() {
             let _: smt_sim::TraceEvent = serde::json::from_str(line).unwrap();
         }
+        let _ = std::fs::remove_dir_all(&opts.out_dir);
+    }
+
+    #[test]
+    fn multicore_pass_writes_per_core_events_and_merged_trace() {
+        let opts = tmp_opts("mc");
+        let p = tiny_params();
+        let mix = smt_workloads::mix(1).take_threads(4, 7);
+        let art = observe_alloc(
+            &mix,
+            FetchPolicy::Icount,
+            AllocKind::Rotate,
+            &p,
+            2,
+            64,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(art.core_events.len(), 2);
+        assert!(art.events_recorded > 0);
+        for path in &art.core_events {
+            let text = std::fs::read_to_string(path).unwrap();
+            assert!(!text.is_empty(), "{} must not be empty", path.display());
+            for line in text.lines() {
+                let _: smt_sim::TraceEvent = serde::json::from_str(line).unwrap();
+            }
+        }
+        // Rotate cyclic-shifts the placement every boundary, so the merged
+        // trace must carry migration arrows between core track groups.
+        assert!(art.migrations > 0);
+        let trace = std::fs::read_to_string(&art.trace_path).unwrap();
+        assert!(trace.contains("migrate"), "arrows missing from trace");
+        let prom = std::fs::read_to_string(&art.prom_path).unwrap();
+        assert!(prom.contains("shared_l2_accesses"), "{prom}");
+        assert!(prom.contains("core1_fetch_slots"), "{prom}");
         let _ = std::fs::remove_dir_all(&opts.out_dir);
     }
 

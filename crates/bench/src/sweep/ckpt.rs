@@ -17,7 +17,7 @@
 //! single-line `stats.json` in its directory — CI asserts on it to prove
 //! a warm run actually hit the store.
 
-use crate::sweep::CacheKey;
+use crate::sweep::{span, CacheKey};
 use smt_sim::snapshot::MachineSnapshot;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -74,11 +74,13 @@ impl CkptStore {
     /// different format version — it is removed so the next store can
     /// replace it, and the caller falls back to a cold warmup.
     pub fn load(&self, key: CacheKey) -> Result<Option<MachineSnapshot>, String> {
+        let _sp = span::spans().begin("ckpt-load", "ckpt");
         let path = self.entry_path(key);
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,
             Err(_) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                span::spans().bump("ckpt_misses", 1);
                 self.write_stats();
                 return Ok(None);
             }
@@ -86,12 +88,14 @@ impl CkptStore {
         match MachineSnapshot::from_bytes(&bytes) {
             Ok(snap) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                span::spans().bump("ckpt_hits", 1);
                 self.write_stats();
                 Ok(Some(snap))
             }
             Err(e) => {
                 let _ = std::fs::remove_file(&path);
                 self.errors.fetch_add(1, Ordering::Relaxed);
+                span::spans().bump("ckpt_errors", 1);
                 self.write_stats();
                 Err(format!("checkpoint {} unusable: {e}", key.hex()))
             }
@@ -102,6 +106,8 @@ impl CkptStore {
     /// failures are non-fatal: the caller already holds the warm state in
     /// memory.
     pub fn store(&self, key: CacheKey, snapshot: &MachineSnapshot) {
+        let _sp = span::spans().begin("ckpt-store", "ckpt");
+        span::spans().bump("ckpt_stores", 1);
         let bytes = snapshot.to_bytes();
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let tmp = self

@@ -88,14 +88,20 @@ where
     let slots: Vec<Mutex<Option<Result<R, PointError>>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+        for w in 0..workers {
+            let (next, slots, one) = (&next, &slots, &one);
+            s.spawn(move || {
+                // Lanes are 1-based: lane 0 is the main thread's track
+                // in the engine span trace.
+                super::span::set_lane(w as u32 + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = one(i);
+                    *slots[i].lock().expect("slot poisoned") = Some(r);
                 }
-                let r = one(i);
-                *slots[i].lock().expect("slot poisoned") = Some(r);
             });
         }
     });

@@ -22,12 +22,16 @@
 pub mod cache;
 pub mod ckpt;
 pub mod executor;
+pub mod span;
 pub mod telemetry;
 
 pub use cache::{point_key, CacheKey, ResultCache, CODE_SALT};
 pub use ckpt::{CkptStats, CkptStore};
 pub use executor::{resolve_jobs, run_isolated, PointError};
-pub use telemetry::{CacheOutcome, ObsSummary, TelemetryRecord, TelemetrySink};
+pub use span::{spans, SpanArtifacts, SpanEvent, SpanRecorder};
+pub use telemetry::{
+    CacheOutcome, ObsSummary, TelemetryRecord, TelemetrySink, TELEMETRY_SCHEMA_VERSION,
+};
 
 use serde::{Deserialize, Serialize};
 use smt_stats::RunSeries;
@@ -150,11 +154,21 @@ impl SweepEngine {
         let mut s = self.scope.lock().expect("sweep scope poisoned");
         s.points += 1;
         s.wall_ms += wall_ms;
-        match outcome {
-            CacheOutcome::Hit => s.hits += 1,
-            CacheOutcome::Miss => s.misses += 1,
-            CacheOutcome::Bypass => s.bypassed += 1,
-        }
+        let counter = match outcome {
+            CacheOutcome::Hit => {
+                s.hits += 1;
+                "cache_hits"
+            }
+            CacheOutcome::Miss => {
+                s.misses += 1;
+                "cache_misses"
+            }
+            CacheOutcome::Bypass => {
+                s.bypassed += 1;
+                "cache_bypass"
+            }
+        };
+        span::spans().bump(counter, 1);
         s.label.clone()
     }
 
@@ -167,6 +181,12 @@ impl SweepEngine {
         key: CacheKey,
         run: impl FnOnce() -> RunSeries,
     ) -> RunSeries {
+        // The label is only formatted when spans are on, so the
+        // disabled path stays allocation-free.
+        let sp = span::spans();
+        let _sp = sp
+            .enabled()
+            .then(|| sp.begin(&format!("point:{kind}:{point}"), "point"));
         let t0 = Instant::now();
         let (outcome, series) = match &self.cache {
             Some(c) => match c.load::<RunSeries>(key) {

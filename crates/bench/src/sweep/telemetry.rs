@@ -8,12 +8,25 @@
 //! is append-only JSONL so repeated `repro` invocations accumulate a
 //! machine-readable log of everything that was ever simulated, and each
 //! record round-trips through `serde::json`.
+//!
+//! Records are versioned: every line carries a `schema` field
+//! ([`TELEMETRY_SCHEMA_VERSION`]) and a per-sink monotonic `seq` stamped
+//! at append time, so interleaved writers and truncated logs are
+//! detectable after the fact. Deserialization accepts lines written
+//! before these fields existed (they read back as `schema: 1, seq: 0`),
+//! so an existing `telemetry.jsonl` keeps parsing across the upgrade.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use smt_stats::RunSeries;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+
+/// Schema version stamped on every record this build writes. Version 1
+/// is the pre-`schema`-field format (no `schema`/`seq` keys on the
+/// line); version 2 added both.
+pub const TELEMETRY_SCHEMA_VERSION: u32 = 2;
 
 /// How the engine satisfied one sweep point.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -40,8 +53,17 @@ pub struct ObsSummary {
 }
 
 /// One line of `telemetry.jsonl`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is hand-written (not derived) because the derive
+/// requires every field to be present, while `schema`/`seq` must
+/// default on version-1 lines written before they existed.
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct TelemetryRecord {
+    /// Record format version; see [`TELEMETRY_SCHEMA_VERSION`].
+    pub schema: u32,
+    /// Monotonic per-sink sequence number, stamped at append time
+    /// (0 = never appended, e.g. a record built but not yet logged).
+    pub seq: u64,
     /// Table/experiment slug the point belongs to (e.g. `"e1_table1"`).
     pub experiment: String,
     /// Run kind (`"fixed"`, `"adaptive"`, `"oracle"`, ...).
@@ -99,6 +121,8 @@ impl TelemetryRecord {
                 / cycles as f64
         };
         TelemetryRecord {
+            schema: TELEMETRY_SCHEMA_VERSION,
+            seq: 0,
             experiment: experiment.to_string(),
             kind: kind.to_string(),
             point: point.to_string(),
@@ -119,10 +143,51 @@ impl TelemetryRecord {
     }
 }
 
+impl Deserialize for TelemetryRecord {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(TelemetryRecord {
+            // Absent on version-1 lines: default rather than error so
+            // pre-upgrade telemetry logs keep parsing.
+            schema: match v.get("schema") {
+                Some(s) => u32::from_value(s)?,
+                None => 1,
+            },
+            seq: match v.get("seq") {
+                Some(s) => u64::from_value(s)?,
+                None => 0,
+            },
+            experiment: serde::de_field(v, "experiment")?,
+            kind: serde::de_field(v, "kind")?,
+            point: serde::de_field(v, "point")?,
+            key: serde::de_field(v, "key")?,
+            cache: serde::de_field(v, "cache")?,
+            wall_ms: serde::de_field(v, "wall_ms")?,
+            quanta: serde::de_field(v, "quanta")?,
+            cycles: serde::de_field(v, "cycles")?,
+            committed: serde::de_field(v, "committed")?,
+            aggregate_ipc: serde::de_field(v, "aggregate_ipc")?,
+            l1_miss_rate: serde::de_field(v, "l1_miss_rate")?,
+            branch_rate: serde::de_field(v, "branch_rate")?,
+            mispredict_rate: serde::de_field(v, "mispredict_rate")?,
+            policy_switches: serde::de_field(v, "policy_switches")?,
+            per_quantum_ipc: serde::de_field(v, "per_quantum_ipc")?,
+            // Also absent on the very oldest lines (pre-`--obs`).
+            obs: match v.get("obs") {
+                Some(o) => Option::<ObsSummary>::from_value(o)?,
+                None => None,
+            },
+        })
+    }
+}
+
 /// Append-only JSONL sink, safe to share across sweep workers.
 pub struct TelemetrySink {
     path: PathBuf,
     file: Mutex<Option<std::fs::File>>,
+    /// Next sequence number to stamp; appends hand out 1, 2, 3, … in
+    /// the order lines reach the file (the counter and the write share
+    /// the file lock, so `seq` order is line order).
+    next_seq: AtomicU64,
 }
 
 impl TelemetrySink {
@@ -146,6 +211,7 @@ impl TelemetrySink {
         TelemetrySink {
             path,
             file: Mutex::new(file.ok()),
+            next_seq: AtomicU64::new(1),
         }
     }
 
@@ -154,10 +220,13 @@ impl TelemetrySink {
         &self.path
     }
 
-    /// Append one record as a single JSON line.
+    /// Append one record as a single JSON line, stamping the sink's
+    /// next sequence number (the caller's `seq` field is overwritten).
     pub fn append(&self, record: &TelemetryRecord) {
-        let line = serde::json::to_string(record);
         let mut guard = self.file.lock().expect("telemetry sink poisoned");
+        let mut stamped = record.clone();
+        stamped.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let line = serde::json::to_string(&stamped);
         if let Some(f) = guard.as_mut() {
             if writeln!(f, "{line}").is_err() {
                 // Drop the handle so we warn once, not per record.
@@ -280,10 +349,51 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
-        for line in lines {
+        for (i, line) in lines.iter().enumerate() {
             let back: TelemetryRecord = serde::json::from_str(line).unwrap();
-            assert_eq!(back, r);
+            // Appending stamps the sink's monotonic sequence number;
+            // everything else round-trips unchanged.
+            assert_eq!(back.seq, i as u64 + 1);
+            assert_eq!(back.schema, TELEMETRY_SCHEMA_VERSION);
+            let unstamped = TelemetryRecord { seq: 0, ..back };
+            assert_eq!(unstamped, r);
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_1_lines_without_schema_or_seq_still_parse() {
+        // A line exactly as pre-versioning builds wrote it: no `schema`,
+        // no `seq` keys (and none of the stamping this build adds).
+        let line = "{\"experiment\":\"e1\",\"kind\":\"fixed\",\"point\":\"MIX01/ICOUNT\",\
+                    \"key\":\"ab\",\"cache\":\"Miss\",\"wall_ms\":1.5,\"quanta\":1,\
+                    \"cycles\":100,\"committed\":250,\"aggregate_ipc\":2.5,\
+                    \"l1_miss_rate\":0.02,\"branch_rate\":0.12,\"mispredict_rate\":0.01,\
+                    \"policy_switches\":0,\"per_quantum_ipc\":[2.5],\"obs\":null}";
+        let back: TelemetryRecord = serde::json::from_str(line).expect("v1 line must parse");
+        assert_eq!(back.schema, 1, "absent schema field means version 1");
+        assert_eq!(back.seq, 0, "absent seq field defaults to 0");
+        assert_eq!(back.experiment, "e1");
+        assert_eq!(back.cycles, 100);
+        assert_eq!(back.obs, None);
+    }
+
+    #[test]
+    fn new_records_carry_the_current_schema_version() {
+        let r = TelemetryRecord::from_series(
+            "e1",
+            "fixed",
+            "p",
+            "00".into(),
+            CacheOutcome::Miss,
+            0.0,
+            &series(),
+        );
+        assert_eq!(r.schema, TELEMETRY_SCHEMA_VERSION);
+        assert_eq!(r.seq, 0, "seq is stamped by the sink, not the builder");
+        let line = serde::json::to_string(&r);
+        assert!(line.contains("\"schema\":2"), "{line}");
+        let back: TelemetryRecord = serde::json::from_str(&line).unwrap();
+        assert_eq!(back, r);
     }
 }

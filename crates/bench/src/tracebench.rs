@@ -141,8 +141,9 @@ pub fn trace_threshold_type_sweep(
     let machine = warmed_trace_machine(file, p)?;
     let cells = sweep_point_cells(machine.n_threads(), &thresholds, &kinds, p);
     let mut batch = MachineBatch::new(machine, cells);
-    for _ in 0..p.quanta {
-        batch.run_quantum();
+    for q in 0..p.quanta {
+        let forks = batch.run_quantum();
+        crate::sweep::span::note_batch_forks(q, &forks);
     }
     let series: Vec<_> = batch
         .into_cells()

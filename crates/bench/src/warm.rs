@@ -171,6 +171,7 @@ impl WarmPool {
         let mut guard = slot.lock().expect("warm slot poisoned");
         if let Some(snap) = guard.as_ref() {
             self.pool_hits.fetch_add(1, Ordering::Relaxed);
+            sweep::spans().bump("warm_pool_hits", 1);
             return snap.restore();
         }
         let store = self.store.lock().expect("warm store poisoned").clone();
@@ -178,6 +179,7 @@ impl WarmPool {
             match store.load(key) {
                 Ok(Some(snap)) => {
                     self.ckpt_hits.fetch_add(1, Ordering::Relaxed);
+                    sweep::spans().bump("warm_ckpt_hits", 1);
                     let snap = Arc::new(snap);
                     *guard = Some(Arc::clone(&snap));
                     return snap.restore();
@@ -185,12 +187,20 @@ impl WarmPool {
                 Ok(None) => {}
                 Err(why) => {
                     self.errors.fetch_add(1, Ordering::Relaxed);
+                    sweep::spans().bump("ckpt_fallbacks", 1);
                     note_fallback(mix, key, &why);
                 }
             }
         }
         self.warmups.fetch_add(1, Ordering::Relaxed);
-        let m = cold_warmup(cfg, mix, p);
+        sweep::spans().bump("warm_warmups", 1);
+        let m = {
+            let sp = sweep::spans();
+            let _sp = sp
+                .enabled()
+                .then(|| sp.begin(&format!("warmup:{}", mix.name), "warm"));
+            cold_warmup(cfg, mix, p)
+        };
         let snap = Arc::new(MachineSnapshot::capture(&m));
         if let Some(store) = &store {
             store.store(key, &snap);
@@ -223,10 +233,18 @@ impl WarmPool {
         let mut guard = slot.lock().expect("warm slot poisoned");
         if let Some(snap) = guard.as_ref() {
             self.pool_hits.fetch_add(1, Ordering::Relaxed);
+            sweep::spans().bump("warm_pool_hits", 1);
             return snap.restore();
         }
         self.warmups.fetch_add(1, Ordering::Relaxed);
-        let m = cold_multicore_warmup(mix, p, n_cores, penalty);
+        sweep::spans().bump("warm_warmups", 1);
+        let m = {
+            let sp = sweep::spans();
+            let _sp = sp
+                .enabled()
+                .then(|| sp.begin(&format!("warmup-mc:{}", mix.name), "warm"));
+            cold_multicore_warmup(mix, p, n_cores, penalty)
+        };
         *guard = Some(Arc::new(MultiCoreSnapshot::capture(&m, Vec::new())));
         m
     }
@@ -343,6 +361,7 @@ fn cold_warmup(cfg: SimConfig, mix: &Mix, p: &ExpParams) -> SmtMachine {
 /// Note a checkpoint-store fallback in the telemetry log (kind
 /// `"ckpt_fallback"`, empty series) and on stderr.
 fn note_fallback(mix: &Mix, key: sweep::CacheKey, why: &str) {
+    sweep::spans().instant(&format!("ckpt-fallback:{}", mix.name), "ckpt");
     eprintln!(
         "warning: {why}; falling back to cold warmup for {}",
         mix.name

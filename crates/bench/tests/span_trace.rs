@@ -1,0 +1,100 @@
+//! Engine span tracing, end to end.
+//!
+//! Runs a real (tiny) threshold×type sweep with the process-wide span
+//! recorder enabled and pins the acceptance surface: the recorder must
+//! capture warm-pool, batch-fork and per-point spans; the JSONL and
+//! Chrome-trace exports must parse; and the Prometheus text must carry
+//! the engine counters. One test per process — the recorder is global,
+//! so this file owns it (the fine-grained behavior lives in the unit
+//! tests of `sweep::span`).
+
+use smt_bench::{sweep, threshold_type_sweep, ExpParams};
+use std::collections::HashMap;
+
+#[test]
+fn spans_capture_a_sweep_end_to_end() {
+    sweep::span::set_enabled(true);
+    let p = ExpParams {
+        seed: 42,
+        warmup_quanta: 1,
+        quanta: 2,
+        quantum_cycles: 512,
+        mix_ids: vec![1],
+    };
+    let _ = threshold_type_sweep(&p);
+    let rec = sweep::spans();
+
+    // Engine counters: the inert test engine has no result cache, so
+    // every point is a bypass; the warm pool must have warmed the mix
+    // exactly once; the batched path (on by default) must have forked.
+    let counters: HashMap<&'static str, u64> = rec.counters().into_iter().collect();
+    assert!(
+        counters.get("cache_bypass").copied().unwrap_or(0) > 0,
+        "no sweep points recorded: {counters:?}"
+    );
+    assert!(
+        counters.get("warm_warmups").copied().unwrap_or(0) >= 1,
+        "warm pool never warmed: {counters:?}"
+    );
+    let forks = counters.get("batch_plan_forks").copied().unwrap_or(0)
+        + counters.get("batch_boundary_forks").copied().unwrap_or(0);
+    assert!(forks > 0, "batched sweep never forked: {counters:?}");
+
+    // Span events: warm-pool warmups, per-point spans, fork instants.
+    let events = rec.events();
+    let has_cat = |cat: &str| events.iter().any(|e| e.cat() == cat);
+    assert!(has_cat("warm"), "no warm-pool span recorded");
+    assert!(has_cat("point"), "no per-point span recorded");
+    assert!(has_cat("batch"), "no batch-fork instant recorded");
+
+    // JSONL: every line parses.
+    let jsonl = rec.spans_jsonl();
+    assert!(!jsonl.is_empty());
+    for line in jsonl.lines() {
+        let _: serde::Value = serde::json::from_str(line).expect("span JSONL line must parse");
+    }
+
+    // Chrome trace: parses, and carries the lane-name metadata plus a
+    // non-empty traceEvents array.
+    let chrome = rec.chrome_trace();
+    let value = serde::json::from_str::<serde::Value>(&chrome).expect("chrome trace must parse");
+    let serde::Value::Map(obj) = value else {
+        panic!("chrome trace must be a JSON object");
+    };
+    let events_v = obj
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .map(|(_, v)| v)
+        .expect("traceEvents key");
+    let serde::Value::Seq(items) = events_v else {
+        panic!("traceEvents must be an array");
+    };
+    assert!(!items.is_empty());
+    assert!(chrome.contains("engine main"), "main lane must be named");
+
+    // Prometheus: engine counter families and lane busy time present,
+    // every sample line numeric.
+    let prom = rec.engine_prometheus();
+    assert!(prom.contains("smt_engine_cache_bypass"));
+    assert!(prom.contains("smt_engine_warm_warmups"));
+    assert!(prom.contains("smt_engine_lane_busy_us"));
+    for line in prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+    {
+        let value = line.rsplit(' ').next().expect("sample line has a value");
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad prometheus value {value:?} in {line:?}: {e}"));
+    }
+
+    // Artifact writer round-trip into a scratch directory.
+    let dir = std::env::temp_dir().join(format!("smt-span-trace-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let arts = rec.write_artifacts(&dir).expect("write span artifacts");
+    for path in [&arts.jsonl, &arts.trace, &arts.prom] {
+        assert!(path.exists(), "missing span artifact {}", path.display());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    sweep::span::set_enabled(false);
+}

@@ -30,8 +30,9 @@
 
 use crate::adaptive::{AdaptiveScheduler, AdtsConfig, QuantumPlan};
 use crate::indicators::{MachineSnapshot, QuantumStats};
+use serde::{Serialize, Value};
 use smt_policies::{FetchPolicy, Tsu};
-use smt_sim::{LockstepCell, MultiCoreMachine, SimConfig, SmtMachine};
+use smt_sim::{EventRing, LockstepCell, MultiCoreMachine, SimConfig, SmtMachine};
 use smt_stats::{QuantumRecord, RunSeries, SwitchEvent};
 use smt_workloads::{Mix, UopStream};
 
@@ -63,6 +64,18 @@ pub trait AllocationPolicy {
     /// result must respect `view.core_capacity`; threads whose core is
     /// unchanged do not migrate.
     fn decide(&mut self, view: &AllocView<'_>) -> Vec<usize>;
+
+    /// [`decide`](Self::decide) with the evidence kept: the identical
+    /// placement plus an [`AllocDecisionRecord`] naming the policy's
+    /// rationale and every migration the placement implies. The default
+    /// wraps `decide` under [`AllocReason::Opaque`]; implementations
+    /// overriding it must return exactly what `decide` would, so an
+    /// audited run stays on the unaudited trajectory.
+    fn decide_explained(&mut self, view: &AllocView<'_>) -> (Vec<usize>, AllocDecisionRecord) {
+        let dest = self.decide(view);
+        let record = AllocDecisionRecord::new(self.name(), AllocReason::Opaque, view, &dest);
+        (dest, record)
+    }
 
     /// Opaque state for the multi-core checkpoint container. The four
     /// shipped policies are stateless, so the default empty blob
@@ -121,7 +134,11 @@ fn snake_deal(order: &[usize], view: &AllocView<'_>) -> Vec<usize> {
     let mut pos = 0usize;
     for &g in order {
         loop {
-            let c = if lap % 2 == 0 { pos } else { n - 1 - pos };
+            let c = if lap.is_multiple_of(2) {
+                pos
+            } else {
+                n - 1 - pos
+            };
             let advance = |lap: &mut usize, pos: &mut usize| {
                 *pos += 1;
                 if *pos == n {
@@ -173,6 +190,167 @@ impl AllocationPolicy for AllocKind {
             AllocKind::IlpAware => snake_deal(&by_key_desc(view.mem_delta), view),
         }
     }
+
+    fn decide_explained(&mut self, view: &AllocView<'_>) -> (Vec<usize>, AllocDecisionRecord) {
+        let dest = self.decide(view);
+        let reason = match self {
+            AllocKind::Static => AllocReason::Pinned,
+            AllocKind::Rotate => AllocReason::CyclicShift,
+            AllocKind::IpcGreedy => AllocReason::LoadBalance,
+            AllocKind::IlpAware => AllocReason::MemBalance,
+        };
+        let record = AllocDecisionRecord::new((*self).name(), reason, view, &dest);
+        (dest, record)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// decision audit
+// ---------------------------------------------------------------------------
+
+/// Why an allocation decision placed threads the way it did — the
+/// thread-to-core analogue of [`crate::audit::DecisionReason`]. One
+/// reason covers the whole placement (allocation policies are global,
+/// unlike the per-edge ADTS transitions), and the per-thread evidence
+/// rides in [`AllocDecisionRecord::threads`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocReason {
+    /// `static`: the placement is never re-derived.
+    Pinned,
+    /// `rotate`: every resident set moved one core up.
+    CyclicShift,
+    /// `ipc-greedy`: threads dealt to the least-loaded core by observed
+    /// committed micro-ops.
+    LoadBalance,
+    /// `ilp-aware`: threads snake-dealt by L1D-miss rank so each core
+    /// mixes memory-bound with compute-bound threads.
+    MemBalance,
+    /// A policy without an explained implementation (the trait default).
+    Opaque,
+}
+
+impl AllocReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocReason::Pinned => "pinned",
+            AllocReason::CyclicShift => "cyclic_shift",
+            AllocReason::LoadBalance => "load_balance",
+            AllocReason::MemBalance => "mem_balance",
+            AllocReason::Opaque => "opaque",
+        }
+    }
+}
+
+/// One thread's row of an allocation decision: where it was, where it
+/// goes, and the last-quantum activity the policy keyed on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocThreadRow {
+    /// Global thread id.
+    pub thread: usize,
+    pub from_core: usize,
+    pub to_core: usize,
+    /// Micro-ops committed in the just-finished quantum.
+    pub committed: u64,
+    /// L1D misses in the just-finished quantum.
+    pub l1d_misses: u64,
+    /// `from_core != to_core` — this row pays a migration.
+    pub migrated: bool,
+}
+
+impl AllocThreadRow {
+    fn to_value(self) -> Value {
+        Value::Map(vec![
+            ("thread".into(), Value::UInt(self.thread as u64)),
+            ("from_core".into(), Value::UInt(self.from_core as u64)),
+            ("to_core".into(), Value::UInt(self.to_core as u64)),
+            ("committed".into(), Value::UInt(self.committed)),
+            ("l1d_misses".into(), Value::UInt(self.l1d_misses)),
+            ("migrated".into(), Value::Bool(self.migrated)),
+        ])
+    }
+}
+
+/// One quantum boundary of thread-to-core allocation, audited: the
+/// policy, its rationale, and per-thread evidence rows. Mirrors the ADTS
+/// [`crate::audit::DecisionRecord`] — serializes to canonical JSON for
+/// the JSONL exporter and the bench explain pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AllocDecisionRecord {
+    /// Index of the quantum that just finished (0-based).
+    pub quantum: u64,
+    pub policy: &'static str,
+    pub reason: AllocReason,
+    pub threads: Vec<AllocThreadRow>,
+    /// How many rows migrate (`from_core != to_core`).
+    pub migrations: u64,
+}
+
+impl AllocDecisionRecord {
+    /// Build the record for `dest` as returned by a policy's `decide`
+    /// over `view`.
+    pub fn new(
+        policy: &'static str,
+        reason: AllocReason,
+        view: &AllocView<'_>,
+        dest: &[usize],
+    ) -> Self {
+        assert_eq!(
+            dest.len(),
+            view.placement.len(),
+            "one destination core per placed thread"
+        );
+        let threads: Vec<AllocThreadRow> = dest
+            .iter()
+            .enumerate()
+            .map(|(g, &to)| AllocThreadRow {
+                thread: g,
+                from_core: view.placement[g].0,
+                to_core: to,
+                committed: view.committed_delta[g],
+                l1d_misses: view.mem_delta[g],
+                migrated: view.placement[g].0 != to,
+            })
+            .collect();
+        let migrations = threads.iter().filter(|r| r.migrated).count() as u64;
+        AllocDecisionRecord {
+            quantum: view.quantum,
+            policy,
+            reason,
+            threads,
+            migrations,
+        }
+    }
+
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("quantum".into(), Value::UInt(self.quantum)),
+            ("policy".into(), Value::Str(self.policy.into())),
+            ("reason".into(), Value::Str(self.reason.name().into())),
+            (
+                "threads".into(),
+                Value::Seq(self.threads.iter().map(|r| r.to_value()).collect()),
+            ),
+            ("migrations".into(), Value::UInt(self.migrations)),
+        ])
+    }
+}
+
+impl Serialize for AllocDecisionRecord {
+    fn to_value(&self) -> Value {
+        AllocDecisionRecord::to_value(self)
+    }
+}
+
+/// Serialize allocation decision records as JSON Lines, oldest first.
+pub fn alloc_decisions_jsonl<'a>(
+    records: impl IntoIterator<Item = &'a AllocDecisionRecord>,
+) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde::json::to_string(r));
+        out.push('\n');
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -376,6 +554,9 @@ pub struct AllocCell {
     prev_placement: Vec<(usize, usize)>,
     series: RunSeries,
     migrations: u64,
+    /// Decision-audit ring; `None` (the default) costs nothing and keeps
+    /// the cell on the plain-`decide` code path.
+    audit: Option<EventRing<AllocDecisionRecord>>,
 }
 
 fn thread_marks(machine: &MultiCoreMachine) -> Vec<(u64, u64)> {
@@ -403,7 +584,27 @@ impl AllocCell {
             prev_placement: machine.placement().to_vec(),
             series: RunSeries::default(),
             migrations: 0,
+            audit: None,
         }
+    }
+
+    /// Keep one [`AllocDecisionRecord`] per quantum boundary in a
+    /// bounded ring (oldest drop first). Placements are computed through
+    /// [`AllocationPolicy::decide_explained`], which must agree with
+    /// `decide`, so an audited cell follows the unaudited trajectory
+    /// exactly.
+    pub fn enable_audit(&mut self, cap: usize) {
+        self.audit = Some(EventRing::new(cap));
+    }
+
+    /// The decision-audit ring, when enabled.
+    pub fn audit(&self) -> Option<&EventRing<AllocDecisionRecord>> {
+        self.audit.as_ref()
+    }
+
+    /// Detach the decision-audit ring, disabling further auditing.
+    pub fn take_audit(&mut self) -> Option<EventRing<AllocDecisionRecord>> {
+        self.audit.take()
     }
 
     pub fn fetch_policy(&self) -> FetchPolicy {
@@ -505,7 +706,13 @@ impl LockstepCell<MultiCoreMachine> for AllocCell {
             mem_delta: &mem_delta,
         };
         self.quantum += 1;
-        self.alloc.decide(&view)
+        if let Some(audit) = &mut self.audit {
+            let (dest, record) = self.alloc.decide_explained(&view);
+            audit.push(record);
+            dest
+        } else {
+            self.alloc.decide(&view)
+        }
     }
 
     fn apply_boundary(boundary: &Self::Boundary, machine: &mut MultiCoreMachine) {
@@ -528,4 +735,147 @@ pub fn run_alloc(
         smt_sim::run_scalar_quantum(&mut cell, machine);
     }
     cell.into_series()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_workloads::mix;
+
+    fn view_fixture<'a>(
+        placement: &'a [(usize, usize)],
+        capacity: &'a [usize],
+        committed: &'a [u64],
+        mem: &'a [u64],
+    ) -> AllocView<'a> {
+        AllocView {
+            quantum: 3,
+            n_cores: capacity.len(),
+            placement,
+            core_capacity: capacity,
+            committed_delta: committed,
+            mem_delta: mem,
+        }
+    }
+
+    #[test]
+    fn decide_explained_matches_decide_for_every_kind() {
+        let placement = [(0, 0), (1, 0), (0, 1), (1, 1)];
+        let capacity = [4, 4];
+        let committed = [5, 1, 9, 3];
+        let mem = [2, 8, 1, 4];
+        for kind in AllocKind::ALL {
+            let view = view_fixture(&placement, &capacity, &committed, &mem);
+            let plain = { kind }.decide(&view);
+            let (dest, record) = { kind }.decide_explained(&view);
+            assert_eq!(
+                dest,
+                plain,
+                "{}: explained placement must match",
+                kind.name()
+            );
+            assert_eq!(record.policy, kind.name());
+            assert_eq!(record.quantum, 3);
+            assert_eq!(record.threads.len(), 4);
+            let migrated = dest
+                .iter()
+                .zip(&placement)
+                .filter(|(&to, &(from, _))| to != from)
+                .count() as u64;
+            assert_eq!(record.migrations, migrated);
+            for (g, row) in record.threads.iter().enumerate() {
+                assert_eq!(row.thread, g);
+                assert_eq!(row.from_core, placement[g].0);
+                assert_eq!(row.to_core, dest[g]);
+                assert_eq!(row.committed, committed[g]);
+                assert_eq!(row.l1d_misses, mem[g]);
+                assert_eq!(row.migrated, row.from_core != row.to_core);
+            }
+        }
+    }
+
+    #[test]
+    fn default_explained_impl_reports_opaque() {
+        struct Pin;
+        impl AllocationPolicy for Pin {
+            fn name(&self) -> &'static str {
+                "pin"
+            }
+            fn decide(&mut self, view: &AllocView<'_>) -> Vec<usize> {
+                view.placement.iter().map(|&(c, _)| c).collect()
+            }
+        }
+        let placement = [(0, 0), (1, 0)];
+        let view = view_fixture(&placement, &[2, 2], &[1, 2], &[3, 4]);
+        let (dest, record) = Pin.decide_explained(&view);
+        assert_eq!(dest, vec![0, 1]);
+        assert_eq!(record.reason, AllocReason::Opaque);
+        assert_eq!(record.policy, "pin");
+        assert_eq!(record.migrations, 0);
+    }
+
+    #[test]
+    fn records_serialize_to_jsonl() {
+        let placement = [(0, 0), (1, 0)];
+        let view = view_fixture(&placement, &[2, 2], &[7, 7], &[0, 0]);
+        let (_, record) = AllocKind::Rotate.decide_explained(&view);
+        let text = alloc_decisions_jsonl([&record, &record]);
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            let v: Value = serde::json::from_str(line).expect("parses");
+            assert_eq!(v.get("policy"), Some(&Value::Str("rotate".into())));
+            assert_eq!(v.get("reason"), Some(&Value::Str("cyclic_shift".into())));
+            assert_eq!(v.get("migrations"), Some(&Value::UInt(2)));
+            let Some(Value::Seq(rows)) = v.get("threads") else {
+                panic!("threads must be a list");
+            };
+            assert_eq!(rows.len(), 2);
+            assert_eq!(rows[0].get("migrated"), Some(&Value::Bool(true)));
+        }
+    }
+
+    #[test]
+    fn audited_cell_follows_the_unaudited_trajectory() {
+        let m = mix(1).take_threads(4, 7);
+        let quanta = 6;
+        let qc = 2048;
+
+        let mut plain_machine = multicore_for_mix(&m, 7, 2, 64);
+        let expected = run_alloc(
+            FetchPolicy::Icount,
+            AllocKind::IpcGreedy,
+            &mut plain_machine,
+            quanta,
+            qc,
+        );
+
+        let mut machine = multicore_for_mix(&m, 7, 2, 64);
+        let mut cell = AllocCell::new(FetchPolicy::Icount, AllocKind::IpcGreedy, qc, &machine);
+        cell.enable_audit(1024);
+        for _ in 0..quanta {
+            smt_sim::run_scalar_quantum(&mut cell, &mut machine);
+        }
+
+        assert_eq!(
+            machine.counter_snapshot(),
+            plain_machine.counter_snapshot(),
+            "audit must not perturb the simulation"
+        );
+        let ring = cell.take_audit().expect("audit enabled");
+        assert_eq!(ring.len() as u64, quanta, "one record per boundary");
+        // The final boundary is applied but never observed (no further
+        // quantum follows), so the cell's tally covers all but the last
+        // ring record.
+        let audited: u64 = ring
+            .iter()
+            .take(quanta as usize - 1)
+            .map(|r| r.migrations)
+            .sum();
+        assert_eq!(
+            cell.migrations(),
+            audited,
+            "ring agrees with the cell tally"
+        );
+        assert_eq!(cell.into_series(), expected);
+    }
 }

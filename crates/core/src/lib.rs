@@ -45,8 +45,9 @@ pub mod threshold;
 
 pub use adaptive::{AdaptiveScheduler, AdtsConfig, BoundaryActions, QuantumPlan};
 pub use alloc::{
-    execute_plans_multicore, multicore_for_mix, run_adaptive_multicore, run_alloc,
-    run_fixed_multicore, AllocCell, AllocKind, AllocView, AllocationPolicy,
+    alloc_decisions_jsonl, execute_plans_multicore, multicore_for_mix, run_adaptive_multicore,
+    run_alloc, run_fixed_multicore, AllocCell, AllocDecisionRecord, AllocKind, AllocReason,
+    AllocThreadRow, AllocView, AllocationPolicy,
 };
 pub use audit::{
     decisions_jsonl, evaluate_conditions, CondEval, DecisionReason, DecisionRecord, DecisionTrace,

@@ -112,6 +112,25 @@ pub struct BatchStats {
     pub boundary_forks: u64,
 }
 
+/// Fork activity of one `run_quantum` call — what the engine-span layer
+/// records as batch fork events.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantumForks {
+    /// Group splits this quantum caused by diverging plans.
+    pub plan_forks: u64,
+    /// Group splits this quantum caused by diverging boundary actions.
+    pub boundary_forks: u64,
+    /// Live equivalence groups after the quantum.
+    pub groups: usize,
+}
+
+impl QuantumForks {
+    /// Did any group split this quantum?
+    pub fn forked(&self) -> bool {
+        self.plan_forks + self.boundary_forks > 0
+    }
+}
+
 struct Group<M> {
     machine: M,
     /// Cell indices sharing `machine`, ascending.
@@ -147,8 +166,11 @@ where
         }
     }
 
-    /// Advance every cell by one quantum.
-    pub fn run_quantum(&mut self) {
+    /// Advance every cell by one quantum. Returns the quantum's fork
+    /// activity (plan/boundary splits and resulting group count) so
+    /// callers can stream fork events without diffing [`Self::stats`].
+    pub fn run_quantum(&mut self) -> QuantumForks {
+        let before = self.stats;
         self.stats.quanta += 1;
         self.stats.cell_quanta += self.cells.len() as u64;
 
@@ -208,6 +230,11 @@ where
             }
         }
         self.groups = next;
+        QuantumForks {
+            plan_forks: self.stats.plan_forks - before.plan_forks,
+            boundary_forks: self.stats.boundary_forks - before.boundary_forks,
+            groups: self.groups.len(),
+        }
     }
 
     /// Number of cells.

@@ -45,7 +45,9 @@ pub mod snapshot;
 pub mod trace;
 pub mod wrongpath;
 
-pub use batch::{run_scalar_quantum, BatchStats, LockstepCell, LockstepMachine, MachineBatch};
+pub use batch::{
+    run_scalar_quantum, BatchStats, LockstepCell, LockstepMachine, MachineBatch, QuantumForks,
+};
 pub use bpred::{BranchPredictor, Prediction};
 pub use cache::{Cache, Hierarchy, MemAccessResult};
 pub use chooser::{FetchChooser, FnChooser, RoundRobin};
@@ -55,7 +57,8 @@ pub use iqueue::IndexedQueue;
 pub use machine::{GlobalCounters, MigratedThread, SmtMachine};
 pub use multicore::{MultiCoreMachine, MultiCoreSnapshot, MC_FORMAT_VERSION};
 pub use obs::{
-    AttrSnapshot, CommitCause, EventRing, FetchCause, IssueCause, MetricsRegistry, MetricsSnapshot,
-    PipelineSampler, SlotAttribution, SlotStack,
+    merge_attr_snapshots, AttrSnapshot, CommitCause, EventRing, FetchCause, IssueCause,
+    MetricsRegistry, MetricsSnapshot, MigrationArrow, MultiCoreSampler, PipelineSampler,
+    SlotAttribution, SlotStack,
 };
 pub use trace::{MissLevel, TraceBuffer, TraceEvent};

@@ -353,6 +353,11 @@ pub struct SmtMachine {
     /// Optional slot-loss attribution (None = disabled; boxed so the
     /// untraced machine stays small and `Clone` stays cheap).
     attr: Option<Box<SlotAttribution>>,
+    /// This core's position in a multi-core shared-L2 arbitration
+    /// rotation (0 standalone). Pure trace context — stamped onto
+    /// [`TraceEvent::CacheMiss`] events, never serialized, never read by
+    /// the pipeline.
+    l2_rot: u8,
     /// The decode/rename pipe: fetched ops in global fetch order. Dispatch
     /// consumes strictly from the head and *stalls* on a structural hazard
     /// (queue/LSQ/register full), so one clogged thread's backlog delays
@@ -422,6 +427,7 @@ impl SmtMachine {
             squash_buf: Vec::new(),
             trace: None,
             attr: None,
+            l2_rot: 0,
             dispatch_fifo: IndexedQueue::new(cfg.threads, 64),
             wake: WakeArena::default(),
             cycle: 0,
@@ -526,6 +532,7 @@ impl SmtMachine {
             squash_buf: Vec::new(),
             trace: None,
             attr: None,
+            l2_rot: 0,
             wake: WakeArena::default(),
             cfg,
             cycle,
@@ -695,6 +702,18 @@ impl SmtMachine {
     /// The attribution state, if enabled.
     pub fn attr(&self) -> Option<&SlotAttribution> {
         self.attr.as_deref()
+    }
+
+    /// Set this core's shared-L2 arbitration-rotation position (trace
+    /// context only; see the `l2_rot` field). [`crate::MultiCoreMachine`]
+    /// stamps each core with its rotation index at assembly.
+    pub fn set_l2_rot(&mut self, rot: u8) {
+        self.l2_rot = rot;
+    }
+
+    /// This core's shared-L2 arbitration-rotation position.
+    pub fn l2_rot(&self) -> u8 {
+        self.l2_rot
     }
 
     #[inline]
@@ -1359,6 +1378,7 @@ impl SmtMachine {
             ctx.counters.l2_misses += 1;
         }
         if TRACE {
+            let rot = self.l2_rot;
             self.trace_push(TraceEvent::Issue {
                 cycle: now,
                 tid: q.tid,
@@ -1371,6 +1391,7 @@ impl SmtMachine {
                     tid: q.tid,
                     addr,
                     level: MissLevel::L1D,
+                    rot,
                 });
             }
             if l2_miss {
@@ -1379,6 +1400,7 @@ impl SmtMachine {
                     tid: q.tid,
                     addr,
                     level: MissLevel::L2,
+                    rot,
                 });
             }
         }
@@ -1409,6 +1431,7 @@ impl SmtMachine {
             ctx.counters.l2_misses += 1;
         }
         if TRACE {
+            let rot = self.l2_rot;
             self.trace_push(TraceEvent::Issue {
                 cycle: now,
                 tid: q.tid,
@@ -1421,6 +1444,7 @@ impl SmtMachine {
                     tid: q.tid,
                     addr,
                     level: MissLevel::L1D,
+                    rot,
                 });
             }
             if r.l2_miss {
@@ -1429,6 +1453,7 @@ impl SmtMachine {
                     tid: q.tid,
                     addr,
                     level: MissLevel::L2,
+                    rot,
                 });
             }
         }
@@ -1711,11 +1736,13 @@ impl SmtMachine {
                         ctx.icache_stall_until = now + r.latency;
                         ctx.icache_ready_line = Some(this_line);
                         if TRACE {
+                            let rot = self.l2_rot;
                             self.trace_push(TraceEvent::CacheMiss {
                                 cycle: now,
                                 tid,
                                 addr: pc,
                                 level: MissLevel::L1I,
+                                rot,
                             });
                             if r.l2_miss {
                                 self.trace_push(TraceEvent::CacheMiss {
@@ -1723,6 +1750,7 @@ impl SmtMachine {
                                     tid,
                                     addr: pc,
                                     level: MissLevel::L2,
+                                    rot,
                                 });
                             }
                         }

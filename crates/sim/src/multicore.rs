@@ -80,11 +80,14 @@ impl MultiCoreMachine {
             occupied[c][s] = true;
         }
         for (c, core) in cores.iter_mut().enumerate() {
-            for s in 0..core.n_threads() {
-                if !occupied[c][s] {
+            for (s, &occ) in occupied[c].iter().enumerate() {
+                if !occ {
                     core.park_thread(Tid(s as u8));
                 }
             }
+            // Stamp each core with its position in the L2 arbitration
+            // rotation — pure trace context for CacheMiss events.
+            core.set_l2_rot(c as u8);
         }
         let shared_l2 = std::mem::replace(&mut cores[0].mem.l2, Cache::new(geom));
         let migrations = vec![0; placement.len()];
@@ -267,6 +270,35 @@ impl MultiCoreMachine {
         for core in &mut self.cores {
             core.enable_attr();
         }
+    }
+
+    /// Disable attribution on every core, returning each core's
+    /// accumulated stacks in core order (`None` for cores that were not
+    /// attributing).
+    pub fn disable_attr(&mut self) -> Vec<Option<crate::obs::SlotAttribution>> {
+        self.cores.iter_mut().map(|c| c.disable_attr()).collect()
+    }
+
+    /// Enable pipeline event tracing on every core, each with its own
+    /// ring of `cap` events. Events carry the emitting core's
+    /// arbitration-rotation position (`rot`), so per-core buffers merge
+    /// losslessly into one multi-core timeline.
+    pub fn enable_trace(&mut self, cap: usize) {
+        for core in &mut self.cores {
+            core.enable_trace(cap);
+        }
+    }
+
+    /// Disable tracing on every core, returning each core's buffer in
+    /// core order (`None` for cores that were not tracing).
+    pub fn disable_trace(&mut self) -> Vec<Option<crate::trace::TraceBuffer>> {
+        self.cores.iter_mut().map(|c| c.disable_trace()).collect()
+    }
+
+    /// Shared-L2 contention counters: cumulative (accesses, misses) of
+    /// the one L2 every core arbitrates for.
+    pub fn shared_l2_stats(&self) -> (u64, u64) {
+        (self.shared_l2.accesses, self.shared_l2.misses)
     }
 
     /// Recompute every core's gauges from scratch (test support).
@@ -474,6 +506,9 @@ impl MultiCoreSnapshot {
             return Err(CodecError::Invalid(
                 "shared L2 geometry disagrees with core config".into(),
             ));
+        }
+        for (c, core) in cores.iter_mut().enumerate() {
+            core.set_l2_rot(c as u8);
         }
 
         Ok(MultiCoreSnapshot {

@@ -284,6 +284,33 @@ impl Serialize for AttrSnapshot {
     }
 }
 
+/// Merge per-core attribution snapshots of one lockstep
+/// `MultiCoreMachine` run into a single machine-wide snapshot.
+///
+/// The cores step in lockstep, so every snapshot must cover the same
+/// cycle count; the merged snapshot keeps that shared `cycles` and
+/// concatenates the per-core thread stacks in core order (core 0's
+/// contexts first). Conservation therefore extends across cores: the
+/// merged per-stage total is `cycles × width × n_cores`
+/// (`tests/proptest_multicore_attr.rs`), with migration cost visible in
+/// the `migration` fetch category of the migrated contexts.
+///
+/// # Panics
+/// Panics on an empty slice or on snapshots with differing cycle counts.
+pub fn merge_attr_snapshots(per_core: &[AttrSnapshot]) -> AttrSnapshot {
+    assert!(!per_core.is_empty(), "need at least one core snapshot");
+    let cycles = per_core[0].cycles;
+    let mut threads = Vec::new();
+    for snap in per_core {
+        assert_eq!(
+            snap.cycles, cycles,
+            "lockstep cores must attribute the same cycle count"
+        );
+        threads.extend(snap.threads.iter().cloned());
+    }
+    AttrSnapshot { cycles, threads }
+}
+
 /// Live attribution state owned by the machine while enabled.
 ///
 /// `stacks` accumulate monotonically; the `base_*` vectors are per-cycle
@@ -386,8 +413,10 @@ mod tests {
 
     #[test]
     fn totals_sum_all_categories() {
+        // stack(1) fills each stage with seed + index, so the totals are
+        // arithmetic series over the stage's category count.
         let s = stack(1);
-        assert_eq!(s.fetch_total(), (1..=7).sum::<u64>());
+        assert_eq!(s.fetch_total(), (1..=FetchCause::COUNT as u64).sum::<u64>());
         assert_eq!(s.issue_total(), (2..=6).sum::<u64>());
         assert_eq!(s.commit_total(), (3..=7).sum::<u64>());
     }
@@ -423,6 +452,43 @@ mod tests {
         assert_eq!(fetch.get("l1i_miss"), Some(&Value::UInt(2)));
         let text = serde::json::to_string(&snap);
         assert!(text.contains("\"deps_not_ready\""), "{text}");
+    }
+
+    #[test]
+    fn merge_concatenates_thread_stacks_in_core_order() {
+        let core0 = AttrSnapshot {
+            cycles: 64,
+            threads: vec![stack(1), stack(2)],
+        };
+        let core1 = AttrSnapshot {
+            cycles: 64,
+            threads: vec![stack(7)],
+        };
+        let merged = merge_attr_snapshots(&[core0.clone(), core1.clone()]);
+        assert_eq!(merged.cycles, 64);
+        assert_eq!(merged.threads.len(), 3);
+        assert_eq!(merged.threads[0], core0.threads[0]);
+        assert_eq!(merged.threads[2], core1.threads[0]);
+        let per_core_total =
+            |s: &AttrSnapshot| -> u64 { s.threads.iter().map(|t| t.fetch_total()).sum() };
+        assert_eq!(
+            merged.threads.iter().map(|t| t.fetch_total()).sum::<u64>(),
+            per_core_total(&core0) + per_core_total(&core1)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_cycle_counts() {
+        let a = AttrSnapshot {
+            cycles: 10,
+            threads: vec![stack(0)],
+        };
+        let b = AttrSnapshot {
+            cycles: 11,
+            threads: vec![stack(0)],
+        };
+        let _ = merge_attr_snapshots(&[a, b]);
     }
 
     #[test]

@@ -35,6 +35,12 @@ const CHROME_PID: u32 = 0;
 const CHROME_MACHINE_ROW: u32 = 99;
 
 fn chrome_event(out: &mut String, ev: &TraceEvent) {
+    chrome_event_pid(out, ev, CHROME_PID);
+}
+
+/// Render one event onto the track of Chrome process `pid` (one process
+/// per core in the multi-core exporter; pid 0 standalone).
+fn chrome_event_pid(out: &mut String, ev: &TraceEvent, pid: u32) {
     let row = ev.tid().map(|t| t.0 as u32).unwrap_or(CHROME_MACHINE_ROW);
     let ts = ev.cycle();
     match *ev {
@@ -47,7 +53,7 @@ fn chrome_event(out: &mut String, ev: &TraceEvent) {
             let dur = done_at.saturating_sub(cycle).max(1);
             let _ = write!(
                 out,
-                r#"{{"name":"exec","ph":"X","ts":{ts},"dur":{dur},"pid":{CHROME_PID},"tid":{row},"args":{{"seq":{seq}}}}}"#
+                r#"{{"name":"exec","ph":"X","ts":{ts},"dur":{dur},"pid":{pid},"tid":{row},"args":{{"seq":{seq}}}}}"#
             );
         }
         TraceEvent::Fetch {
@@ -58,7 +64,7 @@ fn chrome_event(out: &mut String, ev: &TraceEvent) {
         } => {
             let _ = write!(
                 out,
-                r#"{{"name":"fetch","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"seq":{seq},"kind":"{kind:?}","wrong_path":{wrong_path}}}}}"#
+                r#"{{"name":"fetch","ph":"i","ts":{ts},"s":"t","pid":{pid},"tid":{row},"args":{{"seq":{seq},"kind":"{kind:?}","wrong_path":{wrong_path}}}}}"#
             );
         }
         TraceEvent::Dispatch { seq, .. }
@@ -71,7 +77,7 @@ fn chrome_event(out: &mut String, ev: &TraceEvent) {
             };
             let _ = write!(
                 out,
-                r#"{{"name":"{name}","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"seq":{seq}}}}}"#
+                r#"{{"name":"{name}","ph":"i","ts":{ts},"s":"t","pid":{pid},"tid":{row},"args":{{"seq":{seq}}}}}"#
             );
         }
         TraceEvent::Squash {
@@ -79,16 +85,18 @@ fn chrome_event(out: &mut String, ev: &TraceEvent) {
         } => {
             let _ = write!(
                 out,
-                r#"{{"name":"squash","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"after_seq":{after_seq},"victims":{victims}}}}}"#
+                r#"{{"name":"squash","ph":"i","ts":{ts},"s":"t","pid":{pid},"tid":{row},"args":{{"after_seq":{after_seq},"victims":{victims}}}}}"#
             );
         }
         TraceEvent::Flush { victims, .. } => {
             let _ = write!(
                 out,
-                r#"{{"name":"flush","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"victims":{victims}}}}}"#
+                r#"{{"name":"flush","ph":"i","ts":{ts},"s":"t","pid":{pid},"tid":{row},"args":{{"victims":{victims}}}}}"#
             );
         }
-        TraceEvent::CacheMiss { addr, level, .. } => {
+        TraceEvent::CacheMiss {
+            addr, level, rot, ..
+        } => {
             let name = match level {
                 MissLevel::L1I => "miss-l1i",
                 MissLevel::L1D => "miss-l1d",
@@ -96,13 +104,13 @@ fn chrome_event(out: &mut String, ev: &TraceEvent) {
             };
             let _ = write!(
                 out,
-                r#"{{"name":"{name}","ph":"i","ts":{ts},"s":"t","pid":{CHROME_PID},"tid":{row},"args":{{"addr":{addr}}}}}"#
+                r#"{{"name":"{name}","ph":"i","ts":{ts},"s":"t","pid":{pid},"tid":{row},"args":{{"addr":{addr},"rot":{rot}}}}}"#
             );
         }
         TraceEvent::PolicySwitch { from, to, .. } => {
             let _ = write!(
                 out,
-                r#"{{"name":"policy_switch","ph":"i","ts":{ts},"s":"g","pid":{CHROME_PID},"tid":{row},"args":{{"from":{from},"to":{to}}}}}"#
+                r#"{{"name":"policy_switch","ph":"i","ts":{ts},"s":"g","pid":{pid},"tid":{row},"args":{{"from":{from},"to":{to}}}}}"#
             );
         }
     }
@@ -119,6 +127,80 @@ pub fn chrome_trace<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> Str
         }
         first = false;
         chrome_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// One completed cross-core migration, for flow-arrow export: thread
+/// `thread` left `from_core` for `to_core` at `cycle` (the quantum
+/// boundary the allocation decision took effect).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MigrationArrow {
+    pub cycle: u64,
+    pub thread: usize,
+    pub from_core: usize,
+    pub to_core: usize,
+}
+
+/// Render a multi-core run as one merged Chrome trace: one process
+/// ("track group") per core — `pid` is the core id, named by a
+/// `process_name` metadata event — holding that core's pipeline events,
+/// plus one flow arrow (`ph:"s"`/`ph:"f"` pair with a shared `id`) per
+/// migration, binding the source core's timeline to the destination's at
+/// the migration cycle. Each arrow endpoint also gets an `i` instant
+/// (`migrate-out`/`migrate-in`) so the hop is visible even in viewers
+/// that drop unbound flow events.
+pub fn chrome_multicore_trace(
+    per_core: &[Vec<TraceEvent>],
+    migrations: &[MigrationArrow],
+) -> String {
+    let mut out = String::from(r#"{"traceEvents":["#);
+    let mut first = true;
+    let mut push_sep = |out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+    };
+    for (c, events) in per_core.iter().enumerate() {
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"name":"process_name","ph":"M","pid":{c},"tid":0,"args":{{"name":"core {c}"}}}}"#
+        );
+        for ev in events {
+            push_sep(&mut out);
+            chrome_event_pid(&mut out, ev, c as u32);
+        }
+    }
+    for (i, m) in migrations.iter().enumerate() {
+        let MigrationArrow {
+            cycle,
+            thread,
+            from_core,
+            to_core,
+        } = *m;
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"name":"migrate-out","ph":"i","ts":{cycle},"s":"p","pid":{from_core},"tid":{CHROME_MACHINE_ROW},"args":{{"thread":{thread},"to_core":{to_core}}}}}"#
+        );
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"name":"migrate-in","ph":"i","ts":{cycle},"s":"p","pid":{to_core},"tid":{CHROME_MACHINE_ROW},"args":{{"thread":{thread},"from_core":{from_core}}}}}"#
+        );
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"name":"migration t{thread}","cat":"migration","ph":"s","id":{i},"ts":{cycle},"pid":{from_core},"tid":{CHROME_MACHINE_ROW}}}"#
+        );
+        push_sep(&mut out);
+        let _ = write!(
+            out,
+            r#"{{"name":"migration t{thread}","cat":"migration","ph":"f","bp":"e","id":{i},"ts":{cycle},"pid":{to_core},"tid":{CHROME_MACHINE_ROW}}}"#
+        );
     }
     out.push_str("]}");
     out
@@ -251,6 +333,7 @@ mod tests {
                 tid: Tid(0),
                 addr: 4096,
                 level: MissLevel::L1D,
+                rot: 0,
             },
             TraceEvent::PolicySwitch {
                 cycle: 5,
@@ -313,6 +396,34 @@ mod tests {
         assert!(text.contains(r#""ph":"C""#));
         assert!(text.contains(r#""deps_not_ready":5"#));
         assert!(text.contains(r#""data_miss":3"#));
+    }
+
+    #[test]
+    fn multicore_trace_has_one_process_per_core_and_flow_arrows() {
+        let per_core = vec![sample_events(), sample_events()];
+        let arrows = [MigrationArrow {
+            cycle: 4096,
+            thread: 2,
+            from_core: 0,
+            to_core: 1,
+        }];
+        let text = chrome_multicore_trace(&per_core, &arrows);
+        let v: serde::Value = serde::json::from_str(&text).expect("multicore trace JSON");
+        let serde::Value::Map(obj) = &v else {
+            panic!("top level must be an object");
+        };
+        let (_, entries) = obj.iter().find(|(k, _)| k == "traceEvents").unwrap();
+        let serde::Value::Seq(items) = entries else {
+            panic!("traceEvents must be an array");
+        };
+        // 2 process_name metadata + 2x4 events + 4 migration entries.
+        assert_eq!(items.len(), 2 + 2 * sample_events().len() + 4);
+        assert!(text.contains(r#""name":"core 1""#));
+        assert!(text.contains(r#""ph":"s""#), "flow start present");
+        assert!(text.contains(r#""ph":"f""#), "flow finish present");
+        assert!(text.contains(r#""name":"migrate-in""#));
+        // Core 1's events carry pid 1.
+        assert!(text.contains(r#""name":"exec","ph":"X","ts":3,"dur":6,"pid":1"#));
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //!   once, bumped by id, snapshot without allocation;
 //! - [`sampler`] — [`PipelineSampler`]: per-quantum occupancy/utilization
 //!   sampling (IQ/LSQ/ROB depth, fetch-slot shares) that only reads the
-//!   machine;
+//!   machine, and [`MultiCoreSampler`], its per-core analogue with
+//!   thread-placement and shared-L2 contention instruments;
 //! - [`attr`] — slot-accounting attribution ([`SlotAttribution`]): every
 //!   fetch/issue/commit slot classified as used or lost-to-a-cause into
 //!   per-thread CPI stacks, behind the same `const TRACE` gate;
@@ -27,9 +28,10 @@ pub mod ring;
 pub mod sampler;
 
 pub use attr::{
-    register_attr_metrics, AttrSnapshot, CommitCause, FetchCause, IssueCause, SlotAttribution,
-    SlotStack,
+    merge_attr_snapshots, register_attr_metrics, AttrSnapshot, CommitCause, FetchCause, IssueCause,
+    SlotAttribution, SlotStack,
 };
+pub use export::MigrationArrow;
 pub use metrics::{CounterId, HistId, MetricsRegistry, MetricsSnapshot};
 pub use ring::EventRing;
-pub use sampler::PipelineSampler;
+pub use sampler::{MultiCoreSampler, PipelineSampler};

@@ -66,12 +66,17 @@ pub enum TraceEvent {
     },
     /// A cache access missed at `level`; `addr` is the data address for
     /// `L1D`, the fetch PC for `L1I`, and whichever of the two triggered
-    /// the access for `L2`.
+    /// the access for `L2`. `rot` is the arbitration-rotation context:
+    /// the issuing core's position in the shared-L2 rotation order of a
+    /// [`crate::MultiCoreMachine`] (core `rot` observes the L2 after
+    /// cores `0..rot` accessed it this cycle), and 0 on a standalone
+    /// [`crate::SmtMachine`].
     CacheMiss {
         cycle: u64,
         tid: Tid,
         addr: u64,
         level: MissLevel,
+        rot: u8,
     },
     /// The thread selection unit changed fetch policy; `from`/`to` index
     /// `FetchPolicy::ALL` (Table 1 order).
@@ -202,6 +207,7 @@ mod tests {
                 tid: Tid(3),
                 addr: 0xABCD,
                 level: MissLevel::L1D,
+                rot: 1,
             },
             TraceEvent::PolicySwitch {
                 cycle: 9,

@@ -14,7 +14,6 @@
 //! checksum, so validation and not the checksum is what must catch it.
 
 use smt_isa::codec::{fnv1a_64, CodecError};
-use smt_isa::Tid;
 use smt_sim::{
     MultiCoreMachine, MultiCoreSnapshot, RoundRobin, SimConfig, SmtMachine, MC_FORMAT_VERSION,
 };

@@ -161,8 +161,7 @@ proptest! {
             prod.check_invariants();
             refm.check_invariants();
             prop_assert_eq!(prod.cycle(), refm.cycle());
-            for g in 0..n_threads {
-                let (c, s) = cur[g];
+            for (g, &(c, s)) in cur.iter().enumerate().take(n_threads) {
                 prop_assert_eq!(
                     prod.thread_counters(g),
                     refm.core(c).counters(Tid(s as u8)),
@@ -177,8 +176,7 @@ proptest! {
         prod.run(2 * penalty + 1_000, &mut ch);
         refm.run(2 * penalty + 1_000, &mut ch);
         prop_assert_eq!(prod.counter_snapshot().cycle, refm.counter_snapshot().cycle);
-        for g in 0..n_threads {
-            let (c, s) = cur[g];
+        for (g, &(c, s)) in cur.iter().enumerate().take(n_threads) {
             prop_assert_eq!(prod.thread_counters(g), refm.core(c).counters(Tid(s as u8)));
         }
         prop_assert!(prod.total_committed() > 0, "script wedged the machine");

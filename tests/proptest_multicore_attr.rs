@@ -1,0 +1,128 @@
+//! Conservation property for merged multi-core slot attribution.
+//!
+//! `crates/sim/tests/proptest_attr.rs` pins per-cycle conservation on one
+//! `SmtMachine`; this suite extends the claim across the lockstep
+//! multi-core executor: with attribution enabled on every core, each
+//! core's stacks must account for `cycles × width` slots per stage, and
+//! [`merge_attr_snapshots`] must therefore conserve
+//! `cycles × width × n_cores` — under any mix, allocation policy and
+//! migration penalty, with migration cost attributed (never lost) in the
+//! migrated contexts' stacks.
+
+use proptest::prelude::*;
+use smt_adts::prelude::*;
+use smt_sim::{merge_attr_snapshots, run_scalar_quantum, AttrSnapshot};
+
+const SEED: u64 = 42;
+
+/// Run `quanta` allocation-policy quanta with attribution on; return the
+/// per-core snapshots and the machine's stage widths.
+fn attributed_run(
+    mix_id: usize,
+    threads: usize,
+    cores: usize,
+    alloc: AllocKind,
+    penalty: u64,
+    quanta: u64,
+    quantum_cycles: u64,
+) -> (Vec<AttrSnapshot>, (u64, u64, u64)) {
+    let mix = workloads::mix(mix_id).take_threads(threads, 1);
+    let mut machine = adts::multicore_for_mix(&mix, SEED, cores, penalty);
+    let widths = {
+        let c = machine.core(0).config();
+        (
+            c.fetch_width as u64,
+            c.issue_width as u64,
+            c.commit_width as u64,
+        )
+    };
+    machine.enable_attr();
+    let mut cell = AllocCell::new(FetchPolicy::Icount, alloc, quantum_cycles, &machine);
+    for _ in 0..quanta {
+        run_scalar_quantum(&mut cell, &mut machine);
+    }
+    machine.check_invariants();
+    let snaps: Vec<AttrSnapshot> = machine
+        .disable_attr()
+        .into_iter()
+        .map(|a| a.expect("attr enabled on every core").snapshot())
+        .collect();
+    (snaps, widths)
+}
+
+fn stage_totals(snap: &AttrSnapshot) -> (u64, u64, u64) {
+    (
+        snap.threads.iter().map(|s| s.fetch_total()).sum(),
+        snap.threads.iter().map(|s| s.issue_total()).sum(),
+        snap.threads.iter().map(|s| s.commit_total()).sum(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Per-core and merged conservation over random mixes, allocation
+    /// policies and migration penalties.
+    #[test]
+    fn merged_attribution_conserves_cycles_width_cores(
+        mix_id in 1usize..10,
+        threads in 2usize..5,
+        cores in 2usize..4,
+        kind in 0usize..4,
+        penalty in prop::sample::select(vec![0u64, 64, 256]),
+        quanta in 2u64..5,
+    ) {
+        let alloc = AllocKind::ALL[kind];
+        let quantum_cycles = 512;
+        let (snaps, (fw, iw, cw)) =
+            attributed_run(mix_id, threads, cores, alloc, penalty, quanta, quantum_cycles);
+        prop_assert_eq!(snaps.len(), cores);
+
+        // Lockstep cores attribute the same cycle count, and each core
+        // conserves every stage's slots on its own.
+        let cycles = snaps[0].cycles;
+        prop_assert_eq!(cycles, quanta * quantum_cycles);
+        for (core, snap) in snaps.iter().enumerate() {
+            prop_assert_eq!(snap.cycles, cycles, "core {} cycle count", core);
+            let (f, i, c) = stage_totals(snap);
+            prop_assert_eq!(f, cycles * fw, "core {} fetch slots", core);
+            prop_assert_eq!(i, cycles * iw, "core {} issue slots", core);
+            prop_assert_eq!(c, cycles * cw, "core {} commit slots", core);
+        }
+
+        // The merged snapshot keeps the shared cycle count, concatenates
+        // the per-core stacks, and conserves cycles × width × n_cores.
+        let merged = merge_attr_snapshots(&snaps);
+        prop_assert_eq!(merged.cycles, cycles);
+        prop_assert_eq!(
+            merged.threads.len(),
+            snaps.iter().map(|s| s.threads.len()).sum::<usize>()
+        );
+        let (f, i, c) = stage_totals(&merged);
+        let n = cores as u64;
+        prop_assert_eq!(f, cycles * fw * n, "merged fetch slots");
+        prop_assert_eq!(i, cycles * iw * n, "merged issue slots");
+        prop_assert_eq!(c, cycles * cw * n, "merged commit slots");
+    }
+
+    /// A migrating policy must surface its migration cost in the
+    /// attribution (the `migration` fetch category of the moved
+    /// contexts), not drop it: conservation plus a nonzero migration
+    /// count implies nonzero migration-attributed slots.
+    #[test]
+    fn migration_cost_is_attributed_when_threads_move(
+        mix_id in 1usize..10,
+        quanta in 3u64..6,
+    ) {
+        let (snaps, _) =
+            attributed_run(mix_id, 4, 2, AllocKind::Rotate, 256, quanta, 512);
+        let migration_slots: u64 = snaps
+            .iter()
+            .flat_map(|s| s.threads.iter())
+            .map(|st| st.fetch_count(smt_sim::FetchCause::Migration))
+            .sum();
+        // Rotate re-places every context each quantum with a nonzero
+        // penalty, so some slots must land in the migration category.
+        prop_assert!(migration_slots > 0, "no slots attributed to migration");
+    }
+}
