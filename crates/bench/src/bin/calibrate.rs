@@ -18,8 +18,8 @@
 use adts_core::CondThresholds;
 use smt_bench::{
     alloc_sweep, fixed_series, parallel::par_map, sweep, tracebench, AllocCli, BatchCli, CkptCli,
-    ExpParams, InstrumentCli, SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE,
-    INSTRUMENT_USAGE, SPANS_USAGE, TRACE_USAGE,
+    ExpParams, InstrumentCli, SkipCli, SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE,
+    INSTRUMENT_USAGE, SKIP_USAGE, SPANS_USAGE, TRACE_USAGE,
 };
 use smt_policies::FetchPolicy;
 use smt_stats::mean;
@@ -32,6 +32,7 @@ fn main() {
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
+    let mut skip = SkipCli::default();
     let mut trace = TraceCli::default();
     let mut alloc = AllocCli::default();
     let mut spans = SpanCli::default();
@@ -39,7 +40,18 @@ fn main() {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--no-cache" => no_cache = true,
-            "--jobs" => jobs = args.next().and_then(|v| v.parse().ok()),
+            "--jobs" => {
+                // Strict like repro: a missing or malformed value is an
+                // error, not a silent fall-through to the default.
+                let v = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --jobs needs a value");
+                    std::process::exit(2);
+                });
+                jobs = Some(v.parse().unwrap_or_else(|e| {
+                    eprintln!("error: bad jobs: {e}");
+                    std::process::exit(2);
+                }));
+            }
             flag => match instrument
                 .accept(flag, &mut args)
                 .and_then(|hit| {
@@ -54,6 +66,13 @@ fn main() {
                         Ok(true)
                     } else {
                         batch.accept(flag, &mut args)
+                    }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
+                        skip.accept(flag, &mut args)
                     }
                 })
                 .and_then(|hit| {
@@ -81,8 +100,8 @@ fn main() {
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, --jobs N, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE}, \
-                         {ALLOC_USAGE}, {SPANS_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {SKIP_USAGE}, \
+                         {TRACE_USAGE}, {ALLOC_USAGE}, {SPANS_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -100,6 +119,7 @@ fn main() {
     });
     ckpt.apply();
     batch.apply();
+    skip.apply();
     spans.apply();
     // The paper's measurement protocol as ExpParams: the standard seed and
     // quantum, a short warmed window, all thirteen mixes.

@@ -18,8 +18,9 @@
 
 use serde::{Deserialize, Serialize};
 use smt_bench::{
-    alloc_sweep, sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams, InstrumentCli, SpanCli,
-    TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, SPANS_USAGE, TRACE_USAGE,
+    alloc_sweep, sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams, InstrumentCli, SkipCli,
+    SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE, SKIP_USAGE,
+    SPANS_USAGE, TRACE_USAGE,
 };
 use smt_policies::{FetchPolicy, Tsu};
 use smt_sim::{SimConfig, SmtMachine};
@@ -73,6 +74,7 @@ fn main() {
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
+    let mut skip = SkipCli::default();
     let mut trace = TraceCli::default();
     let mut alloc = AllocCli::default();
     let mut spans = SpanCli::default();
@@ -100,6 +102,13 @@ fn main() {
                     if hit {
                         Ok(true)
                     } else {
+                        skip.accept(flag, &mut args)
+                    }
+                })
+                .and_then(|hit| {
+                    if hit {
+                        Ok(true)
+                    } else {
                         trace.accept(flag, &mut args)
                     }
                 })
@@ -121,8 +130,8 @@ fn main() {
                 Ok(false) => {
                     eprintln!(
                         "error: unknown option {flag} (known: --no-cache, \
-                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {TRACE_USAGE}, \
-                         {ALLOC_USAGE}, {SPANS_USAGE})"
+                         {INSTRUMENT_USAGE}, {CKPT_USAGE}, {BATCH_USAGE}, {SKIP_USAGE}, \
+                         {TRACE_USAGE}, {ALLOC_USAGE}, {SPANS_USAGE})"
                     );
                     std::process::exit(2);
                 }
@@ -142,6 +151,7 @@ fn main() {
     // the warm pool, so the checkpoint flags apply here too.
     ckpt.apply();
     batch.apply();
+    skip.apply();
     spans.apply();
     // Standalone trace pass — characterize has no mix protocol of its
     // own, so trace capture/replay runs at the standard experiment scale.

@@ -57,6 +57,9 @@
 //!   --batch           step sweep points as lockstep batches (the default;
 //!                     bit-identical to scalar stepping per point)
 //!   --no-batch        force the scalar per-point stepping path
+//!   --skip            fast-forward machines across pure-stall windows (the
+//!                     default; bit-identical to cycle-by-cycle stepping)
+//!   --no-skip         force cycle-by-cycle stepping everywhere
 //!   --capture-trace FILE  record the configured mixes' synthetic runs to
 //!                     SMTTRACE files (standalone: skips the experiments)
 //!   --trace FILE      replay a captured trace through the trace-backed
@@ -97,14 +100,25 @@
 //!   --bench-batch-out PATH       report path (default BENCH_batch.json)
 //!   --check-batch-baseline PATH  gate against a previous report (exit 1 on
 //!                                lost speedup or any correctness failure)
+//!
+//! Skip-benchmark mode (exclusive with the other modes):
+//!   --bench-skip          time the canonical points with event-horizon
+//!                         fast-forward off vs on and write BENCH_skip.json;
+//!                         the skipping pass must reproduce the stepped
+//!                         results bit for bit and clear an absolute speedup
+//!                         floor on the memory-bound gate point
+//!   --quick               CI-sized runs
+//!   --bench-skip-out PATH        report path (default BENCH_skip.json)
+//!   --check-skip-baseline PATH   gate against a previous report (exit 1 on
+//!                                lost speedup or any correctness failure)
 //! ```
 
 use smt_bench::{
     ablate_cond, ablate_dt, ablate_fetchmech, ablate_prefetch, ablate_quantum, ablate_rotation,
     ablate_threshold, alloc_sweep, headline, headline_random, jobsched, oracle, scaling, sweep,
     table1, threshold_type_sweep, tracebench, AllocCli, BatchCli, CkptCli, ExpParams,
-    InstrumentCli, SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE, INSTRUMENT_USAGE,
-    SPANS_USAGE, TRACE_USAGE,
+    InstrumentCli, SkipCli, SpanCli, TraceCli, ALLOC_USAGE, BATCH_USAGE, CKPT_USAGE,
+    INSTRUMENT_USAGE, SKIP_USAGE, SPANS_USAGE, TRACE_USAGE,
 };
 use smt_stats::Table;
 use std::path::PathBuf;
@@ -122,6 +136,7 @@ struct Cli {
     instrument: InstrumentCli,
     ckpt: CkptCli,
     batch: BatchCli,
+    skip: SkipCli,
     trace: TraceCli,
     alloc: AllocCli,
     spans: SpanCli,
@@ -135,6 +150,9 @@ struct Cli {
     bench_batch: bool,
     bench_batch_out: PathBuf,
     check_batch_baseline: Option<PathBuf>,
+    bench_skip: bool,
+    bench_skip_out: PathBuf,
+    check_skip_baseline: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -149,6 +167,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut instrument = InstrumentCli::default();
     let mut ckpt = CkptCli::default();
     let mut batch = BatchCli::default();
+    let mut skip = SkipCli::default();
     let mut trace = TraceCli::default();
     let mut alloc = AllocCli::default();
     let mut spans = SpanCli::default();
@@ -162,6 +181,9 @@ fn parse_args() -> Result<Cli, String> {
     let mut bench_batch = false;
     let mut bench_batch_out = PathBuf::from("BENCH_batch.json");
     let mut check_batch_baseline = None;
+    let mut bench_skip = false;
+    let mut bench_skip_out = PathBuf::from("BENCH_skip.json");
+    let mut check_skip_baseline = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -183,6 +205,7 @@ fn parse_args() -> Result<Cli, String> {
             flag if instrument.accept(flag, &mut args)? => {}
             flag if ckpt.accept(flag, &mut args)? => {}
             flag if batch.accept(flag, &mut args)? => {}
+            flag if skip.accept(flag, &mut args)? => {}
             flag if trace.accept(flag, &mut args)? => {}
             flag if alloc.accept(flag, &mut args)? => {}
             flag if spans.accept(flag, &mut args)? => {}
@@ -214,6 +237,16 @@ fn parse_args() -> Result<Cli, String> {
             "--check-batch-baseline" => {
                 check_batch_baseline = Some(PathBuf::from(
                     args.next().ok_or("--check-batch-baseline needs a value")?,
+                ));
+            }
+            "--bench-skip" => bench_skip = true,
+            "--bench-skip-out" => {
+                bench_skip_out =
+                    PathBuf::from(args.next().ok_or("--bench-skip-out needs a value")?);
+            }
+            "--check-skip-baseline" => {
+                check_skip_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--check-skip-baseline needs a value")?,
                 ));
             }
             "--all" => experiments.push("all".to_string()),
@@ -254,7 +287,13 @@ fn parse_args() -> Result<Cli, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
-    if experiments.is_empty() && !bench && !bench_sweep && !bench_batch && !trace.active() {
+    if experiments.is_empty()
+        && !bench
+        && !bench_sweep
+        && !bench_batch
+        && !bench_skip
+        && !trace.active()
+    {
         experiments.push("help".to_string());
     }
     Ok(Cli {
@@ -269,6 +308,7 @@ fn parse_args() -> Result<Cli, String> {
         instrument,
         ckpt,
         batch,
+        skip,
         trace,
         alloc,
         spans,
@@ -282,6 +322,9 @@ fn parse_args() -> Result<Cli, String> {
         bench_batch,
         bench_batch_out,
         check_batch_baseline,
+        bench_skip,
+        bench_skip_out,
+        check_skip_baseline,
     })
 }
 
@@ -418,6 +461,57 @@ fn run_bench_batch_mode(cli: &Cli) -> i32 {
     }
 }
 
+/// `--bench-skip` mode: time the canonical points with fast-forward off
+/// vs on, write the report, optionally gate against a baseline. Returns
+/// the process exit code.
+fn run_bench_skip_mode(cli: &Cli) -> i32 {
+    use smt_bench::perf;
+    let report = perf::run_skip_bench(cli.quick);
+    match perf::write_skip_report(&report, &cli.bench_skip_out) {
+        Ok(()) => println!("[bench-skip] wrote {}", cli.bench_skip_out.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", cli.bench_skip_out.display());
+            return 1;
+        }
+    }
+    let Some(baseline_path) = &cli.check_skip_baseline else {
+        return 0;
+    };
+    let baseline = match perf::read_skip_report(baseline_path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read baseline: {e}");
+            return 1;
+        }
+    };
+    let tolerance = std::env::var("SMT_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(perf::DEFAULT_TOLERANCE);
+    let failures = perf::skip_regressions(&report, &baseline, tolerance);
+    if failures.is_empty() {
+        let gate = report
+            .points
+            .iter()
+            .find(|p| p.label == perf::SKIP_GATE_LABEL)
+            .map(|p| p.speedup)
+            .unwrap_or(0.0);
+        println!(
+            "[bench-skip] {gate:.2}x on {}, bit-identical, vs {} (tolerance {:.0}%)",
+            perf::SKIP_GATE_LABEL,
+            baseline_path.display(),
+            tolerance * 100.0
+        );
+        0
+    } else {
+        eprintln!("[bench-skip] REGRESSION vs {}:", baseline_path.display());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        1
+    }
+}
+
 fn emit(table: &Table, slug: &str, out: &Option<PathBuf>) {
     println!("{}", table.render());
     if let Some(dir) = out {
@@ -441,22 +535,29 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if cli.bench || cli.bench_sweep || cli.bench_batch {
+    // The skip default is read at machine construction, so it must be
+    // pushed before any mode builds a machine (the skip bench itself
+    // toggles skipping per machine and is unaffected).
+    cli.skip.apply();
+    if cli.bench || cli.bench_sweep || cli.bench_batch || cli.bench_skip {
         if !cli.experiments.is_empty() {
             eprintln!(
-                "error: --bench/--bench-sweep/--bench-batch are exclusive with \
-                 experiment selectors"
+                "error: --bench/--bench-sweep/--bench-batch/--bench-skip are exclusive \
+                 with experiment selectors"
             );
             std::process::exit(2);
         }
-        if [cli.bench, cli.bench_sweep, cli.bench_batch]
+        if [cli.bench, cli.bench_sweep, cli.bench_batch, cli.bench_skip]
             .iter()
             .filter(|&&b| b)
             .count()
             > 1
         {
-            eprintln!("error: pick one of --bench, --bench-sweep and --bench-batch");
+            eprintln!("error: pick one of --bench, --bench-sweep, --bench-batch and --bench-skip");
             std::process::exit(2);
+        }
+        if cli.bench_skip {
+            std::process::exit(run_bench_skip_mode(&cli));
         }
         if cli.bench_sweep || cli.bench_batch {
             // One worker and no result cache: the wall-clock ratios must
@@ -507,6 +608,7 @@ fn main() {
         println!("             {INSTRUMENT_USAGE}");
         println!("             {CKPT_USAGE}");
         println!("             {BATCH_USAGE}");
+        println!("             {SKIP_USAGE}");
         println!("             {TRACE_USAGE}");
         println!("             {ALLOC_USAGE}");
         println!("             {SPANS_USAGE}");
@@ -515,6 +617,8 @@ fn main() {
         println!("                           [--check-sweep-baseline PATH]");
         println!("       repro --bench-batch [--quick] [--bench-batch-out PATH]");
         println!("                           [--check-batch-baseline PATH]");
+        println!("       repro --bench-skip [--quick] [--bench-skip-out PATH]");
+        println!("                          [--check-skip-baseline PATH]");
         println!("experiments: {}", known[..known.len() - 1].join(" "));
         return;
     }

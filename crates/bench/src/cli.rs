@@ -35,6 +35,10 @@ pub const BATCH_USAGE: &str = "[--batch] [--no-batch]";
 /// binary.
 pub const TRACE_USAGE: &str = "[--capture-trace FILE] [--trace FILE]";
 
+/// Usage fragment for the event-horizon fast-forward flags shared by
+/// every binary.
+pub const SKIP_USAGE: &str = "[--skip] [--no-skip]";
+
 /// Usage fragment for the multi-core allocation flags shared by every
 /// binary.
 pub const ALLOC_USAGE: &str = "[--cores N] [--alloc NAME]... [--mig-penalty N]";
@@ -269,6 +273,45 @@ impl BatchCli {
     }
 }
 
+/// The event-horizon fast-forward flags (`--skip`/`--no-skip`) shared by
+/// every experiment binary. Cycle skipping is on by default — it is
+/// bit-identical to cycle-by-cycle stepping (pinned by the skip
+/// differential suite and every golden fixture) — and `--no-skip` is the
+/// escape hatch that forces pure stepping; `apply` pushes the setting
+/// into the process-wide default every new [`smt_sim::SmtMachine`]
+/// adopts.
+#[derive(Clone, Debug)]
+pub struct SkipCli {
+    pub enabled: bool,
+}
+
+impl Default for SkipCli {
+    fn default() -> Self {
+        SkipCli { enabled: true }
+    }
+}
+
+impl SkipCli {
+    /// Same contract as [`InstrumentCli::accept`].
+    pub fn accept(
+        &mut self,
+        arg: &str,
+        _args: &mut impl Iterator<Item = String>,
+    ) -> Result<bool, String> {
+        match arg {
+            "--skip" => self.enabled = true,
+            "--no-skip" => self.enabled = false,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Push the parsed setting into the process-wide machine default.
+    pub fn apply(&self) {
+        smt_sim::set_skip_default(self.enabled);
+    }
+}
+
 /// The warm-state checkpoint flags (`--no-ckpt`, `--ckpt-dir`) shared by
 /// every experiment binary. By default warmed machines are pooled in
 /// memory and persisted as checkpoints beside the result cache; `apply`
@@ -488,6 +531,26 @@ mod tests {
         // Last flag wins, so `--no-batch --batch` re-enables.
         assert!(parse_batch(&["--no-batch", "--batch"]).unwrap().enabled);
         assert!(parse_batch(&["--frobnicate"]).is_err());
+    }
+
+    fn parse_skip(tokens: &[&str]) -> Result<SkipCli, String> {
+        let mut cli = SkipCli::default();
+        let mut args = tokens.iter().map(|s| s.to_string());
+        while let Some(a) = args.next() {
+            if !cli.accept(&a, &mut args)? {
+                return Err(format!("unknown option {a}"));
+            }
+        }
+        Ok(cli)
+    }
+
+    #[test]
+    fn skip_defaults_on_with_escape_hatch() {
+        assert!(parse_skip(&[]).unwrap().enabled);
+        assert!(!parse_skip(&["--no-skip"]).unwrap().enabled);
+        // Last flag wins, so `--no-skip --skip` re-enables.
+        assert!(parse_skip(&["--no-skip", "--skip"]).unwrap().enabled);
+        assert!(parse_skip(&["--frobnicate"]).is_err());
     }
 
     fn parse_trace(tokens: &[&str]) -> Result<TraceCli, String> {

@@ -4,6 +4,14 @@
 //! per-thread sequence number — the reorder buffer. Sequence numbers are
 //! monotone and never reused, so after a squash the window may contain a
 //! gap; lookups go through binary search on `seq`.
+//!
+//! The [`Stage::Executing`] `done_at` deadlines recorded here are one of
+//! the event sources the machine's event-horizon fast-forward
+//! (`SmtMachine::stall_horizon`) is computed from: a long-latency op
+//! publishes its completion cycle the moment it issues, so the machine
+//! knows — without stepping — the first future cycle at which anything
+//! can complete (tracked incrementally as the per-thread `min_done_at`
+//! lower bound).
 
 use smt_isa::codec::{ByteReader, ByteWriter, Codec, CodecError};
 use smt_isa::MicroOp;

@@ -37,6 +37,26 @@ use smt_isa::codec::{self, ByteReader, ByteWriter, Codec, CodecError};
 use smt_isa::{BranchKind, OpKind, RegClass, Tid};
 use smt_workloads::{SplitMix64, UopStream};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide default for event-horizon cycle skipping on machines built
+/// after the call ([`SmtMachine::new`] and snapshot decode both read it).
+/// The CLI layer's `--no-skip` escape hatch lowers it before any machine
+/// is constructed; already-built machines are controlled individually via
+/// [`SmtMachine::set_skip_enabled`].
+static SKIP_DEFAULT: AtomicBool = AtomicBool::new(true);
+
+/// Set the process-wide default for event-horizon cycle skipping
+/// (see [`SmtMachine::set_skip_enabled`]). Affects machines constructed
+/// *after* the call.
+pub fn set_skip_default(enabled: bool) {
+    SKIP_DEFAULT.store(enabled, Ordering::Relaxed);
+}
+
+/// Current process-wide default for event-horizon cycle skipping.
+pub fn skip_default() -> bool {
+    SKIP_DEFAULT.load(Ordering::Relaxed)
+}
 
 /// Machine-wide statistics the detector thread (and experiment harness)
 /// reads in addition to the per-thread counters.
@@ -371,6 +391,29 @@ pub struct SmtMachine {
     /// cloned with the machine (slab indices are preserved by `Clone`),
     /// never serialized (rebuilt after decode).
     wake: WakeArena,
+    /// Event-horizon fast-forward switch: when set, [`SmtMachine::run`]
+    /// skips pure-stall cycles to the next cycle any architectural state
+    /// can change ([`SmtMachine::stall_horizon`]). Host-side acceleration
+    /// state like `l2_rot`/`wake`: never serialized, reset on decode (to
+    /// [`skip_default`]), and guaranteed not to change what is simulated —
+    /// pinned by the golden suites and `tests/proptest_skip.rs`.
+    skip_enabled: bool,
+    /// Cycles advanced by [`SmtMachine::skip_cycles`] windows instead of
+    /// per-cycle stepping. Pure host observability (how much of the run
+    /// was fast-forwarded), exported via
+    /// [`CounterSnapshot::skipped_cycles`]; transient like `l2_rot` —
+    /// never serialized, reset on decode — so snapshot bytes stay
+    /// independent of the skip setting.
+    skipped_cycles: u64,
+    /// [`SmtMachine::work_fingerprint`] of the machine as the last step
+    /// began. The skip gate compares the current fingerprint against it:
+    /// equality means the last stepped cycle changed none of the state
+    /// the pipeline consults, so a full [`SmtMachine::stall_horizon`]
+    /// scan is worth paying. Purely a performance heuristic — the scan
+    /// stays the sole authority on whether skipping is sound — and
+    /// transient like `skipped_cycles`: never serialized, reset on
+    /// decode.
+    last_work_fp: u64,
 }
 
 impl SmtMachine {
@@ -430,6 +473,9 @@ impl SmtMachine {
             l2_rot: 0,
             dispatch_fifo: IndexedQueue::new(cfg.threads, 64),
             wake: WakeArena::default(),
+            skip_enabled: skip_default(),
+            skipped_cycles: 0,
+            last_work_fp: 0,
             cycle: 0,
             cfg,
         }
@@ -534,6 +580,9 @@ impl SmtMachine {
             attr: None,
             l2_rot: 0,
             wake: WakeArena::default(),
+            skip_enabled: skip_default(),
+            skipped_cycles: 0,
+            last_work_fp: 0,
             cfg,
             cycle,
             mem,
@@ -651,11 +700,32 @@ impl SmtMachine {
     /// the first call the thread vector is warm and nothing allocates.
     pub fn counter_snapshot_into(&self, out: &mut CounterSnapshot) {
         out.cycle = self.cycle;
+        out.skipped_cycles = self.skipped_cycles;
         out.threads
             .resize(self.threads.len(), ThreadCounters::default());
         for (dst, src) in out.threads.iter_mut().zip(&self.threads) {
             dst.clone_from(&src.counters);
         }
+    }
+
+    /// Is event-horizon cycle skipping active on this machine?
+    pub fn skip_enabled(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// Turn event-horizon cycle skipping on or off. Skipping is a pure
+    /// host-side acceleration: both settings simulate bit-identically
+    /// (golden suites, `tests/proptest_skip.rs`); off only forces
+    /// [`SmtMachine::run`] back to cycle-by-cycle stepping.
+    pub fn set_skip_enabled(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+    }
+
+    /// Cycles this machine advanced through skip windows instead of
+    /// stepping (0 with skipping disabled). Host observability only —
+    /// not architectural state, not serialized.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Committed instructions across all threads.
@@ -828,16 +898,79 @@ impl SmtMachine {
     /// the loop: with tracing and attribution off (every sweep and bench)
     /// the whole quantum runs in the uninstrumented monomorphization, with
     /// no per-event branches anywhere in the pipeline.
+    ///
+    /// With [`SmtMachine::skip_enabled`] (the default), pure-stall cycles
+    /// — cycles in which no thread can fetch, dispatch, issue, complete
+    /// or commit — are fast-forwarded in one [`SmtMachine::skip_cycles`]
+    /// application instead of being stepped one by one. The run is
+    /// bit-identical either way; skipping never crosses the `cycles`
+    /// bound, so quantum boundaries (snapshots, batch fork points, policy
+    /// switches) land on exactly the same cycles.
     pub fn run<C: FetchChooser>(&mut self, cycles: u64, chooser: &mut C) {
+        let end = self.cycle + cycles;
         if self.instrumented() {
-            for _ in 0..cycles {
-                self.step_impl::<C, true>(chooser);
-            }
+            self.run_impl::<C, true>(end, chooser);
         } else {
-            for _ in 0..cycles {
-                self.step_impl::<C, false>(chooser);
-            }
+            self.run_impl::<C, false>(end, chooser);
         }
+    }
+
+    fn run_impl<C: FetchChooser, const TRACE: bool>(&mut self, end: u64, chooser: &mut C) {
+        while self.cycle < end {
+            // The full horizon scan is only worth paying when the last
+            // stepped cycle demonstrably did nothing; an active pipeline
+            // changes the fingerprint every cycle and never pays it.
+            if self.skip_enabled && self.idle_since_last_step() {
+                if let Some(horizon) = self.stall_horizon() {
+                    // `stall_horizon` only yields cycles strictly ahead of
+                    // `self.cycle`, so the window is never empty.
+                    let k = horizon.min(end) - self.cycle;
+                    self.skip_cycles(k);
+                    continue;
+                }
+            }
+            self.step_impl::<C, TRACE>(chooser);
+        }
+    }
+
+    /// A cheap digest of every piece of state the pipeline stages consume:
+    /// queue and window occupancies, completion deadlines, free registers,
+    /// the commit/fetch odometers, and the timed-stall expiries. Any cycle
+    /// in which some stage acted changes at least one component (a
+    /// completion lowers `min_done_at` or retires into `committed`, an
+    /// issue shrinks an IQ, a dispatch pops the FIFO, a fetch grows a
+    /// window or starts a timed stall), so an unchanged fingerprint means
+    /// the cycle was a pure stall. Collisions merely cost one fruitless
+    /// [`SmtMachine::stall_horizon`] scan — the gate is a performance
+    /// heuristic, never a correctness authority.
+    #[inline]
+    fn work_fingerprint(&self) -> u64 {
+        const P: u64 = 0x100000001b3; // FNV-1a prime
+        let mut h: u64 = self.int_iq.len() as u64;
+        h = (h ^ self.fp_iq.len() as u64).wrapping_mul(P);
+        h = (h ^ self.lsq.len() as u64).wrapping_mul(P);
+        h = (h ^ self.dispatch_fifo.len() as u64).wrapping_mul(P);
+        h = (h ^ self.pending_syscalls.len() as u64).wrapping_mul(P);
+        h = (h ^ self.free_int_regs as u64).wrapping_mul(P);
+        h = (h ^ self.free_fp_regs as u64).wrapping_mul(P);
+        h = (h ^ self.global.committed).wrapping_mul(P);
+        h = (h ^ self.global.fetch_slots_used).wrapping_mul(P);
+        for ctx in &self.threads {
+            h = (h ^ ctx.window.len() as u64).wrapping_mul(P);
+            h = (h ^ ctx.counters.front_end_occ as u64).wrapping_mul(P);
+            h = (h ^ ctx.min_done_at).wrapping_mul(P);
+            h = (h ^ ctx.icache_stall_until).wrapping_mul(P);
+            h = (h ^ ctx.redirect_stall_until).wrapping_mul(P);
+            h = (h ^ ctx.migration_stall_until).wrapping_mul(P);
+        }
+        h
+    }
+
+    /// Did the last stepped cycle leave all pipeline-visible state
+    /// untouched? (The skip gate; see [`SmtMachine::work_fingerprint`].)
+    #[inline]
+    pub(crate) fn idle_since_last_step(&self) -> bool {
+        self.work_fingerprint() == self.last_work_fp
     }
 
     /// One cycle, monomorphized on whether any instrumentation (event
@@ -847,6 +980,12 @@ impl SmtMachine {
     /// checks `self.attr`, so either can be on without the other.
     fn step_impl<C: FetchChooser, const TRACE: bool>(&mut self, chooser: &mut C) {
         debug_assert_eq!(TRACE, self.instrumented());
+        // Remember what the machine looked like as this cycle began; if it
+        // still looks the same next cycle, the skip gate knows this cycle
+        // was a pure stall. Skip-off runs don't pay for the digest.
+        if self.skip_enabled {
+            self.last_work_fp = self.work_fingerprint();
+        }
         if TRACE {
             self.attr_begin_cycle();
         }
@@ -856,6 +995,440 @@ impl SmtMachine {
         self.dispatch::<TRACE>();
         self.fetch::<C, TRACE>(chooser);
         self.end_cycle();
+    }
+
+    // ------------------------------------------------------------------
+    // event-horizon fast-forward
+    // ------------------------------------------------------------------
+    //
+    // A *pure-stall cycle* is one in which no stage can act: nothing
+    // completes or commits, no queue entry can obtain a unit, the
+    // dispatch head is stalled, and no thread is fetchable. Every effect
+    // such a cycle has on the machine is a closed-form function of the
+    // frozen state (stall accounting, decay, the LSQ-full charges, slot
+    // attribution), so a maximal window of them can be applied in one
+    // `skip_cycles` call. `stall_horizon` computes the window end: the
+    // earliest cycle at which any state the pipeline consults can change
+    // — in-flight completion deadlines (`min_done_at`), front-end
+    // `ready_at`, divider reservations, and the per-thread
+    // icache/redirect/migration stall expiries. Every deadline is state
+    // the machine already tracks (the load-delay-tracking observation:
+    // long-latency events publish their deadlines when they begin), so
+    // the check is O(threads + queue entries) and allocation-free.
+
+    /// If the current cycle is a pure-stall cycle, the earliest future
+    /// cycle at which any architectural state can change (`u64::MAX`
+    /// when nothing is in flight at all, e.g. every context parked);
+    /// `None` if some stage can act this cycle and stepping must proceed.
+    pub(crate) fn stall_horizon(&self) -> Option<u64> {
+        let now = self.cycle;
+        let mut horizon = u64::MAX;
+        let drain = !self.pending_syscalls.is_empty();
+
+        // Complete / commit: any completion due now means work; any Done
+        // window head would retire. `min_done_at` is a conservative lower
+        // bound, so treating it as the horizon can only land the machine
+        // on a cycle where the per-cycle path would (identically) run a
+        // fruitless rescan — never skip past a completion.
+        for ctx in &self.threads {
+            if ctx.min_done_at <= now {
+                return None;
+            }
+            horizon = horizon.min(ctx.min_done_at);
+            if let Some(head) = ctx.window.front() {
+                if head.is_done() {
+                    return None;
+                }
+            }
+        }
+
+        // Drained-syscall execution fires the cycle nothing but the
+        // pending syscalls remains in flight; every term is frozen during
+        // a stall window, so it either fires now or not within it.
+        if let Some(&q) = self.pending_syscalls.front() {
+            if self.total_inflight() == self.pending_syscalls.len() {
+                let ctx = &self.threads[q.tid.idx()];
+                if let Some(i) = find_seq(&ctx.window, q.seq) {
+                    if ctx.window[i].in_front_end() {
+                        return None;
+                    }
+                }
+            }
+        }
+
+        // Issue: per-cycle unit/port budgets reset every cycle, so any
+        // dep-ready entry issues now — except divides gated by a busy
+        // divider, whose release cycle is a horizon candidate.
+        let mut idx = self.int_iq.first();
+        while idx != NIL {
+            let d = self.int_iq.payload(idx);
+            if d.deps_done || d.pending == 0 {
+                match d.kind {
+                    OpKind::IntDiv => {
+                        if self.cfg.int_alus > 0 {
+                            if self.int_div_free_at <= now {
+                                return None;
+                            }
+                            horizon = horizon.min(self.int_div_free_at);
+                        }
+                    }
+                    OpKind::Load | OpKind::Store => {
+                        if self.cfg.ldst_ports > 0 {
+                            return None;
+                        }
+                    }
+                    // Handled by the drain path, never issued from here.
+                    OpKind::Syscall => {}
+                    _ => {
+                        if self.cfg.int_alus > 0 {
+                            return None;
+                        }
+                    }
+                }
+            }
+            idx = self.int_iq.next_of(idx);
+        }
+        let mut idx = self.fp_iq.first();
+        while idx != NIL {
+            let d = self.fp_iq.payload(idx);
+            if (d.deps_done || d.pending == 0) && self.cfg.fp_units > 0 {
+                if d.kind == OpKind::FpDiv {
+                    if self.fp_div_free_at <= now {
+                        return None;
+                    }
+                    horizon = horizon.min(self.fp_div_free_at);
+                } else {
+                    return None;
+                }
+            }
+            idx = self.fp_iq.next_of(idx);
+        }
+
+        // Dispatch consumes strictly from the FIFO head: popping a
+        // squashed bubble or a syscall is a state change; a head still in
+        // the decode pipe publishes its `ready_at` as a deadline; a ready
+        // head that clears every structural hazard would dispatch. A
+        // ready head *blocked* by a hazard pins the front end until an
+        // issue or commit frees the resource — event-driven, already
+        // covered by the completion deadlines above.
+        if self.cfg.dispatch_width > 0 {
+            if let Some((tid, seq, _)) = self.dispatch_fifo.front() {
+                let ti = tid.idx();
+                match find_seq(&self.threads[ti].window, seq) {
+                    None => return None, // bubble pop
+                    Some(i) => {
+                        let op = &self.threads[ti].window[i];
+                        match op.stage {
+                            Stage::FrontEnd { ready_at } if ready_at <= now => {
+                                let kind = op.uop.kind;
+                                if kind == OpKind::Syscall {
+                                    return None; // popped into the window
+                                }
+                                let iq_full = if kind.is_fp() {
+                                    self.fp_iq.len() >= self.cfg.fp_iq_size
+                                } else {
+                                    self.int_iq.len() >= self.cfg.int_iq_size
+                                };
+                                if !iq_full {
+                                    if kind.is_mem() && self.lsq.len() >= self.cfg.lsq_size {
+                                        // Stalled on the full LSQ: a pure
+                                        // stall, but one that charges the
+                                        // head thread's `lsq_full_cycles`
+                                        // per cycle — `skip_cycles`
+                                        // replays the charge in bulk.
+                                    } else {
+                                        let blocked_on_regs = match op.uop.dst {
+                                            Some(d) => {
+                                                let free = match d.class {
+                                                    RegClass::Int => self.free_int_regs,
+                                                    RegClass::Fp => self.free_fp_regs,
+                                                };
+                                                free == 0
+                                            }
+                                            None => false,
+                                        };
+                                        if !blocked_on_regs {
+                                            return None; // would dispatch
+                                        }
+                                    }
+                                }
+                            }
+                            Stage::FrontEnd { ready_at } => {
+                                horizon = horizon.min(ready_at);
+                            }
+                            // Defensive: dispatch would stall on this
+                            // head until a squash removes it.
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fetch: a fetchable thread fetches (the machine-wide drain
+        // suppresses fetch entirely, so fetchability is moot then). A
+        // thread blocked *only* by timed stalls becomes fetchable at
+        // their expiry; one also blocked structurally (full window or
+        // fetch buffer) unblocks via commit/dispatch events instead.
+        if !drain {
+            for ctx in &self.threads {
+                if !ctx.fetch_enabled {
+                    continue;
+                }
+                if ctx.fetchable(now, &self.cfg) {
+                    return None;
+                }
+                if ctx.window.len() < self.cfg.rob_per_thread
+                    && (ctx.counters.front_end_occ as usize) < self.cfg.fetch_buffer_per_thread
+                {
+                    let expiry = ctx
+                        .migration_stall_until
+                        .max(ctx.icache_stall_until)
+                        .max(ctx.redirect_stall_until);
+                    debug_assert!(expiry > now, "unstalled thread classified unfetchable");
+                    horizon = horizon.min(expiry);
+                }
+            }
+        }
+
+        // With attribution live, the skipped cycles' slot causes must
+        // also be constant across the window: cap it at *every* timed
+        // stall expiry, so `> now` classifications (migration vs L1I vs
+        // redirect vs ROB-full, squash-drain vs empty) cannot flip
+        // mid-window. Purely a window-length cap — uninstrumented runs
+        // skip further in one go, with identical architectural effect.
+        if self.attr.is_some() {
+            for ctx in &self.threads {
+                for expiry in [
+                    ctx.icache_stall_until,
+                    ctx.redirect_stall_until,
+                    ctx.migration_stall_until,
+                ] {
+                    if expiry > now {
+                        horizon = horizon.min(expiry);
+                    }
+                }
+            }
+        }
+
+        debug_assert!(horizon > now);
+        Some(horizon)
+    }
+
+    /// Fast-forward `k` cycles of a pure-stall window (the caller has
+    /// established via [`SmtMachine::stall_horizon`] that no stage can
+    /// act before `self.cycle + k`), applying exactly the per-cycle
+    /// effects cycle-by-cycle stepping would have produced: the issue
+    /// walk's `deps_done` memoization, LSQ-full charges, stall
+    /// accounting with decay interleaved at period boundaries, and the
+    /// closed-form slot attribution.
+    pub(crate) fn skip_cycles(&mut self, k: u64) {
+        debug_assert!(k >= 1);
+        let now = self.cycle;
+        let end = now + k;
+        let drain = !self.pending_syscalls.is_empty();
+
+        // The first skipped cycle's issue walk visits every entry
+        // (nothing issues, so the budget never runs out) and memoizes
+        // `deps_done` on each dep-ready one — try_issue marks the memo
+        // *before* discovering the unit is busy. `deps_done` is
+        // serialized state, so replay it or snapshots would diverge.
+        if self.cfg.issue_width > 0 {
+            let mut idx = self.int_iq.first();
+            while idx != NIL {
+                let d = self.int_iq.payload_mut(idx);
+                if d.pending == 0 {
+                    d.deps_done = true;
+                }
+                idx = self.int_iq.next_of(idx);
+            }
+            if self.cfg.fp_units > 0 {
+                let mut idx = self.fp_iq.first();
+                while idx != NIL {
+                    let d = self.fp_iq.payload_mut(idx);
+                    if d.pending == 0 {
+                        d.deps_done = true;
+                    }
+                    idx = self.fp_iq.next_of(idx);
+                }
+            }
+        }
+
+        // A dispatch head ready but blocked solely by the full LSQ
+        // charges its thread every cycle (dispatch's hazard order:
+        // IQ-full stalls silently first, register pressure after).
+        if self.cfg.dispatch_width > 0 {
+            if let Some(ti) = self.dispatch_head_lsq_blocked(now) {
+                self.threads[ti].counters.lsq_full_cycles += k;
+            }
+        }
+
+        if self.lsq.len() >= self.cfg.lsq_size {
+            self.global.lsq_full_cycles += k;
+        }
+        if drain {
+            self.global.syscall_drain_cycles += k;
+        }
+
+        // Per-thread stall accounting, with the periodic decay applied
+        // at exactly the cycles `end_cycle` would have: segment the
+        // window at decay boundaries (increment-then-halve order within
+        // a cycle, decay when the post-increment cycle count is a
+        // multiple of the period).
+        let period = self.cfg.decay_period;
+        let mut c = now;
+        while c < end {
+            let boundary = (c / period + 1) * period;
+            let seg_end = boundary.min(end);
+            let seg = seg_end - c;
+            for ti in 0..self.threads.len() {
+                let accrues = {
+                    let ctx = &self.threads[ti];
+                    ctx.fetch_enabled && (drain || ctx.fetch_blocked(now, &self.cfg))
+                };
+                let ctx = &mut self.threads[ti];
+                if accrues {
+                    ctx.counters.fetch_stall_cycles += seg;
+                    ctx.counters.recent_stalls += seg;
+                }
+                if seg_end == boundary {
+                    ctx.counters.decay();
+                }
+            }
+            c = seg_end;
+        }
+
+        if self.attr.is_some() {
+            self.skip_attr(now, k, drain);
+        }
+
+        self.cycle = end;
+        self.global.cycles = end;
+        self.skipped_cycles += k;
+    }
+
+    /// Is the dispatch head a ready op whose only structural hazard is
+    /// the full LSQ? Mirrors the hazard cascade in
+    /// [`SmtMachine::dispatch`] without side effects.
+    fn dispatch_head_lsq_blocked(&self, now: u64) -> Option<usize> {
+        let (tid, seq, _) = self.dispatch_fifo.front()?;
+        let ti = tid.idx();
+        let i = find_seq(&self.threads[ti].window, seq)?;
+        let op = &self.threads[ti].window[i];
+        match op.stage {
+            Stage::FrontEnd { ready_at } if ready_at <= now => {}
+            _ => return None,
+        }
+        let kind = op.uop.kind;
+        if kind == OpKind::Syscall {
+            return None; // unreachable in a stall window; dispatch pops it
+        }
+        let iq_full = if kind.is_fp() {
+            self.fp_iq.len() >= self.cfg.fp_iq_size
+        } else {
+            self.int_iq.len() >= self.cfg.int_iq_size
+        };
+        if iq_full {
+            return None;
+        }
+        (kind.is_mem() && self.lsq.len() >= self.cfg.lsq_size).then_some(ti)
+    }
+
+    /// Closed-form slot attribution for a skipped window of `k` pure
+    /// stall cycles starting at `now`: zero slots are used at any stage,
+    /// each thread's blocking cause is constant (the horizon is capped
+    /// at every stall expiry while attributing), and the per-cycle
+    /// round-robin distributions aggregate by counting how many window
+    /// cycles start each rotation phase. Conservation is preserved
+    /// exactly: every stage distributes `width × k` slots.
+    fn skip_attr(&mut self, now: u64, k: u64, drain: bool) {
+        let Some(mut attr) = self.attr.take() else {
+            return;
+        };
+        let n = self.threads.len();
+        let n64 = n as u64;
+        attr.cycles += k;
+        // phase_cycles[r] = window cycles whose round-robin start is r.
+        let mut phase_cycles = vec![0u64; n];
+        for (r, count) in phase_cycles.iter_mut().enumerate() {
+            let r = r as u64;
+            let first = now + (r + n64 - now % n64) % n64;
+            if first < now + k {
+                *count = (now + k - first - 1) / n64 + 1;
+            }
+        }
+        // Slots thread `t` receives when `width` slots/cycle are dealt
+        // round-robin from each cycle's phase: slot j of a phase-r cycle
+        // lands on (r + j) mod n.
+        let slots_for = |t: usize, width: usize| -> u64 {
+            (0..width).map(|j| phase_cycles[(t + n - j % n) % n]).sum()
+        };
+
+        for (t, ctx) in self.threads.iter().enumerate() {
+            let cause = match ctx.window.front() {
+                None if ctx.redirect_stall_until > now => CommitCause::SquashDrain,
+                None => CommitCause::Empty,
+                Some(head) => {
+                    if head.dmiss && matches!(head.stage, Stage::Executing { .. }) {
+                        CommitCause::DataMiss
+                    } else {
+                        CommitCause::NotReady
+                    }
+                }
+            };
+            attr.stacks[t].commit[cause as usize] += slots_for(t, self.cfg.commit_width);
+        }
+
+        // Issue: the per-cycle walk blames leftover queue entries in age
+        // order; queues are frozen, so each of the first `issue_width`
+        // entries soaks one slot per cycle — k over the window.
+        let mut lost = self.cfg.issue_width;
+        for queue in [&self.int_iq, &self.fp_iq] {
+            let mut idx = queue.first();
+            while idx != NIL && lost > 0 {
+                let (tid, _) = queue.key(idx);
+                let d = queue.payload(idx);
+                let cause = if !d.deps_done && d.pending != 0 {
+                    IssueCause::DepsNotReady
+                } else {
+                    IssueCause::FuBusy
+                };
+                attr.stacks[tid.idx()].issue[cause as usize] += k;
+                lost -= 1;
+                idx = queue.next_of(idx);
+            }
+        }
+        let empty = if drain {
+            IssueCause::Drain
+        } else {
+            IssueCause::IqEmpty
+        };
+        for t in 0..n {
+            attr.stacks[t].issue[empty as usize] += slots_for(t, lost);
+        }
+
+        for (t, ctx) in self.threads.iter().enumerate() {
+            let cause = if drain {
+                FetchCause::Drain
+            } else if !ctx.fetch_enabled {
+                FetchCause::PolicyStarved
+            } else if ctx.migration_stall_until > now {
+                FetchCause::Migration
+            } else if ctx.icache_stall_until > now {
+                FetchCause::L1iMiss
+            } else if ctx.redirect_stall_until > now {
+                FetchCause::Redirect
+            } else if ctx.window.len() >= self.cfg.rob_per_thread {
+                FetchCause::RobFull
+            } else if (ctx.counters.front_end_occ as usize) >= self.cfg.fetch_buffer_per_thread {
+                FetchCause::FrontEndFull
+            } else {
+                FetchCause::PolicyStarved
+            };
+            attr.stacks[t].fetch[cause as usize] += slots_for(t, self.cfg.fetch_width);
+        }
+
+        self.attr = Some(attr);
     }
 
     // ------------------------------------------------------------------

@@ -20,6 +20,18 @@
 //!   to a [`CodecError`], never a panic — callers fall back to a cold
 //!   warmup.
 //!
+//! **No fast-forward state is serialized.** The event-horizon skip
+//! engine (`SmtMachine::stall_horizon`) is *derived* entirely from
+//! state this container already carries — stall-until cycles, in-flight
+//! `done_at` deadlines, the syscall drain queue — and the `skip_enabled`
+//! switch plus the `skipped_cycles` odometer are host-side observability,
+//! not simulated state. Serializing any of it would make snapshot bytes
+//! depend on *how* a machine reached a cycle (skipped vs stepped),
+//! destroying the byte-identity contract above; instead a decoded
+//! machine re-adopts the process-wide skip default and restarts its
+//! odometer at zero, exactly like the transient wake arena and `l2_rot`
+//! stamp.
+//!
 //! Container layout (little-endian):
 //!
 //! ```text
